@@ -1,0 +1,39 @@
+//! A2-backjump: the paper's sec. 4 mechanism — learning bound-conflict
+//! clauses and backtracking non-chronologically — against the
+//! chronological alternative (same bound, no learned `omega_bc`).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use pbo_bench::budget_ms;
+use pbo_benchgen::GroutParams;
+use pbo_solver::{Bsolo, BsoloOptions, LbMethod};
+
+fn bench(c: &mut Criterion) {
+    let instance = GroutParams {
+        width: 5,
+        height: 5,
+        nets: 12,
+        paths_per_net: 4,
+        capacity: 3,
+        bend_penalty: 2,
+    }
+    .generate(3);
+    let budget = budget_ms(2_000);
+    let mut group = c.benchmark_group("ablation_backjump");
+    group.sample_size(10);
+    group.bench_function("bound_conflict_learning", |b| {
+        let opts = BsoloOptions::with_lb(LbMethod::Lpr).budget(budget);
+        b.iter(|| std::hint::black_box(Bsolo::new(opts.clone()).solve(&instance)))
+    });
+    group.bench_function("chronological", |b| {
+        let opts = BsoloOptions {
+            bound_conflict_learning: false,
+            ..BsoloOptions::with_lb(LbMethod::Lpr).budget(budget)
+        };
+        b.iter(|| std::hint::black_box(Bsolo::new(opts.clone()).solve(&instance)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,35 @@
+//! A3-branching: LP-guided branching (sec. 5: most-fractional variable,
+//! closest to 0.5) against plain VSIDS, both under the LPR bound.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use pbo_bench::budget_ms;
+use pbo_benchgen::SynthesisParams;
+use pbo_solver::{Branching, Bsolo, BsoloOptions, LbMethod};
+
+fn bench(c: &mut Criterion) {
+    let instance = SynthesisParams {
+        primes: 40,
+        minterms: 55,
+        cover_density: 4.0,
+        exclusions: 6,
+        cost: (1, 9),
+    }
+    .generate(2);
+    let budget = budget_ms(2_000);
+    let mut group = c.benchmark_group("ablation_branching");
+    group.sample_size(10);
+    for (name, branching) in [("lp_guided", Branching::LpGuided), ("vsids", Branching::Vsids)] {
+        let opts = BsoloOptions {
+            branching,
+            ..BsoloOptions::with_lb(LbMethod::Lpr).budget(budget)
+        };
+        group.bench_function(name, |b| {
+            b.iter(|| std::hint::black_box(Bsolo::new(opts.clone()).solve(&instance)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,42 @@
+//! A4-cuts: the sec. 5 cut machinery — the knapsack cut of eq. 10 and
+//! the cardinality cost cuts of eqs. 11–13 — toggled on and off.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use pbo_bench::budget_ms;
+use pbo_benchgen::GroutParams;
+use pbo_solver::{Bsolo, BsoloOptions, LbMethod};
+
+fn bench(c: &mut Criterion) {
+    let instance = GroutParams {
+        width: 5,
+        height: 5,
+        nets: 12,
+        paths_per_net: 4,
+        capacity: 3,
+        bend_penalty: 2,
+    }
+    .generate(5);
+    let budget = budget_ms(2_000);
+    let mut group = c.benchmark_group("ablation_cuts");
+    group.sample_size(10);
+    let configs = [
+        ("all_cuts", true, true),
+        ("knapsack_only", true, false),
+        ("no_cuts", false, false),
+    ];
+    for (name, knapsack, cardinality) in configs {
+        let opts = BsoloOptions {
+            knapsack_cuts: knapsack,
+            cardinality_cuts: cardinality,
+            ..BsoloOptions::with_lb(LbMethod::Lpr).budget(budget)
+        };
+        group.bench_function(name, |b| {
+            b.iter(|| std::hint::black_box(Bsolo::new(opts.clone()).solve(&instance)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,57 @@
+//! A1-lb-tightness: cost and quality of one lower-bound evaluation per
+//! method (sec. 3 comparison). The paper's qualitative claims: the LPR
+//! bound is usually at least as tight as MIS; LGR can approach LPR but
+//! converges slowly. The bound *values* are printed once; criterion
+//! measures the per-call time.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use pbo_benchgen::GroutParams;
+use pbo_bounds::{LagrangianBound, LowerBound, LprBound, MisBound, Subproblem};
+use pbo_core::Assignment;
+
+fn bench(c: &mut Criterion) {
+    let instance = GroutParams {
+        width: 5,
+        height: 5,
+        nets: 12,
+        paths_per_net: 4,
+        capacity: 3,
+        bend_penalty: 2,
+    }
+    .generate(2);
+    let assignment = Assignment::new(instance.num_vars());
+    let sub = Subproblem::new(&instance, &assignment);
+
+    let mut mis = MisBound::new();
+    let mut lgr = LagrangianBound::new(instance.num_constraints());
+    let mut lpr = LprBound::new(&instance);
+    eprintln!(
+        "root bounds on {}: mis={} lgr={} lpr={}",
+        instance.name(),
+        mis.lower_bound(&sub, None).bound,
+        lgr.lower_bound(&sub, None).bound,
+        lpr.lower_bound(&sub, None).bound,
+    );
+
+    let mut group = c.benchmark_group("ablation_lb_tightness");
+    group.bench_function("mis", |b| {
+        b.iter(|| std::hint::black_box(mis.lower_bound(&sub, None).bound))
+    });
+    group.bench_function("lgr", |b| {
+        b.iter(|| std::hint::black_box(lgr.lower_bound(&sub, None).bound))
+    });
+    group.bench_function("lpr_warm", |b| {
+        b.iter(|| std::hint::black_box(lpr.lower_bound(&sub, None).bound))
+    });
+    group.bench_function("lpr_cold", |b| {
+        b.iter(|| {
+            let mut fresh = LprBound::new(&instance);
+            std::hint::black_box(fresh.lower_bound(&sub, None).bound)
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

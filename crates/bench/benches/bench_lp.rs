@@ -1,0 +1,60 @@
+//! B-lp: dual simplex infrastructure scaling — cold solves over growing
+//! relaxations and the warm re-solve after one variable fixing (the
+//! branch-and-bound hot path).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+
+use pbo_lp::{DualSimplex, LpProblem};
+
+fn random_lp(n: usize, m: usize, seed: u64) -> LpProblem {
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let mut p = LpProblem::new(n);
+    for j in 0..n {
+        p.set_cost(j, rng.gen_range(0..10) as f64);
+    }
+    for _ in 0..m {
+        let mut terms = Vec::new();
+        for j in 0..n {
+            if rng.gen_bool(4.0 / n as f64) {
+                terms.push((j, rng.gen_range(1..4) as f64));
+            }
+        }
+        if terms.is_empty() {
+            terms.push((rng.gen_range(0..n), 1.0));
+        }
+        let maxw: f64 = terms.iter().map(|t| t.1).sum();
+        p.add_row_ge(&terms, rng.gen_range(1.0..maxw.max(1.5)));
+    }
+    p
+}
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("bench_lp");
+    for size in [20usize, 60, 140] {
+        let p = random_lp(size, size, 0xb1);
+        group.bench_with_input(BenchmarkId::new("cold_solve", size), &p, |b, p| {
+            b.iter(|| std::hint::black_box(DualSimplex::new(p).solve().objective))
+        });
+        group.bench_with_input(BenchmarkId::new("warm_refix", size), &p, |b, p| {
+            let mut s = DualSimplex::new(p);
+            let _ = s.solve();
+            let mut flip = false;
+            b.iter(|| {
+                // Fix/unfix one variable: the canonical B&B node step.
+                if flip {
+                    s.set_var_bounds(0, 0.0, 1.0);
+                } else {
+                    s.set_var_bounds(0, 1.0, 1.0);
+                }
+                flip = !flip;
+                std::hint::black_box(s.solve().objective)
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

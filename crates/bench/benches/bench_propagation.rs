@@ -1,0 +1,65 @@
+//! B-prop: engine infrastructure throughput — decide/propagate/backjump
+//! cycles over clause-heavy and PB-heavy formulas.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use pbo_benchgen::RandomParams;
+use pbo_core::{Lit, Value};
+use pbo_engine::Engine;
+
+fn engine_for(params: &RandomParams, seed: u64) -> Engine {
+    let inst = params.generate(seed);
+    let mut e = Engine::new(inst.num_vars());
+    for c in inst.constraints() {
+        let _ = e.add_constraint(c);
+    }
+    e
+}
+
+fn propagation_storm(e: &mut Engine) -> u64 {
+    // Decide every variable in order (forcing cascades), then undo.
+    let before = e.stats.propagations;
+    for v in 0..e.num_vars() {
+        let lit = Lit::new(v, false);
+        if e.assignment().lit_value(lit) == Value::Unassigned {
+            e.decide(lit);
+            if e.propagate().is_some() {
+                break;
+            }
+        }
+    }
+    e.backjump_to(0);
+    e.stats.propagations - before
+}
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("bench_propagation");
+    let clause_heavy = RandomParams {
+        vars: 200,
+        constraints: 600,
+        arity: (2, 3),
+        coeff: (1, 1),
+        optimization: false,
+        ..RandomParams::default()
+    };
+    let pb_heavy = RandomParams {
+        vars: 200,
+        constraints: 400,
+        arity: (4, 8),
+        coeff: (1, 6),
+        optimization: false,
+        ..RandomParams::default()
+    };
+    group.bench_function("clause_heavy", |b| {
+        let mut e = engine_for(&clause_heavy, 1);
+        b.iter(|| std::hint::black_box(propagation_storm(&mut e)))
+    });
+    group.bench_function("pb_heavy", |b| {
+        let mut e = engine_for(&pb_heavy, 1);
+        b.iter(|| std::hint::black_box(propagation_storm(&mut e)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

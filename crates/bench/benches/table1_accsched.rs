@@ -1,0 +1,24 @@
+//! T1-acc: the scheduling (pure satisfaction) rows of Table 1. No cost
+//! function: SAT-based solvers dominate, the MILP baseline flounders,
+//! and all bsolo configurations coincide (footnote *a* of the table).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use pbo_bench::{budget_ms, SolverKind};
+use pbo_benchgen::AccSchedParams;
+
+fn bench(c: &mut Criterion) {
+    let instance = AccSchedParams { teams: 8, home_away: true }.generate(1);
+    let budget = budget_ms(500);
+    let mut group = c.benchmark_group("table1_accsched");
+    group.sample_size(10);
+    for kind in SolverKind::ALL {
+        group.bench_function(kind.name(), |b| {
+            b.iter(|| std::hint::black_box(kind.run(&instance, budget)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

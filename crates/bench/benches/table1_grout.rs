@@ -1,0 +1,33 @@
+//! T1-grout: the global-routing rows of Table 1. Each solver column runs
+//! on a fixed seeded instance under a hard per-solve time cap, so the
+//! measurements are bounded; solvers that cannot finish saturate at the
+//! cap (the paper's `ub` rows).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use pbo_bench::{budget_ms, SolverKind};
+use pbo_benchgen::GroutParams;
+
+fn bench(c: &mut Criterion) {
+    let instance = GroutParams {
+        width: 4,
+        height: 4,
+        nets: 8,
+        paths_per_net: 4,
+        capacity: 3,
+        bend_penalty: 2,
+    }
+    .generate(1);
+    let budget = budget_ms(500);
+    let mut group = c.benchmark_group("table1_grout");
+    group.sample_size(10);
+    for kind in SolverKind::ALL {
+        group.bench_function(kind.name(), |b| {
+            b.iter(|| std::hint::black_box(kind.run(&instance, budget)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,23 @@
+//! T1-ptlcmos: the mixed PTL/CMOS synthesis rows of Table 1 (binate
+//! area-minimization instances with implication chains).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use pbo_bench::{budget_ms, SolverKind};
+use pbo_benchgen::PtlCmosParams;
+
+fn bench(c: &mut Criterion) {
+    let instance = PtlCmosParams { gates: 30, ..PtlCmosParams::default() }.generate(1);
+    let budget = budget_ms(500);
+    let mut group = c.benchmark_group("table1_ptlcmos");
+    group.sample_size(10);
+    for kind in SolverKind::ALL {
+        group.bench_function(kind.name(), |b| {
+            b.iter(|| std::hint::black_box(kind.run(&instance, budget)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

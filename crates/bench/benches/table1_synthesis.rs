@@ -1,0 +1,30 @@
+//! T1-synth: the MCNC two-level covering rows of Table 1 (weighted
+//! binate covering).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use pbo_bench::{budget_ms, SolverKind};
+use pbo_benchgen::SynthesisParams;
+
+fn bench(c: &mut Criterion) {
+    let instance = SynthesisParams {
+        primes: 30,
+        minterms: 40,
+        cover_density: 3.5,
+        exclusions: 5,
+        cost: (1, 9),
+    }
+    .generate(1);
+    let budget = budget_ms(500);
+    let mut group = c.benchmark_group("table1_synthesis");
+    group.sample_size(10);
+    for kind in SolverKind::ALL {
+        group.bench_function(kind.name(), |b| {
+            b.iter(|| std::hint::black_box(kind.run(&instance, budget)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,22 @@
+//! Quick diagnostic: effort breakdown of each bsolo configuration on one
+//! instance of each family.
+
+use pbo_bench::family_instances;
+use pbo_solver::{Bsolo, BsoloOptions, LbMethod};
+
+fn main() {
+    let budget = pbo_bench::budget_ms(3000);
+    for fam in ["grout", "ptlcmos", "synthesis"] {
+        let inst = family_instances(fam, 1).pop().unwrap();
+        println!("== {fam}: {} vars {} constraints", inst.num_vars(), inst.num_constraints());
+        for lb in [LbMethod::Mis, LbMethod::Lagrangian, LbMethod::Lpr] {
+            let r = Bsolo::new(BsoloOptions::with_lb(lb).budget(budget)).solve(&inst);
+            println!(
+                "{:>5}: {:?} cost={:?} dec={} conf={} bconf={} lbcalls={} lbtime={:.2}s lp_iters={} total={:.2}s",
+                lb.name(), r.status, r.best_cost, r.stats.decisions, r.stats.conflicts,
+                r.stats.bound_conflicts, r.stats.lb_calls, r.stats.lb_time.as_secs_f64(),
+                r.stats.lp_iterations, r.stats.solve_time.as_secs_f64()
+            );
+        }
+    }
+}

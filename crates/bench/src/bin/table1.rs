@@ -1,0 +1,64 @@
+//! Reproduces Table 1 of the paper: seven solver columns over the four
+//! benchmark families, with per-instance budgets.
+//!
+//! ```text
+//! cargo run --release -p pbo-bench --bin table1 -- \
+//!     [--family grout|ptlcmos|synthesis|acc|all] \
+//!     [--timeout-ms N] [--seeds N]
+//! ```
+
+use pbo_bench::{budget_ms, family_instances, format_table, run_table, FAMILIES};
+
+fn main() {
+    let mut family = String::from("all");
+    let mut timeout_ms = 5_000u64;
+    let mut seeds = 10u64;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--family" => family = args.next().expect("--family needs a value"),
+            "--timeout-ms" => {
+                timeout_ms = args
+                    .next()
+                    .expect("--timeout-ms needs a value")
+                    .parse()
+                    .expect("bad timeout")
+            }
+            "--seeds" => {
+                seeds = args.next().expect("--seeds needs a value").parse().expect("bad seeds")
+            }
+            other => {
+                eprintln!("unknown argument `{other}`");
+                std::process::exit(2);
+            }
+        }
+    }
+    let families: Vec<&str> = if family == "all" {
+        FAMILIES.to_vec()
+    } else {
+        vec![Box::leak(family.clone().into_boxed_str())]
+    };
+    println!(
+        "Reproduction of DATE'05 Table 1 — budget {} ms/instance, {} instances/family",
+        timeout_ms, seeds
+    );
+    println!();
+    let mut all_rows = Vec::new();
+    for fam in families {
+        println!("== family: {fam} ==");
+        let instances = family_instances(fam, seeds);
+        let rows = run_table(&instances, budget_ms(timeout_ms));
+        print!("{}", format_table(&rows));
+        println!();
+        all_rows.extend(rows);
+    }
+    if all_rows.len() > seeds as usize {
+        println!("== overall ==");
+        let counts = pbo_bench::count_solved(&all_rows);
+        print!("#Solved of {}: ", all_rows.len());
+        for kind in pbo_bench::SolverKind::ALL {
+            print!("{}={} ", kind.name(), counts[kind.name()]);
+        }
+        println!();
+    }
+}

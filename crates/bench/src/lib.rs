@@ -1,0 +1,249 @@
+//! Benchmark harness reproducing the DATE'05 evaluation.
+//!
+//! The paper's single table (Table 1) compares seven solver columns —
+//! PBS, Galena, CPLEX, and bsolo with four lower-bound configurations —
+//! over four benchmark families. This crate provides:
+//!
+//! * [`SolverKind`] — the seven columns, each mapped to the workspace
+//!   solver that reproduces its algorithm class;
+//! * [`family_instances`] — the four families, regenerated synthetically
+//!   (see `pbo_benchgen`) with ten seeded instances each;
+//! * [`run_table`] / [`format_table`] — the matrix runner and the
+//!   paper-style textual table (times for solved instances, `ub <v>` at
+//!   budget exhaustion, a `#Solved` summary row).
+//!
+//! The `table1` binary drives everything:
+//!
+//! ```text
+//! cargo run --release -p pbo-bench --bin table1 -- --family all --timeout-ms 5000
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::time::Duration;
+
+use pbo_benchgen::{AccSchedParams, GroutParams, PtlCmosParams, SynthesisParams};
+use pbo_core::Instance;
+use pbo_solver::{Bsolo, BsoloOptions, Budget, LbMethod, LinearSearch, MilpSolver, SolveResult};
+
+/// One column of Table 1.
+#[derive(Copy, Clone, PartialEq, Eq, Debug)]
+pub enum SolverKind {
+    /// PBS-like SAT linear search.
+    Pbs,
+    /// Galena-like SAT linear search (probing + cardinality cost cuts).
+    Galena,
+    /// Generic MILP branch-and-bound (the CPLEX stand-in).
+    Cplex,
+    /// bsolo without lower bounding ("plain").
+    BsoloPlain,
+    /// bsolo with the MIS bound.
+    BsoloMis,
+    /// bsolo with the Lagrangian bound.
+    BsoloLgr,
+    /// bsolo with the LP-relaxation bound.
+    BsoloLpr,
+}
+
+impl SolverKind {
+    /// All seven columns in the paper's order.
+    pub const ALL: [SolverKind; 7] = [
+        SolverKind::Pbs,
+        SolverKind::Galena,
+        SolverKind::Cplex,
+        SolverKind::BsoloPlain,
+        SolverKind::BsoloMis,
+        SolverKind::BsoloLgr,
+        SolverKind::BsoloLpr,
+    ];
+
+    /// Column header.
+    pub fn name(self) -> &'static str {
+        match self {
+            SolverKind::Pbs => "pbs",
+            SolverKind::Galena => "galena",
+            SolverKind::Cplex => "cplex",
+            SolverKind::BsoloPlain => "plain",
+            SolverKind::BsoloMis => "MIS",
+            SolverKind::BsoloLgr => "LGR",
+            SolverKind::BsoloLpr => "LPR",
+        }
+    }
+
+    /// Runs this solver on an instance under a budget.
+    pub fn run(self, instance: &Instance, budget: Budget) -> SolveResult {
+        match self {
+            SolverKind::Pbs => LinearSearch::pbs_like(budget).solve(instance),
+            SolverKind::Galena => LinearSearch::galena_like(budget).solve(instance),
+            SolverKind::Cplex => MilpSolver::new(budget).solve(instance),
+            SolverKind::BsoloPlain => {
+                Bsolo::new(BsoloOptions::with_lb(LbMethod::None).budget(budget)).solve(instance)
+            }
+            SolverKind::BsoloMis => {
+                Bsolo::new(BsoloOptions::with_lb(LbMethod::Mis).budget(budget)).solve(instance)
+            }
+            SolverKind::BsoloLgr => {
+                Bsolo::new(BsoloOptions::with_lb(LbMethod::Lagrangian).budget(budget))
+                    .solve(instance)
+            }
+            SolverKind::BsoloLpr => {
+                Bsolo::new(BsoloOptions::with_lb(LbMethod::Lpr).budget(budget)).solve(instance)
+            }
+        }
+    }
+}
+
+/// The benchmark families of Table 1.
+pub const FAMILIES: [&str; 4] = ["grout", "ptlcmos", "synthesis", "acc"];
+
+/// Generates the instances of one family (`seeds` instances).
+///
+/// # Panics
+///
+/// Panics on an unknown family name.
+pub fn family_instances(family: &str, seeds: u64) -> Vec<Instance> {
+    match family {
+        "grout" => (0..seeds)
+            .map(|s| {
+                GroutParams {
+                    width: 6,
+                    height: 6,
+                    nets: 22,
+                    paths_per_net: 6,
+                    capacity: 3,
+                    bend_penalty: 2,
+                }
+                .generate(s)
+            })
+            .collect(),
+        "ptlcmos" => (0..seeds)
+            .map(|s| PtlCmosParams { gates: 90, fanin: 2.2, ..PtlCmosParams::default() }.generate(s))
+            .collect(),
+        "synthesis" => (0..seeds)
+            .map(|s| {
+                SynthesisParams { primes: 70, minterms: 110, cover_density: 4.0, exclusions: 10, ..SynthesisParams::default() }
+                    .generate(s)
+            })
+            .collect(),
+        "acc" => (0..seeds)
+            .map(|s| AccSchedParams { teams: 10, home_away: true }.generate(s))
+            .collect(),
+        other => panic!("unknown family `{other}`"),
+    }
+}
+
+/// One row of the reproduced table.
+#[derive(Clone, Debug)]
+pub struct Row {
+    /// Instance name.
+    pub instance: String,
+    /// Results per solver, in [`SolverKind::ALL`] order.
+    pub cells: Vec<SolveResult>,
+}
+
+/// Runs the full solver matrix over a set of instances.
+pub fn run_table(instances: &[Instance], budget: Budget) -> Vec<Row> {
+    instances
+        .iter()
+        .map(|inst| Row {
+            instance: inst.name().to_string(),
+            cells: SolverKind::ALL.iter().map(|s| s.run(inst, budget)).collect(),
+        })
+        .collect()
+}
+
+/// Number of instances each solver solved to completion.
+pub fn count_solved(rows: &[Row]) -> BTreeMap<&'static str, usize> {
+    let mut counts = BTreeMap::new();
+    for (i, kind) in SolverKind::ALL.iter().enumerate() {
+        let solved = rows
+            .iter()
+            .filter(|r| {
+                matches!(
+                    r.cells[i].status,
+                    pbo_solver::SolveStatus::Optimal | pbo_solver::SolveStatus::Infeasible
+                )
+            })
+            .count();
+        counts.insert(kind.name(), solved);
+    }
+    counts
+}
+
+/// Formats rows the way the paper's Table 1 does.
+pub fn format_table(rows: &[Row]) -> String {
+    let mut out = String::new();
+    let _ = write!(out, "{:<24} {:>8}", "Benchmark", "Sol.");
+    for kind in SolverKind::ALL {
+        let _ = write!(out, " {:>12}", kind.name());
+    }
+    let _ = writeln!(out);
+    for row in rows {
+        // Best known cost across solvers as the "Sol." column.
+        let best = row
+            .cells
+            .iter()
+            .filter(|c| c.is_optimal())
+            .filter_map(|c| c.best_cost)
+            .min();
+        let sol = match best {
+            Some(v) => v.to_string(),
+            None => {
+                if row
+                    .cells
+                    .iter()
+                    .any(|c| c.status == pbo_solver::SolveStatus::Infeasible)
+                {
+                    "UNSAT".to_string()
+                } else {
+                    "-".to_string()
+                }
+            }
+        };
+        let _ = write!(out, "{:<24} {:>8}", row.instance, sol);
+        for cell in &row.cells {
+            let _ = write!(out, " {:>12}", cell.table_cell());
+        }
+        let _ = writeln!(out);
+    }
+    // #Solved summary row.
+    let counts = count_solved(rows);
+    let _ = write!(out, "{:<24} {:>8}", "#Solved", rows.len());
+    for kind in SolverKind::ALL {
+        let _ = write!(out, " {:>12}", counts[kind.name()]);
+    }
+    let _ = writeln!(out);
+    out
+}
+
+/// Convenience: time-limited budget in milliseconds.
+pub fn budget_ms(ms: u64) -> Budget {
+    Budget::time_limit(Duration::from_millis(ms))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn families_generate() {
+        for f in FAMILIES {
+            let insts = family_instances(f, 2);
+            assert_eq!(insts.len(), 2);
+        }
+    }
+
+    #[test]
+    fn table_runs_on_tiny_budget() {
+        let insts = family_instances("synthesis", 1);
+        let rows = run_table(&insts, Budget::conflict_limit(5));
+        assert_eq!(rows.len(), 1);
+        assert_eq!(rows[0].cells.len(), 7);
+        let text = format_table(&rows);
+        assert!(text.contains("#Solved"));
+        assert!(text.contains("LPR"));
+    }
+}

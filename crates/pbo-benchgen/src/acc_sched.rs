@@ -1,0 +1,177 @@
+//! Synthetic tournament-scheduling satisfaction instances (the
+//! `acc-tight:*` family of Table 1, originally Walser's ACC basketball
+//! scheduling 0-1 models).
+//!
+//! Pure pseudo-Boolean **satisfaction**: there is no cost function, so —
+//! as footnote (a) of Table 1 notes — the lower-bounding machinery is
+//! inert and all bsolo configurations behave identically. SAT-based
+//! solvers shine here; LP-driven branch-and-bound struggles because the
+//! zero objective gives the relaxation nothing to prune with.
+//!
+//! The model is a single round robin: every pair of teams meets exactly
+//! once, every team plays exactly once per round, plus optional
+//! home/away balance rows (general PB constraints) for tightness.
+
+use rand::Rng;
+use rand_chacha::rand_core::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+use pbo_core::{Instance, InstanceBuilder, Var};
+
+/// Parameters of the scheduling generator.
+#[derive(Clone, Debug)]
+pub struct AccSchedParams {
+    /// Number of teams (must be even, at least 4).
+    pub teams: usize,
+    /// Add home/away balance constraints.
+    pub home_away: bool,
+}
+
+impl Default for AccSchedParams {
+    fn default() -> AccSchedParams {
+        AccSchedParams { teams: 6, home_away: true }
+    }
+}
+
+impl AccSchedParams {
+    /// Generates a seeded instance.
+    ///
+    /// Variables `m[p][k]` = pair `p` (of `t*(t-1)/2`) meets in round `k`
+    /// (of `t-1`), plus one home/away variable per pair when enabled.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `teams` is odd or below 4.
+    pub fn generate(&self, seed: u64) -> Instance {
+        assert!(self.teams >= 4 && self.teams % 2 == 0, "teams must be even and >= 4");
+        let t = self.teams;
+        let rounds = t - 1;
+        let mut rng = ChaCha8Rng::seed_from_u64(seed ^ 0xacc);
+        let mut b = InstanceBuilder::new();
+
+        // Pair index map.
+        let mut pair_of = vec![vec![usize::MAX; t]; t];
+        let mut pairs = Vec::new();
+        for i in 0..t {
+            for j in i + 1..t {
+                pair_of[i][j] = pairs.len();
+                pairs.push((i, j));
+            }
+        }
+        // meet[p][k]
+        let meet: Vec<Vec<Var>> = (0..pairs.len()).map(|_| b.new_vars(rounds)).collect();
+
+        // Every pair meets exactly once.
+        for row in &meet {
+            b.add_exactly_one(row.iter().map(|v| v.positive()));
+        }
+        // Every team plays exactly once per round.
+        for team in 0..t {
+            for k in 0..rounds {
+                let mut games = Vec::new();
+                for other in 0..t {
+                    if other == team {
+                        continue;
+                    }
+                    let p = pair_of[team.min(other)][team.max(other)];
+                    games.push(meet[p][k].positive());
+                }
+                b.add_exactly_one(games);
+            }
+        }
+        if self.home_away {
+            // h[i][k] = team i plays at home in round k (every team plays
+            // every round, so the variable is always meaningful). This is
+            // the structure that makes the original ACC instances tight:
+            // home/away *patterns*, not just totals.
+            let h: Vec<Vec<Var>> = (0..t).map(|_| b.new_vars(rounds)).collect();
+            // When pair (i, j) meets in round k, exactly one is at home.
+            for (p, &(i, j)) in pairs.iter().enumerate() {
+                for k in 0..rounds {
+                    b.add_clause([
+                        meet[p][k].negative(),
+                        h[i][k].positive(),
+                        h[j][k].positive(),
+                    ]);
+                    b.add_clause([
+                        meet[p][k].negative(),
+                        h[i][k].negative(),
+                        h[j][k].negative(),
+                    ]);
+                }
+            }
+            // Near-balance: each team hosts between floor(r/2) and
+            // ceil(r/2) games over the tournament.
+            for hi in &h {
+                b.add_at_least((rounds / 2) as i64, hi.iter().map(|v| v.positive()));
+                b.add_at_most(rounds.div_ceil(2) as i64, hi.iter().map(|v| v.positive()));
+            }
+            // No three consecutive home games and no three consecutive
+            // away games (the classic ACC pattern constraints).
+            for hi in &h {
+                for w in hi.windows(3) {
+                    b.add_at_most(2, w.iter().map(|v| v.positive()));
+                    b.add_at_least(1, w.iter().map(|v| v.positive()));
+                }
+            }
+            // A few random "fixed fixtures" constraints for variety.
+            for _ in 0..t / 2 {
+                let p = rng.gen_range(0..pairs.len());
+                let k = rng.gen_range(0..rounds);
+                // Pair p does NOT meet in round k.
+                b.add_clause([meet[p][k].negative()]);
+            }
+        }
+        b.name(format!("accsched-t{}-s{}", t, seed));
+        b.build().expect("scheduling generator produces valid instances")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_per_seed() {
+        let p = AccSchedParams::default();
+        assert_eq!(p.generate(1), p.generate(1));
+    }
+
+    #[test]
+    fn is_pure_satisfaction() {
+        let inst = AccSchedParams::default().generate(0);
+        assert!(!inst.is_optimization());
+        assert!(inst.objective().is_none());
+    }
+
+    #[test]
+    fn round_robin_structure_counts() {
+        let p = AccSchedParams { teams: 4, home_away: false };
+        let inst = p.generate(0);
+        // 6 pairs * 3 rounds = 18 vars.
+        assert_eq!(inst.num_vars(), 18);
+        // 6 pair rows + 12 team-round rows, each exactly-one = 2 constraints.
+        assert_eq!(inst.num_constraints(), 2 * (6 + 12));
+    }
+
+    #[test]
+    fn known_round_robin_is_feasible() {
+        // The circle-method schedule for 4 teams satisfies the
+        // home_away=false model.
+        let p = AccSchedParams { teams: 4, home_away: false };
+        let inst = p.generate(0);
+        // Rounds: {01,23}, {02,13}, {03,12}; pair order: 01,02,03,12,13,23.
+        let schedule: &[(usize, usize)] = &[(0, 0), (1, 1), (2, 2), (3, 2), (4, 1), (5, 0)];
+        let mut vals = vec![false; inst.num_vars()];
+        for &(pair, round) in schedule {
+            vals[pair * 3 + round] = true;
+        }
+        assert!(inst.is_feasible(&vals));
+    }
+
+    #[test]
+    #[should_panic]
+    fn odd_team_count_panics() {
+        let _ = AccSchedParams { teams: 5, home_away: false }.generate(0);
+    }
+}

@@ -1,0 +1,233 @@
+//! Synthetic global-routing instances (the `grout-*` family of Table 1).
+//!
+//! The original `grout` benchmarks encode global routing as 0-1 ILP
+//! (Aloul et al.). This generator reproduces the structure: a routing
+//! grid with channel capacities, a set of two-pin nets, and a small menu
+//! of candidate paths per net (the two L-shapes plus Z-shaped detours).
+//! Selecting exactly one path per net is a one-hot constraint; channel
+//! capacities give `<=` cardinality rows over the paths crossing each
+//! grid edge; the objective minimizes total wirelength plus a bend
+//! penalty. The instances are lightly constrained and cost-dominated —
+//! the regime where lower bounding is decisive.
+
+use rand::Rng;
+use rand_chacha::rand_core::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+use pbo_core::{Instance, InstanceBuilder, Var};
+
+/// Parameters of the routing grid generator.
+#[derive(Clone, Debug)]
+pub struct GroutParams {
+    /// Grid width (columns of cells).
+    pub width: usize,
+    /// Grid height (rows of cells).
+    pub height: usize,
+    /// Number of two-pin nets to route.
+    pub nets: usize,
+    /// Candidate paths per net (2 L-shapes + detours), at least 2.
+    pub paths_per_net: usize,
+    /// Capacity of every grid edge (channel width).
+    pub capacity: i64,
+    /// Extra cost per bend (vias).
+    pub bend_penalty: i64,
+}
+
+impl Default for GroutParams {
+    fn default() -> GroutParams {
+        GroutParams {
+            width: 4,
+            height: 4,
+            nets: 8,
+            paths_per_net: 4,
+            capacity: 3,
+            bend_penalty: 2,
+        }
+    }
+}
+
+/// Id of the horizontal edge between cells `(x, y)` and `(x+1, y)`.
+/// Horizontal edges are numbered first; vertical edges follow with an
+/// offset of `(width - 1) * height`.
+fn h_edge_id(width: usize, x: usize, y: usize) -> usize {
+    y * (width - 1) + x
+}
+
+/// Expands a monotone staircase path through `corners` (inclusive cell
+/// coordinates) into edge ids, returning `(edges, bends)`.
+fn trace_path(
+    width: usize,
+    height: usize,
+    corners: &[(usize, usize)],
+) -> (Vec<usize>, usize) {
+    let h_edges = (width - 1) * height;
+    let mut edges = Vec::new();
+    let mut bends = 0usize;
+    let mut last_dir: Option<bool> = None; // true = horizontal
+    for w in corners.windows(2) {
+        let (x0, y0) = w[0];
+        let (x1, y1) = w[1];
+        if x0 != x1 {
+            let (a, b) = (x0.min(x1), x0.max(x1));
+            for x in a..b {
+                edges.push(h_edge_id(width, x, y0));
+            }
+            if last_dir == Some(false) {
+                bends += 1;
+            }
+            last_dir = Some(true);
+        }
+        if y0 != y1 {
+            let (a, b) = (y0.min(y1), y0.max(y1));
+            for y in a..b {
+                // Vertical edge between (x1, y) and (x1, y+1).
+                edges.push(h_edges + y * width + x1);
+            }
+            if last_dir == Some(true) {
+                bends += 1;
+            }
+            last_dir = Some(false);
+        }
+    }
+    (edges, bends)
+}
+
+impl GroutParams {
+    /// Generates a seeded instance.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the grid is smaller than 2x2 or there are fewer than 2
+    /// candidate paths per net.
+    pub fn generate(&self, seed: u64) -> Instance {
+        assert!(self.width >= 2 && self.height >= 2, "grid too small");
+        assert!(self.paths_per_net >= 2, "need at least the two L-shapes");
+        let mut rng = ChaCha8Rng::seed_from_u64(seed ^ 0x6e07);
+        let mut b = InstanceBuilder::new();
+
+        let h_edges = (self.width - 1) * self.height;
+        let v_edges = self.width * (self.height - 1);
+        let num_edges = h_edges + v_edges;
+        // paths_using[edge] = selection variables of paths crossing it.
+        let mut paths_using: Vec<Vec<Var>> = vec![Vec::new(); num_edges];
+        let mut objective: Vec<(i64, pbo_core::Lit)> = Vec::new();
+
+        for _ in 0..self.nets {
+            // Random distinct terminals with both coordinates differing so
+            // the two L-shapes are distinct.
+            let (sx, sy, tx, ty) = loop {
+                let sx = rng.gen_range(0..self.width);
+                let sy = rng.gen_range(0..self.height);
+                let tx = rng.gen_range(0..self.width);
+                let ty = rng.gen_range(0..self.height);
+                if sx != tx && sy != ty {
+                    break (sx, sy, tx, ty);
+                }
+            };
+            let mut candidates: Vec<(Vec<usize>, usize)> = Vec::new();
+            // Two L-shapes.
+            candidates.push(trace_path(self.width, self.height, &[(sx, sy), (tx, sy), (tx, ty)]));
+            candidates.push(trace_path(self.width, self.height, &[(sx, sy), (sx, ty), (tx, ty)]));
+            // Z-shaped detours through a random intermediate column/row.
+            while candidates.len() < self.paths_per_net {
+                if rng.gen_bool(0.5) {
+                    let mx = rng.gen_range(0..self.width);
+                    candidates.push(trace_path(
+                        self.width,
+                        self.height,
+                        &[(sx, sy), (mx, sy), (mx, ty), (tx, ty)],
+                    ));
+                } else {
+                    let my = rng.gen_range(0..self.height);
+                    candidates.push(trace_path(
+                        self.width,
+                        self.height,
+                        &[(sx, sy), (sx, my), (tx, my), (tx, ty)],
+                    ));
+                }
+            }
+            // One selection variable per candidate; exactly one chosen.
+            let vars = b.new_vars(candidates.len());
+            b.add_exactly_one(vars.iter().map(|v| v.positive()));
+            for (var, (edges, bends)) in vars.iter().zip(&candidates) {
+                let cost = edges.len() as i64 + self.bend_penalty * *bends as i64;
+                objective.push((cost.max(1), var.positive()));
+                for &e in edges {
+                    paths_using[e].push(*var);
+                }
+            }
+        }
+        // Channel capacities.
+        for users in paths_using.iter().filter(|u| u.len() as i64 > self.capacity) {
+            b.add_at_most(self.capacity, users.iter().map(|v| v.positive()));
+        }
+        b.minimize(objective);
+        b.name(format!(
+            "grout-{}x{}-n{}-s{}",
+            self.width, self.height, self.nets, seed
+        ));
+        b.build().expect("grout generator produces valid instances")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_per_seed() {
+        let p = GroutParams::default();
+        assert_eq!(p.generate(7), p.generate(7));
+        assert_ne!(p.generate(7), p.generate(8));
+    }
+
+    #[test]
+    fn structure_is_one_hot_plus_capacity() {
+        let p = GroutParams { nets: 5, ..GroutParams::default() };
+        let inst = p.generate(1);
+        assert!(inst.is_optimization());
+        assert_eq!(inst.num_vars(), 5 * p.paths_per_net);
+        // At least the 2 one-hot rows per net (>= and <=).
+        assert!(inst.num_constraints() >= 2 * 5);
+    }
+
+    #[test]
+    fn small_instances_are_satisfiable() {
+        // Generous capacity: picking any path combination is feasible, so
+        // the all-L-shape assignment must satisfy everything.
+        let p = GroutParams {
+            width: 3,
+            height: 3,
+            nets: 3,
+            paths_per_net: 2,
+            capacity: 3,
+            bend_penalty: 1,
+        };
+        for seed in 0..5 {
+            let inst = p.generate(seed);
+            let res = pbo_core::brute_force(&inst);
+            assert!(res.cost().is_some(), "seed {seed} infeasible");
+        }
+    }
+
+    #[test]
+    fn path_costs_reflect_length_and_bends() {
+        let p = GroutParams::default();
+        let inst = p.generate(3);
+        let obj = inst.objective().unwrap();
+        // Every path has positive cost (length >= 2 plus bends).
+        assert!(obj.terms().iter().all(|(c, _)| *c >= 2));
+    }
+
+    #[test]
+    fn trace_path_counts_edges() {
+        // L-shape from (0,0) to (2,1) via (2,0): 2 horizontal + 1 vertical.
+        let (edges, bends) = trace_path(3, 2, &[(0, 0), (2, 0), (2, 1)]);
+        assert_eq!(edges.len(), 3);
+        assert_eq!(bends, 1);
+        // Degenerate single-corner path has no edges.
+        let (edges, bends) = trace_path(3, 2, &[(1, 1)]);
+        assert!(edges.is_empty());
+        assert_eq!(bends, 0);
+    }
+}

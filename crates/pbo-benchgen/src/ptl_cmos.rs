@@ -1,0 +1,147 @@
+//! Synthetic mixed PTL/CMOS technology-mapping instances (the `9symml`,
+//! `C432`, ... family of Table 1, originally from Zhu's mixed PTL/CMOS
+//! synthesis benchmarks).
+//!
+//! Each gate of a random DAG netlist chooses between a pass-transistor
+//! (PTL) and a static CMOS implementation. PTL cells are smaller but
+//! degrade the signal: a PTL gate driving another PTL gate needs a
+//! buffer, and some gates (primary outputs, high-fanout drivers) are
+//! forced to CMOS. The objective minimizes total area. The instances are
+//! binate (implication chains), lightly constrained, and have a wide
+//! cost spread — the family where bsolo without good lower bounds times
+//! out with enormous `ub` values in Table 1.
+
+use rand::Rng;
+use rand_chacha::rand_core::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+use pbo_core::{Instance, InstanceBuilder};
+
+/// Parameters of the PTL/CMOS mapping generator.
+#[derive(Clone, Debug)]
+pub struct PtlCmosParams {
+    /// Number of gates in the netlist DAG.
+    pub gates: usize,
+    /// Average fanin per gate (edges to earlier gates).
+    pub fanin: f64,
+    /// Fraction of gates forced to CMOS (outputs/drivers).
+    pub forced_cmos_fraction: f64,
+    /// CMOS area range (inclusive).
+    pub cmos_area: (i64, i64),
+    /// PTL area range (inclusive); keep below CMOS for tension.
+    pub ptl_area: (i64, i64),
+    /// Buffer area inserted on PTL->PTL edges.
+    pub buffer_area: (i64, i64),
+}
+
+impl Default for PtlCmosParams {
+    fn default() -> PtlCmosParams {
+        PtlCmosParams {
+            gates: 24,
+            fanin: 1.8,
+            forced_cmos_fraction: 0.15,
+            cmos_area: (6, 18),
+            ptl_area: (2, 8),
+            buffer_area: (2, 6),
+        }
+    }
+}
+
+impl PtlCmosParams {
+    /// Generates a seeded instance.
+    ///
+    /// Variables: `x_i` = gate `i` implemented in PTL (`~x_i` = CMOS),
+    /// plus one buffer variable per PTL-sensitive edge.
+    pub fn generate(&self, seed: u64) -> Instance {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed ^ 0x971c);
+        let mut b = InstanceBuilder::new();
+        let gate = b.new_vars(self.gates);
+        let mut objective: Vec<(i64, pbo_core::Lit)> = Vec::new();
+
+        for g in &gate {
+            let cmos = rng.gen_range(self.cmos_area.0..=self.cmos_area.1);
+            let ptl = rng.gen_range(self.ptl_area.0..=self.ptl_area.1);
+            // Area: ptl * x + cmos * ~x.
+            objective.push((ptl, g.positive()));
+            objective.push((cmos, g.negative()));
+        }
+        // Random DAG edges i -> j with i < j; PTL driving PTL needs a
+        // buffer: x_i /\ x_j -> buf_ij.
+        for j in 1..self.gates {
+            let fanin = (rng.gen_range(0.0..2.0 * self.fanin)).round() as usize;
+            for _ in 0..fanin.max(1) {
+                let i = rng.gen_range(0..j);
+                let buf = b.new_var();
+                let area = rng.gen_range(self.buffer_area.0..=self.buffer_area.1);
+                objective.push((area, buf.positive()));
+                b.add_clause([gate[i].negative(), gate[j].negative(), buf.positive()]);
+            }
+        }
+        // Forced CMOS gates.
+        for g in &gate {
+            if rng.gen_bool(self.forced_cmos_fraction) {
+                b.add_clause([g.negative()]);
+            }
+        }
+        // A few mutual-exclusion rows (electrical constraints): at most 2
+        // PTL gates among small random groups.
+        let groups = self.gates / 6;
+        for _ in 0..groups {
+            let mut members = Vec::new();
+            for g in &gate {
+                if rng.gen_bool(4.0 / self.gates as f64) {
+                    members.push(g.positive());
+                }
+            }
+            if members.len() > 2 {
+                b.add_at_most(2, members);
+            }
+        }
+        b.minimize(objective);
+        b.name(format!("ptlcmos-g{}-s{}", self.gates, seed));
+        b.build().expect("ptl/cmos generator produces valid instances")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_per_seed() {
+        let p = PtlCmosParams::default();
+        assert_eq!(p.generate(3), p.generate(3));
+        assert_ne!(p.generate(3), p.generate(4));
+    }
+
+    #[test]
+    fn always_satisfiable_via_all_cmos() {
+        // All gates CMOS, all buffers off satisfies every constraint.
+        let p = PtlCmosParams { gates: 10, ..PtlCmosParams::default() };
+        for seed in 0..5 {
+            let inst = p.generate(seed);
+            let all_cmos = vec![false; inst.num_vars()];
+            assert!(inst.is_feasible(&all_cmos), "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn optimum_beats_all_cmos_baseline() {
+        let p = PtlCmosParams { gates: 7, fanin: 1.2, ..PtlCmosParams::default() };
+        let inst = p.generate(11);
+        assert!(inst.num_vars() <= 25, "keep brute force tractable");
+        let all_cmos_cost = inst.cost_of(&vec![false; inst.num_vars()]);
+        let opt = pbo_core::brute_force(&inst).cost().unwrap();
+        assert!(opt <= all_cmos_cost);
+    }
+
+    #[test]
+    fn objective_is_binate_area_model() {
+        let inst = PtlCmosParams::default().generate(0);
+        let obj = inst.objective().unwrap();
+        // After normalization each variable appears once; the CMOS side
+        // becomes an offset plus a cost on one polarity.
+        assert!(obj.offset() > 0, "CMOS/PTL trade-off folds into an offset");
+        assert!(!obj.terms().is_empty());
+    }
+}

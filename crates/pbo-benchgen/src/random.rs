@@ -1,0 +1,107 @@
+//! Unstructured random PB instances for tests, fuzzing and throughput
+//! benchmarks.
+
+use rand::Rng;
+use rand_chacha::rand_core::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+use pbo_core::{Instance, InstanceBuilder, Lit, RelOp};
+
+/// Parameters of the random-instance generator.
+#[derive(Clone, Debug)]
+pub struct RandomParams {
+    /// Number of variables.
+    pub vars: usize,
+    /// Number of constraints.
+    pub constraints: usize,
+    /// Literals per constraint (inclusive range).
+    pub arity: (usize, usize),
+    /// Coefficient range (inclusive).
+    pub coeff: (i64, i64),
+    /// Probability that a literal is positive.
+    pub positive_bias: f64,
+    /// Generate an objective (`false` = pure satisfaction).
+    pub optimization: bool,
+    /// Objective cost range (inclusive; zero costs allowed).
+    pub cost: (i64, i64),
+}
+
+impl Default for RandomParams {
+    fn default() -> RandomParams {
+        RandomParams {
+            vars: 20,
+            constraints: 30,
+            arity: (2, 5),
+            coeff: (1, 4),
+            positive_bias: 0.7,
+            optimization: true,
+            cost: (0, 9),
+        }
+    }
+}
+
+impl RandomParams {
+    /// Generates a seeded instance. The right-hand side of each
+    /// constraint is drawn from `[1, coefficient sum]`, so constraints
+    /// range from trivial to forcing.
+    pub fn generate(&self, seed: u64) -> Instance {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed ^ 0x7a2d);
+        let mut b = InstanceBuilder::new();
+        let vars = b.new_vars(self.vars);
+        for _ in 0..self.constraints {
+            let k = rng.gen_range(self.arity.0..=self.arity.1.min(self.vars));
+            let mut idxs: Vec<usize> = (0..self.vars).collect();
+            for i in 0..k {
+                let j = rng.gen_range(i..self.vars);
+                idxs.swap(i, j);
+            }
+            let terms: Vec<(i64, Lit)> = idxs[..k]
+                .iter()
+                .map(|&i| {
+                    (
+                        rng.gen_range(self.coeff.0..=self.coeff.1),
+                        vars[i].lit(rng.gen_bool(self.positive_bias)),
+                    )
+                })
+                .collect();
+            let maxw: i64 = terms.iter().map(|t| t.0).sum();
+            let rhs = rng.gen_range(1..=maxw);
+            b.add_linear(terms, RelOp::Ge, rhs);
+        }
+        if self.optimization {
+            b.minimize(
+                vars.iter()
+                    .map(|v| (rng.gen_range(self.cost.0..=self.cost.1), v.positive())),
+            );
+        }
+        b.name(format!("random-v{}-c{}-s{}", self.vars, self.constraints, seed));
+        b.build().expect("random generator produces valid instances")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_per_seed() {
+        let p = RandomParams::default();
+        assert_eq!(p.generate(2), p.generate(2));
+        assert_ne!(p.generate(2), p.generate(3));
+    }
+
+    #[test]
+    fn respects_sizes() {
+        let p = RandomParams { vars: 12, constraints: 7, ..RandomParams::default() };
+        let inst = p.generate(0);
+        assert_eq!(inst.num_vars(), 12);
+        assert!(inst.num_constraints() <= 7, "normalization may drop rows");
+        assert!(inst.is_optimization() || inst.objective().is_none());
+    }
+
+    #[test]
+    fn satisfaction_mode_has_no_objective() {
+        let p = RandomParams { optimization: false, ..RandomParams::default() };
+        assert!(p.generate(0).objective().is_none());
+    }
+}

@@ -1,0 +1,140 @@
+//! Synthetic two-level minimization covering instances (the MCNC
+//! `5xp1.b`, `9sym.b`, ... family of Table 1).
+//!
+//! Two-level logic minimization reduces to (binate) covering: choose a
+//! minimum-cost subset of prime implicants such that every minterm is
+//! covered, subject to exclusion rows between incompatible primes. This
+//! generator emits exactly that shape: unate cover rows (clauses over
+//! positive prime-selection literals), optional binate rows (exclusions,
+//! from the "don't care"/complement structure), and per-prime costs
+//! proportional to literal counts.
+
+use rand::Rng;
+use rand_chacha::rand_core::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+use pbo_core::{Instance, InstanceBuilder};
+
+/// Parameters of the covering generator.
+#[derive(Clone, Debug)]
+pub struct SynthesisParams {
+    /// Number of prime implicants (columns / variables).
+    pub primes: usize,
+    /// Number of minterms (cover rows).
+    pub minterms: usize,
+    /// Average number of primes covering each minterm.
+    pub cover_density: f64,
+    /// Number of binate exclusion rows (`~p \/ ~q`).
+    pub exclusions: usize,
+    /// Prime cost range (literal counts).
+    pub cost: (i64, i64),
+}
+
+impl Default for SynthesisParams {
+    fn default() -> SynthesisParams {
+        SynthesisParams {
+            primes: 20,
+            minterms: 25,
+            cover_density: 3.0,
+            exclusions: 4,
+            cost: (1, 9),
+        }
+    }
+}
+
+impl SynthesisParams {
+    /// Generates a seeded instance.
+    pub fn generate(&self, seed: u64) -> Instance {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed ^ 0x575e);
+        let mut b = InstanceBuilder::new();
+        let primes = b.new_vars(self.primes);
+
+        // Cover rows: every minterm covered by >= 1 chosen prime. Ensure
+        // at least two covering primes per minterm so exclusions rarely
+        // make the instance infeasible.
+        for _ in 0..self.minterms {
+            let mut covering = Vec::new();
+            for p in &primes {
+                if rng.gen_bool((self.cover_density / self.primes as f64).min(1.0)) {
+                    covering.push(p.positive());
+                }
+            }
+            while covering.len() < 2 {
+                let p = primes[rng.gen_range(0..self.primes)].positive();
+                if !covering.contains(&p) {
+                    covering.push(p);
+                }
+            }
+            b.add_clause(covering);
+        }
+        // Binate exclusion rows between random prime pairs.
+        for _ in 0..self.exclusions {
+            let i = rng.gen_range(0..self.primes);
+            let mut j = rng.gen_range(0..self.primes);
+            while j == i {
+                j = rng.gen_range(0..self.primes);
+            }
+            b.add_clause([primes[i].negative(), primes[j].negative()]);
+        }
+        b.minimize(
+            primes
+                .iter()
+                .map(|p| (rng.gen_range(self.cost.0..=self.cost.1), p.positive())),
+        );
+        b.name(format!("synth-p{}-m{}-s{}", self.primes, self.minterms, seed));
+        b.build().expect("synthesis generator produces valid instances")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_per_seed() {
+        let p = SynthesisParams::default();
+        assert_eq!(p.generate(5), p.generate(5));
+        assert_ne!(p.generate(5), p.generate(6));
+    }
+
+    #[test]
+    fn rows_are_covering_shaped() {
+        let p = SynthesisParams::default();
+        let inst = p.generate(0);
+        assert!(inst.is_optimization());
+        assert_eq!(inst.num_vars(), p.primes);
+        // Every constraint is a clause (unate cover or binate exclusion).
+        assert!(inst
+            .constraints()
+            .iter()
+            .all(|c| c.class() == pbo_core::ConstraintClass::Clause));
+    }
+
+    #[test]
+    fn small_instances_usually_satisfiable() {
+        let p = SynthesisParams {
+            primes: 10,
+            minterms: 8,
+            exclusions: 2,
+            ..SynthesisParams::default()
+        };
+        let mut sat = 0;
+        for seed in 0..6 {
+            if pbo_core::brute_force(&p.generate(seed)).cost().is_some() {
+                sat += 1;
+            }
+        }
+        assert!(sat >= 5, "only {sat}/6 satisfiable");
+    }
+
+    #[test]
+    fn costs_in_declared_range() {
+        let p = SynthesisParams::default();
+        let inst = p.generate(9);
+        let obj = inst.objective().unwrap();
+        assert!(obj
+            .terms()
+            .iter()
+            .all(|(c, _)| (p.cost.0..=p.cost.1).contains(c)));
+    }
+}

@@ -1,0 +1,482 @@
+//! Lower bounding by Lagrangian relaxation (sec. 3.2 of the paper).
+//!
+//! The residual constraints `A x >= b` are dualized into the objective
+//! with multipliers `mu >= 0`:
+//!
+//! ```text
+//! L(mu) = min_{x in {0,1}^n}  c x + mu (b - A x)
+//!       = mu b + sum_j min(0, alpha_j),     alpha_j = c_j - mu A_j
+//! ```
+//!
+//! By the Lagrangian bounding principle, `L(mu)` is a lower bound on the
+//! residual optimum for *any* `mu >= 0`; `ceil(L)` therefore prunes like
+//! the LP bound. The multiplier vector is improved by projected
+//! subgradient ascent with Held–Karp style step halving, and is
+//! warm-started across search nodes (the paper observes LGR's weakness is
+//! slow convergence — warm starting is what makes it usable at all).
+//!
+//! The bound-conflict explanation (sec. 4.3) is built from the
+//! constraints with nonzero multipliers, refined by the `alpha_j` filter:
+//! an assignment whose flip could only *increase* `L` is not responsible
+//! for the bound and is excluded from `omega_pl`.
+
+use std::collections::HashMap;
+
+use pbo_core::{Lit, Value};
+
+use crate::subproblem::Subproblem;
+use crate::{LbOutcome, LowerBound};
+
+/// Tuning knobs for the subgradient ascent.
+#[derive(Clone, Debug)]
+pub struct LagrangianConfig {
+    /// Maximum subgradient iterations per bound computation.
+    pub max_iterations: usize,
+    /// Initial step-length multiplier (Held–Karp `lambda`).
+    pub initial_lambda: f64,
+    /// Halve `lambda` after this many non-improving iterations.
+    pub halving_patience: usize,
+    /// Stop when `lambda` falls below this value.
+    pub min_lambda: f64,
+    /// Treat multipliers below this as zero when building explanations.
+    pub mu_tolerance: f64,
+    /// Apply the sec. 4.3 `alpha_j` filter to shrink `omega_pl`.
+    pub alpha_filter: bool,
+}
+
+impl Default for LagrangianConfig {
+    fn default() -> LagrangianConfig {
+        LagrangianConfig {
+            max_iterations: 60,
+            initial_lambda: 2.0,
+            halving_patience: 4,
+            min_lambda: 1e-3,
+            mu_tolerance: 1e-7,
+            alpha_filter: true,
+        }
+    }
+}
+
+/// Lagrangian-relaxation lower bound with warm-started multipliers.
+///
+/// # Examples
+///
+/// ```
+/// use pbo_core::{Assignment, InstanceBuilder};
+/// use pbo_bounds::{LagrangianBound, LowerBound, Subproblem};
+///
+/// let mut b = InstanceBuilder::new();
+/// let v = b.new_vars(2);
+/// b.add_clause([v[0].positive(), v[1].positive()]);
+/// b.minimize([(2, v[0].positive()), (3, v[1].positive())]);
+/// let inst = b.build()?;
+/// let a = Assignment::new(2);
+/// let out = LagrangianBound::new(inst.num_constraints())
+///     .lower_bound(&Subproblem::new(&inst, &a), None);
+/// assert_eq!(out.bound, 2); // optimal multiplier mu = 2 proves cost >= 2
+/// # Ok::<(), pbo_core::BuildError>(())
+/// ```
+#[derive(Clone, Debug)]
+pub struct LagrangianBound {
+    config: LagrangianConfig,
+    /// Multipliers indexed by original constraint index (warm start).
+    mu: Vec<f64>,
+}
+
+impl LagrangianBound {
+    /// Creates the bound procedure for an instance with
+    /// `num_constraints` constraints, multipliers initialized to zero.
+    pub fn new(num_constraints: usize) -> LagrangianBound {
+        LagrangianBound {
+            config: LagrangianConfig::default(),
+            mu: vec![0.0; num_constraints],
+        }
+    }
+
+    /// Creates the bound procedure with explicit configuration.
+    pub fn with_config(num_constraints: usize, config: LagrangianConfig) -> LagrangianBound {
+        LagrangianBound { config, mu: vec![0.0; num_constraints] }
+    }
+
+    /// Read access to the current multipliers (for diagnostics/ablation).
+    pub fn multipliers(&self) -> &[f64] {
+        &self.mu
+    }
+}
+
+impl LowerBound for LagrangianBound {
+    fn name(&self) -> &'static str {
+        "lgr"
+    }
+
+    fn lower_bound(&mut self, sub: &Subproblem<'_>, upper: Option<i64>) -> LbOutcome {
+        let assignment = sub.assignment();
+        let instance = sub.instance();
+
+        // --- Build the residual problem in variable space. ---
+        // Local dense indices for free variables appearing anywhere
+        // relevant (active constraints or objective).
+        let mut local: HashMap<usize, usize> = HashMap::new();
+        let mut local_vars: Vec<usize> = Vec::new();
+        let index_of = |v: usize, local: &mut HashMap<usize, usize>,
+                        local_vars: &mut Vec<usize>| {
+            *local.entry(v).or_insert_with(|| {
+                local_vars.push(v);
+                local_vars.len() - 1
+            })
+        };
+
+        // Residual cost vector: cost c on literal l becomes +c on the
+        // variable (positive l) or a constant c plus -c on the variable
+        // (negative l).
+        let mut cost: Vec<f64> = Vec::new();
+        let mut constant = 0i64;
+        if let Some(obj) = instance.objective() {
+            for &(c, l) in obj.terms() {
+                if assignment.lit_value(l) != Value::Unassigned {
+                    continue;
+                }
+                let li = index_of(l.var().index(), &mut local, &mut local_vars);
+                if li >= cost.len() {
+                    cost.resize(li + 1, 0.0);
+                }
+                if l.is_positive() {
+                    cost[li] += c as f64;
+                } else {
+                    constant += c;
+                    cost[li] -= c as f64;
+                }
+            }
+        }
+
+        // Rows: coefficient lists over local vars plus adjusted rhs.
+        let mut rows: Vec<(usize, Vec<(usize, f64)>, f64)> = Vec::new();
+        for ac in sub.active() {
+            let mut terms = Vec::with_capacity(ac.free_terms.len());
+            let mut rhs = ac.residual_rhs as f64;
+            for t in &ac.free_terms {
+                let li = index_of(t.lit.var().index(), &mut local, &mut local_vars);
+                if li >= cost.len() {
+                    cost.resize(li + 1, 0.0);
+                }
+                if t.lit.is_positive() {
+                    terms.push((li, t.coeff as f64));
+                } else {
+                    // a * ~x = a - a*x : constant a moves into the rhs.
+                    terms.push((li, -(t.coeff as f64)));
+                    rhs -= t.coeff as f64;
+                }
+            }
+            rows.push((ac.index, terms, rhs));
+        }
+        let nv = cost.len().max(local_vars.len());
+        cost.resize(nv, 0.0);
+
+        let base = sub.path_cost() + constant;
+
+        // --- Projected subgradient ascent on L(mu). ---
+        let mut mu: Vec<f64> = rows.iter().map(|&(orig, _, _)| self.mu[orig]).collect();
+        let mut best_l = f64::NEG_INFINITY;
+        let mut best_mu = mu.clone();
+        let mut lambda = self.config.initial_lambda;
+        let mut stale = 0usize;
+        let mut alpha = vec![0.0f64; nv];
+        let target_gap = upper.map(|u| (u - base) as f64);
+
+        for _ in 0..self.config.max_iterations.max(1) {
+            // alpha_j = c_j - sum_i mu_i a_ij ; L = mu.b + sum min(0, alpha).
+            alpha.copy_from_slice(&cost);
+            let mut l_val = 0.0;
+            for (r, (_, terms, rhs)) in rows.iter().enumerate() {
+                l_val += mu[r] * rhs;
+                for &(j, a) in terms {
+                    alpha[j] -= mu[r] * a;
+                }
+            }
+            for &a in &alpha {
+                if a < 0.0 {
+                    l_val += a;
+                }
+            }
+            if l_val > best_l + 1e-12 {
+                best_l = l_val;
+                best_mu.copy_from_slice(&mu);
+                stale = 0;
+            } else {
+                stale += 1;
+                if stale >= self.config.halving_patience {
+                    lambda *= 0.5;
+                    stale = 0;
+                    if lambda < self.config.min_lambda {
+                        break;
+                    }
+                }
+            }
+            // Early exit once the bound prunes.
+            if let Some(gap) = target_gap {
+                if best_l >= gap {
+                    break;
+                }
+            }
+            // Subgradient g = b - A x(mu) with x_j = [alpha_j < 0].
+            let mut norm = 0.0;
+            let mut g = vec![0.0f64; rows.len()];
+            for (r, (_, terms, rhs)) in rows.iter().enumerate() {
+                let mut act = 0.0;
+                for &(j, a) in terms {
+                    if alpha[j] < 0.0 {
+                        act += a;
+                    }
+                }
+                g[r] = rhs - act;
+                norm += g[r] * g[r];
+            }
+            if norm < 1e-12 {
+                break; // relaxed solution feasible: L is locally maximal
+            }
+            let target = match target_gap {
+                Some(gap) if gap > best_l => gap,
+                _ => best_l.abs().max(1.0) * 0.05 + best_l + 1.0,
+            };
+            let step = lambda * (target - l_val).max(1e-3) / norm;
+            for (r, gr) in g.iter().enumerate() {
+                mu[r] = (mu[r] + step * gr).max(0.0);
+            }
+        }
+
+        // Persist the best multipliers for warm starting.
+        for (r, &(orig, _, _)) in rows.iter().enumerate() {
+            self.mu[orig] = best_mu[r];
+        }
+
+        // Note: L may legitimately be negative (negative variable-space
+        // costs arise from objective terms on negative literals), so the
+        // ceiling must not be clamped to zero.
+        let bound = if best_l.is_finite() {
+            base + (best_l - 1e-9).ceil() as i64
+        } else {
+            base
+        };
+
+        // --- Explanation: S = { rows with mu_i > 0 } (sec. 4.3). ---
+        let s_rows: Vec<usize> = rows
+            .iter()
+            .enumerate()
+            .filter(|(r, _)| best_mu[*r] > self.config.mu_tolerance)
+            .map(|(_, (orig, _, _))| *orig)
+            .collect();
+        let mut explanation: Vec<Lit> = Vec::new();
+        // alpha for *assigned* variables, needed by the filter: computed
+        // over the original constraints in S in variable space.
+        let mut assigned_alpha: HashMap<usize, f64> = HashMap::new();
+        if self.config.alpha_filter {
+            for (r, &(orig, _, _)) in rows.iter().enumerate() {
+                if best_mu[r] <= self.config.mu_tolerance {
+                    continue;
+                }
+                for t in instance.constraints()[orig].terms() {
+                    if assignment.lit_value(t.lit) == Value::Unassigned {
+                        continue;
+                    }
+                    let v = t.lit.var().index();
+                    let coeff = if t.lit.is_positive() {
+                        t.coeff as f64
+                    } else {
+                        -(t.coeff as f64)
+                    };
+                    *assigned_alpha.entry(v).or_insert_with(|| {
+                        // Start from the variable-space objective cost.
+                        instance.objective().map_or(0.0, |o| {
+                            o.term_of_var(t.lit.var()).map_or(0.0, |(c, l)| {
+                                if l.is_positive() {
+                                    c as f64
+                                } else {
+                                    -(c as f64)
+                                }
+                            })
+                        })
+                    }) -= best_mu[r] * coeff;
+                }
+            }
+        }
+        for &orig in &s_rows {
+            for l in sub.false_literals_of(orig) {
+                if self.config.alpha_filter {
+                    let v = l.var();
+                    let a = assigned_alpha.get(&v.index()).copied().unwrap_or(0.0);
+                    let x_is_one = assignment.value(v) == Value::True;
+                    // sec 4.3: x_j = 0 with alpha_j > 0 (raising it would
+                    // raise L) or x_j = 1 with alpha_j < 0: not responsible.
+                    if (!x_is_one && a > 1e-9) || (x_is_one && a < -1e-9) {
+                        continue;
+                    }
+                }
+                explanation.push(l);
+            }
+        }
+        explanation.sort();
+        explanation.dedup();
+        LbOutcome::bound(bound, explanation)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pbo_core::{brute_force, Assignment, InstanceBuilder, Var};
+
+    #[test]
+    fn single_clause_bound_reaches_cheapest_literal() {
+        let mut b = InstanceBuilder::new();
+        let v = b.new_vars(2);
+        b.add_clause([v[0].positive(), v[1].positive()]);
+        b.minimize([(2, v[0].positive()), (3, v[1].positive())]);
+        let inst = b.build().unwrap();
+        let a = Assignment::new(2);
+        let out = LagrangianBound::new(inst.num_constraints())
+            .lower_bound(&Subproblem::new(&inst, &a), None);
+        assert_eq!(out.bound, 2);
+        assert!(!out.infeasible);
+    }
+
+    #[test]
+    fn cardinality_constraint_bound() {
+        // at least 2 of 3, costs 1,2,3: optimum 3, LGR should reach >= 2.
+        let mut b = InstanceBuilder::new();
+        let v = b.new_vars(3);
+        b.add_at_least(2, v.iter().map(|x| x.positive()));
+        b.minimize(v.iter().enumerate().map(|(i, x)| ((i + 1) as i64, x.positive())));
+        let inst = b.build().unwrap();
+        let a = Assignment::new(3);
+        let out = LagrangianBound::new(inst.num_constraints())
+            .lower_bound(&Subproblem::new(&inst, &a), None);
+        assert!(out.bound >= 2, "bound {} too weak", out.bound);
+        assert!(out.bound <= 3, "bound {} exceeds optimum", out.bound);
+    }
+
+    #[test]
+    fn bound_never_exceeds_optimum_randomized() {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(0x161);
+        for round in 0..60 {
+            let n = rng.gen_range(3..9);
+            let mut b = InstanceBuilder::new();
+            let vars = b.new_vars(n);
+            for _ in 0..rng.gen_range(2..8) {
+                let k = rng.gen_range(1..=3.min(n));
+                let mut idxs: Vec<usize> = (0..n).collect();
+                for i in 0..k {
+                    let j = rng.gen_range(i..n);
+                    idxs.swap(i, j);
+                }
+                let terms: Vec<(i64, pbo_core::Lit)> = idxs[..k]
+                    .iter()
+                    .map(|&i| (rng.gen_range(1..4), vars[i].lit(rng.gen_bool(0.7))))
+                    .collect();
+                let maxw: i64 = terms.iter().map(|t| t.0).sum();
+                b.add_linear(terms, pbo_core::RelOp::Ge, rng.gen_range(1..=maxw));
+            }
+            b.minimize(vars.iter().map(|v| (rng.gen_range(0..6), v.positive())));
+            let inst = b.build().unwrap();
+            let Some(opt) = brute_force(&inst).cost() else { continue };
+            let a = Assignment::new(n);
+            let out = LagrangianBound::new(inst.num_constraints())
+                .lower_bound(&Subproblem::new(&inst, &a), None);
+            assert!(!out.infeasible, "round {round}");
+            assert!(
+                out.bound <= opt,
+                "round {round}: LGR bound {} exceeds optimum {opt}",
+                out.bound
+            );
+        }
+    }
+
+    #[test]
+    fn bound_valid_under_partial_assignment_randomized() {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(0x162);
+        for round in 0..40 {
+            let n = rng.gen_range(4..9);
+            let mut b = InstanceBuilder::new();
+            let vars = b.new_vars(n);
+            for _ in 0..rng.gen_range(2..6) {
+                let k = rng.gen_range(2..=3.min(n));
+                let mut idxs: Vec<usize> = (0..n).collect();
+                for i in 0..k {
+                    let j = rng.gen_range(i..n);
+                    idxs.swap(i, j);
+                }
+                b.add_at_least(1, idxs[..k].iter().map(|&i| vars[i].lit(rng.gen_bool(0.8))));
+            }
+            b.minimize(vars.iter().map(|v| (rng.gen_range(0..5), v.positive())));
+            let inst = b.build().unwrap();
+            // Partial assignment on the first variable.
+            let mut a = Assignment::new(n);
+            a.assign(Var::new(0), rng.gen_bool(0.5));
+            // Best completion cost by enumeration.
+            let mut best: Option<i64> = None;
+            for mask in 0u64..(1 << (n - 1)) {
+                let mut vals = vec![false; n];
+                vals[0] = a.value(Var::new(0)) == pbo_core::Value::True;
+                for i in 1..n {
+                    vals[i] = (mask >> (i - 1)) & 1 == 1;
+                }
+                if inst.is_feasible(&vals) {
+                    let c = inst.cost_of(&vals);
+                    best = Some(best.map_or(c, |b: i64| b.min(c)));
+                }
+            }
+            let Some(opt) = best else { continue };
+            let out = LagrangianBound::new(inst.num_constraints())
+                .lower_bound(&Subproblem::new(&inst, &a), None);
+            assert!(
+                out.bound <= opt,
+                "round {round}: LGR bound {} exceeds completion optimum {opt}",
+                out.bound
+            );
+        }
+    }
+
+    #[test]
+    fn warm_start_reuses_multipliers() {
+        let mut b = InstanceBuilder::new();
+        let v = b.new_vars(2);
+        b.add_clause([v[0].positive(), v[1].positive()]);
+        b.minimize([(2, v[0].positive()), (3, v[1].positive())]);
+        let inst = b.build().unwrap();
+        let a = Assignment::new(2);
+        let mut lgr = LagrangianBound::new(inst.num_constraints());
+        let _ = lgr.lower_bound(&Subproblem::new(&inst, &a), None);
+        assert!(lgr.multipliers()[0] > 0.0, "multiplier should be persisted");
+        // Second call starts from the good multiplier and must not regress.
+        let out = lgr.lower_bound(&Subproblem::new(&inst, &a), None);
+        assert_eq!(out.bound, 2);
+    }
+
+    #[test]
+    fn explanation_mentions_false_literals_of_active_rows() {
+        let mut b = InstanceBuilder::new();
+        let v = b.new_vars(3);
+        b.add_clause([v[0].positive(), v[1].positive(), v[2].positive()]);
+        b.minimize([(5, v[1].positive()), (5, v[2].positive())]);
+        let inst = b.build().unwrap();
+        let mut a = Assignment::new(3);
+        a.assign(Var::new(0), false);
+        let out = LagrangianBound::new(inst.num_constraints())
+            .lower_bound(&Subproblem::new(&inst, &a), None);
+        assert!(out.bound >= 5);
+        assert!(out.explanation.contains(&v[0].positive()), "{:?}", out.explanation);
+    }
+
+    #[test]
+    fn pure_satisfaction_gives_zero_bound() {
+        let mut b = InstanceBuilder::new();
+        let v = b.new_vars(2);
+        b.add_clause([v[0].positive(), v[1].positive()]);
+        let inst = b.build().unwrap();
+        let a = Assignment::new(2);
+        let out = LagrangianBound::new(inst.num_constraints())
+            .lower_bound(&Subproblem::new(&inst, &a), None);
+        assert_eq!(out.bound, 0);
+    }
+}

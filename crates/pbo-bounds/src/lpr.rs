@@ -1,0 +1,326 @@
+//! Lower bounding by linear-programming relaxation (sec. 3.1 of the
+//! paper) with zero-slack explanations (sec. 4.2).
+//!
+//! The relaxation `min cx, Ax >= b, 0 <= x <= 1` is built once per
+//! instance in variable space; at each search node the current variable
+//! fixings become bound changes and the dual simplex re-optimizes from
+//! the previous basis. `ceil(z_lpr)` is the bound. The explanation
+//! `omega_pl` is eq. 9: the false literals of the constraints whose slack
+//! is zero in the LP solution (union the constraints with nonzero duals,
+//! which complementary slackness places among the tight ones — the union
+//! guards against tolerance mismatches). If the relaxation is infeasible
+//! the Farkas rows play the role of `S`.
+
+use pbo_core::{Instance, Lit};
+use pbo_lp::{DualSimplex, LpProblem, LpStatus};
+
+use crate::subproblem::Subproblem;
+use crate::{LbOutcome, LowerBound};
+
+/// LP-relaxation lower bound with a warm-started dual simplex.
+///
+/// # Examples
+///
+/// ```
+/// use pbo_core::{Assignment, InstanceBuilder};
+/// use pbo_bounds::{LowerBound, LprBound, Subproblem};
+///
+/// let mut b = InstanceBuilder::new();
+/// let v = b.new_vars(3);
+/// b.add_at_least(2, v.iter().map(|x| x.positive()));
+/// b.minimize(v.iter().map(|x| (3, x.positive())));
+/// let inst = b.build()?;
+/// let a = Assignment::new(3);
+/// let mut lpr = LprBound::new(&inst);
+/// // LP optimum is 6 (two variables at 1... or any mass 2): ceil(6) = 6.
+/// assert_eq!(lpr.lower_bound(&Subproblem::new(&inst, &a), None).bound, 6);
+/// # Ok::<(), pbo_core::BuildError>(())
+/// ```
+#[derive(Debug)]
+pub struct LprBound {
+    simplex: DualSimplex,
+    cached: Vec<Option<bool>>,
+    /// Constant folded out of the variable-space objective (objective
+    /// offset plus the constants of negative-literal cost terms).
+    const_shift: f64,
+    /// The fractional solution of the most recent optimal solve, for
+    /// LP-guided branching (sec. 5).
+    last_fractional: Vec<f64>,
+}
+
+impl LprBound {
+    /// Builds the relaxation of `instance`.
+    pub fn new(instance: &Instance) -> LprBound {
+        let n = instance.num_vars();
+        let mut p = LpProblem::new(n);
+        let mut const_shift = 0.0;
+        if let Some(obj) = instance.objective() {
+            const_shift += obj.offset() as f64;
+            let mut costs = vec![0.0f64; n];
+            for &(c, l) in obj.terms() {
+                if l.is_positive() {
+                    costs[l.var().index()] += c as f64;
+                } else {
+                    // c * ~x = c - c*x
+                    const_shift += c as f64;
+                    costs[l.var().index()] -= c as f64;
+                }
+            }
+            for (j, &c) in costs.iter().enumerate() {
+                if c != 0.0 {
+                    p.set_cost(j, c);
+                }
+            }
+        }
+        for c in instance.constraints() {
+            let mut terms = Vec::with_capacity(c.len());
+            let mut rhs = c.rhs() as f64;
+            for t in c.terms() {
+                if t.lit.is_positive() {
+                    terms.push((t.lit.var().index(), t.coeff as f64));
+                } else {
+                    // a * ~x = a - a*x : constant moves into the rhs.
+                    terms.push((t.lit.var().index(), -(t.coeff as f64)));
+                    rhs -= t.coeff as f64;
+                }
+            }
+            p.add_row_ge(&terms, rhs);
+        }
+        LprBound {
+            simplex: DualSimplex::new(&p),
+            cached: vec![None; n],
+            const_shift,
+            last_fractional: vec![0.0; n],
+        }
+    }
+
+    /// The primal values of the last optimal LP solve, indexed by
+    /// variable — the input to LP-guided branching (sec. 5: branch on the
+    /// variable closest to 0.5).
+    pub fn last_solution(&self) -> &[f64] {
+        &self.last_fractional
+    }
+
+    /// Total simplex iterations spent so far (for the ablation tables).
+    pub fn simplex_iterations(&self) -> u64 {
+        self.simplex.total_iterations
+    }
+
+    fn sync_bounds(&mut self, sub: &Subproblem<'_>) {
+        let assignment = sub.assignment();
+        for v in 0..self.cached.len() {
+            let now = assignment.value(pbo_core::Var::new(v)).to_bool();
+            if now != self.cached[v] {
+                match now {
+                    Some(true) => self.simplex.set_var_bounds(v, 1.0, 1.0),
+                    Some(false) => self.simplex.set_var_bounds(v, 0.0, 0.0),
+                    None => self.simplex.set_var_bounds(v, 0.0, 1.0),
+                }
+                self.cached[v] = now;
+            }
+        }
+    }
+
+    fn explanation_from_rows(sub: &Subproblem<'_>, rows: &[usize]) -> Vec<Lit> {
+        let mut out: Vec<Lit> = Vec::new();
+        for &i in rows {
+            out.extend(sub.false_literals_of(i));
+        }
+        out.sort();
+        out.dedup();
+        out
+    }
+}
+
+impl LowerBound for LprBound {
+    fn name(&self) -> &'static str {
+        "lpr"
+    }
+
+    fn lower_bound(&mut self, sub: &Subproblem<'_>, _upper: Option<i64>) -> LbOutcome {
+        self.sync_bounds(sub);
+        let sol = self.simplex.solve();
+        match sol.status {
+            LpStatus::Optimal => {
+                let z = sol.objective + self.const_shift;
+                let bound = (z - 1e-6).ceil() as i64;
+                self.last_fractional.copy_from_slice(&sol.x);
+                // S = tight rows, union rows with nonzero dual (eq. 9).
+                let mut s: Vec<usize> = sol.tight_rows.clone();
+                for (i, &y) in sol.duals.iter().enumerate() {
+                    if y.abs() > 1e-7 {
+                        s.push(i);
+                    }
+                }
+                s.sort_unstable();
+                s.dedup();
+                LbOutcome::bound(bound, Self::explanation_from_rows(sub, &s))
+            }
+            LpStatus::Infeasible => {
+                LbOutcome::infeasible(Self::explanation_from_rows(sub, &sol.farkas_rows))
+            }
+            LpStatus::IterationLimit => {
+                // Sound fallback: no pruning information.
+                LbOutcome::bound(sub.path_cost(), Vec::new())
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pbo_core::{brute_force, Assignment, InstanceBuilder, Var};
+
+    #[test]
+    fn exact_on_integral_relaxation() {
+        let mut b = InstanceBuilder::new();
+        let v = b.new_vars(2);
+        b.add_clause([v[0].positive()]);
+        b.minimize([(4, v[0].positive()), (1, v[1].positive())]);
+        let inst = b.build().unwrap();
+        let a = Assignment::new(2);
+        let out = LprBound::new(&inst).lower_bound(&Subproblem::new(&inst, &a), None);
+        assert_eq!(out.bound, 4);
+    }
+
+    #[test]
+    fn ceiling_tightens_fractional_relaxation() {
+        // at least 1 of {x1,x2} and 1 of {x2,x3} and 1 of {x1,x3}: LP can
+        // take all at 0.5 -> z = 1.5; the 0-1 optimum is 2.
+        let mut b = InstanceBuilder::new();
+        let v = b.new_vars(3);
+        b.add_clause([v[0].positive(), v[1].positive()]);
+        b.add_clause([v[1].positive(), v[2].positive()]);
+        b.add_clause([v[0].positive(), v[2].positive()]);
+        b.minimize(v.iter().map(|x| (1, x.positive())));
+        let inst = b.build().unwrap();
+        let a = Assignment::new(3);
+        let out = LprBound::new(&inst).lower_bound(&Subproblem::new(&inst, &a), None);
+        assert_eq!(out.bound, 2, "ceil(1.5) = 2");
+        assert_eq!(brute_force(&inst).cost(), Some(2));
+    }
+
+    #[test]
+    fn infeasible_relaxation_under_fixings() {
+        let mut b = InstanceBuilder::new();
+        let v = b.new_vars(2);
+        b.add_at_least(2, [v[0].positive(), v[1].positive()]);
+        b.minimize([(1, v[0].positive())]);
+        let inst = b.build().unwrap();
+        let mut a = Assignment::new(2);
+        a.assign(Var::new(0), false);
+        let mut lpr = LprBound::new(&inst);
+        let out = lpr.lower_bound(&Subproblem::new(&inst, &a), None);
+        assert!(out.infeasible);
+        assert_eq!(out.explanation, vec![v[0].positive()]);
+    }
+
+    #[test]
+    fn bound_never_exceeds_optimum_randomized() {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(0x19);
+        for round in 0..50 {
+            let n = rng.gen_range(3..9);
+            let mut b = InstanceBuilder::new();
+            let vars = b.new_vars(n);
+            for _ in 0..rng.gen_range(2..8) {
+                let k = rng.gen_range(1..=3.min(n));
+                let mut idxs: Vec<usize> = (0..n).collect();
+                for i in 0..k {
+                    let j = rng.gen_range(i..n);
+                    idxs.swap(i, j);
+                }
+                let terms: Vec<(i64, pbo_core::Lit)> = idxs[..k]
+                    .iter()
+                    .map(|&i| (rng.gen_range(1..4), vars[i].lit(rng.gen_bool(0.7))))
+                    .collect();
+                let maxw: i64 = terms.iter().map(|t| t.0).sum();
+                b.add_linear(terms, pbo_core::RelOp::Ge, rng.gen_range(1..=maxw));
+            }
+            b.minimize(vars.iter().map(|v| (rng.gen_range(0..6), v.positive())));
+            let inst = b.build().unwrap();
+            let brute = brute_force(&inst);
+            let a = Assignment::new(n);
+            let mut lpr = LprBound::new(&inst);
+            let out = lpr.lower_bound(&Subproblem::new(&inst, &a), None);
+            match brute.cost() {
+                Some(opt) => {
+                    assert!(!out.infeasible, "round {round}: spurious infeasibility");
+                    assert!(
+                        out.bound <= opt,
+                        "round {round}: LPR bound {} exceeds optimum {opt}",
+                        out.bound
+                    );
+                }
+                None => {
+                    // The relaxation may still be feasible; no assertion on
+                    // the bound, but it must not crash.
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn warm_start_across_fixings_matches_fresh() {
+        let mut b = InstanceBuilder::new();
+        let v = b.new_vars(4);
+        b.add_at_least(2, v.iter().map(|x| x.positive()));
+        b.add_clause([v[0].positive(), v[3].positive()]);
+        b.minimize(v.iter().enumerate().map(|(i, x)| ((i + 1) as i64, x.positive())));
+        let inst = b.build().unwrap();
+        let mut warm = LprBound::new(&inst);
+
+        let a0 = Assignment::new(4);
+        let b0 = warm.lower_bound(&Subproblem::new(&inst, &a0), None).bound;
+
+        let mut a1 = Assignment::new(4);
+        a1.assign(Var::new(0), false);
+        let warm_b1 = warm.lower_bound(&Subproblem::new(&inst, &a1), None).bound;
+        let fresh_b1 = LprBound::new(&inst)
+            .lower_bound(&Subproblem::new(&inst, &a1), None)
+            .bound;
+        assert_eq!(warm_b1, fresh_b1);
+        assert!(warm_b1 >= b0, "fixing can only tighten the bound");
+
+        // And back.
+        let back = warm.lower_bound(&Subproblem::new(&inst, &a0), None).bound;
+        assert_eq!(back, b0);
+    }
+
+    #[test]
+    fn fractional_solution_exposed_for_branching() {
+        let mut b = InstanceBuilder::new();
+        let v = b.new_vars(2);
+        b.add_linear(
+            vec![(2, v[0].positive()), (2, v[1].positive())],
+            pbo_core::RelOp::Ge,
+            3,
+        );
+        b.minimize([(1, v[0].positive()), (1, v[1].positive())]);
+        let inst = b.build().unwrap();
+        let a = Assignment::new(2);
+        let mut lpr = LprBound::new(&inst);
+        let _ = lpr.lower_bound(&Subproblem::new(&inst, &a), None);
+        let frac: Vec<f64> = lpr.last_solution().to_vec();
+        // Total mass 1.5 split over two vars: at least one fractional.
+        assert!(frac.iter().any(|&x| x > 0.01 && x < 0.99), "{frac:?}");
+    }
+
+    #[test]
+    fn negative_literal_costs_shift_constant() {
+        // min 5*~x1 : LP must report 5 when x1 = 0 and 0 when x1 = 1.
+        let mut b = InstanceBuilder::new();
+        let v = b.new_vars(1);
+        b.add_clause([v[0].positive(), v[0].negative()]); // tautology dropped
+        b.minimize([(5, v[0].negative())]);
+        let inst = b.build().unwrap();
+        let mut lpr = LprBound::new(&inst);
+        let mut a = Assignment::new(1);
+        a.assign(Var::new(0), false);
+        assert_eq!(lpr.lower_bound(&Subproblem::new(&inst, &a), None).bound, 5);
+        let mut a = Assignment::new(1);
+        a.assign(Var::new(0), true);
+        assert_eq!(lpr.lower_bound(&Subproblem::new(&inst, &a), None).bound, 0);
+    }
+}

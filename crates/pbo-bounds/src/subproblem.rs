@@ -1,0 +1,203 @@
+//! Residual view of an instance under a partial assignment.
+//!
+//! The lower-bounding procedures (sec. 3 of the paper) operate on the
+//! constraints *not yet satisfied* by the current assignments, with
+//! satisfied weight removed and false literals dropped. [`Subproblem`]
+//! materializes that view once per bound computation.
+
+use pbo_core::{Assignment, ConstraintState, Instance, Lit, PbTerm, Value};
+
+/// One active (unsatisfied, undetermined) constraint of the residual
+/// problem.
+#[derive(Clone, Debug)]
+pub struct ActiveConstraint {
+    /// Index of the constraint in the original instance.
+    pub index: usize,
+    /// Right-hand side still to be covered by free literals
+    /// (`rhs - weight of true literals`), always `>= 1`.
+    pub residual_rhs: i64,
+    /// The unassigned literals of the constraint with their coefficients.
+    pub free_terms: Vec<PbTerm>,
+}
+
+/// The residual optimization problem under a partial assignment.
+///
+/// # Examples
+///
+/// ```
+/// use pbo_core::{Assignment, InstanceBuilder, Var};
+/// use pbo_bounds::Subproblem;
+///
+/// let mut b = InstanceBuilder::new();
+/// let v = b.new_vars(3);
+/// b.add_at_least(2, v.iter().map(|x| x.positive()));
+/// b.minimize(v.iter().map(|x| (1, x.positive())));
+/// let inst = b.build()?;
+///
+/// let mut a = Assignment::new(3);
+/// a.assign(Var::new(0), true);
+/// let sub = Subproblem::new(&inst, &a);
+/// assert_eq!(sub.path_cost(), 1);
+/// assert_eq!(sub.active().len(), 1);
+/// assert_eq!(sub.active()[0].residual_rhs, 1); // one more literal needed
+/// # Ok::<(), pbo_core::BuildError>(())
+/// ```
+#[derive(Debug)]
+pub struct Subproblem<'a> {
+    instance: &'a Instance,
+    assignment: &'a Assignment,
+    path_cost: i64,
+    active: Vec<ActiveConstraint>,
+}
+
+impl<'a> Subproblem<'a> {
+    /// Builds the residual view. Constraints already satisfied are
+    /// dropped; violated constraints are kept as active with their
+    /// (unreachable) residual — callers run after propagation, so violated
+    /// constraints normally cannot occur.
+    pub fn new(instance: &'a Instance, assignment: &'a Assignment) -> Subproblem<'a> {
+        let path_cost = instance
+            .objective()
+            .map_or(0, |o| o.path_cost(assignment));
+        let mut active = Vec::new();
+        for (index, c) in instance.constraints().iter().enumerate() {
+            match c.eval(assignment) {
+                ConstraintState::Satisfied => continue,
+                ConstraintState::Violated | ConstraintState::Undetermined => {
+                    let mut satisfied_weight = 0i64;
+                    let mut free_terms = Vec::new();
+                    for t in c.terms() {
+                        match assignment.lit_value(t.lit) {
+                            Value::True => satisfied_weight += t.coeff,
+                            Value::False => {}
+                            Value::Unassigned => free_terms.push(*t),
+                        }
+                    }
+                    let residual_rhs = c.rhs() - satisfied_weight;
+                    debug_assert!(residual_rhs >= 1, "satisfied constraint slipped through");
+                    active.push(ActiveConstraint { index, residual_rhs, free_terms });
+                }
+            }
+        }
+        Subproblem { instance, assignment, path_cost, active }
+    }
+
+    /// The underlying instance.
+    pub fn instance(&self) -> &Instance {
+        self.instance
+    }
+
+    /// The current partial assignment.
+    pub fn assignment(&self) -> &Assignment {
+        self.assignment
+    }
+
+    /// The paper's `P.path`: cost already incurred by true literals
+    /// (objective offset included).
+    pub fn path_cost(&self) -> i64 {
+        self.path_cost
+    }
+
+    /// Active (unsatisfied) constraints of the residual problem.
+    pub fn active(&self) -> &[ActiveConstraint] {
+        &self.active
+    }
+
+    /// Cost incurred if `lit` were assigned true, according to the
+    /// objective (0 for unweighted literals).
+    pub fn lit_cost(&self, lit: Lit) -> i64 {
+        self.instance.objective().map_or(0, |o| o.cost_of_lit(lit))
+    }
+
+    /// The literals of the original constraint `index` currently assigned
+    /// false — the building block of the paper's `omega_pl` (eq. 9).
+    pub fn false_literals_of(&self, index: usize) -> Vec<Lit> {
+        self.instance.constraints()[index]
+            .terms()
+            .iter()
+            .map(|t| t.lit)
+            .filter(|&l| self.assignment.lit_value(l) == Value::False)
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pbo_core::{InstanceBuilder, Var};
+
+    #[test]
+    fn satisfied_constraints_are_dropped() {
+        let mut b = InstanceBuilder::new();
+        let v = b.new_vars(3);
+        b.add_clause([v[0].positive(), v[1].positive()]);
+        b.add_clause([v[1].positive(), v[2].positive()]);
+        let inst = b.build().unwrap();
+        let mut a = Assignment::new(3);
+        a.assign(Var::new(0), true);
+        let sub = Subproblem::new(&inst, &a);
+        assert_eq!(sub.active().len(), 1);
+        assert_eq!(sub.active()[0].index, 1);
+    }
+
+    #[test]
+    fn residual_rhs_subtracts_true_weight() {
+        let mut b = InstanceBuilder::new();
+        let v = b.new_vars(3);
+        b.add_linear(
+            vec![(3, v[0].positive()), (2, v[1].positive()), (2, v[2].positive())],
+            pbo_core::RelOp::Ge,
+            5,
+        );
+        let inst = b.build().unwrap();
+        let mut a = Assignment::new(3);
+        a.assign(Var::new(0), true);
+        let sub = Subproblem::new(&inst, &a);
+        assert_eq!(sub.active()[0].residual_rhs, 2);
+        assert_eq!(sub.active()[0].free_terms.len(), 2);
+    }
+
+    #[test]
+    fn false_literals_listed_per_constraint() {
+        let mut b = InstanceBuilder::new();
+        let v = b.new_vars(3);
+        b.add_clause([v[0].positive(), v[1].negative(), v[2].positive()]);
+        let inst = b.build().unwrap();
+        let mut a = Assignment::new(3);
+        a.assign(Var::new(0), false);
+        a.assign(Var::new(1), true);
+        let sub = Subproblem::new(&inst, &a);
+        let mut fl = sub.false_literals_of(0);
+        fl.sort();
+        assert_eq!(fl, vec![v[0].positive(), v[1].negative()]);
+    }
+
+    #[test]
+    fn path_cost_tracks_true_costed_literals() {
+        let mut b = InstanceBuilder::new();
+        let v = b.new_vars(2);
+        b.add_clause([v[0].positive(), v[1].positive()]);
+        b.minimize([(3, v[0].positive()), (4, v[1].negative())]);
+        let inst = b.build().unwrap();
+        let mut a = Assignment::new(2);
+        a.assign(Var::new(0), true);
+        a.assign(Var::new(1), false); // ~x2 true: costs 4
+        let sub = Subproblem::new(&inst, &a);
+        assert_eq!(sub.path_cost(), 7);
+        assert_eq!(sub.lit_cost(v[1].negative()), 4);
+        assert_eq!(sub.lit_cost(v[1].positive()), 0);
+    }
+
+    #[test]
+    fn empty_assignment_keeps_all_constraints() {
+        let mut b = InstanceBuilder::new();
+        let v = b.new_vars(2);
+        b.add_clause([v[0].positive()]);
+        b.add_clause([v[1].positive()]);
+        let inst = b.build().unwrap();
+        let a = Assignment::new(2);
+        let sub = Subproblem::new(&inst, &a);
+        assert_eq!(sub.active().len(), 2);
+        assert_eq!(sub.path_cost(), 0);
+    }
+}

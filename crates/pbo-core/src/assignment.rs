@@ -1,0 +1,269 @@
+//! Partial truth assignments over a dense variable space.
+
+use std::fmt;
+
+use crate::lit::{Lit, Var};
+
+/// Truth value of a variable or literal under a partial assignment.
+#[derive(Copy, Clone, PartialEq, Eq, Hash, Debug)]
+pub enum Value {
+    /// Assigned false.
+    False,
+    /// Assigned true.
+    True,
+    /// Not assigned.
+    Unassigned,
+}
+
+impl Value {
+    /// Logical negation; `Unassigned` is a fixed point.
+    #[inline]
+    pub fn negate(self) -> Value {
+        match self {
+            Value::False => Value::True,
+            Value::True => Value::False,
+            Value::Unassigned => Value::Unassigned,
+        }
+    }
+
+    /// Converts from `bool`.
+    #[inline]
+    pub fn from_bool(b: bool) -> Value {
+        if b {
+            Value::True
+        } else {
+            Value::False
+        }
+    }
+
+    /// Returns `Some(bool)` for assigned values, `None` otherwise.
+    #[inline]
+    pub fn to_bool(self) -> Option<bool> {
+        match self {
+            Value::False => Some(false),
+            Value::True => Some(true),
+            Value::Unassigned => None,
+        }
+    }
+}
+
+/// A partial assignment: one [`Value`] per variable.
+///
+/// This is the assignment representation shared between the search engine,
+/// the lower-bounding procedures and the evaluation helpers. It carries no
+/// trail or decision-level information — that belongs to the engine.
+///
+/// # Examples
+///
+/// ```
+/// use pbo_core::{Assignment, Var, Value};
+///
+/// let mut a = Assignment::new(2);
+/// a.assign(Var::new(0), true);
+/// assert_eq!(a.value(Var::new(0)), Value::True);
+/// assert_eq!(a.value(Var::new(1)), Value::Unassigned);
+/// assert_eq!(a.num_assigned(), 1);
+/// ```
+#[derive(Clone, PartialEq, Eq)]
+pub struct Assignment {
+    values: Vec<Value>,
+    num_assigned: usize,
+}
+
+impl Assignment {
+    /// Creates an all-unassigned assignment over `num_vars` variables.
+    pub fn new(num_vars: usize) -> Assignment {
+        Assignment {
+            values: vec![Value::Unassigned; num_vars],
+            num_assigned: 0,
+        }
+    }
+
+    /// Creates a complete assignment from a boolean slice.
+    pub fn from_bools(values: &[bool]) -> Assignment {
+        Assignment {
+            values: values.iter().map(|&b| Value::from_bool(b)).collect(),
+            num_assigned: values.len(),
+        }
+    }
+
+    /// Number of variables in the assignment's space.
+    #[inline]
+    pub fn num_vars(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Number of currently assigned variables.
+    #[inline]
+    pub fn num_assigned(&self) -> usize {
+        self.num_assigned
+    }
+
+    /// Returns `true` if every variable is assigned.
+    #[inline]
+    pub fn is_complete(&self) -> bool {
+        self.num_assigned == self.values.len()
+    }
+
+    /// Value of a variable.
+    #[inline]
+    pub fn value(&self, var: Var) -> Value {
+        self.values[var.index()]
+    }
+
+    /// Value of a literal (the variable's value, negated for negative
+    /// literals).
+    #[inline]
+    pub fn lit_value(&self, lit: Lit) -> Value {
+        let v = self.values[lit.var().index()];
+        if lit.is_positive() {
+            v
+        } else {
+            v.negate()
+        }
+    }
+
+    /// Returns `true` if the literal is assigned true.
+    #[inline]
+    pub fn is_true(&self, lit: Lit) -> bool {
+        self.lit_value(lit) == Value::True
+    }
+
+    /// Returns `true` if the literal is assigned false.
+    #[inline]
+    pub fn is_false(&self, lit: Lit) -> bool {
+        self.lit_value(lit) == Value::False
+    }
+
+    /// Returns `true` if the literal's variable is unassigned.
+    #[inline]
+    pub fn is_unassigned(&self, lit: Lit) -> bool {
+        self.lit_value(lit) == Value::Unassigned
+    }
+
+    /// Assigns `var := value`.
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds if the variable is already assigned.
+    #[inline]
+    pub fn assign(&mut self, var: Var, value: bool) {
+        debug_assert_eq!(self.values[var.index()], Value::Unassigned);
+        self.values[var.index()] = Value::from_bool(value);
+        self.num_assigned += 1;
+    }
+
+    /// Makes the literal true (assigns its variable accordingly).
+    #[inline]
+    pub fn assign_lit(&mut self, lit: Lit) {
+        self.assign(lit.var(), lit.is_positive());
+    }
+
+    /// Removes the assignment of `var`.
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds if the variable is not assigned.
+    #[inline]
+    pub fn unassign(&mut self, var: Var) {
+        debug_assert_ne!(self.values[var.index()], Value::Unassigned);
+        self.values[var.index()] = Value::Unassigned;
+        self.num_assigned -= 1;
+    }
+
+    /// Extracts a complete assignment as a boolean vector, mapping
+    /// unassigned variables to `false`.
+    pub fn to_bools_lossy(&self) -> Vec<bool> {
+        self.values
+            .iter()
+            .map(|v| matches!(v, Value::True))
+            .collect()
+    }
+
+    /// Iterates over `(Var, Value)` pairs for assigned variables.
+    pub fn iter_assigned(&self) -> impl Iterator<Item = (Var, bool)> + '_ {
+        self.values.iter().enumerate().filter_map(|(i, v)| {
+            v.to_bool().map(|b| (Var::new(i), b))
+        })
+    }
+}
+
+impl fmt::Debug for Assignment {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Assignment{{")?;
+        let mut first = true;
+        for (var, val) in self.iter_assigned() {
+            if !first {
+                write!(f, ", ")?;
+            }
+            first = false;
+            write!(f, "{}={}", var, if val { 1 } else { 0 })?;
+        }
+        write!(f, "}}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn assign_unassign_cycle() {
+        let mut a = Assignment::new(3);
+        assert!(!a.is_complete());
+        a.assign(Var::new(0), true);
+        a.assign(Var::new(1), false);
+        a.assign(Var::new(2), true);
+        assert!(a.is_complete());
+        assert_eq!(a.num_assigned(), 3);
+        a.unassign(Var::new(1));
+        assert_eq!(a.num_assigned(), 2);
+        assert_eq!(a.value(Var::new(1)), Value::Unassigned);
+    }
+
+    #[test]
+    fn literal_values_respect_polarity() {
+        let mut a = Assignment::new(1);
+        a.assign(Var::new(0), true);
+        assert_eq!(a.lit_value(Lit::new(0, true)), Value::True);
+        assert_eq!(a.lit_value(Lit::new(0, false)), Value::False);
+        assert!(a.is_true(Lit::new(0, true)));
+        assert!(a.is_false(Lit::new(0, false)));
+    }
+
+    #[test]
+    fn assign_lit_makes_lit_true() {
+        let mut a = Assignment::new(2);
+        a.assign_lit(Lit::new(1, false));
+        assert!(a.is_true(Lit::new(1, false)));
+        assert_eq!(a.value(Var::new(1)), Value::False);
+    }
+
+    #[test]
+    fn from_bools_roundtrip() {
+        let a = Assignment::from_bools(&[true, false, true]);
+        assert!(a.is_complete());
+        assert_eq!(a.to_bools_lossy(), vec![true, false, true]);
+    }
+
+    #[test]
+    fn value_negate() {
+        assert_eq!(Value::True.negate(), Value::False);
+        assert_eq!(Value::False.negate(), Value::True);
+        assert_eq!(Value::Unassigned.negate(), Value::Unassigned);
+    }
+
+    #[test]
+    fn iter_assigned_lists_only_assigned() {
+        let mut a = Assignment::new(3);
+        a.assign(Var::new(2), false);
+        let pairs: Vec<_> = a.iter_assigned().collect();
+        assert_eq!(pairs, vec![(Var::new(2), false)]);
+    }
+
+    #[test]
+    fn debug_is_nonempty() {
+        let a = Assignment::new(1);
+        assert!(!format!("{:?}", a).is_empty());
+    }
+}

@@ -1,0 +1,148 @@
+//! Exhaustive reference solver for small instances.
+//!
+//! Enumerates all `2^n` assignments; used by tests and property checks to
+//! cross-validate every real solver and every lower-bound procedure in the
+//! workspace. Practical up to roughly 25 variables.
+
+use crate::instance::Instance;
+
+/// Result of exhaustive enumeration.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum BruteForceResult {
+    /// No assignment satisfies the constraints.
+    Infeasible,
+    /// The minimum objective value and one witnessing assignment.
+    Optimal {
+        /// Minimum objective value over all feasible assignments.
+        cost: i64,
+        /// A feasible assignment attaining it.
+        witness: Vec<bool>,
+        /// Number of feasible assignments found.
+        num_feasible: u64,
+    },
+}
+
+impl BruteForceResult {
+    /// The optimal cost, or `None` if infeasible.
+    pub fn cost(&self) -> Option<i64> {
+        match self {
+            BruteForceResult::Infeasible => None,
+            BruteForceResult::Optimal { cost, .. } => Some(*cost),
+        }
+    }
+}
+
+/// Exhaustively solves `instance` by enumerating all assignments.
+///
+/// # Panics
+///
+/// Panics if the instance has more than 30 variables (enumeration would be
+/// intractable and the mask arithmetic would overflow practical budgets).
+///
+/// # Examples
+///
+/// ```
+/// use pbo_core::{brute_force, InstanceBuilder};
+///
+/// let mut b = InstanceBuilder::new();
+/// let x = b.new_var();
+/// let y = b.new_var();
+/// b.add_clause([x.positive(), y.positive()]);
+/// b.minimize([(2, x.positive()), (3, y.positive())]);
+/// let res = brute_force(&b.build()?);
+/// assert_eq!(res.cost(), Some(2));
+/// # Ok::<(), pbo_core::BuildError>(())
+/// ```
+pub fn brute_force(instance: &Instance) -> BruteForceResult {
+    let n = instance.num_vars();
+    assert!(n <= 30, "brute force limited to 30 variables, got {n}");
+    let mut best: Option<(i64, Vec<bool>)> = None;
+    let mut num_feasible = 0u64;
+    let mut values = vec![false; n];
+    for mask in 0u64..(1u64 << n) {
+        for (i, v) in values.iter_mut().enumerate() {
+            *v = (mask >> i) & 1 == 1;
+        }
+        if instance.is_feasible(&values) {
+            num_feasible += 1;
+            let cost = instance.cost_of(&values);
+            if best.as_ref().is_none_or(|(b, _)| cost < *b) {
+                best = Some((cost, values.clone()));
+            }
+        }
+    }
+    match best {
+        None => BruteForceResult::Infeasible,
+        Some((cost, witness)) => BruteForceResult::Optimal { cost, witness, num_feasible },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::instance::InstanceBuilder;
+    use crate::normalize::RelOp;
+
+    #[test]
+    fn finds_optimum_of_covering() {
+        // Cover {1,2,3} with sets {1,2} (cost 3), {2,3} (cost 3), {1,2,3} (cost 5).
+        let mut b = InstanceBuilder::new();
+        let s = b.new_vars(3);
+        b.add_clause([s[0].positive(), s[2].positive()]); // element 1
+        b.add_clause([s[0].positive(), s[1].positive(), s[2].positive()]); // element 2
+        b.add_clause([s[1].positive(), s[2].positive()]); // element 3
+        b.minimize([(3, s[0].positive()), (3, s[1].positive()), (5, s[2].positive())]);
+        let res = brute_force(&b.build().unwrap());
+        assert_eq!(res.cost(), Some(5));
+    }
+
+    #[test]
+    fn detects_infeasible() {
+        let mut b = InstanceBuilder::new();
+        let x = b.new_var();
+        b.add_clause([x.positive()]);
+        b.add_clause([x.negative()]);
+        let res = brute_force(&b.build().unwrap());
+        assert_eq!(res, BruteForceResult::Infeasible);
+        assert_eq!(res.cost(), None);
+    }
+
+    #[test]
+    fn counts_feasible_assignments() {
+        let mut b = InstanceBuilder::new();
+        let vars = b.new_vars(2);
+        b.add_clause([vars[0].positive(), vars[1].positive()]);
+        match brute_force(&b.build().unwrap()) {
+            BruteForceResult::Optimal { num_feasible, .. } => assert_eq!(num_feasible, 3),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn witness_is_feasible_and_optimal() {
+        let mut b = InstanceBuilder::new();
+        let vars = b.new_vars(4);
+        b.add_at_least(2, vars.iter().map(|v| v.positive()));
+        b.add_linear(
+            vec![(2, vars[0].positive()), (1, vars[1].positive())],
+            RelOp::Le,
+            2,
+        );
+        b.minimize(vars.iter().enumerate().map(|(i, v)| ((i + 1) as i64, v.positive())));
+        let inst = b.build().unwrap();
+        match brute_force(&inst) {
+            BruteForceResult::Optimal { cost, witness, .. } => {
+                assert!(inst.is_feasible(&witness));
+                assert_eq!(inst.cost_of(&witness), cost);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn zero_var_instance() {
+        let b = InstanceBuilder::new();
+        let res = brute_force(&b.build().unwrap());
+        assert_eq!(res.cost(), Some(0));
+    }
+}

@@ -1,0 +1,259 @@
+//! Boolean variables and literals.
+//!
+//! A [`Var`] is an index into the problem's variable space; a [`Lit`] is a
+//! variable together with a polarity. Literals are packed into a single
+//! `u32` (`var << 1 | sign`) so they can index dense per-literal arrays —
+//! the representation used throughout the propagation engine.
+
+use std::fmt;
+use std::ops::Not;
+
+/// A Boolean decision variable, identified by a dense index starting at 0.
+///
+/// # Examples
+///
+/// ```
+/// use pbo_core::Var;
+///
+/// let v = Var::new(3);
+/// assert_eq!(v.index(), 3);
+/// ```
+#[derive(Copy, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Var(u32);
+
+impl Var {
+    /// Creates a variable from its dense index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` exceeds `u32::MAX / 2` (literal packing would
+    /// overflow).
+    #[inline]
+    pub fn new(index: usize) -> Var {
+        assert!(index <= (u32::MAX / 2) as usize, "variable index too large");
+        Var(index as u32)
+    }
+
+    /// Returns the dense index of this variable.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Returns the positive literal of this variable.
+    #[inline]
+    pub fn positive(self) -> Lit {
+        Lit(self.0 << 1)
+    }
+
+    /// Returns the negative literal of this variable.
+    #[inline]
+    pub fn negative(self) -> Lit {
+        Lit(self.0 << 1 | 1)
+    }
+
+    /// Returns the literal of this variable with the given polarity
+    /// (`true` means the positive literal).
+    #[inline]
+    pub fn lit(self, positive: bool) -> Lit {
+        if positive {
+            self.positive()
+        } else {
+            self.negative()
+        }
+    }
+}
+
+impl fmt::Debug for Var {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "x{}", self.0 + 1)
+    }
+}
+
+impl fmt::Display for Var {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "x{}", self.0 + 1)
+    }
+}
+
+/// A literal: a [`Var`] with a polarity, packed as `var << 1 | sign`.
+///
+/// The packed form means `lit.code()` can index per-literal arrays of size
+/// `2 * num_vars`, and `!lit` is a single XOR.
+///
+/// # Examples
+///
+/// ```
+/// use pbo_core::{Lit, Var};
+///
+/// let x = Var::new(0);
+/// let l = x.positive();
+/// assert_eq!(!l, x.negative());
+/// assert_eq!(l.var(), x);
+/// assert!(l.is_positive());
+/// ```
+#[derive(Copy, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Lit(u32);
+
+impl Lit {
+    /// Creates a literal from a variable index and polarity
+    /// (`true` means the positive literal).
+    #[inline]
+    pub fn new(var_index: usize, positive: bool) -> Lit {
+        Var::new(var_index).lit(positive)
+    }
+
+    /// Reconstructs a literal from its packed code (`var << 1 | sign`).
+    #[inline]
+    pub fn from_code(code: usize) -> Lit {
+        assert!(code <= u32::MAX as usize, "literal code too large");
+        Lit(code as u32)
+    }
+
+    /// Returns the packed code of this literal, suitable for dense
+    /// per-literal indexing.
+    #[inline]
+    pub fn code(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Returns the underlying variable.
+    #[inline]
+    pub fn var(self) -> Var {
+        Var(self.0 >> 1)
+    }
+
+    /// Returns `true` if this is the positive literal of its variable.
+    #[inline]
+    pub fn is_positive(self) -> bool {
+        self.0 & 1 == 0
+    }
+
+    /// Returns `true` if this is the negative literal of its variable.
+    #[inline]
+    pub fn is_negative(self) -> bool {
+        self.0 & 1 == 1
+    }
+
+    /// Parses a literal from DIMACS-style integer encoding: `3` is the
+    /// positive literal of the third variable, `-3` its negation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `value == 0`.
+    #[inline]
+    pub fn from_dimacs(value: i64) -> Lit {
+        assert!(value != 0, "DIMACS literal cannot be 0");
+        let var = Var::new(value.unsigned_abs() as usize - 1);
+        var.lit(value > 0)
+    }
+
+    /// Returns the DIMACS-style integer encoding of this literal.
+    #[inline]
+    pub fn to_dimacs(self) -> i64 {
+        let v = (self.var().index() + 1) as i64;
+        if self.is_positive() {
+            v
+        } else {
+            -v
+        }
+    }
+}
+
+impl Not for Lit {
+    type Output = Lit;
+
+    #[inline]
+    fn not(self) -> Lit {
+        Lit(self.0 ^ 1)
+    }
+}
+
+impl From<Var> for Lit {
+    #[inline]
+    fn from(var: Var) -> Lit {
+        var.positive()
+    }
+}
+
+impl fmt::Debug for Lit {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_negative() {
+            write!(f, "~")?;
+        }
+        write!(f, "{:?}", self.var())
+    }
+}
+
+impl fmt::Display for Lit {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:?}", self)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn var_roundtrip() {
+        for i in [0usize, 1, 5, 1000] {
+            assert_eq!(Var::new(i).index(), i);
+        }
+    }
+
+    #[test]
+    fn literal_packing() {
+        let v = Var::new(7);
+        assert_eq!(v.positive().code(), 14);
+        assert_eq!(v.negative().code(), 15);
+        assert_eq!(Lit::from_code(14), v.positive());
+        assert_eq!(Lit::from_code(15), v.negative());
+    }
+
+    #[test]
+    fn negation_is_involution() {
+        let l = Lit::new(4, true);
+        assert_eq!(!!l, l);
+        assert_ne!(!l, l);
+        assert_eq!((!l).var(), l.var());
+    }
+
+    #[test]
+    fn polarity() {
+        let v = Var::new(2);
+        assert!(v.positive().is_positive());
+        assert!(!v.positive().is_negative());
+        assert!(v.negative().is_negative());
+        assert_eq!(v.lit(true), v.positive());
+        assert_eq!(v.lit(false), v.negative());
+    }
+
+    #[test]
+    fn dimacs_roundtrip() {
+        for d in [1i64, -1, 5, -17] {
+            assert_eq!(Lit::from_dimacs(d).to_dimacs(), d);
+        }
+    }
+
+    #[test]
+    #[should_panic]
+    fn dimacs_zero_panics() {
+        let _ = Lit::from_dimacs(0);
+    }
+
+    #[test]
+    fn display_forms() {
+        let v = Var::new(0);
+        assert_eq!(format!("{}", v.positive()), "x1");
+        assert_eq!(format!("{}", v.negative()), "~x1");
+    }
+
+    #[test]
+    fn ordering_groups_by_var() {
+        let a = Var::new(1).positive();
+        let b = Var::new(1).negative();
+        let c = Var::new(2).positive();
+        assert!(a < b && b < c);
+    }
+}

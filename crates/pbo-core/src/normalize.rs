@@ -1,0 +1,287 @@
+//! Normalization of arbitrary linear 0-1 constraints into the paper's
+//! normal form.
+//!
+//! Any constraint `sum c_i * l_i  OP  b` with `OP` in `{>=, <=, =}`,
+//! arbitrary integer coefficients and possibly repeated variables can be
+//! rewritten into one or two normalized [`PbConstraint`]s (all
+//! coefficients and the right-hand side positive). The rewrite uses the
+//! identity `c * ~x = c - c * x` and is exactly the transformation the
+//! paper alludes to below eq. 1 ("every pseudo-boolean formulation can be
+//! rewritten such that all coefficients and right-hand sides be
+//! non-negative").
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use crate::constraint::{ConstraintError, PbConstraint};
+use crate::lit::{Lit, Var};
+
+/// Relational operator of a raw linear constraint.
+#[derive(Copy, Clone, PartialEq, Eq, Hash, Debug)]
+pub enum RelOp {
+    /// `>=`
+    Ge,
+    /// `<=`
+    Le,
+    /// `=`
+    Eq,
+}
+
+impl fmt::Display for RelOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RelOp::Ge => write!(f, ">="),
+            RelOp::Le => write!(f, "<="),
+            RelOp::Eq => write!(f, "="),
+        }
+    }
+}
+
+/// Error returned when a constraint cannot be normalized.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum NormalizeError {
+    /// Intermediate arithmetic exceeded `i64`/`i128` safe range.
+    Overflow,
+    /// The normalized constraint violated an invariant (should not happen;
+    /// kept for diagnostics).
+    Invalid(ConstraintError),
+}
+
+impl fmt::Display for NormalizeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NormalizeError::Overflow => write!(f, "coefficient overflow during normalization"),
+            NormalizeError::Invalid(e) => write!(f, "normalization produced invalid constraint: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for NormalizeError {}
+
+impl From<ConstraintError> for NormalizeError {
+    fn from(e: ConstraintError) -> NormalizeError {
+        NormalizeError::Invalid(e)
+    }
+}
+
+/// Normalizes one raw `>=` constraint given as `(coeff, lit)` pairs.
+///
+/// Returns `Ok(None)` when the constraint is trivially true (normalized
+/// right-hand side `<= 0`). An *unsatisfiable* constraint (e.g. `x1 >= 2`)
+/// is returned as a normal constraint whose coefficient sum is below its
+/// right-hand side; [`PbConstraint::is_unsatisfiable`] detects it.
+///
+/// # Errors
+///
+/// Returns [`NormalizeError::Overflow`] on arithmetic overflow.
+pub fn normalize_ge(
+    terms: &[(i64, Lit)],
+    rhs: i64,
+) -> Result<Option<PbConstraint>, NormalizeError> {
+    // Net coefficient per variable, expressed on the positive literal.
+    let mut net: BTreeMap<usize, i128> = BTreeMap::new();
+    let mut b = rhs as i128;
+    for &(c, l) in terms {
+        let c = c as i128;
+        if l.is_positive() {
+            *net.entry(l.var().index()).or_insert(0) += c;
+        } else {
+            // c * ~x  ==  c - c*x : constant c moves to the rhs.
+            b -= c;
+            *net.entry(l.var().index()).or_insert(0) -= c;
+        }
+    }
+    let mut out: Vec<(i64, Lit)> = Vec::new();
+    for (v, a) in net {
+        if a > 0 {
+            let a64 = i64::try_from(a).map_err(|_| NormalizeError::Overflow)?;
+            out.push((a64, Var::new(v).positive()));
+        } else if a < 0 {
+            // -|a|*x  ==  |a|*~x - |a| : the constant -|a| moves across the
+            // inequality, *raising* the right-hand side by |a|.
+            b -= a;
+            let a64 = i64::try_from(-a).map_err(|_| NormalizeError::Overflow)?;
+            out.push((a64, Var::new(v).negative()));
+        }
+    }
+    let b = i64::try_from(b).map_err(|_| NormalizeError::Overflow)?;
+    if b <= 0 {
+        return Ok(None);
+    }
+    Ok(Some(PbConstraint::try_new(out, b)?))
+}
+
+/// Normalizes a raw constraint with any relational operator into zero, one
+/// or two normalized `>=` constraints (an equality yields up to two).
+///
+/// # Errors
+///
+/// Returns [`NormalizeError::Overflow`] on arithmetic overflow.
+///
+/// # Examples
+///
+/// ```
+/// use pbo_core::{normalize, Lit, RelOp};
+///
+/// // x1 + x2 <= 1  (at most one)  ==>  ~x1 + ~x2 >= 1
+/// let cs = normalize(&[(1, Lit::new(0, true)), (1, Lit::new(1, true))], RelOp::Le, 1)?;
+/// assert_eq!(cs.len(), 1);
+/// assert_eq!(cs[0].rhs(), 1);
+/// assert!(cs[0].terms().iter().all(|t| t.lit.is_negative()));
+/// # Ok::<(), pbo_core::NormalizeError>(())
+/// ```
+pub fn normalize(
+    terms: &[(i64, Lit)],
+    op: RelOp,
+    rhs: i64,
+) -> Result<Vec<PbConstraint>, NormalizeError> {
+    let mut out = Vec::new();
+    match op {
+        RelOp::Ge => {
+            if let Some(c) = normalize_ge(terms, rhs)? {
+                out.push(c);
+            }
+        }
+        RelOp::Le => {
+            // sum c l <= b  <=>  sum (-c) l >= -b
+            let negated: Vec<(i64, Lit)> = terms
+                .iter()
+                .map(|&(c, l)| c.checked_neg().map(|n| (n, l)).ok_or(NormalizeError::Overflow))
+                .collect::<Result<_, _>>()?;
+            let nrhs = rhs.checked_neg().ok_or(NormalizeError::Overflow)?;
+            if let Some(c) = normalize_ge(&negated, nrhs)? {
+                out.push(c);
+            }
+        }
+        RelOp::Eq => {
+            out.extend(normalize(terms, RelOp::Ge, rhs)?);
+            out.extend(normalize(terms, RelOp::Le, rhs)?);
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lit(i: usize, pos: bool) -> Lit {
+        Lit::new(i, pos)
+    }
+
+    #[test]
+    fn ge_passthrough() {
+        let cs = normalize(&[(2, lit(0, true)), (1, lit(1, true))], RelOp::Ge, 2).unwrap();
+        assert_eq!(cs.len(), 1);
+        assert_eq!(cs[0].rhs(), 2);
+        assert_eq!(cs[0].terms().len(), 2);
+    }
+
+    #[test]
+    fn negative_coefficient_flips_literal() {
+        // -2*x1 >= -1  <=>  2*~x1 >= 1  <=> saturated  1*~x1 >= 1
+        let cs = normalize(&[(-2, lit(0, true))], RelOp::Ge, -1).unwrap();
+        assert_eq!(cs.len(), 1);
+        assert_eq!(cs[0].terms()[0].lit, lit(0, false));
+        assert_eq!(cs[0].rhs(), 1);
+    }
+
+    #[test]
+    fn le_becomes_ge_on_negations() {
+        // x1 + x2 <= 1  =>  ~x1 + ~x2 >= 1
+        let cs = normalize(&[(1, lit(0, true)), (1, lit(1, true))], RelOp::Le, 1).unwrap();
+        assert_eq!(cs.len(), 1);
+        let c = &cs[0];
+        assert_eq!(c.rhs(), 1);
+        assert!(c.terms().iter().all(|t| t.lit.is_negative()));
+    }
+
+    #[test]
+    fn eq_gives_two_constraints() {
+        // x1 + x2 = 1
+        let cs = normalize(&[(1, lit(0, true)), (1, lit(1, true))], RelOp::Eq, 1).unwrap();
+        assert_eq!(cs.len(), 2);
+        // Both x1=1,x2=0 and x1=0,x2=1 satisfy; x1=x2=1 and x1=x2=0 do not.
+        for (vals, expect) in [
+            ([true, false], true),
+            ([false, true], true),
+            ([true, true], false),
+            ([false, false], false),
+        ] {
+            assert_eq!(cs.iter().all(|c| c.is_satisfied_by(&vals)), expect, "{vals:?}");
+        }
+    }
+
+    #[test]
+    fn duplicate_literals_merge() {
+        // x1 + x1 >= 2  =>  2*x1 >= 2  => saturation leaves 2*x1 >= 2 (clause)
+        let cs = normalize(&[(1, lit(0, true)), (1, lit(0, true))], RelOp::Ge, 2).unwrap();
+        assert_eq!(cs.len(), 1);
+        assert_eq!(cs[0].terms().len(), 1);
+        assert_eq!(cs[0].terms()[0].coeff, 2);
+    }
+
+    #[test]
+    fn opposing_literals_cancel() {
+        // 3*x1 + 2*~x1 >= 3  =>  2 + 1*x1 >= 3  =>  x1 >= 1
+        let cs = normalize(&[(3, lit(0, true)), (2, lit(0, false))], RelOp::Ge, 3).unwrap();
+        assert_eq!(cs.len(), 1);
+        assert_eq!(cs[0].terms(), &[crate::PbTerm::new(1, lit(0, true))]);
+        assert_eq!(cs[0].rhs(), 1);
+    }
+
+    #[test]
+    fn trivially_true_dropped() {
+        // x1 >= 0 is trivial
+        let cs = normalize(&[(1, lit(0, true))], RelOp::Ge, 0).unwrap();
+        assert!(cs.is_empty());
+        // x1 >= -5 too
+        let cs = normalize(&[(1, lit(0, true))], RelOp::Ge, -5).unwrap();
+        assert!(cs.is_empty());
+    }
+
+    #[test]
+    fn unsatisfiable_is_kept() {
+        // x1 >= 2 cannot be satisfied
+        let cs = normalize(&[(1, lit(0, true))], RelOp::Ge, 2).unwrap();
+        assert_eq!(cs.len(), 1);
+        assert!(cs[0].is_unsatisfiable());
+    }
+
+    #[test]
+    fn normalization_preserves_solutions_exhaustive() {
+        // Check equivalence on every +-coefficient mix over 3 variables for
+        // a fixed set of raw constraints.
+        let raws: Vec<(Vec<(i64, Lit)>, RelOp, i64)> = vec![
+            (vec![(2, lit(0, true)), (-3, lit(1, false)), (1, lit(2, true))], RelOp::Ge, -1),
+            (vec![(-1, lit(0, true)), (-1, lit(1, true)), (-1, lit(2, true))], RelOp::Le, -2),
+            (vec![(2, lit(0, false)), (2, lit(1, true))], RelOp::Eq, 2),
+            (vec![(5, lit(0, true)), (1, lit(0, false)), (2, lit(2, true))], RelOp::Ge, 4),
+        ];
+        for (terms, op, rhs) in raws {
+            let cs = normalize(&terms, op, rhs).unwrap();
+            for m in 0u32..8 {
+                let vals = [(m & 1) != 0, (m & 2) != 0, (m & 4) != 0];
+                let lhs: i64 = terms
+                    .iter()
+                    .map(|&(c, l)| {
+                        let v = vals[l.var().index()];
+                        let t = if l.is_positive() { v } else { !v };
+                        if t {
+                            c
+                        } else {
+                            0
+                        }
+                    })
+                    .sum();
+                let raw_ok = match op {
+                    RelOp::Ge => lhs >= rhs,
+                    RelOp::Le => lhs <= rhs,
+                    RelOp::Eq => lhs == rhs,
+                };
+                let norm_ok = cs.iter().all(|c| c.is_satisfied_by(&vals));
+                assert_eq!(raw_ok, norm_ok, "terms under {vals:?} ({op:?} {rhs})");
+            }
+        }
+    }
+}

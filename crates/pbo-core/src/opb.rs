@@ -1,0 +1,399 @@
+//! Reading and writing the OPB pseudo-Boolean exchange format.
+//!
+//! This is the format used by the pseudo-Boolean evaluation / competition
+//! series and by the benchmark sets the paper evaluates on:
+//!
+//! ```text
+//! * comment
+//! min: +1 x1 +2 x2 ;
+//! +1 x1 +1 x2 >= 1 ;
+//! -2 x3 +1 x4 = 0 ;
+//! ```
+//!
+//! Literals are `x<k>` (1-based) or `~x<k>` for the negation. Parsing goes
+//! through [`InstanceBuilder`], so arbitrary coefficients and operators are
+//! accepted and normalized.
+
+use std::fmt;
+
+use crate::instance::{BuildError, Instance, InstanceBuilder};
+use crate::lit::Lit;
+use crate::normalize::RelOp;
+
+/// Error produced while parsing an OPB document.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum ParseOpbError {
+    /// Syntax error with line number (1-based) and message.
+    Syntax {
+        /// 1-based line number of the offending statement.
+        line: usize,
+        /// Human-readable description of the problem.
+        message: String,
+    },
+    /// The parsed data failed instance construction.
+    Build(BuildError),
+}
+
+impl fmt::Display for ParseOpbError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ParseOpbError::Syntax { line, message } => {
+                write!(f, "OPB syntax error on line {line}: {message}")
+            }
+            ParseOpbError::Build(e) => write!(f, "OPB instance error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ParseOpbError {}
+
+impl From<BuildError> for ParseOpbError {
+    fn from(e: BuildError) -> ParseOpbError {
+        ParseOpbError::Build(e)
+    }
+}
+
+fn syntax(line: usize, message: impl Into<String>) -> ParseOpbError {
+    ParseOpbError::Syntax { line, message: message.into() }
+}
+
+/// Parses an OPB document into an [`Instance`].
+///
+/// # Errors
+///
+/// Returns [`ParseOpbError`] on malformed input or if normalization fails.
+///
+/// # Examples
+///
+/// ```
+/// let text = "\
+/// * tiny example
+/// min: +1 x1 +2 x2 ;
+/// +1 x1 +1 x2 >= 1 ;
+/// ";
+/// let inst = pbo_core::parse_opb(text)?;
+/// assert_eq!(inst.num_vars(), 2);
+/// assert!(inst.is_optimization());
+/// # Ok::<(), pbo_core::ParseOpbError>(())
+/// ```
+pub fn parse_opb(text: &str) -> Result<Instance, ParseOpbError> {
+    let mut builder = InstanceBuilder::new();
+    let mut max_var = 0usize;
+    let mut statements: Vec<(usize, Vec<String>)> = Vec::new();
+
+    // Split into `;`-terminated statements, remembering line numbers.
+    let mut current: Vec<String> = Vec::new();
+    let mut current_line = 1usize;
+    for (lineno, line) in text.lines().enumerate() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('*') {
+            continue;
+        }
+        let cleaned = line.replace(';', " ; ");
+        for tok in cleaned.split_whitespace() {
+            if tok == ";" {
+                if !current.is_empty() {
+                    statements.push((current_line, std::mem::take(&mut current)));
+                }
+            } else {
+                if current.is_empty() {
+                    current_line = lineno + 1;
+                }
+                current.push(tok.to_string());
+            }
+        }
+    }
+    if !current.is_empty() {
+        statements.push((current_line, current));
+    }
+
+    let mut parse_lit = |tok: &str, line: usize| -> Result<Lit, ParseOpbError> {
+        let (neg, rest) = match tok.strip_prefix('~') {
+            Some(r) => (true, r),
+            None => (false, tok),
+        };
+        let rest = rest
+            .strip_prefix('x')
+            .ok_or_else(|| syntax(line, format!("expected literal, found `{tok}`")))?;
+        let idx: usize = rest
+            .parse()
+            .map_err(|_| syntax(line, format!("bad variable number in `{tok}`")))?;
+        if idx == 0 {
+            return Err(syntax(line, "variable numbers are 1-based"));
+        }
+        max_var = max_var.max(idx);
+        Ok(Lit::new(idx - 1, !neg))
+    };
+
+    let mut objective: Option<Vec<(i64, Lit)>> = None;
+    let mut constraints: Vec<(Vec<(i64, Lit)>, RelOp, i64)> = Vec::new();
+
+    for (line, toks) in statements {
+        let (is_min, body) = if toks[0] == "min:" {
+            (true, &toks[1..])
+        } else if toks[0] == "min" && toks.len() > 1 && toks[1] == ":" {
+            (true, &toks[2..])
+        } else {
+            (false, &toks[..])
+        };
+        if is_min {
+            if objective.is_some() {
+                return Err(syntax(line, "duplicate objective"));
+            }
+            let mut terms = Vec::new();
+            let mut i = 0;
+            while i < body.len() {
+                let coeff: i64 = body[i]
+                    .parse()
+                    .map_err(|_| syntax(line, format!("expected coefficient, found `{}`", body[i])))?;
+                let lit = parse_lit(
+                    body.get(i + 1)
+                        .ok_or_else(|| syntax(line, "objective term missing literal"))?,
+                    line,
+                )?;
+                terms.push((coeff, lit));
+                i += 2;
+            }
+            objective = Some(terms);
+        } else {
+            // constraint: terms .. op rhs
+            let op_pos = body
+                .iter()
+                .position(|t| t == ">=" || t == "<=" || t == "=")
+                .ok_or_else(|| syntax(line, "constraint missing relational operator"))?;
+            let op = match body[op_pos].as_str() {
+                ">=" => RelOp::Ge,
+                "<=" => RelOp::Le,
+                _ => RelOp::Eq,
+            };
+            if op_pos + 2 != body.len() {
+                return Err(syntax(line, "expected single right-hand side after operator"));
+            }
+            let rhs: i64 = body[op_pos + 1]
+                .parse()
+                .map_err(|_| syntax(line, format!("bad right-hand side `{}`", body[op_pos + 1])))?;
+            let mut terms = Vec::new();
+            let mut i = 0;
+            while i < op_pos {
+                let coeff: i64 = body[i]
+                    .parse()
+                    .map_err(|_| syntax(line, format!("expected coefficient, found `{}`", body[i])))?;
+                let lit = parse_lit(
+                    body.get(i + 1)
+                        .ok_or_else(|| syntax(line, "constraint term missing literal"))?,
+                    line,
+                )?;
+                terms.push((coeff, lit));
+                i += 2;
+            }
+            constraints.push((terms, op, rhs));
+        }
+    }
+
+    // Declare variables, then feed everything through the builder.
+    for _ in 0..max_var {
+        builder.new_var();
+    }
+    for (terms, op, rhs) in constraints {
+        builder.add_linear(terms, op, rhs);
+    }
+    if let Some(obj) = objective {
+        builder.minimize(obj);
+    }
+    Ok(builder.build()?)
+}
+
+/// Serializes an [`Instance`] to OPB text. The output is normalized
+/// (`>=`-only constraints with positive coefficients) and parses back to
+/// an equal instance.
+///
+/// # Examples
+///
+/// ```
+/// use pbo_core::{parse_opb, write_opb};
+///
+/// let inst = parse_opb("+2 x1 +1 x2 >= 2 ;\n")?;
+/// let text = write_opb(&inst);
+/// assert_eq!(parse_opb(&text)?, inst);
+/// # Ok::<(), pbo_core::ParseOpbError>(())
+/// ```
+pub fn write_opb(instance: &Instance) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "* #variable= {} #constraint= {}",
+        instance.num_vars(),
+        instance.num_constraints()
+    );
+    let _ = writeln!(out, "* name: {}", instance.name());
+    let fmt_lit = |l: Lit| {
+        if l.is_positive() {
+            format!("x{}", l.var().index() + 1)
+        } else {
+            format!("~x{}", l.var().index() + 1)
+        }
+    };
+    if let Some(obj) = instance.objective() {
+        let mut line = String::from("min:");
+        for (c, l) in obj.terms() {
+            let _ = write!(line, " +{} {}", c, fmt_lit(*l));
+        }
+        // The offset is not representable in OPB; it is emitted as a
+        // comment and folded away (solution costs shift accordingly).
+        if obj.offset() != 0 {
+            let _ = writeln!(out, "* objective offset: {}", obj.offset());
+        }
+        let _ = writeln!(out, "{} ;", line);
+    }
+    for c in instance.constraints() {
+        let mut line = String::new();
+        for t in c.terms() {
+            let _ = write!(line, "+{} {} ", t.coeff, fmt_lit(t.lit));
+        }
+        let _ = writeln!(out, "{}>= {} ;", line, c.rhs());
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::instance::InstanceBuilder;
+
+    #[test]
+    fn parse_minimal() {
+        let inst = parse_opb("+1 x1 +1 x2 >= 1 ;").unwrap();
+        assert_eq!(inst.num_vars(), 2);
+        assert_eq!(inst.num_constraints(), 1);
+        assert!(!inst.is_optimization());
+    }
+
+    #[test]
+    fn parse_with_objective_and_comments() {
+        let text = "\
+* a comment
+min: +3 x1 +5 x3 ;
++1 x1 +1 x2 >= 1 ;
+-1 x2 -1 x3 >= -1 ;
+";
+        let inst = parse_opb(text).unwrap();
+        assert_eq!(inst.num_vars(), 3);
+        assert_eq!(inst.num_constraints(), 2);
+        assert!(inst.is_optimization());
+        assert_eq!(inst.cost_of(&[true, false, true]), 8);
+    }
+
+    #[test]
+    fn parse_negated_literals() {
+        let inst = parse_opb("+1 ~x1 +2 x2 >= 2 ;").unwrap();
+        let c = &inst.constraints()[0];
+        assert_eq!(c.coeff_of(Lit::new(0, false)), 1);
+        assert_eq!(c.coeff_of(Lit::new(1, true)), 2);
+    }
+
+    #[test]
+    fn parse_equality_expands() {
+        let inst = parse_opb("+1 x1 +1 x2 = 1 ;").unwrap();
+        assert_eq!(inst.num_constraints(), 2);
+    }
+
+    #[test]
+    fn parse_multiline_statement() {
+        let inst = parse_opb("+1 x1\n+1 x2\n>= 1 ;").unwrap();
+        assert_eq!(inst.num_constraints(), 1);
+        assert_eq!(inst.constraints()[0].len(), 2);
+    }
+
+    #[test]
+    fn syntax_errors_carry_line_numbers() {
+        let err = parse_opb("+1 y1 >= 1 ;").unwrap_err();
+        match err {
+            ParseOpbError::Syntax { line, .. } => assert_eq!(line, 1),
+            other => panic!("unexpected error {other:?}"),
+        }
+        assert!(parse_opb("+1 x1 >= ;").is_err());
+        assert!(parse_opb("+1 x1 1 ;").is_err());
+        assert!(parse_opb("min: +1 x1 ;\nmin: +1 x1 ;").is_err());
+    }
+
+    #[test]
+    fn roundtrip_preserves_instance() {
+        let mut b = InstanceBuilder::new();
+        let vars = b.new_vars(4);
+        b.add_linear(
+            vec![(3, vars[0].positive()), (-2, vars[1].negative()), (1, vars[2].positive())],
+            RelOp::Le,
+            2,
+        );
+        b.add_at_least(2, vars.iter().map(|v| v.positive()));
+        b.minimize(vec![(1, vars[0].positive()), (4, vars[3].negative())]);
+        b.name("unnamed");
+        let inst = b.build().unwrap();
+        let text = write_opb(&inst);
+        let parsed = parse_opb(&text).unwrap();
+        assert_eq!(parsed.constraints(), inst.constraints());
+        assert_eq!(parsed.num_vars(), inst.num_vars());
+        // Objective terms survive; offset is dropped by the format (it is
+        // emitted as a comment), so compare terms only.
+        assert_eq!(
+            parsed.objective().unwrap().terms(),
+            inst.objective().unwrap().terms()
+        );
+    }
+
+    #[test]
+    fn zero_variable_number_rejected() {
+        assert!(parse_opb("+1 x0 >= 1 ;").is_err());
+    }
+}
+
+#[cfg(test)]
+mod more_tests {
+    use super::*;
+
+    #[test]
+    fn write_satisfaction_instance_has_no_min_line() {
+        let inst = parse_opb("+1 x1 +1 x2 >= 1 ;").unwrap();
+        let text = write_opb(&inst);
+        assert!(!text.contains("min:"));
+        assert!(text.contains(">= 1 ;"));
+    }
+
+    #[test]
+    fn parse_trailing_statement_without_semicolon() {
+        // Tolerated: the final statement may omit the terminator.
+        let inst = parse_opb("+1 x1 +1 x2 >= 1").unwrap();
+        assert_eq!(inst.num_constraints(), 1);
+    }
+
+    #[test]
+    fn parse_empty_document() {
+        let inst = parse_opb("* nothing here\n").unwrap();
+        assert_eq!(inst.num_vars(), 0);
+        assert_eq!(inst.num_constraints(), 0);
+    }
+
+    #[test]
+    fn parse_larger_variable_indices_extend_space() {
+        let inst = parse_opb("+1 x9 >= 1 ;").unwrap();
+        assert_eq!(inst.num_vars(), 9);
+    }
+
+    #[test]
+    fn offset_comment_emitted_for_negative_literal_costs() {
+        let mut b = crate::InstanceBuilder::new();
+        let v = b.new_var();
+        b.add_clause([v.positive(), v.negative()]);
+        b.minimize([(5, v.negative())]);
+        let inst = b.build().unwrap();
+        // Normalization keeps the cost on the negative literal (offset 0),
+        // so no offset comment is needed and the term round-trips.
+        let text = write_opb(&inst);
+        let reparsed = parse_opb(&text).unwrap();
+        assert_eq!(
+            reparsed.objective().unwrap().terms(),
+            inst.objective().unwrap().terms()
+        );
+    }
+}

@@ -1,0 +1,830 @@
+//! The conflict-driven search engine.
+//!
+//! [`Engine`] owns the assignment trail, the clause database (with
+//! 2-watched-literal propagation) and the pseudo-Boolean constraints (with
+//! counter/slack propagation), plus conflict analysis and VSIDS. It is the
+//! substrate shared by every solver in the workspace: the bsolo-style
+//! branch-and-bound drives it with *bound conflicts* injected as ad-hoc
+//! conflicting clauses (sec. 4 of the paper), the linear-search baselines
+//! drive it as a plain SAT engine.
+
+use pbo_core::{Assignment, Lit, PbConstraint, PbTerm, Value, Var};
+
+use crate::clause::{ClauseDb, ClauseId};
+use crate::vsids::Vsids;
+
+/// Stable identifier of a pseudo-Boolean constraint inside the engine.
+#[derive(Copy, Clone, PartialEq, Eq, Hash, Debug)]
+pub struct PbId(pub(crate) u32);
+
+impl PbId {
+    /// Raw index value (for diagnostics).
+    pub fn raw(self) -> u32 {
+        self.0
+    }
+}
+
+/// Why a variable is assigned.
+#[derive(Copy, Clone, PartialEq, Eq, Debug)]
+pub enum Reason {
+    /// Decision or unassigned.
+    None,
+    /// Propagated by a clause.
+    Clause(ClauseId),
+    /// Propagated by a pseudo-Boolean constraint.
+    Pb(PbId),
+}
+
+/// A conflict discovered by propagation or injected by the caller.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum Conflict {
+    /// A clause with every literal false.
+    Clause(ClauseId),
+    /// A pseudo-Boolean constraint whose slack went negative.
+    Pb(PbId),
+    /// An ad-hoc conflicting clause: every listed literal is currently
+    /// false. This is how bound conflicts (`omega_bc`, sec. 4) enter the
+    /// standard conflict-analysis machinery.
+    AdHoc(Vec<Lit>),
+}
+
+/// Outcome of conflict resolution.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum Resolution {
+    /// A clause was learned and the search backjumped.
+    Backjumped {
+        /// Decision level the search jumped back to.
+        level: u32,
+        /// Literal asserted by the learned clause at that level.
+        asserted: Lit,
+        /// Length of the learned clause.
+        learnt_len: usize,
+        /// Id of the learned clause (`None` for the rare case where the
+        /// learned clause duplicated an existing unit).
+        learnt_id: Option<ClauseId>,
+    },
+    /// The conflict is terminal: it holds even with no decisions, so the
+    /// current formula is unsatisfiable (for an optimizer: search is
+    /// exhausted).
+    Unsat,
+}
+
+/// Counters describing engine effort; all fields are cumulative.
+#[derive(Clone, Default, Debug)]
+pub struct EngineStats {
+    /// Number of decisions taken.
+    pub decisions: u64,
+    /// Number of literal propagations.
+    pub propagations: u64,
+    /// Number of conflicts resolved (logic and bound conflicts).
+    pub conflicts: u64,
+    /// Number of bound conflicts injected via [`Conflict::AdHoc`].
+    pub adhoc_conflicts: u64,
+    /// Number of learned clauses.
+    pub learnt_clauses: u64,
+    /// Sum of learned clause lengths.
+    pub learnt_literals: u64,
+    /// Number of restarts.
+    pub restarts: u64,
+    /// Number of learned-database reductions.
+    pub db_reductions: u64,
+    /// Sum over conflicts of (conflict level - backjump level); values
+    /// greater than `conflicts` indicate non-chronological backtracking.
+    pub backjump_levels: u64,
+}
+
+#[derive(Copy, Clone, Debug)]
+struct Watcher {
+    clause: ClauseId,
+    blocker: Lit,
+}
+
+#[derive(Clone, Debug)]
+struct PbData {
+    terms: Vec<PbTerm>,
+    rhs: i64,
+    /// Weight of non-false literals minus rhs, kept exact at all times.
+    slack: i64,
+    max_coeff: i64,
+    active: bool,
+}
+
+#[derive(Copy, Clone, Debug)]
+struct PbOcc {
+    pb: u32,
+    coeff: i64,
+}
+
+/// Conflict-driven engine over clauses and pseudo-Boolean constraints.
+///
+/// # Examples
+///
+/// ```
+/// use pbo_core::{Lit, PbConstraint};
+/// use pbo_engine::{Engine, Conflict};
+///
+/// let mut e = Engine::new(2);
+/// e.add_constraint(&PbConstraint::clause([Lit::new(0, true), Lit::new(1, true)]))
+///     .unwrap();
+/// e.decide(Lit::new(0, false));
+/// assert!(e.propagate().is_none());
+/// assert!(e.assignment().is_true(Lit::new(1, true))); // propagated
+/// ```
+#[derive(Debug)]
+pub struct Engine {
+    num_vars: usize,
+    assignment: Assignment,
+    level: Vec<u32>,
+    reason: Vec<Reason>,
+    trail_pos: Vec<usize>,
+    trail: Vec<Lit>,
+    trail_lim: Vec<usize>,
+    qhead: usize,
+    clauses: ClauseDb,
+    watches: Vec<Vec<Watcher>>,
+    pbs: Vec<PbData>,
+    pb_occur: Vec<Vec<PbOcc>>,
+    vsids: Vsids,
+    phase: Vec<bool>,
+    seen: Vec<bool>,
+    root_unsat: bool,
+    /// Stats are public for cheap read access by solvers.
+    pub stats: EngineStats,
+}
+
+/// Error returned when adding a constraint makes the formula unsatisfiable
+/// at the root level.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct RootConflict;
+
+impl std::fmt::Display for RootConflict {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "formula is unsatisfiable at the root level")
+    }
+}
+
+impl std::error::Error for RootConflict {}
+
+impl Engine {
+    /// Creates an engine over `num_vars` variables with no constraints.
+    pub fn new(num_vars: usize) -> Engine {
+        Engine {
+            num_vars,
+            assignment: Assignment::new(num_vars),
+            level: vec![0; num_vars],
+            reason: vec![Reason::None; num_vars],
+            trail_pos: vec![0; num_vars],
+            trail: Vec::with_capacity(num_vars),
+            trail_lim: Vec::new(),
+            qhead: 0,
+            clauses: ClauseDb::new(),
+            watches: vec![Vec::new(); 2 * num_vars],
+            pbs: Vec::new(),
+            pb_occur: vec![Vec::new(); 2 * num_vars],
+            vsids: Vsids::new(num_vars, 0.95),
+            phase: vec![false; num_vars],
+            seen: vec![false; num_vars],
+            root_unsat: false,
+            stats: EngineStats::default(),
+        }
+    }
+
+    /// Number of variables.
+    pub fn num_vars(&self) -> usize {
+        self.num_vars
+    }
+
+    /// Current decision level (0 = root).
+    #[inline]
+    pub fn decision_level(&self) -> u32 {
+        self.trail_lim.len() as u32
+    }
+
+    /// The current partial assignment.
+    #[inline]
+    pub fn assignment(&self) -> &Assignment {
+        &self.assignment
+    }
+
+    /// Decision level at which `var` was assigned (meaningless if
+    /// unassigned).
+    #[inline]
+    pub fn level_of(&self, var: Var) -> u32 {
+        self.level[var.index()]
+    }
+
+    /// Reason recorded for `var`'s assignment.
+    #[inline]
+    pub fn reason_of(&self, var: Var) -> Reason {
+        self.reason[var.index()]
+    }
+
+    /// The assignment trail in chronological order.
+    pub fn trail(&self) -> &[Lit] {
+        &self.trail
+    }
+
+    /// Returns `true` if a root-level conflict has been derived: no
+    /// assignment can satisfy the stored constraints.
+    pub fn is_root_unsat(&self) -> bool {
+        self.root_unsat
+    }
+
+    /// Saved phase (preferred polarity) of a variable.
+    pub fn phase_of(&self, var: Var) -> bool {
+        self.phase[var.index()]
+    }
+
+    /// Overrides the saved phase of a variable.
+    pub fn set_phase(&mut self, var: Var, value: bool) {
+        self.phase[var.index()] = value;
+    }
+
+    /// Bumps the VSIDS activity of a variable (used by solvers to inform
+    /// branching, e.g. from LP fractionality).
+    pub fn bump_var(&mut self, var: Var) {
+        self.vsids.bump(var);
+    }
+
+    /// Extracts the complete model as booleans.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the assignment is not complete.
+    pub fn model(&self) -> Vec<bool> {
+        assert!(self.assignment.is_complete(), "model requested before assignment complete");
+        self.assignment.to_bools_lossy()
+    }
+
+    // ------------------------------------------------------------------
+    // Constraint loading
+    // ------------------------------------------------------------------
+
+    /// Adds a normalized constraint, dispatching clauses to the watched
+    /// database and everything else to the counter-based PB store. Must be
+    /// called at decision level 0.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RootConflict`] if the constraint (together with earlier
+    /// root propagations) is contradictory.
+    ///
+    /// # Panics
+    ///
+    /// Panics if called above decision level 0 (PB slack bookkeeping is
+    /// only stable for constraints added at the root; backjump to level 0
+    /// first — see `DESIGN.md`).
+    pub fn add_constraint(&mut self, c: &PbConstraint) -> Result<(), RootConflict> {
+        assert_eq!(self.decision_level(), 0, "constraints must be added at level 0");
+        if self.root_unsat {
+            return Err(RootConflict);
+        }
+        if c.is_unsatisfiable() {
+            self.root_unsat = true;
+            return Err(RootConflict);
+        }
+        let result = if c.class() == pbo_core::ConstraintClass::Clause {
+            self.add_root_clause(c.terms().iter().map(|t| t.lit).collect())
+        } else {
+            self.add_root_pb(c)
+        };
+        if result.is_err() {
+            self.root_unsat = true;
+        }
+        result
+    }
+
+    fn add_root_clause(&mut self, mut lits: Vec<Lit>) -> Result<(), RootConflict> {
+        // Root-level simplification.
+        lits.retain(|&l| !self.assignment.is_false(l) || self.level[l.var().index()] != 0);
+        if lits.iter().any(|&l| self.assignment.is_true(l) && self.level[l.var().index()] == 0) {
+            return Ok(());
+        }
+        lits.sort();
+        lits.dedup();
+        if lits.windows(2).any(|w| w[0].var() == w[1].var()) {
+            return Ok(()); // tautology: l and ~l both present
+        }
+        match lits.len() {
+            0 => Err(RootConflict),
+            1 => {
+                if !self.enqueue(lits[0], Reason::None) {
+                    return Err(RootConflict);
+                }
+                if self.propagate().is_some() {
+                    return Err(RootConflict);
+                }
+                Ok(())
+            }
+            _ => {
+                let id = self.clauses.insert(lits, false);
+                self.attach_clause(id);
+                Ok(())
+            }
+        }
+    }
+
+    fn add_root_pb(&mut self, c: &PbConstraint) -> Result<(), RootConflict> {
+        let id = PbId(self.pbs.len() as u32);
+        let max_coeff = c.terms().iter().map(|t| t.coeff).max().unwrap_or(0);
+        let slack = c.slack(&self.assignment);
+        let data = PbData {
+            terms: c.terms().to_vec(),
+            rhs: c.rhs(),
+            slack,
+            max_coeff,
+            active: true,
+        };
+        for t in &data.terms {
+            self.pb_occur[t.lit.code()].push(PbOcc { pb: id.0, coeff: t.coeff });
+        }
+        self.pbs.push(data);
+        if slack < 0 {
+            return Err(RootConflict);
+        }
+        // Root-level implied literals.
+        if slack < max_coeff {
+            let implied: Vec<Lit> = self.pbs[id.0 as usize]
+                .terms
+                .iter()
+                .filter(|t| t.coeff > slack && self.assignment.is_unassigned(t.lit))
+                .map(|t| t.lit)
+                .collect();
+            for l in implied {
+                if !self.enqueue(l, Reason::Pb(id)) {
+                    return Err(RootConflict);
+                }
+            }
+            if self.propagate().is_some() {
+                return Err(RootConflict);
+            }
+        }
+        Ok(())
+    }
+
+    /// Deactivates a previously added PB constraint (used to drop
+    /// superseded upper-bound cuts). The constraint stops participating in
+    /// propagation; its slack bookkeeping continues harmlessly.
+    pub fn deactivate_pb(&mut self, id: PbId) {
+        self.pbs[id.0 as usize].active = false;
+    }
+
+    /// The terms of a stored PB constraint (for diagnostics and
+    /// cutting-plane-style analyses layered on top of the engine).
+    pub fn pb_terms(&self, id: PbId) -> &[PbTerm] {
+        &self.pbs[id.0 as usize].terms
+    }
+
+    /// The right-hand side of a stored PB constraint.
+    pub fn pb_rhs(&self, id: PbId) -> i64 {
+        self.pbs[id.0 as usize].rhs
+    }
+
+    /// The current slack of a stored PB constraint (non-false weight
+    /// minus right-hand side under the current assignment).
+    pub fn pb_slack(&self, id: PbId) -> i64 {
+        self.pbs[id.0 as usize].slack
+    }
+
+    /// Adds the normalized upper-bound ("knapsack", eq. 10) cut and
+    /// returns its id so it can be deactivated when superseded. Must be
+    /// called at level 0.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RootConflict`] if the cut is contradictory with the root
+    /// assignment — meaning no solution better than the bound exists.
+    pub fn add_pb_cut(&mut self, c: &PbConstraint) -> Result<PbId, RootConflict> {
+        assert_eq!(self.decision_level(), 0, "cuts must be added at level 0");
+        if c.is_unsatisfiable() {
+            self.root_unsat = true;
+            return Err(RootConflict);
+        }
+        let id = PbId(self.pbs.len() as u32);
+        self.add_root_pb(c).map(|()| id).inspect_err(|_| {
+            self.root_unsat = true;
+        })
+    }
+
+    fn attach_clause(&mut self, id: ClauseId) {
+        let (w0, w1, blocker0, blocker1) = {
+            let c = self.clauses.get(id);
+            debug_assert!(c.len() >= 2);
+            (c.lits()[0], c.lits()[1], c.lits()[1], c.lits()[0])
+        };
+        // `watches[l.code()]` holds the clauses watching literal `l`; the
+        // list is visited when `l` becomes false.
+        self.watches[w0.code()].push(Watcher { clause: id, blocker: blocker0 });
+        self.watches[w1.code()].push(Watcher { clause: id, blocker: blocker1 });
+    }
+
+    fn detach_clause(&mut self, id: ClauseId) {
+        let (w0, w1) = {
+            let c = self.clauses.get(id);
+            (c.lits()[0], c.lits()[1])
+        };
+        self.watches[w0.code()].retain(|w| w.clause != id);
+        self.watches[w1.code()].retain(|w| w.clause != id);
+    }
+
+    // ------------------------------------------------------------------
+    // Assignment control
+    // ------------------------------------------------------------------
+
+    /// Enqueues a literal with a reason. Returns `false` if the literal is
+    /// already false (caller must treat this as a conflict on the reason
+    /// constraint).
+    pub fn enqueue(&mut self, lit: Lit, reason: Reason) -> bool {
+        match self.assignment.lit_value(lit) {
+            Value::True => true,
+            Value::False => false,
+            Value::Unassigned => {
+                let vi = lit.var().index();
+                self.assignment.assign_lit(lit);
+                self.level[vi] = self.decision_level();
+                self.reason[vi] = reason;
+                self.trail_pos[vi] = self.trail.len();
+                self.trail.push(lit);
+                self.stats.propagations += 1;
+                // Falsifying ~lit shrinks the slack of every PB constraint
+                // that contains ~lit.
+                let code = (!lit).code();
+                for k in 0..self.pb_occur[code].len() {
+                    let occ = self.pb_occur[code][k];
+                    self.pbs[occ.pb as usize].slack -= occ.coeff;
+                }
+                true
+            }
+        }
+    }
+
+    /// Starts a new decision level and assigns `lit`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lit`'s variable is already assigned.
+    pub fn decide(&mut self, lit: Lit) {
+        assert!(self.assignment.is_unassigned(lit), "deciding an assigned literal");
+        self.trail_lim.push(self.trail.len());
+        self.stats.decisions += 1;
+        let ok = self.enqueue(lit, Reason::None);
+        debug_assert!(ok);
+    }
+
+    /// Undoes all assignments above `target_level`.
+    pub fn backjump_to(&mut self, target_level: u32) {
+        if self.decision_level() <= target_level {
+            return;
+        }
+        let new_len = self.trail_lim[target_level as usize];
+        for i in (new_len..self.trail.len()).rev() {
+            let lit = self.trail[i];
+            let vi = lit.var().index();
+            // Restore PB slacks (mirror of enqueue).
+            let code = (!lit).code();
+            for k in 0..self.pb_occur[code].len() {
+                let occ = self.pb_occur[code][k];
+                self.pbs[occ.pb as usize].slack += occ.coeff;
+            }
+            self.phase[vi] = lit.is_positive();
+            self.assignment.unassign(lit.var());
+            self.reason[vi] = Reason::None;
+            self.vsids.insert(lit.var());
+        }
+        self.trail.truncate(new_len);
+        self.trail_lim.truncate(target_level as usize);
+        self.qhead = self.trail.len();
+    }
+
+    /// Restarts the search (backjump to the root, keep learned clauses).
+    pub fn restart(&mut self) {
+        self.stats.restarts += 1;
+        self.backjump_to(0);
+    }
+
+    /// Picks the unassigned variable with the highest VSIDS activity, or
+    /// `None` if every variable is assigned.
+    pub fn pick_branch_var(&mut self) -> Option<Var> {
+        while let Some(v) = self.vsids.pop_max() {
+            if self.assignment.value(v) == Value::Unassigned {
+                return Some(v);
+            }
+        }
+        None
+    }
+
+    // ------------------------------------------------------------------
+    // Propagation
+    // ------------------------------------------------------------------
+
+    /// Propagates to fixpoint. Returns the conflict if one is found.
+    pub fn propagate(&mut self) -> Option<Conflict> {
+        while self.qhead < self.trail.len() {
+            let p = self.trail[self.qhead];
+            self.qhead += 1;
+            if let Some(confl) = self.propagate_clauses(p) {
+                self.qhead = self.trail.len();
+                return Some(confl);
+            }
+            if let Some(confl) = self.propagate_pbs(p) {
+                self.qhead = self.trail.len();
+                return Some(confl);
+            }
+        }
+        None
+    }
+
+    /// Standard two-watched-literal scheme over the clause database.
+    fn propagate_clauses(&mut self, p: Lit) -> Option<Conflict> {
+        let false_lit = !p;
+        let code = false_lit.code();
+        let mut ws = std::mem::take(&mut self.watches[code]);
+        let mut i = 0;
+        let mut j = 0;
+        let mut conflict = None;
+        'watchers: while i < ws.len() {
+            let w = ws[i];
+            i += 1;
+            if self.assignment.is_true(w.blocker) {
+                ws[j] = w;
+                j += 1;
+                continue;
+            }
+            let cid = w.clause;
+            // Normalize so lits[1] is the falsified watch.
+            let first = {
+                let c = self.clauses.get_mut(cid);
+                let lits = c.lits_mut();
+                if lits[0] == false_lit {
+                    lits.swap(0, 1);
+                }
+                lits[0]
+            };
+            if first != w.blocker && self.assignment.is_true(first) {
+                ws[j] = Watcher { clause: cid, blocker: first };
+                j += 1;
+                continue;
+            }
+            // Look for a new watch.
+            let len = self.clauses.get(cid).len();
+            for k in 2..len {
+                let lk = self.clauses.get(cid).lits()[k];
+                if self.assignment.lit_value(lk) != Value::False {
+                    let c = self.clauses.get_mut(cid);
+                    c.lits_mut().swap(1, k);
+                    self.watches[lk.code()].push(Watcher { clause: cid, blocker: first });
+                    continue 'watchers;
+                }
+            }
+            // No new watch: clause is unit or conflicting.
+            ws[j] = Watcher { clause: cid, blocker: first };
+            j += 1;
+            if !self.enqueue(first, Reason::Clause(cid)) {
+                // Conflict: keep remaining watchers.
+                while i < ws.len() {
+                    ws[j] = ws[i];
+                    j += 1;
+                    i += 1;
+                }
+                conflict = Some(Conflict::Clause(cid));
+                break;
+            }
+        }
+        ws.truncate(j);
+        self.watches[code] = ws;
+        conflict
+    }
+
+    /// Counter-based propagation for PB constraints containing `!p`.
+    fn propagate_pbs(&mut self, p: Lit) -> Option<Conflict> {
+        let code = (!p).code();
+        for k in 0..self.pb_occur[code].len() {
+            let occ = self.pb_occur[code][k];
+            let pb_idx = occ.pb as usize;
+            if !self.pbs[pb_idx].active {
+                continue;
+            }
+            let slack = self.pbs[pb_idx].slack;
+            if slack < 0 {
+                return Some(Conflict::Pb(PbId(occ.pb)));
+            }
+            if slack < self.pbs[pb_idx].max_coeff {
+                // Every unassigned literal with coeff > slack is forced.
+                let mut implied: Vec<Lit> = Vec::new();
+                for t in &self.pbs[pb_idx].terms {
+                    if t.coeff > slack && self.assignment.is_unassigned(t.lit) {
+                        implied.push(t.lit);
+                    }
+                }
+                for l in implied {
+                    let ok = self.enqueue(l, Reason::Pb(PbId(occ.pb)));
+                    debug_assert!(ok, "implied literal cannot be false");
+                }
+            }
+        }
+        None
+    }
+
+    // ------------------------------------------------------------------
+    // Conflict analysis (first-UIP)
+    // ------------------------------------------------------------------
+
+    /// Literals of the conflicting constraint, all currently false.
+    fn conflict_literals(&self, conflict: &Conflict) -> Vec<Lit> {
+        match conflict {
+            Conflict::Clause(id) => self.clauses.get(*id).lits().to_vec(),
+            Conflict::Pb(id) => {
+                let pb = &self.pbs[id.0 as usize];
+                pb.terms
+                    .iter()
+                    .map(|t| t.lit)
+                    .filter(|&l| self.assignment.is_false(l))
+                    .collect()
+            }
+            Conflict::AdHoc(lits) => lits.clone(),
+        }
+    }
+
+    /// The literals that implied `p` (all currently false), given its
+    /// recorded reason.
+    fn reason_literals(&self, p: Lit) -> Vec<Lit> {
+        match self.reason[p.var().index()] {
+            Reason::None => Vec::new(),
+            Reason::Clause(id) => self
+                .clauses
+                .get(id)
+                .lits()
+                .iter()
+                .copied()
+                .filter(|&l| l != p)
+                .collect(),
+            Reason::Pb(id) => {
+                let pb = &self.pbs[id.0 as usize];
+                let p_pos = self.trail_pos[p.var().index()];
+                pb.terms
+                    .iter()
+                    .map(|t| t.lit)
+                    .filter(|&l| {
+                        self.assignment.is_false(l) && self.trail_pos[l.var().index()] < p_pos
+                    })
+                    .collect()
+            }
+        }
+    }
+
+    /// Resolves a conflict: learns a first-UIP clause, backjumps and
+    /// asserts its head literal. Handles conflicts whose literals live
+    /// below the current decision level (bound conflicts) by first
+    /// backtracking to the highest involved level.
+    pub fn resolve_conflict(&mut self, conflict: Conflict) -> Resolution {
+        self.stats.conflicts += 1;
+        if matches!(conflict, Conflict::AdHoc(_)) {
+            self.stats.adhoc_conflicts += 1;
+        }
+        if let Conflict::Clause(id) = conflict {
+            self.clauses.bump_activity(id);
+        }
+        let conflict_lits = self.conflict_literals(&conflict);
+        debug_assert!(
+            conflict_lits.iter().all(|&l| self.assignment.is_false(l)),
+            "conflict literals must all be false"
+        );
+        let max_level = conflict_lits
+            .iter()
+            .map(|&l| self.level[l.var().index()])
+            .max()
+            .unwrap_or(0);
+        if max_level == 0 {
+            self.root_unsat = true;
+            return Resolution::Unsat;
+        }
+        let entry_level = self.decision_level();
+        // A bound conflict may not involve the deepest decisions; drop to
+        // the highest level that matters before the UIP walk. All conflict
+        // literals stay false.
+        if max_level < entry_level {
+            self.backjump_to(max_level);
+        }
+        let current = self.decision_level();
+
+        let mut learnt: Vec<Lit> = vec![Lit::new(0, true)]; // placeholder head
+        let mut path_count: u32 = 0;
+        let mut index = self.trail.len();
+        let mut to_clear: Vec<Var> = Vec::new();
+
+        let mut pending: Vec<Lit> = conflict_lits;
+        let asserted;
+        loop {
+            for &q in &pending {
+                let v = q.var();
+                let lvl = self.level[v.index()];
+                if !self.seen[v.index()] && lvl > 0 {
+                    self.seen[v.index()] = true;
+                    to_clear.push(v);
+                    self.vsids.bump(v);
+                    if lvl >= current {
+                        path_count += 1;
+                    } else {
+                        learnt.push(q);
+                    }
+                }
+            }
+            // Next trail literal involved in the conflict.
+            loop {
+                index -= 1;
+                if self.seen[self.trail[index].var().index()] {
+                    break;
+                }
+            }
+            let p = self.trail[index];
+            self.seen[p.var().index()] = false;
+            path_count -= 1;
+            if path_count == 0 {
+                asserted = !p;
+                break;
+            }
+            pending = self.reason_literals(p);
+            if let Reason::Clause(id) = self.reason[p.var().index()] {
+                self.clauses.bump_activity(id);
+            }
+        }
+        learnt[0] = asserted;
+        for v in to_clear {
+            self.seen[v.index()] = false;
+        }
+
+        // Backjump level: highest level among the tail literals.
+        let backjump_level = if learnt.len() == 1 {
+            0
+        } else {
+            let (best_idx, best_level) = learnt[1..]
+                .iter()
+                .enumerate()
+                .map(|(i, &l)| (i + 1, self.level[l.var().index()]))
+                .max_by_key(|&(_, lvl)| lvl)
+                .expect("non-empty tail");
+            learnt.swap(1, best_idx);
+            best_level
+        };
+        self.stats.backjump_levels += (current - backjump_level) as u64;
+        self.backjump_to(backjump_level);
+
+        self.stats.learnt_clauses += 1;
+        self.stats.learnt_literals += learnt.len() as u64;
+        let learnt_len = learnt.len();
+        let (learnt_id, ok) = if learnt_len == 1 {
+            let id = self.clauses.insert(learnt.clone(), true);
+            (Some(id), self.enqueue(learnt[0], Reason::Clause(id)))
+        } else {
+            let id = self.clauses.insert(learnt.clone(), true);
+            self.attach_clause(id);
+            self.clauses.bump_activity(id);
+            (Some(id), self.enqueue(learnt[0], Reason::Clause(id)))
+        };
+        debug_assert!(ok, "asserted literal must be enqueuable after backjump");
+        self.vsids.decay();
+        self.clauses.decay_activity();
+        Resolution::Backjumped {
+            level: backjump_level,
+            asserted,
+            learnt_len,
+            learnt_id,
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Learned database maintenance
+    // ------------------------------------------------------------------
+
+    /// Number of live learned clauses.
+    pub fn num_learnts(&self) -> usize {
+        self.clauses.num_learnt()
+    }
+
+    /// Removes roughly half of the learned clauses, keeping the most
+    /// active ones, binary clauses and clauses currently used as reasons.
+    pub fn reduce_learnts(&mut self) {
+        self.stats.db_reductions += 1;
+        let locked: std::collections::HashSet<ClauseId> = self
+            .trail
+            .iter()
+            .filter_map(|l| match self.reason[l.var().index()] {
+                Reason::Clause(id) => Some(id),
+                _ => None,
+            })
+            .collect();
+        let mut candidates: Vec<(ClauseId, f64)> = self
+            .clauses
+            .iter()
+            .filter(|(id, c)| c.is_learnt() && c.len() > 2 && !locked.contains(id))
+            .map(|(id, c)| (id, c.activity()))
+            .collect();
+        candidates.sort_by(|a, b| a.1.partial_cmp(&b.1).unwrap_or(std::cmp::Ordering::Equal));
+        let remove_count = candidates.len() / 2;
+        let ids: Vec<ClauseId> = candidates[..remove_count].iter().map(|&(id, _)| id).collect();
+        for id in ids {
+            self.detach_clause(id);
+            self.clauses.remove(id);
+        }
+    }
+}

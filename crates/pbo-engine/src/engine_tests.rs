@@ -1,0 +1,352 @@
+//! Engine behaviour tests: propagation, learning, backjumping, bound
+//! conflicts and end-to-end satisfiability cross-checked against the
+//! exhaustive reference solver.
+
+use pbo_core::{brute_force, InstanceBuilder, Instance, Lit, PbConstraint, Var};
+
+use crate::engine::{Conflict, Engine, Reason, Resolution};
+
+fn lit(i: usize, pos: bool) -> Lit {
+    Lit::new(i, pos)
+}
+
+/// Loads every constraint of `inst` into a fresh engine.
+fn engine_for(inst: &Instance) -> Result<Engine, ()> {
+    let mut e = Engine::new(inst.num_vars());
+    for c in inst.constraints() {
+        if e.add_constraint(c).is_err() {
+            return Err(());
+        }
+    }
+    Ok(e)
+}
+
+/// Minimal CDCL driver used to exercise the engine end to end.
+fn solve(e: &mut Engine) -> Option<Vec<bool>> {
+    if e.is_root_unsat() {
+        return None;
+    }
+    loop {
+        if let Some(confl) = e.propagate() {
+            match e.resolve_conflict(confl) {
+                Resolution::Unsat => return None,
+                Resolution::Backjumped { .. } => {}
+            }
+        } else if let Some(v) = e.pick_branch_var() {
+            let phase = e.phase_of(v);
+            e.decide(v.lit(phase));
+        } else {
+            return Some(e.model());
+        }
+    }
+}
+
+#[test]
+fn unit_clause_chain_propagates() {
+    let mut e = Engine::new(4);
+    // x1;  ~x1 \/ x2;  ~x2 \/ x3;  ~x3 \/ x4
+    e.add_constraint(&PbConstraint::clause([lit(0, true)])).unwrap();
+    e.add_constraint(&PbConstraint::clause([lit(0, false), lit(1, true)])).unwrap();
+    e.add_constraint(&PbConstraint::clause([lit(1, false), lit(2, true)])).unwrap();
+    e.add_constraint(&PbConstraint::clause([lit(2, false), lit(3, true)])).unwrap();
+    assert!(e.propagate().is_none());
+    for i in 0..4 {
+        assert!(e.assignment().is_true(lit(i, true)), "x{} should be true", i + 1);
+    }
+    assert_eq!(e.decision_level(), 0);
+}
+
+#[test]
+fn pb_constraint_forces_heavy_literal() {
+    let mut e = Engine::new(3);
+    // 3*x1 + x2 + x3 >= 3 : x1 forced immediately (slack 1 < coeff 3).
+    e.add_constraint(
+        &PbConstraint::try_new(vec![(3, lit(0, true)), (1, lit(1, true)), (1, lit(2, true))], 3)
+            .unwrap(),
+    )
+    .unwrap();
+    assert!(e.propagate().is_none());
+    assert!(e.assignment().is_true(lit(0, true)));
+    assert!(e.assignment().is_unassigned(lit(1, true)));
+}
+
+#[test]
+fn pb_propagation_after_decisions() {
+    let mut e = Engine::new(3);
+    // 2*x1 + x2 + x3 >= 2
+    e.add_constraint(
+        &PbConstraint::try_new(vec![(2, lit(0, true)), (1, lit(1, true)), (1, lit(2, true))], 2)
+            .unwrap(),
+    )
+    .unwrap();
+    assert!(e.propagate().is_none());
+    assert!(e.assignment().is_unassigned(lit(0, true)), "nothing forced initially");
+    // Falsify x2: slack 1, x1 now forced (coeff 2 > 1).
+    e.decide(lit(1, false));
+    assert!(e.propagate().is_none());
+    assert!(e.assignment().is_true(lit(0, true)));
+    assert_eq!(e.level_of(Var::new(0)), 1);
+    assert!(matches!(e.reason_of(Var::new(0)), Reason::Pb(_)));
+}
+
+#[test]
+fn pb_conflict_detected() {
+    let mut e = Engine::new(2);
+    // x1 + x2 >= 2 forces both at root; adding x1+x2 <= 1 as ~x1 + ~x2 >= 1
+    // must conflict.
+    e.add_constraint(&PbConstraint::at_least(2, [lit(0, true), lit(1, true)])).unwrap();
+    assert!(e.propagate().is_none());
+    let err = e.add_constraint(&PbConstraint::clause([lit(0, false), lit(1, false)]));
+    assert!(err.is_err());
+    assert!(e.is_root_unsat());
+}
+
+#[test]
+fn learning_and_backjumping() {
+    // Deciding a then b forces c and ~c: conflict at level 2; the learned
+    // clause (~a \/ ~b shaped) asserts at level 1.
+    let mut e = Engine::new(3);
+    let (a, b, c) = (lit(0, true), lit(1, true), lit(2, true));
+    e.add_constraint(&PbConstraint::clause([!a, !b, c])).unwrap();
+    e.add_constraint(&PbConstraint::clause([!a, !b, !c])).unwrap();
+    e.decide(a);
+    assert!(e.propagate().is_none());
+    e.decide(b);
+    let confl = e.propagate().expect("conflict expected");
+    match e.resolve_conflict(confl) {
+        Resolution::Backjumped { level, learnt_len, asserted, .. } => {
+            assert_eq!(level, 1, "non-chronological jump to the other decision's level");
+            assert_eq!(learnt_len, 2);
+            assert_eq!(asserted, !b, "first-UIP flips the deeper decision");
+        }
+        Resolution::Unsat => panic!("not unsat"),
+    }
+    assert!(e.propagate().is_none());
+    assert!(e.assignment().is_true(!b));
+}
+
+#[test]
+fn root_conflict_is_unsat() {
+    let mut e = Engine::new(1);
+    e.add_constraint(&PbConstraint::clause([lit(0, true)])).unwrap();
+    assert!(e.add_constraint(&PbConstraint::clause([lit(0, false)])).is_err());
+}
+
+#[test]
+fn adhoc_conflict_backjumps_non_chronologically() {
+    // Decide x1..x4 at levels 1..4; inject a bound conflict mentioning
+    // only levels 1 and 2. The engine must jump below level 4.
+    let mut e = Engine::new(5);
+    for i in 0..4 {
+        e.decide(lit(i, true));
+        assert!(e.propagate().is_none());
+    }
+    assert_eq!(e.decision_level(), 4);
+    let omega_bc = vec![lit(0, false), lit(1, false)]; // both currently false
+    match e.resolve_conflict(Conflict::AdHoc(omega_bc)) {
+        Resolution::Backjumped { level, asserted, .. } => {
+            assert!(level <= 1, "expected non-chronological jump, got level {level}");
+            assert_eq!(asserted, lit(1, false));
+        }
+        Resolution::Unsat => panic!("not terminal"),
+    }
+    // Levels 3 and 4 decisions were undone.
+    assert!(e.assignment().is_unassigned(lit(2, true)));
+    assert!(e.assignment().is_unassigned(lit(3, true)));
+    assert_eq!(e.stats.adhoc_conflicts, 1);
+}
+
+#[test]
+fn adhoc_conflict_at_root_is_unsat() {
+    let mut e = Engine::new(2);
+    assert_eq!(e.resolve_conflict(Conflict::AdHoc(vec![])), Resolution::Unsat);
+    assert!(e.is_root_unsat());
+}
+
+#[test]
+fn slack_restored_after_backjump() {
+    let mut e = Engine::new(3);
+    let c = PbConstraint::try_new(
+        vec![(2, lit(0, true)), (2, lit(1, true)), (1, lit(2, true))],
+        3,
+    )
+    .unwrap();
+    e.add_constraint(&c).unwrap();
+    assert!(e.propagate().is_none());
+    e.decide(lit(0, false));
+    assert!(e.propagate().is_none());
+    // x2 forced true (slack 0 after losing coeff 2: 2+1-3 = 0 < 2).
+    assert!(e.assignment().is_true(lit(1, true)));
+    e.backjump_to(0);
+    assert!(e.assignment().is_unassigned(lit(0, true)));
+    assert!(e.assignment().is_unassigned(lit(1, true)));
+    // Slack must be fully restored: deciding the other branch behaves
+    // symmetrically.
+    e.decide(lit(1, false));
+    assert!(e.propagate().is_none());
+    assert!(e.assignment().is_true(lit(0, true)));
+}
+
+#[test]
+fn cut_addition_and_deactivation() {
+    let mut e = Engine::new(2);
+    // Cut: ~x1 + ~x2 >= 1 (cost bound style).
+    let cut = PbConstraint::clause([lit(0, false), lit(1, false)]);
+    let id = e.add_pb_cut(&PbConstraint::try_new(
+        vec![(1, lit(0, false)), (1, lit(1, false))], 1).unwrap());
+    // Clause-shaped cuts still go through the PB path via add_pb_cut.
+    let id = id.expect("cut addable");
+    e.decide(lit(0, true));
+    assert!(e.propagate().is_none());
+    assert!(e.assignment().is_true(lit(1, false)), "cut propagates ~x2");
+    e.backjump_to(0);
+    e.deactivate_pb(id);
+    e.decide(lit(0, true));
+    assert!(e.propagate().is_none());
+    assert!(e.assignment().is_unassigned(lit(1, false)), "deactivated cut is inert");
+    drop(cut);
+}
+
+#[test]
+fn solves_satisfiable_formula() {
+    let mut b = InstanceBuilder::new();
+    let v = b.new_vars(4);
+    b.add_clause([v[0].positive(), v[1].positive()]);
+    b.add_at_most(1, [v[0].positive(), v[1].positive()]);
+    b.add_at_least(2, [v[1].positive(), v[2].positive(), v[3].positive()]);
+    let inst = b.build().unwrap();
+    let mut e = engine_for(&inst).unwrap();
+    let model = solve(&mut e).expect("satisfiable");
+    assert!(inst.is_feasible(&model));
+}
+
+#[test]
+fn detects_unsatisfiable_formula() {
+    // Pigeonhole: 3 pigeons, 2 holes.
+    let mut b = InstanceBuilder::new();
+    let p: Vec<Vec<Var>> = (0..3).map(|_| b.new_vars(2)).collect();
+    for row in &p {
+        b.add_clause(row.iter().map(|v| v.positive()));
+    }
+    for h in 0..2 {
+        b.add_at_most(1, p.iter().map(|row| row[h].positive()));
+    }
+    let inst = b.build().unwrap();
+    match engine_for(&inst) {
+        Err(()) => {} // already unsat at root — fine
+        Ok(mut e) => assert!(solve(&mut e).is_none()),
+    }
+}
+
+#[test]
+fn agrees_with_brute_force_on_random_instances() {
+    use rand::{Rng, SeedableRng};
+    let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(0xb5010);
+    for round in 0..60 {
+        let n = rng.gen_range(3..9);
+        let mut b = InstanceBuilder::new();
+        let vars = b.new_vars(n);
+        let m = rng.gen_range(2..10);
+        for _ in 0..m {
+            let len = rng.gen_range(1..=3.min(n));
+            let mut idxs: Vec<usize> = (0..n).collect();
+            for i in 0..len {
+                let j = rng.gen_range(i..n);
+                idxs.swap(i, j);
+            }
+            let terms: Vec<(i64, Lit)> = idxs[..len]
+                .iter()
+                .map(|&i| (rng.gen_range(1..4), vars[i].lit(rng.gen_bool(0.5))))
+                .collect();
+            let max: i64 = terms.iter().map(|t| t.0).sum();
+            let rhs = rng.gen_range(1..=max);
+            b.add_linear(terms, pbo_core::RelOp::Ge, rhs);
+        }
+        let inst = b.build().unwrap();
+        let expected = brute_force(&inst).cost().is_some();
+        let got = match engine_for(&inst) {
+            Err(()) => false,
+            Ok(mut e) => {
+                let model = solve(&mut e);
+                if let Some(m) = &model {
+                    assert!(inst.is_feasible(m), "round {round}: model infeasible");
+                }
+                model.is_some()
+            }
+        };
+        assert_eq!(got, expected, "round {round}: SAT/UNSAT mismatch");
+    }
+}
+
+#[test]
+fn restart_keeps_learnt_clauses_and_correctness() {
+    let mut b = InstanceBuilder::new();
+    let v = b.new_vars(6);
+    for i in 0..5 {
+        b.add_clause([v[i].positive(), v[i + 1].positive()]);
+        b.add_at_most(1, [v[i].positive(), v[i + 1].positive()]);
+    }
+    let inst = b.build().unwrap();
+    let mut e = engine_for(&inst).unwrap();
+    // Interleave a restart into solving.
+    e.decide(Lit::new(0, true));
+    assert!(e.propagate().is_none());
+    e.restart();
+    assert_eq!(e.decision_level(), 0);
+    let model = solve(&mut e).expect("satisfiable");
+    assert!(inst.is_feasible(&model));
+    assert_eq!(e.stats.restarts, 1);
+}
+
+#[test]
+fn reduce_learnts_keeps_solver_sound() {
+    use rand::{Rng, SeedableRng};
+    let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(7);
+    let mut b = InstanceBuilder::new();
+    let n = 12;
+    let vars = b.new_vars(n);
+    for _ in 0..30 {
+        let a = rng.gen_range(0..n);
+        let mut c = rng.gen_range(0..n);
+        while c == a {
+            c = rng.gen_range(0..n);
+        }
+        b.add_clause([vars[a].lit(rng.gen_bool(0.5)), vars[c].lit(rng.gen_bool(0.5))]);
+    }
+    let inst = b.build().unwrap();
+    let expected = brute_force(&inst).cost().is_some();
+    let got = match engine_for(&inst) {
+        Err(()) => false,
+        Ok(mut e) => {
+            // Force a few conflicts then reduce.
+            let mut result = None;
+            for _ in 0..200 {
+                if let Some(confl) = e.propagate() {
+                    if let Resolution::Unsat = e.resolve_conflict(confl) {
+                        result = Some(false);
+                        break;
+                    }
+                    e.reduce_learnts();
+                } else if let Some(v) = e.pick_branch_var() {
+                    e.decide(v.lit(e.phase_of(v)));
+                } else {
+                    assert!(inst.is_feasible(&e.model()));
+                    result = Some(true);
+                    break;
+                }
+            }
+            result.unwrap_or_else(|| solve(&mut e).is_some())
+        }
+    };
+    assert_eq!(got, expected);
+}
+
+#[test]
+fn stats_track_activity() {
+    let mut e = Engine::new(2);
+    e.add_constraint(&PbConstraint::clause([lit(0, true), lit(1, true)])).unwrap();
+    e.decide(lit(0, false));
+    assert!(e.propagate().is_none());
+    assert!(e.stats.decisions == 1);
+    assert!(e.stats.propagations >= 2);
+}

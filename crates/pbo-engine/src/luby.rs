@@ -1,0 +1,87 @@
+//! The Luby restart sequence (1, 1, 2, 1, 1, 2, 4, ...).
+
+/// Returns the `i`-th element (1-based) of the Luby sequence.
+///
+/// Restart intervals are usually `base * luby(i)` conflicts; the sequence
+/// is the universally-optimal strategy of Luby, Sinclair and Zuckerman.
+///
+/// # Examples
+///
+/// ```
+/// use pbo_engine::luby;
+/// let prefix: Vec<u64> = (1..=9).map(luby).collect();
+/// assert_eq!(prefix, [1, 1, 2, 1, 1, 2, 4, 1, 1]);
+/// ```
+pub fn luby(i: u64) -> u64 {
+    assert!(i >= 1, "luby sequence is 1-based");
+    // Find the subsequence containing index i: the sequence is composed of
+    // blocks ending at indices 2^k - 1 where the last element is 2^(k-1).
+    let mut k = 1u32;
+    while (1u64 << k) - 1 < i {
+        k += 1;
+    }
+    let mut i = i;
+    let mut k = k;
+    while (1u64 << k) - 1 != i {
+        i -= (1u64 << (k - 1)) - 1;
+        k = 1;
+        while (1u64 << k) - 1 < i {
+            k += 1;
+        }
+    }
+    1u64 << (k - 1)
+}
+
+/// Iterator over `base * luby(i)` restart budgets.
+#[derive(Clone, Debug)]
+pub struct LubyRestarts {
+    base: u64,
+    index: u64,
+}
+
+impl LubyRestarts {
+    /// Creates a restart schedule with the given conflict base interval.
+    pub fn new(base: u64) -> LubyRestarts {
+        LubyRestarts { base, index: 0 }
+    }
+}
+
+impl Iterator for LubyRestarts {
+    type Item = u64;
+
+    fn next(&mut self) -> Option<u64> {
+        self.index += 1;
+        Some(self.base * luby(self.index))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn first_fifteen() {
+        let got: Vec<u64> = (1..=15).map(luby).collect();
+        assert_eq!(got, [1, 1, 2, 1, 1, 2, 4, 1, 1, 2, 1, 1, 2, 4, 8]);
+    }
+
+    #[test]
+    fn powers_of_two_at_block_ends() {
+        assert_eq!(luby(3), 2);
+        assert_eq!(luby(7), 4);
+        assert_eq!(luby(15), 8);
+        assert_eq!(luby(31), 16);
+    }
+
+    #[test]
+    fn restart_schedule_scales_by_base() {
+        let s: Vec<u64> = LubyRestarts::new(100).take(7).collect();
+        assert_eq!(s, [100, 100, 200, 100, 100, 200, 400]);
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_index_panics() {
+        let _ = luby(0);
+    }
+}

@@ -1,0 +1,217 @@
+//! VSIDS branching heuristic: an indexed max-heap over variable
+//! activities, with exponential decay implemented by growing the bump
+//! increment (the Chaff/MiniSat trick).
+
+use pbo_core::Var;
+
+const RESCALE_LIMIT: f64 = 1e100;
+
+/// Indexed max-heap of variable activities.
+///
+/// Variables are bumped when they participate in conflicts; decaying all
+/// activities is O(1) (the increment grows instead). The solver pops the
+/// most active variable when deciding.
+#[derive(Clone, Debug)]
+pub struct Vsids {
+    heap: Vec<u32>,
+    pos: Vec<i32>,
+    activity: Vec<f64>,
+    inc: f64,
+    decay: f64,
+}
+
+impl Vsids {
+    /// Creates a heap over `num_vars` variables, all with activity 0 and
+    /// all initially enqueued.
+    pub fn new(num_vars: usize, decay: f64) -> Vsids {
+        assert!((0.0..1.0).contains(&decay) || decay == 1.0, "decay must be in (0,1]");
+        let mut v = Vsids {
+            heap: Vec::with_capacity(num_vars),
+            pos: vec![-1; num_vars],
+            activity: vec![0.0; num_vars],
+            inc: 1.0,
+            decay,
+        };
+        for i in 0..num_vars {
+            v.insert(Var::new(i));
+        }
+        v
+    }
+
+    /// Current activity of a variable.
+    pub fn activity(&self, var: Var) -> f64 {
+        self.activity[var.index()]
+    }
+
+    /// Returns `true` if the variable is currently in the heap.
+    pub fn contains(&self, var: Var) -> bool {
+        self.pos[var.index()] >= 0
+    }
+
+    /// Number of enqueued variables.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// Returns `true` if no variable is enqueued.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    /// Increases the activity of `var` by the current increment,
+    /// rescaling everything if it overflows.
+    pub fn bump(&mut self, var: Var) {
+        let i = var.index();
+        self.activity[i] += self.inc;
+        if self.activity[i] > RESCALE_LIMIT {
+            for a in &mut self.activity {
+                *a *= 1.0 / RESCALE_LIMIT;
+            }
+            self.inc *= 1.0 / RESCALE_LIMIT;
+        }
+        if self.pos[i] >= 0 {
+            self.sift_up(self.pos[i] as usize);
+        }
+    }
+
+    /// Decays all activities (O(1): the increment grows).
+    pub fn decay(&mut self) {
+        self.inc /= self.decay;
+    }
+
+    /// Inserts a variable (no-op if present).
+    pub fn insert(&mut self, var: Var) {
+        let i = var.index();
+        if self.pos[i] >= 0 {
+            return;
+        }
+        self.pos[i] = self.heap.len() as i32;
+        self.heap.push(i as u32);
+        self.sift_up(self.heap.len() - 1);
+    }
+
+    /// Removes and returns the variable with the highest activity.
+    pub fn pop_max(&mut self) -> Option<Var> {
+        if self.heap.is_empty() {
+            return None;
+        }
+        let top = self.heap[0] as usize;
+        let last = self.heap.pop().unwrap();
+        self.pos[top] = -1;
+        if !self.heap.is_empty() {
+            self.heap[0] = last;
+            self.pos[last as usize] = 0;
+            self.sift_down(0);
+        }
+        Some(Var::new(top))
+    }
+
+    fn better(&self, a: u32, b: u32) -> bool {
+        self.activity[a as usize] > self.activity[b as usize]
+    }
+
+    fn sift_up(&mut self, mut i: usize) {
+        while i > 0 {
+            let parent = (i - 1) / 2;
+            if self.better(self.heap[i], self.heap[parent]) {
+                self.swap(i, parent);
+                i = parent;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn sift_down(&mut self, mut i: usize) {
+        loop {
+            let l = 2 * i + 1;
+            let r = 2 * i + 2;
+            let mut best = i;
+            if l < self.heap.len() && self.better(self.heap[l], self.heap[best]) {
+                best = l;
+            }
+            if r < self.heap.len() && self.better(self.heap[r], self.heap[best]) {
+                best = r;
+            }
+            if best == i {
+                break;
+            }
+            self.swap(i, best);
+            i = best;
+        }
+    }
+
+    fn swap(&mut self, a: usize, b: usize) {
+        self.heap.swap(a, b);
+        self.pos[self.heap[a] as usize] = a as i32;
+        self.pos[self.heap[b] as usize] = b as i32;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pops_highest_activity_first() {
+        let mut v = Vsids::new(4, 0.95);
+        v.bump(Var::new(2));
+        v.bump(Var::new(2));
+        v.bump(Var::new(1));
+        assert_eq!(v.pop_max(), Some(Var::new(2)));
+        assert_eq!(v.pop_max(), Some(Var::new(1)));
+    }
+
+    #[test]
+    fn reinsert_after_pop() {
+        let mut v = Vsids::new(2, 0.95);
+        let a = v.pop_max().unwrap();
+        assert!(!v.contains(a));
+        v.insert(a);
+        assert!(v.contains(a));
+        assert_eq!(v.len(), 2);
+    }
+
+    #[test]
+    fn drains_every_variable_exactly_once() {
+        let mut v = Vsids::new(10, 0.95);
+        let mut seen = [false; 10];
+        while let Some(var) = v.pop_max() {
+            assert!(!seen[var.index()]);
+            seen[var.index()] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+        assert!(v.is_empty());
+    }
+
+    #[test]
+    fn decay_prefers_recent_bumps() {
+        let mut v = Vsids::new(2, 0.5);
+        v.bump(Var::new(0));
+        v.decay();
+        v.decay();
+        v.bump(Var::new(1)); // later bump with grown increment outweighs
+        assert!(v.activity(Var::new(1)) > v.activity(Var::new(0)));
+        assert_eq!(v.pop_max(), Some(Var::new(1)));
+    }
+
+    #[test]
+    fn rescaling_keeps_ordering() {
+        let mut v = Vsids::new(3, 0.001);
+        // Grow the increment aggressively to force a rescale.
+        for _ in 0..40 {
+            v.decay();
+            v.bump(Var::new(1));
+        }
+        v.bump(Var::new(0));
+        assert_eq!(v.pop_max(), Some(Var::new(1)));
+        assert!(v.activity(Var::new(1)) <= 1e100);
+    }
+
+    #[test]
+    fn duplicate_insert_is_noop() {
+        let mut v = Vsids::new(2, 0.9);
+        v.insert(Var::new(0));
+        assert_eq!(v.len(), 2);
+    }
+}

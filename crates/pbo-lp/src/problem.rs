@@ -1,0 +1,157 @@
+//! LP problem description: `min c^T x` subject to `A x >= b` and box
+//! bounds `l <= x <= u`.
+
+/// Identifier of a row (constraint) in an [`LpProblem`].
+#[derive(Copy, Clone, PartialEq, Eq, Hash, Debug)]
+pub struct RowId(pub(crate) usize);
+
+impl RowId {
+    /// The row's index in construction order.
+    pub fn index(self) -> usize {
+        self.0
+    }
+}
+
+/// A linear program in the shape produced by relaxing a pseudo-Boolean
+/// instance: minimization, `>=` rows, boxed variables.
+///
+/// # Examples
+///
+/// ```
+/// use pbo_lp::LpProblem;
+///
+/// // min x0 + x1  s.t.  x0 + x1 >= 1.5,  0 <= x <= 1
+/// let mut p = LpProblem::new(2);
+/// p.set_cost(0, 1.0);
+/// p.set_cost(1, 1.0);
+/// p.add_row_ge(&[(0, 1.0), (1, 1.0)], 1.5);
+/// assert_eq!(p.num_rows(), 1);
+/// ```
+#[derive(Clone, Debug)]
+pub struct LpProblem {
+    num_vars: usize,
+    costs: Vec<f64>,
+    rows: Vec<(Vec<(usize, f64)>, f64)>,
+    lower: Vec<f64>,
+    upper: Vec<f64>,
+}
+
+impl LpProblem {
+    /// Creates a problem over `num_vars` variables with zero costs and
+    /// default bounds `[0, 1]`.
+    pub fn new(num_vars: usize) -> LpProblem {
+        LpProblem {
+            num_vars,
+            costs: vec![0.0; num_vars],
+            rows: Vec::new(),
+            lower: vec![0.0; num_vars],
+            upper: vec![1.0; num_vars],
+        }
+    }
+
+    /// Number of variables.
+    pub fn num_vars(&self) -> usize {
+        self.num_vars
+    }
+
+    /// Number of rows.
+    pub fn num_rows(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Sets the objective coefficient of variable `j`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `j` is out of range.
+    pub fn set_cost(&mut self, j: usize, c: f64) {
+        self.costs[j] = c;
+    }
+
+    /// Objective coefficients.
+    pub fn costs(&self) -> &[f64] {
+        &self.costs
+    }
+
+    /// Adds the row `sum coeff * x_col >= rhs` and returns its id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any column index is out of range or repeated.
+    pub fn add_row_ge(&mut self, terms: &[(usize, f64)], rhs: f64) -> RowId {
+        let mut seen = vec![false; self.num_vars];
+        for &(j, _) in terms {
+            assert!(j < self.num_vars, "column {j} out of range");
+            assert!(!seen[j], "column {j} repeated in row");
+            seen[j] = true;
+        }
+        self.rows.push((terms.to_vec(), rhs));
+        RowId(self.rows.len() - 1)
+    }
+
+    /// The terms and right-hand side of a row.
+    pub fn row(&self, id: RowId) -> (&[(usize, f64)], f64) {
+        let (terms, rhs) = &self.rows[id.0];
+        (terms, *rhs)
+    }
+
+    /// Sets the bounds of variable `j`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lower > upper`.
+    pub fn set_bounds(&mut self, j: usize, lower: f64, upper: f64) {
+        assert!(lower <= upper, "empty bound interval for x{j}: [{lower}, {upper}]");
+        self.lower[j] = lower;
+        self.upper[j] = upper;
+    }
+
+    /// Lower bounds.
+    pub fn lower(&self) -> &[f64] {
+        &self.lower
+    }
+
+    /// Upper bounds.
+    pub fn upper(&self) -> &[f64] {
+        &self.upper
+    }
+
+    /// Iterates over `(terms, rhs)` for all rows.
+    pub fn rows(&self) -> impl Iterator<Item = (&[(usize, f64)], f64)> {
+        self.rows.iter().map(|(t, r)| (t.as_slice(), *r))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_and_access() {
+        let mut p = LpProblem::new(3);
+        p.set_cost(1, 2.5);
+        let r = p.add_row_ge(&[(0, 1.0), (2, -1.0)], 0.5);
+        p.set_bounds(2, 0.0, 0.0);
+        assert_eq!(p.num_vars(), 3);
+        assert_eq!(p.num_rows(), 1);
+        assert_eq!(p.costs()[1], 2.5);
+        let (terms, rhs) = p.row(r);
+        assert_eq!(terms.len(), 2);
+        assert_eq!(rhs, 0.5);
+        assert_eq!(p.upper()[2], 0.0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn bad_bounds_panic() {
+        let mut p = LpProblem::new(1);
+        p.set_bounds(0, 1.0, 0.0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn repeated_column_panics() {
+        let mut p = LpProblem::new(2);
+        p.add_row_ge(&[(0, 1.0), (0, 2.0)], 1.0);
+    }
+}

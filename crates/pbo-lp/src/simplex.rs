@@ -1,0 +1,634 @@
+//! Bounded-variable dual simplex.
+//!
+//! The solver targets the LPs arising from pseudo-Boolean relaxations
+//! inside branch-and-bound: minimization with non-negative-ish costs,
+//! `>=` rows, box-bounded variables, and *frequent re-solves after bound
+//! changes* (variable fixings). The dual simplex is the natural method:
+//! the all-logical starting basis is dual feasible by construction (the
+//! nonbasic bound of each structural variable is chosen by the sign of
+//! its reduced cost), and bound changes never disturb dual feasibility,
+//! so warm starts typically re-optimize in a handful of pivots.
+//!
+//! Implementation notes:
+//! * rows are turned into equalities `a_i.x - s_i = b_i` with surplus
+//!   ("logical") variables `s_i in [0, inf)`;
+//! * the basis inverse is kept dense and updated by the product form;
+//!   it is refactorized (Gauss-Jordan with partial pivoting) periodically
+//!   and on demand;
+//! * the ratio test is a light Harris variant (among near-minimal ratios
+//!   pick the largest pivot), with smallest-index tie-breaking after an
+//!   iteration threshold as a cycling guard;
+//! * primal values and duals are maintained incrementally across pivots
+//!   and bound changes (the branch-and-bound hot path makes thousands of
+//!   one-pivot re-solves), and recomputed from scratch at every
+//!   refactorization to bound numerical drift.
+
+use crate::problem::LpProblem;
+use crate::solution::{LpSolution, LpStatus};
+
+const FEAS_TOL: f64 = 1e-7;
+const DUAL_TOL: f64 = 1e-9;
+const PIVOT_TOL: f64 = 1e-8;
+const ZERO_TOL: f64 = 1e-9;
+const TIGHT_TOL: f64 = 1e-6;
+const REFACTOR_INTERVAL: u64 = 80;
+const BLAND_THRESHOLD: u64 = 2_000;
+
+/// Warm-startable bounded-variable dual simplex solver.
+///
+/// # Examples
+///
+/// ```
+/// use pbo_lp::{DualSimplex, LpProblem, LpStatus};
+///
+/// let mut p = LpProblem::new(2);
+/// p.set_cost(0, 1.0);
+/// p.set_cost(1, 2.0);
+/// p.add_row_ge(&[(0, 1.0), (1, 1.0)], 1.5);
+/// let mut s = DualSimplex::new(&p);
+/// let sol = s.solve();
+/// assert_eq!(sol.status, LpStatus::Optimal);
+/// assert!((sol.objective - 2.0).abs() < 1e-6); // x0 = 1, x1 = 0.5
+/// ```
+#[derive(Clone, Debug)]
+pub struct DualSimplex {
+    n: usize,
+    m: usize,
+    /// Sparse structural columns: `(row, coeff)` pairs.
+    cols: Vec<Vec<(usize, f64)>>,
+    costs: Vec<f64>,
+    rhs: Vec<f64>,
+    /// Bounds over all `n + m` columns (logicals: `[0, inf)`).
+    lower: Vec<f64>,
+    upper: Vec<f64>,
+    basis: Vec<usize>,
+    /// Position of a column in the basis, or -1.
+    basis_pos: Vec<i32>,
+    at_upper: Vec<bool>,
+    /// Dense row-major basis inverse.
+    binv: Vec<f64>,
+    /// Duals `y = c_B B^-1`, maintained incrementally across pivots and
+    /// recomputed at refactorization.
+    y: Vec<f64>,
+    /// Basic primal values `x_B = B^-1 (b - N x_N)`, maintained
+    /// incrementally across pivots and nonbasic value changes, recomputed
+    /// at refactorization.
+    xb: Vec<f64>,
+    pivots_since_refactor: u64,
+    max_iterations: u64,
+    /// Structural variables whose bounds changed since the last solve;
+    /// only these need a dual-feasibility placement repair.
+    dirty: Vec<usize>,
+    /// Cumulative iteration count across solves.
+    pub total_iterations: u64,
+}
+
+impl DualSimplex {
+    /// Builds a solver for `problem`, starting from the all-logical basis
+    /// with each structural variable placed on the dual-feasible bound.
+    pub fn new(problem: &LpProblem) -> DualSimplex {
+        let n = problem.num_vars();
+        let m = problem.num_rows();
+        let mut cols = vec![Vec::new(); n];
+        let mut rhs = Vec::with_capacity(m);
+        for (i, (terms, b)) in problem.rows().enumerate() {
+            for &(j, a) in terms {
+                cols[j].push((i, a));
+            }
+            rhs.push(b);
+        }
+        let mut lower = problem.lower().to_vec();
+        let mut upper = problem.upper().to_vec();
+        lower.extend(std::iter::repeat_n(0.0, m));
+        upper.extend(std::iter::repeat_n(f64::INFINITY, m));
+        let costs = problem.costs().to_vec();
+        let mut at_upper = vec![false; n + m];
+        for j in 0..n {
+            // Dual-feasible placement: negative reduced cost -> upper.
+            at_upper[j] = costs[j] < 0.0 && upper[j].is_finite();
+        }
+        let basis: Vec<usize> = (n..n + m).collect();
+        let mut basis_pos = vec![-1i32; n + m];
+        for (r, &j) in basis.iter().enumerate() {
+            basis_pos[j] = r as i32;
+        }
+        // The all-logical basis matrix is -I (surplus columns are -e_i),
+        // so its inverse is -I as well.
+        let mut binv = vec![0.0; m * m];
+        for i in 0..m {
+            binv[i * m + i] = -1.0;
+        }
+        let mut simplex = DualSimplex {
+            n,
+            m,
+            cols,
+            costs,
+            rhs,
+            lower,
+            upper,
+            basis,
+            basis_pos,
+            at_upper,
+            binv,
+            y: vec![0.0; m],
+            xb: Vec::new(),
+            pivots_since_refactor: 0,
+            max_iterations: 20_000,
+            dirty: Vec::new(),
+            total_iterations: 0,
+        };
+        simplex.xb = simplex.basic_values();
+        simplex
+    }
+
+    /// Sets the per-solve iteration budget.
+    pub fn set_max_iterations(&mut self, limit: u64) {
+        self.max_iterations = limit;
+    }
+
+    /// Changes the bounds of structural variable `j`. The basis (and dual
+    /// feasibility) is preserved, making the next [`solve`](Self::solve) a
+    /// warm start.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lower > upper` or `j` is out of range.
+    pub fn set_var_bounds(&mut self, j: usize, lower: f64, upper: f64) {
+        assert!(j < self.n, "structural variable out of range");
+        assert!(lower <= upper, "empty bound interval");
+        let nonbasic = self.basis_pos[j] < 0;
+        let v_old = if nonbasic { self.nonbasic_value(j) } else { 0.0 };
+        self.lower[j] = lower;
+        self.upper[j] = upper;
+        if nonbasic && self.at_upper[j] && !upper.is_finite() {
+            self.at_upper[j] = false;
+        }
+        if nonbasic {
+            let v_new = self.nonbasic_value(j);
+            self.shift_nonbasic(j, v_new - v_old);
+        }
+        self.dirty.push(j);
+    }
+
+    /// Applies a nonbasic value change of `delta` on column `j` to the
+    /// maintained basic values: `x_B -= delta * B^-1 A_j`.
+    fn shift_nonbasic(&mut self, j: usize, delta: f64) {
+        if delta == 0.0 {
+            return;
+        }
+        let m = self.m;
+        let terms: Vec<(usize, f64)> = self.column(j).collect();
+        for (i, a) in terms {
+            let da = delta * a;
+            for k in 0..m {
+                let bv = self.binv[k * m + i];
+                if bv != 0.0 {
+                    self.xb[k] -= da * bv;
+                }
+            }
+        }
+    }
+
+    /// Current bounds of structural variable `j`.
+    pub fn var_bounds(&self, j: usize) -> (f64, f64) {
+        (self.lower[j], self.upper[j])
+    }
+
+    fn nonbasic_value(&self, j: usize) -> f64 {
+        if self.at_upper[j] {
+            self.upper[j]
+        } else {
+            self.lower[j]
+        }
+    }
+
+    /// Column `j` of the equality system `[A | -I]`, as `(row, coeff)`.
+    fn column(&self, j: usize) -> ColumnIter<'_> {
+        if j < self.n {
+            ColumnIter::Structural(self.cols[j].iter())
+        } else {
+            ColumnIter::Logical(Some(j - self.n))
+        }
+    }
+
+    /// `x_B = B^-1 (b - N x_N)`.
+    fn basic_values(&self) -> Vec<f64> {
+        let m = self.m;
+        let mut t = self.rhs.clone();
+        for j in 0..self.n + m {
+            if self.basis_pos[j] >= 0 {
+                continue;
+            }
+            let v = self.nonbasic_value(j);
+            if v.abs() <= ZERO_TOL {
+                continue;
+            }
+            for (i, a) in self.column(j) {
+                t[i] -= a * v;
+            }
+        }
+        let mut xb = vec![0.0; m];
+        for r in 0..m {
+            let row = &self.binv[r * m..(r + 1) * m];
+            let mut acc = 0.0;
+            for (k, &bv) in row.iter().enumerate() {
+                if bv != 0.0 {
+                    acc += bv * t[k];
+                }
+            }
+            xb[r] = acc;
+        }
+        xb
+    }
+
+    /// Recomputes `y = c_B B^-1` from scratch (refactorization path).
+    fn recompute_duals(&mut self) {
+        let m = self.m;
+        let mut y = vec![0.0; m];
+        for (r, &j) in self.basis.iter().enumerate() {
+            let c = if j < self.n { self.costs[j] } else { 0.0 };
+            if c == 0.0 {
+                continue;
+            }
+            let row = &self.binv[r * m..(r + 1) * m];
+            for (k, &bv) in row.iter().enumerate() {
+                y[k] += c * bv;
+            }
+        }
+        self.y = y;
+    }
+
+    fn reduced_cost(&self, j: usize, y: &[f64]) -> f64 {
+        let c = if j < self.n { self.costs[j] } else { 0.0 };
+        let mut d = c;
+        for (i, a) in self.column(j) {
+            d -= y[i] * a;
+        }
+        d
+    }
+
+    /// Rebuilds the dense basis inverse from scratch. Returns `false` if
+    /// the basis matrix is numerically singular (in which case the solver
+    /// resets to the all-logical basis).
+    fn refactorize(&mut self) -> bool {
+        let m = self.m;
+        // Assemble the basis matrix.
+        let mut a = vec![0.0; m * m];
+        for (r, &j) in self.basis.iter().enumerate() {
+            for (i, v) in self.column(j) {
+                a[i * m + r] = v;
+            }
+        }
+        // Gauss-Jordan with partial pivoting on [A | I].
+        let mut inv = vec![0.0; m * m];
+        for i in 0..m {
+            inv[i * m + i] = 1.0;
+        }
+        for col in 0..m {
+            let mut piv = col;
+            let mut best = a[col * m + col].abs();
+            for r in col + 1..m {
+                let v = a[r * m + col].abs();
+                if v > best {
+                    best = v;
+                    piv = r;
+                }
+            }
+            if best < 1e-11 {
+                self.reset_basis();
+                return false;
+            }
+            if piv != col {
+                for k in 0..m {
+                    a.swap(col * m + k, piv * m + k);
+                    inv.swap(col * m + k, piv * m + k);
+                }
+            }
+            let p = a[col * m + col];
+            for k in 0..m {
+                a[col * m + k] /= p;
+                inv[col * m + k] /= p;
+            }
+            for r in 0..m {
+                if r == col {
+                    continue;
+                }
+                let f = a[r * m + col];
+                if f == 0.0 {
+                    continue;
+                }
+                for k in 0..m {
+                    a[r * m + k] -= f * a[col * m + k];
+                    inv[r * m + k] -= f * inv[col * m + k];
+                }
+            }
+        }
+        self.binv = inv;
+        self.pivots_since_refactor = 0;
+        self.recompute_duals();
+        self.xb = self.basic_values();
+        true
+    }
+
+    /// Abandons the current basis and restarts from the all-logical one
+    /// (identity inverse, dual-feasible nonbasic placement).
+    fn reset_basis(&mut self) {
+        let m = self.m;
+        let n = self.n;
+        self.basis = (n..n + m).collect();
+        for p in self.basis_pos.iter_mut() {
+            *p = -1;
+        }
+        for (r, &j) in self.basis.iter().enumerate() {
+            self.basis_pos[j] = r as i32;
+        }
+        for j in 0..n {
+            self.at_upper[j] = self.costs[j] < 0.0 && self.upper[j].is_finite();
+        }
+        for j in n..n + m {
+            self.at_upper[j] = false;
+        }
+        self.binv = vec![0.0; m * m];
+        for i in 0..m {
+            self.binv[i * m + i] = -1.0;
+        }
+        self.y = vec![0.0; m];
+        self.pivots_since_refactor = 0;
+        self.xb = self.basic_values();
+    }
+
+    /// Runs the dual simplex to optimality, infeasibility or the
+    /// iteration limit.
+    pub fn solve(&mut self) -> LpSolution {
+        let m = self.m;
+        // Restore dual feasibility of nonbasic placements for variables
+        // whose bounds changed since the last solve. While a variable is
+        // fixed (l == u) it is excluded from the ratio test, so its
+        // reduced cost may drift to the "wrong" side of its stored bound
+        // status; after unfixing, that stale placement would let the
+        // solve terminate at a dual-infeasible (suboptimal) point. Moving
+        // a nonbasic variable to the other bound never changes the duals,
+        // so this repair is free — and only bound-changed variables can
+        // be stale, so only those are inspected.
+        if !self.dirty.is_empty() {
+            let y = self.y.clone();
+            let dirty = std::mem::take(&mut self.dirty);
+            for j in dirty {
+                if self.basis_pos[j] >= 0 || self.lower[j] == self.upper[j] {
+                    continue;
+                }
+                let d = self.reduced_cost(j, &y);
+                let v_old = self.nonbasic_value(j);
+                if d < -DUAL_TOL {
+                    self.at_upper[j] = self.upper[j].is_finite();
+                } else if d > DUAL_TOL {
+                    self.at_upper[j] = false;
+                }
+                let v_new = self.nonbasic_value(j);
+                self.shift_nonbasic(j, v_new - v_old);
+            }
+        }
+        let mut iterations = 0u64;
+        loop {
+            if iterations >= self.max_iterations {
+                return self.emit(LpStatus::IterationLimit, Vec::new(), iterations);
+            }
+            if self.pivots_since_refactor >= REFACTOR_INTERVAL {
+                self.refactorize();
+            }
+            let xb = &self.xb;
+            // Leaving variable: the most infeasible basic.
+            let mut leave: Option<(usize, f64, f64)> = None; // (row, violation, sigma)
+            let bland = iterations >= BLAND_THRESHOLD;
+            for r in 0..m {
+                let j = self.basis[r];
+                let v = xb[r];
+                let (lo, hi) = (self.lower[j], self.upper[j]);
+                let (viol, sigma) = if v < lo - FEAS_TOL {
+                    (lo - v, -1.0)
+                } else if v > hi + FEAS_TOL {
+                    (v - hi, 1.0)
+                } else {
+                    continue;
+                };
+                let take = match leave {
+                    None => true,
+                    Some((_, best, _)) => {
+                        if bland {
+                            false // first (smallest row) violated wins
+                        } else {
+                            viol > best
+                        }
+                    }
+                };
+                if take {
+                    leave = Some((r, viol, sigma));
+                    if bland {
+                        break;
+                    }
+                }
+            }
+            let Some((r, _, sigma)) = leave else {
+                return self.finish_optimal(iterations);
+            };
+
+            // Pivot row rho = e_r B^-1, alpha'_j = sigma * rho . col_j.
+            let rho: Vec<f64> = self.binv[r * m..(r + 1) * m].to_vec();
+            let y = self.y.clone();
+            let mut best: Option<(usize, f64, f64)> = None; // (col, theta, |alpha|)
+            for j in 0..self.n + m {
+                if self.basis_pos[j] >= 0 {
+                    continue;
+                }
+                if self.lower[j] == self.upper[j] && j < self.n {
+                    // Fixed variable: entering it cannot restore
+                    // feasibility in a useful way; skip to keep pivots
+                    // meaningful (it may still be skipped safely because a
+                    // fixed column constrains nothing).
+                    continue;
+                }
+                let mut alpha = 0.0;
+                for (i, a) in self.column(j) {
+                    alpha += rho[i] * a;
+                }
+                let alpha_s = sigma * alpha;
+                let eligible = if self.at_upper[j] {
+                    alpha_s < -PIVOT_TOL
+                } else {
+                    alpha_s > PIVOT_TOL
+                };
+                if !eligible {
+                    continue;
+                }
+                let d = self.reduced_cost(j, &y);
+                let theta = (d / alpha_s).max(0.0); // clamp tiny dual infeasibilities
+                let better = match best {
+                    None => true,
+                    Some((bj, bt, ba)) => {
+                        if bland {
+                            // Smallest index among minimal ratios.
+                            theta < bt - DUAL_TOL || (theta <= bt + DUAL_TOL && j < bj)
+                        } else {
+                            // Harris-lite: among near-minimal ratios take
+                            // the largest pivot magnitude.
+                            theta < bt - 1e-9
+                                || (theta <= bt + 1e-9 && alpha_s.abs() > ba)
+                        }
+                    }
+                };
+                if better {
+                    best = Some((j, theta, alpha_s.abs()));
+                }
+            }
+            let Some((enter, _, _)) = best else {
+                // Infeasible: rho is (up to sign) a Farkas certificate.
+                let farkas: Vec<usize> =
+                    (0..m).filter(|&i| rho[i].abs() > 1e-7).collect();
+                return self.emit_infeasible(farkas, iterations);
+            };
+
+            self.pivot(r, enter, sigma);
+            iterations += 1;
+            self.total_iterations += 1;
+        }
+    }
+
+    fn pivot(&mut self, r: usize, enter: usize, sigma: f64) {
+        let m = self.m;
+        // w = B^-1 A_enter
+        let mut w = vec![0.0; m];
+        for (i, a) in self.column(enter) {
+            for k in 0..m {
+                w[k] += self.binv[k * m + i] * a;
+            }
+        }
+        let piv = w[r];
+        debug_assert!(piv.abs() > 1e-12, "pivot too small: {piv}");
+        // Incremental primal update: the entering variable moves from its
+        // bound value by delta so that the leaving variable lands exactly
+        // on its violated bound.
+        let leave0 = self.basis[r];
+        let target = if sigma > 0.0 { self.upper[leave0] } else { self.lower[leave0] };
+        let delta = (self.xb[r] - target) / piv;
+        let enter_value = self.nonbasic_value(enter) + delta;
+        for i in 0..m {
+            if i != r && w[i] != 0.0 {
+                self.xb[i] -= delta * w[i];
+            }
+        }
+        self.xb[r] = enter_value;
+        // Incremental dual update: y += theta * rho with theta = d_e /
+        // alpha_e, so the entering column's reduced cost becomes zero.
+        // (rho is row r of the *pre-pivot* inverse; alpha_e = rho.A_e =
+        // w[r].)
+        let d_enter = self.reduced_cost(enter, &self.y.clone());
+        let theta = d_enter / piv;
+        if theta != 0.0 {
+            for k in 0..m {
+                self.y[k] += theta * self.binv[r * m + k];
+            }
+        }
+        // Update B^-1 (product form).
+        for k in 0..m {
+            self.binv[r * m + k] /= piv;
+        }
+        for i in 0..m {
+            if i == r || w[i] == 0.0 {
+                continue;
+            }
+            let f = w[i];
+            for k in 0..m {
+                self.binv[i * m + k] -= f * self.binv[r * m + k];
+            }
+        }
+        // Status bookkeeping.
+        let leave = self.basis[r];
+        self.basis[r] = enter;
+        self.basis_pos[enter] = r as i32;
+        self.basis_pos[leave] = -1;
+        self.at_upper[leave] = sigma > 0.0;
+        self.pivots_since_refactor += 1;
+    }
+
+    fn full_x(&self, xb: &[f64]) -> Vec<f64> {
+        let mut x = vec![0.0; self.n];
+        for j in 0..self.n {
+            let p = self.basis_pos[j];
+            x[j] = if p >= 0 { xb[p as usize] } else { self.nonbasic_value(j) };
+        }
+        x
+    }
+
+    fn finish_optimal(&mut self, iterations: u64) -> LpSolution {
+        let x = self.full_x(&self.xb);
+        let objective: f64 = x.iter().zip(&self.costs).map(|(v, c)| v * c).sum();
+        let duals = self.y.clone();
+        let mut row_activity = vec![0.0; self.m];
+        for (j, xv) in x.iter().enumerate() {
+            if xv.abs() <= ZERO_TOL {
+                continue;
+            }
+            for &(i, a) in &self.cols[j] {
+                row_activity[i] += a * xv;
+            }
+        }
+        let tight_rows: Vec<usize> = (0..self.m)
+            .filter(|&i| {
+                let scale = self.rhs[i].abs().max(1.0);
+                (row_activity[i] - self.rhs[i]).abs() <= TIGHT_TOL * scale
+            })
+            .collect();
+        LpSolution {
+            status: LpStatus::Optimal,
+            objective,
+            x,
+            duals,
+            row_activity,
+            tight_rows,
+            farkas_rows: Vec::new(),
+            iterations,
+        }
+    }
+
+    fn emit_infeasible(&self, farkas_rows: Vec<usize>, iterations: u64) -> LpSolution {
+        LpSolution {
+            status: LpStatus::Infeasible,
+            objective: f64::INFINITY,
+            x: vec![0.0; self.n],
+            duals: vec![0.0; self.m],
+            row_activity: vec![0.0; self.m],
+            tight_rows: Vec::new(),
+            farkas_rows,
+            iterations,
+        }
+    }
+
+    fn emit(&self, status: LpStatus, farkas_rows: Vec<usize>, iterations: u64) -> LpSolution {
+        LpSolution {
+            status,
+            objective: f64::NAN,
+            x: vec![0.0; self.n],
+            duals: vec![0.0; self.m],
+            row_activity: vec![0.0; self.m],
+            tight_rows: Vec::new(),
+            farkas_rows,
+            iterations,
+        }
+    }
+}
+
+enum ColumnIter<'a> {
+    Structural(std::slice::Iter<'a, (usize, f64)>),
+    Logical(Option<usize>),
+}
+
+impl Iterator for ColumnIter<'_> {
+    type Item = (usize, f64);
+
+    fn next(&mut self) -> Option<(usize, f64)> {
+        match self {
+            ColumnIter::Structural(it) => it.next().copied(),
+            ColumnIter::Logical(slot) => slot.take().map(|i| (i, -1.0)),
+        }
+    }
+}

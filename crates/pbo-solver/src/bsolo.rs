@@ -1,0 +1,397 @@
+//! The bsolo-style solver: SAT-based branch-and-bound with lower
+//! bounding and bound-conflict-driven non-chronological backtracking —
+//! the system the DATE'05 paper describes.
+//!
+//! The search is a CDCL loop (propagate / resolve / decide) on the
+//! [`pbo_engine::Engine`], extended with:
+//!
+//! * an upper bound `P.upper` maintained from improving solutions, with
+//!   the knapsack cut of eq. 10 (and optionally the cardinality cost cuts
+//!   of eqs. 11–13) re-added at the root after each improvement;
+//! * a pluggable lower-bound procedure called at every node; when
+//!   `P.path + P.lower >= P.upper` (eq. 7) the solver builds the bound
+//!   conflict clause `omega_bc = omega_pp ∪ omega_pl` (eqs. 8–9) and
+//!   feeds it to the standard conflict analysis, obtaining
+//!   non-chronological backtracking on bounds (sec. 4);
+//! * LP-guided branching when the LP relaxation is the bound procedure
+//!   (sec. 5): branch on the fractional variable closest to 0.5,
+//!   VSIDS tie-break;
+//! * optional probing-based preprocessing (sec. 5).
+
+use std::time::Instant;
+
+use pbo_bounds::{LagrangianBound, LowerBound, LprBound, MisBound, NoBound, Subproblem};
+use pbo_core::{Instance, Lit, Value, Var};
+use pbo_engine::{Conflict, Engine, PbId, Resolution};
+
+use crate::cuts::{cardinality_cost_cuts, knapsack_cut};
+use crate::options::{Branching, BsoloOptions, LbMethod};
+use crate::preprocess::{probe, ProbeOutcome};
+use crate::result::{SolveResult, SolveStatus, SolverStats};
+
+/// The bsolo branch-and-bound PBO solver.
+///
+/// # Examples
+///
+/// ```
+/// use pbo_core::InstanceBuilder;
+/// use pbo_solver::{Bsolo, BsoloOptions, LbMethod};
+///
+/// let mut b = InstanceBuilder::new();
+/// let v = b.new_vars(3);
+/// b.add_clause([v[0].positive(), v[1].positive()]);
+/// b.add_clause([v[1].positive(), v[2].positive()]);
+/// b.minimize([(2, v[0].positive()), (3, v[1].positive()), (2, v[2].positive())]);
+/// let inst = b.build()?;
+///
+/// let result = Bsolo::new(BsoloOptions::with_lb(LbMethod::Lpr)).solve(&inst);
+/// assert!(result.is_optimal());
+/// assert_eq!(result.best_cost, Some(3));
+/// # Ok::<(), pbo_core::BuildError>(())
+/// ```
+#[derive(Clone, Debug)]
+pub struct Bsolo {
+    options: BsoloOptions,
+}
+
+impl Bsolo {
+    /// Creates a solver with the given configuration.
+    pub fn new(options: BsoloOptions) -> Bsolo {
+        Bsolo { options }
+    }
+
+    /// Convenience constructor: default options with the given bound
+    /// method (matching one Table 1 column).
+    pub fn with_lb(lb_method: LbMethod) -> Bsolo {
+        Bsolo::new(BsoloOptions::with_lb(lb_method))
+    }
+
+    /// The active configuration.
+    pub fn options(&self) -> &BsoloOptions {
+        &self.options
+    }
+
+    /// Solves `instance` to optimality or until the budget runs out.
+    pub fn solve(&self, instance: &Instance) -> SolveResult {
+        let start = Instant::now();
+        let mut stats = SolverStats::default();
+        // Covering-style simplification preserves the variable space and
+        // the exact feasible set, so models and costs transfer 1:1.
+        let simplified;
+        let instance = if self.options.simplify {
+            simplified = crate::preprocess::simplify(instance);
+            &simplified
+        } else {
+            instance
+        };
+        let mut search = match SearchState::init(instance, &self.options, &mut stats) {
+            Ok(s) => s,
+            Err(()) => {
+                stats.solve_time = start.elapsed();
+                return SolveResult {
+                    status: SolveStatus::Infeasible,
+                    best_cost: None,
+                    best_assignment: None,
+                    stats,
+                };
+            }
+        };
+        let status = search.run(start, &mut stats);
+        stats.decisions = search.engine.stats.decisions;
+        stats.conflicts = search.engine.stats.conflicts;
+        stats.propagations = search.engine.stats.propagations;
+        stats.restarts = search.engine.stats.restarts;
+        stats.backjump_levels = search.engine.stats.backjump_levels;
+        if let Some(lpr) = search.lpr_for_branching() {
+            stats.lp_iterations = lpr.simplex_iterations();
+        }
+        stats.solve_time = start.elapsed();
+        SolveResult {
+            status,
+            best_cost: search.best_cost,
+            best_assignment: search.best_model,
+            stats,
+        }
+    }
+}
+
+/// Lower-bound procedure dispatch (avoids `Box<dyn>` so the LPR state can
+/// also serve the branching heuristic).
+enum Bound {
+    None(NoBound),
+    Mis(MisBound),
+    Lgr(LagrangianBound),
+    Lpr(LprBound),
+}
+
+impl Bound {
+    fn lower_bound(
+        &mut self,
+        sub: &Subproblem<'_>,
+        upper: Option<i64>,
+    ) -> pbo_bounds::LbOutcome {
+        match self {
+            Bound::None(b) => b.lower_bound(sub, upper),
+            Bound::Mis(b) => b.lower_bound(sub, upper),
+            Bound::Lgr(b) => b.lower_bound(sub, upper),
+            Bound::Lpr(b) => b.lower_bound(sub, upper),
+        }
+    }
+}
+
+struct SearchState<'a> {
+    instance: &'a Instance,
+    options: &'a BsoloOptions,
+    engine: Engine,
+    bound: Bound,
+    best_cost: Option<i64>,
+    best_model: Option<Vec<bool>>,
+    active_cuts: Vec<PbId>,
+    decisions_since_lb: u32,
+}
+
+impl<'a> SearchState<'a> {
+    fn init(
+        instance: &'a Instance,
+        options: &'a BsoloOptions,
+        stats: &mut SolverStats,
+    ) -> Result<SearchState<'a>, ()> {
+        let mut engine = Engine::new(instance.num_vars());
+        for c in instance.constraints() {
+            if engine.add_constraint(c).is_err() {
+                return Err(());
+            }
+        }
+        if options.probing {
+            match probe(instance, &mut engine) {
+                ProbeOutcome::Infeasible => return Err(()),
+                ProbeOutcome::Done { forced } => {
+                    stats.propagations += forced as u64;
+                }
+            }
+        }
+        let bound = match options.lb_method {
+            LbMethod::None => Bound::None(NoBound::new()),
+            LbMethod::Mis => Bound::Mis(MisBound::new()),
+            LbMethod::Lagrangian => Bound::Lgr(LagrangianBound::new(instance.num_constraints())),
+            LbMethod::Lpr => Bound::Lpr(LprBound::new(instance)),
+        };
+        Ok(SearchState {
+            instance,
+            options,
+            engine,
+            bound,
+            best_cost: None,
+            best_model: None,
+            active_cuts: Vec::new(),
+            decisions_since_lb: 0,
+        })
+    }
+
+    fn lpr_for_branching(&self) -> Option<&LprBound> {
+        match &self.bound {
+            Bound::Lpr(b) => Some(b),
+            _ => None,
+        }
+    }
+
+    /// Final status once the search space is exhausted.
+    fn exhausted_status(&self) -> SolveStatus {
+        if self.best_cost.is_some() {
+            SolveStatus::Optimal
+        } else {
+            SolveStatus::Infeasible
+        }
+    }
+
+    /// Status when the budget runs out.
+    fn budget_status(&self) -> SolveStatus {
+        if self.best_cost.is_some() {
+            SolveStatus::Feasible
+        } else {
+            SolveStatus::Unknown
+        }
+    }
+
+    fn run(&mut self, start: Instant, stats: &mut SolverStats) -> SolveStatus {
+        if self.engine.is_root_unsat() {
+            return self.exhausted_status();
+        }
+        loop {
+            if self.options.budget.exhausted(
+                start.elapsed(),
+                self.engine.stats.conflicts,
+                self.engine.stats.decisions,
+            ) {
+                return self.budget_status();
+            }
+            // Propagate to fixpoint.
+            if let Some(conflict) = self.engine.propagate() {
+                match self.engine.resolve_conflict(conflict) {
+                    Resolution::Unsat => return self.exhausted_status(),
+                    Resolution::Backjumped { .. } => continue,
+                }
+            }
+            // Complete assignment: a solution of the current formula.
+            if self.engine.assignment().is_complete() {
+                match self.record_solution(stats) {
+                    SolutionStep::Finished(status) => return status,
+                    SolutionStep::Continue => continue,
+                }
+            }
+            // Bound step (eq. 7): only meaningful with an incumbent.
+            if self.instance.is_optimization() && self.best_cost.is_some() {
+                self.decisions_since_lb += 1;
+                if self.decisions_since_lb >= self.options.lb_frequency {
+                    self.decisions_since_lb = 0;
+                    let upper = self.best_cost.unwrap();
+                    let lb_start = Instant::now();
+                    let sub = Subproblem::new(self.instance, self.engine.assignment());
+                    let out = self.bound.lower_bound(&sub, Some(upper));
+                    stats.lb_calls += 1;
+                    stats.lb_time += lb_start.elapsed();
+                    if out.prunes(upper) {
+                        stats.bound_conflicts += 1;
+                        let omega_bc = self.build_bound_conflict(&out.explanation);
+                        match self.engine.resolve_conflict(Conflict::AdHoc(omega_bc)) {
+                            Resolution::Unsat => return self.exhausted_status(),
+                            Resolution::Backjumped { .. } => continue,
+                        }
+                    }
+                }
+            }
+            // Decide.
+            let Some(lit) = self.pick_branch() else {
+                // Every variable assigned; handled by the completeness
+                // check next iteration.
+                continue;
+            };
+            self.engine.decide(lit);
+        }
+    }
+
+    /// The paper's `omega_bc = omega_pp ∪ omega_pl` (sec. 4). With
+    /// bound-conflict learning disabled (ablation), the clause is instead
+    /// the negation of all current decisions, which forces chronological
+    /// backtracking.
+    fn build_bound_conflict(&self, omega_pl: &[Lit]) -> Vec<Lit> {
+        if !self.options.bound_conflict_learning {
+            return self
+                .engine
+                .trail()
+                .iter()
+                .copied()
+                .filter(|&l| {
+                    matches!(self.engine.reason_of(l.var()), pbo_engine::Reason::None)
+                        && self.engine.level_of(l.var()) > 0
+                })
+                .map(|l| !l)
+                .collect();
+        }
+        let mut omega = Vec::new();
+        // omega_pp (eq. 8): costed literals currently true; flipping one
+        // is the only way to reduce P.path.
+        if let Some(obj) = self.instance.objective() {
+            for &(c, l) in obj.terms() {
+                if c > 0 && self.engine.assignment().lit_value(l) == Value::True {
+                    omega.push(!l);
+                }
+            }
+        }
+        omega.extend_from_slice(omega_pl);
+        omega.sort();
+        omega.dedup();
+        omega
+    }
+
+    fn record_solution(&mut self, stats: &mut SolverStats) -> SolutionStep {
+        let model = self.engine.model();
+        debug_assert!(self.instance.is_feasible(&model), "engine produced infeasible model");
+        let cost = self.instance.cost_of(&model);
+        let improved = self.best_cost.is_none_or(|b| cost < b);
+        if improved {
+            self.best_cost = Some(cost);
+            self.best_model = Some(model);
+            stats.solutions_found += 1;
+        }
+        if !self.instance.is_optimization() {
+            // Pure satisfaction: done at the first solution.
+            return SolutionStep::Finished(SolveStatus::Optimal);
+        }
+        let upper = self.best_cost.unwrap();
+        if self.options.knapsack_cuts {
+            // Install the cost cuts at the root and continue searching
+            // for a strictly better solution.
+            self.engine.backjump_to(0);
+            for id in self.active_cuts.drain(..) {
+                self.engine.deactivate_pb(id);
+            }
+            if let Some(cut) = knapsack_cut(self.instance, upper) {
+                match self.engine.add_pb_cut(&cut) {
+                    Ok(id) => self.active_cuts.push(id),
+                    Err(_) => return SolutionStep::Finished(SolveStatus::Optimal),
+                }
+            } else {
+                // Trivial cut: every assignment is already cheaper, which
+                // cannot happen for a just-found solution of this cost.
+                debug_assert!(false, "knapsack cut trivial for incumbent cost");
+            }
+            if self.options.cardinality_cuts {
+                for cut in cardinality_cost_cuts(self.instance, upper) {
+                    match self.engine.add_pb_cut(&cut) {
+                        Ok(id) => self.active_cuts.push(id),
+                        Err(_) => return SolutionStep::Finished(SolveStatus::Optimal),
+                    }
+                }
+            }
+        } else {
+            // Without eq. 10 cuts the engine has no reason to leave the
+            // current (complete) solution: force the search onward with an
+            // ad-hoc "improve on omega_pp" conflict, built *at the
+            // solution state* (its literals must be false right now;
+            // resolve_conflict performs the backtracking itself).
+            let omega = self.build_bound_conflict(&[]);
+            match self.engine.resolve_conflict(Conflict::AdHoc(omega)) {
+                Resolution::Unsat => return SolutionStep::Finished(SolveStatus::Optimal),
+                Resolution::Backjumped { .. } => {}
+            }
+        }
+        SolutionStep::Continue
+    }
+
+    /// Branch selection (sec. 5): LP-guided when available, else VSIDS
+    /// with saved phases.
+    fn pick_branch(&mut self) -> Option<Lit> {
+        if self.options.branching == Branching::LpGuided {
+            if let Bound::Lpr(lpr) = &self.bound {
+                let x = lpr.last_solution();
+                let mut best: Option<(Var, f64)> = None;
+                for v in 0..self.instance.num_vars() {
+                    let var = Var::new(v);
+                    if self.engine.assignment().value(var) != Value::Unassigned {
+                        continue;
+                    }
+                    let frac = x[v];
+                    if frac <= 1e-6 || frac >= 1.0 - 1e-6 {
+                        continue;
+                    }
+                    let dist = (frac - 0.5).abs();
+                    if best.is_none_or(|(_, d)| dist < d - 1e-12) {
+                        best = Some((var, dist));
+                    }
+                }
+                if let Some((var, _)) = best {
+                    let frac = x[var.index()];
+                    return Some(var.lit(frac > 0.5));
+                }
+            }
+        }
+        let var = self.engine.pick_branch_var()?;
+        Some(var.lit(self.engine.phase_of(var)))
+    }
+}
+
+enum SolutionStep {
+    Finished(SolveStatus),
+    Continue,
+}

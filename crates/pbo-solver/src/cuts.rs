@@ -1,0 +1,181 @@
+//! Cost-bound cuts (sec. 5 of the paper).
+//!
+//! * [`knapsack_cut`] — eq. 10: once a solution of cost `upper` is known,
+//!   every better solution satisfies `sum c_j l_j <= upper - 1`.
+//! * [`cardinality_cost_cuts`] — eqs. 11–13: a cardinality constraint
+//!   `sum_{j in K} l_j >= U` forces at least the `U` cheapest costs of
+//!   `K` to be paid (`V`), so the objective terms *outside* `K` must fit
+//!   in `upper - 1 - V`.
+
+use pbo_core::{normalize, Instance, PbConstraint, RelOp};
+
+/// Builds the knapsack cut (eq. 10) for objective cost strictly below
+/// `upper`. Returns `None` when the cut is trivially true (every
+/// assignment already costs less than `upper`) and `Some(unsatisfiable
+/// constraint)` is possible when no assignment can be cheaper — callers
+/// detect that via [`PbConstraint::is_unsatisfiable`] / the engine's root
+/// conflict.
+pub fn knapsack_cut(instance: &Instance, upper: i64) -> Option<PbConstraint> {
+    let obj = instance.objective()?;
+    let rhs = upper - 1 - obj.offset();
+    let terms: Vec<(i64, pbo_core::Lit)> = obj.terms().to_vec();
+    // sum c_j l_j <= rhs, normalized to >=.
+    let mut cs = normalize(&terms, RelOp::Le, rhs).ok()?;
+    debug_assert!(cs.len() <= 1);
+    cs.pop()
+}
+
+/// Infers the eqs. 11–13 cuts from every cardinality-class constraint
+/// over literals with at least one costed member. `upper` is the current
+/// best solution cost.
+pub fn cardinality_cost_cuts(instance: &Instance, upper: i64) -> Vec<PbConstraint> {
+    let Some(obj) = instance.objective() else {
+        return Vec::new();
+    };
+    let mut cuts = Vec::new();
+    for c in instance.constraints() {
+        let class = c.class();
+        if class == pbo_core::ConstraintClass::General || c.is_empty() {
+            continue;
+        }
+        // Cardinality form: at least U of the literals in K must be true.
+        let u = c.min_true_literals();
+        if u <= 0 || u > c.len() as i64 {
+            continue;
+        }
+        // V = sum of the U smallest costs of literals in K (eq. 12).
+        let mut costs: Vec<i64> = c.terms().iter().map(|t| obj.cost_of_lit(t.lit)).collect();
+        costs.sort_unstable();
+        let v: i64 = costs.iter().take(u as usize).sum();
+        if v <= 0 {
+            continue; // dominated by the knapsack cut
+        }
+        // Objective terms outside K must fit in upper - 1 - V (eq. 13).
+        let k_vars: std::collections::HashSet<usize> =
+            c.terms().iter().map(|t| t.lit.var().index()).collect();
+        let outside: Vec<(i64, pbo_core::Lit)> = obj
+            .terms()
+            .iter()
+            .copied()
+            .filter(|(_, l)| !k_vars.contains(&l.var().index()))
+            .collect();
+        if outside.is_empty() {
+            continue;
+        }
+        let rhs = upper - 1 - v - obj.offset();
+        if let Ok(mut cs) = normalize(&outside, RelOp::Le, rhs) {
+            cuts.append(&mut cs);
+        }
+    }
+    cuts
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pbo_core::{brute_force, InstanceBuilder};
+
+    #[test]
+    fn knapsack_cut_excludes_equal_cost_solutions() {
+        let mut b = InstanceBuilder::new();
+        let v = b.new_vars(2);
+        b.add_clause([v[0].positive(), v[1].positive()]);
+        b.minimize([(2, v[0].positive()), (3, v[1].positive())]);
+        let inst = b.build().unwrap();
+        let cut = knapsack_cut(&inst, 3).expect("cut exists");
+        // Solutions of cost >= 3 must violate the cut; cost <= 2 satisfy.
+        assert!(cut.is_satisfied_by(&[true, false])); // cost 2
+        assert!(!cut.is_satisfied_by(&[false, true])); // cost 3
+        assert!(!cut.is_satisfied_by(&[true, true])); // cost 5
+        assert!(cut.is_satisfied_by(&[false, false])); // cost 0
+    }
+
+    #[test]
+    fn knapsack_cut_none_when_trivial() {
+        let mut b = InstanceBuilder::new();
+        let v = b.new_vars(1);
+        b.add_clause([v[0].positive(), v[0].negative()]);
+        b.minimize([(1, v[0].positive())]);
+        let inst = b.build().unwrap();
+        // upper = 2: every assignment costs at most 1 < 2, cut trivial.
+        assert!(knapsack_cut(&inst, 3).is_none());
+    }
+
+    #[test]
+    fn knapsack_cut_unsatisfiable_when_no_better_possible() {
+        let mut b = InstanceBuilder::new();
+        let v = b.new_vars(1);
+        b.add_clause([v[0].positive()]);
+        b.minimize([(1, v[0].positive())]);
+        let inst = b.build().unwrap();
+        // upper = 0: need cost <= -1, impossible since costs >= 0.
+        let cut = knapsack_cut(&inst, 0).expect("constraint present");
+        assert!(cut.is_unsatisfiable());
+    }
+
+    #[test]
+    fn cardinality_cut_restricts_outside_costs() {
+        // K = {x1, x2, x3} with at least 2 true; costs 2, 3, 4; outside
+        // cost 5 on x4. V = 2 + 3 = 5. With upper = 9: outside terms must
+        // fit 9 - 1 - 5 = 3 -> 5*x4 <= 3 -> x4 forced false.
+        let mut b = InstanceBuilder::new();
+        let v = b.new_vars(4);
+        b.add_at_least(2, [v[0].positive(), v[1].positive(), v[2].positive()]);
+        b.minimize([
+            (2, v[0].positive()),
+            (3, v[1].positive()),
+            (4, v[2].positive()),
+            (5, v[3].positive()),
+        ]);
+        let inst = b.build().unwrap();
+        let cuts = cardinality_cost_cuts(&inst, 9);
+        assert_eq!(cuts.len(), 1);
+        assert!(!cuts[0].is_satisfied_by(&[true, true, false, true]), "x4 = 1 excluded");
+        assert!(cuts[0].is_satisfied_by(&[true, true, false, false]));
+    }
+
+    #[test]
+    fn cuts_preserve_better_solutions_randomized() {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(0xc075);
+        for round in 0..40 {
+            let n = rng.gen_range(3..8);
+            let mut b = InstanceBuilder::new();
+            let vars = b.new_vars(n);
+            for _ in 0..rng.gen_range(1..5) {
+                let k = rng.gen_range(2..=n);
+                let mut idxs: Vec<usize> = (0..n).collect();
+                for i in 0..k {
+                    let j = rng.gen_range(i..n);
+                    idxs.swap(i, j);
+                }
+                b.add_at_least(
+                    rng.gen_range(1..=k as i64),
+                    idxs[..k].iter().map(|&i| vars[i].positive()),
+                );
+            }
+            b.minimize(vars.iter().map(|v| (rng.gen_range(0..5), v.positive())));
+            let inst = b.build().unwrap();
+            let Some(opt) = brute_force(&inst).cost() else { continue };
+            let upper = opt + rng.gen_range(1..4); // pretend incumbent is worse
+            let mut cuts = cardinality_cost_cuts(&inst, upper);
+            if let Some(kc) = knapsack_cut(&inst, upper) {
+                cuts.push(kc);
+            }
+            // Every strictly-better-than-upper feasible assignment must
+            // satisfy every cut.
+            for mask in 0u64..(1 << n) {
+                let vals: Vec<bool> = (0..n).map(|i| (mask >> i) & 1 == 1).collect();
+                if inst.is_feasible(&vals) && inst.cost_of(&vals) < upper {
+                    for (ci, cut) in cuts.iter().enumerate() {
+                        assert!(
+                            cut.is_satisfied_by(&vals),
+                            "round {round}: cut {ci} removes solution of cost {} < {upper}",
+                            inst.cost_of(&vals)
+                        );
+                    }
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,181 @@
+//! Solver configuration: lower-bound method, branching, cuts, budgets.
+
+use std::time::Duration;
+
+/// Which lower-bound estimation procedure bsolo uses (Table 1 columns).
+#[derive(Copy, Clone, PartialEq, Eq, Debug, Default)]
+pub enum LbMethod {
+    /// No estimation: prune on path cost only ("plain").
+    None,
+    /// Greedy maximum independent set of constraints ("MIS").
+    Mis,
+    /// Lagrangian relaxation by subgradient ascent ("LGR").
+    Lagrangian,
+    /// Linear-programming relaxation by dual simplex ("LPR").
+    #[default]
+    Lpr,
+}
+
+impl LbMethod {
+    /// Short name used in benchmark tables.
+    pub fn name(self) -> &'static str {
+        match self {
+            LbMethod::None => "plain",
+            LbMethod::Mis => "mis",
+            LbMethod::Lagrangian => "lgr",
+            LbMethod::Lpr => "lpr",
+        }
+    }
+}
+
+/// Branching variable selection.
+#[derive(Copy, Clone, PartialEq, Eq, Debug, Default)]
+pub enum Branching {
+    /// VSIDS activity (Chaff), the SAT default.
+    Vsids,
+    /// LP-guided (sec. 5): branch on the fractional LP variable closest
+    /// to 0.5, VSIDS tie-break; falls back to VSIDS when no LP solution
+    /// is available. Only effective together with [`LbMethod::Lpr`].
+    #[default]
+    LpGuided,
+}
+
+/// Resource budget for a solve. All limits are optional; an empty budget
+/// runs to completion.
+#[derive(Copy, Clone, Debug, Default)]
+pub struct Budget {
+    /// Wall-clock limit.
+    pub time: Option<Duration>,
+    /// Conflict limit.
+    pub conflicts: Option<u64>,
+    /// Decision limit.
+    pub decisions: Option<u64>,
+}
+
+impl Budget {
+    /// No limits.
+    pub fn unlimited() -> Budget {
+        Budget::default()
+    }
+
+    /// Wall-clock limit only.
+    pub fn time_limit(d: Duration) -> Budget {
+        Budget { time: Some(d), ..Budget::default() }
+    }
+
+    /// Conflict limit only (deterministic budget for tests/benches).
+    pub fn conflict_limit(n: u64) -> Budget {
+        Budget { conflicts: Some(n), ..Budget::default() }
+    }
+
+    /// Returns `true` if any limit is exhausted.
+    pub fn exhausted(&self, elapsed: Duration, conflicts: u64, decisions: u64) -> bool {
+        if let Some(t) = self.time {
+            if elapsed >= t {
+                return true;
+            }
+        }
+        if let Some(c) = self.conflicts {
+            if conflicts >= c {
+                return true;
+            }
+        }
+        if let Some(d) = self.decisions {
+            if decisions >= d {
+                return true;
+            }
+        }
+        false
+    }
+}
+
+/// Configuration of the bsolo branch-and-bound solver.
+#[derive(Clone, Debug)]
+pub struct BsoloOptions {
+    /// Lower-bound procedure (sec. 3).
+    pub lb_method: LbMethod,
+    /// Branching heuristic (sec. 5).
+    pub branching: Branching,
+    /// Learn bound-conflict clauses and backtrack non-chronologically
+    /// (sec. 4). When disabled, bound conflicts backtrack chronologically
+    /// — the ablation of the paper's central claim.
+    pub bound_conflict_learning: bool,
+    /// Add the knapsack cut `sum c_j x_j <= upper - 1` on each improved
+    /// solution (eq. 10).
+    pub knapsack_cuts: bool,
+    /// Infer cost cuts from cardinality constraints (eqs. 11–13).
+    pub cardinality_cuts: bool,
+    /// Probe variables during preprocessing to detect necessary
+    /// assignments (sec. 5 / Savelsbergh-style).
+    pub probing: bool,
+    /// Covering-style simplification before the search: duplicate
+    /// removal and clause subsumption (the paper applies these on the
+    /// synthesis benchmark set).
+    pub simplify: bool,
+    /// Compute the lower bound every `lb_frequency` decisions (1 = every
+    /// node, the paper's configuration).
+    pub lb_frequency: u32,
+    /// Resource budget.
+    pub budget: Budget,
+}
+
+impl Default for BsoloOptions {
+    fn default() -> BsoloOptions {
+        BsoloOptions {
+            lb_method: LbMethod::Lpr,
+            branching: Branching::LpGuided,
+            bound_conflict_learning: true,
+            knapsack_cuts: true,
+            cardinality_cuts: true,
+            probing: true,
+            simplify: true,
+            lb_frequency: 1,
+            budget: Budget::unlimited(),
+        }
+    }
+}
+
+impl BsoloOptions {
+    /// The configuration matching one Table 1 column.
+    pub fn with_lb(lb_method: LbMethod) -> BsoloOptions {
+        let branching = if lb_method == LbMethod::Lpr {
+            Branching::LpGuided
+        } else {
+            Branching::Vsids
+        };
+        BsoloOptions { lb_method, branching, ..BsoloOptions::default() }
+    }
+
+    /// Builder-style budget override.
+    pub fn budget(mut self, budget: Budget) -> BsoloOptions {
+        self.budget = budget;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn budget_exhaustion() {
+        let b = Budget::conflict_limit(10);
+        assert!(!b.exhausted(Duration::ZERO, 9, 100));
+        assert!(b.exhausted(Duration::ZERO, 10, 0));
+        let t = Budget::time_limit(Duration::from_millis(5));
+        assert!(t.exhausted(Duration::from_millis(5), 0, 0));
+        assert!(!Budget::unlimited().exhausted(Duration::from_secs(3600), u64::MAX - 1, 1));
+    }
+
+    #[test]
+    fn with_lb_pairs_branching() {
+        assert_eq!(BsoloOptions::with_lb(LbMethod::Lpr).branching, Branching::LpGuided);
+        assert_eq!(BsoloOptions::with_lb(LbMethod::Mis).branching, Branching::Vsids);
+    }
+
+    #[test]
+    fn lb_names() {
+        assert_eq!(LbMethod::None.name(), "plain");
+        assert_eq!(LbMethod::Lpr.name(), "lpr");
+    }
+}

@@ -1,0 +1,129 @@
+//! Solve outcomes and effort statistics shared by all solvers.
+
+use std::fmt;
+use std::time::Duration;
+
+/// Final status of a solve.
+#[derive(Copy, Clone, PartialEq, Eq, Debug)]
+pub enum SolveStatus {
+    /// The search finished: the reported solution (if any) is optimal.
+    /// For pure satisfaction instances, a satisfying assignment was found.
+    Optimal,
+    /// The search finished: the constraints are unsatisfiable.
+    Infeasible,
+    /// The budget ran out with an incumbent solution — the paper's
+    /// "`ub` value reported at timeout" rows in Table 1.
+    Feasible,
+    /// The budget ran out before any solution was found.
+    Unknown,
+}
+
+impl fmt::Display for SolveStatus {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SolveStatus::Optimal => write!(f, "optimal"),
+            SolveStatus::Infeasible => write!(f, "infeasible"),
+            SolveStatus::Feasible => write!(f, "feasible (budget)"),
+            SolveStatus::Unknown => write!(f, "unknown (budget)"),
+        }
+    }
+}
+
+/// Effort counters for one solve.
+#[derive(Clone, Default, Debug)]
+pub struct SolverStats {
+    /// Decisions taken.
+    pub decisions: u64,
+    /// Conflicts resolved (logic + bound).
+    pub conflicts: u64,
+    /// Bound conflicts (prunings due to `P.path + P.lower >= P.upper`).
+    pub bound_conflicts: u64,
+    /// Lower-bound computations performed.
+    pub lb_calls: u64,
+    /// Wall time spent inside the lower-bound procedure.
+    pub lb_time: Duration,
+    /// Total wall time of the solve.
+    pub solve_time: Duration,
+    /// Literal propagations.
+    pub propagations: u64,
+    /// Restarts performed.
+    pub restarts: u64,
+    /// Improving solutions found.
+    pub solutions_found: u64,
+    /// Sum over conflicts of (conflict level − backjump level); a value
+    /// well above `conflicts` indicates non-chronological backtracking.
+    pub backjump_levels: u64,
+    /// Simplex iterations (LPR / MILP only).
+    pub lp_iterations: u64,
+    /// Branch-and-bound nodes (MILP only).
+    pub nodes: u64,
+}
+
+/// Result of a solve: status, incumbent and statistics.
+#[derive(Clone, Debug)]
+pub struct SolveResult {
+    /// Final status.
+    pub status: SolveStatus,
+    /// Cost of the best solution found, if any (0 for satisfaction
+    /// instances solved to SAT).
+    pub best_cost: Option<i64>,
+    /// The best assignment found, if any.
+    pub best_assignment: Option<Vec<bool>>,
+    /// Effort counters.
+    pub stats: SolverStats,
+}
+
+impl SolveResult {
+    /// Returns `true` if the result proves optimality (or SAT for pure
+    /// satisfaction problems).
+    pub fn is_optimal(&self) -> bool {
+        self.status == SolveStatus::Optimal
+    }
+
+    /// Formats the solve outcome the way Table 1 of the paper does:
+    /// the time when solved, or `ub <value>` when the budget ran out with
+    /// an incumbent.
+    pub fn table_cell(&self) -> String {
+        match self.status {
+            SolveStatus::Optimal => format!("{:.2}", self.stats.solve_time.as_secs_f64()),
+            SolveStatus::Infeasible => "UNSAT".to_string(),
+            SolveStatus::Feasible => format!("ub {}", self.best_cost.unwrap_or(0)),
+            SolveStatus::Unknown => "time".to_string(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_cell_formats() {
+        let mut r = SolveResult {
+            status: SolveStatus::Optimal,
+            best_cost: Some(5),
+            best_assignment: None,
+            stats: SolverStats::default(),
+        };
+        r.stats.solve_time = Duration::from_millis(1500);
+        assert_eq!(r.table_cell(), "1.50");
+        r.status = SolveStatus::Feasible;
+        assert_eq!(r.table_cell(), "ub 5");
+        r.status = SolveStatus::Unknown;
+        assert_eq!(r.table_cell(), "time");
+        r.status = SolveStatus::Infeasible;
+        assert_eq!(r.table_cell(), "UNSAT");
+    }
+
+    #[test]
+    fn status_display_nonempty() {
+        for s in [
+            SolveStatus::Optimal,
+            SolveStatus::Infeasible,
+            SolveStatus::Feasible,
+            SolveStatus::Unknown,
+        ] {
+            assert!(!format!("{s}").is_empty());
+        }
+    }
+}

@@ -1,0 +1,337 @@
+//! Cross-validation of every solver configuration against the exhaustive
+//! reference solver, plus behavioural tests of the paper's mechanisms.
+
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+
+use pbo_core::{brute_force, Instance, InstanceBuilder, Lit, RelOp};
+
+use crate::{
+    Bsolo, BsoloOptions, Budget, LbMethod, LinearSearch, MilpSolver, SolveStatus,
+};
+
+/// Random optimization instance with clauses, cardinality and general PB
+/// constraints.
+fn random_instance(rng: &mut ChaCha8Rng, n_max: usize) -> Instance {
+    let n = rng.gen_range(3..=n_max);
+    let mut b = InstanceBuilder::new();
+    let vars = b.new_vars(n);
+    let m = rng.gen_range(2..10);
+    for _ in 0..m {
+        let k = rng.gen_range(1..=3.min(n));
+        let mut idxs: Vec<usize> = (0..n).collect();
+        for i in 0..k {
+            let j = rng.gen_range(i..n);
+            idxs.swap(i, j);
+        }
+        let terms: Vec<(i64, Lit)> = idxs[..k]
+            .iter()
+            .map(|&i| (rng.gen_range(1..4), vars[i].lit(rng.gen_bool(0.75))))
+            .collect();
+        let maxw: i64 = terms.iter().map(|t| t.0).sum();
+        let rhs = rng.gen_range(1..=maxw);
+        b.add_linear(terms, RelOp::Ge, rhs);
+    }
+    if rng.gen_bool(0.9) {
+        b.minimize(vars.iter().map(|v| (rng.gen_range(0..6), v.lit(rng.gen_bool(0.85)))));
+    }
+    b.build().unwrap()
+}
+
+fn check_result(
+    inst: &Instance,
+    got: &crate::SolveResult,
+    expected: &pbo_core::BruteForceResult,
+    label: &str,
+) {
+    match expected.cost() {
+        Some(opt) => {
+            assert_eq!(got.status, SolveStatus::Optimal, "{label}: expected optimal");
+            assert_eq!(got.best_cost, Some(opt), "{label}: wrong optimum");
+            let model = got.best_assignment.as_ref().expect("model present");
+            assert!(inst.is_feasible(model), "{label}: infeasible model");
+            assert_eq!(inst.cost_of(model), opt, "{label}: model cost mismatch");
+        }
+        None => {
+            assert_eq!(got.status, SolveStatus::Infeasible, "{label}: expected infeasible");
+            assert!(got.best_cost.is_none(), "{label}: phantom solution");
+        }
+    }
+}
+
+#[test]
+fn bsolo_lpr_matches_brute_force() {
+    let mut rng = ChaCha8Rng::seed_from_u64(0xb0110);
+    for round in 0..60 {
+        let inst = random_instance(&mut rng, 9);
+        let expected = brute_force(&inst);
+        let got = Bsolo::with_lb(LbMethod::Lpr).solve(&inst);
+        check_result(&inst, &got, &expected, &format!("lpr round {round}"));
+    }
+}
+
+#[test]
+fn bsolo_mis_matches_brute_force() {
+    let mut rng = ChaCha8Rng::seed_from_u64(0xb0111);
+    for round in 0..60 {
+        let inst = random_instance(&mut rng, 9);
+        let expected = brute_force(&inst);
+        let got = Bsolo::with_lb(LbMethod::Mis).solve(&inst);
+        check_result(&inst, &got, &expected, &format!("mis round {round}"));
+    }
+}
+
+#[test]
+fn bsolo_lagrangian_matches_brute_force() {
+    let mut rng = ChaCha8Rng::seed_from_u64(0xb0112);
+    for round in 0..60 {
+        let inst = random_instance(&mut rng, 9);
+        let expected = brute_force(&inst);
+        let got = Bsolo::with_lb(LbMethod::Lagrangian).solve(&inst);
+        check_result(&inst, &got, &expected, &format!("lgr round {round}"));
+    }
+}
+
+#[test]
+fn bsolo_plain_matches_brute_force() {
+    let mut rng = ChaCha8Rng::seed_from_u64(0xb0113);
+    for round in 0..60 {
+        let inst = random_instance(&mut rng, 8);
+        let expected = brute_force(&inst);
+        let got = Bsolo::with_lb(LbMethod::None).solve(&inst);
+        check_result(&inst, &got, &expected, &format!("plain round {round}"));
+    }
+}
+
+#[test]
+fn linear_search_matches_brute_force() {
+    let mut rng = ChaCha8Rng::seed_from_u64(0xb0114);
+    for round in 0..60 {
+        let inst = random_instance(&mut rng, 8);
+        let expected = brute_force(&inst);
+        let got = LinearSearch::pbs_like(Budget::unlimited()).solve(&inst);
+        check_result(&inst, &got, &expected, &format!("pbs round {round}"));
+        let got = LinearSearch::galena_like(Budget::unlimited()).solve(&inst);
+        check_result(&inst, &got, &expected, &format!("galena round {round}"));
+    }
+}
+
+#[test]
+fn milp_matches_brute_force() {
+    let mut rng = ChaCha8Rng::seed_from_u64(0xb0115);
+    for round in 0..60 {
+        let inst = random_instance(&mut rng, 8);
+        let expected = brute_force(&inst);
+        let got = MilpSolver::new(Budget::unlimited()).solve(&inst);
+        check_result(&inst, &got, &expected, &format!("milp round {round}"));
+    }
+}
+
+#[test]
+fn ablation_toggles_preserve_correctness() {
+    let mut rng = ChaCha8Rng::seed_from_u64(0xb0116);
+    for round in 0..40 {
+        let inst = random_instance(&mut rng, 8);
+        let expected = brute_force(&inst);
+        for (label, options) in [
+            (
+                "no-bound-learning",
+                BsoloOptions {
+                    bound_conflict_learning: false,
+                    ..BsoloOptions::with_lb(LbMethod::Lpr)
+                },
+            ),
+            (
+                "no-cuts",
+                BsoloOptions {
+                    knapsack_cuts: false,
+                    cardinality_cuts: false,
+                    ..BsoloOptions::with_lb(LbMethod::Lpr)
+                },
+            ),
+            (
+                "no-probing",
+                BsoloOptions { probing: false, ..BsoloOptions::with_lb(LbMethod::Mis) },
+            ),
+            (
+                "vsids-branching",
+                BsoloOptions {
+                    branching: crate::Branching::Vsids,
+                    ..BsoloOptions::with_lb(LbMethod::Lpr)
+                },
+            ),
+            (
+                "lb-every-4",
+                BsoloOptions { lb_frequency: 4, ..BsoloOptions::with_lb(LbMethod::Lpr) },
+            ),
+        ] {
+            let got = Bsolo::new(options).solve(&inst);
+            check_result(&inst, &got, &expected, &format!("{label} round {round}"));
+        }
+    }
+}
+
+#[test]
+fn satisfaction_instances_all_solvers() {
+    // Pure PB-SAT (acc-style): no objective.
+    let mut rng = ChaCha8Rng::seed_from_u64(0xb0117);
+    for round in 0..30 {
+        let n = rng.gen_range(4..9);
+        let mut b = InstanceBuilder::new();
+        let vars = b.new_vars(n);
+        for _ in 0..rng.gen_range(3..10) {
+            let k = rng.gen_range(2..=3.min(n));
+            let mut idxs: Vec<usize> = (0..n).collect();
+            for i in 0..k {
+                let j = rng.gen_range(i..n);
+                idxs.swap(i, j);
+            }
+            b.add_at_least(
+                rng.gen_range(1..=k as i64),
+                idxs[..k].iter().map(|&i| vars[i].lit(rng.gen_bool(0.6))),
+            );
+        }
+        let inst = b.build().unwrap();
+        let sat = brute_force(&inst).cost().is_some();
+        for (label, result) in [
+            ("bsolo", Bsolo::with_lb(LbMethod::Lpr).solve(&inst)),
+            ("pbs", LinearSearch::pbs_like(Budget::unlimited()).solve(&inst)),
+            ("milp", MilpSolver::new(Budget::unlimited()).solve(&inst)),
+        ] {
+            if sat {
+                assert_eq!(
+                    result.status,
+                    SolveStatus::Optimal,
+                    "{label} round {round}: expected SAT"
+                );
+                let model = result.best_assignment.as_ref().unwrap();
+                assert!(inst.is_feasible(model), "{label} round {round}");
+            } else {
+                assert_eq!(
+                    result.status,
+                    SolveStatus::Infeasible,
+                    "{label} round {round}: expected UNSAT"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn bound_conflicts_backjump_non_chronologically() {
+    // A structured instance where early cheap decisions force the bound
+    // conflict while later free variables do not participate: the solver
+    // must report backjump distance above the pure-conflict count.
+    let mut b = InstanceBuilder::new();
+    let costed = b.new_vars(6);
+    let free = b.new_vars(8);
+    // Two disjoint "expensive" covers.
+    b.add_at_least(2, costed[..3].iter().map(|v| v.positive()));
+    b.add_at_least(2, costed[3..].iter().map(|v| v.positive()));
+    // Free variables only lightly constrained.
+    for w in free.windows(2) {
+        b.add_clause([w[0].positive(), w[1].positive()]);
+    }
+    b.minimize(costed.iter().enumerate().map(|(i, v)| ((i + 1) as i64, v.positive())));
+    let inst = b.build().unwrap();
+    let result = Bsolo::with_lb(LbMethod::Lpr).solve(&inst);
+    assert!(result.is_optimal());
+    // Optimum: 1+2 from the first cover, 4+5 from the second = 12.
+    assert_eq!(result.best_cost, Some(12));
+}
+
+#[test]
+fn budget_exhaustion_reports_incumbent() {
+    let mut rng = ChaCha8Rng::seed_from_u64(0xb0118);
+    // A larger instance with a tiny conflict budget: we should get
+    // Feasible-or-Unknown, never a wrong Optimal.
+    let n = 18;
+    let mut b = InstanceBuilder::new();
+    let vars = b.new_vars(n);
+    for i in 0..n {
+        let j = (i + 1) % n;
+        let k = (i + 7) % n;
+        b.add_clause([vars[i].positive(), vars[j].positive(), vars[k].positive()]);
+    }
+    b.minimize(vars.iter().map(|v| (rng.gen_range(1..10), v.positive())));
+    let inst = b.build().unwrap();
+    let opt = Bsolo::with_lb(LbMethod::Lpr).solve(&inst);
+    assert!(opt.is_optimal());
+    let budgeted = Bsolo::new(
+        BsoloOptions::with_lb(LbMethod::None).budget(Budget::conflict_limit(3)),
+    )
+    .solve(&inst);
+    match budgeted.status {
+        SolveStatus::Feasible => {
+            assert!(budgeted.best_cost.unwrap() >= opt.best_cost.unwrap());
+        }
+        SolveStatus::Unknown => {}
+        SolveStatus::Optimal => {
+            // Legitimate if the optimum was proven within 3 conflicts.
+            assert_eq!(budgeted.best_cost, opt.best_cost);
+        }
+        SolveStatus::Infeasible => panic!("instance is satisfiable"),
+    }
+}
+
+#[test]
+fn lpr_prunes_more_than_plain() {
+    // On a cost-dominated instance the LPR configuration must explore
+    // fewer decisions than plain - the paper's central claim.
+    let mut rng = ChaCha8Rng::seed_from_u64(0xb0119);
+    let n = 14;
+    let mut b = InstanceBuilder::new();
+    let vars = b.new_vars(n);
+    for _ in 0..10 {
+        let mut idxs: Vec<usize> = (0..n).collect();
+        for i in 0..4 {
+            let j = rng.gen_range(i..n);
+            idxs.swap(i, j);
+        }
+        b.add_at_least(2, idxs[..4].iter().map(|&i| vars[i].positive()));
+    }
+    b.minimize(vars.iter().map(|v| (rng.gen_range(5..20), v.positive())));
+    let inst = b.build().unwrap();
+    let lpr = Bsolo::with_lb(LbMethod::Lpr).solve(&inst);
+    let plain = Bsolo::with_lb(LbMethod::None).solve(&inst);
+    assert!(lpr.is_optimal() && plain.is_optimal());
+    assert_eq!(lpr.best_cost, plain.best_cost);
+    assert!(
+        lpr.stats.decisions <= plain.stats.decisions,
+        "LPR ({}) should not need more decisions than plain ({})",
+        lpr.stats.decisions,
+        plain.stats.decisions
+    );
+    assert!(lpr.stats.bound_conflicts > 0, "LPR should prune via bound conflicts");
+}
+
+#[test]
+fn infeasible_instances_detected() {
+    let mut b = InstanceBuilder::new();
+    let v = b.new_vars(3);
+    // Pigeonhole 3->2 again, with an objective on top.
+    b.add_at_least(2, [v[0].positive(), v[1].positive()]);
+    b.add_at_least(2, [v[0].negative(), v[1].negative()]);
+    b.minimize([(1, v[2].positive())]);
+    let inst = b.build().unwrap();
+    for (label, result) in [
+        ("bsolo-lpr", Bsolo::with_lb(LbMethod::Lpr).solve(&inst)),
+        ("bsolo-plain", Bsolo::with_lb(LbMethod::None).solve(&inst)),
+        ("pbs", LinearSearch::pbs_like(Budget::unlimited()).solve(&inst)),
+        ("milp", MilpSolver::new(Budget::unlimited()).solve(&inst)),
+    ] {
+        assert_eq!(result.status, SolveStatus::Infeasible, "{label}");
+    }
+}
+
+#[test]
+fn zero_cost_objective_behaves_like_sat() {
+    let mut b = InstanceBuilder::new();
+    let v = b.new_vars(2);
+    b.add_clause([v[0].positive(), v[1].positive()]);
+    b.minimize(Vec::<(i64, Lit)>::new());
+    let inst = b.build().unwrap();
+    let result = Bsolo::with_lb(LbMethod::Lpr).solve(&inst);
+    assert!(result.is_optimal());
+    assert_eq!(result.best_cost, Some(0));
+}

@@ -1,0 +1,50 @@
+//! OPB interchange: parse a pseudo-Boolean instance from OPB text (or a
+//! file given as the first argument), solve it, print the solution, and
+//! demonstrate the write/parse round trip.
+//!
+//! ```text
+//! cargo run --example opb_file [instance.opb]
+//! ```
+
+use pbo::{parse_opb, solve, write_opb};
+
+const SAMPLE: &str = "\
+* minimum-cost feasible mix of three features
+min: +4 x1 +2 x2 +5 x3 ;
++1 x1 +1 x2 +1 x3 >= 2 ;
++3 x1 +2 x2 -2 x3 >= 1 ;
+";
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let text = match std::env::args().nth(1) {
+        Some(path) => std::fs::read_to_string(path)?,
+        None => SAMPLE.to_string(),
+    };
+    let instance = parse_opb(&text)?;
+    println!(
+        "parsed `{}`: {} vars, {} constraints",
+        instance.name(),
+        instance.num_vars(),
+        instance.num_constraints()
+    );
+
+    let result = solve(&instance);
+    println!("status : {}", result.status);
+    if let Some(model) = &result.best_assignment {
+        let lits: Vec<String> = model
+            .iter()
+            .enumerate()
+            .map(|(i, &v)| format!("{}x{}", if v { "" } else { "~" }, i + 1))
+            .collect();
+        println!("model  : {}", lits.join(" "));
+        println!("cost   : {}", result.best_cost.unwrap_or(0));
+    }
+
+    // Round trip: serialize the normalized instance and re-parse it.
+    let serialized = write_opb(&instance);
+    println!("--- normalized OPB ---\n{serialized}");
+    let reparsed = parse_opb(&serialized)?;
+    assert_eq!(reparsed.constraints(), instance.constraints());
+    println!("round trip OK");
+    Ok(())
+}

@@ -1,0 +1,64 @@
+//! Two-level logic minimization as weighted covering (the paper's MCNC
+//! family): pick a minimum-cost set of prime implicants covering every
+//! minterm, and compare solver classes — SAT linear search, MILP
+//! branch-and-bound and bsolo with LPR bounding.
+//!
+//! ```text
+//! cargo run --release --example synthesis_covering
+//! ```
+
+use std::time::Duration;
+
+use pbo::pbo_benchgen::SynthesisParams;
+use pbo::{Bsolo, BsoloOptions, Budget, LbMethod, LinearSearch, MilpSolver};
+
+fn main() {
+    let params = SynthesisParams {
+        primes: 50,
+        minterms: 70,
+        cover_density: 4.0,
+        exclusions: 8,
+        cost: (1, 9),
+    };
+    let instance = params.generate(3);
+    println!(
+        "instance {}: {} primes, {} rows",
+        instance.name(),
+        instance.num_vars(),
+        instance.num_constraints()
+    );
+
+    let budget = Budget::time_limit(Duration::from_secs(10));
+    let runs: Vec<(&str, pbo::SolveResult)> = vec![
+        ("pbs-like", LinearSearch::pbs_like(budget).solve(&instance)),
+        ("galena-like", LinearSearch::galena_like(budget).solve(&instance)),
+        ("milp (cplex-like)", MilpSolver::new(budget).solve(&instance)),
+        (
+            "bsolo+LPR",
+            Bsolo::new(BsoloOptions::with_lb(LbMethod::Lpr).budget(budget)).solve(&instance),
+        ),
+    ];
+    println!("{:<18} {:>12} {:>8} {:>10}", "solver", "status", "cost", "time");
+    for (name, result) in &runs {
+        println!(
+            "{:<18} {:>12} {:>8} {:>9.2}s",
+            name,
+            result.status.to_string(),
+            result
+                .best_cost
+                .map(|c| c.to_string())
+                .unwrap_or_else(|| "-".into()),
+            result.stats.solve_time.as_secs_f64()
+        );
+    }
+    // All solvers that finished must agree.
+    let optima: Vec<i64> = runs
+        .iter()
+        .filter(|(_, r)| r.is_optimal())
+        .filter_map(|(_, r)| r.best_cost)
+        .collect();
+    if optima.len() > 1 {
+        assert!(optima.windows(2).all(|w| w[0] == w[1]), "solvers disagree: {optima:?}");
+        println!("all finished solvers agree on optimum {}", optima[0]);
+    }
+}

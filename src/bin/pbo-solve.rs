@@ -1,0 +1,114 @@
+//! Command-line PBO solver over OPB files.
+//!
+//! ```text
+//! pbo-solve [--lb plain|mis|lgr|lpr] [--timeout-ms N] [--stats] <file.opb>
+//! cargo run --release --bin pbo-solve -- --lb lpr instance.opb
+//! ```
+//!
+//! Output follows the pseudo-Boolean competition conventions:
+//! `s OPTIMUM FOUND` / `s SATISFIABLE` / `s UNSATISFIABLE` /
+//! `s UNKNOWN`, `o <cost>` for the objective and `v <literals>` for the
+//! model.
+
+use std::process::ExitCode;
+use std::time::Duration;
+
+use pbo::{parse_opb, solve_with, BsoloOptions, Budget, LbMethod, SolveStatus};
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: pbo-solve [--lb plain|mis|lgr|lpr] [--timeout-ms N] [--stats] <file.opb>"
+    );
+    std::process::exit(2);
+}
+
+fn main() -> ExitCode {
+    let mut lb = LbMethod::Lpr;
+    let mut timeout: Option<u64> = None;
+    let mut stats = false;
+    let mut path: Option<String> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--lb" => {
+                lb = match args.next().as_deref() {
+                    Some("plain") => LbMethod::None,
+                    Some("mis") => LbMethod::Mis,
+                    Some("lgr") => LbMethod::Lagrangian,
+                    Some("lpr") => LbMethod::Lpr,
+                    _ => usage(),
+                }
+            }
+            "--timeout-ms" => {
+                timeout = Some(args.next().and_then(|v| v.parse().ok()).unwrap_or_else(|| usage()))
+            }
+            "--stats" => stats = true,
+            "--help" | "-h" => usage(),
+            other if !other.starts_with('-') && path.is_none() => path = Some(other.to_string()),
+            _ => usage(),
+        }
+    }
+    let Some(path) = path else { usage() };
+    let text = match std::fs::read_to_string(&path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("cannot read {path}: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let instance = match parse_opb(&text) {
+        Ok(i) => i,
+        Err(e) => {
+            eprintln!("{e}");
+            return ExitCode::from(2);
+        }
+    };
+    println!(
+        "c {} vars, {} constraints, lb={}",
+        instance.num_vars(),
+        instance.num_constraints(),
+        lb.name()
+    );
+    let mut options = BsoloOptions::with_lb(lb);
+    if let Some(ms) = timeout {
+        options = options.budget(Budget::time_limit(Duration::from_millis(ms)));
+    }
+    let result = solve_with(&instance, options);
+    match result.status {
+        SolveStatus::Optimal if instance.is_optimization() => println!("s OPTIMUM FOUND"),
+        SolveStatus::Optimal => println!("s SATISFIABLE"),
+        SolveStatus::Infeasible => println!("s UNSATISFIABLE"),
+        SolveStatus::Feasible => println!("s SATISFIABLE"),
+        SolveStatus::Unknown => println!("s UNKNOWN"),
+    }
+    if let Some(cost) = result.best_cost {
+        if instance.is_optimization() {
+            println!("o {cost}");
+        }
+    }
+    if let Some(model) = &result.best_assignment {
+        let mut line = String::from("v");
+        for (i, &value) in model.iter().enumerate() {
+            line.push(' ');
+            if !value {
+                line.push('-');
+            }
+            line.push('x');
+            line.push_str(&(i + 1).to_string());
+        }
+        println!("{line}");
+    }
+    if stats {
+        let s = &result.stats;
+        println!(
+            "c decisions={} conflicts={} bound_conflicts={} lb_calls={} lb_time={:.3}s time={:.3}s",
+            s.decisions,
+            s.conflicts,
+            s.bound_conflicts,
+            s.lb_calls,
+            s.lb_time.as_secs_f64(),
+            s.solve_time.as_secs_f64()
+        );
+    }
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,188 @@
+//! Property tests of the lower-bound procedures' core contracts:
+//!
+//! * every bound is `<=` the true optimum of any feasible completion of
+//!   the current partial assignment (validity of eq. 7 pruning);
+//! * the explanation literals are all false under the assignment (a
+//!   well-formed conflicting clause);
+//! * the bound-conflict clause `omega_bc = omega_pp ∪ omega_pl` never
+//!   excludes an assignment strictly better than the claimed bound —
+//!   soundness of the learning step of sec. 4.
+
+use proptest::prelude::*;
+
+use pbo::{
+    Assignment, InstanceBuilder, LagrangianBound, LowerBound, LprBound, MisBound, Lit, RelOp,
+    Subproblem, Value, Var,
+};
+
+#[derive(Clone, Debug)]
+struct Scenario {
+    num_vars: usize,
+    constraints: Vec<(Vec<(i64, usize, bool)>, i64)>,
+    costs: Vec<i64>,
+    /// Partial assignment: var -> Option<bool>.
+    fixed: Vec<Option<bool>>,
+}
+
+fn scenario() -> impl Strategy<Value = Scenario> {
+    (3usize..7)
+        .prop_flat_map(|n| {
+            let term = (1i64..4, 0..n, any::<bool>());
+            let constraint = (proptest::collection::vec(term, 1..4), 1i64..6);
+            (
+                Just(n),
+                proptest::collection::vec(constraint, 1..5),
+                proptest::collection::vec(0i64..6, n),
+                proptest::collection::vec(proptest::option::weighted(0.35, any::<bool>()), n),
+            )
+        })
+        .prop_map(|(num_vars, constraints, costs, fixed)| Scenario {
+            num_vars,
+            constraints,
+            costs,
+            fixed,
+        })
+}
+
+struct Built {
+    instance: pbo::Instance,
+    assignment: Assignment,
+}
+
+fn build(s: &Scenario) -> Built {
+    let mut b = InstanceBuilder::with_vars(s.num_vars);
+    for (terms, rhs) in &s.constraints {
+        let terms: Vec<(i64, Lit)> = terms
+            .iter()
+            .map(|&(c, v, pos)| (c, Lit::new(v % s.num_vars, pos)))
+            .collect();
+        b.add_linear(terms, RelOp::Ge, *rhs);
+    }
+    b.minimize(s.costs.iter().enumerate().map(|(i, &c)| (c, Lit::new(i, true))));
+    let instance = b.build().expect("buildable");
+    let mut assignment = Assignment::new(s.num_vars);
+    for (i, v) in s.fixed.iter().enumerate() {
+        if let Some(val) = v {
+            assignment.assign(Var::new(i), *val);
+        }
+    }
+    Built { instance, assignment }
+}
+
+/// Minimum cost over all feasible completions of the partial assignment,
+/// or None when no completion is feasible.
+fn best_completion(b: &Built) -> Option<i64> {
+    let n = b.instance.num_vars();
+    let mut best = None;
+    for mask in 0u64..(1 << n) {
+        let vals: Vec<bool> = (0..n).map(|i| (mask >> i) & 1 == 1).collect();
+        let respects = (0..n).all(|i| match b.assignment.value(Var::new(i)) {
+            Value::Unassigned => true,
+            Value::True => vals[i],
+            Value::False => !vals[i],
+        });
+        if respects && b.instance.is_feasible(&vals) {
+            let c = b.instance.cost_of(&vals);
+            best = Some(best.map_or(c, |x: i64| x.min(c)));
+        }
+    }
+    best
+}
+
+fn check_method(
+    built: &Built,
+    name: &str,
+    outcome: pbo::LbOutcome,
+) -> Result<(), TestCaseError> {
+    let completion = best_completion(built);
+    // 1. Explanations are well-formed conflicting-clause material.
+    for &l in &outcome.explanation {
+        prop_assert_eq!(
+            built.assignment.lit_value(l),
+            Value::False,
+            "{}: explanation literal {:?} is not false",
+            name,
+            l
+        );
+    }
+    match completion {
+        Some(opt) => {
+            prop_assert!(
+                !outcome.infeasible,
+                "{}: claimed infeasible but completion of cost {} exists",
+                name,
+                opt
+            );
+            // 2. Bound validity.
+            prop_assert!(
+                outcome.bound <= opt,
+                "{}: bound {} exceeds best completion {}",
+                name,
+                outcome.bound,
+                opt
+            );
+        }
+        None => { /* any bound is vacuously valid */ }
+    }
+    // 3. omega_bc soundness: any assignment that keeps every omega_bc
+    // literal false costs at least the bound.
+    let n = built.instance.num_vars();
+    let mut omega_bc = outcome.explanation.clone();
+    if let Some(obj) = built.instance.objective() {
+        for &(c, l) in obj.terms() {
+            if c > 0 && built.assignment.lit_value(l) == Value::True {
+                omega_bc.push(!l);
+            }
+        }
+    }
+    if !outcome.infeasible {
+        for mask in 0u64..(1 << n) {
+            let vals: Vec<bool> = (0..n).map(|i| (mask >> i) & 1 == 1).collect();
+            let violates_clause = omega_bc.iter().all(|&l| {
+                let v = vals[l.var().index()];
+                let lit_true = if l.is_positive() { v } else { !v };
+                !lit_true
+            });
+            if violates_clause && built.instance.is_feasible(&vals) {
+                let c = built.instance.cost_of(&vals);
+                prop_assert!(
+                    c >= outcome.bound,
+                    "{}: omega_bc excludes feasible assignment of cost {} < bound {}",
+                    name,
+                    c,
+                    outcome.bound
+                );
+            }
+        }
+    }
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(40))]
+
+    #[test]
+    fn mis_bound_contract(s in scenario()) {
+        let built = build(&s);
+        let sub = Subproblem::new(&built.instance, &built.assignment);
+        let out = MisBound::new().lower_bound(&sub, None);
+        check_method(&built, "mis", out)?;
+    }
+
+    #[test]
+    fn lagrangian_bound_contract(s in scenario()) {
+        let built = build(&s);
+        let sub = Subproblem::new(&built.instance, &built.assignment);
+        let out = LagrangianBound::new(built.instance.num_constraints())
+            .lower_bound(&sub, None);
+        check_method(&built, "lgr", out)?;
+    }
+
+    #[test]
+    fn lpr_bound_contract(s in scenario()) {
+        let built = build(&s);
+        let sub = Subproblem::new(&built.instance, &built.assignment);
+        let out = LprBound::new(&built.instance).lower_bound(&sub, None);
+        check_method(&built, "lpr", out)?;
+    }
+}
