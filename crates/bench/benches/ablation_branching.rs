@@ -20,10 +20,8 @@ fn bench(c: &mut Criterion) {
     let mut group = c.benchmark_group("ablation_branching");
     group.sample_size(10);
     for (name, branching) in [("lp_guided", Branching::LpGuided), ("vsids", Branching::Vsids)] {
-        let opts = BsoloOptions {
-            branching,
-            ..BsoloOptions::with_lb(LbMethod::Lpr).budget(budget)
-        };
+        let opts =
+            BsoloOptions { branching, ..BsoloOptions::with_lb(LbMethod::Lpr).budget(budget) };
         group.bench_function(name, |b| {
             b.iter(|| std::hint::black_box(Bsolo::new(opts.clone()).solve(&instance)))
         });

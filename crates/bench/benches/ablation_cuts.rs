@@ -20,11 +20,8 @@ fn bench(c: &mut Criterion) {
     let budget = budget_ms(2_000);
     let mut group = c.benchmark_group("ablation_cuts");
     group.sample_size(10);
-    let configs = [
-        ("all_cuts", true, true),
-        ("knapsack_only", true, false),
-        ("no_cuts", false, false),
-    ];
+    let configs =
+        [("all_cuts", true, true), ("knapsack_only", true, false), ("no_cuts", false, false)];
     for (name, knapsack, cardinality) in configs {
         let opts = BsoloOptions {
             knapsack_cuts: knapsack,

@@ -1,0 +1,58 @@
+//! B-residual: per-node subproblem-maintenance cost, rebuild vs
+//! incremental residual state (this PR's tentpole ablation).
+//!
+//! Three measurements on a Table-1-style synthesis instance:
+//!
+//! * `view_rebuild` — one `Subproblem::new` re-scan per node (the seed's
+//!   behaviour);
+//! * `view_incremental` — one `ResidualState::view` snapshot per node;
+//! * `delta_roundtrip` — applying and unwinding one assignment (the O(Δ)
+//!   trail-hook cost the incremental mode pays per assignment).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use pbo_benchgen::SynthesisParams;
+use pbo_bounds::{ResidualState, Subproblem};
+use pbo_core::{Assignment, Var};
+
+fn bench(c: &mut Criterion) {
+    let instance = SynthesisParams {
+        primes: 70,
+        minterms: 110,
+        cover_density: 4.0,
+        exclusions: 10,
+        ..SynthesisParams::default()
+    }
+    .generate(0);
+
+    // A representative mid-search node: a third of the variables fixed.
+    let mut assignment = Assignment::new(instance.num_vars());
+    let mut state = ResidualState::new(&instance);
+    for v in (0..instance.num_vars()).step_by(3) {
+        let lit = Var::new(v).lit(v % 2 == 0);
+        assignment.assign_lit(lit);
+        state.apply(lit);
+    }
+
+    let mut group = c.benchmark_group("ablation_residual");
+    group.sample_size(50);
+    group.bench_function("view_rebuild", |b| {
+        b.iter(|| std::hint::black_box(Subproblem::new(&instance, &assignment).active().len()))
+    });
+    group.bench_function("view_incremental", |b| {
+        b.iter(|| std::hint::black_box(state.view(&instance, &assignment).active().len()))
+    });
+    let free_lit = Var::new(1).positive();
+    group.bench_function("delta_roundtrip", |b| {
+        b.iter(|| {
+            let len = state.len();
+            state.apply(free_lit);
+            state.unwind_to(len);
+            std::hint::black_box(state.len())
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -4,24 +4,83 @@ use pbo_benchgen::{GroutParams, SynthesisParams};
 use pbo_solver::{Branching, Bsolo, BsoloOptions, LbMethod};
 
 fn main() {
-    let grout = GroutParams { width: 6, height: 6, nets: 22, paths_per_net: 6, capacity: 3, bend_penalty: 2 }.generate(0);
+    let grout = GroutParams {
+        width: 6,
+        height: 6,
+        nets: 22,
+        paths_per_net: 6,
+        capacity: 3,
+        bend_penalty: 2,
+    }
+    .generate(0);
     let b = budget_ms(10000);
     let on = Bsolo::new(BsoloOptions::with_lb(LbMethod::Lpr).budget(b)).solve(&grout);
-    let off = Bsolo::new(BsoloOptions { bound_conflict_learning: false, ..BsoloOptions::with_lb(LbMethod::Lpr).budget(b) }).solve(&grout);
-    println!("A2 backjump: learning {:?}/{:.3}s/{} dec | chrono {:?}/{:.3}s/{} dec",
-        on.status, on.stats.solve_time.as_secs_f64(), on.stats.decisions,
-        off.status, off.stats.solve_time.as_secs_f64(), off.stats.decisions);
+    let off = Bsolo::new(BsoloOptions {
+        bound_conflict_learning: false,
+        ..BsoloOptions::with_lb(LbMethod::Lpr).budget(b)
+    })
+    .solve(&grout);
+    println!(
+        "A2 backjump: learning {:?}/{:.3}s/{} dec | chrono {:?}/{:.3}s/{} dec",
+        on.status,
+        on.stats.solve_time.as_secs_f64(),
+        on.stats.decisions,
+        off.status,
+        off.stats.solve_time.as_secs_f64(),
+        off.stats.decisions
+    );
 
-    let synth = SynthesisParams { primes: 70, minterms: 110, cover_density: 4.0, exclusions: 10, cost: (1, 9) }.generate(0);
-    let lp = Bsolo::new(BsoloOptions { branching: Branching::LpGuided, ..BsoloOptions::with_lb(LbMethod::Lpr).budget(b) }).solve(&synth);
-    let vs = Bsolo::new(BsoloOptions { branching: Branching::Vsids, ..BsoloOptions::with_lb(LbMethod::Lpr).budget(b) }).solve(&synth);
-    println!("A3 branching: lp_guided {:?}/{:.3}s/{} dec | vsids {:?}/{:.3}s/{} dec",
-        lp.status, lp.stats.solve_time.as_secs_f64(), lp.stats.decisions,
-        vs.status, vs.stats.solve_time.as_secs_f64(), vs.stats.decisions);
+    let synth = SynthesisParams {
+        primes: 70,
+        minterms: 110,
+        cover_density: 4.0,
+        exclusions: 10,
+        cost: (1, 9),
+    }
+    .generate(0);
+    let lp = Bsolo::new(BsoloOptions {
+        branching: Branching::LpGuided,
+        ..BsoloOptions::with_lb(LbMethod::Lpr).budget(b)
+    })
+    .solve(&synth);
+    let vs = Bsolo::new(BsoloOptions {
+        branching: Branching::Vsids,
+        ..BsoloOptions::with_lb(LbMethod::Lpr).budget(b)
+    })
+    .solve(&synth);
+    println!(
+        "A3 branching: lp_guided {:?}/{:.3}s/{} dec | vsids {:?}/{:.3}s/{} dec",
+        lp.status,
+        lp.stats.solve_time.as_secs_f64(),
+        lp.stats.decisions,
+        vs.status,
+        vs.stats.solve_time.as_secs_f64(),
+        vs.stats.decisions
+    );
 
-    let g5 = GroutParams { width: 6, height: 6, nets: 22, paths_per_net: 6, capacity: 3, bend_penalty: 2 }.generate(2);
-    for (name, kn, ca) in [("all_cuts", true, true), ("knapsack_only", true, false), ("no_cuts", false, false)] {
-        let r = Bsolo::new(BsoloOptions { knapsack_cuts: kn, cardinality_cuts: ca, ..BsoloOptions::with_lb(LbMethod::Lpr).budget(b) }).solve(&g5);
-        println!("A4 cuts {name}: {:?}/{:.3}s/{} dec", r.status, r.stats.solve_time.as_secs_f64(), r.stats.decisions);
+    let g5 = GroutParams {
+        width: 6,
+        height: 6,
+        nets: 22,
+        paths_per_net: 6,
+        capacity: 3,
+        bend_penalty: 2,
+    }
+    .generate(2);
+    for (name, kn, ca) in
+        [("all_cuts", true, true), ("knapsack_only", true, false), ("no_cuts", false, false)]
+    {
+        let r = Bsolo::new(BsoloOptions {
+            knapsack_cuts: kn,
+            cardinality_cuts: ca,
+            ..BsoloOptions::with_lb(LbMethod::Lpr).budget(b)
+        })
+        .solve(&g5);
+        println!(
+            "A4 cuts {name}: {:?}/{:.3}s/{} dec",
+            r.status,
+            r.stats.solve_time.as_secs_f64(),
+            r.stats.decisions
+        );
     }
 }

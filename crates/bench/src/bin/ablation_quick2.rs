@@ -9,8 +9,18 @@ fn main() {
     // A2 on ptlcmos (deep search, sparse conflicts).
     let ptl = PtlCmosParams { gates: 90, fanin: 2.2, ..PtlCmosParams::default() }.generate(0);
     for (name, learn) in [("learning", true), ("chrono", false)] {
-        let r = Bsolo::new(BsoloOptions { bound_conflict_learning: learn, ..BsoloOptions::with_lb(LbMethod::Lpr).budget(b) }).solve(&ptl);
-        println!("A2 ptlcmos {name}: {:?}/{:.3}s/{} dec/{} bconf", r.status, r.stats.solve_time.as_secs_f64(), r.stats.decisions, r.stats.bound_conflicts);
+        let r = Bsolo::new(BsoloOptions {
+            bound_conflict_learning: learn,
+            ..BsoloOptions::with_lb(LbMethod::Lpr).budget(b)
+        })
+        .solve(&ptl);
+        println!(
+            "A2 ptlcmos {name}: {:?}/{:.3}s/{} dec/{} bconf",
+            r.status,
+            r.stats.solve_time.as_secs_f64(),
+            r.stats.decisions,
+            r.stats.bound_conflicts
+        );
     }
     // A2 on a costed-core + free-tail instance (the sec. 4 motivating shape).
     let mut ib = InstanceBuilder::new();
@@ -25,13 +35,46 @@ fn main() {
     ib.minimize(costed.iter().enumerate().map(|(i, v)| ((i % 7 + 1) as i64, v.positive())));
     let tail = ib.build().unwrap();
     for (name, learn) in [("learning", true), ("chrono", false)] {
-        let r = Bsolo::new(BsoloOptions { bound_conflict_learning: learn, probing: false, branching: pbo_solver::Branching::Vsids, ..BsoloOptions::with_lb(LbMethod::Mis).budget(b) }).solve(&tail);
-        println!("A2 free-tail {name}: {:?}/{:.3}s/{} dec/{} bconf/bj {}", r.status, r.stats.solve_time.as_secs_f64(), r.stats.decisions, r.stats.bound_conflicts, r.stats.backjump_levels);
+        let r = Bsolo::new(BsoloOptions {
+            bound_conflict_learning: learn,
+            probing: false,
+            branching: pbo_solver::Branching::Vsids,
+            ..BsoloOptions::with_lb(LbMethod::Mis).budget(b)
+        })
+        .solve(&tail);
+        println!(
+            "A2 free-tail {name}: {:?}/{:.3}s/{} dec/{} bconf/bj {}",
+            r.status,
+            r.stats.solve_time.as_secs_f64(),
+            r.stats.decisions,
+            r.stats.bound_conflicts,
+            r.stats.backjump_levels
+        );
     }
     // A4 under MIS on grout.
-    let g = GroutParams { width: 6, height: 6, nets: 22, paths_per_net: 6, capacity: 3, bend_penalty: 2 }.generate(2);
-    for (name, kn, ca) in [("all_cuts", true, true), ("knapsack_only", true, false), ("no_cuts", false, false)] {
-        let r = Bsolo::new(BsoloOptions { knapsack_cuts: kn, cardinality_cuts: ca, ..BsoloOptions::with_lb(LbMethod::Mis).budget(b) }).solve(&g);
-        println!("A4 mis {name}: {:?}/{:.3}s/{} dec", r.status, r.stats.solve_time.as_secs_f64(), r.stats.decisions);
+    let g = GroutParams {
+        width: 6,
+        height: 6,
+        nets: 22,
+        paths_per_net: 6,
+        capacity: 3,
+        bend_penalty: 2,
+    }
+    .generate(2);
+    for (name, kn, ca) in
+        [("all_cuts", true, true), ("knapsack_only", true, false), ("no_cuts", false, false)]
+    {
+        let r = Bsolo::new(BsoloOptions {
+            knapsack_cuts: kn,
+            cardinality_cuts: ca,
+            ..BsoloOptions::with_lb(LbMethod::Mis).budget(b)
+        })
+        .solve(&g);
+        println!(
+            "A4 mis {name}: {:?}/{:.3}s/{} dec",
+            r.status,
+            r.stats.solve_time.as_secs_f64(),
+            r.stats.decisions
+        );
     }
 }

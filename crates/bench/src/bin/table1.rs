@@ -1,32 +1,39 @@
 //! Reproduces Table 1 of the paper: seven solver columns over the four
-//! benchmark families, with per-instance budgets.
+//! benchmark families, with per-instance budgets. Alongside the textual
+//! table it writes `BENCH_table1.json` — per-instance wall time, nodes,
+//! lower-bound calls and lower-bound / subproblem-maintenance time —
+//! plus the rebuild-vs-incremental residual-state ablation, so future
+//! PRs have a perf trajectory to compare against.
 //!
 //! ```text
 //! cargo run --release -p pbo-bench --bin table1 -- \
 //!     [--family grout|ptlcmos|synthesis|acc|all] \
-//!     [--timeout-ms N] [--seeds N]
+//!     [--timeout-ms N] [--seeds N] [--json PATH]
 //! ```
 
-use pbo_bench::{budget_ms, family_instances, format_table, run_table, FAMILIES};
+use pbo_bench::{
+    budget_ms, family_instances, format_table, json, run_residual_ablation, run_table, FAMILIES,
+};
+use pbo_benchgen::SynthesisParams;
+use pbo_solver::LbMethod;
 
 fn main() {
     let mut family = String::from("all");
     let mut timeout_ms = 5_000u64;
     let mut seeds = 10u64;
+    let mut json_path = String::from("BENCH_table1.json");
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--family" => family = args.next().expect("--family needs a value"),
             "--timeout-ms" => {
-                timeout_ms = args
-                    .next()
-                    .expect("--timeout-ms needs a value")
-                    .parse()
-                    .expect("bad timeout")
+                timeout_ms =
+                    args.next().expect("--timeout-ms needs a value").parse().expect("bad timeout")
             }
             "--seeds" => {
                 seeds = args.next().expect("--seeds needs a value").parse().expect("bad seeds")
             }
+            "--json" => json_path = args.next().expect("--json needs a value"),
             other => {
                 eprintln!("unknown argument `{other}`");
                 std::process::exit(2);
@@ -44,13 +51,15 @@ fn main() {
     );
     println!();
     let mut all_rows = Vec::new();
+    let mut family_rows = Vec::new();
     for fam in families {
         println!("== family: {fam} ==");
         let instances = family_instances(fam, seeds);
         let rows = run_table(&instances, budget_ms(timeout_ms));
         print!("{}", format_table(&rows));
         println!();
-        all_rows.extend(rows);
+        all_rows.extend(rows.clone());
+        family_rows.push((fam.to_string(), rows));
     }
     if all_rows.len() > seeds as usize {
         println!("== overall ==");
@@ -60,5 +69,39 @@ fn main() {
             print!("{}={} ", kind.name(), counts[kind.name()]);
         }
         println!();
+        println!();
+    }
+
+    // Residual-state ablation on a Table-1-style synthesis instance: the
+    // per-node maintenance cost is the number this PR's tentpole moves.
+    let ablation_instance = SynthesisParams {
+        primes: 70,
+        minterms: 110,
+        cover_density: 4.0,
+        exclusions: 10,
+        ..SynthesisParams::default()
+    }
+    .generate(0);
+    let ablation = run_residual_ablation(&ablation_instance, LbMethod::Mis, 4_000);
+    println!("== residual-state ablation ({}) ==", ablation.instance);
+    println!(
+        "rebuild:     {:>8.0} ns/call over {} lb calls",
+        ablation.rebuild.sub_ns_per_call(),
+        ablation.rebuild.lb_calls
+    );
+    println!(
+        "incremental: {:>8.0} ns/call over {} lb calls",
+        ablation.incremental.sub_ns_per_call(),
+        ablation.incremental.lb_calls
+    );
+    println!("maintenance speedup: {:.2}x", ablation.maintenance_speedup());
+
+    let report = json::render_report(timeout_ms, seeds, &family_rows, Some(&ablation));
+    match std::fs::write(&json_path, &report) {
+        Ok(()) => println!("\nwrote {json_path}"),
+        Err(err) => {
+            eprintln!("failed to write {json_path}: {err}");
+            std::process::exit(1);
+        }
     }
 }

@@ -1,0 +1,241 @@
+//! Machine-readable benchmark output (`BENCH_table1.json`).
+//!
+//! The workspace builds offline with no serde, so this module hand-rolls
+//! the small amount of JSON the benchmark harness emits: per-instance
+//! wall time, nodes (decisions), lower-bound calls and lower-bound /
+//! subproblem-maintenance time per solver column, plus the
+//! residual-state ablation that tracks the perf trajectory across PRs.
+
+use std::fmt::Write as _;
+use std::time::Duration;
+
+use crate::{Row, SolverKind};
+
+/// Minimal JSON string escaping (quotes, backslashes, control chars).
+pub fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for ch in s.chars() {
+        match ch {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+fn ms(d: Duration) -> f64 {
+    d.as_secs_f64() * 1e3
+}
+
+/// One side of the residual-state ablation.
+#[derive(Clone, Debug)]
+pub struct AblationSide {
+    /// Lower-bound calls performed (== residual views produced).
+    pub lb_calls: u64,
+    /// Total time maintaining/building the residual subproblem.
+    pub sub_time: Duration,
+    /// Total time inside the bound procedure itself.
+    pub lb_time: Duration,
+    /// Decisions explored.
+    pub decisions: u64,
+}
+
+impl AblationSide {
+    /// Average subproblem-maintenance nanoseconds per bound call.
+    pub fn sub_ns_per_call(&self) -> f64 {
+        if self.lb_calls == 0 {
+            0.0
+        } else {
+            self.sub_time.as_nanos() as f64 / self.lb_calls as f64
+        }
+    }
+
+    fn write(&self, out: &mut String) {
+        let _ = write!(
+            out,
+            "{{\"lb_calls\": {}, \"decisions\": {}, \"sub_time_ms\": {:.3}, \
+             \"lb_time_ms\": {:.3}, \"sub_ns_per_call\": {:.0}}}",
+            self.lb_calls,
+            self.decisions,
+            ms(self.sub_time),
+            ms(self.lb_time),
+            self.sub_ns_per_call(),
+        );
+    }
+}
+
+/// The rebuild-vs-incremental ablation result recorded alongside Table 1.
+#[derive(Clone, Debug)]
+pub struct ResidualAblation {
+    /// Instance the ablation ran on.
+    pub instance: String,
+    /// Lower-bound method used.
+    pub lb_method: &'static str,
+    /// Per-node rebuild measurements.
+    pub rebuild: AblationSide,
+    /// Incremental residual-state measurements.
+    pub incremental: AblationSide,
+}
+
+impl ResidualAblation {
+    /// How many times cheaper per-node subproblem maintenance is in
+    /// incremental mode.
+    pub fn maintenance_speedup(&self) -> f64 {
+        let incr = self.incremental.sub_ns_per_call();
+        if incr <= 0.0 {
+            f64::INFINITY
+        } else {
+            self.rebuild.sub_ns_per_call() / incr
+        }
+    }
+}
+
+/// Renders the whole benchmark report as a JSON document.
+pub fn render_report(
+    budget_ms: u64,
+    seeds: u64,
+    families: &[(String, Vec<Row>)],
+    ablation: Option<&ResidualAblation>,
+) -> String {
+    let mut out = String::new();
+    out.push_str("{\n");
+    let _ = writeln!(out, "  \"budget_ms\": {},", budget_ms);
+    let _ = writeln!(out, "  \"seeds\": {},", seeds);
+    out.push_str("  \"families\": [\n");
+    for (fi, (family, rows)) in families.iter().enumerate() {
+        let _ = writeln!(out, "    {{\"family\": \"{}\", \"instances\": [", escape(family));
+        for (ri, row) in rows.iter().enumerate() {
+            let _ =
+                write!(out, "      {{\"instance\": \"{}\", \"cells\": [", escape(&row.instance));
+            for (ci, (kind, cell)) in SolverKind::ALL.iter().zip(row.cells.iter()).enumerate() {
+                if ci > 0 {
+                    out.push_str(", ");
+                }
+                let cost = match cell.best_cost {
+                    Some(c) => c.to_string(),
+                    None => "null".to_string(),
+                };
+                let _ = write!(
+                    out,
+                    "{{\"solver\": \"{}\", \"status\": \"{}\", \"cost\": {}, \
+                     \"time_ms\": {:.3}, \"nodes\": {}, \"lb_calls\": {}, \
+                     \"lb_time_ms\": {:.3}, \"sub_time_ms\": {:.3}}}",
+                    kind.name(),
+                    cell.status,
+                    cost,
+                    ms(cell.stats.solve_time),
+                    cell.stats.decisions,
+                    cell.stats.lb_calls,
+                    ms(cell.stats.lb_time),
+                    ms(cell.stats.sub_time),
+                );
+            }
+            let comma = if ri + 1 < rows.len() { "," } else { "" };
+            let _ = writeln!(out, "]}}{comma}");
+        }
+        let comma = if fi + 1 < families.len() { "," } else { "" };
+        let _ = writeln!(out, "    ]}}{comma}");
+    }
+    out.push_str("  ],\n");
+    match ablation {
+        Some(a) => {
+            out.push_str("  \"residual_ablation\": {\n");
+            let _ = writeln!(out, "    \"instance\": \"{}\",", escape(&a.instance));
+            let _ = writeln!(out, "    \"lb_method\": \"{}\",", a.lb_method);
+            out.push_str("    \"rebuild\": ");
+            a.rebuild.write(&mut out);
+            out.push_str(",\n    \"incremental\": ");
+            a.incremental.write(&mut out);
+            // JSON has no Infinity/NaN literal: a degenerate measurement
+            // (e.g. zero lower-bound calls within budget) becomes null.
+            let speedup = a.maintenance_speedup();
+            if speedup.is_finite() {
+                let _ = writeln!(out, ",\n    \"maintenance_speedup\": {speedup:.2}");
+            } else {
+                let _ = writeln!(out, ",\n    \"maintenance_speedup\": null");
+            }
+            out.push_str("  }\n");
+        }
+        None => {
+            out.push_str("  \"residual_ablation\": null\n");
+        }
+    }
+    out.push_str("}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{family_instances, run_table};
+    use pbo_solver::Budget;
+
+    #[test]
+    fn escape_handles_specials() {
+        assert_eq!(escape("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+        assert_eq!(escape("plain"), "plain");
+    }
+
+    #[test]
+    fn report_is_parseable_shape() {
+        let insts = family_instances("synthesis", 1);
+        let rows = run_table(&insts, Budget::conflict_limit(5));
+        let ablation = ResidualAblation {
+            instance: "synthesis-0".into(),
+            lb_method: "mis",
+            rebuild: AblationSide {
+                lb_calls: 100,
+                sub_time: Duration::from_micros(900),
+                lb_time: Duration::from_micros(500),
+                decisions: 120,
+            },
+            incremental: AblationSide {
+                lb_calls: 100,
+                sub_time: Duration::from_micros(100),
+                lb_time: Duration::from_micros(500),
+                decisions: 120,
+            },
+        };
+        let text = render_report(5000, 1, &[("synthesis".into(), rows)], Some(&ablation));
+        // Structural smoke checks (no JSON parser in the workspace).
+        assert!(text.starts_with("{\n"));
+        assert!(text.trim_end().ends_with('}'));
+        assert!(text.contains("\"residual_ablation\""));
+        assert!(text.contains("\"maintenance_speedup\": 9.00"));
+        assert!(text.contains("\"solver\": \"LPR\""));
+        assert_eq!(text.matches("\"instance\"").count(), 2);
+        // Balanced braces and brackets.
+        let opens = text.matches('{').count();
+        let closes = text.matches('}').count();
+        assert_eq!(opens, closes);
+        assert_eq!(text.matches('[').count(), text.matches(']').count());
+    }
+
+    #[test]
+    fn speedup_of_zero_incremental_cost_is_infinite() {
+        let side = |ns: u64| AblationSide {
+            lb_calls: 10,
+            sub_time: Duration::from_nanos(ns * 10),
+            lb_time: Duration::ZERO,
+            decisions: 10,
+        };
+        let a = ResidualAblation {
+            instance: "x".into(),
+            lb_method: "mis",
+            rebuild: side(500),
+            incremental: side(0),
+        };
+        assert!(a.maintenance_speedup().is_infinite());
+        // JSON has no Infinity literal: the report must degrade to null.
+        let text = render_report(100, 1, &[], Some(&a));
+        assert!(text.contains("\"maintenance_speedup\": null"), "{text}");
+        assert!(!text.contains("inf"), "{text}");
+    }
+}

@@ -29,6 +29,10 @@ use pbo_benchgen::{AccSchedParams, GroutParams, PtlCmosParams, SynthesisParams};
 use pbo_core::Instance;
 use pbo_solver::{Bsolo, BsoloOptions, Budget, LbMethod, LinearSearch, MilpSolver, SolveResult};
 
+pub mod json;
+
+pub use json::{AblationSide, ResidualAblation};
+
 /// One column of Table 1.
 #[derive(Copy, Clone, PartialEq, Eq, Debug)]
 pub enum SolverKind {
@@ -120,17 +124,25 @@ pub fn family_instances(family: &str, seeds: u64) -> Vec<Instance> {
             })
             .collect(),
         "ptlcmos" => (0..seeds)
-            .map(|s| PtlCmosParams { gates: 90, fanin: 2.2, ..PtlCmosParams::default() }.generate(s))
+            .map(|s| {
+                PtlCmosParams { gates: 90, fanin: 2.2, ..PtlCmosParams::default() }.generate(s)
+            })
             .collect(),
         "synthesis" => (0..seeds)
             .map(|s| {
-                SynthesisParams { primes: 70, minterms: 110, cover_density: 4.0, exclusions: 10, ..SynthesisParams::default() }
-                    .generate(s)
+                SynthesisParams {
+                    primes: 70,
+                    minterms: 110,
+                    cover_density: 4.0,
+                    exclusions: 10,
+                    ..SynthesisParams::default()
+                }
+                .generate(s)
             })
             .collect(),
-        "acc" => (0..seeds)
-            .map(|s| AccSchedParams { teams: 10, home_away: true }.generate(s))
-            .collect(),
+        "acc" => {
+            (0..seeds).map(|s| AccSchedParams { teams: 10, home_away: true }.generate(s)).collect()
+        }
         other => panic!("unknown family `{other}`"),
     }
 }
@@ -183,20 +195,11 @@ pub fn format_table(rows: &[Row]) -> String {
     let _ = writeln!(out);
     for row in rows {
         // Best known cost across solvers as the "Sol." column.
-        let best = row
-            .cells
-            .iter()
-            .filter(|c| c.is_optimal())
-            .filter_map(|c| c.best_cost)
-            .min();
+        let best = row.cells.iter().filter(|c| c.is_optimal()).filter_map(|c| c.best_cost).min();
         let sol = match best {
             Some(v) => v.to_string(),
             None => {
-                if row
-                    .cells
-                    .iter()
-                    .any(|c| c.status == pbo_solver::SolveStatus::Infeasible)
-                {
+                if row.cells.iter().any(|c| c.status == pbo_solver::SolveStatus::Infeasible) {
                     "UNSAT".to_string()
                 } else {
                     "-".to_string()
@@ -222,6 +225,38 @@ pub fn format_table(rows: &[Row]) -> String {
 /// Convenience: time-limited budget in milliseconds.
 pub fn budget_ms(ms: u64) -> Budget {
     Budget::time_limit(Duration::from_millis(ms))
+}
+
+/// Runs the rebuild-vs-incremental residual-state ablation on one
+/// instance: the same solver configuration twice, differing only in
+/// [`pbo_solver::ResidualMode`], with per-node subproblem-maintenance
+/// time recorded on both sides.
+pub fn run_residual_ablation(
+    instance: &Instance,
+    lb_method: LbMethod,
+    decisions: u64,
+) -> ResidualAblation {
+    use pbo_solver::ResidualMode;
+    let budget = Budget { decisions: Some(decisions), ..Budget::default() };
+    let side = |mode: ResidualMode| {
+        let result = Bsolo::new(BsoloOptions {
+            residual_mode: mode,
+            ..BsoloOptions::with_lb(lb_method).budget(budget)
+        })
+        .solve(instance);
+        AblationSide {
+            lb_calls: result.stats.lb_calls,
+            sub_time: result.stats.sub_time,
+            lb_time: result.stats.lb_time,
+            decisions: result.stats.decisions,
+        }
+    };
+    ResidualAblation {
+        instance: instance.name().to_string(),
+        lb_method: lb_method.name(),
+        rebuild: side(ResidualMode::Rebuild),
+        incremental: side(ResidualMode::Incremental),
+    }
 }
 
 #[cfg(test)]

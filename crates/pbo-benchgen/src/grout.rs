@@ -35,14 +35,7 @@ pub struct GroutParams {
 
 impl Default for GroutParams {
     fn default() -> GroutParams {
-        GroutParams {
-            width: 4,
-            height: 4,
-            nets: 8,
-            paths_per_net: 4,
-            capacity: 3,
-            bend_penalty: 2,
-        }
+        GroutParams { width: 4, height: 4, nets: 8, paths_per_net: 4, capacity: 3, bend_penalty: 2 }
     }
 }
 
@@ -55,11 +48,7 @@ fn h_edge_id(width: usize, x: usize, y: usize) -> usize {
 
 /// Expands a monotone staircase path through `corners` (inclusive cell
 /// coordinates) into edge ids, returning `(edges, bends)`.
-fn trace_path(
-    width: usize,
-    height: usize,
-    corners: &[(usize, usize)],
-) -> (Vec<usize>, usize) {
+fn trace_path(width: usize, height: usize, corners: &[(usize, usize)]) -> (Vec<usize>, usize) {
     let h_edges = (width - 1) * height;
     let mut edges = Vec::new();
     let mut bends = 0usize;
@@ -162,10 +151,7 @@ impl GroutParams {
             b.add_at_most(self.capacity, users.iter().map(|v| v.positive()));
         }
         b.minimize(objective);
-        b.name(format!(
-            "grout-{}x{}-n{}-s{}",
-            self.width, self.height, self.nets, seed
-        ));
+        b.name(format!("grout-{}x{}-n{}-s{}", self.width, self.height, self.nets, seed));
         b.build().expect("grout generator produces valid instances")
     }
 }

@@ -70,8 +70,7 @@ impl RandomParams {
         }
         if self.optimization {
             b.minimize(
-                vars.iter()
-                    .map(|v| (rng.gen_range(self.cost.0..=self.cost.1), v.positive())),
+                vars.iter().map(|v| (rng.gen_range(self.cost.0..=self.cost.1), v.positive())),
             );
         }
         b.name(format!("random-v{}-c{}-s{}", self.vars, self.constraints, seed));

@@ -76,11 +76,7 @@ impl SynthesisParams {
             }
             b.add_clause([primes[i].negative(), primes[j].negative()]);
         }
-        b.minimize(
-            primes
-                .iter()
-                .map(|p| (rng.gen_range(self.cost.0..=self.cost.1), p.positive())),
-        );
+        b.minimize(primes.iter().map(|p| (rng.gen_range(self.cost.0..=self.cost.1), p.positive())));
         b.name(format!("synth-p{}-m{}-s{}", self.primes, self.minterms, seed));
         b.build().expect("synthesis generator produces valid instances")
     }
@@ -104,10 +100,7 @@ mod tests {
         assert!(inst.is_optimization());
         assert_eq!(inst.num_vars(), p.primes);
         // Every constraint is a clause (unate cover or binate exclusion).
-        assert!(inst
-            .constraints()
-            .iter()
-            .all(|c| c.class() == pbo_core::ConstraintClass::Clause));
+        assert!(inst.constraints().iter().all(|c| c.class() == pbo_core::ConstraintClass::Clause));
     }
 
     #[test]
@@ -132,9 +125,6 @@ mod tests {
         let p = SynthesisParams::default();
         let inst = p.generate(9);
         let obj = inst.objective().unwrap();
-        assert!(obj
-            .terms()
-            .iter()
-            .all(|(c, _)| (p.cost.0..=p.cost.1).contains(c)));
+        assert!(obj.terms().iter().all(|(c, _)| (p.cost.0..=p.cost.1).contains(c)));
     }
 }

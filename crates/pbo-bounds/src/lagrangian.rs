@@ -19,6 +19,10 @@
 //! constraints with nonzero multipliers, refined by the `alpha_j` filter:
 //! an assignment whose flip could only *increase* `L` is not responsible
 //! for the bound and is excluded from `omega_pl`.
+//!
+//! The residual rows are assembled from the [`Subproblem`] view into flat
+//! (CSR-style) scratch buffers owned by the procedure, so repeated bound
+//! computations reuse their allocations.
 
 use std::collections::HashMap;
 
@@ -57,6 +61,37 @@ impl Default for LagrangianConfig {
     }
 }
 
+/// The flattened residual rows of one bound computation (reused scratch).
+#[derive(Clone, Debug, Default)]
+struct Rows {
+    /// Original constraint index per row.
+    orig: Vec<usize>,
+    /// Adjusted right-hand side per row.
+    rhs: Vec<f64>,
+    /// CSR offsets into `terms` (length `rows + 1`).
+    start: Vec<usize>,
+    /// Flattened `(local var, coefficient)` terms of all rows.
+    terms: Vec<(usize, f64)>,
+}
+
+impl Rows {
+    fn clear(&mut self) {
+        self.orig.clear();
+        self.rhs.clear();
+        self.start.clear();
+        self.start.push(0);
+        self.terms.clear();
+    }
+
+    fn len(&self) -> usize {
+        self.orig.len()
+    }
+
+    fn row_terms(&self, r: usize) -> &[(usize, f64)] {
+        &self.terms[self.start[r]..self.start[r + 1]]
+    }
+}
+
 /// Lagrangian-relaxation lower bound with warm-started multipliers.
 ///
 /// # Examples
@@ -81,27 +116,64 @@ pub struct LagrangianBound {
     config: LagrangianConfig,
     /// Multipliers indexed by original constraint index (warm start).
     mu: Vec<f64>,
+    // --- per-call scratch, reused across nodes ---
+    local: HashMap<usize, usize>,
+    local_vars: Vec<usize>,
+    cost: Vec<f64>,
+    rows: Rows,
+    row_mu: Vec<f64>,
+    best_mu: Vec<f64>,
+    alpha: Vec<f64>,
+    gradient: Vec<f64>,
+    assigned_alpha: HashMap<usize, f64>,
 }
 
 impl LagrangianBound {
     /// Creates the bound procedure for an instance with
     /// `num_constraints` constraints, multipliers initialized to zero.
     pub fn new(num_constraints: usize) -> LagrangianBound {
-        LagrangianBound {
-            config: LagrangianConfig::default(),
-            mu: vec![0.0; num_constraints],
-        }
+        LagrangianBound::with_config(num_constraints, LagrangianConfig::default())
     }
 
     /// Creates the bound procedure with explicit configuration.
     pub fn with_config(num_constraints: usize, config: LagrangianConfig) -> LagrangianBound {
-        LagrangianBound { config, mu: vec![0.0; num_constraints] }
+        LagrangianBound {
+            config,
+            mu: vec![0.0; num_constraints],
+            local: HashMap::new(),
+            local_vars: Vec::new(),
+            cost: Vec::new(),
+            rows: Rows::default(),
+            row_mu: Vec::new(),
+            best_mu: Vec::new(),
+            alpha: Vec::new(),
+            gradient: Vec::new(),
+            assigned_alpha: HashMap::new(),
+        }
     }
 
     /// Read access to the current multipliers (for diagnostics/ablation).
     pub fn multipliers(&self) -> &[f64] {
         &self.mu
     }
+}
+
+/// Dense local index of variable `v`, allocating the next one on first
+/// sight.
+fn index_of(
+    v: usize,
+    local: &mut HashMap<usize, usize>,
+    local_vars: &mut Vec<usize>,
+    cost: &mut Vec<f64>,
+) -> usize {
+    let li = *local.entry(v).or_insert_with(|| {
+        local_vars.push(v);
+        local_vars.len() - 1
+    });
+    if li >= cost.len() {
+        cost.resize(li + 1, 0.0);
+    }
+    li
 }
 
 impl LowerBound for LagrangianBound {
@@ -116,91 +188,95 @@ impl LowerBound for LagrangianBound {
         // --- Build the residual problem in variable space. ---
         // Local dense indices for free variables appearing anywhere
         // relevant (active constraints or objective).
-        let mut local: HashMap<usize, usize> = HashMap::new();
-        let mut local_vars: Vec<usize> = Vec::new();
-        let index_of = |v: usize, local: &mut HashMap<usize, usize>,
-                        local_vars: &mut Vec<usize>| {
-            *local.entry(v).or_insert_with(|| {
-                local_vars.push(v);
-                local_vars.len() - 1
-            })
-        };
+        self.local.clear();
+        self.local_vars.clear();
+        self.cost.clear();
 
         // Residual cost vector: cost c on literal l becomes +c on the
         // variable (positive l) or a constant c plus -c on the variable
         // (negative l).
-        let mut cost: Vec<f64> = Vec::new();
         let mut constant = 0i64;
         if let Some(obj) = instance.objective() {
             for &(c, l) in obj.terms() {
                 if assignment.lit_value(l) != Value::Unassigned {
                     continue;
                 }
-                let li = index_of(l.var().index(), &mut local, &mut local_vars);
-                if li >= cost.len() {
-                    cost.resize(li + 1, 0.0);
-                }
+                let li = index_of(
+                    l.var().index(),
+                    &mut self.local,
+                    &mut self.local_vars,
+                    &mut self.cost,
+                );
                 if l.is_positive() {
-                    cost[li] += c as f64;
+                    self.cost[li] += c as f64;
                 } else {
                     constant += c;
-                    cost[li] -= c as f64;
+                    self.cost[li] -= c as f64;
                 }
             }
         }
 
         // Rows: coefficient lists over local vars plus adjusted rhs.
-        let mut rows: Vec<(usize, Vec<(usize, f64)>, f64)> = Vec::new();
-        for ac in sub.active() {
-            let mut terms = Vec::with_capacity(ac.free_terms.len());
-            let mut rhs = ac.residual_rhs as f64;
-            for t in &ac.free_terms {
-                let li = index_of(t.lit.var().index(), &mut local, &mut local_vars);
-                if li >= cost.len() {
-                    cost.resize(li + 1, 0.0);
-                }
+        self.rows.clear();
+        for e in sub.active() {
+            let mut rhs = e.residual_rhs as f64;
+            for t in sub.free_terms(e.index as usize) {
+                let li = index_of(
+                    t.lit.var().index(),
+                    &mut self.local,
+                    &mut self.local_vars,
+                    &mut self.cost,
+                );
                 if t.lit.is_positive() {
-                    terms.push((li, t.coeff as f64));
+                    self.rows.terms.push((li, t.coeff as f64));
                 } else {
                     // a * ~x = a - a*x : constant a moves into the rhs.
-                    terms.push((li, -(t.coeff as f64)));
+                    self.rows.terms.push((li, -(t.coeff as f64)));
                     rhs -= t.coeff as f64;
                 }
             }
-            rows.push((ac.index, terms, rhs));
+            self.rows.orig.push(e.index as usize);
+            self.rows.rhs.push(rhs);
+            self.rows.start.push(self.rows.terms.len());
         }
-        let nv = cost.len().max(local_vars.len());
-        cost.resize(nv, 0.0);
+        let nv = self.cost.len().max(self.local_vars.len());
+        self.cost.resize(nv, 0.0);
+        let num_rows = self.rows.len();
 
         let base = sub.path_cost() + constant;
 
         // --- Projected subgradient ascent on L(mu). ---
-        let mut mu: Vec<f64> = rows.iter().map(|&(orig, _, _)| self.mu[orig]).collect();
+        self.row_mu.clear();
+        self.row_mu.extend(self.rows.orig.iter().map(|&orig| self.mu[orig]));
+        self.best_mu.clear();
+        self.best_mu.extend_from_slice(&self.row_mu);
         let mut best_l = f64::NEG_INFINITY;
-        let mut best_mu = mu.clone();
         let mut lambda = self.config.initial_lambda;
         let mut stale = 0usize;
-        let mut alpha = vec![0.0f64; nv];
+        self.alpha.clear();
+        self.alpha.resize(nv, 0.0);
+        self.gradient.clear();
+        self.gradient.resize(num_rows, 0.0);
         let target_gap = upper.map(|u| (u - base) as f64);
 
         for _ in 0..self.config.max_iterations.max(1) {
             // alpha_j = c_j - sum_i mu_i a_ij ; L = mu.b + sum min(0, alpha).
-            alpha.copy_from_slice(&cost);
+            self.alpha.copy_from_slice(&self.cost);
             let mut l_val = 0.0;
-            for (r, (_, terms, rhs)) in rows.iter().enumerate() {
-                l_val += mu[r] * rhs;
-                for &(j, a) in terms {
-                    alpha[j] -= mu[r] * a;
+            for r in 0..num_rows {
+                l_val += self.row_mu[r] * self.rows.rhs[r];
+                for &(j, a) in self.rows.row_terms(r) {
+                    self.alpha[j] -= self.row_mu[r] * a;
                 }
             }
-            for &a in &alpha {
+            for &a in &self.alpha {
                 if a < 0.0 {
                     l_val += a;
                 }
             }
             if l_val > best_l + 1e-12 {
                 best_l = l_val;
-                best_mu.copy_from_slice(&mu);
+                self.best_mu.copy_from_slice(&self.row_mu);
                 stale = 0;
             } else {
                 stale += 1;
@@ -220,16 +296,15 @@ impl LowerBound for LagrangianBound {
             }
             // Subgradient g = b - A x(mu) with x_j = [alpha_j < 0].
             let mut norm = 0.0;
-            let mut g = vec![0.0f64; rows.len()];
-            for (r, (_, terms, rhs)) in rows.iter().enumerate() {
+            for r in 0..num_rows {
                 let mut act = 0.0;
-                for &(j, a) in terms {
-                    if alpha[j] < 0.0 {
+                for &(j, a) in self.rows.row_terms(r) {
+                    if self.alpha[j] < 0.0 {
                         act += a;
                     }
                 }
-                g[r] = rhs - act;
-                norm += g[r] * g[r];
+                self.gradient[r] = self.rows.rhs[r] - act;
+                norm += self.gradient[r] * self.gradient[r];
             }
             if norm < 1e-12 {
                 break; // relaxed solution feasible: L is locally maximal
@@ -239,52 +314,40 @@ impl LowerBound for LagrangianBound {
                 _ => best_l.abs().max(1.0) * 0.05 + best_l + 1.0,
             };
             let step = lambda * (target - l_val).max(1e-3) / norm;
-            for (r, gr) in g.iter().enumerate() {
-                mu[r] = (mu[r] + step * gr).max(0.0);
+            for r in 0..num_rows {
+                self.row_mu[r] = (self.row_mu[r] + step * self.gradient[r]).max(0.0);
             }
         }
 
         // Persist the best multipliers for warm starting.
-        for (r, &(orig, _, _)) in rows.iter().enumerate() {
-            self.mu[orig] = best_mu[r];
+        for r in 0..num_rows {
+            self.mu[self.rows.orig[r]] = self.best_mu[r];
         }
 
         // Note: L may legitimately be negative (negative variable-space
         // costs arise from objective terms on negative literals), so the
         // ceiling must not be clamped to zero.
-        let bound = if best_l.is_finite() {
-            base + (best_l - 1e-9).ceil() as i64
-        } else {
-            base
-        };
+        let bound = if best_l.is_finite() { base + (best_l - 1e-9).ceil() as i64 } else { base };
 
         // --- Explanation: S = { rows with mu_i > 0 } (sec. 4.3). ---
-        let s_rows: Vec<usize> = rows
-            .iter()
-            .enumerate()
-            .filter(|(r, _)| best_mu[*r] > self.config.mu_tolerance)
-            .map(|(_, (orig, _, _))| *orig)
-            .collect();
         let mut explanation: Vec<Lit> = Vec::new();
         // alpha for *assigned* variables, needed by the filter: computed
         // over the original constraints in S in variable space.
-        let mut assigned_alpha: HashMap<usize, f64> = HashMap::new();
+        self.assigned_alpha.clear();
         if self.config.alpha_filter {
-            for (r, &(orig, _, _)) in rows.iter().enumerate() {
-                if best_mu[r] <= self.config.mu_tolerance {
+            for r in 0..num_rows {
+                if self.best_mu[r] <= self.config.mu_tolerance {
                     continue;
                 }
+                let orig = self.rows.orig[r];
                 for t in instance.constraints()[orig].terms() {
                     if assignment.lit_value(t.lit) == Value::Unassigned {
                         continue;
                     }
                     let v = t.lit.var().index();
-                    let coeff = if t.lit.is_positive() {
-                        t.coeff as f64
-                    } else {
-                        -(t.coeff as f64)
-                    };
-                    *assigned_alpha.entry(v).or_insert_with(|| {
+                    let coeff =
+                        if t.lit.is_positive() { t.coeff as f64 } else { -(t.coeff as f64) };
+                    *self.assigned_alpha.entry(v).or_insert_with(|| {
                         // Start from the variable-space objective cost.
                         instance.objective().map_or(0.0, |o| {
                             o.term_of_var(t.lit.var()).map_or(0.0, |(c, l)| {
@@ -295,15 +358,18 @@ impl LowerBound for LagrangianBound {
                                 }
                             })
                         })
-                    }) -= best_mu[r] * coeff;
+                    }) -= self.best_mu[r] * coeff;
                 }
             }
         }
-        for &orig in &s_rows {
-            for l in sub.false_literals_of(orig) {
+        for r in 0..num_rows {
+            if self.best_mu[r] <= self.config.mu_tolerance {
+                continue;
+            }
+            for l in sub.false_literals(self.rows.orig[r]) {
                 if self.config.alpha_filter {
                     let v = l.var();
-                    let a = assigned_alpha.get(&v.index()).copied().unwrap_or(0.0);
+                    let a = self.assigned_alpha.get(&v.index()).copied().unwrap_or(0.0);
                     let x_is_one = assignment.value(v) == Value::True;
                     // sec 4.3: x_j = 0 with alpha_j > 0 (raising it would
                     // raise L) or x_j = 1 with alpha_j < 0: not responsible.
@@ -418,8 +484,8 @@ mod tests {
             for mask in 0u64..(1 << (n - 1)) {
                 let mut vals = vec![false; n];
                 vals[0] = a.value(Var::new(0)) == pbo_core::Value::True;
-                for i in 1..n {
-                    vals[i] = (mask >> (i - 1)) & 1 == 1;
+                for (i, v) in vals.iter_mut().enumerate().skip(1) {
+                    *v = (mask >> (i - 1)) & 1 == 1;
                 }
                 if inst.is_feasible(&vals) {
                     let c = inst.cost_of(&vals);

@@ -21,6 +21,13 @@
 //! (`P.path + P.lower` in the paper's terms) plus the explanation literal
 //! set `omega_pl`.
 //!
+//! The residual problem itself is produced either by a from-scratch
+//! rebuild ([`Subproblem::new`], O(instance) per node — the
+//! differential-testing oracle) or by [`ResidualState`], which maintains
+//! the per-constraint counters incrementally along the solver's trail in
+//! O(Δ) per assignment and snapshots a bit-identical view in O(active
+//! constraints).
+//!
 //! # Examples
 //!
 //! ```
@@ -46,12 +53,14 @@
 mod lagrangian;
 mod lpr;
 mod mis;
+mod residual;
 mod subproblem;
 
 pub use lagrangian::{LagrangianBound, LagrangianConfig};
 pub use lpr::LprBound;
 pub use mis::MisBound;
-pub use subproblem::{ActiveConstraint, Subproblem};
+pub use residual::{ResidualState, ResidualStats};
+pub use subproblem::{ActiveEntry, Subproblem};
 
 use pbo_core::Lit;
 

@@ -124,7 +124,7 @@ impl LprBound {
     fn explanation_from_rows(sub: &Subproblem<'_>, rows: &[usize]) -> Vec<Lit> {
         let mut out: Vec<Lit> = Vec::new();
         for &i in rows {
-            out.extend(sub.false_literals_of(i));
+            out.extend(sub.false_literals(i));
         }
         out.sort();
         out.dedup();
@@ -137,14 +137,21 @@ impl LowerBound for LprBound {
         "lpr"
     }
 
-    fn lower_bound(&mut self, sub: &Subproblem<'_>, _upper: Option<i64>) -> LbOutcome {
+    fn lower_bound(&mut self, sub: &Subproblem<'_>, upper: Option<i64>) -> LbOutcome {
         self.sync_bounds(sub);
         let sol = self.simplex.solve();
         match sol.status {
             LpStatus::Optimal => {
                 let z = sol.objective + self.const_shift;
                 let bound = (z - 1e-6).ceil() as i64;
-                self.last_fractional.copy_from_slice(&sol.x);
+                // Pre-incumbent calls (`upper == None`) exist only to
+                // catch Farkas-infeasible subtrees; they must not steer
+                // LP-guided branching, or the descent to the first
+                // solution changes character. Branching guidance starts
+                // with the first incumbent, as in the paper.
+                if upper.is_some() {
+                    self.last_fractional.copy_from_slice(&sol.x);
+                }
                 // S = tight rows, union rows with nonzero dual (eq. 9).
                 let mut s: Vec<usize> = sol.tight_rows.clone();
                 for (i, &y) in sol.duals.iter().enumerate() {
@@ -277,9 +284,7 @@ mod tests {
         let mut a1 = Assignment::new(4);
         a1.assign(Var::new(0), false);
         let warm_b1 = warm.lower_bound(&Subproblem::new(&inst, &a1), None).bound;
-        let fresh_b1 = LprBound::new(&inst)
-            .lower_bound(&Subproblem::new(&inst, &a1), None)
-            .bound;
+        let fresh_b1 = LprBound::new(&inst).lower_bound(&Subproblem::new(&inst, &a1), None).bound;
         assert_eq!(warm_b1, fresh_b1);
         assert!(warm_b1 >= b0, "fixing can only tighten the bound");
 
@@ -292,16 +297,16 @@ mod tests {
     fn fractional_solution_exposed_for_branching() {
         let mut b = InstanceBuilder::new();
         let v = b.new_vars(2);
-        b.add_linear(
-            vec![(2, v[0].positive()), (2, v[1].positive())],
-            pbo_core::RelOp::Ge,
-            3,
-        );
+        b.add_linear(vec![(2, v[0].positive()), (2, v[1].positive())], pbo_core::RelOp::Ge, 3);
         b.minimize([(1, v[0].positive()), (1, v[1].positive())]);
         let inst = b.build().unwrap();
         let a = Assignment::new(2);
         let mut lpr = LprBound::new(&inst);
+        // Pre-incumbent (upper = None) solves must NOT steer branching.
         let _ = lpr.lower_bound(&Subproblem::new(&inst, &a), None);
+        assert!(lpr.last_solution().iter().all(|&x| x == 0.0));
+        // With an incumbent the fractional solution is exposed.
+        let _ = lpr.lower_bound(&Subproblem::new(&inst, &a), Some(100));
         let frac: Vec<f64> = lpr.last_solution().to_vec();
         // Total mass 1.5 split over two vars: at least one fractional.
         assert!(frac.iter().any(|&x| x > 0.01 && x < 0.99), "{frac:?}");

@@ -7,10 +7,15 @@
 //! itself lower-bounded by the fractional (single-constraint LP) cover
 //! cost, which greedy computes exactly by filling cheapest cost-per-unit
 //! literals first.
+//!
+//! The procedure reads the residual problem through the [`Subproblem`]
+//! view API (free terms are iterated, never materialized) and keeps its
+//! working buffers across calls, so a bound computation performs no
+//! allocation beyond the returned explanation.
 
 use pbo_core::Lit;
 
-use crate::subproblem::{ActiveConstraint, Subproblem};
+use crate::subproblem::{ActiveEntry, Subproblem};
 use crate::{LbOutcome, LowerBound};
 
 /// Greedy MIS lower bound.
@@ -36,31 +41,39 @@ use crate::{LbOutcome, LowerBound};
 /// ```
 #[derive(Clone, Debug, Default)]
 pub struct MisBound {
-    _private: (),
+    /// Scratch: (cost per unit, coeff, cost) items of one constraint.
+    items: Vec<(f64, i64, i64)>,
+    /// Scratch: (position in active list, fractional cover cost).
+    scored: Vec<(u32, f64)>,
+    /// Scratch: last selection stamp per variable (epoch-cleared).
+    used_stamp: Vec<u32>,
+    /// Current selection epoch.
+    stamp: u32,
 }
 
 impl MisBound {
     /// Creates the bound procedure.
     pub fn new() -> MisBound {
-        MisBound { _private: () }
+        MisBound::default()
     }
 
     /// Fractional minimum cost of satisfying one residual constraint in
     /// isolation: fill the residual requirement with the cheapest
     /// cost-per-unit literals (the single-constraint LP optimum).
-    fn fractional_cover_cost(sub: &Subproblem<'_>, c: &ActiveConstraint) -> f64 {
-        let mut items: Vec<(f64, i64, i64)> = c
-            .free_terms
-            .iter()
-            .map(|t| {
-                let cost = sub.lit_cost(t.lit);
-                (cost as f64 / t.coeff as f64, t.coeff, cost)
-            })
-            .collect();
+    fn fractional_cover_cost(
+        sub: &Subproblem<'_>,
+        entry: &ActiveEntry,
+        items: &mut Vec<(f64, i64, i64)>,
+    ) -> f64 {
+        items.clear();
+        for t in sub.free_terms(entry.index as usize) {
+            let cost = sub.lit_cost(t.lit);
+            items.push((cost as f64 / t.coeff as f64, t.coeff, cost));
+        }
         items.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap_or(std::cmp::Ordering::Equal));
-        let mut need = c.residual_rhs;
+        let mut need = entry.residual_rhs;
         let mut total = 0.0;
-        for (_, coeff, cost) in items {
+        for &(_, coeff, cost) in items.iter() {
             if need <= 0 {
                 break;
             }
@@ -88,42 +101,53 @@ impl LowerBound for MisBound {
     }
 
     fn lower_bound(&mut self, sub: &Subproblem<'_>, upper: Option<i64>) -> LbOutcome {
+        let active = sub.active();
         // Score every active constraint.
-        let mut scored: Vec<(usize, f64)> = Vec::with_capacity(sub.active().len());
-        for (k, c) in sub.active().iter().enumerate() {
-            let cost = Self::fractional_cover_cost(sub, c);
+        self.scored.clear();
+        for (k, e) in active.iter().enumerate() {
+            let cost = Self::fractional_cover_cost(sub, e, &mut self.items);
             if cost.is_infinite() {
                 // The constraint cannot be satisfied: logically conflicting
                 // residual. Explain with its false literals.
-                return LbOutcome::infeasible(sub.false_literals_of(c.index));
+                return LbOutcome::infeasible(sub.false_literals_of(e.index as usize));
             }
             if cost > 0.0 {
-                scored.push((k, cost));
+                self.scored.push((k as u32, cost));
             }
         }
         // Coudert-style greedy: prefer high contribution per touched
         // variable, then larger contribution.
-        scored.sort_by(|a, b| {
-            let wa = a.1 / (1.0 + sub.active()[a.0].free_terms.len() as f64);
-            let wb = b.1 / (1.0 + sub.active()[b.0].free_terms.len() as f64);
+        self.scored.sort_by(|a, b| {
+            let wa = a.1 / (1.0 + active[a.0 as usize].free_count as f64);
+            let wb = b.1 / (1.0 + active[b.0 as usize].free_count as f64);
             wb.partial_cmp(&wa)
                 .unwrap_or(std::cmp::Ordering::Equal)
                 .then_with(|| b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal))
         });
         let num_vars = sub.instance().num_vars();
-        let mut used = vec![false; num_vars];
+        if self.used_stamp.len() < num_vars {
+            self.used_stamp.resize(num_vars, 0);
+        }
+        self.stamp = self.stamp.wrapping_add(1);
+        if self.stamp == 0 {
+            // Epoch wrap: clear stale stamps once every 2^32 calls.
+            self.used_stamp.iter_mut().for_each(|s| *s = 0);
+            self.stamp = 1;
+        }
+        let stamp = self.stamp;
         let mut total = 0.0;
         let mut explanation: Vec<Lit> = Vec::new();
-        for &(k, cost) in &scored {
-            let c = &sub.active()[k];
-            if c.free_terms.iter().any(|t| used[t.lit.var().index()]) {
+        for &(k, cost) in &self.scored {
+            let e = &active[k as usize];
+            let index = e.index as usize;
+            if sub.free_terms(index).any(|t| self.used_stamp[t.lit.var().index()] == stamp) {
                 continue;
             }
-            for t in &c.free_terms {
-                used[t.lit.var().index()] = true;
+            for t in sub.free_terms(index) {
+                self.used_stamp[t.lit.var().index()] = stamp;
             }
             total += cost;
-            explanation.extend(sub.false_literals_of(c.index));
+            explanation.extend(sub.false_literals(index));
             if let Some(ub) = upper {
                 // Early exit once the bound already prunes.
                 if sub.path_cost() + (total - 1e-9).ceil() as i64 >= ub {
@@ -181,11 +205,7 @@ mod tests {
         // x1 covers 3, x2 covers remaining 1 of 2 -> cost 3 + 4*0.5 = 5.
         let mut b = InstanceBuilder::new();
         let v = b.new_vars(2);
-        b.add_linear(
-            vec![(3, v[0].positive()), (2, v[1].positive())],
-            pbo_core::RelOp::Ge,
-            4,
-        );
+        b.add_linear(vec![(3, v[0].positive()), (2, v[1].positive())], pbo_core::RelOp::Ge, 4);
         b.minimize([(3, v[0].positive()), (4, v[1].positive())]);
         let inst = b.build().unwrap();
         let a = Assignment::new(2);
@@ -208,10 +228,7 @@ mod tests {
                     let j = rng.gen_range(i..n);
                     idxs.swap(i, j);
                 }
-                b.add_at_least(
-                    1,
-                    idxs[..k].iter().map(|&i| vars[i].lit(rng.gen_bool(0.8))),
-                );
+                b.add_at_least(1, idxs[..k].iter().map(|&i| vars[i].lit(rng.gen_bool(0.8))));
             }
             b.minimize(vars.iter().map(|v| (rng.gen_range(0..5), v.positive())));
             let inst = b.build().unwrap();
@@ -270,5 +287,29 @@ mod tests {
         let out = MisBound::new().lower_bound(&sub, None);
         assert!(out.infeasible);
         assert_eq!(out.explanation, vec![v[0].positive()]);
+    }
+
+    #[test]
+    fn scratch_reuse_is_stateless_across_calls() {
+        // The same MisBound instance must return identical outcomes when
+        // called repeatedly on different subproblems (buffer reuse must
+        // not leak state between calls).
+        let mut b = InstanceBuilder::new();
+        let v = b.new_vars(4);
+        b.add_clause([v[0].positive(), v[1].positive()]);
+        b.add_clause([v[2].positive(), v[3].positive()]);
+        b.minimize(v.iter().enumerate().map(|(i, x)| ((i + 2) as i64, x.positive())));
+        let inst = b.build().unwrap();
+        let mut shared = MisBound::new();
+        for round in 0..4 {
+            let mut a = Assignment::new(4);
+            if round % 2 == 1 {
+                a.assign(Var::new(0), true);
+            }
+            let sub = Subproblem::new(&inst, &a);
+            let from_shared = shared.lower_bound(&sub, None);
+            let from_fresh = MisBound::new().lower_bound(&sub, None);
+            assert_eq!(from_shared, from_fresh, "round {round}");
+        }
     }
 }

@@ -1,0 +1,250 @@
+//! Differential/property tests of the incremental residual state: after
+//! *any* decide/propagate/backjump sequence driven through the real
+//! engine, [`ResidualState`] must be bit-identical to a fresh
+//! [`Subproblem::new`] rebuild — path cost, active set (indices, residual
+//! right-hand sides, free-term counts), free-term lists, false-literal
+//! lists — and every lower-bound procedure must return identical
+//! [`LbOutcome`]s through either view.
+
+use pbo_benchgen::RandomParams;
+use pbo_bounds::{LagrangianBound, LowerBound, LprBound, MisBound, ResidualState, Subproblem};
+use pbo_core::{Instance, Lit, Value};
+use pbo_engine::{Engine, Resolution};
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+
+/// Syncs `state` to the engine trail through the low-watermark protocol.
+fn sync(state: &mut ResidualState, engine: &mut Engine) {
+    let keep = engine.sync_trail(state.len());
+    state.unwind_to(keep);
+    for &lit in &engine.trail()[keep..] {
+        state.apply(lit);
+    }
+}
+
+/// Asserts the incremental view equals the rebuild oracle in every
+/// observable dimension, then returns for how many constraints the free
+/// terms were compared (just to keep the check honest).
+fn assert_views_identical(
+    state: &mut ResidualState,
+    instance: &Instance,
+    engine: &Engine,
+    context: &str,
+) -> usize {
+    let assignment = engine.assignment();
+    let oracle = Subproblem::new(instance, assignment);
+    let view = state.view(instance, assignment);
+    assert_eq!(view.path_cost(), oracle.path_cost(), "{context}: path cost");
+    assert_eq!(view.active(), oracle.active(), "{context}: active entries");
+    let mut compared = 0;
+    for e in view.active() {
+        let i = e.index as usize;
+        let fresh: Vec<_> = oracle.free_terms(i).collect();
+        let incr: Vec<_> = view.free_terms(i).collect();
+        assert_eq!(incr, fresh, "{context}: free terms of constraint {i}");
+        let fresh_false: Vec<Lit> = oracle.false_literals(i).collect();
+        let incr_false: Vec<Lit> = view.false_literals(i).collect();
+        assert_eq!(incr_false, fresh_false, "{context}: false literals of constraint {i}");
+        compared += 1;
+    }
+    compared
+}
+
+/// Drives the engine through a random decide/propagate/backjump walk,
+/// checking the state against the rebuild oracle at every quiescent
+/// point.
+fn random_walk(instance: &Instance, walk_seed: u64, steps: usize) {
+    let mut engine = Engine::new(instance.num_vars());
+    for c in instance.constraints() {
+        engine
+            .add_constraint(c)
+            .expect("walk instances must be root-consistent, or the walk tests nothing");
+    }
+    let mut state = ResidualState::new(instance);
+    let mut rng = ChaCha8Rng::seed_from_u64(walk_seed);
+    // Also feed both view flavours to warm-started bound procedures: they
+    // must stay in lockstep along the whole walk.
+    let mut mis = MisBound::new();
+    let mut lgr_incr = LagrangianBound::new(instance.num_constraints());
+    let mut lgr_reb = LagrangianBound::new(instance.num_constraints());
+    let mut lpr_incr = LprBound::new(instance);
+    let mut lpr_reb = LprBound::new(instance);
+
+    for step in 0..steps {
+        let roll = rng.gen_range(0u32..10);
+        if roll < 6 {
+            // Decide a random unassigned literal (if any).
+            let unassigned: Vec<usize> = (0..instance.num_vars())
+                .filter(|&v| engine.assignment().value(pbo_core::Var::new(v)) == Value::Unassigned)
+                .collect();
+            if unassigned.is_empty() {
+                engine.backjump_to(0);
+                continue;
+            }
+            let v = unassigned[rng.gen_range(0..unassigned.len())];
+            engine.decide(pbo_core::Var::new(v).lit(rng.gen_bool(0.5)));
+            if let Some(conflict) = engine.propagate() {
+                match engine.resolve_conflict(conflict) {
+                    Resolution::Unsat => return,
+                    Resolution::Backjumped { .. } => {
+                        if engine.propagate().is_some() {
+                            // Rare cascade; give up on this walk.
+                            return;
+                        }
+                    }
+                }
+            }
+        } else if roll < 9 {
+            // Backjump to a random earlier level.
+            let level = engine.decision_level();
+            if level > 0 {
+                engine.backjump_to(rng.gen_range(0..level));
+            }
+        } else {
+            engine.restart();
+        }
+
+        sync(&mut state, &mut engine);
+        let context = format!("step {step}");
+        assert_views_identical(&mut state, instance, &engine, &context);
+
+        // Lower-bound lockstep: identical LbOutcomes through either view.
+        let assignment = engine.assignment();
+        let oracle = Subproblem::new(instance, assignment);
+        let upper = if rng.gen_bool(0.5) { Some(rng.gen_range(1i64..50)) } else { None };
+        {
+            let view = state.view(instance, assignment);
+            let a = mis.lower_bound(&view, upper);
+            let b = mis.lower_bound(&oracle, upper);
+            assert_eq!(a, b, "{context}: MIS outcome diverged");
+        }
+        {
+            let view = state.view(instance, assignment);
+            let a = lgr_incr.lower_bound(&view, upper);
+            let b = lgr_reb.lower_bound(&oracle, upper);
+            assert_eq!(a, b, "{context}: LGR outcome diverged");
+            assert_eq!(
+                lgr_incr.multipliers(),
+                lgr_reb.multipliers(),
+                "{context}: LGR warm-start state diverged"
+            );
+        }
+        {
+            let view = state.view(instance, assignment);
+            let a = lpr_incr.lower_bound(&view, upper);
+            let b = lpr_reb.lower_bound(&oracle, upper);
+            assert_eq!(a, b, "{context}: LPR outcome diverged");
+        }
+    }
+}
+
+/// Covering-style random instances (all-positive constraints, like the
+/// paper's benchmark families): never root-inconsistent, so every walk
+/// actually runs.
+fn monotone_params(vars: usize, constraints: usize, arity: (usize, usize)) -> RandomParams {
+    RandomParams {
+        vars,
+        constraints,
+        arity,
+        coeff: (1, 4),
+        positive_bias: 1.0,
+        optimization: true,
+        ..RandomParams::default()
+    }
+}
+
+/// Mixed-polarity instance with weakly forcing constraints (small rhs),
+/// built locally so negative literals inside constraints are exercised
+/// without making the root inconsistent.
+fn mixed_polarity_instance(seed: u64) -> Instance {
+    let mut rng = ChaCha8Rng::seed_from_u64(seed ^ 0x3141);
+    let n = 16usize;
+    let mut b = pbo_core::InstanceBuilder::new();
+    let vars = b.new_vars(n);
+    for _ in 0..24 {
+        let k = rng.gen_range(3usize..6);
+        let mut idxs: Vec<usize> = (0..n).collect();
+        for i in 0..k {
+            let j = rng.gen_range(i..n);
+            idxs.swap(i, j);
+        }
+        let terms: Vec<(i64, Lit)> = idxs[..k]
+            .iter()
+            .map(|&i| (rng.gen_range(1i64..4), vars[i].lit(rng.gen_bool(0.6))))
+            .collect();
+        // rhs at most 2: constraints never force anything at the root.
+        let rhs = rng.gen_range(1i64..=2);
+        b.add_linear(terms, pbo_core::RelOp::Ge, rhs);
+    }
+    b.minimize(vars.iter().map(|v| (rng.gen_range(0i64..8), v.lit(rng.gen_bool(0.7)))));
+    b.build().expect("weakly constrained instances always build")
+}
+
+#[test]
+fn residual_state_matches_rebuild_on_random_walks() {
+    for seed in 0..6u64 {
+        let instance = monotone_params(18, 26, (2, 6)).generate(seed);
+        random_walk(&instance, 0x5eed ^ seed, 60);
+    }
+}
+
+#[test]
+fn residual_state_matches_rebuild_on_pb_heavy_instances() {
+    for seed in 0..4u64 {
+        let instance = monotone_params(24, 30, (4, 8)).generate(seed);
+        random_walk(&instance, 0xabcd ^ seed, 50);
+    }
+}
+
+#[test]
+fn residual_state_matches_rebuild_with_negative_literals() {
+    for seed in 0..5u64 {
+        let instance = mixed_polarity_instance(seed);
+        random_walk(&instance, 0x1dea ^ seed, 60);
+    }
+}
+
+#[test]
+fn residual_state_matches_rebuild_on_satisfaction_instances() {
+    // No objective: path cost stays at zero, active tracking still must
+    // agree.
+    for seed in 0..3u64 {
+        let instance =
+            RandomParams { optimization: false, ..monotone_params(16, 22, (2, 5)) }.generate(seed);
+        random_walk(&instance, 0x7777 ^ seed, 40);
+    }
+}
+
+#[test]
+fn deep_backjump_after_long_descent_resyncs_in_one_step() {
+    // A long descent followed by a jump straight back to the root is the
+    // worst case for the watermark protocol: everything unwinds.
+    let instance = monotone_params(20, 24, (2, 5)).generate(3);
+    let mut engine = Engine::new(instance.num_vars());
+    for c in instance.constraints() {
+        engine.add_constraint(c).expect("monotone instances are root-consistent");
+    }
+    let mut state = ResidualState::new(&instance);
+    let mut rng = ChaCha8Rng::seed_from_u64(99);
+    for _ in 0..instance.num_vars() {
+        let unassigned: Vec<usize> = (0..instance.num_vars())
+            .filter(|&v| engine.assignment().value(pbo_core::Var::new(v)) == Value::Unassigned)
+            .collect();
+        let Some(&v) = unassigned.first() else { break };
+        engine.decide(pbo_core::Var::new(v).lit(rng.gen_bool(0.5)));
+        if engine.propagate().is_some() {
+            break;
+        }
+    }
+    sync(&mut state, &mut engine);
+    assert_views_identical(&mut state, &instance, &engine, "after descent");
+    let deep_len = state.len();
+    engine.backjump_to(0);
+    sync(&mut state, &mut engine);
+    assert!(state.len() <= deep_len);
+    assert_views_identical(&mut state, &instance, &engine, "after root backjump");
+    assert!(
+        state.stats.unwound >= deep_len as u64 - engine.trail_len() as u64,
+        "everything above the root must have been unwound"
+    );
+}

@@ -73,10 +73,7 @@ pub struct Assignment {
 impl Assignment {
     /// Creates an all-unassigned assignment over `num_vars` variables.
     pub fn new(num_vars: usize) -> Assignment {
-        Assignment {
-            values: vec![Value::Unassigned; num_vars],
-            num_assigned: 0,
-        }
+        Assignment { values: vec![Value::Unassigned; num_vars], num_assigned: 0 }
     }
 
     /// Creates a complete assignment from a boolean slice.
@@ -174,17 +171,12 @@ impl Assignment {
     /// Extracts a complete assignment as a boolean vector, mapping
     /// unassigned variables to `false`.
     pub fn to_bools_lossy(&self) -> Vec<bool> {
-        self.values
-            .iter()
-            .map(|v| matches!(v, Value::True))
-            .collect()
+        self.values.iter().map(|v| matches!(v, Value::True)).collect()
     }
 
     /// Iterates over `(Var, Value)` pairs for assigned variables.
     pub fn iter_assigned(&self) -> impl Iterator<Item = (Var, bool)> + '_ {
-        self.values.iter().enumerate().filter_map(|(i, v)| {
-            v.to_bool().map(|b| (Var::new(i), b))
-        })
+        self.values.iter().enumerate().filter_map(|(i, v)| v.to_bool().map(|b| (Var::new(i), b)))
     }
 }
 

@@ -123,11 +123,7 @@ mod tests {
         let mut b = InstanceBuilder::new();
         let vars = b.new_vars(4);
         b.add_at_least(2, vars.iter().map(|v| v.positive()));
-        b.add_linear(
-            vec![(2, vars[0].positive()), (1, vars[1].positive())],
-            RelOp::Le,
-            2,
-        );
+        b.add_linear(vec![(2, vars[0].positive()), (1, vars[1].positive())], RelOp::Le, 2);
         b.minimize(vars.iter().enumerate().map(|(i, v)| ((i + 1) as i64, v.positive())));
         let inst = b.build().unwrap();
         match brute_force(&inst) {

@@ -408,16 +408,12 @@ mod tests {
             ConstraintClass::Cardinality
         );
         assert_eq!(
-            PbConstraint::try_new(vec![(2, lit(0, true)), (1, lit(1, true))], 2)
-                .unwrap()
-                .class(),
+            PbConstraint::try_new(vec![(2, lit(0, true)), (1, lit(1, true))], 2).unwrap().class(),
             ConstraintClass::General
         );
         // 2x + 2y >= 2 saturates to a clause.
         assert_eq!(
-            PbConstraint::try_new(vec![(2, lit(0, true)), (2, lit(1, true))], 2)
-                .unwrap()
-                .class(),
+            PbConstraint::try_new(vec![(2, lit(0, true)), (2, lit(1, true))], 2).unwrap().class(),
             ConstraintClass::Clause
         );
     }
@@ -429,11 +425,9 @@ mod tests {
         let card = PbConstraint::at_least(2, [lit(0, true), lit(1, true), lit(2, true)]);
         assert_eq!(card.min_true_literals(), 2);
         // 3x + 2y + 2z >= 5 : need at least 2 literals (3+2 >= 5).
-        let gen = PbConstraint::try_new(
-            vec![(3, lit(0, true)), (2, lit(1, true)), (2, lit(2, true))],
-            5,
-        )
-        .unwrap();
+        let gen =
+            PbConstraint::try_new(vec![(3, lit(0, true)), (2, lit(1, true)), (2, lit(2, true))], 5)
+                .unwrap();
         assert_eq!(gen.min_true_literals(), 2);
         // Unsatisfiable: 1x >= 3 saturates coeff to 3? No: saturation is
         // min(coeff, rhs) so 1 stays; sum 1 < 3.
@@ -445,11 +439,9 @@ mod tests {
     #[test]
     fn slack_and_eval() {
         // 2x1 + x2 + x3 >= 2
-        let c = PbConstraint::try_new(
-            vec![(2, lit(0, true)), (1, lit(1, true)), (1, lit(2, true))],
-            2,
-        )
-        .unwrap();
+        let c =
+            PbConstraint::try_new(vec![(2, lit(0, true)), (1, lit(1, true)), (1, lit(2, true))], 2)
+                .unwrap();
         let mut a = Assignment::new(3);
         assert_eq!(c.slack(&a), 2);
         assert_eq!(c.eval(&a), ConstraintState::Undetermined);

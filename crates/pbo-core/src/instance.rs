@@ -184,7 +184,7 @@ impl From<ObjectiveError> for BuildError {
 #[derive(Clone, Debug, Default)]
 pub struct InstanceBuilder {
     num_vars: usize,
-    raw: Vec<(Vec<(i64, Lit)>, RelOp, i64)>,
+    raw: Vec<crate::normalize::RawConstraint>,
     objective: Option<(Vec<(i64, Lit)>, i64)>,
     name: String,
 }
@@ -265,10 +265,7 @@ impl InstanceBuilder {
     }
 
     /// Adds an exactly-one constraint over the literals.
-    pub fn add_exactly_one(
-        &mut self,
-        lits: impl IntoIterator<Item = Lit>,
-    ) -> &mut InstanceBuilder {
+    pub fn add_exactly_one(&mut self, lits: impl IntoIterator<Item = Lit>) -> &mut InstanceBuilder {
         self.add_linear(lits.into_iter().map(|l| (1, l)), RelOp::Eq, 1)
     }
 
@@ -329,12 +326,7 @@ impl InstanceBuilder {
             }
             None => None,
         };
-        Ok(Instance {
-            num_vars: self.num_vars,
-            constraints,
-            objective,
-            name: self.name.clone(),
-        })
+        Ok(Instance { num_vars: self.num_vars, constraints, objective, name: self.name.clone() })
     }
 }
 

@@ -52,6 +52,6 @@ pub use constraint::{
 };
 pub use instance::{BuildError, Instance, InstanceBuilder};
 pub use lit::{Lit, Var};
-pub use normalize::{normalize, normalize_ge, NormalizeError, RelOp};
+pub use normalize::{normalize, normalize_ge, NormalizeError, RawConstraint, RelOp};
 pub use objective::{Objective, ObjectiveError};
 pub use opb::{parse_opb, write_opb, ParseOpbError};

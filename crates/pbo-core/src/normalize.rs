@@ -37,6 +37,11 @@ impl fmt::Display for RelOp {
     }
 }
 
+/// A raw (unnormalized) linear constraint as collected by builders and
+/// parsers: arbitrary-sign `(coeff, literal)` terms, a relational
+/// operator, and a right-hand side.
+pub type RawConstraint = (Vec<(i64, Lit)>, RelOp, i64);
+
 /// Error returned when a constraint cannot be normalized.
 #[derive(Clone, PartialEq, Eq, Debug)]
 pub enum NormalizeError {
@@ -51,7 +56,9 @@ impl fmt::Display for NormalizeError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             NormalizeError::Overflow => write!(f, "coefficient overflow during normalization"),
-            NormalizeError::Invalid(e) => write!(f, "normalization produced invalid constraint: {e}"),
+            NormalizeError::Invalid(e) => {
+                write!(f, "normalization produced invalid constraint: {e}")
+            }
         }
     }
 }
@@ -252,7 +259,7 @@ mod tests {
     fn normalization_preserves_solutions_exhaustive() {
         // Check equivalence on every +-coefficient mix over 3 variables for
         // a fixed set of raw constraints.
-        let raws: Vec<(Vec<(i64, Lit)>, RelOp, i64)> = vec![
+        let raws: Vec<RawConstraint> = vec![
             (vec![(2, lit(0, true)), (-3, lit(1, false)), (1, lit(2, true))], RelOp::Ge, -1),
             (vec![(-1, lit(0, true)), (-1, lit(1, true)), (-1, lit(2, true))], RelOp::Le, -2),
             (vec![(2, lit(0, false)), (2, lit(1, true))], RelOp::Eq, 2),

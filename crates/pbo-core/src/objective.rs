@@ -79,7 +79,8 @@ impl Objective {
         offset: i64,
     ) -> Result<Objective, ObjectiveError> {
         // Net cost per variable on the positive literal.
-        let mut per_var: std::collections::BTreeMap<usize, i128> = std::collections::BTreeMap::new();
+        let mut per_var: std::collections::BTreeMap<usize, i128> =
+            std::collections::BTreeMap::new();
         let mut off = offset as i128;
         for (c, lit) in terms {
             let c = c as i128;

@@ -115,9 +115,8 @@ pub fn parse_opb(text: &str) -> Result<Instance, ParseOpbError> {
         let rest = rest
             .strip_prefix('x')
             .ok_or_else(|| syntax(line, format!("expected literal, found `{tok}`")))?;
-        let idx: usize = rest
-            .parse()
-            .map_err(|_| syntax(line, format!("bad variable number in `{tok}`")))?;
+        let idx: usize =
+            rest.parse().map_err(|_| syntax(line, format!("bad variable number in `{tok}`")))?;
         if idx == 0 {
             return Err(syntax(line, "variable numbers are 1-based"));
         }
@@ -126,7 +125,7 @@ pub fn parse_opb(text: &str) -> Result<Instance, ParseOpbError> {
     };
 
     let mut objective: Option<Vec<(i64, Lit)>> = None;
-    let mut constraints: Vec<(Vec<(i64, Lit)>, RelOp, i64)> = Vec::new();
+    let mut constraints: Vec<crate::normalize::RawConstraint> = Vec::new();
 
     for (line, toks) in statements {
         let (is_min, body) = if toks[0] == "min:" {
@@ -143,9 +142,9 @@ pub fn parse_opb(text: &str) -> Result<Instance, ParseOpbError> {
             let mut terms = Vec::new();
             let mut i = 0;
             while i < body.len() {
-                let coeff: i64 = body[i]
-                    .parse()
-                    .map_err(|_| syntax(line, format!("expected coefficient, found `{}`", body[i])))?;
+                let coeff: i64 = body[i].parse().map_err(|_| {
+                    syntax(line, format!("expected coefficient, found `{}`", body[i]))
+                })?;
                 let lit = parse_lit(
                     body.get(i + 1)
                         .ok_or_else(|| syntax(line, "objective term missing literal"))?,
@@ -175,9 +174,9 @@ pub fn parse_opb(text: &str) -> Result<Instance, ParseOpbError> {
             let mut terms = Vec::new();
             let mut i = 0;
             while i < op_pos {
-                let coeff: i64 = body[i]
-                    .parse()
-                    .map_err(|_| syntax(line, format!("expected coefficient, found `{}`", body[i])))?;
+                let coeff: i64 = body[i].parse().map_err(|_| {
+                    syntax(line, format!("expected coefficient, found `{}`", body[i]))
+                })?;
                 let lit = parse_lit(
                     body.get(i + 1)
                         .ok_or_else(|| syntax(line, "constraint term missing literal"))?,
@@ -336,10 +335,7 @@ min: +3 x1 +5 x3 ;
         assert_eq!(parsed.num_vars(), inst.num_vars());
         // Objective terms survive; offset is dropped by the format (it is
         // emitted as a comment), so compare terms only.
-        assert_eq!(
-            parsed.objective().unwrap().terms(),
-            inst.objective().unwrap().terms()
-        );
+        assert_eq!(parsed.objective().unwrap().terms(), inst.objective().unwrap().terms());
     }
 
     #[test]
@@ -391,9 +387,6 @@ mod more_tests {
         // so no offset comment is needed and the term round-trips.
         let text = write_opb(&inst);
         let reparsed = parse_opb(&text).unwrap();
-        assert_eq!(
-            reparsed.objective().unwrap().terms(),
-            inst.objective().unwrap().terms()
-        );
+        assert_eq!(reparsed.objective().unwrap().terms(), inst.objective().unwrap().terms());
     }
 }

@@ -148,6 +148,9 @@ pub struct Engine {
     phase: Vec<bool>,
     seen: Vec<bool>,
     root_unsat: bool,
+    /// Lowest trail length reached since the last [`Engine::sync_trail`]
+    /// call — the reconciliation point for an external trail observer.
+    trail_low: usize,
     /// Stats are public for cheap read access by solvers.
     pub stats: EngineStats,
 }
@@ -185,6 +188,7 @@ impl Engine {
             phase: vec![false; num_vars],
             seen: vec![false; num_vars],
             root_unsat: false,
+            trail_low: 0,
             stats: EngineStats::default(),
         }
     }
@@ -222,6 +226,36 @@ impl Engine {
     /// The assignment trail in chronological order.
     pub fn trail(&self) -> &[Lit] {
         &self.trail
+    }
+
+    /// Current trail length (the mark used by [`Engine::sync_trail`]).
+    #[inline]
+    pub fn trail_len(&self) -> usize {
+        self.trail.len()
+    }
+
+    /// Reconciles an external incremental observer of the trail (e.g. the
+    /// residual state maintained by a lower-bound procedure) in O(Δ)
+    /// instead of O(trail).
+    ///
+    /// The observer mirrors a prefix of the trail: it last saw
+    /// `synced_len` literals. Because backjumping only ever *truncates*
+    /// the trail and assignment only *appends*, the trail the observer
+    /// saw and the current trail share a prefix of length at least
+    /// `min(synced_len, low)`, where `low` is the lowest trail length
+    /// reached since the observer last synced. This method returns that
+    /// `keep` point; the contract is that the caller immediately
+    ///
+    /// 1. unwinds its mirrored state down to `keep` literals, then
+    /// 2. replays `self.trail()[keep..]`,
+    ///
+    /// after which the observer is exactly in sync. The internal
+    /// watermark is reset on each call, so the engine supports **one**
+    /// logical observer (additional observers must mirror through it).
+    pub fn sync_trail(&mut self, synced_len: usize) -> usize {
+        let keep = synced_len.min(self.trail_low);
+        self.trail_low = self.trail.len();
+        keep
     }
 
     /// Returns `true` if a root-level conflict has been derived: no
@@ -328,13 +362,8 @@ impl Engine {
         let id = PbId(self.pbs.len() as u32);
         let max_coeff = c.terms().iter().map(|t| t.coeff).max().unwrap_or(0);
         let slack = c.slack(&self.assignment);
-        let data = PbData {
-            terms: c.terms().to_vec(),
-            rhs: c.rhs(),
-            slack,
-            max_coeff,
-            active: true,
-        };
+        let data =
+            PbData { terms: c.terms().to_vec(), rhs: c.rhs(), slack, max_coeff, active: true };
         for t in &data.terms {
             self.pb_occur[t.lit.code()].push(PbOcc { pb: id.0, coeff: t.coeff });
         }
@@ -494,6 +523,7 @@ impl Engine {
         self.trail.truncate(new_len);
         self.trail_lim.truncate(target_level as usize);
         self.qhead = self.trail.len();
+        self.trail_low = self.trail_low.min(new_len);
     }
 
     /// Restarts the search (backjump to the root, keep learned clauses).
@@ -635,11 +665,7 @@ impl Engine {
             Conflict::Clause(id) => self.clauses.get(*id).lits().to_vec(),
             Conflict::Pb(id) => {
                 let pb = &self.pbs[id.0 as usize];
-                pb.terms
-                    .iter()
-                    .map(|t| t.lit)
-                    .filter(|&l| self.assignment.is_false(l))
-                    .collect()
+                pb.terms.iter().map(|t| t.lit).filter(|&l| self.assignment.is_false(l)).collect()
             }
             Conflict::AdHoc(lits) => lits.clone(),
         }
@@ -650,14 +676,9 @@ impl Engine {
     fn reason_literals(&self, p: Lit) -> Vec<Lit> {
         match self.reason[p.var().index()] {
             Reason::None => Vec::new(),
-            Reason::Clause(id) => self
-                .clauses
-                .get(id)
-                .lits()
-                .iter()
-                .copied()
-                .filter(|&l| l != p)
-                .collect(),
+            Reason::Clause(id) => {
+                self.clauses.get(id).lits().iter().copied().filter(|&l| l != p).collect()
+            }
             Reason::Pb(id) => {
                 let pb = &self.pbs[id.0 as usize];
                 let p_pos = self.trail_pos[p.var().index()];
@@ -689,11 +710,8 @@ impl Engine {
             conflict_lits.iter().all(|&l| self.assignment.is_false(l)),
             "conflict literals must all be false"
         );
-        let max_level = conflict_lits
-            .iter()
-            .map(|&l| self.level[l.var().index()])
-            .max()
-            .unwrap_or(0);
+        let max_level =
+            conflict_lits.iter().map(|&l| self.level[l.var().index()]).max().unwrap_or(0);
         if max_level == 0 {
             self.root_unsat = true;
             return Resolution::Unsat;
@@ -784,12 +802,7 @@ impl Engine {
         debug_assert!(ok, "asserted literal must be enqueuable after backjump");
         self.vsids.decay();
         self.clauses.decay_activity();
-        Resolution::Backjumped {
-            level: backjump_level,
-            asserted,
-            learnt_len,
-            learnt_id,
-        }
+        Resolution::Backjumped { level: backjump_level, asserted, learnt_len, learnt_id }
     }
 
     // ------------------------------------------------------------------

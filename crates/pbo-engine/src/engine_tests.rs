@@ -2,7 +2,7 @@
 //! conflicts and end-to-end satisfiability cross-checked against the
 //! exhaustive reference solver.
 
-use pbo_core::{brute_force, InstanceBuilder, Instance, Lit, PbConstraint, Var};
+use pbo_core::{brute_force, Instance, InstanceBuilder, Lit, PbConstraint, Var};
 
 use crate::engine::{Conflict, Engine, Reason, Resolution};
 
@@ -166,11 +166,8 @@ fn adhoc_conflict_at_root_is_unsat() {
 #[test]
 fn slack_restored_after_backjump() {
     let mut e = Engine::new(3);
-    let c = PbConstraint::try_new(
-        vec![(2, lit(0, true)), (2, lit(1, true)), (1, lit(2, true))],
-        3,
-    )
-    .unwrap();
+    let c = PbConstraint::try_new(vec![(2, lit(0, true)), (2, lit(1, true)), (1, lit(2, true))], 3)
+        .unwrap();
     e.add_constraint(&c).unwrap();
     assert!(e.propagate().is_none());
     e.decide(lit(0, false));
@@ -192,8 +189,9 @@ fn cut_addition_and_deactivation() {
     let mut e = Engine::new(2);
     // Cut: ~x1 + ~x2 >= 1 (cost bound style).
     let cut = PbConstraint::clause([lit(0, false), lit(1, false)]);
-    let id = e.add_pb_cut(&PbConstraint::try_new(
-        vec![(1, lit(0, false)), (1, lit(1, false))], 1).unwrap());
+    let id = e.add_pb_cut(
+        &PbConstraint::try_new(vec![(1, lit(0, false)), (1, lit(1, false))], 1).unwrap(),
+    );
     // Clause-shaped cuts still go through the PB path via add_pb_cut.
     let id = id.expect("cut addable");
     e.decide(lit(0, true));
@@ -349,4 +347,54 @@ fn stats_track_activity() {
     assert!(e.propagate().is_none());
     assert!(e.stats.decisions == 1);
     assert!(e.stats.propagations >= 2);
+}
+
+#[test]
+fn sync_trail_reports_appended_literals() {
+    let mut e = Engine::new(4);
+    e.add_constraint(&PbConstraint::clause([lit(0, true), lit(1, true)])).unwrap();
+    // First sync from scratch sees the whole trail.
+    let keep = e.sync_trail(0);
+    assert_eq!(keep, 0);
+    let synced = e.trail_len();
+    e.decide(lit(0, false));
+    assert!(e.propagate().is_none()); // forces x2
+                                      // Only the delta is replayed: keep == old mark, suffix is new.
+    let keep = e.sync_trail(synced);
+    assert_eq!(keep, synced);
+    assert_eq!(e.trail()[keep..].len(), e.trail_len() - synced);
+    assert!(e.trail()[keep..].contains(&lit(0, false)));
+    assert!(e.trail()[keep..].contains(&lit(1, true)));
+}
+
+#[test]
+fn sync_trail_watermark_survives_backjump_and_regrowth() {
+    let mut e = Engine::new(6);
+    // Observer synced at depth 3; engine backjumps to depth 1 and grows a
+    // different branch: keep must be the low watermark, not the mark.
+    e.decide(lit(0, true));
+    e.decide(lit(1, true));
+    e.decide(lit(2, true));
+    let mark = e.trail_len();
+    assert_eq!(e.sync_trail(0), 0); // observer now mirrors 3 literals
+    e.backjump_to(1); // lose x2, x3
+    e.decide(lit(3, false));
+    e.decide(lit(4, false));
+    let keep = e.sync_trail(mark);
+    assert_eq!(keep, 1, "only the level-1 prefix survived");
+    let replay: Vec<Lit> = e.trail()[keep..].to_vec();
+    assert_eq!(replay, vec![lit(3, false), lit(4, false)]);
+}
+
+#[test]
+fn sync_trail_watermark_resets_after_ack() {
+    let mut e = Engine::new(4);
+    e.decide(lit(0, true));
+    assert_eq!(e.sync_trail(0), 0);
+    // No backjump since the ack: the whole synced prefix is still valid.
+    e.decide(lit(1, true));
+    assert_eq!(e.sync_trail(1), 1);
+    // Backjump to root invalidates everything.
+    e.backjump_to(0);
+    assert_eq!(e.sync_trail(2), 0);
 }

@@ -21,7 +21,6 @@ pub fn luby(i: u64) -> u64 {
         k += 1;
     }
     let mut i = i;
-    let mut k = k;
     while (1u64 << k) - 1 != i {
         i -= (1u64 << (k - 1)) - 1;
         k = 1;

@@ -1,3 +1,7 @@
+// Dense tableau arithmetic is written with explicit row/column indices;
+// iterator forms would hide the pivot structure.
+#![allow(clippy::needless_range_loop)]
+
 //! Bounded-variable dual simplex.
 //!
 //! The solver targets the LPs arising from pseudo-Boolean relaxations
@@ -452,11 +456,8 @@ impl DualSimplex {
                     alpha += rho[i] * a;
                 }
                 let alpha_s = sigma * alpha;
-                let eligible = if self.at_upper[j] {
-                    alpha_s < -PIVOT_TOL
-                } else {
-                    alpha_s > PIVOT_TOL
-                };
+                let eligible =
+                    if self.at_upper[j] { alpha_s < -PIVOT_TOL } else { alpha_s > PIVOT_TOL };
                 if !eligible {
                     continue;
                 }
@@ -471,8 +472,7 @@ impl DualSimplex {
                         } else {
                             // Harris-lite: among near-minimal ratios take
                             // the largest pivot magnitude.
-                            theta < bt - 1e-9
-                                || (theta <= bt + 1e-9 && alpha_s.abs() > ba)
+                            theta < bt - 1e-9 || (theta <= bt + 1e-9 && alpha_s.abs() > ba)
                         }
                     }
                 };
@@ -482,8 +482,7 @@ impl DualSimplex {
             }
             let Some((enter, _, _)) = best else {
                 // Infeasible: rho is (up to sign) a Farkas certificate.
-                let farkas: Vec<usize> =
-                    (0..m).filter(|&i| rho[i].abs() > 1e-7).collect();
+                let farkas: Vec<usize> = (0..m).filter(|&i| rho[i].abs() > 1e-7).collect();
                 return self.emit_infeasible(farkas, iterations);
             };
 

@@ -248,16 +248,13 @@ fn relaxation_lower_bounds_integer_optimum() {
         let mut best: Option<f64> = None;
         for mask in 0u32..(1 << n) {
             let feas = p.rows().all(|(terms, rhs)| {
-                let act: f64 = terms
-                    .iter()
-                    .map(|&(j, a)| if (mask >> j) & 1 == 1 { a } else { 0.0 })
-                    .sum();
+                let act: f64 =
+                    terms.iter().map(|&(j, a)| if (mask >> j) & 1 == 1 { a } else { 0.0 }).sum();
                 act >= rhs - 1e-9
             });
             if feas {
-                let cost: f64 = (0..n)
-                    .map(|j| if (mask >> j) & 1 == 1 { p.costs()[j] } else { 0.0 })
-                    .sum();
+                let cost: f64 =
+                    (0..n).map(|j| if (mask >> j) & 1 == 1 { p.costs()[j] } else { 0.0 }).sum();
                 best = Some(best.map_or(cost, |b: f64| b.min(cost)));
             }
         }

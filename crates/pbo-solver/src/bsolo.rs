@@ -12,7 +12,15 @@
 //!   `P.path + P.lower >= P.upper` (eq. 7) the solver builds the bound
 //!   conflict clause `omega_bc = omega_pp ∪ omega_pl` (eqs. 8–9) and
 //!   feeds it to the standard conflict analysis, obtaining
-//!   non-chronological backtracking on bounds (sec. 4);
+//!   non-chronological backtracking on bounds (sec. 4). Before the first
+//!   incumbent exists the procedure still runs: an *infeasible* residual
+//!   (e.g. the LPR Farkas case) prunes with `omega_pl` alone;
+//! * an incrementally maintained residual problem
+//!   ([`pbo_bounds::ResidualState`], [`ResidualMode::Incremental`], the
+//!   default): per-constraint satisfied-weight/free-term counters are
+//!   synced to the engine trail in O(Δ) per node instead of rebuilding
+//!   the subproblem from scratch, with the O(instance) rebuild retained
+//!   as the differential-testing oracle ([`ResidualMode::Rebuild`]);
 //! * LP-guided branching when the LP relaxation is the bound procedure
 //!   (sec. 5): branch on the fractional variable closest to 0.5,
 //!   VSIDS tie-break;
@@ -20,12 +28,14 @@
 
 use std::time::Instant;
 
-use pbo_bounds::{LagrangianBound, LowerBound, LprBound, MisBound, NoBound, Subproblem};
+use pbo_bounds::{
+    LagrangianBound, LowerBound, LprBound, MisBound, NoBound, ResidualState, Subproblem,
+};
 use pbo_core::{Instance, Lit, Value, Var};
 use pbo_engine::{Conflict, Engine, PbId, Resolution};
 
 use crate::cuts::{cardinality_cost_cuts, knapsack_cut};
-use crate::options::{Branching, BsoloOptions, LbMethod};
+use crate::options::{Branching, BsoloOptions, LbMethod, ResidualMode};
 use crate::preprocess::{probe, ProbeOutcome};
 use crate::result::{SolveResult, SolveStatus, SolverStats};
 
@@ -125,11 +135,7 @@ enum Bound {
 }
 
 impl Bound {
-    fn lower_bound(
-        &mut self,
-        sub: &Subproblem<'_>,
-        upper: Option<i64>,
-    ) -> pbo_bounds::LbOutcome {
+    fn lower_bound(&mut self, sub: &Subproblem<'_>, upper: Option<i64>) -> pbo_bounds::LbOutcome {
         match self {
             Bound::None(b) => b.lower_bound(sub, upper),
             Bound::Mis(b) => b.lower_bound(sub, upper),
@@ -144,6 +150,9 @@ struct SearchState<'a> {
     options: &'a BsoloOptions,
     engine: Engine,
     bound: Bound,
+    /// Trail-mirrored residual problem ([`ResidualMode::Incremental`]);
+    /// `None` in rebuild mode or when the instance never computes bounds.
+    residual: Option<ResidualState>,
     best_cost: Option<i64>,
     best_model: Option<Vec<bool>>,
     active_cuts: Vec<PbId>,
@@ -176,11 +185,20 @@ impl<'a> SearchState<'a> {
             LbMethod::Lagrangian => Bound::Lgr(LagrangianBound::new(instance.num_constraints())),
             LbMethod::Lpr => Bound::Lpr(LprBound::new(instance)),
         };
+        // The residual state only pays off where bounds are computed:
+        // optimization instances (satisfaction search never bounds).
+        let residual =
+            if options.residual_mode == ResidualMode::Incremental && instance.is_optimization() {
+                Some(ResidualState::new(instance))
+            } else {
+                None
+            };
         Ok(SearchState {
             instance,
             options,
             engine,
             bound,
+            residual,
             best_cost: None,
             best_model: None,
             active_cuts: Vec::new(),
@@ -239,20 +257,52 @@ impl<'a> SearchState<'a> {
                     SolutionStep::Continue => continue,
                 }
             }
-            // Bound step (eq. 7): only meaningful with an incumbent.
-            if self.instance.is_optimization() && self.best_cost.is_some() {
+            // Bound step (eq. 7). With an incumbent the bound prunes on
+            // cost. Before the first incumbent only LPR runs: its Farkas
+            // certificate can prove a subtree has *no* feasible
+            // completion at all, pruning before any solution exists. MIS
+            // infeasibility duplicates what slack propagation already
+            // catches, and LGR/plain cannot prove infeasibility.
+            let bound_can_act = self.best_cost.is_some() || self.options.lb_method == LbMethod::Lpr;
+            if self.instance.is_optimization() && bound_can_act {
                 self.decisions_since_lb += 1;
                 if self.decisions_since_lb >= self.options.lb_frequency {
                     self.decisions_since_lb = 0;
-                    let upper = self.best_cost.unwrap();
-                    let lb_start = Instant::now();
-                    let sub = Subproblem::new(self.instance, self.engine.assignment());
-                    let out = self.bound.lower_bound(&sub, Some(upper));
-                    stats.lb_calls += 1;
-                    stats.lb_time += lb_start.elapsed();
-                    if out.prunes(upper) {
+                    let upper = self.best_cost;
+                    let sub_start = Instant::now();
+                    let out = {
+                        // Produce the residual view: O(Δ) sync + O(active)
+                        // snapshot in incremental mode, a full O(instance)
+                        // re-scan in rebuild mode.
+                        let sub = match self.residual.as_mut() {
+                            Some(state) => {
+                                let keep = self.engine.sync_trail(state.len());
+                                state.unwind_to(keep);
+                                for &lit in &self.engine.trail()[keep..] {
+                                    state.apply(lit);
+                                }
+                                state.view(self.instance, self.engine.assignment())
+                            }
+                            None => Subproblem::new(self.instance, self.engine.assignment()),
+                        };
+                        stats.sub_time += sub_start.elapsed();
+                        let lb_start = Instant::now();
+                        let out = self.bound.lower_bound(&sub, upper);
+                        stats.lb_calls += 1;
+                        stats.lb_time += lb_start.elapsed();
+                        out
+                    };
+                    let prunes = match upper {
+                        Some(u) => out.prunes(u),
+                        None => out.infeasible,
+                    };
+                    if prunes {
                         stats.bound_conflicts += 1;
-                        let omega_bc = self.build_bound_conflict(&out.explanation);
+                        // An infeasibility explanation stands on its own:
+                        // no completion exists regardless of cost, so the
+                        // omega_pp cost literals would only weaken the
+                        // learned clause.
+                        let omega_bc = self.build_bound_conflict(&out.explanation, !out.infeasible);
                         match self.engine.resolve_conflict(Conflict::AdHoc(omega_bc)) {
                             Resolution::Unsat => return self.exhausted_status(),
                             Resolution::Backjumped { .. } => continue,
@@ -270,11 +320,13 @@ impl<'a> SearchState<'a> {
         }
     }
 
-    /// The paper's `omega_bc = omega_pp ∪ omega_pl` (sec. 4). With
+    /// The paper's `omega_bc = omega_pp ∪ omega_pl` (sec. 4); with
+    /// `include_omega_pp` unset only `omega_pl` is used (infeasibility
+    /// conflicts, where cost literals are irrelevant). With
     /// bound-conflict learning disabled (ablation), the clause is instead
     /// the negation of all current decisions, which forces chronological
     /// backtracking.
-    fn build_bound_conflict(&self, omega_pl: &[Lit]) -> Vec<Lit> {
+    fn build_bound_conflict(&self, omega_pl: &[Lit], include_omega_pp: bool) -> Vec<Lit> {
         if !self.options.bound_conflict_learning {
             return self
                 .engine
@@ -291,10 +343,12 @@ impl<'a> SearchState<'a> {
         let mut omega = Vec::new();
         // omega_pp (eq. 8): costed literals currently true; flipping one
         // is the only way to reduce P.path.
-        if let Some(obj) = self.instance.objective() {
-            for &(c, l) in obj.terms() {
-                if c > 0 && self.engine.assignment().lit_value(l) == Value::True {
-                    omega.push(!l);
+        if include_omega_pp {
+            if let Some(obj) = self.instance.objective() {
+                for &(c, l) in obj.terms() {
+                    if c > 0 && self.engine.assignment().lit_value(l) == Value::True {
+                        omega.push(!l);
+                    }
                 }
             }
         }
@@ -350,7 +404,7 @@ impl<'a> SearchState<'a> {
             // ad-hoc "improve on omega_pp" conflict, built *at the
             // solution state* (its literals must be false right now;
             // resolve_conflict performs the backtracking itself).
-            let omega = self.build_bound_conflict(&[]);
+            let omega = self.build_bound_conflict(&[], true);
             match self.engine.resolve_conflict(Conflict::AdHoc(omega)) {
                 Resolution::Unsat => return SolutionStep::Finished(SolveStatus::Optimal),
                 Resolution::Backjumped { .. } => {}
@@ -366,12 +420,11 @@ impl<'a> SearchState<'a> {
             if let Bound::Lpr(lpr) = &self.bound {
                 let x = lpr.last_solution();
                 let mut best: Option<(Var, f64)> = None;
-                for v in 0..self.instance.num_vars() {
+                for (v, &frac) in x.iter().enumerate().take(self.instance.num_vars()) {
                     let var = Var::new(v);
                     if self.engine.assignment().value(var) != Value::Unassigned {
                         continue;
                     }
-                    let frac = x[v];
                     if frac <= 1e-6 || frac >= 1.0 - 1e-6 {
                         continue;
                     }

@@ -157,7 +157,7 @@ mod tests {
             b.minimize(vars.iter().map(|v| (rng.gen_range(0..5), v.positive())));
             let inst = b.build().unwrap();
             let Some(opt) = brute_force(&inst).cost() else { continue };
-            let upper = opt + rng.gen_range(1..4); // pretend incumbent is worse
+            let upper = opt + rng.gen_range(1i64..4); // pretend incumbent is worse
             let mut cuts = cardinality_cost_cuts(&inst, upper);
             if let Some(kc) = knapsack_cut(&inst, upper) {
                 cuts.push(kc);

@@ -56,7 +56,7 @@ pub use bsolo::Bsolo;
 pub use cuts::{cardinality_cost_cuts, knapsack_cut};
 pub use linear_search::{LinearSearch, LinearSearchOptions};
 pub use milp::{MilpOptions, MilpSolver};
-pub use options::{Branching, BsoloOptions, Budget, LbMethod};
+pub use options::{Branching, BsoloOptions, Budget, LbMethod, ResidualMode};
 pub use preprocess::{probe, simplify, ProbeOutcome};
 pub use result::{SolveResult, SolveStatus, SolverStats};
 

@@ -146,10 +146,7 @@ impl LinearSearch {
         }
 
         let mut best: Option<(i64, Vec<bool>)> = None;
-        let mut restarts = self
-            .options
-            .restart_base
-            .map(LubyRestarts::new);
+        let mut restarts = self.options.restart_base.map(LubyRestarts::new);
         let mut conflicts_until_restart = restarts.as_mut().and_then(|r| r.next());
         let mut conflicts_at_last_restart = 0u64;
         let mut active_cuts: Vec<pbo_engine::PbId> = Vec::new();
@@ -160,11 +157,8 @@ impl LinearSearch {
                 engine.stats.conflicts,
                 engine.stats.decisions,
             ) {
-                let status = if best.is_some() {
-                    SolveStatus::Feasible
-                } else {
-                    SolveStatus::Unknown
-                };
+                let status =
+                    if best.is_some() { SolveStatus::Feasible } else { SolveStatus::Unknown };
                 return finish(status, best, stats, Some(&engine));
             }
             if let Some(conflict) = engine.propagate() {
@@ -182,8 +176,7 @@ impl LinearSearch {
                             if engine.stats.conflicts - conflicts_at_last_restart >= limit {
                                 engine.restart();
                                 conflicts_at_last_restart = engine.stats.conflicts;
-                                conflicts_until_restart =
-                                    restarts.as_mut().and_then(|r| r.next());
+                                conflicts_until_restart = restarts.as_mut().and_then(|r| r.next());
                             }
                         }
                         if engine.num_learnts() > self.options.reduce_db_threshold {

@@ -34,11 +34,7 @@ pub struct MilpOptions {
 
 impl Default for MilpOptions {
     fn default() -> MilpOptions {
-        MilpOptions {
-            budget: Budget::unlimited(),
-            int_tol: 1e-6,
-            max_open_nodes: 200_000,
-        }
+        MilpOptions { budget: Budget::unlimited(), int_tol: 1e-6, max_open_nodes: 200_000 }
     }
 }
 
@@ -173,11 +169,8 @@ impl MilpSolver {
         loop {
             stats.nodes += 1;
             if self.options.budget.exhausted(start.elapsed(), stats.nodes, stats.nodes) {
-                let status = if best.is_some() {
-                    SolveStatus::Feasible
-                } else {
-                    SolveStatus::Unknown
-                };
+                let status =
+                    if best.is_some() { SolveStatus::Feasible } else { SolveStatus::Unknown };
                 return self.finish(status, best, stats, start, &simplex);
             }
             let node = if best_first {

@@ -28,6 +28,31 @@ impl LbMethod {
     }
 }
 
+/// How the residual subproblem handed to the lower-bound procedure is
+/// maintained across search nodes.
+#[derive(Copy, Clone, PartialEq, Eq, Debug, Default)]
+pub enum ResidualMode {
+    /// Rebuild the residual problem from scratch at every bound
+    /// computation — O(instance size) per node. The seed behaviour, kept
+    /// as the differential-testing oracle and for ablation.
+    Rebuild,
+    /// Maintain the residual problem incrementally along the trail
+    /// (`pbo_bounds::ResidualState`): O(Δ) per assignment/backjump and
+    /// O(active constraints) per view.
+    #[default]
+    Incremental,
+}
+
+impl ResidualMode {
+    /// Short name used in benchmark tables.
+    pub fn name(self) -> &'static str {
+        match self {
+            ResidualMode::Rebuild => "rebuild",
+            ResidualMode::Incremental => "incremental",
+        }
+    }
+}
+
 /// Branching variable selection.
 #[derive(Copy, Clone, PartialEq, Eq, Debug, Default)]
 pub enum Branching {
@@ -115,6 +140,9 @@ pub struct BsoloOptions {
     /// Compute the lower bound every `lb_frequency` decisions (1 = every
     /// node, the paper's configuration).
     pub lb_frequency: u32,
+    /// How the residual subproblem is maintained between bound
+    /// computations.
+    pub residual_mode: ResidualMode,
     /// Resource budget.
     pub budget: Budget,
 }
@@ -130,6 +158,7 @@ impl Default for BsoloOptions {
             probing: true,
             simplify: true,
             lb_frequency: 1,
+            residual_mode: ResidualMode::Incremental,
             budget: Budget::unlimited(),
         }
     }
@@ -138,11 +167,8 @@ impl Default for BsoloOptions {
 impl BsoloOptions {
     /// The configuration matching one Table 1 column.
     pub fn with_lb(lb_method: LbMethod) -> BsoloOptions {
-        let branching = if lb_method == LbMethod::Lpr {
-            Branching::LpGuided
-        } else {
-            Branching::Vsids
-        };
+        let branching =
+            if lb_method == LbMethod::Lpr { Branching::LpGuided } else { Branching::Vsids };
         BsoloOptions { lb_method, branching, ..BsoloOptions::default() }
     }
 
@@ -177,5 +203,13 @@ mod tests {
     fn lb_names() {
         assert_eq!(LbMethod::None.name(), "plain");
         assert_eq!(LbMethod::Lpr.name(), "lpr");
+    }
+
+    #[test]
+    fn incremental_residual_is_the_default() {
+        assert_eq!(BsoloOptions::default().residual_mode, ResidualMode::Incremental);
+        assert_eq!(ResidualMode::default(), ResidualMode::Incremental);
+        assert_eq!(ResidualMode::Rebuild.name(), "rebuild");
+        assert_eq!(ResidualMode::Incremental.name(), "incremental");
     }
 }

@@ -90,11 +90,8 @@ fn probe_branch(engine: &mut Engine, lit: Lit) -> (bool, Vec<Lit>) {
     let trail_before = engine.trail().len();
     engine.decide(lit);
     let conflict = engine.propagate().is_some();
-    let implied: Vec<Lit> = if conflict {
-        Vec::new()
-    } else {
-        engine.trail()[trail_before + 1..].to_vec()
-    };
+    let implied: Vec<Lit> =
+        if conflict { Vec::new() } else { engine.trail()[trail_before + 1..].to_vec() };
     engine.backjump_to(0);
     (conflict, implied)
 }
@@ -152,11 +149,7 @@ pub fn simplify(instance: &Instance) -> Instance {
         if drop[i] {
             continue;
         }
-        b.add_linear(
-            c.terms().iter().map(|t| (t.coeff, t.lit)),
-            RelOp::Ge,
-            c.rhs(),
-        );
+        b.add_linear(c.terms().iter().map(|t| (t.coeff, t.lit)), RelOp::Ge, c.rhs());
     }
     if let Some(obj) = instance.objective() {
         b.minimize_with_offset(obj.terms().iter().copied(), obj.offset());
@@ -252,11 +245,8 @@ mod tests {
                 // minimum they may not contradict satisfiability.
                 if sat {
                     // Extend the root assignment by brute force.
-                    let fixed: Vec<(usize, bool)> = e
-                        .assignment()
-                        .iter_assigned()
-                        .map(|(v, val)| (v.index(), val))
-                        .collect();
+                    let fixed: Vec<(usize, bool)> =
+                        e.assignment().iter_assigned().map(|(v, val)| (v.index(), val)).collect();
                     let mut found = false;
                     'outer: for mask in 0u64..(1 << n) {
                         let vals: Vec<bool> = (0..n).map(|i| (mask >> i) & 1 == 1).collect();
@@ -308,10 +298,7 @@ mod tests {
         let inst = b.build().unwrap();
         let simplified = simplify(&inst);
         assert_eq!(simplified.num_constraints(), 1);
-        assert_eq!(
-            inst.objective().unwrap().offset(),
-            simplified.objective().unwrap().offset()
-        );
+        assert_eq!(inst.objective().unwrap().offset(), simplified.objective().unwrap().offset());
         for mask in 0u8..4 {
             let vals = [(mask & 1) != 0, (mask & 2) != 0];
             assert_eq!(inst.cost_of(&vals), simplified.cost_of(&vals));

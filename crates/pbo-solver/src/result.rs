@@ -42,6 +42,10 @@ pub struct SolverStats {
     pub lb_calls: u64,
     /// Wall time spent inside the lower-bound procedure.
     pub lb_time: Duration,
+    /// Wall time spent maintaining/building the residual subproblem
+    /// handed to the lower-bound procedure (trail sync + view in
+    /// incremental mode, the full re-scan in rebuild mode).
+    pub sub_time: Duration,
     /// Total wall time of the solve.
     pub solve_time: Duration,
     /// Literal propagations.

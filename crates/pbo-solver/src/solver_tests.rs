@@ -6,9 +6,7 @@ use rand_chacha::ChaCha8Rng;
 
 use pbo_core::{brute_force, Instance, InstanceBuilder, Lit, RelOp};
 
-use crate::{
-    Bsolo, BsoloOptions, Budget, LbMethod, LinearSearch, MilpSolver, SolveStatus,
-};
+use crate::{Bsolo, BsoloOptions, Budget, LbMethod, LinearSearch, MilpSolver, SolveStatus};
 
 /// Random optimization instance with clauses, cardinality and general PB
 /// constraints.
@@ -149,10 +147,7 @@ fn ablation_toggles_preserve_correctness() {
                     ..BsoloOptions::with_lb(LbMethod::Lpr)
                 },
             ),
-            (
-                "no-probing",
-                BsoloOptions { probing: false, ..BsoloOptions::with_lb(LbMethod::Mis) },
-            ),
+            ("no-probing", BsoloOptions { probing: false, ..BsoloOptions::with_lb(LbMethod::Mis) }),
             (
                 "vsids-branching",
                 BsoloOptions {
@@ -257,10 +252,9 @@ fn budget_exhaustion_reports_incumbent() {
     let inst = b.build().unwrap();
     let opt = Bsolo::with_lb(LbMethod::Lpr).solve(&inst);
     assert!(opt.is_optimal());
-    let budgeted = Bsolo::new(
-        BsoloOptions::with_lb(LbMethod::None).budget(Budget::conflict_limit(3)),
-    )
-    .solve(&inst);
+    let budgeted =
+        Bsolo::new(BsoloOptions::with_lb(LbMethod::None).budget(Budget::conflict_limit(3)))
+            .solve(&inst);
     match budgeted.status {
         SolveStatus::Feasible => {
             assert!(budgeted.best_cost.unwrap() >= opt.best_cost.unwrap());
@@ -334,4 +328,64 @@ fn zero_cost_objective_behaves_like_sat() {
     let result = Bsolo::with_lb(LbMethod::Lpr).solve(&inst);
     assert!(result.is_optimal());
     assert_eq!(result.best_cost, Some(0));
+}
+
+#[test]
+fn incremental_and_rebuild_residual_modes_are_equivalent() {
+    // The tentpole invariant: the incrementally maintained residual state
+    // must drive the search through exactly the same trajectory as the
+    // per-node rebuild. The solver is deterministic, so every effort
+    // counter — not just the optimum — must agree.
+    use crate::ResidualMode;
+    let mut rng = ChaCha8Rng::seed_from_u64(0x1234);
+    for lb in [LbMethod::Mis, LbMethod::Lagrangian, LbMethod::Lpr] {
+        for round in 0..25 {
+            let inst = random_instance(&mut rng, 10);
+            let incremental = Bsolo::new(BsoloOptions {
+                residual_mode: ResidualMode::Incremental,
+                ..BsoloOptions::with_lb(lb)
+            })
+            .solve(&inst);
+            let rebuild = Bsolo::new(BsoloOptions {
+                residual_mode: ResidualMode::Rebuild,
+                ..BsoloOptions::with_lb(lb)
+            })
+            .solve(&inst);
+            let label = format!("{lb:?} round {round}");
+            assert_eq!(incremental.status, rebuild.status, "{label}: status");
+            assert_eq!(incremental.best_cost, rebuild.best_cost, "{label}: cost");
+            assert_eq!(incremental.best_assignment, rebuild.best_assignment, "{label}: model");
+            assert_eq!(incremental.stats.decisions, rebuild.stats.decisions, "{label}: decisions");
+            assert_eq!(incremental.stats.conflicts, rebuild.stats.conflicts, "{label}: conflicts");
+            assert_eq!(incremental.stats.lb_calls, rebuild.stats.lb_calls, "{label}: lb calls");
+            assert_eq!(
+                incremental.stats.bound_conflicts, rebuild.stats.bound_conflicts,
+                "{label}: bound conflicts"
+            );
+        }
+    }
+}
+
+#[test]
+fn lpr_farkas_prunes_before_first_incumbent() {
+    // A cost-dominated covering instance where deep subtrees become
+    // infeasible: LPR must be allowed to bound (and prune) before any
+    // solution exists. The pre-incumbent calls report upper = None, so
+    // any pruning they do is infeasibility-only.
+    let mut b = InstanceBuilder::new();
+    let v = b.new_vars(6);
+    // Exactly-one style pair: x1 + x2 >= 1 and ~x1 + ~x2 >= 1.
+    b.add_clause([v[0].positive(), v[1].positive()]);
+    b.add_clause([v[0].negative(), v[1].negative()]);
+    b.add_at_least(2, [v[2].positive(), v[3].positive(), v[4].positive()]);
+    b.add_clause([v[4].positive(), v[5].positive()]);
+    b.minimize(v.iter().enumerate().map(|(i, x)| ((i + 1) as i64, x.positive())));
+    let inst = b.build().unwrap();
+    let expected = brute_force(&inst);
+    let got = Bsolo::with_lb(LbMethod::Lpr).solve(&inst);
+    check_result(&inst, &got, &expected, "farkas");
+    // The bound procedure ran: before this PR lb_calls stayed 0 until an
+    // incumbent existed, so a solve that finds the optimum on its first
+    // descent never bounded at all.
+    assert!(got.stats.lb_calls > 0, "LPR should bound from the first node");
 }

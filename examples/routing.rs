@@ -43,10 +43,7 @@ fn main() {
             "{:<8} {:>10} {:>10} {:>12} {:>12} {:>9.2}s",
             lb.name(),
             result.status.to_string(),
-            result
-                .best_cost
-                .map(|c| c.to_string())
-                .unwrap_or_else(|| "-".into()),
+            result.best_cost.map(|c| c.to_string()).unwrap_or_else(|| "-".into()),
             result.stats.decisions,
             result.stats.bound_conflicts,
             result.stats.solve_time.as_secs_f64()

@@ -44,19 +44,13 @@ fn main() {
             "{:<18} {:>12} {:>8} {:>9.2}s",
             name,
             result.status.to_string(),
-            result
-                .best_cost
-                .map(|c| c.to_string())
-                .unwrap_or_else(|| "-".into()),
+            result.best_cost.map(|c| c.to_string()).unwrap_or_else(|| "-".into()),
             result.stats.solve_time.as_secs_f64()
         );
     }
     // All solvers that finished must agree.
-    let optima: Vec<i64> = runs
-        .iter()
-        .filter(|(_, r)| r.is_optimal())
-        .filter_map(|(_, r)| r.best_cost)
-        .collect();
+    let optima: Vec<i64> =
+        runs.iter().filter(|(_, r)| r.is_optimal()).filter_map(|(_, r)| r.best_cost).collect();
     if optima.len() > 1 {
         assert!(optima.windows(2).all(|w| w[0] == w[1]), "solvers disagree: {optima:?}");
         println!("all finished solvers agree on optimum {}", optima[0]);

@@ -16,9 +16,7 @@ use std::time::Duration;
 use pbo::{parse_opb, solve_with, BsoloOptions, Budget, LbMethod, SolveStatus};
 
 fn usage() -> ! {
-    eprintln!(
-        "usage: pbo-solve [--lb plain|mis|lgr|lpr] [--timeout-ms N] [--stats] <file.opb>"
-    );
+    eprintln!("usage: pbo-solve [--lb plain|mis|lgr|lpr] [--timeout-ms N] [--stats] <file.opb>");
     std::process::exit(2);
 }
 

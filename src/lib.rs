@@ -45,12 +45,12 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub use pbo_bounds::{LagrangianBound, LbOutcome, LowerBound, LprBound, MisBound, Subproblem};
 pub use pbo_core::{
     brute_force, normalize, parse_opb, write_opb, Assignment, BruteForceResult, BuildError,
     ConstraintClass, ConstraintState, Instance, InstanceBuilder, Lit, NormalizeError, Objective,
     ParseOpbError, PbConstraint, PbTerm, RelOp, Value, Var,
 };
-pub use pbo_bounds::{LagrangianBound, LbOutcome, LowerBound, LprBound, MisBound, Subproblem};
 pub use pbo_solver::{
     Branching, Bsolo, BsoloOptions, Budget, LbMethod, LinearSearch, MilpSolver, SolveResult,
     SolveStatus, SolverStats,

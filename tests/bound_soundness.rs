@@ -11,11 +11,12 @@
 use proptest::prelude::*;
 
 use pbo::{
-    Assignment, InstanceBuilder, LagrangianBound, LowerBound, LprBound, MisBound, Lit, RelOp,
+    Assignment, InstanceBuilder, LagrangianBound, Lit, LowerBound, LprBound, MisBound, RelOp,
     Subproblem, Value, Var,
 };
 
 #[derive(Clone, Debug)]
+#[allow(clippy::type_complexity)]
 struct Scenario {
     num_vars: usize,
     constraints: Vec<(Vec<(i64, usize, bool)>, i64)>,
@@ -52,10 +53,8 @@ struct Built {
 fn build(s: &Scenario) -> Built {
     let mut b = InstanceBuilder::with_vars(s.num_vars);
     for (terms, rhs) in &s.constraints {
-        let terms: Vec<(i64, Lit)> = terms
-            .iter()
-            .map(|&(c, v, pos)| (c, Lit::new(v % s.num_vars, pos)))
-            .collect();
+        let terms: Vec<(i64, Lit)> =
+            terms.iter().map(|&(c, v, pos)| (c, Lit::new(v % s.num_vars, pos))).collect();
         b.add_linear(terms, RelOp::Ge, *rhs);
     }
     b.minimize(s.costs.iter().enumerate().map(|(i, &c)| (c, Lit::new(i, true))));
@@ -89,11 +88,7 @@ fn best_completion(b: &Built) -> Option<i64> {
     best
 }
 
-fn check_method(
-    built: &Built,
-    name: &str,
-    outcome: pbo::LbOutcome,
-) -> Result<(), TestCaseError> {
+fn check_method(built: &Built, name: &str, outcome: pbo::LbOutcome) -> Result<(), TestCaseError> {
     let completion = best_completion(built);
     // 1. Explanations are well-formed conflicting-clause material.
     for &l in &outcome.explanation {

@@ -12,6 +12,7 @@ use pbo::{
 /// Strategy: a small random PBO instance described as data (so shrinking
 /// works), materialized through the builder.
 #[derive(Clone, Debug)]
+#[allow(clippy::type_complexity)]
 struct RawInstance {
     num_vars: usize,
     constraints: Vec<(Vec<(i64, usize, bool)>, u8, i64)>,
@@ -22,22 +23,14 @@ fn raw_instance() -> impl Strategy<Value = RawInstance> {
     (2usize..7)
         .prop_flat_map(|n| {
             let term = (1i64..4, 0..n, any::<bool>());
-            let constraint = (
-                proptest::collection::vec(term, 1..4),
-                0u8..3,
-                1i64..6,
-            );
+            let constraint = (proptest::collection::vec(term, 1..4), 0u8..3, 1i64..6);
             (
                 Just(n),
                 proptest::collection::vec(constraint, 1..6),
                 proptest::collection::vec(0i64..6, n),
             )
         })
-        .prop_map(|(num_vars, constraints, costs)| RawInstance {
-            num_vars,
-            constraints,
-            costs,
-        })
+        .prop_map(|(num_vars, constraints, costs)| RawInstance { num_vars, constraints, costs })
 }
 
 fn materialize(raw: &RawInstance) -> pbo::Instance {
@@ -48,18 +41,11 @@ fn materialize(raw: &RawInstance) -> pbo::Instance {
             1 => RelOp::Le,
             _ => RelOp::Eq,
         };
-        let terms: Vec<(i64, Lit)> = terms
-            .iter()
-            .map(|&(c, v, pos)| (c, Lit::new(v % raw.num_vars, pos)))
-            .collect();
+        let terms: Vec<(i64, Lit)> =
+            terms.iter().map(|&(c, v, pos)| (c, Lit::new(v % raw.num_vars, pos))).collect();
         b.add_linear(terms, op, *rhs);
     }
-    b.minimize(
-        raw.costs
-            .iter()
-            .enumerate()
-            .map(|(i, &c)| (c, Lit::new(i, true))),
-    );
+    b.minimize(raw.costs.iter().enumerate().map(|(i, &c)| (c, Lit::new(i, true))));
     b.build().expect("raw instances are buildable")
 }
 

@@ -4,7 +4,9 @@
 
 use std::time::Duration;
 
-use pbo::pbo_benchgen::{AccSchedParams, GroutParams, PtlCmosParams, RandomParams, SynthesisParams};
+use pbo::pbo_benchgen::{
+    AccSchedParams, GroutParams, PtlCmosParams, RandomParams, SynthesisParams,
+};
 use pbo::{
     brute_force, parse_opb, solve, solve_opb, solve_with, write_opb, BsoloOptions, Budget,
     LbMethod, SolveStatus,
@@ -109,10 +111,8 @@ fn opb_round_trip_through_facade() {
 
 #[test]
 fn solve_opb_end_to_end() {
-    let result = solve_opb(
-        "min: +2 x1 +1 x2 ;\n+1 x1 +1 x2 >= 1 ;\n+1 x1 +1 ~x2 >= 1 ;\n",
-    )
-    .expect("valid OPB");
+    let result = solve_opb("min: +2 x1 +1 x2 ;\n+1 x1 +1 x2 >= 1 ;\n+1 x1 +1 ~x2 >= 1 ;\n")
+        .expect("valid OPB");
     // x2=1 violates second row unless x1; cheapest: x2 alone fails, so
     // either x1 (cost 2) or x2 with x1... enumerate: (0,0): row1 fails.
     // (0,1): row2 fails. (1,0): ok cost 2. (1,1): ok cost 3.
@@ -132,8 +132,8 @@ fn budget_is_honoured_through_the_facade() {
         bend_penalty: 2,
     }
     .generate(0);
-    let opts = BsoloOptions::with_lb(LbMethod::None)
-        .budget(Budget::time_limit(Duration::from_millis(30)));
+    let opts =
+        BsoloOptions::with_lb(LbMethod::None).budget(Budget::time_limit(Duration::from_millis(30)));
     let start = std::time::Instant::now();
     let got = solve_with(&inst, opts);
     assert!(start.elapsed() < Duration::from_secs(5), "budget overrun");

@@ -9,15 +9,8 @@ use pbo::pbo_benchgen::{AccSchedParams, GroutParams};
 use pbo::{Bsolo, BsoloOptions, Budget, LbMethod, LinearSearch, MilpSolver, SolveStatus};
 
 fn small_grout(seed: u64) -> pbo::Instance {
-    GroutParams {
-        width: 5,
-        height: 5,
-        nets: 14,
-        paths_per_net: 5,
-        capacity: 3,
-        bend_penalty: 2,
-    }
-    .generate(seed)
+    GroutParams { width: 5, height: 5, nets: 14, paths_per_net: 5, capacity: 3, bend_penalty: 2 }
+        .generate(seed)
 }
 
 /// The paper's central claim: on cost-dominated instances, lower
@@ -29,8 +22,7 @@ fn lower_bounding_beats_plain_on_routing() {
     for seed in [7, 11, 13] {
         let inst = small_grout(seed);
         let lpr = Bsolo::new(BsoloOptions::with_lb(LbMethod::Lpr).budget(budget)).solve(&inst);
-        let plain =
-            Bsolo::new(BsoloOptions::with_lb(LbMethod::None).budget(budget)).solve(&inst);
+        let plain = Bsolo::new(BsoloOptions::with_lb(LbMethod::None).budget(budget)).solve(&inst);
         // LPR must solve; plain may time out. When both solve, LPR may
         // not need more decisions.
         assert_eq!(lpr.status, SolveStatus::Optimal, "seed {seed}: LPR must finish");
