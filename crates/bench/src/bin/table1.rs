@@ -12,7 +12,8 @@
 //! ```
 
 use pbo_bench::{
-    budget_ms, family_instances, format_table, json, run_residual_ablation, run_table, FAMILIES,
+    budget_ms, family_instances, format_table, json, run_portfolio_probe, run_residual_ablation,
+    run_table, summarize_portfolio, FAMILIES,
 };
 use pbo_benchgen::SynthesisParams;
 use pbo_solver::LbMethod;
@@ -96,7 +97,38 @@ fn main() {
     );
     println!("maintenance speedup: {:.2}x", ablation.maintenance_speedup());
 
-    let report = json::render_report(timeout_ms, seeds, &family_rows, Some(&ablation));
+    // Portfolio probe on Table-1-style synthesis instances: cold
+    // bsolo-LPR vs LS-seeded portfolio vs LS alone — the anytime-solving
+    // numbers (time-to-target, warm-start node shrinkage, LS gap).
+    let probe_instances = family_instances("synthesis", 3);
+    let probes = run_portfolio_probe(&probe_instances, budget_ms(timeout_ms), 200_000);
+    let summary = summarize_portfolio(&probes);
+    println!();
+    println!("== portfolio probe (synthesis) ==");
+    for p in &probes {
+        println!(
+            "{:<24} target {:>5} | cold {:>8.1} ms / {:>6} nodes | \
+             warm-to-target {:>8} ms / {:>6} nodes | ls {:>5} ({:>6} gap)",
+            p.instance,
+            p.target_cost.map_or("-".into(), |c| c.to_string()),
+            p.exact_time.as_secs_f64() * 1e3,
+            p.exact_nodes,
+            p.warm_time_to_target.map_or("-".into(), |d| format!("{:.1}", d.as_secs_f64() * 1e3)),
+            p.warm_nodes,
+            p.ls_cost.map_or("-".into(), |c| c.to_string()),
+            p.ls_gap.map_or("-".into(), |g| format!("{:.1}%", g * 100.0)),
+        );
+    }
+    println!(
+        "time-to-target ratio: {} | nodes warm/cold: {}/{} | worst LS gap: {}",
+        summary.time_to_target_ratio.map_or("-".into(), |r| format!("{:.3}", r)),
+        summary.nodes_warm,
+        summary.nodes_cold,
+        summary.max_ls_gap.map_or("-".into(), |g| format!("{:.1}%", g * 100.0)),
+    );
+
+    let report =
+        json::render_report_full(timeout_ms, seeds, &family_rows, Some(&ablation), &probes);
     match std::fs::write(&json_path, &report) {
         Ok(()) => println!("\nwrote {json_path}"),
         Err(err) => {

@@ -1,0 +1,252 @@
+//! Snapshot comparison: flags node-throughput or wall-time regressions
+//! between two `BENCH_table1.json` reports.
+//!
+//! Per-PR snapshots live under `benches/snapshots/`; CI regenerates the
+//! report with the same parameters and runs `bench_compare` against the
+//! previous snapshot. Wall times move with the machine, so the gates are
+//! deliberately coarse ratios over geometric means: they catch a hot
+//! path collapsing (an accidental O(instance) per node, a pruning bug
+//! exploding the tree), not percent-level noise.
+
+use std::collections::BTreeMap;
+
+use crate::parse::JsonValue;
+
+/// Per-cell performance extracted from a report.
+#[derive(Copy, Clone, Debug)]
+pub struct CellPerf {
+    /// Wall time in milliseconds.
+    pub time_ms: f64,
+    /// Nodes (decisions) explored.
+    pub nodes: f64,
+    /// Whether the solve finished (optimal or infeasible).
+    pub solved: bool,
+}
+
+/// `(family, instance, solver)` → performance, for every cell of the
+/// report.
+pub fn extract_cells(report: &JsonValue) -> BTreeMap<(String, String, String), CellPerf> {
+    let mut out = BTreeMap::new();
+    let Some(families) = report.get("families").and_then(JsonValue::items) else {
+        return out;
+    };
+    for fam in families {
+        let family = fam.get("family").and_then(JsonValue::as_str).unwrap_or("?").to_string();
+        let Some(instances) = fam.get("instances").and_then(JsonValue::items) else { continue };
+        for inst in instances {
+            let name = inst.get("instance").and_then(JsonValue::as_str).unwrap_or("?").to_string();
+            let Some(cells) = inst.get("cells").and_then(JsonValue::items) else { continue };
+            for cell in cells {
+                let solver =
+                    cell.get("solver").and_then(JsonValue::as_str).unwrap_or("?").to_string();
+                let time_ms = cell.get("time_ms").and_then(JsonValue::as_f64).unwrap_or(0.0);
+                let nodes = cell.get("nodes").and_then(JsonValue::as_f64).unwrap_or(0.0);
+                let status = cell.get("status").and_then(JsonValue::as_str).unwrap_or("");
+                out.insert(
+                    (family.clone(), name.clone(), solver),
+                    CellPerf {
+                        time_ms,
+                        nodes,
+                        solved: status == "optimal" || status == "infeasible",
+                    },
+                );
+            }
+        }
+    }
+    out
+}
+
+/// Outcome of comparing a current report against a baseline.
+#[derive(Clone, Debug)]
+pub struct Comparison {
+    /// Cells present in both reports.
+    pub common_cells: usize,
+    /// Geometric mean over common cells of
+    /// `current node throughput / baseline node throughput`
+    /// (cells with zero nodes or time on either side are skipped).
+    pub throughput_ratio: Option<f64>,
+    /// Geometric mean over cells *solved on both sides* of
+    /// `current wall time / baseline wall time`.
+    pub time_ratio: Option<f64>,
+}
+
+fn geomean(ratios: &[f64]) -> Option<f64> {
+    let logs: Vec<f64> =
+        ratios.iter().copied().filter(|r| r.is_finite() && *r > 0.0).map(f64::ln).collect();
+    if logs.is_empty() {
+        return None;
+    }
+    Some((logs.iter().sum::<f64>() / logs.len() as f64).exp())
+}
+
+/// Compares two parsed reports cell by cell.
+pub fn compare(baseline: &JsonValue, current: &JsonValue) -> Comparison {
+    let base = extract_cells(baseline);
+    let cur = extract_cells(current);
+    let mut throughput = Vec::new();
+    let mut times = Vec::new();
+    let mut common = 0usize;
+    for (key, b) in &base {
+        let Some(c) = cur.get(key) else { continue };
+        common += 1;
+        if b.nodes > 0.0 && b.time_ms > 0.0 && c.nodes > 0.0 && c.time_ms > 0.0 {
+            let b_tp = b.nodes / b.time_ms;
+            let c_tp = c.nodes / c.time_ms;
+            throughput.push(c_tp / b_tp);
+        }
+        if b.solved && c.solved && b.time_ms > 0.0 && c.time_ms > 0.0 {
+            times.push(c.time_ms / b.time_ms);
+        }
+    }
+    Comparison {
+        common_cells: common,
+        throughput_ratio: geomean(&throughput),
+        time_ratio: geomean(&times),
+    }
+}
+
+/// Regression thresholds.
+#[derive(Copy, Clone, Debug)]
+pub struct Gate {
+    /// Fail when the throughput geomean drops below this (e.g. `0.1` =
+    /// a >10x slowdown in nodes/second).
+    pub min_throughput_ratio: f64,
+    /// Fail when the solved-instance wall-time geomean rises above this.
+    pub max_time_ratio: f64,
+}
+
+impl Default for Gate {
+    fn default() -> Gate {
+        // Coarse by design: CI runners and dev laptops differ by small
+        // integer factors; an order of magnitude means a real regression.
+        Gate { min_throughput_ratio: 0.1, max_time_ratio: 10.0 }
+    }
+}
+
+/// Evaluates a comparison against the gate; the returned list of
+/// violations is empty on pass.
+pub fn evaluate(comparison: &Comparison, gate: Gate) -> Vec<String> {
+    let mut violations = Vec::new();
+    if comparison.common_cells == 0 {
+        violations
+            .push("no common cells between the reports (different families/seeds?)".to_string());
+        return violations;
+    }
+    if comparison.throughput_ratio.is_none() && comparison.time_ratio.is_none() {
+        // Cells exist but none were comparable: every current-side solve
+        // returned instantly with zero nodes and nothing solved — the
+        // exact collapse the gate exists to catch, not a pass.
+        violations.push(
+            "no comparable cells: the current report has no solved instances and no \
+             node counts (total solver collapse?)"
+                .to_string(),
+        );
+        return violations;
+    }
+    if let Some(tp) = comparison.throughput_ratio {
+        if tp < gate.min_throughput_ratio {
+            violations.push(format!(
+                "node throughput regressed to {:.3}x of the baseline (gate {:.3}x)",
+                tp, gate.min_throughput_ratio
+            ));
+        }
+    }
+    if let Some(t) = comparison.time_ratio {
+        if t > gate.max_time_ratio {
+            violations.push(format!(
+                "solved-instance wall time rose to {:.3}x of the baseline (gate {:.3}x)",
+                t, gate.max_time_ratio
+            ));
+        }
+    }
+    violations
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse::parse;
+
+    fn report(time_ms: f64, nodes: u64) -> JsonValue {
+        let text = format!(
+            r#"{{"budget_ms": 500, "seeds": 1, "families": [
+                {{"family": "synthesis", "instances": [
+                    {{"instance": "synth-0", "cells": [
+                        {{"solver": "LPR", "status": "optimal", "cost": 5,
+                          "time_ms": {time_ms}, "nodes": {nodes},
+                          "lb_calls": 10, "lb_time_ms": 1.0, "sub_time_ms": 0.5}}
+                    ]}}
+                ]}}
+            ], "portfolio": null, "residual_ablation": null}}"#
+        );
+        parse(&text).unwrap()
+    }
+
+    #[test]
+    fn identical_reports_pass() {
+        let a = report(100.0, 1000);
+        let c = compare(&a, &a);
+        assert_eq!(c.common_cells, 1);
+        assert!((c.throughput_ratio.unwrap() - 1.0).abs() < 1e-9);
+        assert!((c.time_ratio.unwrap() - 1.0).abs() < 1e-9);
+        assert!(evaluate(&c, Gate::default()).is_empty());
+    }
+
+    #[test]
+    fn throughput_collapse_is_flagged() {
+        // Same nodes, 20x the time: throughput ratio 0.05 < 0.1.
+        let base = report(100.0, 1000);
+        let cur = report(2000.0, 1000);
+        let c = compare(&base, &cur);
+        let violations = evaluate(&c, Gate::default());
+        assert!(!violations.is_empty(), "{c:?}");
+        assert!(violations.iter().any(|v| v.contains("throughput")), "{violations:?}");
+    }
+
+    #[test]
+    fn modest_machine_noise_passes() {
+        // 2x slower machine: within the coarse gates.
+        let base = report(100.0, 1000);
+        let cur = report(200.0, 1000);
+        let c = compare(&base, &cur);
+        assert!(evaluate(&c, Gate::default()).is_empty());
+    }
+
+    #[test]
+    fn total_collapse_with_common_cells_is_a_violation() {
+        // Same cell keys, but the current side solved nothing and
+        // explored zero nodes: both geomeans are None, which must fail,
+        // not pass.
+        let base = report(100.0, 1000);
+        let collapsed = parse(
+            r#"{"budget_ms": 500, "seeds": 1, "families": [
+                {"family": "synthesis", "instances": [
+                    {"instance": "synth-0", "cells": [
+                        {"solver": "LPR", "status": "unknown (budget)", "cost": null,
+                         "time_ms": 0.1, "nodes": 0,
+                         "lb_calls": 0, "lb_time_ms": 0.0, "sub_time_ms": 0.0}
+                    ]}
+                ]}
+            ], "portfolio": null, "residual_ablation": null}"#,
+        )
+        .unwrap();
+        let c = compare(&base, &collapsed);
+        assert_eq!(c.common_cells, 1);
+        let violations = evaluate(&c, Gate::default());
+        assert!(!violations.is_empty(), "{c:?}");
+        assert!(violations.iter().any(|v| v.contains("no comparable cells")), "{violations:?}");
+    }
+
+    #[test]
+    fn disjoint_reports_are_a_violation() {
+        let base = report(100.0, 1000);
+        let other = parse(
+            r#"{"budget_ms": 1, "seeds": 1, "families": [],
+                "portfolio": null, "residual_ablation": null}"#,
+        )
+        .unwrap();
+        let c = compare(&base, &other);
+        assert_eq!(c.common_cells, 0);
+        assert!(!evaluate(&c, Gate::default()).is_empty());
+    }
+}

@@ -97,12 +97,156 @@ impl ResidualAblation {
     }
 }
 
+/// One instance of the portfolio probe: cold bsolo-LPR vs the LS-seeded
+/// portfolio vs LS alone (see `run_portfolio_probe`).
+#[derive(Clone, Debug)]
+pub struct PortfolioProbe {
+    /// Instance name.
+    pub instance: String,
+    /// The cold run's final cost — the target the warm side must reach.
+    pub target_cost: Option<i64>,
+    /// Whether the cold run proved optimality within the budget.
+    pub exact_optimal: bool,
+    /// Cold bsolo-LPR wall time.
+    pub exact_time: Duration,
+    /// Cold bsolo-LPR nodes (decisions).
+    pub exact_nodes: u64,
+    /// When the portfolio first held an incumbent `<= target_cost`.
+    pub warm_time_to_target: Option<Duration>,
+    /// Portfolio total wall time.
+    pub warm_time: Duration,
+    /// Portfolio B&B nodes (decisions) — the warm-start shrinkage metric.
+    pub warm_nodes: u64,
+    /// Portfolio final cost.
+    pub warm_cost: Option<i64>,
+    /// LS-alone best cost under the probe step budget.
+    pub ls_cost: Option<i64>,
+    /// LS-alone wall time.
+    pub ls_time: Duration,
+    /// Relative gap of `ls_cost` vs `target_cost` (0.0 = optimal).
+    pub ls_gap: Option<f64>,
+}
+
+/// Aggregate of a probe run: the numbers the CI gates assert on.
+#[derive(Clone, Debug)]
+pub struct PortfolioSummary {
+    /// `sum(warm_time_to_target) / sum(exact_time)` over instances where
+    /// the warm side reached the target.
+    pub time_to_target_ratio: Option<f64>,
+    /// Instances where the warm side never reached the target.
+    pub missed_targets: usize,
+    /// Total B&B nodes with the LS warm start.
+    pub nodes_warm: u64,
+    /// Total B&B nodes cold.
+    pub nodes_cold: u64,
+    /// Worst LS optimality gap across instances.
+    pub max_ls_gap: Option<f64>,
+}
+
+/// Aggregates probe rows into the gate metrics.
+pub fn summarize_portfolio(probes: &[PortfolioProbe]) -> PortfolioSummary {
+    let mut reach_num = 0.0f64;
+    let mut reach_den = 0.0f64;
+    let mut missed = 0usize;
+    let mut nodes_warm = 0u64;
+    let mut nodes_cold = 0u64;
+    let mut max_gap: Option<f64> = None;
+    for p in probes {
+        nodes_warm += p.warm_nodes;
+        nodes_cold += p.exact_nodes;
+        match p.warm_time_to_target {
+            Some(t) if p.target_cost.is_some() => {
+                reach_num += t.as_secs_f64();
+                reach_den += p.exact_time.as_secs_f64();
+            }
+            _ if p.target_cost.is_some() => missed += 1,
+            _ => {}
+        }
+        if let Some(g) = p.ls_gap {
+            max_gap = Some(max_gap.map_or(g, |m: f64| m.max(g)));
+        }
+    }
+    PortfolioSummary {
+        time_to_target_ratio: (reach_den > 0.0).then(|| reach_num / reach_den),
+        missed_targets: missed,
+        nodes_warm,
+        nodes_cold,
+        max_ls_gap: max_gap,
+    }
+}
+
+fn opt_i64(v: Option<i64>) -> String {
+    v.map_or("null".to_string(), |c| c.to_string())
+}
+
+fn opt_ms(v: Option<Duration>) -> String {
+    v.map_or("null".to_string(), |d| format!("{:.3}", ms(d)))
+}
+
+fn opt_f64(v: Option<f64>) -> String {
+    match v {
+        Some(x) if x.is_finite() => format!("{x:.4}"),
+        _ => "null".to_string(),
+    }
+}
+
+fn write_portfolio(out: &mut String, probes: &[PortfolioProbe]) {
+    out.push_str("  \"portfolio\": {\n    \"instances\": [\n");
+    for (i, p) in probes.iter().enumerate() {
+        let comma = if i + 1 < probes.len() { "," } else { "" };
+        let _ = writeln!(
+            out,
+            "      {{\"instance\": \"{}\", \"target_cost\": {}, \"exact_optimal\": {}, \
+             \"exact_time_ms\": {:.3}, \"exact_nodes\": {}, \
+             \"warm_time_to_target_ms\": {}, \"warm_time_ms\": {:.3}, \
+             \"warm_nodes\": {}, \"warm_cost\": {}, \
+             \"ls_cost\": {}, \"ls_time_ms\": {:.3}, \"ls_gap\": {}}}{comma}",
+            escape(&p.instance),
+            opt_i64(p.target_cost),
+            p.exact_optimal,
+            ms(p.exact_time),
+            p.exact_nodes,
+            opt_ms(p.warm_time_to_target),
+            ms(p.warm_time),
+            p.warm_nodes,
+            opt_i64(p.warm_cost),
+            opt_i64(p.ls_cost),
+            ms(p.ls_time),
+            opt_f64(p.ls_gap),
+        );
+    }
+    out.push_str("    ],\n");
+    let s = summarize_portfolio(probes);
+    let _ = writeln!(
+        out,
+        "    \"summary\": {{\"time_to_target_ratio\": {}, \"missed_targets\": {}, \
+         \"nodes_warm\": {}, \"nodes_cold\": {}, \"max_ls_gap\": {}}}",
+        opt_f64(s.time_to_target_ratio),
+        s.missed_targets,
+        s.nodes_warm,
+        s.nodes_cold,
+        opt_f64(s.max_ls_gap),
+    );
+    out.push_str("  },\n");
+}
+
 /// Renders the whole benchmark report as a JSON document.
 pub fn render_report(
     budget_ms: u64,
     seeds: u64,
     families: &[(String, Vec<Row>)],
     ablation: Option<&ResidualAblation>,
+) -> String {
+    render_report_full(budget_ms, seeds, families, ablation, &[])
+}
+
+/// [`render_report`] with the portfolio probe section included.
+pub fn render_report_full(
+    budget_ms: u64,
+    seeds: u64,
+    families: &[(String, Vec<Row>)],
+    ablation: Option<&ResidualAblation>,
+    portfolio: &[PortfolioProbe],
 ) -> String {
     let mut out = String::new();
     out.push_str("{\n");
@@ -144,6 +288,11 @@ pub fn render_report(
         let _ = writeln!(out, "    ]}}{comma}");
     }
     out.push_str("  ],\n");
+    if portfolio.is_empty() {
+        out.push_str("  \"portfolio\": null,\n");
+    } else {
+        write_portfolio(&mut out, portfolio);
+    }
     match ablation {
         Some(a) => {
             out.push_str("  \"residual_ablation\": {\n");

@@ -22,9 +22,10 @@
 //!
 //! The residual rows are assembled from the [`Subproblem`] view into flat
 //! (CSR-style) scratch buffers owned by the procedure, so repeated bound
-//! computations reuse their allocations.
-
-use std::collections::HashMap;
+//! computations reuse their allocations. Variable→local-index lookup uses
+//! an epoch-stamped dense map (one `u32` stamp per variable, bumped per
+//! bound call) instead of a hash map, making row assembly allocation- and
+//! hash-free after warm-up.
 
 use pbo_core::{Lit, Value};
 
@@ -117,7 +118,13 @@ pub struct LagrangianBound {
     /// Multipliers indexed by original constraint index (warm start).
     mu: Vec<f64>,
     // --- per-call scratch, reused across nodes ---
-    local: HashMap<usize, usize>,
+    /// Epoch of the current bound call; a variable's dense entries are
+    /// valid only when its stamp equals this.
+    epoch: u32,
+    /// Per-variable epoch stamp for `local_of` (grown on demand).
+    local_stamp: Vec<u32>,
+    /// Per-variable dense local index, valid when stamped this epoch.
+    local_of: Vec<u32>,
     local_vars: Vec<usize>,
     cost: Vec<f64>,
     rows: Rows,
@@ -125,7 +132,11 @@ pub struct LagrangianBound {
     best_mu: Vec<f64>,
     alpha: Vec<f64>,
     gradient: Vec<f64>,
-    assigned_alpha: HashMap<usize, f64>,
+    /// Per-variable epoch stamp for `assigned_alpha` (grown on demand).
+    alpha_stamp: Vec<u32>,
+    /// Per-variable `alpha_j` of assigned variables, valid when stamped
+    /// this epoch (the sec. 4.3 filter input).
+    assigned_alpha: Vec<f64>,
 }
 
 impl LagrangianBound {
@@ -140,7 +151,9 @@ impl LagrangianBound {
         LagrangianBound {
             config,
             mu: vec![0.0; num_constraints],
-            local: HashMap::new(),
+            epoch: 0,
+            local_stamp: Vec::new(),
+            local_of: Vec::new(),
             local_vars: Vec::new(),
             cost: Vec::new(),
             rows: Rows::default(),
@@ -148,7 +161,8 @@ impl LagrangianBound {
             best_mu: Vec::new(),
             alpha: Vec::new(),
             gradient: Vec::new(),
-            assigned_alpha: HashMap::new(),
+            alpha_stamp: Vec::new(),
+            assigned_alpha: Vec::new(),
         }
     }
 
@@ -156,24 +170,32 @@ impl LagrangianBound {
     pub fn multipliers(&self) -> &[f64] {
         &self.mu
     }
-}
 
-/// Dense local index of variable `v`, allocating the next one on first
-/// sight.
-fn index_of(
-    v: usize,
-    local: &mut HashMap<usize, usize>,
-    local_vars: &mut Vec<usize>,
-    cost: &mut Vec<f64>,
-) -> usize {
-    let li = *local.entry(v).or_insert_with(|| {
-        local_vars.push(v);
-        local_vars.len() - 1
-    });
-    if li >= cost.len() {
-        cost.resize(li + 1, 0.0);
+    /// Dense local index of variable `v`, allocating the next one on
+    /// first sight this epoch. Hash-free: one stamp comparison per
+    /// lookup, and all per-variable buffers are reused across calls.
+    fn index_of(&mut self, v: usize) -> usize {
+        if v >= self.local_stamp.len() {
+            self.local_stamp.resize(v + 1, 0);
+            self.local_of.resize(v + 1, 0);
+        }
+        if self.local_stamp[v] != self.epoch {
+            self.local_stamp[v] = self.epoch;
+            self.local_of[v] = self.local_vars.len() as u32;
+            self.local_vars.push(v);
+            self.cost.push(0.0);
+        }
+        self.local_of[v] as usize
     }
-    li
+
+    /// `alpha_j` of an assigned variable if it was stamped this epoch,
+    /// else 0 (variable not in any row of `S`).
+    fn assigned_alpha_of(&self, v: usize) -> f64 {
+        match self.alpha_stamp.get(v) {
+            Some(&stamp) if stamp == self.epoch => self.assigned_alpha[v],
+            _ => 0.0,
+        }
+    }
 }
 
 impl LowerBound for LagrangianBound {
@@ -187,8 +209,16 @@ impl LowerBound for LagrangianBound {
 
         // --- Build the residual problem in variable space. ---
         // Local dense indices for free variables appearing anywhere
-        // relevant (active constraints or objective).
-        self.local.clear();
+        // relevant (active constraints or objective). A new epoch
+        // invalidates every per-variable stamp at once; on the (rare)
+        // wrap-around the stamps are cleared so stale epochs cannot
+        // collide.
+        self.epoch = self.epoch.wrapping_add(1);
+        if self.epoch == 0 {
+            self.local_stamp.fill(0);
+            self.alpha_stamp.fill(0);
+            self.epoch = 1;
+        }
         self.local_vars.clear();
         self.cost.clear();
 
@@ -201,12 +231,7 @@ impl LowerBound for LagrangianBound {
                 if assignment.lit_value(l) != Value::Unassigned {
                     continue;
                 }
-                let li = index_of(
-                    l.var().index(),
-                    &mut self.local,
-                    &mut self.local_vars,
-                    &mut self.cost,
-                );
+                let li = self.index_of(l.var().index());
                 if l.is_positive() {
                     self.cost[li] += c as f64;
                 } else {
@@ -221,12 +246,7 @@ impl LowerBound for LagrangianBound {
         for e in sub.active() {
             let mut rhs = e.residual_rhs as f64;
             for t in sub.free_terms(e.index as usize) {
-                let li = index_of(
-                    t.lit.var().index(),
-                    &mut self.local,
-                    &mut self.local_vars,
-                    &mut self.cost,
-                );
+                let li = self.index_of(t.lit.var().index());
                 if t.lit.is_positive() {
                     self.rows.terms.push((li, t.coeff as f64));
                 } else {
@@ -332,8 +352,9 @@ impl LowerBound for LagrangianBound {
         // --- Explanation: S = { rows with mu_i > 0 } (sec. 4.3). ---
         let mut explanation: Vec<Lit> = Vec::new();
         // alpha for *assigned* variables, needed by the filter: computed
-        // over the original constraints in S in variable space.
-        self.assigned_alpha.clear();
+        // over the original constraints in S in variable space, into the
+        // epoch-stamped dense scratch (no hashing, no allocation after
+        // warm-up).
         if self.config.alpha_filter {
             for r in 0..num_rows {
                 if self.best_mu[r] <= self.config.mu_tolerance {
@@ -347,9 +368,14 @@ impl LowerBound for LagrangianBound {
                     let v = t.lit.var().index();
                     let coeff =
                         if t.lit.is_positive() { t.coeff as f64 } else { -(t.coeff as f64) };
-                    *self.assigned_alpha.entry(v).or_insert_with(|| {
+                    if v >= self.alpha_stamp.len() {
+                        self.alpha_stamp.resize(v + 1, 0);
+                        self.assigned_alpha.resize(v + 1, 0.0);
+                    }
+                    if self.alpha_stamp[v] != self.epoch {
+                        self.alpha_stamp[v] = self.epoch;
                         // Start from the variable-space objective cost.
-                        instance.objective().map_or(0.0, |o| {
+                        self.assigned_alpha[v] = instance.objective().map_or(0.0, |o| {
                             o.term_of_var(t.lit.var()).map_or(0.0, |(c, l)| {
                                 if l.is_positive() {
                                     c as f64
@@ -357,8 +383,9 @@ impl LowerBound for LagrangianBound {
                                     -(c as f64)
                                 }
                             })
-                        })
-                    }) -= self.best_mu[r] * coeff;
+                        });
+                    }
+                    self.assigned_alpha[v] -= self.best_mu[r] * coeff;
                 }
             }
         }
@@ -369,7 +396,7 @@ impl LowerBound for LagrangianBound {
             for l in sub.false_literals(self.rows.orig[r]) {
                 if self.config.alpha_filter {
                     let v = l.var();
-                    let a = self.assigned_alpha.get(&v.index()).copied().unwrap_or(0.0);
+                    let a = self.assigned_alpha_of(v.index());
                     let x_is_one = assignment.value(v) == Value::True;
                     // sec 4.3: x_j = 0 with alpha_j > 0 (raising it would
                     // raise L) or x_j = 1 with alpha_j < 0: not responsible.

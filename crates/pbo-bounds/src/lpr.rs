@@ -46,6 +46,15 @@ pub struct LprBound {
     /// The fractional solution of the most recent optimal solve, for
     /// LP-guided branching (sec. 5).
     last_fractional: Vec<f64>,
+    /// Trail mirror for the incremental bound-sync protocol
+    /// ([`LprBound::apply`] / [`LprBound::unwind_to`]): the literals
+    /// whose fixings are currently reflected in the simplex bounds.
+    mirror: Vec<Lit>,
+    /// Set once the trail protocol has been used: [`lower_bound`]
+    /// (LowerBound::lower_bound) then trusts the mirror instead of
+    /// diffing the whole assignment (O(changed vars) instead of O(vars)
+    /// per node).
+    trail_mode: bool,
 }
 
 impl LprBound {
@@ -91,6 +100,46 @@ impl LprBound {
             cached: vec![None; n],
             const_shift,
             last_fractional: vec![0.0; n],
+            mirror: Vec::with_capacity(n),
+            trail_mode: false,
+        }
+    }
+
+    /// Number of trail literals currently mirrored into the simplex
+    /// bounds — the mark to hand to the engine's `sync_trail`.
+    #[inline]
+    pub fn synced_len(&self) -> usize {
+        self.mirror.len()
+    }
+
+    /// Applies one trail literal (the literal became **true**): fixes the
+    /// variable's LP bounds accordingly. Part of the incremental
+    /// bound-sync protocol: once used, [`lower_bound`](LowerBound) trusts
+    /// the mirror and skips the O(vars) assignment diff.
+    pub fn apply(&mut self, lit: Lit) {
+        self.trail_mode = true;
+        let v = lit.var().index();
+        let fixed = if lit.is_positive() { 1.0 } else { 0.0 };
+        self.simplex.set_var_bounds(v, fixed, fixed);
+        self.cached[v] = Some(lit.is_positive());
+        self.mirror.push(lit);
+    }
+
+    /// Unwinds mirrored literals until exactly `len` remain, relaxing
+    /// their LP bounds back to `[0, 1]` (mirror of [`LprBound::apply`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if more than [`LprBound::synced_len`] literals would be
+    /// unwound.
+    pub fn unwind_to(&mut self, len: usize) {
+        assert!(len <= self.mirror.len(), "cannot unwind below an empty mirror");
+        self.trail_mode = true;
+        while self.mirror.len() > len {
+            let lit = self.mirror.pop().expect("checked above");
+            let v = lit.var().index();
+            self.simplex.set_var_bounds(v, 0.0, 1.0);
+            self.cached[v] = None;
         }
     }
 
@@ -106,6 +155,8 @@ impl LprBound {
         self.simplex.total_iterations
     }
 
+    /// Full-assignment diff fallback for callers that do not drive the
+    /// trail protocol (standalone use, the rebuild oracle): O(vars).
     fn sync_bounds(&mut self, sub: &Subproblem<'_>) {
         let assignment = sub.assignment();
         for v in 0..self.cached.len() {
@@ -138,7 +189,17 @@ impl LowerBound for LprBound {
     }
 
     fn lower_bound(&mut self, sub: &Subproblem<'_>, upper: Option<i64>) -> LbOutcome {
-        self.sync_bounds(sub);
+        if self.trail_mode {
+            // The caller already synced the bounds through the trail
+            // protocol; the mirror must agree with the assignment.
+            debug_assert_eq!(
+                self.mirror.len(),
+                sub.assignment().num_assigned(),
+                "LP trail mirror drifted from the assignment"
+            );
+        } else {
+            self.sync_bounds(sub);
+        }
         let sol = self.simplex.solve();
         match sol.status {
             LpStatus::Optimal => {
@@ -310,6 +371,36 @@ mod tests {
         let frac: Vec<f64> = lpr.last_solution().to_vec();
         // Total mass 1.5 split over two vars: at least one fractional.
         assert!(frac.iter().any(|&x| x > 0.01 && x < 0.99), "{frac:?}");
+    }
+
+    #[test]
+    fn trail_protocol_matches_full_diff() {
+        let mut b = InstanceBuilder::new();
+        let v = b.new_vars(4);
+        b.add_at_least(2, v.iter().map(|x| x.positive()));
+        b.add_clause([v[0].positive(), v[3].positive()]);
+        b.minimize(v.iter().enumerate().map(|(i, x)| ((i + 1) as i64, x.positive())));
+        let inst = b.build().unwrap();
+
+        let mut traced = LprBound::new(&inst);
+        let mut a = Assignment::new(4);
+        a.assign(Var::new(0), false);
+        a.assign(Var::new(2), true);
+        traced.apply(v[0].negative());
+        traced.apply(v[2].positive());
+        let via_trail = traced.lower_bound(&Subproblem::new(&inst, &a), None);
+        let via_diff = LprBound::new(&inst).lower_bound(&Subproblem::new(&inst, &a), None);
+        assert_eq!(via_trail, via_diff);
+
+        // Unwinding relaxes the bounds back: root solve must match a
+        // fresh root solve.
+        a.unassign(Var::new(0));
+        a.unassign(Var::new(2));
+        traced.unwind_to(0);
+        assert_eq!(traced.synced_len(), 0);
+        let back = traced.lower_bound(&Subproblem::new(&inst, &a), None);
+        let fresh = LprBound::new(&inst).lower_bound(&Subproblem::new(&inst, &a), None);
+        assert_eq!(back, fresh);
     }
 
     #[test]

@@ -14,7 +14,10 @@
 //! * [`Assignment`] — partial assignments shared by the engine and the
 //!   lower-bounding procedures;
 //! * OPB parsing/serialization ([`parse_opb`], [`write_opb`]);
-//! * [`brute_force`] — an exhaustive reference solver for cross-checking.
+//! * [`brute_force`] — an exhaustive reference solver for cross-checking;
+//! * [`verify_solution`] — the single feasibility/cost arbiter every
+//!   solution producer (branch-and-bound, local search, portfolio glue)
+//!   runs its candidates through.
 //!
 //! # Examples
 //!
@@ -44,6 +47,7 @@ mod lit;
 mod normalize;
 mod objective;
 mod opb;
+mod verify;
 
 pub use assignment::{Assignment, Value};
 pub use brute::{brute_force, BruteForceResult};
@@ -55,3 +59,4 @@ pub use lit::{Lit, Var};
 pub use normalize::{normalize, normalize_ge, NormalizeError, RawConstraint, RelOp};
 pub use objective::{Objective, ObjectiveError};
 pub use opb::{parse_opb, write_opb, ParseOpbError};
+pub use verify::{verify_solution, VerifyError};

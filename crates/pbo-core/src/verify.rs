@@ -1,0 +1,142 @@
+//! Solution verification: the one checker every solver trusts.
+//!
+//! Every component that *produces* candidate solutions — the CDCL-based
+//! branch-and-bound, the stochastic local search, the MILP baseline, the
+//! portfolio glue passing incumbents between threads — must agree on what
+//! "feasible with cost c" means. [`verify_solution`] is that single
+//! arbiter: it checks a complete assignment against every constraint and
+//! returns the exact objective value, or a structured error naming the
+//! first violated constraint. Incumbents cross component boundaries only
+//! after passing through it.
+
+use std::fmt;
+
+use crate::instance::Instance;
+
+/// Why a candidate solution was rejected by [`verify_solution`].
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum VerifyError {
+    /// The assignment does not cover the instance's variable space.
+    WrongLength {
+        /// Number of values supplied.
+        got: usize,
+        /// Number of variables in the instance.
+        expected: usize,
+    },
+    /// A constraint is violated by the assignment.
+    Violated {
+        /// Index of the first violated constraint.
+        index: usize,
+    },
+}
+
+impl fmt::Display for VerifyError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            VerifyError::WrongLength { got, expected } => {
+                write!(f, "assignment has {got} values but the instance has {expected} variables")
+            }
+            VerifyError::Violated { index } => {
+                write!(f, "constraint #{index} is violated by the assignment")
+            }
+        }
+    }
+}
+
+impl std::error::Error for VerifyError {}
+
+/// Checks a complete assignment against every constraint of `instance`
+/// and returns its objective value (0 for pure satisfaction instances).
+///
+/// # Errors
+///
+/// Returns [`VerifyError::WrongLength`] if `values` does not match the
+/// instance's variable count, or [`VerifyError::Violated`] with the index
+/// of the first violated constraint.
+///
+/// # Examples
+///
+/// ```
+/// use pbo_core::{verify_solution, InstanceBuilder, VerifyError};
+///
+/// let mut b = InstanceBuilder::new();
+/// let v = b.new_vars(2);
+/// b.add_clause([v[0].positive(), v[1].positive()]);
+/// b.minimize([(2, v[0].positive()), (3, v[1].positive())]);
+/// let inst = b.build()?;
+///
+/// assert_eq!(verify_solution(&inst, &[true, false]), Ok(2));
+/// assert_eq!(verify_solution(&inst, &[false, false]), Err(VerifyError::Violated { index: 0 }));
+/// assert!(matches!(verify_solution(&inst, &[true]), Err(VerifyError::WrongLength { .. })));
+/// # Ok::<(), pbo_core::BuildError>(())
+/// ```
+pub fn verify_solution(instance: &Instance, values: &[bool]) -> Result<i64, VerifyError> {
+    if values.len() != instance.num_vars() {
+        return Err(VerifyError::WrongLength { got: values.len(), expected: instance.num_vars() });
+    }
+    for (index, c) in instance.constraints().iter().enumerate() {
+        if !c.is_satisfied_by(values) {
+            return Err(VerifyError::Violated { index });
+        }
+    }
+    Ok(instance.cost_of(values))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::instance::InstanceBuilder;
+
+    #[test]
+    fn accepts_feasible_and_reports_cost() {
+        let mut b = InstanceBuilder::new();
+        let v = b.new_vars(3);
+        b.add_at_least(2, v.iter().map(|x| x.positive()));
+        b.minimize([(1, v[0].positive()), (4, v[1].negative()), (2, v[2].positive())]);
+        let inst = b.build().unwrap();
+        assert_eq!(verify_solution(&inst, &[true, true, false]), Ok(1));
+        assert_eq!(verify_solution(&inst, &[true, false, true]), Ok(7));
+    }
+
+    #[test]
+    fn rejects_violation_with_first_index() {
+        let mut b = InstanceBuilder::new();
+        let v = b.new_vars(2);
+        b.add_clause([v[0].positive()]);
+        b.add_clause([v[1].positive()]);
+        let inst = b.build().unwrap();
+        assert_eq!(
+            verify_solution(&inst, &[false, false]),
+            Err(VerifyError::Violated { index: 0 })
+        );
+        assert_eq!(verify_solution(&inst, &[true, false]), Err(VerifyError::Violated { index: 1 }));
+    }
+
+    #[test]
+    fn rejects_wrong_length() {
+        let mut b = InstanceBuilder::new();
+        let _ = b.new_vars(3);
+        let inst = b.build().unwrap();
+        assert_eq!(
+            verify_solution(&inst, &[true]),
+            Err(VerifyError::WrongLength { got: 1, expected: 3 })
+        );
+    }
+
+    #[test]
+    fn satisfaction_instance_costs_zero() {
+        let mut b = InstanceBuilder::new();
+        let x = b.new_var();
+        b.add_clause([x.positive()]);
+        let inst = b.build().unwrap();
+        assert_eq!(verify_solution(&inst, &[true]), Ok(0));
+    }
+
+    #[test]
+    fn error_messages_are_informative() {
+        let e = VerifyError::Violated { index: 7 };
+        assert!(format!("{e}").contains('7'));
+        let e = VerifyError::WrongLength { got: 1, expected: 2 };
+        assert!(format!("{e}").contains('2'));
+    }
+}

@@ -17,6 +17,16 @@ use crate::vsids::Vsids;
 #[derive(Copy, Clone, PartialEq, Eq, Hash, Debug)]
 pub struct PbId(pub(crate) u32);
 
+/// Handle of a registered trail observer (see
+/// [`Engine::register_trail_observer`]).
+///
+/// Each observer mirrors a prefix of the trail and owns its own low
+/// watermark, so several consumers (e.g. the incremental residual state
+/// and the LP bound's variable-fixing mirror) can reconcile against the
+/// same engine independently.
+#[derive(Copy, Clone, PartialEq, Eq, Hash, Debug)]
+pub struct TrailObserver(u32);
+
 impl PbId {
     /// Raw index value (for diagnostics).
     pub fn raw(self) -> u32 {
@@ -148,9 +158,10 @@ pub struct Engine {
     phase: Vec<bool>,
     seen: Vec<bool>,
     root_unsat: bool,
-    /// Lowest trail length reached since the last [`Engine::sync_trail`]
-    /// call — the reconciliation point for an external trail observer.
-    trail_low: usize,
+    /// Per-observer low watermark: the lowest trail length reached since
+    /// that observer's last [`Engine::sync_trail`] call — its
+    /// reconciliation point. Indexed by [`TrailObserver`].
+    trail_low: Vec<usize>,
     /// Stats are public for cheap read access by solvers.
     pub stats: EngineStats,
 }
@@ -188,7 +199,7 @@ impl Engine {
             phase: vec![false; num_vars],
             seen: vec![false; num_vars],
             root_unsat: false,
-            trail_low: 0,
+            trail_low: Vec::new(),
             stats: EngineStats::default(),
         }
     }
@@ -234,9 +245,27 @@ impl Engine {
         self.trail.len()
     }
 
-    /// Reconciles an external incremental observer of the trail (e.g. the
-    /// residual state maintained by a lower-bound procedure) in O(Δ)
-    /// instead of O(trail).
+    /// Registers a new trail observer and returns its handle.
+    ///
+    /// An observer mirrors a prefix of the trail (initially the empty
+    /// prefix) and reconciles with [`Engine::sync_trail`]. Each observer
+    /// carries its own low watermark, so any number of independent
+    /// consumers — the incremental residual state, the LP bound's
+    /// variable-fixing mirror, future incremental analyses — can track
+    /// the same engine in O(Δ) each.
+    pub fn register_trail_observer(&mut self) -> TrailObserver {
+        let id = TrailObserver(self.trail_low.len() as u32);
+        // A fresh observer has seen nothing, so its first sync passes
+        // `synced_len == 0` and `keep` is 0 regardless of the watermark;
+        // starting at the current trail length keeps the invariant
+        // "lowest length reached since last sync".
+        self.trail_low.push(self.trail.len());
+        id
+    }
+
+    /// Reconciles the registered trail observer `obs` (e.g. the residual
+    /// state maintained by a lower-bound procedure) in O(Δ) instead of
+    /// O(trail).
     ///
     /// The observer mirrors a prefix of the trail: it last saw
     /// `synced_len` literals. Because backjumping only ever *truncates*
@@ -249,12 +278,12 @@ impl Engine {
     /// 1. unwinds its mirrored state down to `keep` literals, then
     /// 2. replays `self.trail()[keep..]`,
     ///
-    /// after which the observer is exactly in sync. The internal
-    /// watermark is reset on each call, so the engine supports **one**
-    /// logical observer (additional observers must mirror through it).
-    pub fn sync_trail(&mut self, synced_len: usize) -> usize {
-        let keep = synced_len.min(self.trail_low);
-        self.trail_low = self.trail.len();
+    /// after which the observer is exactly in sync. Only `obs`'s
+    /// watermark is reset; other observers are unaffected.
+    pub fn sync_trail(&mut self, obs: TrailObserver, synced_len: usize) -> usize {
+        let low = &mut self.trail_low[obs.0 as usize];
+        let keep = synced_len.min(*low);
+        *low = self.trail.len();
         keep
     }
 
@@ -523,7 +552,9 @@ impl Engine {
         self.trail.truncate(new_len);
         self.trail_lim.truncate(target_level as usize);
         self.qhead = self.trail.len();
-        self.trail_low = self.trail_low.min(new_len);
+        for low in &mut self.trail_low {
+            *low = (*low).min(new_len);
+        }
     }
 
     /// Restarts the search (backjump to the root, keep learned clauses).

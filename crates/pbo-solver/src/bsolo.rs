@@ -20,19 +20,30 @@
 //!   default): per-constraint satisfied-weight/free-term counters are
 //!   synced to the engine trail in O(Δ) per node instead of rebuilding
 //!   the subproblem from scratch, with the O(instance) rebuild retained
-//!   as the differential-testing oracle ([`ResidualMode::Rebuild`]);
+//!   as the differential-testing oracle ([`ResidualMode::Rebuild`]). In
+//!   incremental mode the LP bound's variable fixings ride the same
+//!   trail protocol through a second engine observer, so LP bound sync
+//!   is O(changed vars) per node too;
 //! * LP-guided branching when the LP relaxation is the bound procedure
 //!   (sec. 5): branch on the fractional variable closest to 0.5,
 //!   VSIDS tie-break;
-//! * optional probing-based preprocessing (sec. 5).
+//! * optional probing-based preprocessing (sec. 5);
+//! * an optional shared [`IncumbentCell`](crate::IncumbentCell): an
+//!   external producer (the `pbo-ls` local search, another thread, a
+//!   previous solve) seeds the initial upper bound, every improving
+//!   solution found here is published back, and strictly better external
+//!   incumbents are adopted mid-search (with the eq. 10 cuts re-rooted) —
+//!   the mechanism behind the portfolio driver
+//!   ([`Portfolio`](crate::Portfolio)).
 
 use std::time::Instant;
 
 use pbo_bounds::{
     LagrangianBound, LowerBound, LprBound, MisBound, NoBound, ResidualState, Subproblem,
 };
-use pbo_core::{Instance, Lit, Value, Var};
-use pbo_engine::{Conflict, Engine, PbId, Resolution};
+use pbo_core::{verify_solution, Instance, Lit, Value, Var};
+use pbo_engine::{Conflict, Engine, PbId, Resolution, TrailObserver};
+use pbo_ls::IncumbentCell;
 
 use crate::cuts::{cardinality_cost_cuts, knapsack_cut};
 use crate::options::{Branching, BsoloOptions, LbMethod, ResidualMode};
@@ -83,10 +94,32 @@ impl Bsolo {
 
     /// Solves `instance` to optimality or until the budget runs out.
     pub fn solve(&self, instance: &Instance) -> SolveResult {
+        self.solve_with_cell(instance, None)
+    }
+
+    /// Like [`Bsolo::solve`], but wired to a shared incumbent cell:
+    ///
+    /// * a solution already in the cell warm-starts the upper bound (and
+    ///   the eq. 10 cost cuts) before the first decision;
+    /// * every improving solution found by the search is published to the
+    ///   cell;
+    /// * strictly better external incumbents appearing mid-search are
+    ///   verified, adopted, and the cost cuts re-rooted.
+    ///
+    /// External solutions are accepted only after passing
+    /// [`pbo_core::verify_solution`]; an infeasible or mis-priced offer
+    /// is ignored.
+    pub fn solve_with_cell(
+        &self,
+        instance: &Instance,
+        cell: Option<&IncumbentCell>,
+    ) -> SolveResult {
         let start = Instant::now();
         let mut stats = SolverStats::default();
         // Covering-style simplification preserves the variable space and
-        // the exact feasible set, so models and costs transfer 1:1.
+        // the exact feasible set, so models and costs transfer 1:1 (which
+        // is also what lets incumbents cross between the simplified
+        // search and unsimplified external producers).
         let simplified;
         let instance = if self.options.simplify {
             simplified = crate::preprocess::simplify(instance);
@@ -94,7 +127,7 @@ impl Bsolo {
         } else {
             instance
         };
-        let mut search = match SearchState::init(instance, &self.options, &mut stats) {
+        let mut search = match SearchState::init(instance, &self.options, cell, start, &mut stats) {
             Ok(s) => s,
             Err(()) => {
                 stats.solve_time = start.elapsed();
@@ -153,16 +186,30 @@ struct SearchState<'a> {
     /// Trail-mirrored residual problem ([`ResidualMode::Incremental`]);
     /// `None` in rebuild mode or when the instance never computes bounds.
     residual: Option<ResidualState>,
+    /// Engine trail observer backing `residual`.
+    residual_obs: Option<TrailObserver>,
+    /// Engine trail observer backing the LP bound's variable-fixing
+    /// mirror (incremental mode with [`LbMethod::Lpr`] only).
+    lpr_obs: Option<TrailObserver>,
+    /// Shared incumbent cell of the portfolio, if any.
+    cell: Option<&'a IncumbentCell>,
+    /// Solve start, for `time_to_best` accounting.
+    start: Instant,
     best_cost: Option<i64>,
     best_model: Option<Vec<bool>>,
     active_cuts: Vec<PbId>,
     decisions_since_lb: u32,
+    /// Cost of the cheapest cell entry that failed verification (a buggy
+    /// external producer); entries at or above it are not re-verified.
+    rejected_external: Option<i64>,
 }
 
 impl<'a> SearchState<'a> {
     fn init(
         instance: &'a Instance,
         options: &'a BsoloOptions,
+        cell: Option<&'a IncumbentCell>,
+        start: Instant,
         stats: &mut SolverStats,
     ) -> Result<SearchState<'a>, ()> {
         let mut engine = Engine::new(instance.num_vars());
@@ -187,22 +234,30 @@ impl<'a> SearchState<'a> {
         };
         // The residual state only pays off where bounds are computed:
         // optimization instances (satisfaction search never bounds).
-        let residual =
-            if options.residual_mode == ResidualMode::Incremental && instance.is_optimization() {
-                Some(ResidualState::new(instance))
-            } else {
-                None
-            };
+        let incremental =
+            options.residual_mode == ResidualMode::Incremental && instance.is_optimization();
+        let residual = if incremental { Some(ResidualState::new(instance)) } else { None };
+        let residual_obs = residual.as_ref().map(|_| engine.register_trail_observer());
+        // In incremental mode the LP bound joins the trail protocol as a
+        // second observer; rebuild mode keeps the O(vars) assignment diff
+        // as the differential-testing oracle.
+        let lpr_obs = (incremental && matches!(bound, Bound::Lpr(_)))
+            .then(|| engine.register_trail_observer());
         Ok(SearchState {
             instance,
             options,
             engine,
             bound,
             residual,
+            residual_obs,
+            lpr_obs,
+            cell,
+            start,
             best_cost: None,
             best_model: None,
             active_cuts: Vec::new(),
             decisions_since_lb: 0,
+            rejected_external: None,
         })
     }
 
@@ -236,6 +291,13 @@ impl<'a> SearchState<'a> {
             return self.exhausted_status();
         }
         loop {
+            // A strictly better external incumbent (the LS thread, a
+            // portfolio sibling) tightens the upper bound immediately —
+            // checked before the budget so a seeded solution is never
+            // discarded by an already-exhausted budget.
+            if let Some(status) = self.adopt_external(stats) {
+                return status;
+            }
             if self.options.budget.exhausted(
                 start.elapsed(),
                 self.engine.stats.conflicts,
@@ -271,19 +333,29 @@ impl<'a> SearchState<'a> {
                     let upper = self.best_cost;
                     let sub_start = Instant::now();
                     let out = {
+                        // Keep the LP bound's variable fixings in lockstep
+                        // with the trail (O(Δ) per node) through its own
+                        // observer.
+                        if let (Some(obs), Bound::Lpr(lpr)) = (self.lpr_obs, &mut self.bound) {
+                            let keep = self.engine.sync_trail(obs, lpr.synced_len());
+                            lpr.unwind_to(keep);
+                            for &lit in &self.engine.trail()[keep..] {
+                                lpr.apply(lit);
+                            }
+                        }
                         // Produce the residual view: O(Δ) sync + O(active)
                         // snapshot in incremental mode, a full O(instance)
                         // re-scan in rebuild mode.
-                        let sub = match self.residual.as_mut() {
-                            Some(state) => {
-                                let keep = self.engine.sync_trail(state.len());
+                        let sub = match (self.residual.as_mut(), self.residual_obs) {
+                            (Some(state), Some(obs)) => {
+                                let keep = self.engine.sync_trail(obs, state.len());
                                 state.unwind_to(keep);
                                 for &lit in &self.engine.trail()[keep..] {
                                     state.apply(lit);
                                 }
                                 state.view(self.instance, self.engine.assignment())
                             }
-                            None => Subproblem::new(self.instance, self.engine.assignment()),
+                            _ => Subproblem::new(self.instance, self.engine.assignment()),
                         };
                         stats.sub_time += sub_start.elapsed();
                         let lb_start = Instant::now();
@@ -358,15 +430,99 @@ impl<'a> SearchState<'a> {
         omega
     }
 
+    /// Installs the eq. 10 knapsack cut (and optionally the eq. 11–13
+    /// cardinality cost cuts) for `upper` at the root, replacing any cuts
+    /// from a previous incumbent.
+    ///
+    /// Returns `Err(())` when a cut is contradictory with the root
+    /// assignment — no solution better than `upper` exists, so the caller
+    /// finishes with the incumbent as the optimum.
+    fn install_cost_cuts(&mut self, upper: i64) -> Result<(), ()> {
+        self.engine.backjump_to(0);
+        for id in self.active_cuts.drain(..) {
+            self.engine.deactivate_pb(id);
+        }
+        if let Some(cut) = knapsack_cut(self.instance, upper) {
+            match self.engine.add_pb_cut(&cut) {
+                Ok(id) => self.active_cuts.push(id),
+                Err(_) => return Err(()),
+            }
+        } else {
+            // Trivial cut: every assignment is already cheaper, which
+            // cannot happen for a just-found solution of this cost.
+            debug_assert!(false, "knapsack cut trivial for incumbent cost");
+        }
+        if self.options.cardinality_cuts {
+            for cut in cardinality_cost_cuts(self.instance, upper) {
+                match self.engine.add_pb_cut(&cut) {
+                    Ok(id) => self.active_cuts.push(id),
+                    Err(_) => return Err(()),
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Adopts a strictly better incumbent from the shared cell, if one
+    /// appeared: verified, recorded, cost cuts re-rooted. Returns a final
+    /// status when the cut proves nothing better can exist.
+    fn adopt_external(&mut self, stats: &mut SolverStats) -> Option<SolveStatus> {
+        let cell = self.cell?;
+        let ext = cell.best_cost()?;
+        if self.best_cost.is_some_and(|b| ext >= b) {
+            return None;
+        }
+        // A cell entry that already failed verification would otherwise
+        // be snapshotted and re-verified on every loop iteration; skip
+        // it until the cell holds something strictly cheaper.
+        if self.rejected_external.is_some_and(|r| ext >= r) {
+            return None;
+        }
+        let (cost, model) = cell.snapshot()?;
+        if self.best_cost.is_some_and(|b| cost >= b) {
+            return None; // raced: the cell moved between the two reads
+        }
+        // Trust nothing across the component boundary unverified. The
+        // simplified instance has the same variable space, feasible set
+        // and costs as the original, so external models verify directly.
+        if verify_solution(self.instance, &model) != Ok(cost) {
+            self.rejected_external = Some(cost);
+            return None;
+        }
+        self.best_cost = Some(cost);
+        self.best_model = Some(model);
+        stats.solutions_found += 1;
+        stats.time_to_best = self.start.elapsed();
+        if !self.instance.is_optimization() {
+            // Pure satisfaction: a verified external model finishes the
+            // solve (mirror of `record_solution`).
+            return Some(SolveStatus::Optimal);
+        }
+        if self.options.knapsack_cuts && self.install_cost_cuts(cost).is_err() {
+            return Some(self.exhausted_status());
+        }
+        None
+    }
+
     fn record_solution(&mut self, stats: &mut SolverStats) -> SolutionStep {
         let model = self.engine.model();
-        debug_assert!(self.instance.is_feasible(&model), "engine produced infeasible model");
+        debug_assert_eq!(
+            verify_solution(self.instance, &model),
+            Ok(self.instance.cost_of(&model)),
+            "engine produced infeasible model"
+        );
         let cost = self.instance.cost_of(&model);
         let improved = self.best_cost.is_none_or(|b| cost < b);
         if improved {
             self.best_cost = Some(cost);
-            self.best_model = Some(model);
             stats.solutions_found += 1;
+            stats.time_to_best = self.start.elapsed();
+            // Publish before moving the model into our own slot; the cell
+            // clones only on improvement.
+            if let Some(cell) = self.cell {
+                cell.offer(cost, &model);
+            }
+            self.best_model = Some(model);
         }
         if !self.instance.is_optimization() {
             // Pure satisfaction: done at the first solution.
@@ -376,27 +532,8 @@ impl<'a> SearchState<'a> {
         if self.options.knapsack_cuts {
             // Install the cost cuts at the root and continue searching
             // for a strictly better solution.
-            self.engine.backjump_to(0);
-            for id in self.active_cuts.drain(..) {
-                self.engine.deactivate_pb(id);
-            }
-            if let Some(cut) = knapsack_cut(self.instance, upper) {
-                match self.engine.add_pb_cut(&cut) {
-                    Ok(id) => self.active_cuts.push(id),
-                    Err(_) => return SolutionStep::Finished(SolveStatus::Optimal),
-                }
-            } else {
-                // Trivial cut: every assignment is already cheaper, which
-                // cannot happen for a just-found solution of this cost.
-                debug_assert!(false, "knapsack cut trivial for incumbent cost");
-            }
-            if self.options.cardinality_cuts {
-                for cut in cardinality_cost_cuts(self.instance, upper) {
-                    match self.engine.add_pb_cut(&cut) {
-                        Ok(id) => self.active_cuts.push(id),
-                        Err(_) => return SolutionStep::Finished(SolveStatus::Optimal),
-                    }
-                }
+            if self.install_cost_cuts(upper).is_err() {
+                return SolutionStep::Finished(SolveStatus::Optimal);
             }
         } else {
             // Without eq. 10 cuts the engine has no reason to leave the

@@ -10,6 +10,9 @@
 //!   PBS-like and Galena-like presets (no lower bounding).
 //! * [`MilpSolver`] — LP branch-and-bound without SAT machinery (the
 //!   CPLEX stand-in).
+//! * [`Portfolio`] — the anytime driver: `pbo-ls` stochastic local
+//!   search seeding or racing [`Bsolo`] through a shared
+//!   [`IncumbentCell`], incumbents flowing both ways ([`SolveStrategy`]).
 //!
 //! All solvers consume a [`pbo_core::Instance`], honour a [`Budget`] and
 //! report a [`SolveResult`] with effort statistics, so the benchmark
@@ -49,6 +52,7 @@ mod cuts;
 mod linear_search;
 mod milp;
 mod options;
+mod portfolio;
 mod preprocess;
 mod result;
 
@@ -56,7 +60,10 @@ pub use bsolo::Bsolo;
 pub use cuts::{cardinality_cost_cuts, knapsack_cut};
 pub use linear_search::{LinearSearch, LinearSearchOptions};
 pub use milp::{MilpOptions, MilpSolver};
-pub use options::{Branching, BsoloOptions, Budget, LbMethod, ResidualMode};
+pub use options::{Branching, BsoloOptions, Budget, LbMethod, ResidualMode, SolveStrategy};
+pub use portfolio::{
+    IncumbentCell, LocalSearch, LsOptions, LsResult, LsStats, Portfolio, PortfolioOptions,
+};
 pub use preprocess::{probe, simplify, ProbeOutcome};
 pub use result::{SolveResult, SolveStatus, SolverStats};
 

@@ -65,6 +65,35 @@ pub enum Branching {
     LpGuided,
 }
 
+/// How the portfolio driver combines the stochastic local search with
+/// the exact branch-and-bound (see [`crate::Portfolio`]).
+#[derive(Copy, Clone, PartialEq, Eq, Debug, Default)]
+pub enum SolveStrategy {
+    /// Branch-and-bound only — the paper's solver, no local search.
+    Exact,
+    /// Sequential portfolio: local search runs first under a small
+    /// budget, its best verified solution seeds the upper bound (and the
+    /// eq. 10 cuts) of the branch-and-bound. Deterministic given a
+    /// deterministic LS budget; the default for anytime solving.
+    #[default]
+    LsSeeded,
+    /// Concurrent portfolio: local search races the branch-and-bound on
+    /// its own `std::thread`, incumbents flowing both ways through the
+    /// shared cell for the whole solve.
+    Concurrent,
+}
+
+impl SolveStrategy {
+    /// Short name used in benchmark tables.
+    pub fn name(self) -> &'static str {
+        match self {
+            SolveStrategy::Exact => "exact",
+            SolveStrategy::LsSeeded => "ls-seeded",
+            SolveStrategy::Concurrent => "concurrent",
+        }
+    }
+}
+
 /// Resource budget for a solve. All limits are optional; an empty budget
 /// runs to completion.
 #[derive(Copy, Clone, Debug, Default)]
@@ -203,6 +232,14 @@ mod tests {
     fn lb_names() {
         assert_eq!(LbMethod::None.name(), "plain");
         assert_eq!(LbMethod::Lpr.name(), "lpr");
+    }
+
+    #[test]
+    fn strategy_names_and_default() {
+        assert_eq!(SolveStrategy::default(), SolveStrategy::LsSeeded);
+        assert_eq!(SolveStrategy::Exact.name(), "exact");
+        assert_eq!(SolveStrategy::LsSeeded.name(), "ls-seeded");
+        assert_eq!(SolveStrategy::Concurrent.name(), "concurrent");
     }
 
     #[test]

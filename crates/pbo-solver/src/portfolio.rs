@@ -1,0 +1,367 @@
+//! The portfolio driver: stochastic local search racing (or seeding) the
+//! exact branch-and-bound, with incumbents flowing both ways.
+//!
+//! The DATE'05 search prunes a node as soon as `lower bound >= best
+//! incumbent`, so a good incumbent *early* is worth as much as a tight
+//! lower bound. The `pbo-ls` engine finds near-optimal verified solutions
+//! orders of magnitude faster than tree search; this module wires the two
+//! together around a shared [`IncumbentCell`]:
+//!
+//! * **[`SolveStrategy::LsSeeded`]** (default): LS runs first under a
+//!   small budget; its best verified solution warm-starts the
+//!   branch-and-bound's upper bound and eq. 10 cost cuts. The B&B then
+//!   proves optimality (or improves) with the pruning power of a
+//!   near-optimal bound from node one.
+//! * **[`SolveStrategy::Concurrent`]**: LS keeps running on its own
+//!   `std::thread` for the whole solve. Every improving incumbent found
+//!   by either side is published to the cell; the B&B adopts external
+//!   improvements mid-search (re-rooting its cuts), and LS re-seeds its
+//!   restarts from external improvements.
+//! * **[`SolveStrategy::Exact`]**: plain branch-and-bound (the paper's
+//!   solver), for when reproducibility of the exact search matters more
+//!   than anytime behaviour.
+//!
+//! Every solution crossing a component boundary is re-verified with
+//! [`pbo_core::verify_solution`] — the cell stores, it does not vouch.
+//!
+//! # When to prefer which strategy
+//!
+//! Under a wall-clock budget where a good solution *now* beats a perfect
+//! solution *later* (anytime solving), use `LsSeeded` (deterministic for
+//! a fixed LS step budget) or `Concurrent` (best anytime quality, timing
+//! dependent). For exact optimization with no budget pressure the warm
+//! start rarely hurts and usually shrinks the tree: `LsSeeded` is the
+//! default. `Exact` reproduces the paper's solver byte for byte.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::time::{Duration, Instant};
+
+use pbo_core::Instance;
+pub use pbo_ls::{IncumbentCell, LocalSearch, LsOptions, LsResult, LsStats};
+
+use crate::bsolo::Bsolo;
+use crate::options::{BsoloOptions, SolveStrategy};
+use crate::result::SolveResult;
+
+/// LS steps per chunk between stop-flag/cell checks in concurrent mode.
+const CONCURRENT_CHUNK_STEPS: u64 = 16_384;
+
+/// Configuration of the [`Portfolio`] driver.
+#[derive(Clone, Debug, Default)]
+pub struct PortfolioOptions {
+    /// How LS and branch-and-bound are combined.
+    pub strategy: SolveStrategy,
+    /// The exact solver's configuration; its [`crate::Budget`] is the
+    /// budget of the *whole* portfolio solve (in `LsSeeded` mode the LS
+    /// phase consumes part of the wall clock and the branch-and-bound
+    /// gets the remainder).
+    pub bsolo: BsoloOptions,
+    /// The local-search configuration. In `LsSeeded` mode `max_steps` /
+    /// `time_limit` bound the seeding phase (a fifth of the total time
+    /// budget is imposed when none is set); in `Concurrent` mode the LS
+    /// thread runs until the exact side finishes.
+    pub ls: LsOptions,
+}
+
+/// The portfolio solver: local search + branch-and-bound over a shared
+/// incumbent cell.
+///
+/// # Examples
+///
+/// ```
+/// use pbo_core::InstanceBuilder;
+/// use pbo_solver::{Portfolio, SolveStrategy};
+///
+/// let mut b = InstanceBuilder::new();
+/// let v = b.new_vars(3);
+/// b.add_clause([v[0].positive(), v[1].positive()]);
+/// b.add_clause([v[1].positive(), v[2].positive()]);
+/// b.minimize([(2, v[0].positive()), (3, v[1].positive()), (2, v[2].positive())]);
+/// let inst = b.build()?;
+///
+/// let result = Portfolio::with_strategy(SolveStrategy::LsSeeded).solve(&inst);
+/// assert!(result.is_optimal());
+/// assert_eq!(result.best_cost, Some(3));
+/// # Ok::<(), pbo_core::BuildError>(())
+/// ```
+#[derive(Clone, Debug, Default)]
+pub struct Portfolio {
+    options: PortfolioOptions,
+}
+
+impl Portfolio {
+    /// Creates a portfolio solver with the given configuration.
+    pub fn new(options: PortfolioOptions) -> Portfolio {
+        Portfolio { options }
+    }
+
+    /// Default options with the given strategy.
+    pub fn with_strategy(strategy: SolveStrategy) -> Portfolio {
+        Portfolio::new(PortfolioOptions { strategy, ..PortfolioOptions::default() })
+    }
+
+    /// The active configuration.
+    pub fn options(&self) -> &PortfolioOptions {
+        &self.options
+    }
+
+    /// Solves `instance` with a private incumbent cell.
+    pub fn solve(&self, instance: &Instance) -> SolveResult {
+        self.solve_with_cell(instance, &IncumbentCell::new())
+    }
+
+    /// Solves `instance`, exchanging incumbents through `cell` — pass a
+    /// caller-owned cell to observe the incumbent trajectory
+    /// ([`IncumbentCell::history_since`]) or to seed the solve with a
+    /// known solution.
+    pub fn solve_with_cell(&self, instance: &Instance, cell: &IncumbentCell) -> SolveResult {
+        let start = Instant::now();
+        let mut result = match self.options.strategy {
+            SolveStrategy::Exact => {
+                Bsolo::new(self.options.bsolo.clone()).solve_with_cell(instance, Some(cell))
+            }
+            SolveStrategy::LsSeeded => self.solve_ls_seeded(instance, cell, start),
+            SolveStrategy::Concurrent => self.solve_concurrent(instance, cell),
+        };
+        // An incumbent can land in the cell after the B&B's last
+        // adoption check (a racing LS thread's final offer): fold it
+        // back so the returned result is the cell's best, never worse.
+        if let Some((cost, model)) = cell.snapshot() {
+            if result.best_cost.is_none_or(|b| cost < b)
+                && pbo_core::verify_solution(instance, &model) == Ok(cost)
+            {
+                result.best_cost = Some(cost);
+                result.best_assignment = Some(model);
+                if result.status == crate::SolveStatus::Unknown {
+                    result.status = crate::SolveStatus::Feasible;
+                }
+            }
+        }
+        // Portfolio-wide accounting: the incumbent trajectory lives in
+        // the cell, and the final best was published by whoever found it.
+        result.stats.solve_time = start.elapsed();
+        if let Some((at, _)) = cell.history_since(start).last() {
+            result.stats.time_to_best = *at;
+        }
+        result
+    }
+
+    /// Sequential mode: a bounded LS phase, then B&B on what's left of
+    /// the wall-clock budget.
+    fn solve_ls_seeded(
+        &self,
+        instance: &Instance,
+        cell: &IncumbentCell,
+        start: Instant,
+    ) -> SolveResult {
+        let total_time = self.options.bsolo.budget.time;
+        let mut ls_options = self.options.ls.clone();
+        // An explicit LS time limit wins (so callers can make the seed
+        // phase step-bounded and deterministic); a fifth of the total
+        // wall-clock budget is imposed only when none is set.
+        let seed_cap = total_time.map(|t| t / 5);
+        ls_options.time_limit = ls_options.time_limit.or(seed_cap);
+        LocalSearch::new(instance, ls_options).run(Some(cell), None);
+        let mut bsolo_options = self.options.bsolo.clone();
+        if let Some(t) = total_time {
+            bsolo_options.budget.time =
+                Some(t.saturating_sub(start.elapsed()).max(Duration::from_millis(1)));
+        }
+        Bsolo::new(bsolo_options).solve_with_cell(instance, Some(cell))
+    }
+
+    /// Concurrent mode: LS races the B&B until the exact side finishes.
+    fn solve_concurrent(&self, instance: &Instance, cell: &IncumbentCell) -> SolveResult {
+        let stop = AtomicBool::new(false);
+        std::thread::scope(|scope| {
+            let ls_handle = scope.spawn(|| {
+                let chunk_options = LsOptions {
+                    max_steps: CONCURRENT_CHUNK_STEPS,
+                    time_limit: None,
+                    ..self.options.ls.clone()
+                };
+                let mut ls = LocalSearch::new(instance, chunk_options);
+                loop {
+                    let before = ls.stats.steps;
+                    let result = ls.run(Some(cell), Some(&stop));
+                    if stop.load(Ordering::Relaxed) {
+                        break result;
+                    }
+                    if ls.stats.steps == before {
+                        // Nothing left to do (target/optimum reached):
+                        // idle politely until the exact side finishes.
+                        std::thread::sleep(Duration::from_millis(1));
+                    }
+                }
+            });
+            let result =
+                Bsolo::new(self.options.bsolo.clone()).solve_with_cell(instance, Some(cell));
+            stop.store(true, Ordering::Relaxed);
+            let _ls = ls_handle.join().expect("local-search thread panicked");
+            result
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::options::Budget;
+    use pbo_core::{brute_force, InstanceBuilder};
+
+    fn covering_instance() -> Instance {
+        let mut b = InstanceBuilder::new();
+        let v = b.new_vars(4);
+        b.add_clause([v[0].positive(), v[1].positive()]);
+        b.add_clause([v[1].positive(), v[2].positive()]);
+        b.add_clause([v[2].positive(), v[3].positive()]);
+        b.minimize([
+            (2, v[0].positive()),
+            (3, v[1].positive()),
+            (3, v[2].positive()),
+            (2, v[3].positive()),
+        ]);
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn every_strategy_finds_the_optimum() {
+        let inst = covering_instance();
+        let expected = brute_force(&inst).cost();
+        for strategy in [SolveStrategy::Exact, SolveStrategy::LsSeeded, SolveStrategy::Concurrent] {
+            let result = Portfolio::with_strategy(strategy).solve(&inst);
+            assert!(result.is_optimal(), "{strategy:?} must prove optimality");
+            assert_eq!(result.best_cost, expected, "{strategy:?} optimum mismatch");
+            let model = result.best_assignment.as_ref().expect("model present");
+            assert_eq!(pbo_core::verify_solution(&inst, model), Ok(expected.unwrap()));
+        }
+    }
+
+    #[test]
+    fn cell_records_trajectory_and_time_to_best() {
+        let inst = covering_instance();
+        let cell = IncumbentCell::new();
+        let start = Instant::now();
+        let result =
+            Portfolio::with_strategy(SolveStrategy::LsSeeded).solve_with_cell(&inst, &cell);
+        assert!(result.is_optimal());
+        let history = cell.history_since(start);
+        assert!(!history.is_empty(), "the optimum must have been published");
+        let (_, final_cost) = *history.last().unwrap();
+        assert_eq!(Some(final_cost), result.best_cost);
+        assert!(
+            history.windows(2).all(|w| w[1].1 < w[0].1),
+            "trajectory must be strictly improving: {history:?}"
+        );
+        assert!(result.stats.time_to_best <= result.stats.solve_time);
+    }
+
+    #[test]
+    fn preseeded_cell_warm_starts_the_search() {
+        let inst = covering_instance();
+        let optimum = brute_force(&inst).cost().unwrap();
+        // Seed the cell with the optimum; the B&B must confirm it without
+        // ever finding an "improving" solution itself.
+        let witness = match brute_force(&inst) {
+            pbo_core::BruteForceResult::Optimal { witness, .. } => witness,
+            pbo_core::BruteForceResult::Infeasible => unreachable!(),
+        };
+        let cell = IncumbentCell::new();
+        cell.offer(optimum, &witness);
+        let result = Portfolio::with_strategy(SolveStrategy::Exact).solve_with_cell(&inst, &cell);
+        assert!(result.is_optimal());
+        assert_eq!(result.best_cost, Some(optimum));
+        assert_eq!(result.best_assignment, Some(witness));
+    }
+
+    #[test]
+    fn adopted_model_finishes_satisfaction_instances_immediately() {
+        // Pure satisfaction instance; the cell already holds a verified
+        // model. Even with a zero budget the solve must adopt it and
+        // report SATISFIABLE instead of burning the budget re-searching.
+        let mut b = InstanceBuilder::new();
+        let v = b.new_vars(3);
+        b.add_clause([v[0].positive(), v[1].positive()]);
+        b.add_clause([v[1].negative(), v[2].positive()]);
+        let inst = b.build().unwrap();
+        let model = vec![true, true, true];
+        assert_eq!(pbo_core::verify_solution(&inst, &model), Ok(0));
+        let cell = IncumbentCell::new();
+        cell.offer(0, &model);
+        let options =
+            BsoloOptions::default().budget(Budget { decisions: Some(0), ..Budget::default() });
+        let result = Bsolo::new(options).solve_with_cell(&inst, Some(&cell));
+        assert_eq!(result.status, crate::SolveStatus::Optimal);
+        assert_eq!(result.best_assignment, Some(model));
+    }
+
+    #[test]
+    fn adoption_survives_an_exhausted_budget_on_optimization() {
+        // Zero budget on an optimization instance, seeded with a
+        // *suboptimal* solution: the incumbent must surface as Feasible
+        // (ub reported), not be dropped as Unknown.
+        let inst = covering_instance();
+        let all_true = vec![true; 4];
+        let cost = pbo_core::verify_solution(&inst, &all_true).unwrap();
+        assert!(cost > brute_force(&inst).cost().unwrap(), "seed must be suboptimal");
+        let cell = IncumbentCell::new();
+        cell.offer(cost, &all_true);
+        let options =
+            BsoloOptions::default().budget(Budget { decisions: Some(0), ..Budget::default() });
+        let result = Bsolo::new(options).solve_with_cell(&inst, Some(&cell));
+        assert_eq!(result.status, crate::SolveStatus::Feasible);
+        assert_eq!(result.best_cost, Some(cost));
+    }
+
+    #[test]
+    fn seeding_the_cell_with_the_optimum_proves_optimality_outright() {
+        // With the optimum in the cell, the eq. 10 cut is contradictory
+        // at the root: adoption alone completes the proof, even under a
+        // zero budget.
+        let inst = covering_instance();
+        let witness = match brute_force(&inst) {
+            pbo_core::BruteForceResult::Optimal { witness, .. } => witness,
+            pbo_core::BruteForceResult::Infeasible => unreachable!(),
+        };
+        let cost = pbo_core::verify_solution(&inst, &witness).unwrap();
+        let cell = IncumbentCell::new();
+        cell.offer(cost, &witness);
+        let options =
+            BsoloOptions::default().budget(Budget { decisions: Some(0), ..Budget::default() });
+        let result = Bsolo::new(options).solve_with_cell(&inst, Some(&cell));
+        assert_eq!(result.status, crate::SolveStatus::Optimal);
+        assert_eq!(result.best_cost, Some(cost));
+    }
+
+    #[test]
+    fn infeasible_instance_is_reported_by_every_strategy() {
+        let mut b = InstanceBuilder::new();
+        let v = b.new_vars(2);
+        b.add_clause([v[0].positive()]);
+        b.add_clause([v[0].negative()]);
+        b.minimize([(1, v[1].positive())]);
+        let inst = b.build().unwrap();
+        for strategy in [SolveStrategy::Exact, SolveStrategy::LsSeeded, SolveStrategy::Concurrent] {
+            let result = Portfolio::with_strategy(strategy).solve(&inst);
+            assert_eq!(
+                result.status,
+                crate::SolveStatus::Infeasible,
+                "{strategy:?} must prove infeasibility"
+            );
+        }
+    }
+
+    #[test]
+    fn budgeted_portfolio_is_anytime() {
+        let inst = covering_instance();
+        let options = PortfolioOptions {
+            strategy: SolveStrategy::LsSeeded,
+            bsolo: BsoloOptions::default().budget(Budget::time_limit(Duration::from_secs(5))),
+            ls: LsOptions::default(),
+        };
+        let result = Portfolio::new(options).solve(&inst);
+        // Tiny instance: solved outright, well inside the budget.
+        assert!(result.is_optimal());
+        assert_eq!(result.best_cost, brute_force(&inst).cost());
+    }
+}

@@ -48,6 +48,10 @@ pub struct SolverStats {
     pub sub_time: Duration,
     /// Total wall time of the solve.
     pub solve_time: Duration,
+    /// Wall time from solve start until the final best incumbent was
+    /// first recorded (zero when no solution was found) — the anytime
+    /// quality metric of the portfolio.
+    pub time_to_best: Duration,
     /// Literal propagations.
     pub propagations: u64,
     /// Restarts performed.

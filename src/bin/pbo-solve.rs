@@ -1,9 +1,15 @@
 //! Command-line PBO solver over OPB files.
 //!
 //! ```text
-//! pbo-solve [--lb plain|mis|lgr|lpr] [--timeout-ms N] [--stats] <file.opb>
-//! cargo run --release --bin pbo-solve -- --lb lpr instance.opb
+//! pbo-solve [--lb plain|mis|lgr|lpr] [--strategy exact|ls-seeded|concurrent]
+//!           [--timeout-ms N] [--stats] <file.opb>
+//! cargo run --release --bin pbo-solve -- --strategy ls-seeded instance.opb
 //! ```
+//!
+//! `--strategy ls-seeded` / `--strategy concurrent` run the portfolio
+//! (stochastic local search seeding or racing the exact solver): under a
+//! `--timeout-ms` budget this is the anytime mode — a good verified
+//! solution fast, then proof effort with whatever time remains.
 //!
 //! Output follows the pseudo-Boolean competition conventions:
 //! `s OPTIMUM FOUND` / `s SATISFIABLE` / `s UNSATISFIABLE` /
@@ -13,15 +19,22 @@
 use std::process::ExitCode;
 use std::time::Duration;
 
-use pbo::{parse_opb, solve_with, BsoloOptions, Budget, LbMethod, SolveStatus};
+use pbo::{
+    parse_opb, solve_with, BsoloOptions, Budget, LbMethod, Portfolio, PortfolioOptions,
+    SolveStatus, SolveStrategy,
+};
 
 fn usage() -> ! {
-    eprintln!("usage: pbo-solve [--lb plain|mis|lgr|lpr] [--timeout-ms N] [--stats] <file.opb>");
+    eprintln!(
+        "usage: pbo-solve [--lb plain|mis|lgr|lpr] [--strategy exact|ls-seeded|concurrent] \
+         [--timeout-ms N] [--stats] <file.opb>"
+    );
     std::process::exit(2);
 }
 
 fn main() -> ExitCode {
     let mut lb = LbMethod::Lpr;
+    let mut strategy = SolveStrategy::Exact;
     let mut timeout: Option<u64> = None;
     let mut stats = false;
     let mut path: Option<String> = None;
@@ -34,6 +47,14 @@ fn main() -> ExitCode {
                     Some("mis") => LbMethod::Mis,
                     Some("lgr") => LbMethod::Lagrangian,
                     Some("lpr") => LbMethod::Lpr,
+                    _ => usage(),
+                }
+            }
+            "--strategy" => {
+                strategy = match args.next().as_deref() {
+                    Some("exact") => SolveStrategy::Exact,
+                    Some("ls-seeded") => SolveStrategy::LsSeeded,
+                    Some("concurrent") => SolveStrategy::Concurrent,
                     _ => usage(),
                 }
             }
@@ -62,16 +83,23 @@ fn main() -> ExitCode {
         }
     };
     println!(
-        "c {} vars, {} constraints, lb={}",
+        "c {} vars, {} constraints, lb={}, strategy={}",
         instance.num_vars(),
         instance.num_constraints(),
-        lb.name()
+        lb.name(),
+        strategy.name()
     );
     let mut options = BsoloOptions::with_lb(lb);
     if let Some(ms) = timeout {
         options = options.budget(Budget::time_limit(Duration::from_millis(ms)));
     }
-    let result = solve_with(&instance, options);
+    let result = if strategy == SolveStrategy::Exact {
+        solve_with(&instance, options)
+    } else {
+        let portfolio =
+            PortfolioOptions { strategy, bsolo: options, ..PortfolioOptions::default() };
+        Portfolio::new(portfolio).solve(&instance)
+    };
     match result.status {
         SolveStatus::Optimal if instance.is_optimization() => println!("s OPTIMUM FOUND"),
         SolveStatus::Optimal => println!("s SATISFIABLE"),

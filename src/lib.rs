@@ -36,7 +36,8 @@
 //! | [`pbo_engine`] | CDCL engine: propagation, clause learning, VSIDS, bound-conflict entry point |
 //! | [`pbo_lp`] | warm-started bounded-variable dual simplex |
 //! | [`pbo_bounds`] | the MIS / LGR / LPR lower bounds with `omega_pl` explanations |
-//! | [`pbo_solver`] | bsolo + PBS-like, Galena-like and MILP baselines |
+//! | [`pbo_ls`] | stochastic local search (WalkSAT/DLS-style) incumbent engine |
+//! | [`pbo_solver`] | bsolo + the LS/B&B portfolio + PBS-like, Galena-like and MILP baselines |
 //! | [`pbo_benchgen`] | seeded generators for the four Table 1 benchmark families |
 //!
 //! See `DESIGN.md` for the paper-to-code inventory and `EXPERIMENTS.md`
@@ -52,8 +53,9 @@ pub use pbo_core::{
     ParseOpbError, PbConstraint, PbTerm, RelOp, Value, Var,
 };
 pub use pbo_solver::{
-    Branching, Bsolo, BsoloOptions, Budget, LbMethod, LinearSearch, MilpSolver, SolveResult,
-    SolveStatus, SolverStats,
+    Branching, Bsolo, BsoloOptions, Budget, IncumbentCell, LbMethod, LinearSearch, LocalSearch,
+    LsOptions, MilpSolver, Portfolio, PortfolioOptions, SolveResult, SolveStatus, SolveStrategy,
+    SolverStats,
 };
 
 // The underlying crates, for users needing full access.
@@ -62,6 +64,7 @@ pub use pbo_bounds;
 pub use pbo_core;
 pub use pbo_engine;
 pub use pbo_lp;
+pub use pbo_ls;
 pub use pbo_solver;
 
 /// Solves an instance with the paper's strongest configuration
@@ -102,6 +105,38 @@ pub fn solve(instance: &Instance) -> SolveResult {
 /// ```
 pub fn solve_with(instance: &Instance, options: BsoloOptions) -> SolveResult {
     Bsolo::new(options).solve(instance)
+}
+
+/// Solves an instance in *anytime* mode under a wall-clock budget: the
+/// stochastic local search seeds the upper bound, then branch-and-bound
+/// spends the remaining time proving optimality or improving. The result
+/// is the best **verified** solution found either way
+/// ([`SolveStatus::Feasible`] when the budget ran out before the proof).
+///
+/// # Examples
+///
+/// ```
+/// use std::time::Duration;
+/// use pbo::{solve_anytime, InstanceBuilder};
+///
+/// let mut b = InstanceBuilder::new();
+/// let v = b.new_vars(3);
+/// b.add_clause([v[0].positive(), v[1].positive()]);
+/// b.add_clause([v[1].positive(), v[2].positive()]);
+/// b.minimize([(2, v[0].positive()), (3, v[1].positive()), (2, v[2].positive())]);
+/// let inst = b.build()?;
+///
+/// let result = solve_anytime(&inst, Duration::from_secs(2));
+/// assert_eq!(result.best_cost, Some(3));
+/// # Ok::<(), pbo::BuildError>(())
+/// ```
+pub fn solve_anytime(instance: &Instance, budget: std::time::Duration) -> SolveResult {
+    let options = PortfolioOptions {
+        strategy: SolveStrategy::LsSeeded,
+        bsolo: BsoloOptions::default().budget(Budget::time_limit(budget)),
+        ..PortfolioOptions::default()
+    };
+    Portfolio::new(options).solve(instance)
 }
 
 /// Parses an OPB document and solves it with the default configuration.
