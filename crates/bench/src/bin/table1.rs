@@ -12,8 +12,8 @@
 //! ```
 
 use pbo_bench::{
-    budget_ms, family_instances, format_table, json, run_portfolio_probe, run_residual_ablation,
-    run_table, summarize_portfolio, FAMILIES,
+    budget_ms, family_instances, format_table, json, run_dynamic_rows_ablation,
+    run_portfolio_probe, run_residual_ablation, run_table, summarize_portfolio, FAMILIES,
 };
 use pbo_benchgen::SynthesisParams;
 use pbo_solver::LbMethod;
@@ -97,6 +97,39 @@ fn main() {
     );
     println!("maintenance speedup: {:.2}x", ablation.maintenance_speedup());
 
+    // Dynamic-rows ablation: the same solve with the learned cost cuts
+    // folded into the residual problem (on) vs ignored by the bounds
+    // (off) — nodes and per-node bound strength are the gated numbers.
+    // A decision budget (not wall clock) keeps both sides deterministic,
+    // so the CI gate compares exact node counts, machine speed aside.
+    let dyn_rows_instance = SynthesisParams {
+        primes: 70,
+        minterms: 110,
+        cover_density: 4.0,
+        exclusions: 10,
+        ..SynthesisParams::default()
+    }
+    .generate(1);
+    let dyn_rows_budget =
+        pbo_solver::Budget { decisions: Some(30_000), ..pbo_solver::Budget::default() };
+    let dyn_rows = run_dynamic_rows_ablation(&dyn_rows_instance, LbMethod::Mis, dyn_rows_budget);
+    println!();
+    println!("== dynamic-rows ablation ({}, {}) ==", dyn_rows.instance, dyn_rows.lb_method);
+    println!(
+        "rows off: {:>6} nodes | {:>6} lb calls | {:>5} bound conflicts | margin {:>8.2}",
+        dyn_rows.off.decisions,
+        dyn_rows.off.lb_calls,
+        dyn_rows.off.bound_conflicts,
+        dyn_rows.off.mean_lb_margin,
+    );
+    println!(
+        "rows on:  {:>6} nodes | {:>6} lb calls | {:>5} bound conflicts | margin {:>8.2}",
+        dyn_rows.on.decisions,
+        dyn_rows.on.lb_calls,
+        dyn_rows.on.bound_conflicts,
+        dyn_rows.on.mean_lb_margin,
+    );
+
     // Portfolio probe on Table-1-style synthesis instances: cold
     // bsolo-LPR vs LS-seeded portfolio vs LS alone — the anytime-solving
     // numbers (time-to-target, warm-start node shrinkage, LS gap).
@@ -127,8 +160,14 @@ fn main() {
         summary.max_ls_gap.map_or("-".into(), |g| format!("{:.1}%", g * 100.0)),
     );
 
-    let report =
-        json::render_report_full(timeout_ms, seeds, &family_rows, Some(&ablation), &probes);
+    let report = json::render_report_full(
+        timeout_ms,
+        seeds,
+        &family_rows,
+        Some(&ablation),
+        &probes,
+        Some(&dyn_rows),
+    );
     match std::fs::write(&json_path, &report) {
         Ok(()) => println!("\nwrote {json_path}"),
         Err(err) => {

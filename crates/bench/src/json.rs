@@ -97,6 +97,55 @@ impl ResidualAblation {
     }
 }
 
+/// One side of the dynamic-rows ablation (`dynamic_rows` off / on).
+#[derive(Clone, Debug)]
+pub struct DynRowsSide {
+    /// Whether the side proved optimality within the budget.
+    pub solved: bool,
+    /// B&B nodes (decisions) explored.
+    pub decisions: u64,
+    /// Lower-bound computations performed.
+    pub lb_calls: u64,
+    /// Bound conflicts (prunings).
+    pub bound_conflicts: u64,
+    /// Mean per-node bound margin (`bound - path_cost`, averaged over
+    /// finite lower-bound outcomes) — the bound-strength metric.
+    pub mean_lb_margin: f64,
+    /// Wall time of the solve.
+    pub solve_time: Duration,
+}
+
+impl DynRowsSide {
+    fn write(&self, out: &mut String) {
+        let _ = write!(
+            out,
+            "{{\"solved\": {}, \"decisions\": {}, \"lb_calls\": {}, \
+             \"bound_conflicts\": {}, \"mean_lb_margin\": {:.3}, \"time_ms\": {:.3}}}",
+            self.solved,
+            self.decisions,
+            self.lb_calls,
+            self.bound_conflicts,
+            self.mean_lb_margin,
+            ms(self.solve_time),
+        );
+    }
+}
+
+/// The dynamic-rows ablation result recorded alongside Table 1: the
+/// same solve with the learned-cut dynamic rows folded into the
+/// residual problem (on) and without (off).
+#[derive(Clone, Debug)]
+pub struct DynamicRowsAblation {
+    /// Instance the ablation ran on.
+    pub instance: String,
+    /// Lower-bound method used.
+    pub lb_method: &'static str,
+    /// `dynamic_rows: false` measurements.
+    pub off: DynRowsSide,
+    /// `dynamic_rows: true` measurements.
+    pub on: DynRowsSide,
+}
+
 /// One instance of the portfolio probe: cold bsolo-LPR vs the LS-seeded
 /// portfolio vs LS alone (see `run_portfolio_probe`).
 #[derive(Clone, Debug)]
@@ -237,16 +286,18 @@ pub fn render_report(
     families: &[(String, Vec<Row>)],
     ablation: Option<&ResidualAblation>,
 ) -> String {
-    render_report_full(budget_ms, seeds, families, ablation, &[])
+    render_report_full(budget_ms, seeds, families, ablation, &[], None)
 }
 
-/// [`render_report`] with the portfolio probe section included.
+/// [`render_report`] with the portfolio probe and dynamic-rows ablation
+/// sections included.
 pub fn render_report_full(
     budget_ms: u64,
     seeds: u64,
     families: &[(String, Vec<Row>)],
     ablation: Option<&ResidualAblation>,
     portfolio: &[PortfolioProbe],
+    dynamic_rows: Option<&DynamicRowsAblation>,
 ) -> String {
     let mut out = String::new();
     out.push_str("{\n");
@@ -292,6 +343,19 @@ pub fn render_report_full(
         out.push_str("  \"portfolio\": null,\n");
     } else {
         write_portfolio(&mut out, portfolio);
+    }
+    match dynamic_rows {
+        Some(d) => {
+            out.push_str("  \"dynamic_rows\": {\n");
+            let _ = writeln!(out, "    \"instance\": \"{}\",", escape(&d.instance));
+            let _ = writeln!(out, "    \"lb_method\": \"{}\",", d.lb_method);
+            out.push_str("    \"off\": ");
+            d.off.write(&mut out);
+            out.push_str(",\n    \"on\": ");
+            d.on.write(&mut out);
+            out.push_str("\n  },\n");
+        }
+        None => out.push_str("  \"dynamic_rows\": null,\n"),
     }
     match ablation {
         Some(a) => {

@@ -1,0 +1,146 @@
+//! Dynamic rows: derived constraints folded into the residual problem.
+//!
+//! The static rows of the residual problem come from the instance; this
+//! module adds an **epoch-versioned registry of derived rows** — the
+//! eq. 10 objective ("knapsack") cut, the eqs. 11–13 cardinality cost
+//! cuts and selected learned clauses promoted to PB form — that the
+//! bounding procedures see exactly like static rows through the
+//! [`Subproblem`](crate::Subproblem) view.
+//!
+//! Every dynamic row must be *implied by the instance constraints
+//! together with the incumbent bound* `cost <= upper - 1`: a bound
+//! computed over static + dynamic rows is then a valid lower bound on
+//! every completion **cheaper than the incumbent**, which is precisely
+//! the set pruning reasons about (eq. 7). The registry is rebuilt on
+//! each improving incumbent (`begin_epoch` + `push`); consumers compare
+//! [`DynamicRows::epoch`] against the epoch they last installed and swap
+//! their row region instead of rebuilding any per-node state.
+
+use pbo_core::PbConstraint;
+
+/// Why a dynamic row exists (kept for diagnostics and bench ablations).
+#[derive(Copy, Clone, PartialEq, Eq, Debug)]
+pub enum DynRowOrigin {
+    /// The eq. 10 objective cut `sum c_j l_j <= upper - 1` (normalized).
+    ObjectiveCut,
+    /// An eqs. 11–13 cardinality cost cut.
+    CardinalityCut,
+    /// A learned clause promoted to a PB row (`sum l_i >= 1`).
+    PromotedClause,
+}
+
+/// One derived row of the residual problem.
+#[derive(Clone, Debug)]
+pub struct DynRow {
+    /// The row itself, in normalized `>=` form.
+    pub constraint: PbConstraint,
+    /// Provenance of the row.
+    pub origin: DynRowOrigin,
+}
+
+/// Epoch-versioned registry of dynamic rows.
+///
+/// # Examples
+///
+/// ```
+/// use pbo_bounds::{DynRowOrigin, DynamicRows};
+/// use pbo_core::{Lit, PbConstraint};
+///
+/// let mut rows = DynamicRows::new();
+/// assert_eq!(rows.epoch(), 0);
+/// rows.begin_epoch();
+/// let clause = PbConstraint::clause([Lit::new(0, true), Lit::new(1, false)]);
+/// assert!(rows.push(clause.clone(), DynRowOrigin::PromotedClause));
+/// assert!(!rows.push(clause, DynRowOrigin::PromotedClause), "duplicate rejected");
+/// assert_eq!(rows.epoch(), 1);
+/// assert_eq!(rows.len(), 1);
+/// ```
+#[derive(Clone, Debug, Default)]
+pub struct DynamicRows {
+    rows: Vec<DynRow>,
+    epoch: u64,
+}
+
+impl DynamicRows {
+    /// Creates an empty registry at epoch 0 (the "no dynamic rows yet"
+    /// state every consumer starts in).
+    pub fn new() -> DynamicRows {
+        DynamicRows::default()
+    }
+
+    /// Current epoch; bumped by [`DynamicRows::begin_epoch`]. Consumers
+    /// re-install their row region only when this differs from the epoch
+    /// they last saw.
+    #[inline]
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// The rows of the current epoch, in push order.
+    pub fn rows(&self) -> &[DynRow] {
+        &self.rows
+    }
+
+    /// Number of rows in the current epoch.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Returns `true` if the current epoch holds no rows.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Starts a fresh epoch: clears every row and bumps the version.
+    /// Call once per incumbent re-root, then [`DynamicRows::push`] the
+    /// new row set.
+    pub fn begin_epoch(&mut self) {
+        self.rows.clear();
+        self.epoch += 1;
+    }
+
+    /// Adds a row to the current epoch unless an identical row (same
+    /// terms, same right-hand side) is already present or the row is
+    /// empty. Returns `true` if the row was added.
+    pub fn push(&mut self, constraint: PbConstraint, origin: DynRowOrigin) -> bool {
+        if constraint.is_empty() {
+            return false;
+        }
+        if self.rows.iter().any(|r| r.constraint == constraint) {
+            return false;
+        }
+        self.rows.push(DynRow { constraint, origin });
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pbo_core::Lit;
+
+    #[test]
+    fn epochs_version_the_row_set() {
+        let mut rows = DynamicRows::new();
+        rows.begin_epoch();
+        assert!(rows.push(PbConstraint::clause([Lit::new(0, true)]), DynRowOrigin::PromotedClause));
+        assert_eq!((rows.epoch(), rows.len()), (1, 1));
+        rows.begin_epoch();
+        assert_eq!((rows.epoch(), rows.len()), (2, 0));
+        assert!(rows.is_empty());
+    }
+
+    #[test]
+    fn duplicate_and_empty_rows_are_rejected() {
+        let mut rows = DynamicRows::new();
+        rows.begin_epoch();
+        let c =
+            PbConstraint::at_least(2, [Lit::new(0, true), Lit::new(1, true), Lit::new(2, true)]);
+        assert!(rows.push(c.clone(), DynRowOrigin::CardinalityCut));
+        assert!(!rows.push(c, DynRowOrigin::ObjectiveCut), "same row, any origin");
+        assert!(!rows.push(PbConstraint::clause([]), DynRowOrigin::PromotedClause));
+        assert_eq!(rows.len(), 1);
+    }
+}

@@ -242,8 +242,16 @@ impl LowerBound for LagrangianBound {
         }
 
         // Rows: coefficient lists over local vars plus adjusted rhs.
+        // Dynamic rows (indices past the instance constraints) join the
+        // relaxation like any other row; their multipliers live in the
+        // same warm-start vector, grown on demand. A stale multiplier
+        // from a previous epoch is harmless: any `mu >= 0` yields a
+        // valid bound, and the ascent re-optimizes from it.
         self.rows.clear();
         for e in sub.active() {
+            if e.index as usize >= self.mu.len() {
+                self.mu.resize(e.index as usize + 1, 0.0);
+            }
             let mut rhs = e.residual_rhs as f64;
             for t in sub.free_terms(e.index as usize) {
                 let li = self.index_of(t.lit.var().index());
@@ -346,8 +354,15 @@ impl LowerBound for LagrangianBound {
 
         // Note: L may legitimately be negative (negative variable-space
         // costs arise from objective terms on negative literals), so the
-        // ceiling must not be clamped to zero.
-        let bound = if best_l.is_finite() { base + (best_l - 1e-9).ceil() as i64 } else { base };
+        // ceiling must not be clamped to zero. The addition saturates: a
+        // badly violated (dynamic) row can drive the multipliers — and
+        // with them L — arbitrarily high before the engine ever sees the
+        // conflict.
+        let bound = if best_l.is_finite() {
+            base.saturating_add((best_l - 1e-9).ceil() as i64)
+        } else {
+            base
+        };
 
         // --- Explanation: S = { rows with mu_i > 0 } (sec. 4.3). ---
         let mut explanation: Vec<Lit> = Vec::new();
@@ -361,7 +376,7 @@ impl LowerBound for LagrangianBound {
                     continue;
                 }
                 let orig = self.rows.orig[r];
-                for t in instance.constraints()[orig].terms() {
+                for t in sub.row_terms(orig) {
                     if assignment.lit_value(t.lit) == Value::Unassigned {
                         continue;
                     }

@@ -50,12 +50,14 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod dynrows;
 mod lagrangian;
 mod lpr;
 mod mis;
 mod residual;
 mod subproblem;
 
+pub use dynrows::{DynRow, DynRowOrigin, DynamicRows};
 pub use lagrangian::{LagrangianBound, LagrangianConfig};
 pub use lpr::LprBound;
 pub use mis::MisBound;

@@ -11,9 +11,10 @@
 //! guards against tolerance mismatches). If the relaxation is infeasible
 //! the Farkas rows play the role of `S`.
 
-use pbo_core::{Instance, Lit};
+use pbo_core::{Instance, Lit, PbConstraint};
 use pbo_lp::{DualSimplex, LpProblem, LpStatus};
 
+use crate::dynrows::DynamicRows;
 use crate::subproblem::Subproblem;
 use crate::{LbOutcome, LowerBound};
 
@@ -60,6 +61,22 @@ pub struct LprBound {
 impl LprBound {
     /// Builds the relaxation of `instance`.
     pub fn new(instance: &Instance) -> LprBound {
+        let (problem, const_shift) = Self::build_problem(instance, &[]);
+        let n = instance.num_vars();
+        LprBound {
+            simplex: DualSimplex::new(&problem),
+            cached: vec![None; n],
+            const_shift,
+            last_fractional: vec![0.0; n],
+            mirror: Vec::with_capacity(n),
+            trail_mode: false,
+        }
+    }
+
+    /// The LP problem of `instance` plus `extra` rows (appended after the
+    /// instance constraints, so LP row indices line up with
+    /// [`Subproblem`] row indices, dynamic rows included).
+    fn build_problem(instance: &Instance, extra: &[&PbConstraint]) -> (LpProblem, f64) {
         let n = instance.num_vars();
         let mut p = LpProblem::new(n);
         let mut const_shift = 0.0;
@@ -81,7 +98,7 @@ impl LprBound {
                 }
             }
         }
-        for c in instance.constraints() {
+        for c in instance.constraints().iter().chain(extra.iter().copied()) {
             let mut terms = Vec::with_capacity(c.len());
             let mut rhs = c.rhs() as f64;
             for t in c.terms() {
@@ -95,13 +112,27 @@ impl LprBound {
             }
             p.add_row_ge(&terms, rhs);
         }
-        LprBound {
-            simplex: DualSimplex::new(&p),
-            cached: vec![None; n],
-            const_shift,
-            last_fractional: vec![0.0; n],
-            mirror: Vec::with_capacity(n),
-            trail_mode: false,
+        (p, const_shift)
+    }
+
+    /// Rebuilds the relaxation with the registry's dynamic rows appended
+    /// to the instance rows (matching the row indices of a
+    /// [`Subproblem`] view carrying the same rows), then re-applies the
+    /// current variable fixings. Called once per incumbent re-root — the
+    /// per-node warm-started solves are untouched.
+    pub fn install_rows(&mut self, instance: &Instance, rows: &DynamicRows) {
+        let extra: Vec<&PbConstraint> = rows.rows().iter().map(|r| &r.constraint).collect();
+        let (problem, const_shift) = Self::build_problem(instance, &extra);
+        let iterations = self.simplex.total_iterations;
+        self.simplex = DualSimplex::new(&problem);
+        self.simplex.total_iterations = iterations;
+        self.const_shift = const_shift;
+        for (v, &fixed) in self.cached.iter().enumerate() {
+            match fixed {
+                Some(true) => self.simplex.set_var_bounds(v, 1.0, 1.0),
+                Some(false) => self.simplex.set_var_bounds(v, 0.0, 0.0),
+                None => {}
+            }
         }
     }
 

@@ -1,12 +1,26 @@
 //! Lower bounding by a greedy maximum independent set of constraints
 //! (MIS), the classic bound for covering problems (Coudert; Villa et al.)
-//! and the baseline method of the paper (sec. 3).
+//! and the baseline method of the paper (sec. 3), upgraded with
+//! **implied-literal reasoning**.
 //!
 //! Constraints that share no *free* variable are independent: the minimum
 //! cost of satisfying each can be added up. The per-constraint minimum is
 //! itself lower-bounded by the fractional (single-constraint LP) cover
 //! cost, which greedy computes exactly by filling cheapest cost-per-unit
 //! literals first.
+//!
+//! Before partitioning, the bound runs a cheap **unit-implication
+//! closure** over the residual rows (static and dynamic alike): a row
+//! whose free weight cannot reach its residual right-hand side without a
+//! particular literal implies that literal, the implication shrinks the
+//! other rows, and the closure iterates to fixpoint. Implied literals
+//! contribute their objective cost to the bound, contradictions prove
+//! the residual infeasible (a pre-incumbent prune no other cheap bound
+//! provides), and — once an upper bound exists — a **reduced-cost fixing**
+//! pass implies literals whose cost would push any completion past the
+//! incumbent, re-running the closure on what it fixed. Every derivation
+//! step records the false literals of the rows it used, so the
+//! explanation (`omega_pl`) stays sound.
 //!
 //! The procedure reads the residual problem through the [`Subproblem`]
 //! view API (free terms are iterated, never materialized) and keeps its
@@ -18,7 +32,11 @@ use pbo_core::Lit;
 use crate::subproblem::{ActiveEntry, Subproblem};
 use crate::{LbOutcome, LowerBound};
 
-/// Greedy MIS lower bound.
+/// Maximum closure rounds per pass; implications are rare after engine
+/// propagation, so the cap only bounds pathological cascades.
+const MAX_CLOSURE_ROUNDS: usize = 8;
+
+/// Greedy MIS lower bound with implied-literal reasoning.
 ///
 /// # Examples
 ///
@@ -39,77 +57,271 @@ use crate::{LbOutcome, LowerBound};
 /// assert_eq!(out.bound, 4);
 /// # Ok::<(), pbo_core::BuildError>(())
 /// ```
-#[derive(Clone, Debug, Default)]
+#[derive(Clone, Debug)]
 pub struct MisBound {
+    /// Run the implied-literal closure and reduced-cost fixing.
+    implied: bool,
     /// Scratch: (cost per unit, coeff, cost) items of one constraint.
     items: Vec<(f64, i64, i64)>,
     /// Scratch: (position in active list, fractional cover cost).
     scored: Vec<(u32, f64)>,
     /// Scratch: last selection stamp per variable (epoch-cleared).
     used_stamp: Vec<u32>,
-    /// Current selection epoch.
+    /// Scratch: local implied-value stamp per variable.
+    val_stamp: Vec<u32>,
+    /// Scratch: local implied value, valid when stamped this call.
+    val: Vec<bool>,
+    /// Scratch: selection stamp per variable for `sel_cost`.
+    sel_stamp: Vec<u32>,
+    /// Scratch: cover cost of the selected row containing the variable.
+    sel_cost: Vec<f64>,
+    /// Scratch: per-active-row adjusted residual rhs under local values.
+    need: Vec<i64>,
+    /// Scratch: per-active-row free weight under local values.
+    free_sum: Vec<i64>,
+    /// Rows (original indices) whose false literals explain implications.
+    expl_rows: Vec<u32>,
+    /// Scratch: implied literals of the row under examination.
+    implied_here: Vec<Lit>,
+    /// Current stamp counter (shared by all stamped scratch arrays).
     stamp: u32,
 }
 
+impl Default for MisBound {
+    fn default() -> MisBound {
+        MisBound {
+            implied: true,
+            items: Vec::new(),
+            scored: Vec::new(),
+            used_stamp: Vec::new(),
+            val_stamp: Vec::new(),
+            val: Vec::new(),
+            sel_stamp: Vec::new(),
+            sel_cost: Vec::new(),
+            need: Vec::new(),
+            free_sum: Vec::new(),
+            expl_rows: Vec::new(),
+            implied_here: Vec::new(),
+            stamp: 0,
+        }
+    }
+}
+
+/// Outcome of one closure pass.
+enum ClosureStep {
+    /// Fixpoint reached; accumulated objective cost of implied literals.
+    Done,
+    /// A row (by active position) cannot be satisfied under the local
+    /// implications.
+    Infeasible(usize),
+}
+
 impl MisBound {
-    /// Creates the bound procedure.
+    /// Creates the bound procedure (implied-literal reasoning enabled).
     pub fn new() -> MisBound {
         MisBound::default()
     }
 
-    /// Fractional minimum cost of satisfying one residual constraint in
-    /// isolation: fill the residual requirement with the cheapest
-    /// cost-per-unit literals (the single-constraint LP optimum).
+    /// Creates the bound procedure with implied-literal reasoning
+    /// switched on or off (the plain paper MIS), for ablations.
+    pub fn with_implied(implied: bool) -> MisBound {
+        MisBound { implied, ..MisBound::default() }
+    }
+
+    /// Returns `true` if implied-literal reasoning is enabled.
+    pub fn implied_enabled(&self) -> bool {
+        self.implied
+    }
+
+    /// Bumps the shared stamp counter, clearing every stamped array on
+    /// wrap-around (once every 2^32 bumps).
+    fn next_stamp(&mut self) -> u32 {
+        self.stamp = self.stamp.wrapping_add(1);
+        if self.stamp == 0 {
+            self.used_stamp.iter_mut().for_each(|s| *s = 0);
+            self.val_stamp.iter_mut().for_each(|s| *s = 0);
+            self.sel_stamp.iter_mut().for_each(|s| *s = 0);
+            self.stamp = 1;
+        }
+        self.stamp
+    }
+
+    /// Local implied value of a variable this call, if any.
+    #[inline]
+    fn local_value(&self, val_epoch: u32, var: usize) -> Option<bool> {
+        if self.val_stamp[var] == val_epoch {
+            Some(self.val[var])
+        } else {
+            None
+        }
+    }
+
+    /// Recomputes `need` / `free_sum` of every active row under the
+    /// current local implications. O(residual size).
+    fn recompute_rows(&mut self, sub: &Subproblem<'_>, active: &[ActiveEntry], val_epoch: u32) {
+        self.need.clear();
+        self.free_sum.clear();
+        for e in active {
+            let mut need = e.residual_rhs;
+            let mut free = 0i64;
+            for t in sub.free_terms(e.index as usize) {
+                match self.local_value(val_epoch, t.lit.var().index()) {
+                    Some(v) if v == t.lit.is_positive() => need -= t.coeff,
+                    Some(_) => {} // locally falsified: contributes nothing
+                    None => free += t.coeff,
+                }
+            }
+            self.need.push(need);
+            self.free_sum.push(free);
+        }
+    }
+
+    /// Records a locally implied literal. Returns `false` on
+    /// contradiction (the opposite value was already implied).
+    fn imply(
+        &mut self,
+        sub: &Subproblem<'_>,
+        lit: Lit,
+        source_row: u32,
+        val_epoch: u32,
+        implied_cost: &mut i64,
+    ) -> bool {
+        let v = lit.var().index();
+        match self.local_value(val_epoch, v) {
+            Some(cur) if cur == lit.is_positive() => true,
+            Some(_) => {
+                self.expl_rows.push(source_row);
+                false
+            }
+            None => {
+                self.val_stamp[v] = val_epoch;
+                self.val[v] = lit.is_positive();
+                *implied_cost += sub.lit_cost(lit);
+                self.expl_rows.push(source_row);
+                true
+            }
+        }
+    }
+
+    /// Unit-implication closure over the active rows: repeatedly implies
+    /// literals a row cannot do without and re-evaluates every row under
+    /// the grown implication set, until fixpoint (or the round cap).
+    fn closure(
+        &mut self,
+        sub: &Subproblem<'_>,
+        active: &[ActiveEntry],
+        val_epoch: u32,
+        implied_cost: &mut i64,
+    ) -> ClosureStep {
+        for _ in 0..MAX_CLOSURE_ROUNDS {
+            self.recompute_rows(sub, active, val_epoch);
+            let mut changed = false;
+            for (k, e) in active.iter().enumerate() {
+                if self.need[k] <= 0 {
+                    continue;
+                }
+                if self.free_sum[k] < self.need[k] {
+                    return ClosureStep::Infeasible(k);
+                }
+                let slack = self.free_sum[k] - self.need[k];
+                // Free literals the row cannot be satisfied without.
+                // (Free weight is recomputed per round, so implications
+                // made earlier this round only under-trigger — sound.)
+                let index = e.index as usize;
+                let mut implied_here = std::mem::take(&mut self.implied_here);
+                implied_here.clear();
+                for t in sub.free_terms(index) {
+                    if self.local_value(val_epoch, t.lit.var().index()).is_some() {
+                        continue;
+                    }
+                    if t.coeff > slack {
+                        implied_here.push(t.lit);
+                    }
+                }
+                for i in 0..implied_here.len() {
+                    changed = true;
+                    if !self.imply(sub, implied_here[i], e.index, val_epoch, implied_cost) {
+                        self.implied_here = implied_here;
+                        return ClosureStep::Infeasible(k);
+                    }
+                }
+                self.implied_here = implied_here;
+            }
+            if !changed {
+                break;
+            }
+        }
+        ClosureStep::Done
+    }
+
+    /// Fractional minimum cost of satisfying one residual row in
+    /// isolation under the local implications: fill the adjusted residual
+    /// requirement with the cheapest cost-per-unit free literals (the
+    /// single-constraint LP optimum). Infinite when the requirement is
+    /// unreachable.
     fn fractional_cover_cost(
+        &mut self,
         sub: &Subproblem<'_>,
         entry: &ActiveEntry,
-        items: &mut Vec<(f64, i64, i64)>,
+        need: i64,
+        val_epoch: u32,
     ) -> f64 {
+        let mut items = std::mem::take(&mut self.items);
         items.clear();
         for t in sub.free_terms(entry.index as usize) {
+            if self.local_value(val_epoch, t.lit.var().index()).is_some() {
+                continue;
+            }
             let cost = sub.lit_cost(t.lit);
             items.push((cost as f64 / t.coeff as f64, t.coeff, cost));
         }
         items.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap_or(std::cmp::Ordering::Equal));
-        let mut need = entry.residual_rhs;
+        let mut left = need;
         let mut total = 0.0;
         for &(_, coeff, cost) in items.iter() {
-            if need <= 0 {
+            if left <= 0 {
                 break;
             }
-            if coeff >= need {
-                total += cost as f64 * need as f64 / coeff as f64;
-                need = 0;
+            if coeff >= left {
+                total += cost as f64 * left as f64 / coeff as f64;
+                left = 0;
             } else {
                 total += cost as f64;
-                need -= coeff;
+                left -= coeff;
             }
         }
-        if need > 0 {
-            // Residual cannot be satisfied at all: infinite cost. The
-            // caller turns this into an infeasibility explanation.
+        self.items = items;
+        if left > 0 {
             f64::INFINITY
         } else {
             total
         }
     }
-}
 
-impl LowerBound for MisBound {
-    fn name(&self) -> &'static str {
-        "mis"
-    }
-
-    fn lower_bound(&mut self, sub: &Subproblem<'_>, upper: Option<i64>) -> LbOutcome {
-        let active = sub.active();
-        // Score every active constraint.
+    /// One greedy scoring + selection pass over the active rows. Returns
+    /// `Err(k)` when row `k` cannot be covered at all, else the pass
+    /// total; selected rows extend `explanation` with their false
+    /// literals and stamp `sel_cost` for the fixing pass.
+    #[allow(clippy::too_many_arguments)]
+    fn greedy_pass(
+        &mut self,
+        sub: &Subproblem<'_>,
+        active: &[ActiveEntry],
+        val_epoch: u32,
+        implied_cost: i64,
+        upper: Option<i64>,
+        explanation: &mut Vec<Lit>,
+    ) -> Result<f64, usize> {
+        self.recompute_rows(sub, active, val_epoch);
         self.scored.clear();
         for (k, e) in active.iter().enumerate() {
-            let cost = Self::fractional_cover_cost(sub, e, &mut self.items);
+            let need = self.need[k];
+            if need <= 0 {
+                continue; // satisfied by local implications
+            }
+            let cost = self.fractional_cover_cost(sub, e, need, val_epoch);
             if cost.is_infinite() {
-                // The constraint cannot be satisfied: logically conflicting
-                // residual. Explain with its false literals.
-                return LbOutcome::infeasible(sub.false_literals_of(e.index as usize));
+                return Err(k);
             }
             if cost > 0.0 {
                 self.scored.push((k as u32, cost));
@@ -124,38 +336,209 @@ impl LowerBound for MisBound {
                 .unwrap_or(std::cmp::Ordering::Equal)
                 .then_with(|| b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal))
         });
-        let num_vars = sub.instance().num_vars();
-        if self.used_stamp.len() < num_vars {
-            self.used_stamp.resize(num_vars, 0);
-        }
-        self.stamp = self.stamp.wrapping_add(1);
-        if self.stamp == 0 {
-            // Epoch wrap: clear stale stamps once every 2^32 calls.
-            self.used_stamp.iter_mut().for_each(|s| *s = 0);
-            self.stamp = 1;
-        }
-        let stamp = self.stamp;
+        let sel_epoch = self.next_stamp();
+        let scored = std::mem::take(&mut self.scored);
         let mut total = 0.0;
-        let mut explanation: Vec<Lit> = Vec::new();
-        for &(k, cost) in &self.scored {
+        for &(k, cost) in &scored {
             let e = &active[k as usize];
             let index = e.index as usize;
-            if sub.free_terms(index).any(|t| self.used_stamp[t.lit.var().index()] == stamp) {
+            let free_of_row = |b: &MisBound, t: &pbo_core::PbTerm| {
+                b.local_value(val_epoch, t.lit.var().index()).is_none()
+            };
+            if sub
+                .free_terms(index)
+                .any(|t| free_of_row(self, &t) && self.used_stamp[t.lit.var().index()] == sel_epoch)
+            {
                 continue;
             }
             for t in sub.free_terms(index) {
-                self.used_stamp[t.lit.var().index()] = stamp;
+                if free_of_row(self, &t) {
+                    self.used_stamp[t.lit.var().index()] = sel_epoch;
+                    self.sel_stamp[t.lit.var().index()] = sel_epoch;
+                    self.sel_cost[t.lit.var().index()] = cost;
+                }
             }
             total += cost;
             explanation.extend(sub.false_literals(index));
             if let Some(ub) = upper {
                 // Early exit once the bound already prunes.
-                if sub.path_cost() + (total - 1e-9).ceil() as i64 >= ub {
+                if sub.path_cost() + implied_cost + ceil_eps(total) >= ub {
                     break;
                 }
             }
         }
-        let bound = sub.path_cost() + (total - 1e-9).ceil() as i64;
+        self.scored = scored;
+        Ok(total)
+    }
+
+    /// Assembles the explanation: selected-row false literals already in
+    /// `explanation`, plus the false literals of every closure source
+    /// row, deduplicated.
+    fn finish_explanation(&mut self, sub: &Subproblem<'_>, mut explanation: Vec<Lit>) -> Vec<Lit> {
+        for &row in &self.expl_rows {
+            explanation.extend(sub.false_literals(row as usize));
+        }
+        explanation.sort();
+        explanation.dedup();
+        explanation
+    }
+}
+
+/// Integer ceiling with the epsilon guard used throughout the bounds.
+#[inline]
+fn ceil_eps(x: f64) -> i64 {
+    (x - 1e-9).ceil() as i64
+}
+
+impl LowerBound for MisBound {
+    fn name(&self) -> &'static str {
+        "mis"
+    }
+
+    fn lower_bound(&mut self, sub: &Subproblem<'_>, upper: Option<i64>) -> LbOutcome {
+        let active = sub.active();
+        let num_vars = sub.instance().num_vars();
+        if self.used_stamp.len() < num_vars {
+            self.used_stamp.resize(num_vars, 0);
+            self.val_stamp.resize(num_vars, 0);
+            self.val.resize(num_vars, false);
+            self.sel_stamp.resize(num_vars, 0);
+            self.sel_cost.resize(num_vars, 0.0);
+        }
+        self.expl_rows.clear();
+        // A call consumes at most 3 stamps (implied values + two greedy
+        // passes); a mid-call wrap would clear the implied-value state
+        // between phases, so force the wrap here if one is near.
+        if self.stamp >= u32::MAX - 3 {
+            self.stamp = u32::MAX;
+            let _ = self.next_stamp();
+        }
+        let val_epoch = self.next_stamp();
+        let mut implied_cost = 0i64;
+        // Dynamic rows are implied by the incumbent bound, not the
+        // instance alone: any infeasibility that might rest on one is
+        // upper-conditional — a *bound* fact (no completion cheaper than
+        // `upper`), not true infeasibility. The same holds for anything
+        // derived after reduced-cost fixing.
+        let has_dynamic = !sub.dynamic_rows().is_empty();
+
+        let infeasible_outcome = |mb: &mut MisBound,
+                                  sub: &Subproblem<'_>,
+                                  row: u32,
+                                  expl: Vec<Lit>,
+                                  conditional: bool| {
+            mb.expl_rows.push(row);
+            let expl = mb.finish_explanation(sub, expl);
+            match (conditional, upper) {
+                (true, Some(u)) => LbOutcome::bound(u, expl),
+                // Conditional wipeout but no incumbent passed: only
+                // completions cheaper than an incumbent this caller does
+                // not know were refuted, so nothing may be claimed —
+                // fall back to the trivial (non-pruning) bound.
+                (true, None) => LbOutcome::bound(sub.path_cost(), expl),
+                (false, _) => LbOutcome::infeasible(expl),
+            }
+        };
+
+        // --- Pass 0: implication closure over the raw residual. ---
+        if self.implied {
+            match self.closure(sub, active, val_epoch, &mut implied_cost) {
+                ClosureStep::Done => {}
+                ClosureStep::Infeasible(k) => {
+                    return infeasible_outcome(self, sub, active[k].index, Vec::new(), has_dynamic);
+                }
+            }
+        } else {
+            // Plain MIS still needs the per-row requirements.
+            self.recompute_rows(sub, active, val_epoch);
+        }
+
+        // --- Pass 1: greedy independent-set partition. ---
+        let mut explanation: Vec<Lit> = Vec::new();
+        let mut total =
+            match self.greedy_pass(sub, active, val_epoch, implied_cost, upper, &mut explanation) {
+                Ok(t) => t,
+                Err(k) => {
+                    // Closure implications are entailed by the rows
+                    // themselves, so the verdict is conditional exactly
+                    // when a dynamic row might be among them.
+                    return infeasible_outcome(
+                        self,
+                        sub,
+                        active[k].index,
+                        explanation,
+                        has_dynamic,
+                    );
+                }
+            };
+        let mut bound = sub.path_cost() + implied_cost + ceil_eps(total);
+
+        // --- Pass 2 (optional): reduced-cost fixing against `upper`. ---
+        // A free costed literal whose cost plus the bound portions
+        // independent of its variable reaches `upper` cannot be true in
+        // any improving completion; fixing it shrinks rows, which can
+        // cascade into implications or a (bound-conditional) wipeout.
+        if self.implied {
+            if let (Some(u), Some(obj)) = (upper, sub.instance().objective()) {
+                if bound < u {
+                    let path = sub.path_cost();
+                    let mut fixed_any = false;
+                    for &(c, l) in obj.terms() {
+                        if c <= 0
+                            || sub.assignment().lit_value(l) != pbo_core::Value::Unassigned
+                            || self.local_value(val_epoch, l.var().index()).is_some()
+                        {
+                            continue;
+                        }
+                        let v = l.var().index();
+                        let sel =
+                            if self.sel_stamp[v] == self.stamp { self.sel_cost[v] } else { 0.0 };
+                        let independent = total - sel;
+                        if path + implied_cost + ceil_eps(independent) + c >= u {
+                            self.val_stamp[v] = val_epoch;
+                            self.val[v] = !l.is_positive();
+                            fixed_any = true;
+                        }
+                    }
+                    if fixed_any {
+                        match self.closure(sub, active, val_epoch, &mut implied_cost) {
+                            ClosureStep::Done => {}
+                            ClosureStep::Infeasible(k) => {
+                                return infeasible_outcome(
+                                    self,
+                                    sub,
+                                    active[k].index,
+                                    explanation,
+                                    true,
+                                );
+                            }
+                        }
+                        match self.greedy_pass(
+                            sub,
+                            active,
+                            val_epoch,
+                            implied_cost,
+                            upper,
+                            &mut explanation,
+                        ) {
+                            Ok(t) => total = t,
+                            Err(k) => {
+                                return infeasible_outcome(
+                                    self,
+                                    sub,
+                                    active[k].index,
+                                    explanation,
+                                    true,
+                                );
+                            }
+                        }
+                        // Both passes produced valid bounds; keep the max.
+                        bound = bound.max(sub.path_cost() + implied_cost + ceil_eps(total));
+                    }
+                }
+            }
+        }
+        let explanation = self.finish_explanation(sub, explanation);
         LbOutcome::bound(bound, explanation)
     }
 }
@@ -200,17 +583,82 @@ mod tests {
 
     #[test]
     fn fractional_cover_of_general_constraint() {
-        // 3x1 + 2x2 >= 4 with costs 3, 4: cheapest per unit is x1 (1.0)
-        // then x2 (2.0): 3 + 2*(1/2)*... -> 3 + 4*(1/2) = 5? residual 4:
-        // x1 covers 3, x2 covers remaining 1 of 2 -> cost 3 + 4*0.5 = 5.
+        // 3x1 + 2x2 >= 4 with costs 3, 4. Plain fractional cover: x1
+        // covers 3, x2 covers the remaining 1 of 2 -> 3 + 4*0.5 = 5. The
+        // closure sees both literals are forced (5 - 3 < 4, 5 - 2 < 4)
+        // and reaches the true optimum 7.
         let mut b = InstanceBuilder::new();
         let v = b.new_vars(2);
         b.add_linear(vec![(3, v[0].positive()), (2, v[1].positive())], pbo_core::RelOp::Ge, 4);
         b.minimize([(3, v[0].positive()), (4, v[1].positive())]);
         let inst = b.build().unwrap();
         let a = Assignment::new(2);
+        let plain = MisBound::with_implied(false).lower_bound(&Subproblem::new(&inst, &a), None);
+        assert_eq!(plain.bound, 5);
+        let implied = MisBound::new().lower_bound(&Subproblem::new(&inst, &a), None);
+        assert_eq!(implied.bound, 7);
+        assert_eq!(brute_force(&inst).cost(), Some(7));
+    }
+
+    #[test]
+    fn implied_literals_raise_the_bound() {
+        // 3x1 + x2 >= 3 forces x1 (cost 4): plain fractional cover gives
+        // 3/4 of x1's cost-per-unit mix; the closure pockets the full 4.
+        let mut b = InstanceBuilder::new();
+        let v = b.new_vars(2);
+        b.add_linear(vec![(3, v[0].positive()), (1, v[1].positive())], pbo_core::RelOp::Ge, 3);
+        b.minimize([(4, v[0].positive()), (0, v[1].positive())]);
+        let inst = b.build().unwrap();
+        let a = Assignment::new(2);
+        let plain = MisBound::with_implied(false).lower_bound(&Subproblem::new(&inst, &a), None);
+        let implied = MisBound::new().lower_bound(&Subproblem::new(&inst, &a), None);
+        assert_eq!(implied.bound, 4, "x1 is implied, its cost is certain");
+        assert!(plain.bound <= implied.bound);
+        assert_eq!(brute_force(&inst).cost(), Some(4));
+    }
+
+    #[test]
+    fn closure_detects_cross_row_contradiction() {
+        // Row 1 forces x1 (3x1 + x2 >= 3), row 2 forces ~x1
+        // (3~x1 + x3 >= 3): the residual is infeasible before any
+        // single-row check sees it.
+        let mut b = InstanceBuilder::new();
+        let v = b.new_vars(3);
+        b.add_linear(vec![(3, v[0].positive()), (1, v[1].positive())], pbo_core::RelOp::Ge, 3);
+        b.add_linear(vec![(3, v[0].negative()), (1, v[2].positive())], pbo_core::RelOp::Ge, 3);
+        b.minimize([(1, v[1].positive())]);
+        let inst = b.build().unwrap();
+        let a = Assignment::new(3);
         let out = MisBound::new().lower_bound(&Subproblem::new(&inst, &a), None);
-        assert_eq!(out.bound, 5);
+        assert!(out.infeasible, "closure must find the x1 contradiction");
+        assert_eq!(brute_force(&inst).cost(), None, "instance really is infeasible");
+        // Plain MIS misses it (both rows are individually coverable).
+        let plain = MisBound::with_implied(false).lower_bound(&Subproblem::new(&inst, &a), None);
+        assert!(!plain.infeasible);
+    }
+
+    #[test]
+    fn reduced_cost_fixing_prunes_via_upper() {
+        // Clauses {x1, x2} and {x2, x3}, costs 5/9/5, upper = 9. Greedy
+        // selects one clause (they overlap on x2): bound 5, no prune.
+        // Fixing: x2 true already costs 9 >= upper, so x2 is fixed
+        // false; the closure then forces both x1 and x3 (5 + 5 = 10 >=
+        // 9) — the node prunes where plain MIS cannot.
+        let mut b = InstanceBuilder::new();
+        let v = b.new_vars(3);
+        b.add_clause([v[0].positive(), v[1].positive()]);
+        b.add_clause([v[1].positive(), v[2].positive()]);
+        b.minimize([(5, v[0].positive()), (9, v[1].positive()), (5, v[2].positive())]);
+        let inst = b.build().unwrap();
+        let a = Assignment::new(3);
+        let sub = Subproblem::new(&inst, &a);
+        let plain = MisBound::with_implied(false).lower_bound(&sub, Some(9));
+        assert!(!plain.prunes(9), "plain MIS must not see it: bound {}", plain.bound);
+        let fixed = MisBound::new().lower_bound(&sub, Some(9));
+        assert!(fixed.prunes(9), "fixing must prune: bound {}", fixed.bound);
+        assert!(!fixed.infeasible, "upper-conditional wipeout must stay a bound fact");
+        // Soundness: the optimum really is >= 9 (x2 alone costs 9).
+        assert_eq!(brute_force(&inst).cost(), Some(9));
     }
 
     #[test]
@@ -310,6 +758,49 @@ mod tests {
             let from_shared = shared.lower_bound(&sub, None);
             let from_fresh = MisBound::new().lower_bound(&sub, None);
             assert_eq!(from_shared, from_fresh, "round {round}");
+        }
+    }
+
+    #[test]
+    fn fixing_never_cuts_off_improving_solutions_randomized() {
+        // The semantic the solver relies on: whenever a feasible
+        // completion strictly cheaper than `upper` exists, the outcome
+        // must neither claim infeasibility nor report a bound above that
+        // completion's cost.
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(0x5150);
+        for round in 0..60 {
+            let n = rng.gen_range(3..8);
+            let mut b = InstanceBuilder::new();
+            let vars = b.new_vars(n);
+            for _ in 0..rng.gen_range(2..6) {
+                let k = rng.gen_range(1..=3.min(n));
+                let mut idxs: Vec<usize> = (0..n).collect();
+                for i in 0..k {
+                    let j = rng.gen_range(i..n);
+                    idxs.swap(i, j);
+                }
+                let terms: Vec<(i64, Lit)> = idxs[..k]
+                    .iter()
+                    .map(|&i| (rng.gen_range(1..4), vars[i].lit(rng.gen_bool(0.75))))
+                    .collect();
+                let maxw: i64 = terms.iter().map(|t| t.0).sum();
+                b.add_linear(terms, pbo_core::RelOp::Ge, rng.gen_range(1..=maxw));
+            }
+            b.minimize(vars.iter().map(|v| (rng.gen_range(0..7), v.positive())));
+            let inst = b.build().unwrap();
+            let Some(opt) = brute_force(&inst).cost() else { continue };
+            let upper = opt + rng.gen_range(1i64..5);
+            let a = Assignment::new(n);
+            let out = MisBound::new().lower_bound(&Subproblem::new(&inst, &a), Some(upper));
+            // opt < upper, so an improving completion exists: pruning it
+            // away would be unsound.
+            assert!(!out.infeasible, "round {round}: spurious infeasibility");
+            assert!(
+                out.bound <= opt,
+                "round {round}: bound {} exceeds optimum {opt} (upper {upper})",
+                out.bound
+            );
         }
     }
 }

@@ -25,6 +25,7 @@
 
 use pbo_core::{Assignment, Instance, Lit};
 
+use crate::dynrows::{DynRow, DynamicRows};
 use crate::subproblem::{ActiveEntry, Subproblem};
 
 /// List-end sentinel of the active linked list.
@@ -80,13 +81,27 @@ pub struct ResidualStats {
 #[derive(Clone, Debug)]
 pub struct ResidualState {
     // --- static per-instance data (built once) ---
-    /// Occurrence lists indexed by literal code.
+    /// Number of static (instance) constraints; row indices at or above
+    /// this refer to the dynamic-row region.
+    num_static: usize,
+    /// Occurrence lists indexed by literal code (static rows only).
     occ: Vec<Vec<Occ>>,
     /// Objective cost per literal code (cost incurred when the literal
     /// becomes true).
     lit_cost: Vec<i64>,
-    /// Right-hand side per constraint.
+    /// Right-hand side per constraint: `[0, num_static)` static, then
+    /// one entry per dynamic row.
     rhs: Vec<i64>,
+    // --- dynamic-row region (epoch-versioned; see `set_dynamic_rows`) ---
+    /// Installed dynamic rows, in registry order.
+    dyn_rows: Vec<DynRow>,
+    /// Epoch of the installed region (matches `DynamicRows::epoch`).
+    dyn_epoch: u64,
+    /// Occurrence lists of the dynamic rows, indexed by literal code.
+    dyn_occ: Vec<Vec<Occ>>,
+    /// Whether each literal (by code) is currently applied — lets a row
+    /// installed mid-trail compute its counters in O(row terms).
+    applied: Vec<bool>,
     // --- dynamic counters ---
     /// Path cost (objective offset included).
     path_cost: i64,
@@ -142,9 +157,14 @@ impl ResidualState {
         let active_next: Vec<u32> =
             (0..m as u32).map(|i| if i + 1 == m as u32 { NIL } else { i + 1 }).collect();
         ResidualState {
+            num_static: m,
             occ,
             lit_cost,
             rhs,
+            dyn_rows: Vec::new(),
+            dyn_epoch: 0,
+            dyn_occ: vec![Vec::new(); 2 * num_vars],
+            applied: vec![false; 2 * num_vars],
             path_cost,
             sat_weight: vec![0; m],
             free_count,
@@ -156,6 +176,60 @@ impl ResidualState {
             entries: Vec::with_capacity(m),
             stats: ResidualStats::default(),
         }
+    }
+
+    /// Installs (or swaps) the dynamic-row region from the registry.
+    ///
+    /// A no-op when the registry's epoch is the one already installed;
+    /// otherwise the old region is dropped and the new rows' counters are
+    /// computed against the *currently applied* trail in O(region terms)
+    /// — re-rooting on a new incumbent is a row-region swap, never a
+    /// state rebuild. Safe at any trail depth: rows installed mid-trail
+    /// unwind and replay exactly like static rows from then on.
+    pub fn set_dynamic_rows(&mut self, rows: &DynamicRows) {
+        if self.dyn_epoch == rows.epoch() && self.dyn_rows.len() == rows.len() {
+            return;
+        }
+        // Drop the old region: clear only the occurrence lists it touched.
+        for row in &self.dyn_rows {
+            for t in row.constraint.terms() {
+                self.dyn_occ[t.lit.code()].clear();
+            }
+        }
+        self.rhs.truncate(self.num_static);
+        self.sat_weight.truncate(self.num_static);
+        self.free_count.truncate(self.num_static);
+        self.dyn_rows.clear();
+        self.dyn_epoch = rows.epoch();
+        for (k, row) in rows.rows().iter().enumerate() {
+            let ci = (self.num_static + k) as u32;
+            let mut sat = 0i64;
+            let mut free = 0u32;
+            for t in row.constraint.terms() {
+                if self.applied[t.lit.code()] {
+                    sat += t.coeff;
+                } else if !self.applied[(!t.lit).code()] {
+                    free += 1;
+                }
+                self.dyn_occ[t.lit.code()].push(Occ { constraint: ci, coeff: t.coeff });
+            }
+            self.rhs.push(row.constraint.rhs());
+            self.sat_weight.push(sat);
+            self.free_count.push(free);
+        }
+        self.dyn_rows.extend_from_slice(rows.rows());
+    }
+
+    /// Number of dynamic rows currently installed.
+    #[inline]
+    pub fn num_dynamic_rows(&self) -> usize {
+        self.dyn_rows.len()
+    }
+
+    /// Epoch of the installed dynamic-row region.
+    #[inline]
+    pub fn dynamic_epoch(&self) -> u64 {
+        self.dyn_epoch
     }
 
     /// Number of literals currently applied — the mark to hand to the
@@ -240,6 +314,19 @@ impl ResidualState {
             let ci = self.occ[(!lit).code()][k].constraint as usize;
             self.free_count[ci] -= 1;
         }
+        // Dynamic rows: counter updates only (their activity is decided
+        // at view time, so region swaps never disturb the linked list).
+        for k in 0..self.dyn_occ[lit.code()].len() {
+            let Occ { constraint, coeff } = self.dyn_occ[lit.code()][k];
+            let ci = constraint as usize;
+            self.sat_weight[ci] += coeff;
+            self.free_count[ci] -= 1;
+        }
+        for k in 0..self.dyn_occ[(!lit).code()].len() {
+            let ci = self.dyn_occ[(!lit).code()][k].constraint as usize;
+            self.free_count[ci] -= 1;
+        }
+        self.applied[lit.code()] = true;
         self.trail.push(lit);
     }
 
@@ -255,6 +342,7 @@ impl ResidualState {
         while self.trail.len() > len {
             let lit = self.trail.pop().expect("checked above");
             self.stats.unwound += 1;
+            self.applied[lit.code()] = false;
             for k in 0..self.occ[(!lit).code()].len() {
                 let ci = self.occ[(!lit).code()][k].constraint as usize;
                 self.free_count[ci] += 1;
@@ -271,6 +359,16 @@ impl ResidualState {
                     self.activate(constraint);
                 }
             }
+            for k in 0..self.dyn_occ[(!lit).code()].len() {
+                let ci = self.dyn_occ[(!lit).code()][k].constraint as usize;
+                self.free_count[ci] += 1;
+            }
+            for k in 0..self.dyn_occ[lit.code()].len() {
+                let Occ { constraint, coeff } = self.dyn_occ[lit.code()][k];
+                let ci = constraint as usize;
+                self.sat_weight[ci] -= coeff;
+                self.free_count[ci] += 1;
+            }
             self.path_cost -= self.lit_cost[lit.code()];
         }
     }
@@ -286,7 +384,7 @@ impl ResidualState {
         instance: &'a Instance,
         assignment: &'a Assignment,
     ) -> Subproblem<'a> {
-        debug_assert_eq!(instance.num_constraints(), self.rhs.len(), "instance mismatch");
+        debug_assert_eq!(instance.num_constraints(), self.num_static, "instance mismatch");
         debug_assert_eq!(
             self.path_cost,
             instance.objective().map_or(0, |o| o.path_cost(assignment)),
@@ -310,7 +408,27 @@ impl ResidualState {
             ci = self.active_next[i];
         }
         debug_assert_eq!(self.entries.len(), self.num_active);
-        Subproblem::from_parts(instance, assignment, self.path_cost, &self.entries, &self.lit_cost)
+        // Dynamic rows, in ascending (registry) order after the static
+        // rows — matching the rebuild oracle's iteration order. The
+        // region is small (a handful of cuts), so the scan is O(region).
+        for k in 0..self.dyn_rows.len() {
+            let i = self.num_static + k;
+            if self.sat_weight[i] < self.rhs[i] {
+                self.entries.push(ActiveEntry {
+                    index: i as u32,
+                    residual_rhs: self.rhs[i] - self.sat_weight[i],
+                    free_count: self.free_count[i],
+                });
+            }
+        }
+        Subproblem::from_parts(
+            instance,
+            assignment,
+            self.path_cost,
+            &self.entries,
+            &self.lit_cost,
+            &self.dyn_rows,
+        )
     }
 }
 

@@ -21,6 +21,8 @@
 
 use pbo_core::{Assignment, ConstraintState, Instance, Lit, PbTerm, Value};
 
+use crate::dynrows::{DynRow, DynamicRows};
+
 /// One active (unsatisfied, undetermined) constraint of the residual
 /// problem.
 ///
@@ -73,6 +75,9 @@ pub struct Subproblem<'a> {
     /// Dense per-literal objective costs, available when the view comes
     /// from a [`ResidualState`](crate::ResidualState) (O(1) `lit_cost`).
     costs: Option<&'a [i64]>,
+    /// Dynamic rows of the view; active entries with
+    /// `index >= instance.num_constraints()` refer to these.
+    dyn_rows: &'a [DynRow],
 }
 
 impl<'a> Subproblem<'a> {
@@ -81,9 +86,31 @@ impl<'a> Subproblem<'a> {
     /// are kept as active with their (unreachable) residual — callers run
     /// after propagation, so violated constraints normally cannot occur.
     pub fn new(instance: &'a Instance, assignment: &'a Assignment) -> Subproblem<'a> {
+        Self::rebuild(instance, assignment, &[])
+    }
+
+    /// Like [`Subproblem::new`], but the residual problem additionally
+    /// contains the given dynamic rows (learned cost cuts, promoted
+    /// clauses), appended after the instance constraints in registry
+    /// order — the rebuild oracle for
+    /// [`ResidualState::set_dynamic_rows`](crate::ResidualState::set_dynamic_rows).
+    pub fn with_rows(
+        instance: &'a Instance,
+        assignment: &'a Assignment,
+        rows: &'a DynamicRows,
+    ) -> Subproblem<'a> {
+        Self::rebuild(instance, assignment, rows.rows())
+    }
+
+    fn rebuild(
+        instance: &'a Instance,
+        assignment: &'a Assignment,
+        dyn_rows: &'a [DynRow],
+    ) -> Subproblem<'a> {
         let path_cost = instance.objective().map_or(0, |o| o.path_cost(assignment));
         let mut active = Vec::new();
-        for (index, c) in instance.constraints().iter().enumerate() {
+        let dynamic = dyn_rows.iter().map(|r| &r.constraint);
+        for (index, c) in instance.constraints().iter().chain(dynamic).enumerate() {
             match c.eval(assignment) {
                 ConstraintState::Satisfied => continue,
                 ConstraintState::Violated | ConstraintState::Undetermined => {
@@ -108,6 +135,7 @@ impl<'a> Subproblem<'a> {
             path_cost,
             active: ActiveSlice::Owned(active),
             costs: None,
+            dyn_rows,
         }
     }
 
@@ -119,6 +147,7 @@ impl<'a> Subproblem<'a> {
         path_cost: i64,
         active: &'a [ActiveEntry],
         costs: &'a [i64],
+        dyn_rows: &'a [DynRow],
     ) -> Subproblem<'a> {
         Subproblem {
             instance,
@@ -126,6 +155,7 @@ impl<'a> Subproblem<'a> {
             path_cost,
             active: ActiveSlice::Borrowed(active),
             costs: Some(costs),
+            dyn_rows,
         }
     }
 
@@ -163,22 +193,45 @@ impl<'a> Subproblem<'a> {
         }
     }
 
-    /// The unassigned terms of the original constraint `index`, in
+    /// Number of static (instance) rows; active entries with an index at
+    /// or above this refer to dynamic rows.
+    #[inline]
+    pub fn num_static_rows(&self) -> usize {
+        self.instance.num_constraints()
+    }
+
+    /// The dynamic rows of this view (empty unless the view was produced
+    /// with dynamic rows installed).
+    pub fn dynamic_rows(&self) -> &[DynRow] {
+        self.dyn_rows
+    }
+
+    /// The terms of row `index` — a static instance constraint for
+    /// `index < num_static_rows()`, a dynamic row otherwise.
+    #[inline]
+    pub fn row_terms(&self, index: usize) -> &[PbTerm] {
+        let num_static = self.instance.num_constraints();
+        if index < num_static {
+            self.instance.constraints()[index].terms()
+        } else {
+            self.dyn_rows[index - num_static].constraint.terms()
+        }
+    }
+
+    /// The unassigned terms of row `index` (static or dynamic), in
     /// original term order, without materializing them.
     pub fn free_terms(&self, index: usize) -> impl Iterator<Item = PbTerm> + '_ {
-        self.instance.constraints()[index]
-            .terms()
+        self.row_terms(index)
             .iter()
             .copied()
             .filter(|t| self.assignment.lit_value(t.lit) == Value::Unassigned)
     }
 
-    /// The literals of the original constraint `index` currently assigned
+    /// The literals of row `index` (static or dynamic) currently assigned
     /// false — the building block of the paper's `omega_pl` (eq. 9) —
     /// without materializing them.
     pub fn false_literals(&self, index: usize) -> impl Iterator<Item = Lit> + '_ {
-        self.instance.constraints()[index]
-            .terms()
+        self.row_terms(index)
             .iter()
             .map(|t| t.lit)
             .filter(|&l| self.assignment.lit_value(l) == Value::False)

@@ -845,6 +845,28 @@ impl Engine {
         self.clauses.num_learnt()
     }
 
+    /// Exports up to `max_count` learned clauses of length at most
+    /// `max_len`, most active first — the hook that lets the bounding
+    /// subsystem promote learned clauses into the residual problem's
+    /// dynamic-row region (and the local search fold them into its
+    /// constraint set). The clauses stay owned by the engine; the
+    /// returned literal vectors are snapshots, valid regardless of later
+    /// database reductions.
+    pub fn export_learnts(&self, max_len: usize, max_count: usize) -> Vec<Vec<Lit>> {
+        let mut candidates: Vec<(f64, ClauseId)> = self
+            .clauses
+            .iter()
+            .filter(|(_, c)| c.is_learnt() && !c.is_empty() && c.len() <= max_len)
+            .map(|(id, c)| (c.activity(), id))
+            .collect();
+        candidates.sort_by(|a, b| b.0.partial_cmp(&a.0).unwrap_or(std::cmp::Ordering::Equal));
+        candidates
+            .into_iter()
+            .take(max_count)
+            .map(|(_, id)| self.clauses.get(id).lits().to_vec())
+            .collect()
+    }
+
     /// Removes roughly half of the learned clauses, keeping the most
     /// active ones, binary clauses and clauses currently used as reasons.
     pub fn reduce_learnts(&mut self) {

@@ -1,17 +1,37 @@
 //! The shared incumbent cell: where local search and branch-and-bound
-//! exchange solutions.
+//! exchange solutions — and, since the dynamic-row work, learned cost
+//! cuts.
 
-use std::sync::atomic::{AtomicI64, Ordering};
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
 use std::sync::Mutex;
 use std::time::{Duration, Instant};
 
+use pbo_core::Lit;
+
 /// `cost` value meaning "no incumbent yet".
 const EMPTY: i64 = i64::MAX;
+
+/// One learned cost cut in normalized `>=` form, as shared through the
+/// cell's cut pool: `sum coeff * lit >= rhs`.
+///
+/// Every shared cut must be implied by the instance constraints together
+/// with the incumbent bound `cost <= best - 1` — consumers may use it to
+/// steer search away from non-improving regions, but never to declare a
+/// *better* solution infeasible.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct SharedCut {
+    /// The weighted literals of the cut.
+    pub terms: Vec<(i64, Lit)>,
+    /// The right-hand side.
+    pub rhs: i64,
+}
 
 struct CellInner {
     model: Option<Vec<bool>>,
     /// Improving offers in arrival order, for incumbent trajectories.
     history: Vec<(Instant, i64)>,
+    /// The current cut pool (replaced wholesale on each publish).
+    cuts: Vec<SharedCut>,
 }
 
 /// A thread-safe best-solution cell shared between solution producers.
@@ -43,6 +63,9 @@ struct CellInner {
 /// ```
 pub struct IncumbentCell {
     cost: AtomicI64,
+    /// Epoch of the cut pool; bumped on every publish so consumers can
+    /// poll for changes without taking the lock.
+    cuts_epoch: AtomicU64,
     inner: Mutex<CellInner>,
 }
 
@@ -51,7 +74,8 @@ impl IncumbentCell {
     pub fn new() -> IncumbentCell {
         IncumbentCell {
             cost: AtomicI64::new(EMPTY),
-            inner: Mutex::new(CellInner { model: None, history: Vec::new() }),
+            cuts_epoch: AtomicU64::new(0),
+            inner: Mutex::new(CellInner { model: None, history: Vec::new(), cuts: Vec::new() }),
         }
     }
 
@@ -106,6 +130,34 @@ impl IncumbentCell {
             .iter()
             .map(|&(at, cost)| (at.saturating_duration_since(start), cost))
             .collect()
+    }
+
+    /// Replaces the cut pool with `cuts` and bumps the pool epoch. The
+    /// producer (the branch-and-bound re-rooting its dynamic rows)
+    /// vouches that every cut is implied by the instance plus its
+    /// current incumbent bound.
+    pub fn publish_cuts(&self, cuts: Vec<SharedCut>) {
+        let mut inner = self.lock();
+        inner.cuts = cuts;
+        self.cuts_epoch.fetch_add(1, Ordering::AcqRel);
+    }
+
+    /// Current cut-pool epoch (0 = nothing published yet); lock-free.
+    #[inline]
+    pub fn cuts_epoch(&self) -> u64 {
+        self.cuts_epoch.load(Ordering::Acquire)
+    }
+
+    /// Clones the cut pool if its epoch differs from `seen`, returning
+    /// the new epoch alongside. `None` means "nothing new" — the common
+    /// case, answered by one atomic load.
+    pub fn cuts_snapshot(&self, seen: u64) -> Option<(u64, Vec<SharedCut>)> {
+        if self.cuts_epoch() == seen {
+            return None;
+        }
+        let inner = self.lock();
+        let epoch = self.cuts_epoch();
+        Some((epoch, inner.cuts.clone()))
     }
 }
 

@@ -77,5 +77,5 @@
 mod cell;
 mod search;
 
-pub use cell::IncumbentCell;
+pub use cell::{IncumbentCell, SharedCut};
 pub use search::{LocalSearch, LsOptions, LsResult, LsStats};

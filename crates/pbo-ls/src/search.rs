@@ -3,11 +3,11 @@
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::time::{Duration, Instant};
 
-use pbo_core::{verify_solution, Instance, Var};
+use pbo_core::{verify_solution, Instance, PbTerm, Var};
 use rand::{Rng, SeedableRng};
 use rand_chacha::ChaCha8Rng;
 
-use crate::cell::IncumbentCell;
+use crate::cell::{IncumbentCell, SharedCut};
 
 /// Weights are halved across the board once any reaches this cap, so the
 /// landscape reshaping never runs away numerically.
@@ -82,6 +82,9 @@ pub struct LsStats {
     pub restarts: u64,
     /// Weight-bump (local-minimum escape) events.
     pub weight_bumps: u64,
+    /// Cut-pool adoptions: how often the walk folded a fresh set of
+    /// learned cost cuts into its constraint set.
+    pub cuts_adopted: u64,
     /// Verified improving incumbents recorded.
     pub incumbents: u64,
     /// Candidate incumbents rejected by verification (always 0 unless the
@@ -142,10 +145,21 @@ pub struct LocalSearch<'a> {
     /// walk entirely.
     hopeless: bool,
     // --- static per-instance data ---
-    /// Occurrence lists indexed by literal code.
+    /// Number of instance constraints; rows at or above this index are
+    /// adopted cut rows.
+    base_rows: usize,
+    /// Occurrence lists indexed by literal code (instance rows first,
+    /// cut-row occurrences appended — see `occ_base`).
     occ: Vec<Vec<Occ>>,
-    /// Right-hand side per constraint.
+    /// Length of each occurrence list before any cut row was added, so a
+    /// new cut-pool epoch can truncate back in O(lists).
+    occ_base: Vec<u32>,
+    /// Right-hand side per row (instance rows, then cut rows).
     rhs: Vec<i64>,
+    /// Adopted cut rows (terms only; `rhs` holds their right-hand side).
+    extra: Vec<Vec<PbTerm>>,
+    /// Cut-pool epoch last adopted from the cell.
+    cuts_seen: u64,
     /// Objective cost per literal code.
     lit_cost: Vec<i64>,
     /// Best possible objective value (offset): the perfection test.
@@ -198,6 +212,7 @@ impl<'a> LocalSearch<'a> {
             }
         }
         let seed = options.seed;
+        let occ_base = occ.iter().map(|l| l.len() as u32).collect();
         let mut ls = LocalSearch {
             instance,
             options,
@@ -205,8 +220,12 @@ impl<'a> LocalSearch<'a> {
             created: Instant::now(),
             optimization: instance.is_optimization(),
             hopeless,
+            base_rows: m,
             occ,
+            occ_base,
             rhs,
+            extra: Vec::new(),
+            cuts_seen: 0,
             lit_cost,
             min_cost,
             values: vec![false; n],
@@ -228,6 +247,85 @@ impl<'a> LocalSearch<'a> {
     /// The best verified solution found so far.
     pub fn best(&self) -> Option<(i64, &[bool])> {
         self.best.as_ref().map(|(c, m)| (*c, m.as_slice()))
+    }
+
+    /// Number of adopted cut rows currently in the constraint set.
+    pub fn num_cut_rows(&self) -> usize {
+        self.extra.len()
+    }
+
+    /// The terms of row `ci`: an instance constraint, or an adopted cut.
+    #[inline]
+    fn row_terms(&self, ci: usize) -> &[PbTerm] {
+        if ci < self.base_rows {
+            self.instance.constraints()[ci].terms()
+        } else {
+            &self.extra[ci - self.base_rows]
+        }
+    }
+
+    /// Replaces the adopted cut rows with `cuts`: the per-row arrays are
+    /// rebuilt and the new rows' true-weight counters and violated-set
+    /// membership are computed against the current assignment, so the
+    /// walk can continue immediately.
+    ///
+    /// Cut rows are *guidance*: they are implied by "the instance plus
+    /// `cost < incumbent`", so no improving solution ever violates one
+    /// (the incumbent check in `record_incumbent` is unaffected), while
+    /// the weighted walk is steered away from regions the exact solver
+    /// has refuted.
+    pub fn install_cuts(&mut self, cuts: &[SharedCut]) {
+        // Drop the old cut rows from the violated set.
+        let stale: Vec<u32> =
+            self.violated.iter().copied().filter(|&c| c as usize >= self.base_rows).collect();
+        for c in stale {
+            self.remove_violated(c);
+        }
+        for (code, list) in self.occ.iter_mut().enumerate() {
+            list.truncate(self.occ_base[code] as usize);
+        }
+        self.rhs.truncate(self.base_rows);
+        self.lhs.truncate(self.base_rows);
+        self.weights.truncate(self.base_rows);
+        self.extra.clear();
+        for cut in cuts {
+            // Rows over variables this instance does not have (a foreign
+            // producer) are ignored outright.
+            if cut.terms.iter().any(|&(_, l)| l.var().index() >= self.values.len()) {
+                continue;
+            }
+            let ci = (self.base_rows + self.extra.len()) as u32;
+            let mut lhs = 0i64;
+            for &(coeff, lit) in &cut.terms {
+                self.occ[lit.code()].push(Occ { constraint: ci, coeff });
+                if self.values[lit.var().index()] == lit.is_positive() {
+                    lhs += coeff;
+                }
+            }
+            self.extra.push(cut.terms.iter().map(|&(c, l)| PbTerm::new(c, l)).collect());
+            self.rhs.push(cut.rhs);
+            self.lhs.push(lhs);
+            self.weights.push(1);
+        }
+        self.vio_pos.resize(self.base_rows + self.extra.len(), NOT_VIOLATED);
+        for k in 0..self.extra.len() {
+            let ci = self.base_rows + k;
+            if self.lhs[ci] < self.rhs[ci] {
+                self.add_violated(ci as u32);
+            }
+        }
+    }
+
+    /// Adopts a fresh cut pool from the cell, if its epoch moved.
+    /// Returns `true` when the constraint set changed (the caller must
+    /// re-seed before stepping).
+    fn adopt_cuts(&mut self, cell: Option<&IncumbentCell>) -> bool {
+        let Some(cell) = cell else { return false };
+        let Some((epoch, cuts)) = cell.cuts_snapshot(self.cuts_seen) else { return false };
+        self.cuts_seen = epoch;
+        self.stats.cuts_adopted += 1;
+        self.install_cuts(&cuts);
+        true
     }
 
     /// Runs the search until the per-call step budget, the per-call time
@@ -257,7 +355,16 @@ impl<'a> LocalSearch<'a> {
                 if self.satisfied_with_best() {
                     break;
                 }
-                if done > 0 && done.is_multiple_of(restart_every) {
+                // The restart cadence counts *cumulative* steps, so a
+                // driver feeding the engine short per-call budgets (the
+                // chunked seeding phase, the concurrent-portfolio loop)
+                // restarts exactly as often as one long run would — even
+                // when every chunk is shorter than the interval.
+                if self.stats.steps > 0 && self.stats.steps.is_multiple_of(restart_every) {
+                    // Restarts are the cut-adoption point: a re-seeded
+                    // walk starts with `lhs` and the violated set already
+                    // covering the freshly folded rows.
+                    self.adopt_cuts(cell);
                     self.restart();
                 }
                 self.step(cell);
@@ -308,18 +415,20 @@ impl<'a> LocalSearch<'a> {
         // Candidates: variables of false literals of `ci`, sampled from a
         // random rotation so subsampling has no positional bias.
         self.cand.clear();
-        let terms = self.instance.constraints()[ci].terms();
-        let start = if terms.is_empty() { 0 } else { self.rng.gen_range(0..terms.len()) };
-        for k in 0..terms.len() {
-            if self.cand.len() >= self.options.max_candidates {
+        let len = self.row_terms(ci).len();
+        let start = if len == 0 { 0 } else { self.rng.gen_range(0..len) };
+        let mut cand = std::mem::take(&mut self.cand);
+        for k in 0..len {
+            if cand.len() >= self.options.max_candidates {
                 break;
             }
-            let t = terms[(start + k) % terms.len()];
+            let t = self.row_terms(ci)[(start + k) % len];
             let is_true = self.values[t.lit.var().index()] == t.lit.is_positive();
             if !is_true {
-                self.cand.push(t.lit.var().index());
+                cand.push(t.lit.var().index());
             }
         }
+        self.cand = cand;
         self.choose_and_flip();
     }
 
@@ -580,14 +689,15 @@ impl<'a> LocalSearch<'a> {
         }
         self.violated.clear();
         self.vio_pos.fill(NOT_VIOLATED);
-        for (ci, c) in self.instance.constraints().iter().enumerate() {
-            self.lhs[ci] = c
-                .terms()
+        for ci in 0..self.rhs.len() {
+            let lhs: i64 = self
+                .row_terms(ci)
                 .iter()
                 .filter(|t| self.values[t.lit.var().index()] == t.lit.is_positive())
                 .map(|t| t.coeff)
                 .sum();
-            if self.lhs[ci] < self.rhs[ci] {
+            self.lhs[ci] = lhs;
+            if lhs < self.rhs[ci] {
                 self.add_violated(ci as u32);
             }
         }
@@ -719,6 +829,51 @@ mod tests {
         let mut ls = LocalSearch::new(&inst, LsOptions::default());
         let result = ls.run(None, Some(&stop));
         assert_eq!(result.stats.steps, 0, "pre-raised stop flag halts before any step");
+    }
+
+    #[test]
+    fn adopts_cuts_from_the_cell_on_restart() {
+        let inst = covering_instance();
+        let cell = IncumbentCell::new();
+        // Publish a genuine cost cut for upper = 7: 2~x1 + 3~x2 + 2~x3 >= 1
+        // (i.e. cost <= 6), as the exact solver's re-root would.
+        let v: Vec<Var> = (0..3).map(Var::new).collect();
+        cell.publish_cuts(vec![SharedCut {
+            terms: vec![(2, v[0].negative()), (3, v[1].negative()), (2, v[2].negative())],
+            rhs: 1,
+        }]);
+        let opts = LsOptions { restart_interval: 500, max_steps: 5_000, ..LsOptions::default() };
+        let mut ls = LocalSearch::new(&inst, opts);
+        let result = ls.run(Some(&cell), None);
+        assert!(ls.stats.cuts_adopted >= 1, "the pool epoch moved, LS must fold the cuts");
+        assert_eq!(ls.num_cut_rows(), 1);
+        // The cut never blocks improving solutions: optimum still found
+        // and verified.
+        assert_eq!(result.best_cost, Some(3));
+        assert_eq!(result.stats.verify_rejects, 0);
+    }
+
+    #[test]
+    fn cut_pool_epoch_swap_replaces_rows() {
+        let inst = covering_instance();
+        let mut ls = LocalSearch::new(&inst, LsOptions::default());
+        let v: Vec<Var> = (0..3).map(Var::new).collect();
+        ls.install_cuts(&[
+            SharedCut { terms: vec![(1, v[0].negative()), (1, v[1].negative())], rhs: 1 },
+            SharedCut { terms: vec![(1, v[2].negative())], rhs: 1 },
+        ]);
+        assert_eq!(ls.num_cut_rows(), 2);
+        // A fresh epoch replaces, never accumulates; out-of-range rows
+        // are ignored.
+        ls.install_cuts(&[SharedCut { terms: vec![(1, Var::new(99).positive())], rhs: 1 }]);
+        assert_eq!(ls.num_cut_rows(), 0, "foreign-variable cut must be dropped");
+        // `~x1 >= 1` is consistent with the optimum (x2 alone): the walk
+        // is steered toward it, never away.
+        ls.install_cuts(&[SharedCut { terms: vec![(1, v[0].negative())], rhs: 1 }]);
+        assert_eq!(ls.num_cut_rows(), 1);
+        // After a reset the walk still verifies and finds the optimum.
+        let result = ls.run(None, None);
+        assert_eq!(result.best_cost, Some(3));
     }
 
     #[test]

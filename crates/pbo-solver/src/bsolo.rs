@@ -38,15 +38,13 @@
 
 use std::time::Instant;
 
-use pbo_bounds::{
-    LagrangianBound, LowerBound, LprBound, MisBound, NoBound, ResidualState, Subproblem,
-};
-use pbo_core::{verify_solution, Instance, Lit, Value, Var};
-use pbo_engine::{Conflict, Engine, PbId, Resolution, TrailObserver};
-use pbo_ls::IncumbentCell;
+use pbo_core::{verify_solution, Instance, Lit, PbConstraint, Value, Var};
+use pbo_engine::{Conflict, Engine, PbId, Resolution};
+use pbo_ls::{IncumbentCell, SharedCut};
 
-use crate::cuts::{cardinality_cost_cuts, knapsack_cut};
-use crate::options::{Branching, BsoloOptions, LbMethod, ResidualMode};
+use crate::cuts::{cost_cuts, knapsack_cut};
+use crate::options::{Branching, BsoloOptions, LbMethod};
+use crate::pipeline::BoundPipeline;
 use crate::preprocess::{probe, ProbeOutcome};
 use crate::result::{SolveResult, SolveStatus, SolverStats};
 
@@ -145,7 +143,7 @@ impl Bsolo {
         stats.propagations = search.engine.stats.propagations;
         stats.restarts = search.engine.stats.restarts;
         stats.backjump_levels = search.engine.stats.backjump_levels;
-        if let Some(lpr) = search.lpr_for_branching() {
+        if let Some(lpr) = search.pipeline.lpr() {
             stats.lp_iterations = lpr.simplex_iterations();
         }
         stats.solve_time = start.elapsed();
@@ -158,39 +156,13 @@ impl Bsolo {
     }
 }
 
-/// Lower-bound procedure dispatch (avoids `Box<dyn>` so the LPR state can
-/// also serve the branching heuristic).
-enum Bound {
-    None(NoBound),
-    Mis(MisBound),
-    Lgr(LagrangianBound),
-    Lpr(LprBound),
-}
-
-impl Bound {
-    fn lower_bound(&mut self, sub: &Subproblem<'_>, upper: Option<i64>) -> pbo_bounds::LbOutcome {
-        match self {
-            Bound::None(b) => b.lower_bound(sub, upper),
-            Bound::Mis(b) => b.lower_bound(sub, upper),
-            Bound::Lgr(b) => b.lower_bound(sub, upper),
-            Bound::Lpr(b) => b.lower_bound(sub, upper),
-        }
-    }
-}
-
 struct SearchState<'a> {
     instance: &'a Instance,
     options: &'a BsoloOptions,
     engine: Engine,
-    bound: Bound,
-    /// Trail-mirrored residual problem ([`ResidualMode::Incremental`]);
-    /// `None` in rebuild mode or when the instance never computes bounds.
-    residual: Option<ResidualState>,
-    /// Engine trail observer backing `residual`.
-    residual_obs: Option<TrailObserver>,
-    /// Engine trail observer backing the LP bound's variable-fixing
-    /// mirror (incremental mode with [`LbMethod::Lpr`] only).
-    lpr_obs: Option<TrailObserver>,
+    /// The bounding subsystem: bound procedure, residual state, trail
+    /// observers, dynamic-row registry and gating policy.
+    pipeline: BoundPipeline,
     /// Shared incumbent cell of the portfolio, if any.
     cell: Option<&'a IncumbentCell>,
     /// Solve start, for `time_to_best` accounting.
@@ -198,7 +170,6 @@ struct SearchState<'a> {
     best_cost: Option<i64>,
     best_model: Option<Vec<bool>>,
     active_cuts: Vec<PbId>,
-    decisions_since_lb: u32,
     /// Cost of the cheapest cell entry that failed verification (a buggy
     /// external producer); entries at or above it are not re-verified.
     rejected_external: Option<i64>,
@@ -226,46 +197,19 @@ impl<'a> SearchState<'a> {
                 }
             }
         }
-        let bound = match options.lb_method {
-            LbMethod::None => Bound::None(NoBound::new()),
-            LbMethod::Mis => Bound::Mis(MisBound::new()),
-            LbMethod::Lagrangian => Bound::Lgr(LagrangianBound::new(instance.num_constraints())),
-            LbMethod::Lpr => Bound::Lpr(LprBound::new(instance)),
-        };
-        // The residual state only pays off where bounds are computed:
-        // optimization instances (satisfaction search never bounds).
-        let incremental =
-            options.residual_mode == ResidualMode::Incremental && instance.is_optimization();
-        let residual = if incremental { Some(ResidualState::new(instance)) } else { None };
-        let residual_obs = residual.as_ref().map(|_| engine.register_trail_observer());
-        // In incremental mode the LP bound joins the trail protocol as a
-        // second observer; rebuild mode keeps the O(vars) assignment diff
-        // as the differential-testing oracle.
-        let lpr_obs = (incremental && matches!(bound, Bound::Lpr(_)))
-            .then(|| engine.register_trail_observer());
+        let pipeline = BoundPipeline::new(instance, options, &mut engine);
         Ok(SearchState {
             instance,
             options,
             engine,
-            bound,
-            residual,
-            residual_obs,
-            lpr_obs,
+            pipeline,
             cell,
             start,
             best_cost: None,
             best_model: None,
             active_cuts: Vec::new(),
-            decisions_since_lb: 0,
             rejected_external: None,
         })
-    }
-
-    fn lpr_for_branching(&self) -> Option<&LprBound> {
-        match &self.bound {
-            Bound::Lpr(b) => Some(b),
-            _ => None,
-        }
     }
 
     /// Final status once the search space is exhausted.
@@ -320,65 +264,35 @@ impl<'a> SearchState<'a> {
                 }
             }
             // Bound step (eq. 7). With an incumbent the bound prunes on
-            // cost. Before the first incumbent only LPR runs: its Farkas
-            // certificate can prove a subtree has *no* feasible
-            // completion at all, pruning before any solution exists. MIS
-            // infeasibility duplicates what slack propagation already
-            // catches, and LGR/plain cannot prove infeasibility.
-            let bound_can_act = self.best_cost.is_some() || self.options.lb_method == LbMethod::Lpr;
-            if self.instance.is_optimization() && bound_can_act {
-                self.decisions_since_lb += 1;
-                if self.decisions_since_lb >= self.options.lb_frequency {
-                    self.decisions_since_lb = 0;
-                    let upper = self.best_cost;
-                    let sub_start = Instant::now();
-                    let out = {
-                        // Keep the LP bound's variable fixings in lockstep
-                        // with the trail (O(Δ) per node) through its own
-                        // observer.
-                        if let (Some(obs), Bound::Lpr(lpr)) = (self.lpr_obs, &mut self.bound) {
-                            let keep = self.engine.sync_trail(obs, lpr.synced_len());
-                            lpr.unwind_to(keep);
-                            for &lit in &self.engine.trail()[keep..] {
-                                lpr.apply(lit);
-                            }
-                        }
-                        // Produce the residual view: O(Δ) sync + O(active)
-                        // snapshot in incremental mode, a full O(instance)
-                        // re-scan in rebuild mode.
-                        let sub = match (self.residual.as_mut(), self.residual_obs) {
-                            (Some(state), Some(obs)) => {
-                                let keep = self.engine.sync_trail(obs, state.len());
-                                state.unwind_to(keep);
-                                for &lit in &self.engine.trail()[keep..] {
-                                    state.apply(lit);
-                                }
-                                state.view(self.instance, self.engine.assignment())
-                            }
-                            _ => Subproblem::new(self.instance, self.engine.assignment()),
-                        };
-                        stats.sub_time += sub_start.elapsed();
-                        let lb_start = Instant::now();
-                        let out = self.bound.lower_bound(&sub, upper);
-                        stats.lb_calls += 1;
-                        stats.lb_time += lb_start.elapsed();
-                        out
-                    };
-                    let prunes = match upper {
-                        Some(u) => out.prunes(u),
-                        None => out.infeasible,
-                    };
-                    if prunes {
-                        stats.bound_conflicts += 1;
-                        // An infeasibility explanation stands on its own:
-                        // no completion exists regardless of cost, so the
-                        // omega_pp cost literals would only weaken the
-                        // learned clause.
-                        let omega_bc = self.build_bound_conflict(&out.explanation, !out.infeasible);
-                        match self.engine.resolve_conflict(Conflict::AdHoc(omega_bc)) {
-                            Resolution::Unsat => return self.exhausted_status(),
-                            Resolution::Backjumped { .. } => continue,
-                        }
+            // cost. Before the first incumbent only procedures that can
+            // prove a subtree has *no* feasible completion run: LPR's
+            // Farkas certificate, and MIS's implication closure (plain
+            // MIS infeasibility duplicates what slack propagation
+            // already catches, and LGR/plain cannot prove infeasibility).
+            if self.instance.is_optimization()
+                && self.pipeline.can_act(self.best_cost.is_some())
+                && self.pipeline.tick()
+            {
+                let upper = self.best_cost;
+                let out = self.pipeline.compute(&mut self.engine, self.instance, upper, stats);
+                let prunes = match upper {
+                    Some(u) => out.prunes(u),
+                    None => out.infeasible,
+                };
+                if prunes {
+                    stats.bound_conflicts += 1;
+                    // A *true* infeasibility explanation stands on its
+                    // own: no completion exists regardless of cost, so
+                    // the omega_pp cost literals would only weaken the
+                    // learned clause. With dynamic rows installed,
+                    // though, "infeasible" is conditional on the
+                    // incumbent bound (the rows are implied by it), so
+                    // omega_pp must stay in the clause.
+                    let include_pp = !out.infeasible || self.pipeline.has_dynamic_rows();
+                    let omega_bc = self.build_bound_conflict(&out.explanation, include_pp);
+                    match self.engine.resolve_conflict(Conflict::AdHoc(omega_bc)) {
+                        Resolution::Unsat => return self.exhausted_status(),
+                        Resolution::Backjumped { .. } => continue,
                     }
                 }
             }
@@ -442,22 +356,39 @@ impl<'a> SearchState<'a> {
         for id in self.active_cuts.drain(..) {
             self.engine.deactivate_pb(id);
         }
-        if let Some(cut) = knapsack_cut(self.instance, upper) {
-            match self.engine.add_pb_cut(&cut) {
+        // Trivial knapsack cut: every assignment is already cheaper,
+        // which cannot happen for a just-found solution of this cost.
+        debug_assert!(
+            knapsack_cut(self.instance, upper).is_some(),
+            "knapsack cut trivial for incumbent cost"
+        );
+        let cuts: Vec<PbConstraint> = if self.options.cardinality_cuts {
+            cost_cuts(self.instance, upper)
+        } else {
+            knapsack_cut(self.instance, upper).into_iter().collect()
+        };
+        for cut in &cuts {
+            match self.engine.add_pb_cut(cut) {
                 Ok(id) => self.active_cuts.push(id),
                 Err(_) => return Err(()),
             }
-        } else {
-            // Trivial cut: every assignment is already cheaper, which
-            // cannot happen for a just-found solution of this cost.
-            debug_assert!(false, "knapsack cut trivial for incumbent cost");
         }
-        if self.options.cardinality_cuts {
-            for cut in cardinality_cost_cuts(self.instance, upper) {
-                match self.engine.add_pb_cut(&cut) {
-                    Ok(id) => self.active_cuts.push(id),
-                    Err(_) => return Err(()),
-                }
+        // Fold the new cut set (plus the engine's best short learned
+        // clauses) into the residual problem as dynamic rows, and share
+        // it with any local-search sibling through the cell's cut pool.
+        self.pipeline.reroot(self.instance, &self.engine, &cuts);
+        if let Some(cell) = self.cell {
+            let rows = self.pipeline.dynamic_rows();
+            if !rows.is_empty() {
+                let shared: Vec<SharedCut> = rows
+                    .rows()
+                    .iter()
+                    .map(|r| SharedCut {
+                        terms: r.constraint.terms().iter().map(|t| (t.coeff, t.lit)).collect(),
+                        rhs: r.constraint.rhs(),
+                    })
+                    .collect();
+                cell.publish_cuts(shared);
             }
         }
         Ok(())
@@ -554,7 +485,7 @@ impl<'a> SearchState<'a> {
     /// with saved phases.
     fn pick_branch(&mut self) -> Option<Lit> {
         if self.options.branching == Branching::LpGuided {
-            if let Bound::Lpr(lpr) = &self.bound {
+            if let Some(lpr) = self.pipeline.lpr() {
                 let x = lpr.last_solution();
                 let mut best: Option<(Var, f64)> = None;
                 for (v, &frac) in x.iter().enumerate().take(self.instance.num_vars()) {

@@ -25,14 +25,31 @@ pub fn knapsack_cut(instance: &Instance, upper: i64) -> Option<PbConstraint> {
     cs.pop()
 }
 
+/// The full cost-cut set for an incumbent of cost `upper`: the eq. 10
+/// knapsack cut followed by the eqs. 11–13 cardinality cost cuts, with
+/// duplicates removed — two same-threshold cardinality rows (or a
+/// cardinality cut that degenerates to the knapsack form) previously
+/// entered the engine twice after every re-root.
+pub fn cost_cuts(instance: &Instance, upper: i64) -> Vec<PbConstraint> {
+    let mut cuts = Vec::new();
+    cuts.extend(knapsack_cut(instance, upper));
+    for cut in cardinality_cost_cuts(instance, upper) {
+        if !cuts.contains(&cut) {
+            cuts.push(cut);
+        }
+    }
+    cuts
+}
+
 /// Infers the eqs. 11–13 cuts from every cardinality-class constraint
 /// over literals with at least one costed member. `upper` is the current
-/// best solution cost.
+/// best solution cost. Identical cuts (from duplicate or same-threshold
+/// source rows) are emitted once.
 pub fn cardinality_cost_cuts(instance: &Instance, upper: i64) -> Vec<PbConstraint> {
     let Some(obj) = instance.objective() else {
         return Vec::new();
     };
-    let mut cuts = Vec::new();
+    let mut cuts: Vec<PbConstraint> = Vec::new();
     for c in instance.constraints() {
         let class = c.class();
         if class == pbo_core::ConstraintClass::General || c.is_empty() {
@@ -63,8 +80,12 @@ pub fn cardinality_cost_cuts(instance: &Instance, upper: i64) -> Vec<PbConstrain
             continue;
         }
         let rhs = upper - 1 - v - obj.offset();
-        if let Ok(mut cs) = normalize(&outside, RelOp::Le, rhs) {
-            cuts.append(&mut cs);
+        if let Ok(cs) = normalize(&outside, RelOp::Le, rhs) {
+            for cut in cs {
+                if !cuts.contains(&cut) {
+                    cuts.push(cut);
+                }
+            }
         }
     }
     cuts
@@ -132,6 +153,28 @@ mod tests {
         assert_eq!(cuts.len(), 1);
         assert!(!cuts[0].is_satisfied_by(&[true, true, false, true]), "x4 = 1 excluded");
         assert!(cuts[0].is_satisfied_by(&[true, true, false, false]));
+    }
+
+    #[test]
+    fn duplicate_cardinality_rows_yield_one_cut() {
+        // The same cardinality constraint twice used to produce the same
+        // cut twice, doubling the engine's row count after every re-root.
+        let mut b = InstanceBuilder::new();
+        let v = b.new_vars(4);
+        b.add_at_least(2, [v[0].positive(), v[1].positive(), v[2].positive()]);
+        b.add_at_least(2, [v[0].positive(), v[1].positive(), v[2].positive()]);
+        b.minimize([
+            (2, v[0].positive()),
+            (3, v[1].positive()),
+            (4, v[2].positive()),
+            (5, v[3].positive()),
+        ]);
+        let inst = b.build().unwrap();
+        let cuts = cardinality_cost_cuts(&inst, 9);
+        assert_eq!(cuts.len(), 1, "identical cuts must be deduplicated");
+        let all = cost_cuts(&inst, 9);
+        assert_eq!(all.len(), 2, "knapsack + one cardinality cut");
+        assert!(all.iter().all(|c| all.iter().filter(|d| *d == c).count() == 1));
     }
 
     #[test]

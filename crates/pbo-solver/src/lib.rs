@@ -52,17 +52,19 @@ mod cuts;
 mod linear_search;
 mod milp;
 mod options;
+mod pipeline;
 mod portfolio;
 mod preprocess;
 mod result;
 
 pub use bsolo::Bsolo;
-pub use cuts::{cardinality_cost_cuts, knapsack_cut};
+pub use cuts::{cardinality_cost_cuts, cost_cuts, knapsack_cut};
 pub use linear_search::{LinearSearch, LinearSearchOptions};
 pub use milp::{MilpOptions, MilpSolver};
 pub use options::{Branching, BsoloOptions, Budget, LbMethod, ResidualMode, SolveStrategy};
 pub use portfolio::{
     IncumbentCell, LocalSearch, LsOptions, LsResult, LsStats, Portfolio, PortfolioOptions,
+    SharedCut,
 };
 pub use preprocess::{probe, simplify, ProbeOutcome};
 pub use result::{SolveResult, SolveStatus, SolverStats};

@@ -172,6 +172,18 @@ pub struct BsoloOptions {
     /// How the residual subproblem is maintained between bound
     /// computations.
     pub residual_mode: ResidualMode,
+    /// Fold the learned cost cuts (eq. 10 / eqs. 11–13) and the most
+    /// active short learned clauses into the residual problem as dynamic
+    /// rows on each incumbent re-root, so every bounding procedure
+    /// computes against the relaxation the solver actually knows.
+    ///
+    /// The row region rides the cut re-root, so this has no effect when
+    /// [`BsoloOptions::knapsack_cuts`] is disabled (no re-root happens).
+    pub dynamic_rows: bool,
+    /// Run the MIS bound's implied-literal closure and reduced-cost
+    /// fixing (and allow MIS to bound pre-incumbent, where its closure
+    /// can prove infeasibility beyond single-row propagation).
+    pub mis_implied: bool,
     /// Resource budget.
     pub budget: Budget,
 }
@@ -188,6 +200,8 @@ impl Default for BsoloOptions {
             simplify: true,
             lb_frequency: 1,
             residual_mode: ResidualMode::Incremental,
+            dynamic_rows: true,
+            mis_implied: true,
             budget: Budget::unlimited(),
         }
     }

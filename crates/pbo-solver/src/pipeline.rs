@@ -1,0 +1,235 @@
+//! The bound pipeline: one owner for everything the per-node lower
+//! bound needs.
+//!
+//! Before this module existed, `bsolo.rs` wired each piece ad hoc — the
+//! bound-procedure dispatch, the incremental [`ResidualState`], its
+//! engine trail observer, the LP bound's second observer, and the
+//! per-method gating rules were separate fields threaded through the
+//! search loop. [`BoundPipeline`] owns all of it, plus the
+//! **dynamic-row registry**: on every incumbent re-root the learned cost
+//! cuts (eq. 10 and eqs. 11–13) and the most active short learned
+//! clauses are folded into the residual problem as epoch-versioned
+//! dynamic rows, so MIS, LGR and LPR all bound against the relaxation
+//! the solver actually knows — with zero per-node rebuild (the region
+//! swap is O(region), and the rows ride the same O(Δ) trail protocol as
+//! static rows from then on).
+//!
+//! Soundness note: dynamic rows are implied by the instance *plus* the
+//! incumbent bound `cost <= upper - 1`, so a bound (or infeasibility)
+//! derived over them holds for completions cheaper than the incumbent —
+//! exactly the set eq. 7 pruning quantifies over. The solver must treat
+//! an infeasibility verdict obtained while dynamic rows are installed as
+//! a *bound* conflict (keep `omega_pp`), which
+//! [`BoundPipeline::has_dynamic_rows`] exposes.
+
+use std::time::Instant;
+
+use pbo_bounds::{
+    DynRowOrigin, DynamicRows, LagrangianBound, LbOutcome, LowerBound, LprBound, MisBound, NoBound,
+    ResidualState, Subproblem,
+};
+use pbo_core::{Instance, PbConstraint};
+use pbo_engine::{Engine, TrailObserver};
+
+use crate::options::{BsoloOptions, LbMethod, ResidualMode};
+use crate::result::SolverStats;
+
+/// Learned clauses promoted into the dynamic-row region per re-root:
+/// only short ones (a long clause is a weak PB row) ...
+const PROMOTE_MAX_LEN: usize = 8;
+/// ... and only the most active few (the region swap is O(region)).
+const PROMOTE_MAX_COUNT: usize = 24;
+
+/// Lower-bound procedure dispatch (avoids `Box<dyn>` so the LPR state
+/// can also serve the branching heuristic).
+enum Bound {
+    None(NoBound),
+    Mis(MisBound),
+    Lgr(LagrangianBound),
+    Lpr(LprBound),
+}
+
+impl Bound {
+    fn lower_bound(&mut self, sub: &Subproblem<'_>, upper: Option<i64>) -> LbOutcome {
+        match self {
+            Bound::None(b) => b.lower_bound(sub, upper),
+            Bound::Mis(b) => b.lower_bound(sub, upper),
+            Bound::Lgr(b) => b.lower_bound(sub, upper),
+            Bound::Lpr(b) => b.lower_bound(sub, upper),
+        }
+    }
+}
+
+/// Owner of the bounding subsystem: bound procedure, residual state,
+/// trail observers, dynamic-row registry and gating policy.
+pub(crate) struct BoundPipeline {
+    bound: Bound,
+    lb_frequency: u32,
+    decisions_since_lb: u32,
+    /// Trail-mirrored residual problem ([`ResidualMode::Incremental`]);
+    /// `None` in rebuild mode or when the instance never computes bounds.
+    residual: Option<ResidualState>,
+    /// Engine trail observer backing `residual`.
+    residual_obs: Option<TrailObserver>,
+    /// Engine trail observer backing the LP bound's variable-fixing
+    /// mirror (incremental mode with [`LbMethod::Lpr`] only).
+    lpr_obs: Option<TrailObserver>,
+    /// The dynamic-row registry, re-rooted on each improving incumbent.
+    rows: DynamicRows,
+    /// Whether re-roots install dynamic rows at all.
+    dynamic_enabled: bool,
+    /// Whether the MIS bound runs its implied-literal reasoning (gates
+    /// pre-incumbent MIS calls).
+    mis_implied: bool,
+    method: LbMethod,
+}
+
+impl BoundPipeline {
+    pub fn new(instance: &Instance, options: &BsoloOptions, engine: &mut Engine) -> BoundPipeline {
+        let bound = match options.lb_method {
+            LbMethod::None => Bound::None(NoBound::new()),
+            LbMethod::Mis => Bound::Mis(MisBound::with_implied(options.mis_implied)),
+            LbMethod::Lagrangian => Bound::Lgr(LagrangianBound::new(instance.num_constraints())),
+            LbMethod::Lpr => Bound::Lpr(LprBound::new(instance)),
+        };
+        // The residual state only pays off where bounds are computed:
+        // optimization instances (satisfaction search never bounds).
+        let incremental =
+            options.residual_mode == ResidualMode::Incremental && instance.is_optimization();
+        let residual = if incremental { Some(ResidualState::new(instance)) } else { None };
+        let residual_obs = residual.as_ref().map(|_| engine.register_trail_observer());
+        // In incremental mode the LP bound joins the trail protocol as a
+        // second observer; rebuild mode keeps the O(vars) assignment diff
+        // as the differential-testing oracle.
+        let lpr_obs = (incremental && matches!(bound, Bound::Lpr(_)))
+            .then(|| engine.register_trail_observer());
+        BoundPipeline {
+            bound,
+            lb_frequency: options.lb_frequency,
+            decisions_since_lb: 0,
+            residual,
+            residual_obs,
+            lpr_obs,
+            rows: DynamicRows::new(),
+            dynamic_enabled: options.dynamic_rows && instance.is_optimization(),
+            mis_implied: options.mis_implied,
+            method: options.lb_method,
+        }
+    }
+
+    /// The LPR bound when it is the active method (for LP-guided
+    /// branching and iteration accounting).
+    pub fn lpr(&self) -> Option<&LprBound> {
+        match &self.bound {
+            Bound::Lpr(b) => Some(b),
+            _ => None,
+        }
+    }
+
+    /// Gating policy: which methods may act before the first incumbent.
+    /// LPR's Farkas certificate and MIS's implication closure can prove
+    /// a subtree has *no* feasible completion; plain and LGR cannot, and
+    /// plain-MIS infeasibility only duplicates slack propagation.
+    pub fn can_act(&self, have_incumbent: bool) -> bool {
+        have_incumbent
+            || self.method == LbMethod::Lpr
+            || (self.method == LbMethod::Mis && self.mis_implied)
+    }
+
+    /// Frequency gate: returns `true` when a bound should be computed at
+    /// this node (every `lb_frequency` eligible nodes).
+    pub fn tick(&mut self) -> bool {
+        self.decisions_since_lb += 1;
+        if self.decisions_since_lb >= self.lb_frequency {
+            self.decisions_since_lb = 0;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// `true` while a non-empty dynamic-row region is installed — the
+    /// caller must then treat infeasibility verdicts as bound conflicts
+    /// (include `omega_pp`), since the rows are incumbent-conditional.
+    pub fn has_dynamic_rows(&self) -> bool {
+        !self.rows.is_empty()
+    }
+
+    /// The registry itself (for sharing the rows with the LS cut pool).
+    pub fn dynamic_rows(&self) -> &DynamicRows {
+        &self.rows
+    }
+
+    /// Re-roots the dynamic-row region for a new incumbent: the freshly
+    /// installed cost cuts plus the engine's most active short learned
+    /// clauses become the new region, the residual state swaps to it in
+    /// O(region), and the LP relaxation is rebuilt with the rows
+    /// appended (once per incumbent — per-node solves stay warm).
+    pub fn reroot(&mut self, instance: &Instance, engine: &Engine, cuts: &[PbConstraint]) {
+        if !self.dynamic_enabled {
+            return;
+        }
+        self.rows.begin_epoch();
+        for (i, cut) in cuts.iter().enumerate() {
+            let origin =
+                if i == 0 { DynRowOrigin::ObjectiveCut } else { DynRowOrigin::CardinalityCut };
+            self.rows.push(cut.clone(), origin);
+        }
+        for lits in engine.export_learnts(PROMOTE_MAX_LEN, PROMOTE_MAX_COUNT) {
+            self.rows.push(PbConstraint::clause(lits), DynRowOrigin::PromotedClause);
+        }
+        if let Some(state) = &mut self.residual {
+            state.set_dynamic_rows(&self.rows);
+        }
+        if let Bound::Lpr(lpr) = &mut self.bound {
+            lpr.install_rows(instance, &self.rows);
+        }
+    }
+
+    /// Computes the lower bound at the current node: syncs the residual
+    /// state (and the LP mirror) to the engine trail in O(Δ), produces
+    /// the view — dynamic rows included — and runs the bound procedure.
+    pub fn compute(
+        &mut self,
+        engine: &mut Engine,
+        instance: &Instance,
+        upper: Option<i64>,
+        stats: &mut SolverStats,
+    ) -> LbOutcome {
+        let sub_start = Instant::now();
+        let BoundPipeline { bound, residual, residual_obs, lpr_obs, rows, .. } = self;
+        // Keep the LP bound's variable fixings in lockstep with the
+        // trail (O(Δ) per node) through its own observer.
+        if let (Some(obs), Bound::Lpr(lpr)) = (*lpr_obs, &mut *bound) {
+            let keep = engine.sync_trail(obs, lpr.synced_len());
+            lpr.unwind_to(keep);
+            for &lit in &engine.trail()[keep..] {
+                lpr.apply(lit);
+            }
+        }
+        // Produce the residual view: O(Δ) sync + O(active) snapshot in
+        // incremental mode, a full O(instance + region) re-scan in
+        // rebuild mode (the differential oracle, dynamic rows included).
+        let sub = match (residual.as_mut(), *residual_obs) {
+            (Some(state), Some(obs)) => {
+                let keep = engine.sync_trail(obs, state.len());
+                state.unwind_to(keep);
+                for &lit in &engine.trail()[keep..] {
+                    state.apply(lit);
+                }
+                state.view(instance, engine.assignment())
+            }
+            _ => Subproblem::with_rows(instance, engine.assignment(), rows),
+        };
+        stats.sub_time += sub_start.elapsed();
+        let path = sub.path_cost();
+        let lb_start = Instant::now();
+        let out = bound.lower_bound(&sub, upper);
+        stats.lb_calls += 1;
+        stats.lb_time += lb_start.elapsed();
+        if !out.infeasible {
+            stats.lb_margin_sum += out.bound.saturating_sub(path).max(0) as u64;
+        }
+        out
+    }
+}

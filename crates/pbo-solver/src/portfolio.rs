@@ -37,7 +37,7 @@ use std::sync::atomic::{AtomicBool, Ordering};
 use std::time::{Duration, Instant};
 
 use pbo_core::Instance;
-pub use pbo_ls::{IncumbentCell, LocalSearch, LsOptions, LsResult, LsStats};
+pub use pbo_ls::{IncumbentCell, LocalSearch, LsOptions, LsResult, LsStats, SharedCut};
 
 use crate::bsolo::Bsolo;
 use crate::options::{BsoloOptions, SolveStrategy};
@@ -46,8 +46,12 @@ use crate::result::SolveResult;
 /// LS steps per chunk between stop-flag/cell checks in concurrent mode.
 const CONCURRENT_CHUNK_STEPS: u64 = 16_384;
 
+/// LS steps per chunk in the seeding phase; stagnation is assessed
+/// between chunks, so the phase ends within one chunk of the limit.
+const SEED_CHUNK_STEPS: u64 = 8_192;
+
 /// Configuration of the [`Portfolio`] driver.
-#[derive(Clone, Debug, Default)]
+#[derive(Clone, Debug)]
 pub struct PortfolioOptions {
     /// How LS and branch-and-bound are combined.
     pub strategy: SolveStrategy,
@@ -57,10 +61,27 @@ pub struct PortfolioOptions {
     /// gets the remainder).
     pub bsolo: BsoloOptions,
     /// The local-search configuration. In `LsSeeded` mode `max_steps` /
-    /// `time_limit` bound the seeding phase (a fifth of the total time
+    /// `time_limit` cap the seeding phase (a fifth of the total time
     /// budget is imposed when none is set); in `Concurrent` mode the LS
     /// thread runs until the exact side finishes.
     pub ls: LsOptions,
+    /// Adaptive seeding split: end the LS phase once this many steps
+    /// pass without a verified improvement, handing the remaining budget
+    /// to the branch-and-bound — instead of burning the whole static
+    /// share on a stagnant walk. Step-based, so a step-bounded seeding
+    /// phase stays deterministic.
+    pub ls_stagnation_steps: u64,
+}
+
+impl Default for PortfolioOptions {
+    fn default() -> PortfolioOptions {
+        PortfolioOptions {
+            strategy: SolveStrategy::default(),
+            bsolo: BsoloOptions::default(),
+            ls: LsOptions::default(),
+            ls_stagnation_steps: 3 * SEED_CHUNK_STEPS,
+        }
+    }
 }
 
 /// The portfolio solver: local search + branch-and-bound over a shared
@@ -147,7 +168,9 @@ impl Portfolio {
     }
 
     /// Sequential mode: a bounded LS phase, then B&B on what's left of
-    /// the wall-clock budget.
+    /// the wall-clock budget. The phase ends early on stagnation (no
+    /// verified improvement for `ls_stagnation_steps` steps), so a
+    /// converged walk hands its unused share straight to the B&B.
     fn solve_ls_seeded(
         &self,
         instance: &Instance,
@@ -155,13 +178,41 @@ impl Portfolio {
         start: Instant,
     ) -> SolveResult {
         let total_time = self.options.bsolo.budget.time;
-        let mut ls_options = self.options.ls.clone();
         // An explicit LS time limit wins (so callers can make the seed
         // phase step-bounded and deterministic); a fifth of the total
-        // wall-clock budget is imposed only when none is set.
+        // wall-clock budget is imposed as a hard cap only when none is
+        // set — stagnation usually ends the phase well before either.
         let seed_cap = total_time.map(|t| t / 5);
-        ls_options.time_limit = ls_options.time_limit.or(seed_cap);
-        LocalSearch::new(instance, ls_options).run(Some(cell), None);
+        let phase_limit = self.options.ls.time_limit.or(seed_cap);
+        let deadline = phase_limit.map(|d| Instant::now() + d);
+        let max_steps = self.options.ls.max_steps;
+        let chunk = SEED_CHUNK_STEPS.min(max_steps.max(1));
+        let mut ls = LocalSearch::new(
+            instance,
+            LsOptions { max_steps: chunk, time_limit: None, ..self.options.ls.clone() },
+        );
+        let mut last_best: Option<i64> = None;
+        let mut stagnant: u64 = 0;
+        loop {
+            let before = ls.stats.steps;
+            let result = ls.run(Some(cell), None);
+            let advanced = ls.stats.steps - before;
+            if advanced == 0 {
+                break; // satisfied, hopeless, or target reached
+            }
+            if result.best_cost.is_some() && result.best_cost != last_best {
+                last_best = result.best_cost;
+                stagnant = 0;
+            } else {
+                stagnant += advanced;
+            }
+            if stagnant >= self.options.ls_stagnation_steps
+                || ls.stats.steps >= max_steps
+                || deadline.is_some_and(|d| Instant::now() >= d)
+            {
+                break;
+            }
+        }
         let mut bsolo_options = self.options.bsolo.clone();
         if let Some(t) = total_time {
             bsolo_options.budget.time =
@@ -357,7 +408,7 @@ mod tests {
         let options = PortfolioOptions {
             strategy: SolveStrategy::LsSeeded,
             bsolo: BsoloOptions::default().budget(Budget::time_limit(Duration::from_secs(5))),
-            ls: LsOptions::default(),
+            ..PortfolioOptions::default()
         };
         let result = Portfolio::new(options).solve(&inst);
         // Tiny instance: solved outright, well inside the budget.

@@ -40,6 +40,10 @@ pub struct SolverStats {
     pub bound_conflicts: u64,
     /// Lower-bound computations performed.
     pub lb_calls: u64,
+    /// Sum over finite lower-bound outcomes of `bound - path_cost` (the
+    /// per-node bound margin); divided by `lb_calls` this is the mean
+    /// per-node bound strength the dynamic-rows ablation tracks.
+    pub lb_margin_sum: u64,
     /// Wall time spent inside the lower-bound procedure.
     pub lb_time: Duration,
     /// Wall time spent maintaining/building the residual subproblem

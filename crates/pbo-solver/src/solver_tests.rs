@@ -159,6 +159,33 @@ fn ablation_toggles_preserve_correctness() {
                 "lb-every-4",
                 BsoloOptions { lb_frequency: 4, ..BsoloOptions::with_lb(LbMethod::Lpr) },
             ),
+            (
+                "no-dynamic-rows",
+                BsoloOptions { dynamic_rows: false, ..BsoloOptions::with_lb(LbMethod::Lpr) },
+            ),
+            (
+                "dynamic-rows-mis",
+                BsoloOptions { dynamic_rows: true, ..BsoloOptions::with_lb(LbMethod::Mis) },
+            ),
+            (
+                "plain-mis",
+                BsoloOptions {
+                    mis_implied: false,
+                    dynamic_rows: false,
+                    ..BsoloOptions::with_lb(LbMethod::Mis)
+                },
+            ),
+            (
+                "dynamic-rows-lgr",
+                BsoloOptions { dynamic_rows: true, ..BsoloOptions::with_lb(LbMethod::Lagrangian) },
+            ),
+            (
+                "dynamic-rows-rebuild",
+                BsoloOptions {
+                    residual_mode: crate::ResidualMode::Rebuild,
+                    ..BsoloOptions::with_lb(LbMethod::Mis)
+                },
+            ),
         ] {
             let got = Bsolo::new(options).solve(&inst);
             check_result(&inst, &got, &expected, &format!("{label} round {round}"));
@@ -361,6 +388,10 @@ fn incremental_and_rebuild_residual_modes_are_equivalent() {
             assert_eq!(
                 incremental.stats.bound_conflicts, rebuild.stats.bound_conflicts,
                 "{label}: bound conflicts"
+            );
+            assert_eq!(
+                incremental.stats.lb_margin_sum, rebuild.stats.lb_margin_sum,
+                "{label}: bound strength"
             );
         }
     }
