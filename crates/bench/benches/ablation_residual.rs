@@ -31,7 +31,7 @@ fn bench(c: &mut Criterion) {
     for v in (0..instance.num_vars()).step_by(3) {
         let lit = Var::new(v).lit(v % 2 == 0);
         assignment.assign_lit(lit);
-        state.apply(lit);
+        state.apply(&instance, lit);
     }
 
     let mut group = c.benchmark_group("ablation_residual");
@@ -46,8 +46,8 @@ fn bench(c: &mut Criterion) {
     group.bench_function("delta_roundtrip", |b| {
         b.iter(|| {
             let len = state.len();
-            state.apply(free_lit);
-            state.unwind_to(len);
+            state.apply(&instance, free_lit);
+            state.unwind_to(&instance, len);
             std::hint::black_box(state.len())
         })
     });

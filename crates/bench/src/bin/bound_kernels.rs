@@ -1,0 +1,318 @@
+//! `bound_kernels`: per-node bound-maintenance microbenchmark and the
+//! CI gate behind PR 4's perf claim.
+//!
+//! For each Table-1 synthesis seed the harness scripts one deterministic
+//! branch-and-bound-shaped trail walk (batched applies, random
+//! backjumps), then replays it through two self-contained kernels in the
+//! same process:
+//!
+//! * **pr4** — the live path: `ResidualState` apply/unwind over the
+//!   instance's flat CSR arena, the O(active) view, and the
+//!   allocation-free `MisBound::lower_bound_into`;
+//! * **pr3** — the frozen baseline (`pbo_bench::pr3`): nested
+//!   per-literal occurrence `Vec`s, the same view semantics, and the
+//!   PR-3 MIS kernel (per-pass term re-filtering, stable sorts,
+//!   allocated explanations).
+//!
+//! Because both generations run on the same machine in the same
+//! process, the reported speedup is machine-independent enough to gate
+//! in CI (geomean >= 1.3x), unlike a wall-clock comparison against a
+//! snapshot produced elsewhere. Outcome equality between the two
+//! kernels is asserted during warm-up, so the comparison cannot
+//! silently measure different work.
+//!
+//! ```text
+//! cargo run --release -p pbo-bench --bin bound_kernels -- \
+//!     [--seeds N] [--nodes N] [--reps N] [--json PATH]
+//! ```
+
+use std::time::Instant;
+
+use pbo_bench::pr3::{Pr3MisBound, Pr3Residual};
+use pbo_bench::{family_instances, json::escape};
+use pbo_bounds::{LbOutcome, LowerBound, MisBound, ResidualState};
+use pbo_core::{Assignment, Instance, Lit, Var};
+use pbo_solver::{LocalSearch, LsOptions};
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+
+/// One step of the scripted walk.
+enum Op {
+    /// Apply these literals (all unassigned at this point), then bound.
+    Apply(Vec<Lit>),
+    /// Unwind the trail back to this length.
+    UnwindTo(usize),
+}
+
+/// Scripts a deterministic B&B-shaped walk: batched descents with
+/// occasional backjumps, never assigning an assigned variable.
+fn make_script(instance: &Instance, seed: u64, nodes: usize) -> Vec<Op> {
+    let n = instance.num_vars();
+    let mut rng = ChaCha8Rng::seed_from_u64(0xb0c5 ^ seed);
+    let mut assigned = vec![false; n];
+    let mut trail: Vec<Var> = Vec::new();
+    let mut marks: Vec<usize> = Vec::new();
+    let mut ops = Vec::new();
+    let mut applied_nodes = 0;
+    while applied_nodes < nodes {
+        let deep = trail.len() > (3 * n) / 4;
+        if !marks.is_empty() && (deep || rng.gen_bool(0.3)) {
+            // Backjump to a random earlier mark.
+            let k = rng.gen_range(0..marks.len());
+            let target = marks[k];
+            marks.truncate(k);
+            while trail.len() > target {
+                assigned[trail.pop().expect("trail").index()] = false;
+            }
+            ops.push(Op::UnwindTo(target));
+            continue;
+        }
+        let batch_size = rng.gen_range(1..=4usize.min(n - trail.len()).max(1));
+        let mut batch = Vec::with_capacity(batch_size);
+        for _ in 0..batch_size {
+            let free: Vec<usize> = (0..n).filter(|&v| !assigned[v]).collect();
+            if free.is_empty() {
+                break;
+            }
+            let v = free[rng.gen_range(0..free.len())];
+            assigned[v] = true;
+            trail.push(Var::new(v));
+            batch.push(Var::new(v).lit(rng.gen_bool(0.5)));
+        }
+        if batch.is_empty() {
+            // Everything assigned: jump back to the root.
+            marks.clear();
+            while let Some(v) = trail.pop() {
+                assigned[v.index()] = false;
+            }
+            ops.push(Op::UnwindTo(0));
+            continue;
+        }
+        marks.push(trail.len() - batch.len());
+        ops.push(Op::Apply(batch));
+        applied_nodes += 1;
+    }
+    // End balanced at the root so repeated replays are identical.
+    ops.push(Op::UnwindTo(0));
+    ops
+}
+
+/// Replays the script through the live (pr4) kernel; returns elapsed
+/// nanoseconds and a checksum of the outcomes (prevents dead-code
+/// elimination and pins cross-kernel agreement).
+#[allow(clippy::too_many_arguments)]
+fn replay_pr4(
+    instance: &Instance,
+    script: &[Op],
+    upper: i64,
+    state: &mut ResidualState,
+    mis: &mut MisBound,
+    out: &mut LbOutcome,
+    assignment: &mut Assignment,
+    mirror: &mut Vec<Lit>,
+) -> (u64, i64) {
+    let mut checksum = 0i64;
+    let start = Instant::now();
+    for op in script {
+        match op {
+            Op::Apply(batch) => {
+                for &lit in batch {
+                    assignment.assign_lit(lit);
+                    mirror.push(lit);
+                    state.apply(instance, lit);
+                }
+                let view = state.view(instance, assignment);
+                mis.lower_bound_into(&view, Some(upper), out);
+                checksum = checksum.wrapping_add(if out.infeasible { -1 } else { out.bound });
+            }
+            Op::UnwindTo(len) => {
+                while mirror.len() > *len {
+                    assignment.unassign(mirror.pop().expect("mirror").var());
+                }
+                state.unwind_to(instance, *len);
+            }
+        }
+    }
+    (start.elapsed().as_nanos() as u64, checksum)
+}
+
+/// Replays the script through the frozen PR-3 kernel.
+fn replay_pr3(
+    instance: &Instance,
+    script: &[Op],
+    upper: i64,
+    state: &mut Pr3Residual,
+    mis: &mut Pr3MisBound,
+    assignment: &mut Assignment,
+    mirror: &mut Vec<Lit>,
+) -> (u64, i64) {
+    let mut checksum = 0i64;
+    let start = Instant::now();
+    for op in script {
+        match op {
+            Op::Apply(batch) => {
+                for &lit in batch {
+                    assignment.assign_lit(lit);
+                    mirror.push(lit);
+                    state.apply(lit);
+                }
+                let view = state.view(instance, assignment);
+                let out = mis.lower_bound(&view, Some(upper));
+                checksum = checksum.wrapping_add(if out.infeasible { -1 } else { out.bound });
+            }
+            Op::UnwindTo(len) => {
+                while mirror.len() > *len {
+                    assignment.unassign(mirror.pop().expect("mirror").var());
+                }
+                state.unwind_to(*len);
+            }
+        }
+    }
+    (start.elapsed().as_nanos() as u64, checksum)
+}
+
+struct InstanceResult {
+    instance: String,
+    nodes: usize,
+    pr3_ns_per_node: f64,
+    pr4_ns_per_node: f64,
+    speedup: f64,
+}
+
+fn main() {
+    let mut seeds = 3u64;
+    let mut nodes = 400usize;
+    let mut reps = 7usize;
+    let mut json_path = String::from("BENCH_bound_kernels.json");
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--seeds" => seeds = args.next().expect("--seeds").parse().expect("bad seeds"),
+            "--nodes" => nodes = args.next().expect("--nodes").parse().expect("bad nodes"),
+            "--reps" => reps = args.next().expect("--reps").parse().expect("bad reps"),
+            "--json" => json_path = args.next().expect("--json"),
+            other => {
+                eprintln!("unknown argument `{other}`");
+                std::process::exit(2);
+            }
+        }
+    }
+    println!("bound_kernels: {seeds} synthesis seeds, {nodes} nodes/walk, best of {reps} reps");
+
+    let instances = family_instances("synthesis", seeds);
+    let mut results = Vec::new();
+    for (seed, instance) in instances.iter().enumerate() {
+        // A realistic incumbent for reduced-cost fixing: deterministic
+        // LS under a fixed step budget.
+        let ls = LocalSearch::new(instance, LsOptions::default().max_steps(20_000)).run(None, None);
+        let upper = ls.best_cost.unwrap_or_else(|| {
+            instance.objective().map_or(1, |o| o.terms().iter().map(|&(c, _)| c).sum())
+        });
+        let script = make_script(instance, seed as u64, nodes);
+        let node_count = script.iter().filter(|op| matches!(op, Op::Apply(_))).count();
+
+        let mut state = ResidualState::new(instance);
+        let mut replica = Pr3Residual::new(instance);
+        let mut mis = MisBound::new();
+        let mut frozen = Pr3MisBound::new();
+        let mut out = LbOutcome::bound(0, Vec::new());
+        let mut assignment = Assignment::new(instance.num_vars());
+        let mut mirror: Vec<Lit> = Vec::new();
+
+        // Warm-up (grows every scratch buffer) + cross-kernel agreement.
+        let (_, sum4) = replay_pr4(
+            instance,
+            &script,
+            upper,
+            &mut state,
+            &mut mis,
+            &mut out,
+            &mut assignment,
+            &mut mirror,
+        );
+        let (_, sum3) = replay_pr3(
+            instance,
+            &script,
+            upper,
+            &mut replica,
+            &mut frozen,
+            &mut assignment,
+            &mut mirror,
+        );
+        assert_eq!(sum4, sum3, "kernels disagree on {}", instance.name());
+
+        // Interleaved measurement, best-of-N per side.
+        let mut best4 = u64::MAX;
+        let mut best3 = u64::MAX;
+        for _ in 0..reps {
+            let (t4, s4) = replay_pr4(
+                instance,
+                &script,
+                upper,
+                &mut state,
+                &mut mis,
+                &mut out,
+                &mut assignment,
+                &mut mirror,
+            );
+            let (t3, s3) = replay_pr3(
+                instance,
+                &script,
+                upper,
+                &mut replica,
+                &mut frozen,
+                &mut assignment,
+                &mut mirror,
+            );
+            assert_eq!(s4, sum4, "pr4 outcome drifted");
+            assert_eq!(s3, sum3, "pr3 outcome drifted");
+            best4 = best4.min(t4);
+            best3 = best3.min(t3);
+        }
+        let pr4 = best4 as f64 / node_count as f64;
+        let pr3 = best3 as f64 / node_count as f64;
+        let speedup = pr3 / pr4;
+        println!(
+            "{:<24} {:>6} nodes | pr3 {:>8.0} ns/node | pr4 {:>8.0} ns/node | {:.2}x",
+            instance.name(),
+            node_count,
+            pr3,
+            pr4,
+            speedup
+        );
+        results.push(InstanceResult {
+            instance: instance.name().to_string(),
+            nodes: node_count,
+            pr3_ns_per_node: pr3,
+            pr4_ns_per_node: pr4,
+            speedup,
+        });
+    }
+
+    let geomean =
+        (results.iter().map(|r| r.speedup.ln()).sum::<f64>() / results.len().max(1) as f64).exp();
+    println!("geomean speedup: {geomean:.2}x");
+
+    let mut outjson = String::new();
+    outjson.push_str("{\n  \"instances\": [\n");
+    for (i, r) in results.iter().enumerate() {
+        let comma = if i + 1 < results.len() { "," } else { "" };
+        outjson.push_str(&format!(
+            "    {{\"instance\": \"{}\", \"nodes\": {}, \"pr3_ns_per_node\": {:.1}, \
+             \"pr4_ns_per_node\": {:.1}, \"speedup\": {:.4}}}{comma}\n",
+            escape(&r.instance),
+            r.nodes,
+            r.pr3_ns_per_node,
+            r.pr4_ns_per_node,
+            r.speedup
+        ));
+    }
+    outjson.push_str(&format!("  ],\n  \"geomean_speedup\": {geomean:.4}\n}}\n"));
+    match std::fs::write(&json_path, &outjson) {
+        Ok(()) => println!("wrote {json_path}"),
+        Err(err) => {
+            eprintln!("failed to write {json_path}: {err}");
+            std::process::exit(1);
+        }
+    }
+}

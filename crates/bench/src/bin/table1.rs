@@ -12,8 +12,9 @@
 //! ```
 
 use pbo_bench::{
-    budget_ms, family_instances, format_table, json, run_dynamic_rows_ablation,
-    run_portfolio_probe, run_residual_ablation, run_table, summarize_portfolio, FAMILIES,
+    budget_ms, family_instances, format_table, json, run_dynamic_rows_ablation, run_parls_probe,
+    run_portfolio_probe, run_residual_ablation, run_table, summarize_parls, summarize_portfolio,
+    FAMILIES,
 };
 use pbo_benchgen::SynthesisParams;
 use pbo_solver::LbMethod;
@@ -160,6 +161,33 @@ fn main() {
         summary.max_ls_gap.map_or("-".into(), |g| format!("{:.1}%", g * 100.0)),
     );
 
+    // ParLS ablation: one deterministic LS worker vs a diversified
+    // 4-worker pool under the same per-worker step budget, gaps against
+    // the targets the portfolio probe already solved for.
+    const PARLS_WORKERS: usize = 4;
+    let parls_targets: Vec<Option<i64>> = probes.iter().map(|p| p.target_cost).collect();
+    let parls = run_parls_probe(&probe_instances, &parls_targets, 50_000, PARLS_WORKERS);
+    let parls_summary = summarize_parls(&parls, PARLS_WORKERS);
+    println!();
+    println!("== parls ablation (synthesis, {PARLS_WORKERS} workers) ==");
+    for p in &parls {
+        println!(
+            "{:<24} target {:>5} | single {:>5} ({}) | pool {:>5} ({})",
+            p.instance,
+            p.target_cost.map_or("-".into(), |c| c.to_string()),
+            p.single_cost.map_or("-".into(), |c| c.to_string()),
+            p.single_gap.map_or("-".into(), |g| format!("{:.1}%", g * 100.0)),
+            p.pool_cost.map_or("-".into(), |c| c.to_string()),
+            p.pool_gap.map_or("-".into(), |g| format!("{:.1}%", g * 100.0)),
+        );
+    }
+    println!(
+        "worst gap single: {} | pool: {} | pool never worse: {}",
+        parls_summary.max_single_gap.map_or("-".into(), |g| format!("{:.1}%", g * 100.0)),
+        parls_summary.max_pool_gap.map_or("-".into(), |g| format!("{:.1}%", g * 100.0)),
+        parls_summary.pool_never_worse,
+    );
+
     let report = json::render_report_full(
         timeout_ms,
         seeds,
@@ -167,6 +195,8 @@ fn main() {
         Some(&ablation),
         &probes,
         Some(&dyn_rows),
+        &parls,
+        PARLS_WORKERS,
     );
     match std::fs::write(&json_path, &report) {
         Ok(()) => println!("\nwrote {json_path}"),

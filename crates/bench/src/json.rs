@@ -176,6 +176,66 @@ pub struct PortfolioProbe {
     pub ls_gap: Option<f64>,
 }
 
+/// One instance of the parallel-LS (ParLS) probe: a single deterministic
+/// LS worker vs a diversified pool under the same per-worker step
+/// budget, gaps measured against the exact solver's cost.
+#[derive(Clone, Debug)]
+pub struct ParlsProbe {
+    /// Instance name.
+    pub instance: String,
+    /// The exact side's cost (the gap reference), if known.
+    pub target_cost: Option<i64>,
+    /// Best cost of the single worker (worker 0, base options).
+    pub single_cost: Option<i64>,
+    /// Best cost of the diversified pool (includes worker 0).
+    pub pool_cost: Option<i64>,
+    /// Relative gap of the single worker vs the target.
+    pub single_gap: Option<f64>,
+    /// Relative gap of the pool vs the target.
+    pub pool_gap: Option<f64>,
+}
+
+/// Aggregate of the ParLS probe: the CI gate numbers.
+#[derive(Clone, Debug)]
+pub struct ParlsSummary {
+    /// Worker count of the pool side.
+    pub workers: usize,
+    /// Worst single-worker gap across instances.
+    pub max_single_gap: Option<f64>,
+    /// Worst pool gap across instances.
+    pub max_pool_gap: Option<f64>,
+    /// Whether the pool cost was `<=` the single cost on every instance
+    /// (guaranteed by construction — worker 0 replays the single run —
+    /// asserted to catch diversification/seeding bugs).
+    pub pool_never_worse: bool,
+}
+
+/// Aggregates ParLS probe rows into the gate metrics.
+pub fn summarize_parls(probes: &[ParlsProbe], workers: usize) -> ParlsSummary {
+    let mut max_single: Option<f64> = None;
+    let mut max_pool: Option<f64> = None;
+    let mut never_worse = true;
+    for p in probes {
+        if let Some(g) = p.single_gap {
+            max_single = Some(max_single.map_or(g, |m: f64| m.max(g)));
+        }
+        if let Some(g) = p.pool_gap {
+            max_pool = Some(max_pool.map_or(g, |m: f64| m.max(g)));
+        }
+        match (p.pool_cost, p.single_cost) {
+            (Some(pool), Some(single)) => never_worse &= pool <= single,
+            (None, Some(_)) => never_worse = false,
+            _ => {}
+        }
+    }
+    ParlsSummary {
+        workers,
+        max_single_gap: max_single,
+        max_pool_gap: max_pool,
+        pool_never_worse: never_worse,
+    }
+}
+
 /// Aggregate of a probe run: the numbers the CI gates assert on.
 #[derive(Clone, Debug)]
 pub struct PortfolioSummary {
@@ -279,6 +339,35 @@ fn write_portfolio(out: &mut String, probes: &[PortfolioProbe]) {
     out.push_str("  },\n");
 }
 
+fn write_parls(out: &mut String, probes: &[ParlsProbe], workers: usize) {
+    let _ = writeln!(out, "  \"parls\": {{\n    \"workers\": {workers},\n    \"instances\": [");
+    for (i, p) in probes.iter().enumerate() {
+        let comma = if i + 1 < probes.len() { "," } else { "" };
+        let _ = writeln!(
+            out,
+            "      {{\"instance\": \"{}\", \"target_cost\": {}, \"single_cost\": {}, \
+             \"pool_cost\": {}, \"single_gap\": {}, \"pool_gap\": {}}}{comma}",
+            escape(&p.instance),
+            opt_i64(p.target_cost),
+            opt_i64(p.single_cost),
+            opt_i64(p.pool_cost),
+            opt_f64(p.single_gap),
+            opt_f64(p.pool_gap),
+        );
+    }
+    out.push_str("    ],\n");
+    let s = summarize_parls(probes, workers);
+    let _ = writeln!(
+        out,
+        "    \"summary\": {{\"max_single_gap\": {}, \"max_pool_gap\": {}, \
+         \"pool_never_worse\": {}}}",
+        opt_f64(s.max_single_gap),
+        opt_f64(s.max_pool_gap),
+        s.pool_never_worse,
+    );
+    out.push_str("  },\n");
+}
+
 /// Renders the whole benchmark report as a JSON document.
 pub fn render_report(
     budget_ms: u64,
@@ -286,11 +375,12 @@ pub fn render_report(
     families: &[(String, Vec<Row>)],
     ablation: Option<&ResidualAblation>,
 ) -> String {
-    render_report_full(budget_ms, seeds, families, ablation, &[], None)
+    render_report_full(budget_ms, seeds, families, ablation, &[], None, &[], 0)
 }
 
-/// [`render_report`] with the portfolio probe and dynamic-rows ablation
-/// sections included.
+/// [`render_report`] with the portfolio probe, dynamic-rows ablation and
+/// ParLS sections included.
+#[allow(clippy::too_many_arguments)]
 pub fn render_report_full(
     budget_ms: u64,
     seeds: u64,
@@ -298,6 +388,8 @@ pub fn render_report_full(
     ablation: Option<&ResidualAblation>,
     portfolio: &[PortfolioProbe],
     dynamic_rows: Option<&DynamicRowsAblation>,
+    parls: &[ParlsProbe],
+    parls_workers: usize,
 ) -> String {
     let mut out = String::new();
     out.push_str("{\n");
@@ -343,6 +435,11 @@ pub fn render_report_full(
         out.push_str("  \"portfolio\": null,\n");
     } else {
         write_portfolio(&mut out, portfolio);
+    }
+    if parls.is_empty() {
+        out.push_str("  \"parls\": null,\n");
+    } else {
+        write_parls(&mut out, parls, parls_workers);
     }
     match dynamic_rows {
         Some(d) => {

@@ -1,0 +1,645 @@
+//! Frozen PR-3 baseline of the per-node bound kernel, for the
+//! `bound_kernels` microbenchmark.
+//!
+//! PR 4 rebuilt the data layer (flat CSR/SoA term arena, borrowed by the
+//! residual state) and made the bound kernels steady-state
+//! allocation-free (per-call materialized free-term scratch, unstable
+//! sorts, reused outcome buffers). To gate the win in CI without
+//! depending on the wall clock of whichever machine produced a snapshot,
+//! this module freezes the **PR-3 shapes** so both generations can be
+//! measured in the same process on the same instance:
+//!
+//! * [`Pr3Residual`] — the residual-counter maintenance with the PR-3
+//!   storage: per-literal occurrence lists as `Vec<Vec<_>>` heap blocks
+//!   (copied out of the instance at construction), identical counter
+//!   semantics to `pbo_bounds::ResidualState`;
+//! * [`Pr3MisBound`] — the PR-3 MIS kernel verbatim: free terms
+//!   re-filtered through the assignment in every closure/greedy/fixing
+//!   pass, stable (allocating) sorts, a freshly allocated explanation
+//!   per call.
+//!
+//! This code is a *measurement baseline*, deliberately not kept DRY with
+//! the live kernels — do not "fix" it to match later refactors.
+
+use pbo_bounds::{ActiveEntry, LbOutcome, Subproblem};
+use pbo_core::{Instance, Lit};
+
+/// One occurrence of a literal in a constraint (PR-3 layout).
+#[derive(Copy, Clone, Debug)]
+struct Occ {
+    constraint: u32,
+    coeff: i64,
+}
+
+/// PR-3-layout residual-counter maintenance: per-literal occurrence
+/// `Vec`s, applied/unwound exactly like `ResidualState` (linked active
+/// list included), but owning its term data as scattered heap blocks.
+pub struct Pr3Residual {
+    occ: Vec<Vec<Occ>>,
+    lit_cost: Vec<i64>,
+    rhs: Vec<i64>,
+    path_cost: i64,
+    sat_weight: Vec<i64>,
+    free_count: Vec<u32>,
+    active_head: u32,
+    active_prev: Vec<u32>,
+    active_next: Vec<u32>,
+    num_active: usize,
+    trail: Vec<Lit>,
+    entries: Vec<ActiveEntry>,
+}
+
+const NIL: u32 = u32::MAX;
+
+impl Pr3Residual {
+    /// Builds the baseline state (copies occurrence lists, as PR 3 did).
+    pub fn new(instance: &Instance) -> Pr3Residual {
+        let num_vars = instance.num_vars();
+        let m = instance.num_constraints();
+        let mut occ: Vec<Vec<Occ>> = vec![Vec::new(); 2 * num_vars];
+        let mut rhs = Vec::with_capacity(m);
+        let mut free_count = Vec::with_capacity(m);
+        for (ci, c) in instance.constraints().iter().enumerate() {
+            rhs.push(c.rhs());
+            free_count.push(c.len() as u32);
+            for t in c.terms() {
+                occ[t.lit.code()].push(Occ { constraint: ci as u32, coeff: t.coeff });
+            }
+        }
+        let mut lit_cost = vec![0i64; 2 * num_vars];
+        let mut path_cost = 0;
+        if let Some(obj) = instance.objective() {
+            path_cost = obj.offset();
+            for &(c, l) in obj.terms() {
+                lit_cost[l.code()] = c;
+            }
+        }
+        let active_prev: Vec<u32> =
+            (0..m as u32).map(|i| if i == 0 { NIL } else { i - 1 }).collect();
+        let active_next: Vec<u32> =
+            (0..m as u32).map(|i| if i + 1 == m as u32 { NIL } else { i + 1 }).collect();
+        Pr3Residual {
+            occ,
+            lit_cost,
+            rhs,
+            path_cost,
+            sat_weight: vec![0; m],
+            free_count,
+            active_head: if m == 0 { NIL } else { 0 },
+            active_prev,
+            active_next,
+            num_active: m,
+            trail: Vec::with_capacity(num_vars),
+            entries: Vec::with_capacity(m),
+        }
+    }
+
+    /// PR-3 `view`: snapshot the active linked list into a
+    /// [`Subproblem`] (O(active), identical semantics to
+    /// `ResidualState::view` without dynamic rows).
+    pub fn view<'a>(
+        &'a mut self,
+        instance: &'a Instance,
+        assignment: &'a pbo_core::Assignment,
+    ) -> Subproblem<'a> {
+        self.entries.clear();
+        let mut ci = self.active_head;
+        while ci != NIL {
+            let i = ci as usize;
+            self.entries.push(ActiveEntry {
+                index: ci,
+                residual_rhs: self.rhs[i] - self.sat_weight[i],
+                free_count: self.free_count[i],
+            });
+            ci = self.active_next[i];
+        }
+        Subproblem::from_maintained_parts(
+            instance,
+            assignment,
+            self.path_cost,
+            &self.entries,
+            &self.lit_cost,
+        )
+    }
+
+    /// Number of applied literals.
+    pub fn len(&self) -> usize {
+        self.trail.len()
+    }
+
+    /// Returns `true` if nothing is applied.
+    pub fn is_empty(&self) -> bool {
+        self.trail.is_empty()
+    }
+
+    /// Number of active constraints (observable result of a roundtrip).
+    pub fn num_active(&self) -> usize {
+        self.num_active
+    }
+
+    #[inline]
+    fn deactivate(&mut self, ci: u32) {
+        let p = self.active_prev[ci as usize];
+        let n = self.active_next[ci as usize];
+        if p == NIL {
+            self.active_head = n;
+        } else {
+            self.active_next[p as usize] = n;
+        }
+        if n != NIL {
+            self.active_prev[n as usize] = p;
+        }
+        self.num_active -= 1;
+    }
+
+    #[inline]
+    fn activate(&mut self, ci: u32) {
+        let p = self.active_prev[ci as usize];
+        let n = self.active_next[ci as usize];
+        if p == NIL {
+            self.active_head = ci;
+        } else {
+            self.active_next[p as usize] = ci;
+        }
+        if n != NIL {
+            self.active_prev[n as usize] = ci;
+        }
+        self.num_active += 1;
+    }
+
+    /// PR-3 `apply`: walk the per-literal occurrence `Vec`s.
+    pub fn apply(&mut self, lit: Lit) {
+        self.path_cost += self.lit_cost[lit.code()];
+        for k in 0..self.occ[lit.code()].len() {
+            let Occ { constraint, coeff } = self.occ[lit.code()][k];
+            let ci = constraint as usize;
+            let was = self.sat_weight[ci];
+            self.sat_weight[ci] = was + coeff;
+            self.free_count[ci] -= 1;
+            if was < self.rhs[ci] && was + coeff >= self.rhs[ci] {
+                self.deactivate(constraint);
+            }
+        }
+        for k in 0..self.occ[(!lit).code()].len() {
+            let ci = self.occ[(!lit).code()][k].constraint as usize;
+            self.free_count[ci] -= 1;
+        }
+        self.trail.push(lit);
+    }
+
+    /// PR-3 `unwind_to`.
+    pub fn unwind_to(&mut self, len: usize) {
+        while self.trail.len() > len {
+            let lit = self.trail.pop().expect("trail underflow");
+            for k in 0..self.occ[(!lit).code()].len() {
+                let ci = self.occ[(!lit).code()][k].constraint as usize;
+                self.free_count[ci] += 1;
+            }
+            for k in (0..self.occ[lit.code()].len()).rev() {
+                let Occ { constraint, coeff } = self.occ[lit.code()][k];
+                let ci = constraint as usize;
+                let was = self.sat_weight[ci];
+                self.sat_weight[ci] = was - coeff;
+                self.free_count[ci] += 1;
+                if was >= self.rhs[ci] && was - coeff < self.rhs[ci] {
+                    self.activate(constraint);
+                }
+            }
+            self.path_cost -= self.lit_cost[lit.code()];
+        }
+    }
+}
+
+/// Maximum closure rounds (as in PR 3).
+const MAX_CLOSURE_ROUNDS: usize = 8;
+
+/// The PR-3 MIS kernel, frozen: view-filtered term iteration in every
+/// pass, stable sorts, allocated explanations.
+#[derive(Clone, Debug)]
+pub struct Pr3MisBound {
+    items: Vec<(f64, i64, i64)>,
+    scored: Vec<(u32, f64)>,
+    used_stamp: Vec<u32>,
+    val_stamp: Vec<u32>,
+    val: Vec<bool>,
+    sel_stamp: Vec<u32>,
+    sel_cost: Vec<f64>,
+    need: Vec<i64>,
+    free_sum: Vec<i64>,
+    expl_rows: Vec<u32>,
+    implied_here: Vec<Lit>,
+    stamp: u32,
+}
+
+// Frozen PR-3 shape: the explicit impl mirrors the original source.
+#[allow(clippy::derivable_impls)]
+impl Default for Pr3MisBound {
+    fn default() -> Pr3MisBound {
+        Pr3MisBound {
+            items: Vec::new(),
+            scored: Vec::new(),
+            used_stamp: Vec::new(),
+            val_stamp: Vec::new(),
+            val: Vec::new(),
+            sel_stamp: Vec::new(),
+            sel_cost: Vec::new(),
+            need: Vec::new(),
+            free_sum: Vec::new(),
+            expl_rows: Vec::new(),
+            implied_here: Vec::new(),
+            stamp: 0,
+        }
+    }
+}
+
+enum ClosureStep {
+    Done,
+    Infeasible(usize),
+}
+
+impl Pr3MisBound {
+    /// Creates the frozen kernel.
+    pub fn new() -> Pr3MisBound {
+        Pr3MisBound::default()
+    }
+
+    fn next_stamp(&mut self) -> u32 {
+        self.stamp = self.stamp.wrapping_add(1);
+        if self.stamp == 0 {
+            self.used_stamp.iter_mut().for_each(|s| *s = 0);
+            self.val_stamp.iter_mut().for_each(|s| *s = 0);
+            self.sel_stamp.iter_mut().for_each(|s| *s = 0);
+            self.stamp = 1;
+        }
+        self.stamp
+    }
+
+    #[inline]
+    fn local_value(&self, val_epoch: u32, var: usize) -> Option<bool> {
+        if self.val_stamp[var] == val_epoch {
+            Some(self.val[var])
+        } else {
+            None
+        }
+    }
+
+    fn recompute_rows(&mut self, sub: &Subproblem<'_>, active: &[ActiveEntry], val_epoch: u32) {
+        self.need.clear();
+        self.free_sum.clear();
+        for e in active {
+            let mut need = e.residual_rhs;
+            let mut free = 0i64;
+            for t in sub.free_terms(e.index as usize) {
+                match self.local_value(val_epoch, t.lit.var().index()) {
+                    Some(v) if v == t.lit.is_positive() => need -= t.coeff,
+                    Some(_) => {}
+                    None => free += t.coeff,
+                }
+            }
+            self.need.push(need);
+            self.free_sum.push(free);
+        }
+    }
+
+    fn imply(
+        &mut self,
+        sub: &Subproblem<'_>,
+        lit: Lit,
+        source_row: u32,
+        val_epoch: u32,
+        implied_cost: &mut i64,
+    ) -> bool {
+        let v = lit.var().index();
+        match self.local_value(val_epoch, v) {
+            Some(cur) if cur == lit.is_positive() => true,
+            Some(_) => {
+                self.expl_rows.push(source_row);
+                false
+            }
+            None => {
+                self.val_stamp[v] = val_epoch;
+                self.val[v] = lit.is_positive();
+                *implied_cost += sub.lit_cost(lit);
+                self.expl_rows.push(source_row);
+                true
+            }
+        }
+    }
+
+    fn closure(
+        &mut self,
+        sub: &Subproblem<'_>,
+        active: &[ActiveEntry],
+        val_epoch: u32,
+        implied_cost: &mut i64,
+    ) -> ClosureStep {
+        for _ in 0..MAX_CLOSURE_ROUNDS {
+            self.recompute_rows(sub, active, val_epoch);
+            let mut changed = false;
+            for (k, e) in active.iter().enumerate() {
+                if self.need[k] <= 0 {
+                    continue;
+                }
+                if self.free_sum[k] < self.need[k] {
+                    return ClosureStep::Infeasible(k);
+                }
+                let slack = self.free_sum[k] - self.need[k];
+                let index = e.index as usize;
+                let mut implied_here = std::mem::take(&mut self.implied_here);
+                implied_here.clear();
+                for t in sub.free_terms(index) {
+                    if self.local_value(val_epoch, t.lit.var().index()).is_some() {
+                        continue;
+                    }
+                    if t.coeff > slack {
+                        implied_here.push(t.lit);
+                    }
+                }
+                for i in 0..implied_here.len() {
+                    changed = true;
+                    if !self.imply(sub, implied_here[i], e.index, val_epoch, implied_cost) {
+                        self.implied_here = implied_here;
+                        return ClosureStep::Infeasible(k);
+                    }
+                }
+                self.implied_here = implied_here;
+            }
+            if !changed {
+                break;
+            }
+        }
+        ClosureStep::Done
+    }
+
+    fn fractional_cover_cost(
+        &mut self,
+        sub: &Subproblem<'_>,
+        entry: &ActiveEntry,
+        need: i64,
+        val_epoch: u32,
+    ) -> f64 {
+        let mut items = std::mem::take(&mut self.items);
+        items.clear();
+        for t in sub.free_terms(entry.index as usize) {
+            if self.local_value(val_epoch, t.lit.var().index()).is_some() {
+                continue;
+            }
+            let cost = sub.lit_cost(t.lit);
+            items.push((cost as f64 / t.coeff as f64, t.coeff, cost));
+        }
+        // PR-3 shape: stable sort (allocates its merge buffer).
+        items.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap_or(std::cmp::Ordering::Equal));
+        let mut left = need;
+        let mut total = 0.0;
+        for &(_, coeff, cost) in items.iter() {
+            if left <= 0 {
+                break;
+            }
+            if coeff >= left {
+                total += cost as f64 * left as f64 / coeff as f64;
+                left = 0;
+            } else {
+                total += cost as f64;
+                left -= coeff;
+            }
+        }
+        self.items = items;
+        if left > 0 {
+            f64::INFINITY
+        } else {
+            total
+        }
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn greedy_pass(
+        &mut self,
+        sub: &Subproblem<'_>,
+        active: &[ActiveEntry],
+        val_epoch: u32,
+        implied_cost: i64,
+        upper: Option<i64>,
+        explanation: &mut Vec<Lit>,
+    ) -> Result<f64, usize> {
+        self.recompute_rows(sub, active, val_epoch);
+        self.scored.clear();
+        for (k, e) in active.iter().enumerate() {
+            let need = self.need[k];
+            if need <= 0 {
+                continue;
+            }
+            let cost = self.fractional_cover_cost(sub, e, need, val_epoch);
+            if cost.is_infinite() {
+                return Err(k);
+            }
+            if cost > 0.0 {
+                self.scored.push((k as u32, cost));
+            }
+        }
+        self.scored.sort_by(|a, b| {
+            let wa = a.1 / (1.0 + active[a.0 as usize].free_count as f64);
+            let wb = b.1 / (1.0 + active[b.0 as usize].free_count as f64);
+            wb.partial_cmp(&wa)
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then_with(|| b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal))
+        });
+        let sel_epoch = self.next_stamp();
+        let scored = std::mem::take(&mut self.scored);
+        let mut total = 0.0;
+        for &(k, cost) in &scored {
+            let e = &active[k as usize];
+            let index = e.index as usize;
+            let free_of_row = |b: &Pr3MisBound, t: &pbo_core::PbTerm| {
+                b.local_value(val_epoch, t.lit.var().index()).is_none()
+            };
+            if sub
+                .free_terms(index)
+                .any(|t| free_of_row(self, &t) && self.used_stamp[t.lit.var().index()] == sel_epoch)
+            {
+                continue;
+            }
+            for t in sub.free_terms(index) {
+                if free_of_row(self, &t) {
+                    self.used_stamp[t.lit.var().index()] = sel_epoch;
+                    self.sel_stamp[t.lit.var().index()] = sel_epoch;
+                    self.sel_cost[t.lit.var().index()] = cost;
+                }
+            }
+            total += cost;
+            explanation.extend(sub.false_literals(index));
+            if let Some(ub) = upper {
+                if sub.path_cost() + implied_cost + ceil_eps(total) >= ub {
+                    break;
+                }
+            }
+        }
+        self.scored = scored;
+        Ok(total)
+    }
+
+    fn finish_explanation(&mut self, sub: &Subproblem<'_>, mut explanation: Vec<Lit>) -> Vec<Lit> {
+        for &row in &self.expl_rows {
+            explanation.extend(sub.false_literals(row as usize));
+        }
+        // PR-3 shape: stable sort.
+        explanation.sort();
+        explanation.dedup();
+        explanation
+    }
+
+    /// The PR-3 `lower_bound` (fresh explanation allocation per call).
+    pub fn lower_bound(&mut self, sub: &Subproblem<'_>, upper: Option<i64>) -> LbOutcome {
+        let active = sub.active();
+        let num_vars = sub.instance().num_vars();
+        if self.used_stamp.len() < num_vars {
+            self.used_stamp.resize(num_vars, 0);
+            self.val_stamp.resize(num_vars, 0);
+            self.val.resize(num_vars, false);
+            self.sel_stamp.resize(num_vars, 0);
+            self.sel_cost.resize(num_vars, 0.0);
+        }
+        self.expl_rows.clear();
+        if self.stamp >= u32::MAX - 3 {
+            self.stamp = u32::MAX;
+            let _ = self.next_stamp();
+        }
+        let val_epoch = self.next_stamp();
+        let mut implied_cost = 0i64;
+        let has_dynamic = !sub.dynamic_rows().is_empty();
+
+        let infeasible_outcome = |mb: &mut Pr3MisBound,
+                                  sub: &Subproblem<'_>,
+                                  row: u32,
+                                  expl: Vec<Lit>,
+                                  conditional: bool| {
+            mb.expl_rows.push(row);
+            let expl = mb.finish_explanation(sub, expl);
+            match (conditional, upper) {
+                (true, Some(u)) => LbOutcome::bound(u, expl),
+                (true, None) => LbOutcome::bound(sub.path_cost(), expl),
+                (false, _) => LbOutcome::infeasible(expl),
+            }
+        };
+
+        match self.closure(sub, active, val_epoch, &mut implied_cost) {
+            ClosureStep::Done => {}
+            ClosureStep::Infeasible(k) => {
+                return infeasible_outcome(self, sub, active[k].index, Vec::new(), has_dynamic);
+            }
+        }
+
+        let mut explanation: Vec<Lit> = Vec::new();
+        let mut total =
+            match self.greedy_pass(sub, active, val_epoch, implied_cost, upper, &mut explanation) {
+                Ok(t) => t,
+                Err(k) => {
+                    return infeasible_outcome(
+                        self,
+                        sub,
+                        active[k].index,
+                        explanation,
+                        has_dynamic,
+                    );
+                }
+            };
+        let mut bound = sub.path_cost() + implied_cost + ceil_eps(total);
+
+        if let (Some(u), Some(obj)) = (upper, sub.instance().objective()) {
+            if bound < u {
+                let path = sub.path_cost();
+                let mut fixed_any = false;
+                for &(c, l) in obj.terms() {
+                    if c <= 0
+                        || sub.assignment().lit_value(l) != pbo_core::Value::Unassigned
+                        || self.local_value(val_epoch, l.var().index()).is_some()
+                    {
+                        continue;
+                    }
+                    let v = l.var().index();
+                    let sel = if self.sel_stamp[v] == self.stamp { self.sel_cost[v] } else { 0.0 };
+                    let independent = total - sel;
+                    if path + implied_cost + ceil_eps(independent) + c >= u {
+                        self.val_stamp[v] = val_epoch;
+                        self.val[v] = !l.is_positive();
+                        fixed_any = true;
+                    }
+                }
+                if fixed_any {
+                    match self.closure(sub, active, val_epoch, &mut implied_cost) {
+                        ClosureStep::Done => {}
+                        ClosureStep::Infeasible(k) => {
+                            return infeasible_outcome(
+                                self,
+                                sub,
+                                active[k].index,
+                                explanation,
+                                true,
+                            );
+                        }
+                    }
+                    match self.greedy_pass(
+                        sub,
+                        active,
+                        val_epoch,
+                        implied_cost,
+                        upper,
+                        &mut explanation,
+                    ) {
+                        Ok(t) => total = t,
+                        Err(k) => {
+                            return infeasible_outcome(
+                                self,
+                                sub,
+                                active[k].index,
+                                explanation,
+                                true,
+                            );
+                        }
+                    }
+                    bound = bound.max(sub.path_cost() + implied_cost + ceil_eps(total));
+                }
+            }
+        }
+        let explanation = self.finish_explanation(sub, explanation);
+        LbOutcome::bound(bound, explanation)
+    }
+}
+
+#[inline]
+fn ceil_eps(x: f64) -> i64 {
+    (x - 1e-9).ceil() as i64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pbo_bounds::{LowerBound, MisBound, ResidualState};
+    use pbo_core::Assignment;
+
+    #[test]
+    fn frozen_baseline_agrees_with_the_live_kernel() {
+        // The baseline is only a fair measurement if it computes the
+        // same outcomes the live kernel computes.
+        let instance = crate::family_instances("synthesis", 1).remove(0);
+        let mut a = Assignment::new(instance.num_vars());
+        let mut state = ResidualState::new(&instance);
+        let mut replica = Pr3Residual::new(&instance);
+        let mut live = MisBound::new();
+        let mut frozen = Pr3MisBound::new();
+        for v in (0..instance.num_vars()).step_by(4) {
+            let lit = pbo_core::Var::new(v).lit(v % 8 == 0);
+            a.assign_lit(lit);
+            state.apply(&instance, lit);
+            replica.apply(lit);
+            let view = state.view(&instance, &a);
+            let new = live.lower_bound(&view, Some(1_000));
+            let old = frozen.lower_bound(&view, Some(1_000));
+            assert_eq!(new, old, "kernels diverged at depth {}", state.len());
+        }
+        assert_eq!(replica.len(), state.len());
+        replica.unwind_to(0);
+        state.unwind_to(&instance, 0);
+        assert_eq!(replica.num_active(), state.num_active());
+        assert!(replica.is_empty(), "everything was unwound");
+    }
+}

@@ -15,10 +15,19 @@
 //! each improving incumbent (`begin_epoch` + `push`); consumers compare
 //! [`DynamicRows::epoch`] against the epoch they last installed and swap
 //! their row region instead of rebuilding any per-node state.
+//!
+//! Alongside the [`DynRow`] list (kept for deduplication, diagnostics
+//! and cut-pool publishing), the registry maintains a flat SoA
+//! [`RowsArena`] mirror — the same contiguous-coefficients /
+//! contiguous-literals layout as the instance's
+//! [`TermArena`](pbo_core::TermArena) — which the residual state and the
+//! subproblem views borrow on the hot path.
 
-use pbo_core::PbConstraint;
+use pbo_core::{Lit, PbConstraint, RowView};
 
-/// Why a dynamic row exists (kept for diagnostics and bench ablations).
+/// Why a dynamic row exists (kept for diagnostics and bench ablations,
+/// and consumed by the per-method row filter in the solver's bound
+/// pipeline).
 #[derive(Copy, Clone, PartialEq, Eq, Debug)]
 pub enum DynRowOrigin {
     /// The eq. 10 objective cut `sum c_j l_j <= upper - 1` (normalized).
@@ -38,6 +47,109 @@ pub struct DynRow {
     pub origin: DynRowOrigin,
 }
 
+/// Flat SoA storage of a dynamic-row region: contiguous coefficient and
+/// literal arrays with per-row spans, right-hand sides and origins.
+///
+/// This is the layout the per-node hot paths read; it is cheap to clone
+/// (a handful of flat `memcpy`s), which is how the residual state takes
+/// its epoch-consistent copy of the registry at swap time.
+#[derive(Clone, Debug, Default)]
+pub struct RowsArena {
+    coeffs: Vec<i64>,
+    lits: Vec<Lit>,
+    /// Per-row offsets into `coeffs`/`lits`; empty means "no rows yet"
+    /// (treated like `[0]`).
+    row_start: Vec<u32>,
+    rhs: Vec<i64>,
+    origin: Vec<DynRowOrigin>,
+}
+
+impl RowsArena {
+    /// Creates an empty region.
+    pub const fn new() -> RowsArena {
+        RowsArena {
+            coeffs: Vec::new(),
+            lits: Vec::new(),
+            row_start: Vec::new(),
+            rhs: Vec::new(),
+            origin: Vec::new(),
+        }
+    }
+
+    /// Number of rows.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.rhs.len()
+    }
+
+    /// Returns `true` if the region holds no rows.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.rhs.is_empty()
+    }
+
+    /// The terms of row `k` as parallel coefficient/literal slices.
+    #[inline]
+    pub fn row(&self, k: usize) -> RowView<'_> {
+        let lo = self.row_start[k] as usize;
+        let hi = self.row_start[k + 1] as usize;
+        RowView { coeffs: &self.coeffs[lo..hi], lits: &self.lits[lo..hi] }
+    }
+
+    /// Right-hand side of row `k`.
+    #[inline]
+    pub fn rhs(&self, k: usize) -> i64 {
+        self.rhs[k]
+    }
+
+    /// Provenance of row `k`.
+    #[inline]
+    pub fn origin(&self, k: usize) -> DynRowOrigin {
+        self.origin[k]
+    }
+
+    /// Drops every row (capacity retained).
+    pub fn clear(&mut self) {
+        self.coeffs.clear();
+        self.lits.clear();
+        self.row_start.clear();
+        self.rhs.clear();
+        self.origin.clear();
+    }
+
+    /// Appends a row.
+    pub fn push_row(&mut self, constraint: &PbConstraint, origin: DynRowOrigin) {
+        if self.row_start.is_empty() {
+            self.row_start.push(0);
+        }
+        for t in constraint.terms() {
+            self.coeffs.push(t.coeff);
+            self.lits.push(t.lit);
+        }
+        self.row_start.push(self.coeffs.len() as u32);
+        self.rhs.push(constraint.rhs());
+        self.origin.push(origin);
+    }
+
+    /// Copies `other` into `self`, reusing allocations.
+    pub fn clone_from_arena(&mut self, other: &RowsArena) {
+        self.coeffs.clear();
+        self.coeffs.extend_from_slice(&other.coeffs);
+        self.lits.clear();
+        self.lits.extend_from_slice(&other.lits);
+        self.row_start.clear();
+        self.row_start.extend_from_slice(&other.row_start);
+        self.rhs.clear();
+        self.rhs.extend_from_slice(&other.rhs);
+        self.origin.clear();
+        self.origin.extend_from_slice(&other.origin);
+    }
+}
+
+/// The shared empty region (what a [`Subproblem`](crate::Subproblem)
+/// without dynamic rows points at).
+pub(crate) static EMPTY_ROWS: RowsArena = RowsArena::new();
+
 /// Epoch-versioned registry of dynamic rows.
 ///
 /// # Examples
@@ -54,10 +166,12 @@ pub struct DynRow {
 /// assert!(!rows.push(clause, DynRowOrigin::PromotedClause), "duplicate rejected");
 /// assert_eq!(rows.epoch(), 1);
 /// assert_eq!(rows.len(), 1);
+/// assert_eq!(rows.arena().len(), 1);
 /// ```
 #[derive(Clone, Debug, Default)]
 pub struct DynamicRows {
     rows: Vec<DynRow>,
+    arena: RowsArena,
     epoch: u64,
 }
 
@@ -81,6 +195,13 @@ impl DynamicRows {
         &self.rows
     }
 
+    /// The flat SoA mirror of the current epoch's rows (what the hot
+    /// paths borrow).
+    #[inline]
+    pub fn arena(&self) -> &RowsArena {
+        &self.arena
+    }
+
     /// Number of rows in the current epoch.
     #[inline]
     pub fn len(&self) -> usize {
@@ -98,6 +219,7 @@ impl DynamicRows {
     /// new row set.
     pub fn begin_epoch(&mut self) {
         self.rows.clear();
+        self.arena.clear();
         self.epoch += 1;
     }
 
@@ -111,6 +233,7 @@ impl DynamicRows {
         if self.rows.iter().any(|r| r.constraint == constraint) {
             return false;
         }
+        self.arena.push_row(&constraint, origin);
         self.rows.push(DynRow { constraint, origin });
         true
     }
@@ -130,6 +253,7 @@ mod tests {
         rows.begin_epoch();
         assert_eq!((rows.epoch(), rows.len()), (2, 0));
         assert!(rows.is_empty());
+        assert!(rows.arena().is_empty());
     }
 
     #[test]
@@ -142,5 +266,31 @@ mod tests {
         assert!(!rows.push(c, DynRowOrigin::ObjectiveCut), "same row, any origin");
         assert!(!rows.push(PbConstraint::clause([]), DynRowOrigin::PromotedClause));
         assert_eq!(rows.len(), 1);
+        assert_eq!(rows.arena().len(), 1);
+    }
+
+    #[test]
+    fn arena_mirrors_the_row_list() {
+        let mut rows = DynamicRows::new();
+        rows.begin_epoch();
+        let a = PbConstraint::try_new(vec![(2, Lit::new(0, true)), (1, Lit::new(1, false))], 2)
+            .unwrap();
+        let b = PbConstraint::clause([Lit::new(2, true)]);
+        rows.push(a.clone(), DynRowOrigin::ObjectiveCut);
+        rows.push(b.clone(), DynRowOrigin::PromotedClause);
+        let arena = rows.arena();
+        assert_eq!(arena.len(), 2);
+        for (k, c) in [a, b].iter().enumerate() {
+            assert_eq!(arena.rhs(k), c.rhs());
+            let terms: Vec<_> = arena.row(k).terms().collect();
+            assert_eq!(terms, c.terms().to_vec(), "row {k}");
+        }
+        assert_eq!(arena.origin(0), DynRowOrigin::ObjectiveCut);
+        assert_eq!(arena.origin(1), DynRowOrigin::PromotedClause);
+        // The state-side copy path reuses allocations.
+        let mut copy = RowsArena::new();
+        copy.clone_from_arena(arena);
+        assert_eq!(copy.len(), 2);
+        assert_eq!(copy.row(1).terms().count(), 1);
     }
 }

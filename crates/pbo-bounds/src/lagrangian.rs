@@ -27,7 +27,7 @@
 //! bound call) instead of a hash map, making row assembly allocation- and
 //! hash-free after warm-up.
 
-use pbo_core::{Lit, Value};
+use pbo_core::Value;
 
 use crate::subproblem::Subproblem;
 use crate::{LbOutcome, LowerBound};
@@ -203,7 +203,7 @@ impl LowerBound for LagrangianBound {
         "lgr"
     }
 
-    fn lower_bound(&mut self, sub: &Subproblem<'_>, upper: Option<i64>) -> LbOutcome {
+    fn lower_bound_into(&mut self, sub: &Subproblem<'_>, upper: Option<i64>, out: &mut LbOutcome) {
         let assignment = sub.assignment();
         let instance = sub.instance();
 
@@ -365,7 +365,9 @@ impl LowerBound for LagrangianBound {
         };
 
         // --- Explanation: S = { rows with mu_i > 0 } (sec. 4.3). ---
-        let mut explanation: Vec<Lit> = Vec::new();
+        // Built directly into the caller's reusable buffer.
+        out.explanation.clear();
+        let explanation = &mut out.explanation;
         // alpha for *assigned* variables, needed by the filter: computed
         // over the original constraints in S in variable space, into the
         // epoch-stamped dense scratch (no hashing, no allocation after
@@ -376,7 +378,7 @@ impl LowerBound for LagrangianBound {
                     continue;
                 }
                 let orig = self.rows.orig[r];
-                for t in sub.row_terms(orig) {
+                for t in sub.row_terms(orig).terms() {
                     if assignment.lit_value(t.lit) == Value::Unassigned {
                         continue;
                     }
@@ -422,9 +424,10 @@ impl LowerBound for LagrangianBound {
                 explanation.push(l);
             }
         }
-        explanation.sort();
+        explanation.sort_unstable();
         explanation.dedup();
-        LbOutcome::bound(bound, explanation)
+        out.bound = bound;
+        out.infeasible = false;
     }
 }
 

@@ -57,7 +57,7 @@ mod mis;
 mod residual;
 mod subproblem;
 
-pub use dynrows::{DynRow, DynRowOrigin, DynamicRows};
+pub use dynrows::{DynRow, DynRowOrigin, DynamicRows, RowsArena};
 pub use lagrangian::{LagrangianBound, LagrangianConfig};
 pub use lpr::LprBound;
 pub use mis::MisBound;
@@ -105,8 +105,16 @@ impl LbOutcome {
 /// A lower-bound estimation procedure (sec. 3 of the paper).
 ///
 /// Implementations may keep internal state for warm starting (the LP
-/// basis, the Lagrangian multipliers); the solver calls
-/// [`lower_bound`](LowerBound::lower_bound) once per search node.
+/// basis, the Lagrangian multipliers); the solver calls the bound once
+/// per search node.
+///
+/// Implement **at least one** of [`lower_bound`](LowerBound::lower_bound)
+/// and [`lower_bound_into`](LowerBound::lower_bound_into) — each defaults
+/// to the other. Allocation-free kernels (MIS, LGR) implement the `into`
+/// variant, writing the explanation into the caller's reusable buffer;
+/// per-node callers (the solver's bound pipeline) hold one [`LbOutcome`]
+/// and call `lower_bound_into` so the steady state performs no heap
+/// allocation at all.
 pub trait LowerBound {
     /// Short identifier used in benchmark tables (`"mis"`, `"lgr"`,
     /// `"lpr"`, `"none"`).
@@ -115,7 +123,18 @@ pub trait LowerBound {
     /// Computes a lower bound for the residual problem. `upper` is the
     /// current best solution (`P.upper`), which implementations may use
     /// for early termination once the bound already prunes.
-    fn lower_bound(&mut self, sub: &Subproblem<'_>, upper: Option<i64>) -> LbOutcome;
+    fn lower_bound(&mut self, sub: &Subproblem<'_>, upper: Option<i64>) -> LbOutcome {
+        let mut out = LbOutcome::bound(0, Vec::new());
+        self.lower_bound_into(sub, upper, &mut out);
+        out
+    }
+
+    /// Like [`lower_bound`](LowerBound::lower_bound), but writes the
+    /// result into a caller-owned outcome, reusing the explanation
+    /// buffer's capacity across calls.
+    fn lower_bound_into(&mut self, sub: &Subproblem<'_>, upper: Option<i64>, out: &mut LbOutcome) {
+        *out = self.lower_bound(sub, upper);
+    }
 }
 
 /// The trivial bound: path cost only (the paper's "plain" bsolo).
@@ -136,8 +155,10 @@ impl LowerBound for NoBound {
         "none"
     }
 
-    fn lower_bound(&mut self, sub: &Subproblem<'_>, _upper: Option<i64>) -> LbOutcome {
-        LbOutcome::bound(sub.path_cost(), Vec::new())
+    fn lower_bound_into(&mut self, sub: &Subproblem<'_>, _upper: Option<i64>, out: &mut LbOutcome) {
+        out.bound = sub.path_cost();
+        out.infeasible = false;
+        out.explanation.clear();
     }
 }
 

@@ -22,10 +22,16 @@
 //! step records the false literals of the rows it used, so the
 //! explanation (`omega_pl`) stays sound.
 //!
-//! The procedure reads the residual problem through the [`Subproblem`]
-//! view API (free terms are iterated, never materialized) and keeps its
-//! working buffers across calls, so a bound computation performs no
-//! allocation beyond the returned explanation.
+//! The kernel is **steady-state allocation-free**: at the start of a
+//! bound call the free terms of every active row are materialized *once*
+//! into a flat per-call CSR scratch (coefficients, literals and objective
+//! costs in contiguous reusable arrays), and the closure, greedy and
+//! reduced-cost passes all iterate that scratch instead of re-filtering
+//! the rows through the assignment four to six times per call. All
+//! per-variable marks are epoch-stamped, the hot sorts are unstable with
+//! explicit index tie-breaks (stable sorts allocate), and the
+//! explanation is built directly into the caller's reusable
+//! [`LbOutcome`] buffer via [`LowerBound::lower_bound_into`].
 
 use pbo_core::Lit;
 
@@ -61,10 +67,35 @@ const MAX_CLOSURE_ROUNDS: usize = 8;
 pub struct MisBound {
     /// Run the implied-literal closure and reduced-cost fixing.
     implied: bool,
-    /// Scratch: (cost per unit, coeff, cost) items of one constraint.
-    items: Vec<(f64, i64, i64)>,
+    // --- per-call materialized free-term CSR (reused across calls) ---
+    /// Offsets into the `free_*` arrays per active-row position
+    /// (length `active + 1`). Each span is stored in **fractional-cover
+    /// order** (ascending cost-per-unit, term order breaking ties), so
+    /// the cover walk needs no per-pass sorting.
+    free_start: Vec<u32>,
+    /// Coefficients of the free terms, row-major over the active list.
+    free_coeff: Vec<i64>,
+    /// Literals of the free terms (parallel to `free_coeff`).
+    free_lit: Vec<Lit>,
+    /// Objective costs of the free literals (parallel to `free_coeff`).
+    free_cost: Vec<i64>,
+    /// Free weight of each active row at materialization time (the
+    /// no-implications fast path of `recompute_rows`).
+    free_sum0: Vec<i64>,
+    /// Largest free coefficient of each active row: rows whose max
+    /// coefficient fits in the slack can be skipped by the closure
+    /// without scanning a single term.
+    free_max: Vec<i64>,
+    /// Number of locally implied variables this call; 0 enables the
+    /// fast paths above.
+    num_local: u32,
+    // --- scratch ---
+    /// Scratch: one row's (ratio, position) items during
+    /// materialization. The position tie-break makes the unstable sort
+    /// reproduce the stable order without a merge buffer.
+    row_buf: Vec<(f64, i64, Lit, i64, u32)>,
     /// Scratch: (position in active list, fractional cover cost).
-    scored: Vec<(u32, f64)>,
+    scored: Vec<(u32, f64, f64)>,
     /// Scratch: last selection stamp per variable (epoch-cleared).
     used_stamp: Vec<u32>,
     /// Scratch: local implied-value stamp per variable.
@@ -91,7 +122,14 @@ impl Default for MisBound {
     fn default() -> MisBound {
         MisBound {
             implied: true,
-            items: Vec::new(),
+            free_start: Vec::new(),
+            free_coeff: Vec::new(),
+            free_lit: Vec::new(),
+            free_cost: Vec::new(),
+            free_sum0: Vec::new(),
+            free_max: Vec::new(),
+            num_local: 0,
+            row_buf: Vec::new(),
             scored: Vec::new(),
             used_stamp: Vec::new(),
             val_stamp: Vec::new(),
@@ -156,19 +194,99 @@ impl MisBound {
         }
     }
 
+    /// Materializes the free terms of every active row into the flat
+    /// per-call CSR scratch — one filtered pass over the residual,
+    /// amortized over every later closure/greedy/fixing iteration. Each
+    /// row's span is stored pre-sorted in fractional-cover order
+    /// (ascending cost-per-unit, stable in term order), and the row's
+    /// free weight and maximum coefficient are captured for the
+    /// no-implication fast paths.
+    fn materialize(&mut self, sub: &Subproblem<'_>, active: &[ActiveEntry]) {
+        self.free_start.clear();
+        self.free_coeff.clear();
+        self.free_lit.clear();
+        self.free_cost.clear();
+        self.free_sum0.clear();
+        self.free_max.clear();
+        self.free_start.push(0);
+        let num_static = sub.num_static_rows();
+        let arena = sub.instance().arena();
+        let assignment = sub.assignment();
+        let mut row_buf = std::mem::take(&mut self.row_buf);
+        for e in active {
+            let index = e.index as usize;
+            let mut sum = 0i64;
+            let mut max = 0i64;
+            if index < num_static {
+                // Static rows: walk the instance's precomputed cover
+                // order (a filtered subsequence of a sorted sequence is
+                // sorted), gathering the free terms — no ratio
+                // arithmetic, no sorting.
+                for &p in arena.cover_order(index) {
+                    let t = arena.term_at(p as usize);
+                    if assignment.lit_value(t.lit) != pbo_core::Value::Unassigned {
+                        continue;
+                    }
+                    self.free_coeff.push(t.coeff);
+                    self.free_lit.push(t.lit);
+                    self.free_cost.push(sub.lit_cost(t.lit));
+                    sum += t.coeff;
+                    max = max.max(t.coeff);
+                }
+            } else {
+                // Dynamic rows (a handful per region): sort per call.
+                // The position tie-break reproduces the stable (term)
+                // order.
+                row_buf.clear();
+                for t in sub.free_terms(index) {
+                    let cost = sub.lit_cost(t.lit);
+                    let ratio = cost as f64 / t.coeff as f64;
+                    row_buf.push((ratio, t.coeff, t.lit, cost, row_buf.len() as u32));
+                    sum += t.coeff;
+                    max = max.max(t.coeff);
+                }
+                row_buf.sort_unstable_by(|a, b| {
+                    a.0.partial_cmp(&b.0).unwrap_or(std::cmp::Ordering::Equal).then(a.4.cmp(&b.4))
+                });
+                for &(_, coeff, lit, cost, _) in &row_buf {
+                    self.free_coeff.push(coeff);
+                    self.free_lit.push(lit);
+                    self.free_cost.push(cost);
+                }
+            }
+            self.free_start.push(self.free_coeff.len() as u32);
+            self.free_sum0.push(sum);
+            self.free_max.push(max);
+        }
+        self.row_buf = row_buf;
+    }
+
+    /// Span of active-row position `k` in the `free_*` arrays.
+    #[inline]
+    fn span(&self, k: usize) -> std::ops::Range<usize> {
+        self.free_start[k] as usize..self.free_start[k + 1] as usize
+    }
+
     /// Recomputes `need` / `free_sum` of every active row under the
-    /// current local implications. O(residual size).
-    fn recompute_rows(&mut self, sub: &Subproblem<'_>, active: &[ActiveEntry], val_epoch: u32) {
+    /// current local implications. O(active) with no implications (the
+    /// common case — copied from the materialization sums), O(free
+    /// terms) otherwise.
+    fn recompute_rows(&mut self, active: &[ActiveEntry], val_epoch: u32) {
         self.need.clear();
         self.free_sum.clear();
-        for e in active {
+        if self.num_local == 0 {
+            self.need.extend(active.iter().map(|e| e.residual_rhs));
+            self.free_sum.extend_from_slice(&self.free_sum0);
+            return;
+        }
+        for (k, e) in active.iter().enumerate() {
             let mut need = e.residual_rhs;
             let mut free = 0i64;
-            for t in sub.free_terms(e.index as usize) {
-                match self.local_value(val_epoch, t.lit.var().index()) {
-                    Some(v) if v == t.lit.is_positive() => need -= t.coeff,
+            for i in self.span(k) {
+                match self.local_value(val_epoch, self.free_lit[i].var().index()) {
+                    Some(v) if v == self.free_lit[i].is_positive() => need -= self.free_coeff[i],
                     Some(_) => {} // locally falsified: contributes nothing
-                    None => free += t.coeff,
+                    None => free += self.free_coeff[i],
                 }
             }
             self.need.push(need);
@@ -196,6 +314,7 @@ impl MisBound {
             None => {
                 self.val_stamp[v] = val_epoch;
                 self.val[v] = lit.is_positive();
+                self.num_local += 1;
                 *implied_cost += sub.lit_cost(lit);
                 self.expl_rows.push(source_row);
                 true
@@ -214,7 +333,7 @@ impl MisBound {
         implied_cost: &mut i64,
     ) -> ClosureStep {
         for _ in 0..MAX_CLOSURE_ROUNDS {
-            self.recompute_rows(sub, active, val_epoch);
+            self.recompute_rows(active, val_epoch);
             let mut changed = false;
             for (k, e) in active.iter().enumerate() {
                 if self.need[k] <= 0 {
@@ -224,18 +343,25 @@ impl MisBound {
                     return ClosureStep::Infeasible(k);
                 }
                 let slack = self.free_sum[k] - self.need[k];
+                // No term of the row can exceed the slack and no local
+                // value touches it: nothing to imply, skip the scan.
+                // (With implications around, `free_max` may count a
+                // locally-valued term, so the shortcut only applies to
+                // the implication-free state.)
+                if self.num_local == 0 && self.free_max[k] <= slack {
+                    continue;
+                }
                 // Free literals the row cannot be satisfied without.
                 // (Free weight is recomputed per round, so implications
                 // made earlier this round only under-trigger — sound.)
-                let index = e.index as usize;
                 let mut implied_here = std::mem::take(&mut self.implied_here);
                 implied_here.clear();
-                for t in sub.free_terms(index) {
-                    if self.local_value(val_epoch, t.lit.var().index()).is_some() {
+                for i in self.span(k) {
+                    if self.local_value(val_epoch, self.free_lit[i].var().index()).is_some() {
                         continue;
                     }
-                    if t.coeff > slack {
-                        implied_here.push(t.lit);
+                    if self.free_coeff[i] > slack {
+                        implied_here.push(self.free_lit[i]);
                     }
                 }
                 for i in 0..implied_here.len() {
@@ -257,31 +383,22 @@ impl MisBound {
     /// Fractional minimum cost of satisfying one residual row in
     /// isolation under the local implications: fill the adjusted residual
     /// requirement with the cheapest cost-per-unit free literals (the
-    /// single-constraint LP optimum). Infinite when the requirement is
-    /// unreachable.
-    fn fractional_cover_cost(
-        &mut self,
-        sub: &Subproblem<'_>,
-        entry: &ActiveEntry,
-        need: i64,
-        val_epoch: u32,
-    ) -> f64 {
-        let mut items = std::mem::take(&mut self.items);
-        items.clear();
-        for t in sub.free_terms(entry.index as usize) {
-            if self.local_value(val_epoch, t.lit.var().index()).is_some() {
-                continue;
-            }
-            let cost = sub.lit_cost(t.lit);
-            items.push((cost as f64 / t.coeff as f64, t.coeff, cost));
-        }
-        items.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap_or(std::cmp::Ordering::Equal));
+    /// single-constraint LP optimum). The row's span is already stored
+    /// in cover order, so this is a plain walk — no per-pass sorting.
+    /// Infinite when the requirement is unreachable.
+    fn fractional_cover_cost(&mut self, k: usize, need: i64, val_epoch: u32) -> f64 {
         let mut left = need;
         let mut total = 0.0;
-        for &(_, coeff, cost) in items.iter() {
+        let filter = self.num_local > 0;
+        for i in self.span(k) {
             if left <= 0 {
                 break;
             }
+            if filter && self.local_value(val_epoch, self.free_lit[i].var().index()).is_some() {
+                continue;
+            }
+            let coeff = self.free_coeff[i];
+            let cost = self.free_cost[i];
             if coeff >= left {
                 total += cost as f64 * left as f64 / coeff as f64;
                 left = 0;
@@ -290,7 +407,6 @@ impl MisBound {
                 left -= coeff;
             }
         }
-        self.items = items;
         if left > 0 {
             f64::INFINITY
         } else {
@@ -312,50 +428,63 @@ impl MisBound {
         upper: Option<i64>,
         explanation: &mut Vec<Lit>,
     ) -> Result<f64, usize> {
-        self.recompute_rows(sub, active, val_epoch);
+        self.recompute_rows(active, val_epoch);
         self.scored.clear();
-        for (k, e) in active.iter().enumerate() {
+        #[allow(clippy::needless_range_loop)] // k also indexes the free-term spans
+        for k in 0..active.len() {
             let need = self.need[k];
             if need <= 0 {
                 continue; // satisfied by local implications
             }
-            let cost = self.fractional_cover_cost(sub, e, need, val_epoch);
+            let cost = self.fractional_cover_cost(k, need, val_epoch);
             if cost.is_infinite() {
                 return Err(k);
             }
             if cost > 0.0 {
-                self.scored.push((k as u32, cost));
+                // The Coudert weight (contribution per touched variable)
+                // is precomputed so the sort comparator is division-free.
+                let weighted = cost / (1.0 + active[k].free_count as f64);
+                self.scored.push((k as u32, cost, weighted));
             }
         }
         // Coudert-style greedy: prefer high contribution per touched
-        // variable, then larger contribution.
-        self.scored.sort_by(|a, b| {
-            let wa = a.1 / (1.0 + active[a.0 as usize].free_count as f64);
-            let wb = b.1 / (1.0 + active[b.0 as usize].free_count as f64);
-            wb.partial_cmp(&wa)
+        // variable, then larger contribution, then active position —
+        // the explicit position tie-break reproduces the stable order
+        // with an allocation-free unstable sort.
+        self.scored.sort_unstable_by(|a, b| {
+            b.2.partial_cmp(&a.2)
                 .unwrap_or(std::cmp::Ordering::Equal)
                 .then_with(|| b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal))
+                .then_with(|| a.0.cmp(&b.0))
         });
         let sel_epoch = self.next_stamp();
         let scored = std::mem::take(&mut self.scored);
+        let filter = self.num_local > 0;
         let mut total = 0.0;
-        for &(k, cost) in &scored {
+        for &(k, cost, _) in &scored {
             let e = &active[k as usize];
             let index = e.index as usize;
-            let free_of_row = |b: &MisBound, t: &pbo_core::PbTerm| {
-                b.local_value(val_epoch, t.lit.var().index()).is_none()
-            };
-            if sub
-                .free_terms(index)
-                .any(|t| free_of_row(self, &t) && self.used_stamp[t.lit.var().index()] == sel_epoch)
-            {
+            // A row whose free (non-locally-implied) variables intersect
+            // an already selected row is dependent: skip it.
+            let mut clashes = false;
+            for i in self.span(k as usize) {
+                let v = self.free_lit[i].var().index();
+                if (!filter || self.local_value(val_epoch, v).is_none())
+                    && self.used_stamp[v] == sel_epoch
+                {
+                    clashes = true;
+                    break;
+                }
+            }
+            if clashes {
                 continue;
             }
-            for t in sub.free_terms(index) {
-                if free_of_row(self, &t) {
-                    self.used_stamp[t.lit.var().index()] = sel_epoch;
-                    self.sel_stamp[t.lit.var().index()] = sel_epoch;
-                    self.sel_cost[t.lit.var().index()] = cost;
+            for i in self.span(k as usize) {
+                let v = self.free_lit[i].var().index();
+                if !filter || self.local_value(val_epoch, v).is_none() {
+                    self.used_stamp[v] = sel_epoch;
+                    self.sel_stamp[v] = sel_epoch;
+                    self.sel_cost[v] = cost;
                 }
             }
             total += cost;
@@ -371,16 +500,50 @@ impl MisBound {
         Ok(total)
     }
 
-    /// Assembles the explanation: selected-row false literals already in
-    /// `explanation`, plus the false literals of every closure source
-    /// row, deduplicated.
-    fn finish_explanation(&mut self, sub: &Subproblem<'_>, mut explanation: Vec<Lit>) -> Vec<Lit> {
+    /// Assembles the explanation in place: selected-row false literals
+    /// already in `explanation`, plus the false literals of every closure
+    /// source row, deduplicated.
+    fn finish_explanation(&mut self, sub: &Subproblem<'_>, explanation: &mut Vec<Lit>) {
         for &row in &self.expl_rows {
             explanation.extend(sub.false_literals(row as usize));
         }
-        explanation.sort();
+        explanation.sort_unstable();
         explanation.dedup();
-        explanation
+    }
+
+    /// Writes an infeasibility verdict for `row` into `out`. Dynamic rows
+    /// are implied by the incumbent bound, not the instance alone: any
+    /// infeasibility that might rest on one is upper-conditional — a
+    /// *bound* fact (no completion cheaper than `upper`), not true
+    /// infeasibility.
+    fn infeasible_into(
+        &mut self,
+        sub: &Subproblem<'_>,
+        row: u32,
+        conditional: bool,
+        upper: Option<i64>,
+        out: &mut LbOutcome,
+    ) {
+        self.expl_rows.push(row);
+        self.finish_explanation(sub, &mut out.explanation);
+        match (conditional, upper) {
+            (true, Some(u)) => {
+                out.bound = u;
+                out.infeasible = false;
+            }
+            // Conditional wipeout but no incumbent passed: only
+            // completions cheaper than an incumbent this caller does
+            // not know were refuted, so nothing may be claimed —
+            // fall back to the trivial (non-pruning) bound.
+            (true, None) => {
+                out.bound = sub.path_cost();
+                out.infeasible = false;
+            }
+            (false, _) => {
+                out.bound = i64::MAX;
+                out.infeasible = true;
+            }
+        }
     }
 }
 
@@ -395,7 +558,8 @@ impl LowerBound for MisBound {
         "mis"
     }
 
-    fn lower_bound(&mut self, sub: &Subproblem<'_>, upper: Option<i64>) -> LbOutcome {
+    fn lower_bound_into(&mut self, sub: &Subproblem<'_>, upper: Option<i64>, out: &mut LbOutcome) {
+        out.explanation.clear();
         let active = sub.active();
         let num_vars = sub.instance().num_vars();
         if self.used_stamp.len() < num_vars {
@@ -406,6 +570,8 @@ impl LowerBound for MisBound {
             self.sel_cost.resize(num_vars, 0.0);
         }
         self.expl_rows.clear();
+        self.num_local = 0;
+        self.materialize(sub, active);
         // A call consumes at most 3 stamps (implied values + two greedy
         // passes); a mid-call wrap would clear the implied-value state
         // between phases, so force the wrap here if one is near.
@@ -415,62 +581,41 @@ impl LowerBound for MisBound {
         }
         let val_epoch = self.next_stamp();
         let mut implied_cost = 0i64;
-        // Dynamic rows are implied by the incumbent bound, not the
-        // instance alone: any infeasibility that might rest on one is
-        // upper-conditional — a *bound* fact (no completion cheaper than
-        // `upper`), not true infeasibility. The same holds for anything
-        // derived after reduced-cost fixing.
+        // See `infeasible_into` for why dynamic rows make infeasibility
+        // verdicts conditional. The same holds for anything derived
+        // after reduced-cost fixing.
         let has_dynamic = !sub.dynamic_rows().is_empty();
-
-        let infeasible_outcome = |mb: &mut MisBound,
-                                  sub: &Subproblem<'_>,
-                                  row: u32,
-                                  expl: Vec<Lit>,
-                                  conditional: bool| {
-            mb.expl_rows.push(row);
-            let expl = mb.finish_explanation(sub, expl);
-            match (conditional, upper) {
-                (true, Some(u)) => LbOutcome::bound(u, expl),
-                // Conditional wipeout but no incumbent passed: only
-                // completions cheaper than an incumbent this caller does
-                // not know were refuted, so nothing may be claimed —
-                // fall back to the trivial (non-pruning) bound.
-                (true, None) => LbOutcome::bound(sub.path_cost(), expl),
-                (false, _) => LbOutcome::infeasible(expl),
-            }
-        };
 
         // --- Pass 0: implication closure over the raw residual. ---
         if self.implied {
             match self.closure(sub, active, val_epoch, &mut implied_cost) {
                 ClosureStep::Done => {}
                 ClosureStep::Infeasible(k) => {
-                    return infeasible_outcome(self, sub, active[k].index, Vec::new(), has_dynamic);
+                    return self.infeasible_into(sub, active[k].index, has_dynamic, upper, out);
                 }
             }
         } else {
             // Plain MIS still needs the per-row requirements.
-            self.recompute_rows(sub, active, val_epoch);
+            self.recompute_rows(active, val_epoch);
         }
 
         // --- Pass 1: greedy independent-set partition. ---
-        let mut explanation: Vec<Lit> = Vec::new();
-        let mut total =
-            match self.greedy_pass(sub, active, val_epoch, implied_cost, upper, &mut explanation) {
-                Ok(t) => t,
-                Err(k) => {
-                    // Closure implications are entailed by the rows
-                    // themselves, so the verdict is conditional exactly
-                    // when a dynamic row might be among them.
-                    return infeasible_outcome(
-                        self,
-                        sub,
-                        active[k].index,
-                        explanation,
-                        has_dynamic,
-                    );
-                }
-            };
+        let mut total = match self.greedy_pass(
+            sub,
+            active,
+            val_epoch,
+            implied_cost,
+            upper,
+            &mut out.explanation,
+        ) {
+            Ok(t) => t,
+            Err(k) => {
+                // Closure implications are entailed by the rows
+                // themselves, so the verdict is conditional exactly
+                // when a dynamic row might be among them.
+                return self.infeasible_into(sub, active[k].index, has_dynamic, upper, out);
+            }
+        };
         let mut bound = sub.path_cost() + implied_cost + ceil_eps(total);
 
         // --- Pass 2 (optional): reduced-cost fixing against `upper`. ---
@@ -497,6 +642,7 @@ impl LowerBound for MisBound {
                         if path + implied_cost + ceil_eps(independent) + c >= u {
                             self.val_stamp[v] = val_epoch;
                             self.val[v] = !l.is_positive();
+                            self.num_local += 1;
                             fixed_any = true;
                         }
                     }
@@ -504,12 +650,12 @@ impl LowerBound for MisBound {
                         match self.closure(sub, active, val_epoch, &mut implied_cost) {
                             ClosureStep::Done => {}
                             ClosureStep::Infeasible(k) => {
-                                return infeasible_outcome(
-                                    self,
+                                return self.infeasible_into(
                                     sub,
                                     active[k].index,
-                                    explanation,
                                     true,
+                                    upper,
+                                    out,
                                 );
                             }
                         }
@@ -519,16 +665,16 @@ impl LowerBound for MisBound {
                             val_epoch,
                             implied_cost,
                             upper,
-                            &mut explanation,
+                            &mut out.explanation,
                         ) {
                             Ok(t) => total = t,
                             Err(k) => {
-                                return infeasible_outcome(
-                                    self,
+                                return self.infeasible_into(
                                     sub,
                                     active[k].index,
-                                    explanation,
                                     true,
+                                    upper,
+                                    out,
                                 );
                             }
                         }
@@ -538,8 +684,9 @@ impl LowerBound for MisBound {
                 }
             }
         }
-        let explanation = self.finish_explanation(sub, explanation);
-        LbOutcome::bound(bound, explanation)
+        self.finish_explanation(sub, &mut out.explanation);
+        out.bound = bound;
+        out.infeasible = false;
     }
 }
 
@@ -758,6 +905,30 @@ mod tests {
             let from_shared = shared.lower_bound(&sub, None);
             let from_fresh = MisBound::new().lower_bound(&sub, None);
             assert_eq!(from_shared, from_fresh, "round {round}");
+        }
+    }
+
+    #[test]
+    fn into_variant_reuses_the_outcome_buffer() {
+        // lower_bound_into must produce the same result as lower_bound
+        // while writing into a caller-owned (reused) LbOutcome.
+        let mut b = InstanceBuilder::new();
+        let v = b.new_vars(4);
+        b.add_clause([v[0].positive(), v[1].positive()]);
+        b.add_clause([v[2].positive(), v[3].positive()]);
+        b.minimize(v.iter().enumerate().map(|(i, x)| ((i + 1) as i64, x.positive())));
+        let inst = b.build().unwrap();
+        let mut mis = MisBound::new();
+        let mut out = LbOutcome::bound(0, Vec::new());
+        for round in 0..3 {
+            let mut a = Assignment::new(4);
+            if round == 1 {
+                a.assign(Var::new(2), false);
+            }
+            let sub = Subproblem::new(&inst, &a);
+            mis.lower_bound_into(&sub, Some(100), &mut out);
+            let fresh = MisBound::new().lower_bound(&sub, Some(100));
+            assert_eq!(out, fresh, "round {round}");
         }
     }
 

@@ -1,4 +1,4 @@
-//! Incrementally maintained residual problem — the tentpole of the
+//! Incrementally maintained residual problem — the heart of the
 //! lower-bounding hot path.
 //!
 //! The DATE'05 paper calls a lower-bound procedure at *every* search
@@ -17,6 +17,14 @@
 //!   [`Subproblem`] in O(active constraints), never touching satisfied
 //!   constraints or any term lists.
 //!
+//! The state owns **no term or occurrence storage of its own**: the
+//! static rows' occurrence lists are read straight from the instance's
+//! flat [`TermArena`](pbo_core::TermArena) CSR (one contiguous block,
+//! shared by every consumer — and across local-search worker threads),
+//! so `apply`/`unwind` walk two flat arrays instead of pointer-chasing
+//! per-literal `Vec`s. Only the per-row counters and the dynamic-row
+//! region are state-local.
+//!
 //! Synchronisation with the search engine uses the engine's trail
 //! low-watermark (`Engine::sync_trail` in `pbo-engine`): the engine
 //! reports the longest still-valid prefix, the state unwinds to it and
@@ -25,13 +33,13 @@
 
 use pbo_core::{Assignment, Instance, Lit};
 
-use crate::dynrows::{DynRow, DynamicRows};
+use crate::dynrows::{DynamicRows, RowsArena};
 use crate::subproblem::{ActiveEntry, Subproblem};
 
 /// List-end sentinel of the active linked list.
 const NIL: u32 = u32::MAX;
 
-/// One occurrence of a literal in a constraint.
+/// One occurrence of a literal in a dynamic row.
 #[derive(Copy, Clone, Debug)]
 struct Occ {
     constraint: u32,
@@ -67,7 +75,7 @@ pub struct ResidualStats {
 /// let mut state = ResidualState::new(&inst);
 /// let mut a = Assignment::new(3);
 /// a.assign(Var::new(0), true);
-/// state.apply(v[0].positive());
+/// state.apply(&inst, v[0].positive());
 ///
 /// let sub = state.view(&inst, &a);
 /// assert_eq!(sub.path_cost(), 1);
@@ -82,10 +90,10 @@ pub struct ResidualStats {
 pub struct ResidualState {
     // --- static per-instance data (built once) ---
     /// Number of static (instance) constraints; row indices at or above
-    /// this refer to the dynamic-row region.
+    /// this refer to the dynamic-row region. Term and occurrence data of
+    /// the static rows live in the instance's `TermArena` and are
+    /// borrowed per call, never copied.
     num_static: usize,
-    /// Occurrence lists indexed by literal code (static rows only).
-    occ: Vec<Vec<Occ>>,
     /// Objective cost per literal code (cost incurred when the literal
     /// becomes true).
     lit_cost: Vec<i64>,
@@ -93,11 +101,13 @@ pub struct ResidualState {
     /// one entry per dynamic row.
     rhs: Vec<i64>,
     // --- dynamic-row region (epoch-versioned; see `set_dynamic_rows`) ---
-    /// Installed dynamic rows, in registry order.
-    dyn_rows: Vec<DynRow>,
+    /// Installed dynamic rows (flat SoA copy of the registry region).
+    dyn_rows: RowsArena,
     /// Epoch of the installed region (matches `DynamicRows::epoch`).
     dyn_epoch: u64,
     /// Occurrence lists of the dynamic rows, indexed by literal code.
+    /// The region is a handful of rows, so the sparse per-literal lists
+    /// stay tiny; only lists a region actually touched are ever cleared.
     dyn_occ: Vec<Vec<Occ>>,
     /// Whether each literal (by code) is currently applied — lets a row
     /// installed mid-trail compute its counters in O(row terms).
@@ -133,16 +143,13 @@ impl ResidualState {
     /// constraint active, counters at their initial values.
     pub fn new(instance: &Instance) -> ResidualState {
         let num_vars = instance.num_vars();
-        let m = instance.num_constraints();
-        let mut occ: Vec<Vec<Occ>> = vec![Vec::new(); 2 * num_vars];
+        let arena = instance.arena();
+        let m = arena.num_rows();
         let mut rhs = Vec::with_capacity(m);
         let mut free_count = Vec::with_capacity(m);
-        for (ci, c) in instance.constraints().iter().enumerate() {
-            rhs.push(c.rhs());
-            free_count.push(c.len() as u32);
-            for t in c.terms() {
-                occ[t.lit.code()].push(Occ { constraint: ci as u32, coeff: t.coeff });
-            }
+        for ci in 0..m {
+            rhs.push(arena.rhs(ci));
+            free_count.push(arena.row_len(ci) as u32);
         }
         let mut lit_cost = vec![0i64; 2 * num_vars];
         let mut path_cost = 0;
@@ -158,10 +165,9 @@ impl ResidualState {
             (0..m as u32).map(|i| if i + 1 == m as u32 { NIL } else { i + 1 }).collect();
         ResidualState {
             num_static: m,
-            occ,
             lit_cost,
             rhs,
-            dyn_rows: Vec::new(),
+            dyn_rows: RowsArena::new(),
             dyn_epoch: 0,
             dyn_occ: vec![Vec::new(); 2 * num_vars],
             applied: vec![false; 2 * num_vars],
@@ -191,21 +197,21 @@ impl ResidualState {
             return;
         }
         // Drop the old region: clear only the occurrence lists it touched.
-        for row in &self.dyn_rows {
-            for t in row.constraint.terms() {
-                self.dyn_occ[t.lit.code()].clear();
+        for k in 0..self.dyn_rows.len() {
+            for &lit in self.dyn_rows.row(k).lits {
+                self.dyn_occ[lit.code()].clear();
             }
         }
         self.rhs.truncate(self.num_static);
         self.sat_weight.truncate(self.num_static);
         self.free_count.truncate(self.num_static);
-        self.dyn_rows.clear();
         self.dyn_epoch = rows.epoch();
-        for (k, row) in rows.rows().iter().enumerate() {
+        let region = rows.arena();
+        for k in 0..region.len() {
             let ci = (self.num_static + k) as u32;
             let mut sat = 0i64;
             let mut free = 0u32;
-            for t in row.constraint.terms() {
+            for t in region.row(k).terms() {
                 if self.applied[t.lit.code()] {
                     sat += t.coeff;
                 } else if !self.applied[(!t.lit).code()] {
@@ -213,11 +219,11 @@ impl ResidualState {
                 }
                 self.dyn_occ[t.lit.code()].push(Occ { constraint: ci, coeff: t.coeff });
             }
-            self.rhs.push(row.constraint.rhs());
+            self.rhs.push(region.rhs(k));
             self.sat_weight.push(sat);
             self.free_count.push(free);
         }
-        self.dyn_rows.extend_from_slice(rows.rows());
+        self.dyn_rows.clone_from_arena(region);
     }
 
     /// Number of dynamic rows currently installed.
@@ -293,26 +299,29 @@ impl ResidualState {
 
     /// Applies one trail literal (the literal became **true**): updates
     /// path cost, satisfied weights, free counts and the active set in
-    /// O(occurrences of the literal's variable).
-    pub fn apply(&mut self, lit: Lit) {
+    /// O(occurrences of the literal's variable), reading the occurrence
+    /// CSR straight from `instance`'s arena.
+    pub fn apply(&mut self, instance: &Instance, lit: Lit) {
         self.stats.applied += 1;
         self.path_cost += self.lit_cost[lit.code()];
+        let arena = instance.arena();
         // Terms containing `lit` gain satisfied weight (and lose a free
         // term): the constraint may become satisfied.
-        for k in 0..self.occ[lit.code()].len() {
-            let Occ { constraint, coeff } = self.occ[lit.code()][k];
-            let ci = constraint as usize;
+        let (rows, coeffs) = arena.occurrences(lit);
+        for k in 0..rows.len() {
+            let ci = rows[k] as usize;
+            let coeff = coeffs[k];
             let was = self.sat_weight[ci];
             self.sat_weight[ci] = was + coeff;
             self.free_count[ci] -= 1;
             if was < self.rhs[ci] && was + coeff >= self.rhs[ci] {
-                self.deactivate(constraint);
+                self.deactivate(rows[k]);
             }
         }
         // Terms containing `!lit` merely lose a free term.
-        for k in 0..self.occ[(!lit).code()].len() {
-            let ci = self.occ[(!lit).code()][k].constraint as usize;
-            self.free_count[ci] -= 1;
+        let (neg_rows, _) = arena.occurrences(!lit);
+        for &ci in neg_rows {
+            self.free_count[ci as usize] -= 1;
         }
         // Dynamic rows: counter updates only (their activity is decided
         // at view time, so region swaps never disturb the linked list).
@@ -337,26 +346,28 @@ impl ResidualState {
     ///
     /// Panics if more than [`ResidualState::len`] literals would be
     /// unwound.
-    pub fn unwind_to(&mut self, len: usize) {
+    pub fn unwind_to(&mut self, instance: &Instance, len: usize) {
         assert!(len <= self.trail.len(), "cannot unwind below an empty trail");
+        let arena = instance.arena();
         while self.trail.len() > len {
             let lit = self.trail.pop().expect("checked above");
             self.stats.unwound += 1;
             self.applied[lit.code()] = false;
-            for k in 0..self.occ[(!lit).code()].len() {
-                let ci = self.occ[(!lit).code()][k].constraint as usize;
-                self.free_count[ci] += 1;
+            let (neg_rows, _) = arena.occurrences(!lit);
+            for &ci in neg_rows {
+                self.free_count[ci as usize] += 1;
             }
             // Reverse occurrence order: relinks into the active list must
             // mirror the unlinks of `apply` exactly (stack discipline).
-            for k in (0..self.occ[lit.code()].len()).rev() {
-                let Occ { constraint, coeff } = self.occ[lit.code()][k];
-                let ci = constraint as usize;
+            let (rows, coeffs) = arena.occurrences(lit);
+            for k in (0..rows.len()).rev() {
+                let ci = rows[k] as usize;
+                let coeff = coeffs[k];
                 let was = self.sat_weight[ci];
                 self.sat_weight[ci] = was - coeff;
                 self.free_count[ci] += 1;
                 if was >= self.rhs[ci] && was - coeff < self.rhs[ci] {
-                    self.activate(constraint);
+                    self.activate(rows[k]);
                 }
             }
             for k in 0..self.dyn_occ[(!lit).code()].len() {
@@ -470,26 +481,26 @@ mod tests {
         assert_matches_rebuild(&mut state, &inst, &a);
 
         a.assign(Var::new(1), true);
-        state.apply(v[1].positive());
+        state.apply(&inst, v[1].positive());
         assert_matches_rebuild(&mut state, &inst, &a);
 
         a.assign(Var::new(2), false);
-        state.apply(v[2].negative());
+        state.apply(&inst, v[2].negative());
         assert_matches_rebuild(&mut state, &inst, &a);
 
         a.assign(Var::new(0), false);
-        state.apply(v[0].negative());
+        state.apply(&inst, v[0].negative());
         assert_matches_rebuild(&mut state, &inst, &a);
 
         // Unwind two literals.
         a.unassign(Var::new(0));
         a.unassign(Var::new(2));
-        state.unwind_to(1);
+        state.unwind_to(&inst, 1);
         assert_matches_rebuild(&mut state, &inst, &a);
 
         // And everything.
         a.unassign(Var::new(1));
-        state.unwind_to(0);
+        state.unwind_to(&inst, 0);
         assert_matches_rebuild(&mut state, &inst, &a);
         assert_eq!(state.num_active(), inst.num_constraints());
     }
@@ -502,9 +513,9 @@ mod tests {
         let inst = b.build().unwrap();
         let mut state = ResidualState::new(&inst);
         assert_eq!(state.num_active(), 1);
-        state.apply(v[0].positive());
+        state.apply(&inst, v[0].positive());
         assert_eq!(state.num_active(), 0);
-        state.unwind_to(0);
+        state.unwind_to(&inst, 0);
         assert_eq!(state.num_active(), 1);
     }
 
@@ -512,9 +523,9 @@ mod tests {
     fn path_cost_counts_negative_literal_costs() {
         let (inst, v) = demo_instance();
         let mut state = ResidualState::new(&inst);
-        state.apply(v[2].negative());
+        state.apply(&inst, v[2].negative());
         assert_eq!(state.path_cost(), 5);
-        state.unwind_to(0);
+        state.unwind_to(&inst, 0);
         assert_eq!(state.path_cost(), 0);
     }
 
@@ -535,9 +546,9 @@ mod tests {
         let mut state = ResidualState::new(&inst);
         let mut a = Assignment::new(4);
         a.assign(Var::new(0), true);
-        state.apply(v[0].positive());
+        state.apply(&inst, v[0].positive());
         let _ = state.view(&inst, &a);
-        state.unwind_to(0);
+        state.unwind_to(&inst, 0);
         assert_eq!(state.stats.applied, 1);
         assert_eq!(state.stats.unwound, 1);
         assert_eq!(state.stats.views, 1);

@@ -18,10 +18,17 @@
 //! Either way the view is identical: the same active set in the same
 //! (ascending-index) order, the same residual right-hand sides, free-term
 //! counts and path cost — a property pinned by differential tests.
+//!
+//! Term access goes through the instance's flat CSR/SoA
+//! [`TermArena`](pbo_core::TermArena) (and the dynamic-row region's
+//! [`RowsArena`](crate::RowsArena)): [`Subproblem::row_terms`] returns
+//! borrowed coefficient/literal slices, so iterating the terms of
+//! consecutive rows is a linear walk over two contiguous arrays instead
+//! of a pointer chase through per-constraint heap blocks.
 
-use pbo_core::{Assignment, ConstraintState, Instance, Lit, PbTerm, Value};
+use pbo_core::{Assignment, ConstraintState, Instance, Lit, PbTerm, RowView, Value};
 
-use crate::dynrows::{DynRow, DynamicRows};
+use crate::dynrows::{DynamicRows, RowsArena, EMPTY_ROWS};
 
 /// One active (unsatisfied, undetermined) constraint of the residual
 /// problem.
@@ -75,9 +82,9 @@ pub struct Subproblem<'a> {
     /// Dense per-literal objective costs, available when the view comes
     /// from a [`ResidualState`](crate::ResidualState) (O(1) `lit_cost`).
     costs: Option<&'a [i64]>,
-    /// Dynamic rows of the view; active entries with
+    /// Dynamic rows of the view (flat SoA region); active entries with
     /// `index >= instance.num_constraints()` refer to these.
-    dyn_rows: &'a [DynRow],
+    dyn_rows: &'a RowsArena,
 }
 
 impl<'a> Subproblem<'a> {
@@ -86,7 +93,7 @@ impl<'a> Subproblem<'a> {
     /// are kept as active with their (unreachable) residual — callers run
     /// after propagation, so violated constraints normally cannot occur.
     pub fn new(instance: &'a Instance, assignment: &'a Assignment) -> Subproblem<'a> {
-        Self::rebuild(instance, assignment, &[])
+        Self::rebuild(instance, assignment, &EMPTY_ROWS)
     }
 
     /// Like [`Subproblem::new`], but the residual problem additionally
@@ -99,35 +106,63 @@ impl<'a> Subproblem<'a> {
         assignment: &'a Assignment,
         rows: &'a DynamicRows,
     ) -> Subproblem<'a> {
-        Self::rebuild(instance, assignment, rows.rows())
+        Self::rebuild(instance, assignment, rows.arena())
+    }
+
+    /// Evaluates one row given its terms and right-hand side, pushing an
+    /// active entry if it is not satisfied.
+    fn scan_row(
+        assignment: &Assignment,
+        index: usize,
+        row: RowView<'_>,
+        rhs: i64,
+        active: &mut Vec<ActiveEntry>,
+    ) {
+        let mut satisfied_weight = 0i64;
+        let mut free_count = 0u32;
+        for t in row.terms() {
+            match assignment.lit_value(t.lit) {
+                Value::True => satisfied_weight += t.coeff,
+                Value::False => {}
+                Value::Unassigned => free_count += 1,
+            }
+        }
+        if satisfied_weight >= rhs {
+            return;
+        }
+        let residual_rhs = rhs - satisfied_weight;
+        debug_assert!(residual_rhs >= 1, "satisfied constraint slipped through");
+        active.push(ActiveEntry { index: index as u32, residual_rhs, free_count });
     }
 
     fn rebuild(
         instance: &'a Instance,
         assignment: &'a Assignment,
-        dyn_rows: &'a [DynRow],
+        dyn_rows: &'a RowsArena,
     ) -> Subproblem<'a> {
         let path_cost = instance.objective().map_or(0, |o| o.path_cost(assignment));
         let mut active = Vec::new();
-        let dynamic = dyn_rows.iter().map(|r| &r.constraint);
-        for (index, c) in instance.constraints().iter().chain(dynamic).enumerate() {
+        for (index, c) in instance.constraints().iter().enumerate() {
             match c.eval(assignment) {
                 ConstraintState::Satisfied => continue,
-                ConstraintState::Violated | ConstraintState::Undetermined => {
-                    let mut satisfied_weight = 0i64;
-                    let mut free_count = 0u32;
-                    for t in c.terms() {
-                        match assignment.lit_value(t.lit) {
-                            Value::True => satisfied_weight += t.coeff,
-                            Value::False => {}
-                            Value::Unassigned => free_count += 1,
-                        }
-                    }
-                    let residual_rhs = c.rhs() - satisfied_weight;
-                    debug_assert!(residual_rhs >= 1, "satisfied constraint slipped through");
-                    active.push(ActiveEntry { index: index as u32, residual_rhs, free_count });
-                }
+                ConstraintState::Violated | ConstraintState::Undetermined => Self::scan_row(
+                    assignment,
+                    index,
+                    instance.arena().row(index),
+                    c.rhs(),
+                    &mut active,
+                ),
             }
+        }
+        let num_static = instance.num_constraints();
+        for k in 0..dyn_rows.len() {
+            Self::scan_row(
+                assignment,
+                num_static + k,
+                dyn_rows.row(k),
+                dyn_rows.rhs(k),
+                &mut active,
+            );
         }
         Subproblem {
             instance,
@@ -139,6 +174,30 @@ impl<'a> Subproblem<'a> {
         }
     }
 
+    /// Assembles a view (without dynamic rows) from *externally*
+    /// maintained parts: the hook for alternative residual-state
+    /// implementations — in-tree, the frozen PR-3 layout the
+    /// `bound_kernels` microbenchmark measures against. `active` must be
+    /// in ascending row order and `costs` dense per literal code, with
+    /// the same invariants [`ResidualState`](crate::ResidualState)
+    /// maintains.
+    pub fn from_maintained_parts(
+        instance: &'a Instance,
+        assignment: &'a Assignment,
+        path_cost: i64,
+        active: &'a [ActiveEntry],
+        costs: &'a [i64],
+    ) -> Subproblem<'a> {
+        Subproblem {
+            instance,
+            assignment,
+            path_cost,
+            active: ActiveSlice::Borrowed(active),
+            costs: Some(costs),
+            dyn_rows: &EMPTY_ROWS,
+        }
+    }
+
     /// Assembles a view from already-maintained parts (the incremental
     /// path; see [`ResidualState::view`](crate::ResidualState::view)).
     pub(crate) fn from_parts(
@@ -147,7 +206,7 @@ impl<'a> Subproblem<'a> {
         path_cost: i64,
         active: &'a [ActiveEntry],
         costs: &'a [i64],
-        dyn_rows: &'a [DynRow],
+        dyn_rows: &'a RowsArena,
     ) -> Subproblem<'a> {
         Subproblem {
             instance,
@@ -200,21 +259,23 @@ impl<'a> Subproblem<'a> {
         self.instance.num_constraints()
     }
 
-    /// The dynamic rows of this view (empty unless the view was produced
-    /// with dynamic rows installed).
-    pub fn dynamic_rows(&self) -> &[DynRow] {
+    /// The dynamic rows of this view as a flat SoA region (empty unless
+    /// the view was produced with dynamic rows installed).
+    pub fn dynamic_rows(&self) -> &RowsArena {
         self.dyn_rows
     }
 
     /// The terms of row `index` — a static instance constraint for
-    /// `index < num_static_rows()`, a dynamic row otherwise.
+    /// `index < num_static_rows()`, a dynamic row otherwise — as
+    /// parallel coefficient/literal slices borrowed from the flat
+    /// arenas.
     #[inline]
-    pub fn row_terms(&self, index: usize) -> &[PbTerm] {
+    pub fn row_terms(&self, index: usize) -> RowView<'a> {
         let num_static = self.instance.num_constraints();
         if index < num_static {
-            self.instance.constraints()[index].terms()
+            self.instance.arena().row(index)
         } else {
-            self.dyn_rows[index - num_static].constraint.terms()
+            self.dyn_rows.row(index - num_static)
         }
     }
 
@@ -222,8 +283,7 @@ impl<'a> Subproblem<'a> {
     /// original term order, without materializing them.
     pub fn free_terms(&self, index: usize) -> impl Iterator<Item = PbTerm> + '_ {
         self.row_terms(index)
-            .iter()
-            .copied()
+            .terms()
             .filter(|t| self.assignment.lit_value(t.lit) == Value::Unassigned)
     }
 
@@ -232,8 +292,9 @@ impl<'a> Subproblem<'a> {
     /// without materializing them.
     pub fn false_literals(&self, index: usize) -> impl Iterator<Item = Lit> + '_ {
         self.row_terms(index)
+            .lits
             .iter()
-            .map(|t| t.lit)
+            .copied()
             .filter(|&l| self.assignment.lit_value(l) == Value::False)
     }
 
@@ -353,5 +414,19 @@ mod tests {
         let sub = Subproblem::new(&inst, &a);
         let coeffs: Vec<i64> = sub.free_terms(0).map(|t| t.coeff).collect();
         assert_eq!(coeffs, vec![1, 3, 4]);
+    }
+
+    #[test]
+    fn row_terms_borrow_the_arena() {
+        let mut b = InstanceBuilder::new();
+        let v = b.new_vars(2);
+        b.add_linear(vec![(2, v[0].positive()), (3, v[1].negative())], pbo_core::RelOp::Ge, 3);
+        let inst = b.build().unwrap();
+        let a = Assignment::new(2);
+        let sub = Subproblem::new(&inst, &a);
+        let row = sub.row_terms(0);
+        assert_eq!(row.coeffs, inst.arena().row(0).coeffs);
+        assert_eq!(row.lits, inst.arena().row(0).lits);
+        assert!(sub.dynamic_rows().is_empty());
     }
 }

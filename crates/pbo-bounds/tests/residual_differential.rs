@@ -17,11 +17,11 @@ use rand::{Rng, SeedableRng};
 use rand_chacha::ChaCha8Rng;
 
 /// Syncs `state` to the engine trail through the low-watermark protocol.
-fn sync(state: &mut ResidualState, engine: &mut Engine, obs: TrailObserver) {
+fn sync(state: &mut ResidualState, instance: &Instance, engine: &mut Engine, obs: TrailObserver) {
     let keep = engine.sync_trail(obs, state.len());
-    state.unwind_to(keep);
+    state.unwind_to(instance, keep);
     for &lit in &engine.trail()[keep..] {
-        state.apply(lit);
+        state.apply(instance, lit);
     }
 }
 
@@ -108,7 +108,7 @@ fn random_walk(instance: &Instance, walk_seed: u64, steps: usize) {
             engine.restart();
         }
 
-        sync(&mut state, &mut engine, obs);
+        sync(&mut state, instance, &mut engine, obs);
         let context = format!("step {step}");
         assert_views_identical(&mut state, instance, &engine, &context);
 
@@ -276,7 +276,7 @@ fn random_walk_with_dynamic_rows(instance: &Instance, walk_seed: u64, steps: usi
             engine.restart();
         }
 
-        sync(&mut state, &mut engine, obs);
+        sync(&mut state, instance, &mut engine, obs);
         let context = format!("dyn step {step}");
         // Views must agree entry-by-entry, dynamic rows included.
         let assignment = engine.assignment();
@@ -320,6 +320,41 @@ fn random_walk_with_dynamic_rows(instance: &Instance, walk_seed: u64, steps: usi
             let b = lpr_reb.lower_bound(&oracle, upper);
             assert_eq!(a, b, "{context}: LPR outcome diverged");
         }
+    }
+}
+
+/// The CSR-vs-constraint-layout differential: the flat SoA arena the
+/// incremental hot path reads must mirror the per-constraint `Vec`
+/// storage (the PR-3 layout, still used by normalization, I/O and the
+/// engine loader) term for term, and the occurrence CSR must list
+/// exactly the occurrences a per-literal list build would.
+fn assert_arena_mirrors_constraints(instance: &Instance) {
+    let arena = instance.arena();
+    assert_eq!(arena.num_rows(), instance.num_constraints());
+    assert_eq!(arena.num_terms(), instance.num_terms());
+    let mut occ_oracle: Vec<Vec<(u32, i64)>> = vec![Vec::new(); 2 * instance.num_vars()];
+    for (ci, c) in instance.constraints().iter().enumerate() {
+        assert_eq!(arena.rhs(ci), c.rhs(), "rhs of row {ci}");
+        assert_eq!(arena.row_len(ci), c.len(), "length of row {ci}");
+        let arena_terms: Vec<_> = arena.row(ci).terms().collect();
+        assert_eq!(arena_terms, c.terms().to_vec(), "terms of row {ci}");
+        for t in c.terms() {
+            occ_oracle[t.lit.code()].push((ci as u32, t.coeff));
+        }
+    }
+    for (code, oracle) in occ_oracle.iter().enumerate() {
+        let lit = Lit::from_code(code);
+        let (rows, coeffs) = arena.occurrences(lit);
+        let got: Vec<(u32, i64)> = rows.iter().copied().zip(coeffs.iter().copied()).collect();
+        assert_eq!(&got, oracle, "occurrences of literal code {code}");
+    }
+}
+
+#[test]
+fn term_arena_mirrors_constraint_storage() {
+    for seed in 0..4u64 {
+        assert_arena_mirrors_constraints(&monotone_params(20, 28, (2, 6)).generate(seed));
+        assert_arena_mirrors_constraints(&mixed_polarity_instance(seed));
     }
 }
 
@@ -399,7 +434,7 @@ fn dynamic_row_region_swaps_mid_trail_and_unwinds_exactly() {
             break;
         }
     }
-    sync(&mut state, &mut engine, obs);
+    sync(&mut state, &instance, &mut engine, obs);
     // Re-root mid-trail.
     reroot_rows(&mut rows, &instance, 25, &mut rng);
     state.set_dynamic_rows(&rows);
@@ -409,7 +444,7 @@ fn dynamic_row_region_swaps_mid_trail_and_unwinds_exactly() {
     assert_eq!(state.view(&instance, engine.assignment()).active(), oracle.active(), "mid-trail");
     // Unwind everything (below the installation point) and compare.
     engine.backjump_to(0);
-    sync(&mut state, &mut engine, obs);
+    sync(&mut state, &instance, &mut engine, obs);
     let oracle = Subproblem::with_rows(&instance, engine.assignment(), &rows);
     assert_eq!(state.view(&instance, engine.assignment()).active(), oracle.active(), "at root");
     // Swapping to an empty epoch restores the static-only view.
@@ -505,11 +540,11 @@ fn deep_backjump_after_long_descent_resyncs_in_one_step() {
             break;
         }
     }
-    sync(&mut state, &mut engine, obs);
+    sync(&mut state, &instance, &mut engine, obs);
     assert_views_identical(&mut state, &instance, &engine, "after descent");
     let deep_len = state.len();
     engine.backjump_to(0);
-    sync(&mut state, &mut engine, obs);
+    sync(&mut state, &instance, &mut engine, obs);
     assert!(state.len() <= deep_len);
     assert_views_identical(&mut state, &instance, &engine, "after root backjump");
     assert!(

@@ -1,0 +1,181 @@
+//! Steady-state allocation test for the per-node bound kernels.
+//!
+//! The per-node hot path — residual-state `apply`/`unwind_to`, the
+//! `view` snapshot, and the MIS / LGR bound kernels through
+//! `lower_bound_into` — must not allocate once warmed up: every scratch
+//! buffer is reusable and epoch-stamped, the hot sorts are unstable
+//! (stable sorts allocate merge buffers), and the explanation is built
+//! into the caller's reusable `LbOutcome`. This test installs a counting
+//! global allocator, replays the same apply/bound/unwind script twice,
+//! and asserts the second (steady-state) replay performs **zero**
+//! allocations.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use pbo_benchgen::RandomParams;
+use pbo_bounds::{
+    DynRowOrigin, DynamicRows, LagrangianBound, LbOutcome, LowerBound, MisBound, ResidualState,
+};
+use pbo_core::{normalize, Assignment, Instance, Lit, RelOp, Var};
+
+struct CountingAlloc;
+
+static ALLOCS: AtomicU64 = AtomicU64::new(0);
+
+// The pbo-bounds crate itself forbids unsafe code; this integration test
+// is a separate crate, and a counting allocator is the only way to
+// observe heap traffic.
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
+
+/// A covering-style instance large enough that the kernels exercise all
+/// their scratch paths.
+fn probe_instance() -> Instance {
+    RandomParams {
+        vars: 40,
+        constraints: 60,
+        arity: (3, 7),
+        coeff: (1, 4),
+        positive_bias: 1.0,
+        optimization: true,
+        ..RandomParams::default()
+    }
+    .generate(11)
+}
+
+/// The eq. 10 objective cut for a fake incumbent, as the solver's
+/// re-root would install it.
+fn objective_cut_rows(instance: &Instance, upper: i64) -> DynamicRows {
+    let mut rows = DynamicRows::new();
+    rows.begin_epoch();
+    let obj = instance.objective().expect("optimization instance");
+    if let Ok(cs) = normalize(obj.terms(), RelOp::Le, upper - 1 - obj.offset()) {
+        for c in cs {
+            rows.push(c, DynRowOrigin::ObjectiveCut);
+        }
+    }
+    rows
+}
+
+/// The per-node script: apply a batch of literals, bound with both
+/// kernels, unwind — the exact shape of the solver's hot loop.
+#[allow(clippy::too_many_arguments)]
+fn replay_script(
+    instance: &Instance,
+    state: &mut ResidualState,
+    assignment: &mut Assignment,
+    mis: &mut MisBound,
+    lgr: &mut LagrangianBound,
+    out: &mut LbOutcome,
+    upper: i64,
+    script: &[Vec<Lit>],
+) {
+    for batch in script {
+        for &lit in batch {
+            assignment.assign_lit(lit);
+            state.apply(instance, lit);
+        }
+        {
+            let view = state.view(instance, assignment);
+            mis.lower_bound_into(&view, Some(upper), out);
+        }
+        {
+            let view = state.view(instance, assignment);
+            lgr.lower_bound_into(&view, Some(upper), out);
+        }
+        for &lit in batch.iter().rev() {
+            assignment.unassign(lit.var());
+        }
+        state.unwind_to(instance, 0);
+    }
+}
+
+#[test]
+fn mis_and_lgr_per_node_calls_are_allocation_free_at_steady_state() {
+    let instance = probe_instance();
+    let total_cost: i64 =
+        instance.objective().expect("optimization").terms().iter().map(|&(c, _)| c).sum();
+    let upper = (2 * total_cost) / 3 + 1;
+    let rows = objective_cut_rows(&instance, upper);
+
+    let mut state = ResidualState::new(&instance);
+    state.set_dynamic_rows(&rows);
+    let mut assignment = Assignment::new(instance.num_vars());
+    let mut mis = MisBound::new();
+    let mut lgr = LagrangianBound::new(instance.num_constraints());
+    let mut out = LbOutcome::bound(0, Vec::new());
+
+    // A deterministic batch script over distinct variables.
+    let script: Vec<Vec<Lit>> = (0..8)
+        .map(|round| {
+            (0..5)
+                .map(|k| Var::new((round * 5 + k) % instance.num_vars()).lit(k % 2 == 0))
+                .collect()
+        })
+        .collect();
+
+    // Warm-up: grow every scratch buffer to its steady-state capacity.
+    for _ in 0..3 {
+        replay_script(
+            &instance,
+            &mut state,
+            &mut assignment,
+            &mut mis,
+            &mut lgr,
+            &mut out,
+            upper,
+            &script,
+        );
+    }
+
+    // Steady state: replaying the same script must not touch the heap.
+    let before = ALLOCS.load(Ordering::Relaxed);
+    replay_script(
+        &instance,
+        &mut state,
+        &mut assignment,
+        &mut mis,
+        &mut lgr,
+        &mut out,
+        upper,
+        &script,
+    );
+    let delta = ALLOCS.load(Ordering::Relaxed) - before;
+    assert_eq!(
+        delta, 0,
+        "per-node apply/view/bound/unwind performed {delta} heap allocations at steady state"
+    );
+}
+
+#[test]
+fn first_calls_do_allocate_making_the_counter_meaningful() {
+    // Sanity check of the instrument itself: a cold engine must show
+    // allocator traffic, or the zero assertion above proves nothing.
+    let instance = probe_instance();
+    let before = ALLOCS.load(Ordering::Relaxed);
+    let mut state = ResidualState::new(&instance);
+    let assignment = Assignment::new(instance.num_vars());
+    let mut mis = MisBound::new();
+    let mut out = LbOutcome::bound(0, Vec::new());
+    let view = state.view(&instance, &assignment);
+    mis.lower_bound_into(&view, None, &mut out);
+    let delta = ALLOCS.load(Ordering::Relaxed) - before;
+    assert!(delta > 0, "cold-start path must allocate (counter wired correctly)");
+}

@@ -1,0 +1,296 @@
+//! The flat CSR/SoA term arena — the cache-coherent storage layer the
+//! whole solver stack runs on.
+//!
+//! A normalized instance stores its constraints as a `Vec<PbConstraint>`,
+//! each owning its own `Vec<PbTerm>` heap block. That representation is
+//! convenient for construction and I/O, but every per-node hot loop —
+//! residual-counter maintenance, bound-kernel term scans, local-search
+//! flips — ends up pointer-chasing through scattered heap blocks.
+//! [`TermArena`] lays the same data out flat:
+//!
+//! * **one contiguous coefficient array** and **one contiguous literal
+//!   array** (SoA), with per-row offset spans (`row_start`), so iterating
+//!   the terms of consecutive rows is a linear memory walk;
+//! * a **literal → occurrence CSR**: for each literal code, the rows it
+//!   appears in and its coefficient there, again as two flat arrays with
+//!   an offset table — the structure counter-based propagation, residual
+//!   maintenance and local-search flips all index by.
+//!
+//! The arena is built once per [`Instance`](crate::Instance) and borrowed
+//! (never copied) by every consumer: the incremental residual state, the
+//! subproblem views handed to the bound kernels, and the local-search
+//! workers — which therefore share one read-only block across threads.
+
+use crate::constraint::PbConstraint;
+use crate::lit::Lit;
+use crate::PbTerm;
+
+/// Borrowed view of one row of a [`TermArena`]: parallel coefficient and
+/// literal slices (SoA).
+#[derive(Copy, Clone, Debug)]
+pub struct RowView<'a> {
+    /// Coefficients of the row's terms.
+    pub coeffs: &'a [i64],
+    /// Literals of the row's terms (parallel to `coeffs`).
+    pub lits: &'a [Lit],
+}
+
+impl<'a> RowView<'a> {
+    /// Number of terms in the row.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.lits.len()
+    }
+
+    /// Returns `true` if the row has no terms.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.lits.is_empty()
+    }
+
+    /// Iterates the row as [`PbTerm`]s (materialized on the fly from the
+    /// SoA arrays).
+    #[inline]
+    pub fn terms(&self) -> impl Iterator<Item = PbTerm> + 'a {
+        self.coeffs.iter().zip(self.lits).map(|(&coeff, &lit)| PbTerm { coeff, lit })
+    }
+}
+
+/// Flat SoA storage of a set of normalized `>=` rows plus the
+/// literal → occurrence CSR over them.
+///
+/// # Examples
+///
+/// ```
+/// use pbo_core::{InstanceBuilder, Lit};
+///
+/// let mut b = InstanceBuilder::new();
+/// let v = b.new_vars(2);
+/// b.add_clause([v[0].positive(), v[1].positive()]);
+/// let inst = b.build()?;
+///
+/// let arena = inst.arena();
+/// assert_eq!(arena.num_rows(), 1);
+/// assert_eq!(arena.row(0).len(), 2);
+/// let (rows, coeffs) = arena.occurrences(v[0].positive());
+/// assert_eq!(rows, &[0]);
+/// assert_eq!(coeffs, &[1]);
+/// # Ok::<(), pbo_core::BuildError>(())
+/// ```
+#[derive(Clone, PartialEq, Eq, Debug, Default)]
+pub struct TermArena {
+    /// Flat coefficients of all rows, row-major.
+    coeffs: Vec<i64>,
+    /// Flat literals of all rows, row-major (parallel to `coeffs`).
+    lits: Vec<Lit>,
+    /// Per-row offsets into `coeffs`/`lits` (length `num_rows + 1`).
+    row_start: Vec<u32>,
+    /// Right-hand side per row.
+    rhs: Vec<i64>,
+    /// Per-literal-code offsets into `occ_row`/`occ_coeff`
+    /// (length `2 * num_vars + 1`).
+    occ_start: Vec<u32>,
+    /// Row index of each occurrence, grouped by literal code.
+    occ_row: Vec<u32>,
+    /// Coefficient of each occurrence (parallel to `occ_row`).
+    occ_coeff: Vec<i64>,
+    /// Absolute term positions of each row, permuted into
+    /// *fractional-cover order* (ascending objective cost per
+    /// coefficient unit, stable in term order) — see
+    /// [`TermArena::sort_cover_order`]. Initially the identity (term
+    /// order, the cover order of a costless objective).
+    cover_order: Vec<u32>,
+}
+
+impl TermArena {
+    /// Builds the arena for `rows` over a variable space of `num_vars`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a row mentions a variable at or above `num_vars`, or if
+    /// the total term count exceeds `u32::MAX`.
+    pub fn build(rows: &[PbConstraint], num_vars: usize) -> TermArena {
+        let total: usize = rows.iter().map(|c| c.len()).sum();
+        assert!(total <= u32::MAX as usize, "term arena exceeds u32 index space");
+        let mut coeffs = Vec::with_capacity(total);
+        let mut lits = Vec::with_capacity(total);
+        let mut row_start = Vec::with_capacity(rows.len() + 1);
+        let mut rhs = Vec::with_capacity(rows.len());
+        row_start.push(0u32);
+        // Counting pass for the occurrence CSR.
+        let mut occ_start = vec![0u32; 2 * num_vars + 1];
+        for c in rows {
+            rhs.push(c.rhs());
+            for t in c.terms() {
+                assert!(t.lit.var().index() < num_vars, "row literal outside variable space");
+                coeffs.push(t.coeff);
+                lits.push(t.lit);
+                occ_start[t.lit.code() + 1] += 1;
+            }
+            row_start.push(coeffs.len() as u32);
+        }
+        for i in 1..occ_start.len() {
+            occ_start[i] += occ_start[i - 1];
+        }
+        // Filling pass.
+        let mut cursor = occ_start.clone();
+        let mut occ_row = vec![0u32; total];
+        let mut occ_coeff = vec![0i64; total];
+        for (ri, c) in rows.iter().enumerate() {
+            for t in c.terms() {
+                let slot = cursor[t.lit.code()] as usize;
+                occ_row[slot] = ri as u32;
+                occ_coeff[slot] = t.coeff;
+                cursor[t.lit.code()] += 1;
+            }
+        }
+        let cover_order = (0..coeffs.len() as u32).collect();
+        TermArena { coeffs, lits, row_start, rhs, occ_start, occ_row, occ_coeff, cover_order }
+    }
+
+    /// Sorts each row's [`cover order`](TermArena::cover_order) by
+    /// ascending `lit_cost(lit) / coeff` (the fractional-cover fill
+    /// order), ties broken by term position. Costs and coefficients are
+    /// immutable, so the order is computed once and every per-node cover
+    /// walk reads it instead of sorting.
+    pub fn sort_cover_order(&mut self, lit_cost: impl Fn(Lit) -> i64) {
+        for r in 0..self.num_rows() {
+            let lo = self.row_start[r] as usize;
+            let hi = self.row_start[r + 1] as usize;
+            self.cover_order[lo..hi].sort_unstable_by(|&a, &b| {
+                let ra = lit_cost(self.lits[a as usize]) as f64 / self.coeffs[a as usize] as f64;
+                let rb = lit_cost(self.lits[b as usize]) as f64 / self.coeffs[b as usize] as f64;
+                ra.partial_cmp(&rb).unwrap_or(std::cmp::Ordering::Equal).then(a.cmp(&b))
+            });
+        }
+    }
+
+    /// The absolute term positions of row `i` in fractional-cover order;
+    /// index them into [`TermArena::term_at`].
+    #[inline]
+    pub fn cover_order(&self, i: usize) -> &[u32] {
+        let lo = self.row_start[i] as usize;
+        let hi = self.row_start[i + 1] as usize;
+        &self.cover_order[lo..hi]
+    }
+
+    /// The term at absolute position `p` (as listed by
+    /// [`TermArena::cover_order`]).
+    #[inline]
+    pub fn term_at(&self, p: usize) -> PbTerm {
+        PbTerm { coeff: self.coeffs[p], lit: self.lits[p] }
+    }
+
+    /// Number of rows.
+    #[inline]
+    pub fn num_rows(&self) -> usize {
+        self.rhs.len()
+    }
+
+    /// Total number of terms across all rows.
+    #[inline]
+    pub fn num_terms(&self) -> usize {
+        self.lits.len()
+    }
+
+    /// Number of literal codes the occurrence CSR covers
+    /// (`2 * num_vars`).
+    #[inline]
+    pub fn num_lit_codes(&self) -> usize {
+        self.occ_start.len() - 1
+    }
+
+    /// The terms of row `i` as parallel coefficient/literal slices.
+    #[inline]
+    pub fn row(&self, i: usize) -> RowView<'_> {
+        let lo = self.row_start[i] as usize;
+        let hi = self.row_start[i + 1] as usize;
+        RowView { coeffs: &self.coeffs[lo..hi], lits: &self.lits[lo..hi] }
+    }
+
+    /// Right-hand side of row `i`.
+    #[inline]
+    pub fn rhs(&self, i: usize) -> i64 {
+        self.rhs[i]
+    }
+
+    /// Number of terms in row `i`.
+    #[inline]
+    pub fn row_len(&self, i: usize) -> usize {
+        (self.row_start[i + 1] - self.row_start[i]) as usize
+    }
+
+    /// The occurrences of `lit`: parallel `(row indices, coefficients)`
+    /// slices.
+    #[inline]
+    pub fn occurrences(&self, lit: Lit) -> (&[u32], &[i64]) {
+        let lo = self.occ_start[lit.code()] as usize;
+        let hi = self.occ_start[lit.code() + 1] as usize;
+        (&self.occ_row[lo..hi], &self.occ_coeff[lo..hi])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lit::Var;
+
+    fn lit(i: usize, pos: bool) -> Lit {
+        Lit::new(i, pos)
+    }
+
+    #[test]
+    fn arena_mirrors_constraints_exactly() {
+        let rows = vec![
+            PbConstraint::try_new(vec![(2, lit(0, true)), (1, lit(2, false))], 2).unwrap(),
+            PbConstraint::clause([lit(1, true), lit(2, true)]),
+        ];
+        let arena = TermArena::build(&rows, 3);
+        assert_eq!(arena.num_rows(), 2);
+        assert_eq!(arena.num_terms(), 4);
+        for (i, c) in rows.iter().enumerate() {
+            assert_eq!(arena.rhs(i), c.rhs());
+            assert_eq!(arena.row_len(i), c.len());
+            let terms: Vec<PbTerm> = arena.row(i).terms().collect();
+            assert_eq!(terms, c.terms().to_vec(), "row {i}");
+        }
+    }
+
+    #[test]
+    fn occurrence_csr_lists_every_row_with_its_coefficient() {
+        let rows = vec![
+            PbConstraint::try_new(vec![(2, lit(0, true)), (1, lit(1, true))], 2).unwrap(),
+            PbConstraint::try_new(vec![(3, lit(0, true)), (1, lit(1, false))], 3).unwrap(),
+        ];
+        let arena = TermArena::build(&rows, 2);
+        let (r, c) = arena.occurrences(lit(0, true));
+        assert_eq!(r, &[0, 1]);
+        assert_eq!(c, &[2, 3]);
+        let (r, c) = arena.occurrences(lit(1, false));
+        assert_eq!((r, c), (&[1u32][..], &[1i64][..]));
+        let (r, _) = arena.occurrences(lit(0, false));
+        assert!(r.is_empty());
+    }
+
+    #[test]
+    fn occurrences_are_grouped_in_row_order() {
+        // Occurrence order per literal must be ascending row index (the
+        // filling pass walks rows in order) — the invariant the residual
+        // state's LIFO relink discipline relies on.
+        let rows: Vec<PbConstraint> =
+            (0..5).map(|_| PbConstraint::clause([lit(0, true), lit(1, true)])).collect();
+        let arena = TermArena::build(&rows, 2);
+        let (r, _) = arena.occurrences(Var::new(0).positive());
+        assert_eq!(r, &[0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn empty_arena_is_well_formed() {
+        let arena = TermArena::build(&[], 3);
+        assert_eq!(arena.num_rows(), 0);
+        assert_eq!(arena.num_terms(), 0);
+        assert_eq!(arena.num_lit_codes(), 6);
+        let (r, c) = arena.occurrences(lit(2, true));
+        assert!(r.is_empty() && c.is_empty());
+    }
+}

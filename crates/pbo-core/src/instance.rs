@@ -3,6 +3,7 @@
 
 use std::fmt;
 
+use crate::arena::TermArena;
 use crate::assignment::Assignment;
 use crate::constraint::{ConstraintState, PbConstraint};
 use crate::lit::{Lit, Var};
@@ -40,6 +41,9 @@ pub struct Instance {
     constraints: Vec<PbConstraint>,
     objective: Option<Objective>,
     name: String,
+    /// Flat CSR/SoA mirror of `constraints`, built once at
+    /// [`InstanceBuilder::build`] time and borrowed by every hot path.
+    arena: TermArena,
 }
 
 impl Instance {
@@ -59,6 +63,17 @@ impl Instance {
     #[inline]
     pub fn constraints(&self) -> &[PbConstraint] {
         &self.constraints
+    }
+
+    /// The flat CSR/SoA term arena mirroring
+    /// [`constraints`](Instance::constraints): contiguous
+    /// coefficient/literal arrays with per-row spans plus the
+    /// literal → occurrence CSR. The cache-coherent storage every per-node
+    /// hot loop (residual maintenance, bound kernels, local search) runs
+    /// on; read-only, so it is shared freely across threads.
+    #[inline]
+    pub fn arena(&self) -> &TermArena {
+        &self.arena
     }
 
     /// The minimization objective, if this is an optimization instance.
@@ -326,7 +341,17 @@ impl InstanceBuilder {
             }
             None => None,
         };
-        Ok(Instance { num_vars: self.num_vars, constraints, objective, name: self.name.clone() })
+        let mut arena = TermArena::build(&constraints, self.num_vars);
+        // Fractional-cover order per row, fixed for the instance's
+        // lifetime: the bound kernels walk it instead of sorting.
+        arena.sort_cover_order(|l| objective.as_ref().map_or(0, |o| o.cost_of_lit(l)));
+        Ok(Instance {
+            num_vars: self.num_vars,
+            constraints,
+            objective,
+            name: self.name.clone(),
+            arena,
+        })
     }
 }
 

@@ -11,6 +11,10 @@
 //! * [`Objective`] — normalized non-negative minimization objectives;
 //! * [`Instance`] / [`InstanceBuilder`] — whole problems, built from
 //!   arbitrary `<=`/`>=`/`=` constraints via [`normalize`];
+//! * [`TermArena`] — the flat CSR/SoA mirror of an instance's rows
+//!   (contiguous coefficient/literal arrays, per-row spans, literal →
+//!   occurrence CSR) that the hot paths borrow instead of walking
+//!   per-constraint `Vec`s;
 //! * [`Assignment`] — partial assignments shared by the engine and the
 //!   lower-bounding procedures;
 //! * OPB parsing/serialization ([`parse_opb`], [`write_opb`]);
@@ -39,6 +43,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod arena;
 mod assignment;
 mod brute;
 mod constraint;
@@ -49,6 +54,7 @@ mod objective;
 mod opb;
 mod verify;
 
+pub use arena::{RowView, TermArena};
 pub use assignment::{Assignment, Value};
 pub use brute::{brute_force, BruteForceResult};
 pub use constraint::{

@@ -22,6 +22,9 @@ pub struct Clause {
     lits: Vec<Lit>,
     learnt: bool,
     activity: f64,
+    /// Literal block distance at learn time (number of distinct decision
+    /// levels among the clause's literals); 0 for problem clauses.
+    lbd: u32,
 }
 
 impl Clause {
@@ -47,6 +50,14 @@ impl Clause {
     #[inline]
     pub fn activity(&self) -> f64 {
         self.activity
+    }
+
+    /// Literal block distance recorded when the clause was learned — the
+    /// Glucose-style quality measure (lower is better); 0 for problem
+    /// clauses.
+    #[inline]
+    pub fn lbd(&self) -> u32 {
+        self.lbd
     }
 
     /// Number of literals.
@@ -82,7 +93,7 @@ impl ClauseDb {
         if learnt {
             self.num_learnt += 1;
         }
-        let clause = Clause { lits, learnt, activity: 0.0 };
+        let clause = Clause { lits, learnt, activity: 0.0, lbd: 0 };
         if let Some(slot) = self.free.pop() {
             self.slots[slot as usize] = Some(clause);
             ClauseId(slot)
@@ -90,6 +101,11 @@ impl ClauseDb {
             self.slots.push(Some(clause));
             ClauseId((self.slots.len() - 1) as u32)
         }
+    }
+
+    /// Records the LBD of a (just-learned) clause.
+    pub fn set_lbd(&mut self, id: ClauseId, lbd: u32) {
+        self.get_mut(id).lbd = lbd;
     }
 
     /// Removes a clause (its id may be reused later).

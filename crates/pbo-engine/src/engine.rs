@@ -109,9 +109,16 @@ struct Watcher {
     blocker: Lit,
 }
 
-#[derive(Clone, Debug)]
+/// One stored PB constraint: a span into the engine's flat term arena
+/// plus its counters. Keeping every constraint's terms in one contiguous
+/// block (instead of a `Vec<PbTerm>` per constraint) makes the
+/// implication scans of counter-based propagation a linear memory walk.
+#[derive(Copy, Clone, Debug)]
 struct PbData {
-    terms: Vec<PbTerm>,
+    /// Start of the constraint's terms in the flat arena.
+    start: u32,
+    /// Number of terms.
+    len: u32,
     rhs: i64,
     /// Weight of non-false literals minus rhs, kept exact at all times.
     slack: i64,
@@ -153,7 +160,17 @@ pub struct Engine {
     clauses: ClauseDb,
     watches: Vec<Vec<Watcher>>,
     pbs: Vec<PbData>,
+    /// Flat term arena backing every stored PB constraint (spans in
+    /// [`PbData`]); append-only, so spans stay valid as cuts arrive.
+    pb_terms: Vec<PbTerm>,
     pb_occur: Vec<Vec<PbOcc>>,
+    /// Reusable scratch for implied-literal collection during PB
+    /// propagation (no per-propagation allocation).
+    implied_buf: Vec<Lit>,
+    /// Reusable scratch of decision-level stamps for LBD computation.
+    lbd_seen: Vec<u32>,
+    /// Epoch for `lbd_seen`.
+    lbd_epoch: u32,
     vsids: Vsids,
     phase: Vec<bool>,
     seen: Vec<bool>,
@@ -194,7 +211,11 @@ impl Engine {
             clauses: ClauseDb::new(),
             watches: vec![Vec::new(); 2 * num_vars],
             pbs: Vec::new(),
+            pb_terms: Vec::new(),
             pb_occur: vec![Vec::new(); 2 * num_vars],
+            implied_buf: Vec::new(),
+            lbd_seen: vec![0; num_vars + 1],
+            lbd_epoch: 0,
             vsids: Vsids::new(num_vars, 0.95),
             phase: vec![false; num_vars],
             seen: vec![false; num_vars],
@@ -391,9 +412,11 @@ impl Engine {
         let id = PbId(self.pbs.len() as u32);
         let max_coeff = c.terms().iter().map(|t| t.coeff).max().unwrap_or(0);
         let slack = c.slack(&self.assignment);
+        let start = self.pb_terms.len() as u32;
+        self.pb_terms.extend_from_slice(c.terms());
         let data =
-            PbData { terms: c.terms().to_vec(), rhs: c.rhs(), slack, max_coeff, active: true };
-        for t in &data.terms {
+            PbData { start, len: c.len() as u32, rhs: c.rhs(), slack, max_coeff, active: true };
+        for t in c.terms() {
             self.pb_occur[t.lit.code()].push(PbOcc { pb: id.0, coeff: t.coeff });
         }
         self.pbs.push(data);
@@ -402,22 +425,33 @@ impl Engine {
         }
         // Root-level implied literals.
         if slack < max_coeff {
-            let implied: Vec<Lit> = self.pbs[id.0 as usize]
-                .terms
-                .iter()
-                .filter(|t| t.coeff > slack && self.assignment.is_unassigned(t.lit))
-                .map(|t| t.lit)
-                .collect();
-            for l in implied {
-                if !self.enqueue(l, Reason::Pb(id)) {
+            let mut implied = std::mem::take(&mut self.implied_buf);
+            implied.clear();
+            implied.extend(
+                self.pb_term_slice(id.0)
+                    .iter()
+                    .filter(|t| t.coeff > slack && self.assignment.is_unassigned(t.lit))
+                    .map(|t| t.lit),
+            );
+            for i in 0..implied.len() {
+                if !self.enqueue(implied[i], Reason::Pb(id)) {
+                    self.implied_buf = implied;
                     return Err(RootConflict);
                 }
             }
+            self.implied_buf = implied;
             if self.propagate().is_some() {
                 return Err(RootConflict);
             }
         }
         Ok(())
+    }
+
+    /// The flat-arena term span of a stored PB constraint.
+    #[inline]
+    fn pb_term_slice(&self, pb: u32) -> &[PbTerm] {
+        let d = &self.pbs[pb as usize];
+        &self.pb_terms[d.start as usize..(d.start + d.len) as usize]
     }
 
     /// Deactivates a previously added PB constraint (used to drop
@@ -430,7 +464,7 @@ impl Engine {
     /// The terms of a stored PB constraint (for diagnostics and
     /// cutting-plane-style analyses layered on top of the engine).
     pub fn pb_terms(&self, id: PbId) -> &[PbTerm] {
-        &self.pbs[id.0 as usize].terms
+        self.pb_term_slice(id.0)
     }
 
     /// The right-hand side of a stored PB constraint.
@@ -671,16 +705,19 @@ impl Engine {
             }
             if slack < self.pbs[pb_idx].max_coeff {
                 // Every unassigned literal with coeff > slack is forced.
-                let mut implied: Vec<Lit> = Vec::new();
-                for t in &self.pbs[pb_idx].terms {
-                    if t.coeff > slack && self.assignment.is_unassigned(t.lit) {
-                        implied.push(t.lit);
-                    }
-                }
-                for l in implied {
+                let mut implied = std::mem::take(&mut self.implied_buf);
+                implied.clear();
+                implied.extend(
+                    self.pb_term_slice(occ.pb)
+                        .iter()
+                        .filter(|t| t.coeff > slack && self.assignment.is_unassigned(t.lit))
+                        .map(|t| t.lit),
+                );
+                for &l in &implied {
                     let ok = self.enqueue(l, Reason::Pb(PbId(occ.pb)));
                     debug_assert!(ok, "implied literal cannot be false");
                 }
+                self.implied_buf = implied;
             }
         }
         None
@@ -694,10 +731,12 @@ impl Engine {
     fn conflict_literals(&self, conflict: &Conflict) -> Vec<Lit> {
         match conflict {
             Conflict::Clause(id) => self.clauses.get(*id).lits().to_vec(),
-            Conflict::Pb(id) => {
-                let pb = &self.pbs[id.0 as usize];
-                pb.terms.iter().map(|t| t.lit).filter(|&l| self.assignment.is_false(l)).collect()
-            }
+            Conflict::Pb(id) => self
+                .pb_term_slice(id.0)
+                .iter()
+                .map(|t| t.lit)
+                .filter(|&l| self.assignment.is_false(l))
+                .collect(),
             Conflict::AdHoc(lits) => lits.clone(),
         }
     }
@@ -711,9 +750,8 @@ impl Engine {
                 self.clauses.get(id).lits().iter().copied().filter(|&l| l != p).collect()
             }
             Reason::Pb(id) => {
-                let pb = &self.pbs[id.0 as usize];
                 let p_pos = self.trail_pos[p.var().index()];
-                pb.terms
+                self.pb_term_slice(id.0)
                     .iter()
                     .map(|t| t.lit)
                     .filter(|&l| {
@@ -801,6 +839,9 @@ impl Engine {
         for v in to_clear {
             self.seen[v.index()] = false;
         }
+        // LBD at learn time: distinct decision levels among the learned
+        // literals (computed before backjumping, like Glucose does).
+        let lbd = self.compute_lbd(&learnt);
 
         // Backjump level: highest level among the tail literals.
         let backjump_level = if learnt.len() == 1 {
@@ -823,9 +864,11 @@ impl Engine {
         let learnt_len = learnt.len();
         let (learnt_id, ok) = if learnt_len == 1 {
             let id = self.clauses.insert(learnt.clone(), true);
+            self.clauses.set_lbd(id, lbd);
             (Some(id), self.enqueue(learnt[0], Reason::Clause(id)))
         } else {
             let id = self.clauses.insert(learnt.clone(), true);
+            self.clauses.set_lbd(id, lbd);
             self.attach_clause(id);
             self.clauses.bump_activity(id);
             (Some(id), self.enqueue(learnt[0], Reason::Clause(id)))
@@ -834,6 +877,26 @@ impl Engine {
         self.vsids.decay();
         self.clauses.decay_activity();
         Resolution::Backjumped { level: backjump_level, asserted, learnt_len, learnt_id }
+    }
+
+    /// Number of distinct decision levels among `lits` (the literal
+    /// block distance), using an epoch-stamped scratch — no allocation,
+    /// no sorting.
+    fn compute_lbd(&mut self, lits: &[Lit]) -> u32 {
+        self.lbd_epoch = self.lbd_epoch.wrapping_add(1);
+        if self.lbd_epoch == 0 {
+            self.lbd_seen.iter_mut().for_each(|s| *s = 0);
+            self.lbd_epoch = 1;
+        }
+        let mut lbd = 0u32;
+        for &l in lits {
+            let lvl = self.level[l.var().index()] as usize;
+            if self.lbd_seen[lvl] != self.lbd_epoch {
+                self.lbd_seen[lvl] = self.lbd_epoch;
+                lbd += 1;
+            }
+        }
+        lbd
     }
 
     // ------------------------------------------------------------------
@@ -846,24 +909,33 @@ impl Engine {
     }
 
     /// Exports up to `max_count` learned clauses of length at most
-    /// `max_len`, most active first — the hook that lets the bounding
-    /// subsystem promote learned clauses into the residual problem's
-    /// dynamic-row region (and the local search fold them into its
-    /// constraint set). The clauses stay owned by the engine; the
-    /// returned literal vectors are snapshots, valid regardless of later
-    /// database reductions.
+    /// `max_len`, best first — the hook that lets the bounding subsystem
+    /// promote learned clauses into the residual problem's dynamic-row
+    /// region (and the local search fold them into its constraint set).
+    ///
+    /// Selection is **LBD-primary** (Glucose-style: few decision levels
+    /// at learn time ⇒ the clause captures real structure), with
+    /// activity as the tie-break — activity at export time is a coarse
+    /// recency proxy, while a low LBD stays meaningful for the clause's
+    /// whole life. The clauses stay owned by the engine; the returned
+    /// literal vectors are snapshots, valid regardless of later database
+    /// reductions.
     pub fn export_learnts(&self, max_len: usize, max_count: usize) -> Vec<Vec<Lit>> {
-        let mut candidates: Vec<(f64, ClauseId)> = self
+        let mut candidates: Vec<(u32, f64, ClauseId)> = self
             .clauses
             .iter()
             .filter(|(_, c)| c.is_learnt() && !c.is_empty() && c.len() <= max_len)
-            .map(|(id, c)| (c.activity(), id))
+            .map(|(id, c)| (c.lbd(), c.activity(), id))
             .collect();
-        candidates.sort_by(|a, b| b.0.partial_cmp(&a.0).unwrap_or(std::cmp::Ordering::Equal));
+        candidates.sort_unstable_by(|a, b| {
+            a.0.cmp(&b.0)
+                .then_with(|| b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal))
+                .then_with(|| a.2 .0.cmp(&b.2 .0))
+        });
         candidates
             .into_iter()
             .take(max_count)
-            .map(|(_, id)| self.clauses.get(id).lits().to_vec())
+            .map(|(_, _, id)| self.clauses.get(id).lits().to_vec())
             .collect()
     }
 

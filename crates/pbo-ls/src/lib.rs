@@ -75,7 +75,9 @@
 #![warn(missing_docs)]
 
 mod cell;
+mod pool;
 mod search;
 
 pub use cell::{IncumbentCell, SharedCut};
+pub use pool::{diversified_options, run_pool_racing, run_pool_steps, PoolResult};
 pub use search::{LocalSearch, LsOptions, LsResult, LsStats};

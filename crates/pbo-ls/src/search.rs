@@ -3,7 +3,7 @@
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::time::{Duration, Instant};
 
-use pbo_core::{verify_solution, Instance, PbTerm, Var};
+use pbo_core::{verify_solution, Instance, PbTerm, TermArena, Var};
 use rand::{Rng, SeedableRng};
 use rand_chacha::ChaCha8Rng;
 
@@ -148,12 +148,16 @@ pub struct LocalSearch<'a> {
     /// Number of instance constraints; rows at or above this index are
     /// adopted cut rows.
     base_rows: usize,
-    /// Occurrence lists indexed by literal code (instance rows first,
-    /// cut-row occurrences appended — see `occ_base`).
-    occ: Vec<Vec<Occ>>,
-    /// Length of each occurrence list before any cut row was added, so a
-    /// new cut-pool epoch can truncate back in O(lists).
-    occ_base: Vec<u32>,
+    /// The instance's flat CSR/SoA arena: row terms and the literal →
+    /// occurrence CSR of the static rows, **borrowed, never copied** —
+    /// every worker of a parallel pool shares this one read-only block.
+    arena: &'a TermArena,
+    /// Occurrence lists of the adopted cut rows only, indexed by literal
+    /// code (sparse; the handful of touched lists is tracked in
+    /// `cut_touched` so an epoch swap clears in O(region)).
+    cut_occ: Vec<Vec<Occ>>,
+    /// Literal codes with a non-empty `cut_occ` list.
+    cut_touched: Vec<u32>,
     /// Right-hand side per row (instance rows, then cut rows).
     rhs: Vec<i64>,
     /// Adopted cut rows (terms only; `rhs` holds their right-hand side).
@@ -193,15 +197,11 @@ impl<'a> LocalSearch<'a> {
     pub fn new(instance: &'a Instance, options: LsOptions) -> LocalSearch<'a> {
         let n = instance.num_vars();
         let m = instance.num_constraints();
-        let mut occ: Vec<Vec<Occ>> = vec![Vec::new(); 2 * n];
         let mut rhs = Vec::with_capacity(m);
         let mut hopeless = false;
-        for (ci, c) in instance.constraints().iter().enumerate() {
+        for c in instance.constraints() {
             rhs.push(c.rhs());
             hopeless |= c.is_unsatisfiable();
-            for t in c.terms() {
-                occ[t.lit.code()].push(Occ { constraint: ci as u32, coeff: t.coeff });
-            }
         }
         let mut lit_cost = vec![0i64; 2 * n];
         let mut min_cost = 0;
@@ -212,7 +212,6 @@ impl<'a> LocalSearch<'a> {
             }
         }
         let seed = options.seed;
-        let occ_base = occ.iter().map(|l| l.len() as u32).collect();
         let mut ls = LocalSearch {
             instance,
             options,
@@ -221,8 +220,9 @@ impl<'a> LocalSearch<'a> {
             optimization: instance.is_optimization(),
             hopeless,
             base_rows: m,
-            occ,
-            occ_base,
+            arena: instance.arena(),
+            cut_occ: vec![Vec::new(); 2 * n],
+            cut_touched: Vec::new(),
             rhs,
             extra: Vec::new(),
             cuts_seen: 0,
@@ -254,13 +254,24 @@ impl<'a> LocalSearch<'a> {
         self.extra.len()
     }
 
-    /// The terms of row `ci`: an instance constraint, or an adopted cut.
+    /// Number of terms in row `ci` (instance or cut row).
     #[inline]
-    fn row_terms(&self, ci: usize) -> &[PbTerm] {
+    fn row_len(&self, ci: usize) -> usize {
         if ci < self.base_rows {
-            self.instance.constraints()[ci].terms()
+            self.arena.row_len(ci)
         } else {
-            &self.extra[ci - self.base_rows]
+            self.extra[ci - self.base_rows].len()
+        }
+    }
+
+    /// Term `k` of row `ci` (instance rows read from the shared arena).
+    #[inline]
+    fn term_at(&self, ci: usize, k: usize) -> PbTerm {
+        if ci < self.base_rows {
+            let row = self.arena.row(ci);
+            PbTerm::new(row.coeffs[k], row.lits[k])
+        } else {
+            self.extra[ci - self.base_rows][k]
         }
     }
 
@@ -281,9 +292,11 @@ impl<'a> LocalSearch<'a> {
         for c in stale {
             self.remove_violated(c);
         }
-        for (code, list) in self.occ.iter_mut().enumerate() {
-            list.truncate(self.occ_base[code] as usize);
+        // Clear only the occurrence lists the old region touched.
+        for &code in &self.cut_touched {
+            self.cut_occ[code as usize].clear();
         }
+        self.cut_touched.clear();
         self.rhs.truncate(self.base_rows);
         self.lhs.truncate(self.base_rows);
         self.weights.truncate(self.base_rows);
@@ -297,7 +310,10 @@ impl<'a> LocalSearch<'a> {
             let ci = (self.base_rows + self.extra.len()) as u32;
             let mut lhs = 0i64;
             for &(coeff, lit) in &cut.terms {
-                self.occ[lit.code()].push(Occ { constraint: ci, coeff });
+                if self.cut_occ[lit.code()].is_empty() {
+                    self.cut_touched.push(lit.code() as u32);
+                }
+                self.cut_occ[lit.code()].push(Occ { constraint: ci, coeff });
                 if self.values[lit.var().index()] == lit.is_positive() {
                     lhs += coeff;
                 }
@@ -415,14 +431,14 @@ impl<'a> LocalSearch<'a> {
         // Candidates: variables of false literals of `ci`, sampled from a
         // random rotation so subsampling has no positional bias.
         self.cand.clear();
-        let len = self.row_terms(ci).len();
+        let len = self.row_len(ci);
         let start = if len == 0 { 0 } else { self.rng.gen_range(0..len) };
         let mut cand = std::mem::take(&mut self.cand);
         for k in 0..len {
             if cand.len() >= self.options.max_candidates {
                 break;
             }
-            let t = self.row_terms(ci)[(start + k) % len];
+            let t = self.term_at(ci, (start + k) % len);
             let is_true = self.values[t.lit.var().index()] == t.lit.is_positive();
             if !is_true {
                 cand.push(t.lit.var().index());
@@ -490,18 +506,34 @@ impl<'a> LocalSearch<'a> {
         self.flip(v);
     }
 
-    /// Weighted deficiency delta of flipping `v`: negative is good.
+    /// Weighted deficiency delta of flipping `v`: negative is good. The
+    /// static-row occurrences come straight off the shared arena CSR;
+    /// adopted cut rows ride the sparse `cut_occ` side lists.
     fn score_flip(&self, v: usize) -> i128 {
         let now_true = Var::new(v).lit(!self.values[v]);
         let now_false = !now_true;
         let mut delta: i128 = 0;
-        for &Occ { constraint, coeff } in &self.occ[now_true.code()] {
+        let (rows, coeffs) = self.arena.occurrences(now_true);
+        for k in 0..rows.len() {
+            let ci = rows[k] as usize;
+            let before = (self.rhs[ci] - self.lhs[ci]).max(0);
+            let after = (self.rhs[ci] - (self.lhs[ci] + coeffs[k])).max(0);
+            delta += self.weights[ci] as i128 * (after - before) as i128;
+        }
+        let (rows, coeffs) = self.arena.occurrences(now_false);
+        for k in 0..rows.len() {
+            let ci = rows[k] as usize;
+            let before = (self.rhs[ci] - self.lhs[ci]).max(0);
+            let after = (self.rhs[ci] - (self.lhs[ci] - coeffs[k])).max(0);
+            delta += self.weights[ci] as i128 * (after - before) as i128;
+        }
+        for &Occ { constraint, coeff } in &self.cut_occ[now_true.code()] {
             let ci = constraint as usize;
             let before = (self.rhs[ci] - self.lhs[ci]).max(0);
             let after = (self.rhs[ci] - (self.lhs[ci] + coeff)).max(0);
             delta += self.weights[ci] as i128 * (after - before) as i128;
         }
-        for &Occ { constraint, coeff } in &self.occ[now_false.code()] {
+        for &Occ { constraint, coeff } in &self.cut_occ[now_false.code()] {
             let ci = constraint as usize;
             let before = (self.rhs[ci] - self.lhs[ci]).max(0);
             let after = (self.rhs[ci] - (self.lhs[ci] - coeff)).max(0);
@@ -524,14 +556,27 @@ impl<'a> LocalSearch<'a> {
     }
 
     /// Flips `v`, updating counters and the violated set in
-    /// O(occurrences of `v`).
+    /// O(occurrences of `v`). Static-row occurrences are read from the
+    /// shared arena CSR (two contiguous arrays), cut rows from the
+    /// sparse side lists — the same visit order the merged per-literal
+    /// lists used to produce.
     fn flip(&mut self, v: usize) {
         self.stats.flips += 1;
         let now_true = Var::new(v).lit(!self.values[v]);
         let now_false = !now_true;
         self.values[v] = !self.values[v];
-        for k in 0..self.occ[now_true.code()].len() {
-            let Occ { constraint, coeff } = self.occ[now_true.code()][k];
+        let arena = self.arena;
+        let (rows, coeffs) = arena.occurrences(now_true);
+        for k in 0..rows.len() {
+            let ci = rows[k] as usize;
+            let was = self.lhs[ci];
+            self.lhs[ci] = was + coeffs[k];
+            if was < self.rhs[ci] && self.lhs[ci] >= self.rhs[ci] {
+                self.remove_violated(rows[k]);
+            }
+        }
+        for k in 0..self.cut_occ[now_true.code()].len() {
+            let Occ { constraint, coeff } = self.cut_occ[now_true.code()][k];
             let ci = constraint as usize;
             let was = self.lhs[ci];
             self.lhs[ci] = was + coeff;
@@ -539,8 +584,17 @@ impl<'a> LocalSearch<'a> {
                 self.remove_violated(constraint);
             }
         }
-        for k in 0..self.occ[now_false.code()].len() {
-            let Occ { constraint, coeff } = self.occ[now_false.code()][k];
+        let (rows, coeffs) = arena.occurrences(now_false);
+        for k in 0..rows.len() {
+            let ci = rows[k] as usize;
+            let was = self.lhs[ci];
+            self.lhs[ci] = was - coeffs[k];
+            if was >= self.rhs[ci] && self.lhs[ci] < self.rhs[ci] {
+                self.add_violated(rows[k]);
+            }
+        }
+        for k in 0..self.cut_occ[now_false.code()].len() {
+            let Occ { constraint, coeff } = self.cut_occ[now_false.code()][k];
             let ci = constraint as usize;
             let was = self.lhs[ci];
             self.lhs[ci] = was - coeff;
@@ -690,12 +744,13 @@ impl<'a> LocalSearch<'a> {
         self.violated.clear();
         self.vio_pos.fill(NOT_VIOLATED);
         for ci in 0..self.rhs.len() {
-            let lhs: i64 = self
-                .row_terms(ci)
-                .iter()
-                .filter(|t| self.values[t.lit.var().index()] == t.lit.is_positive())
-                .map(|t| t.coeff)
-                .sum();
+            let mut lhs = 0i64;
+            for k in 0..self.row_len(ci) {
+                let t = self.term_at(ci, k);
+                if self.values[t.lit.var().index()] == t.lit.is_positive() {
+                    lhs += t.coeff;
+                }
+            }
             self.lhs[ci] = lhs;
             if lhs < self.rhs[ci] {
                 self.add_violated(ci as u32);

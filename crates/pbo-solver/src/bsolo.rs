@@ -39,7 +39,7 @@
 use std::time::Instant;
 
 use pbo_core::{verify_solution, Instance, Lit, PbConstraint, Value, Var};
-use pbo_engine::{Conflict, Engine, PbId, Resolution};
+use pbo_engine::{Conflict, Engine, LubyRestarts, PbId, Resolution};
 use pbo_ls::{IncumbentCell, SharedCut};
 
 use crate::cuts::{cost_cuts, knapsack_cut};
@@ -173,6 +173,13 @@ struct SearchState<'a> {
     /// Cost of the cheapest cell entry that failed verification (a buggy
     /// external producer); entries at or above it are not re-verified.
     rejected_external: Option<i64>,
+    /// Luby restart budgets (`None` disables restarts); a zero base is
+    /// clamped to 1 so a restart can never re-fire before at least one
+    /// new conflict.
+    restarts: Option<LubyRestarts>,
+    /// Conflict count that triggers the next restart (`u64::MAX` when
+    /// restarts are disabled).
+    next_restart: u64,
 }
 
 impl<'a> SearchState<'a> {
@@ -198,6 +205,9 @@ impl<'a> SearchState<'a> {
             }
         }
         let pipeline = BoundPipeline::new(instance, options, &mut engine);
+        let mut restarts = options.restart_base.map(|base| LubyRestarts::new(base.max(1)));
+        let next_restart =
+            restarts.as_mut().map_or(u64::MAX, |r| r.next().expect("luby sequence is infinite"));
         Ok(SearchState {
             instance,
             options,
@@ -209,6 +219,8 @@ impl<'a> SearchState<'a> {
             best_model: None,
             active_cuts: Vec::new(),
             rejected_external: None,
+            restarts,
+            next_restart,
         })
     }
 
@@ -249,6 +261,23 @@ impl<'a> SearchState<'a> {
             ) {
                 return self.budget_status();
             }
+            // Luby restart: back to the root (learned clauses kept), and
+            // the dynamic-row region's promoted clauses are re-exported
+            // from the learned-clause database — the bounds see the
+            // freshest low-LBD structure, not the snapshot taken at the
+            // last incumbent.
+            if self.engine.stats.conflicts >= self.next_restart {
+                self.engine.restart();
+                if self.pipeline.refresh_on_restart(self.instance, &self.engine) {
+                    self.publish_cut_pool();
+                }
+                let budget = self
+                    .restarts
+                    .as_mut()
+                    .and_then(Iterator::next)
+                    .expect("restart fired, so the schedule exists");
+                self.next_restart = self.engine.stats.conflicts.saturating_add(budget.max(1));
+            }
             // Propagate to fixpoint.
             if let Some(conflict) = self.engine.propagate() {
                 match self.engine.resolve_conflict(conflict) {
@@ -274,7 +303,8 @@ impl<'a> SearchState<'a> {
                 && self.pipeline.tick()
             {
                 let upper = self.best_cost;
-                let out = self.pipeline.compute(&mut self.engine, self.instance, upper, stats);
+                self.pipeline.compute(&mut self.engine, self.instance, upper, stats);
+                let out = self.pipeline.last_outcome();
                 let prunes = match upper {
                     Some(u) => out.prunes(u),
                     None => out.infeasible,
@@ -377,21 +407,28 @@ impl<'a> SearchState<'a> {
         // clauses) into the residual problem as dynamic rows, and share
         // it with any local-search sibling through the cell's cut pool.
         self.pipeline.reroot(self.instance, &self.engine, &cuts);
-        if let Some(cell) = self.cell {
-            let rows = self.pipeline.dynamic_rows();
-            if !rows.is_empty() {
-                let shared: Vec<SharedCut> = rows
-                    .rows()
-                    .iter()
-                    .map(|r| SharedCut {
-                        terms: r.constraint.terms().iter().map(|t| (t.coeff, t.lit)).collect(),
-                        rhs: r.constraint.rhs(),
-                    })
-                    .collect();
-                cell.publish_cuts(shared);
-            }
-        }
+        self.publish_cut_pool();
         Ok(())
+    }
+
+    /// Publishes the full dynamic-row registry to the shared cell's cut
+    /// pool (the LS siblings fold it into their constraint sets at
+    /// restarts). Called on incumbent re-roots and restart refreshes.
+    fn publish_cut_pool(&self) {
+        let Some(cell) = self.cell else { return };
+        let rows = self.pipeline.dynamic_rows();
+        if rows.is_empty() {
+            return;
+        }
+        let shared: Vec<SharedCut> = rows
+            .rows()
+            .iter()
+            .map(|r| SharedCut {
+                terms: r.constraint.terms().iter().map(|t| (t.coeff, t.lit)).collect(),
+                rhs: r.constraint.rhs(),
+            })
+            .collect();
+        cell.publish_cuts(shared);
     }
 
     /// Adopts a strictly better incumbent from the shared cell, if one

@@ -63,8 +63,8 @@ pub use linear_search::{LinearSearch, LinearSearchOptions};
 pub use milp::{MilpOptions, MilpSolver};
 pub use options::{Branching, BsoloOptions, Budget, LbMethod, ResidualMode, SolveStrategy};
 pub use portfolio::{
-    IncumbentCell, LocalSearch, LsOptions, LsResult, LsStats, Portfolio, PortfolioOptions,
-    SharedCut,
+    diversified_options, run_pool_steps, IncumbentCell, LocalSearch, LsOptions, LsResult, LsStats,
+    PoolResult, Portfolio, PortfolioOptions, SharedCut,
 };
 pub use preprocess::{probe, simplify, ProbeOutcome};
 pub use result::{SolveResult, SolveStatus, SolverStats};

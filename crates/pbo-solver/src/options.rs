@@ -184,6 +184,12 @@ pub struct BsoloOptions {
     /// fixing (and allow MIS to bound pre-incumbent, where its closure
     /// can prove infeasibility beyond single-row propagation).
     pub mis_implied: bool,
+    /// Luby restart base interval in conflicts (`None` disables
+    /// restarts). On each restart the dynamic-row region's promoted
+    /// clauses are re-exported from the learned-clause database
+    /// (LBD-best selection), so the bounds keep seeing fresh structure
+    /// between incumbents.
+    pub restart_base: Option<u64>,
     /// Resource budget.
     pub budget: Budget,
 }
@@ -202,6 +208,7 @@ impl Default for BsoloOptions {
             residual_mode: ResidualMode::Incremental,
             dynamic_rows: true,
             mis_implied: true,
+            restart_base: Some(2048),
             budget: Budget::unlimited(),
         }
     }

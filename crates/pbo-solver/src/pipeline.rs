@@ -7,12 +7,35 @@
 //! per-method gating rules were separate fields threaded through the
 //! search loop. [`BoundPipeline`] owns all of it, plus the
 //! **dynamic-row registry**: on every incumbent re-root the learned cost
-//! cuts (eq. 10 and eqs. 11–13) and the most active short learned
-//! clauses are folded into the residual problem as epoch-versioned
-//! dynamic rows, so MIS, LGR and LPR all bound against the relaxation
-//! the solver actually knows — with zero per-node rebuild (the region
-//! swap is O(region), and the rows ride the same O(Δ) trail protocol as
-//! static rows from then on).
+//! cuts (eq. 10 and eqs. 11–13) and the best (LBD-selected) short
+//! learned clauses are folded into the residual problem as
+//! epoch-versioned dynamic rows, so MIS, LGR and LPR all bound against
+//! the relaxation the solver actually knows — with zero per-node rebuild
+//! (the region swap is O(region), and the rows ride the same O(Δ) trail
+//! protocol as static rows from then on).
+//!
+//! Two refinements sit on top of the registry:
+//!
+//! * **Per-method row filter.** The full registry is what the cut pool
+//!   publishes, but the region actually *installed* for the bound is
+//!   method-filtered: LGR keeps only [`DynRowOrigin::PromotedClause`]
+//!   rows — dualized cost-cut rows (objective and cardinality alike)
+//!   yield weak `omega_pl` explanations that were measured to *triple*
+//!   the LGR tree (1064 → 3226 nodes on the synthesis ablation; back to
+//!   1064 with the filter) — and additionally drops rows whose
+//!   multiplier stayed at zero through the previous epoch (they never
+//!   contributed to `L(mu)`, only to explanation width). MIS and LPR
+//!   install the full set. Dropping rows is always sound — any subset of
+//!   valid rows is valid.
+//! * **Restart refresh.** The promoted-clause portion of the region is
+//!   re-exported from the engine's learned-clause database on search
+//!   restarts, not only on incumbents — the LBD-best clauses shortly
+//!   after a restart are much fresher than the ones captured at the last
+//!   incumbent.
+//!
+//! The per-node path is **steady-state allocation-free**: the pipeline
+//! owns one [`LbOutcome`] whose explanation buffer is reused by
+//! [`LowerBound::lower_bound_into`] on every call.
 //!
 //! Soundness note: dynamic rows are implied by the instance *plus* the
 //! incumbent bound `cost <= upper - 1`, so a bound (or infeasibility)
@@ -25,8 +48,8 @@
 use std::time::Instant;
 
 use pbo_bounds::{
-    DynRowOrigin, DynamicRows, LagrangianBound, LbOutcome, LowerBound, LprBound, MisBound, NoBound,
-    ResidualState, Subproblem,
+    DynRow, DynRowOrigin, DynamicRows, LagrangianBound, LbOutcome, LowerBound, LprBound, MisBound,
+    NoBound, ResidualState, Subproblem,
 };
 use pbo_core::{Instance, PbConstraint};
 use pbo_engine::{Engine, TrailObserver};
@@ -37,8 +60,11 @@ use crate::result::SolverStats;
 /// Learned clauses promoted into the dynamic-row region per re-root:
 /// only short ones (a long clause is a weak PB row) ...
 const PROMOTE_MAX_LEN: usize = 8;
-/// ... and only the most active few (the region swap is O(region)).
+/// ... and only the best (lowest-LBD) few (the region swap is O(region)).
 const PROMOTE_MAX_COUNT: usize = 24;
+
+/// Multipliers at or below this are "stayed zero" for the LGR row drop.
+const LGR_MU_ZERO: f64 = 1e-7;
 
 /// Lower-bound procedure dispatch (avoids `Box<dyn>` so the LPR state
 /// can also serve the branching heuristic).
@@ -50,12 +76,12 @@ enum Bound {
 }
 
 impl Bound {
-    fn lower_bound(&mut self, sub: &Subproblem<'_>, upper: Option<i64>) -> LbOutcome {
+    fn lower_bound_into(&mut self, sub: &Subproblem<'_>, upper: Option<i64>, out: &mut LbOutcome) {
         match self {
-            Bound::None(b) => b.lower_bound(sub, upper),
-            Bound::Mis(b) => b.lower_bound(sub, upper),
-            Bound::Lgr(b) => b.lower_bound(sub, upper),
-            Bound::Lpr(b) => b.lower_bound(sub, upper),
+            Bound::None(b) => b.lower_bound_into(sub, upper, out),
+            Bound::Mis(b) => b.lower_bound_into(sub, upper, out),
+            Bound::Lgr(b) => b.lower_bound_into(sub, upper, out),
+            Bound::Lpr(b) => b.lower_bound_into(sub, upper, out),
         }
     }
 }
@@ -74,8 +100,20 @@ pub(crate) struct BoundPipeline {
     /// Engine trail observer backing the LP bound's variable-fixing
     /// mirror (incremental mode with [`LbMethod::Lpr`] only).
     lpr_obs: Option<TrailObserver>,
-    /// The dynamic-row registry, re-rooted on each improving incumbent.
+    /// The full dynamic-row registry, re-rooted on each improving
+    /// incumbent — what the cut pool publishes.
     rows: DynamicRows,
+    /// The method-filtered registry actually installed into the residual
+    /// state and the LP relaxation (see the module docs).
+    method_rows: DynamicRows,
+    /// Rows whose LGR multiplier stayed zero through the previous
+    /// installed epoch: dropped from the next LGR region.
+    lgr_zero_mu: Vec<PbConstraint>,
+    /// Cost cuts of the most recent re-root, kept so restart refreshes
+    /// can rebuild the region without a new incumbent.
+    last_cuts: Vec<PbConstraint>,
+    /// Reusable per-node outcome (explanation buffer included).
+    out: LbOutcome,
     /// Whether re-roots install dynamic rows at all.
     dynamic_enabled: bool,
     /// Whether the MIS bound runs its implied-literal reasoning (gates
@@ -111,6 +149,10 @@ impl BoundPipeline {
             residual_obs,
             lpr_obs,
             rows: DynamicRows::new(),
+            method_rows: DynamicRows::new(),
+            lgr_zero_mu: Vec::new(),
+            last_cuts: Vec::new(),
+            out: LbOutcome::bound(0, Vec::new()),
             dynamic_enabled: options.dynamic_rows && instance.is_optimization(),
             mis_implied: options.mis_implied,
             method: options.lb_method,
@@ -148,27 +190,54 @@ impl BoundPipeline {
         }
     }
 
-    /// `true` while a non-empty dynamic-row region is installed — the
-    /// caller must then treat infeasibility verdicts as bound conflicts
-    /// (include `omega_pp`), since the rows are incumbent-conditional.
+    /// `true` while a non-empty dynamic-row region is *installed* for
+    /// the bound — the caller must then treat infeasibility verdicts as
+    /// bound conflicts (include `omega_pp`), since the rows are
+    /// incumbent-conditional.
     pub fn has_dynamic_rows(&self) -> bool {
-        !self.rows.is_empty()
+        !self.method_rows.is_empty()
     }
 
-    /// The registry itself (for sharing the rows with the LS cut pool).
+    /// The full registry (for sharing the rows with the LS cut pool;
+    /// the installed region may be a method-filtered subset).
     pub fn dynamic_rows(&self) -> &DynamicRows {
         &self.rows
     }
 
-    /// Re-roots the dynamic-row region for a new incumbent: the freshly
-    /// installed cost cuts plus the engine's most active short learned
-    /// clauses become the new region, the residual state swaps to it in
-    /// O(region), and the LP relaxation is rebuilt with the rows
-    /// appended (once per incumbent — per-node solves stay warm).
-    pub fn reroot(&mut self, instance: &Instance, engine: &Engine, cuts: &[PbConstraint]) {
-        if !self.dynamic_enabled {
-            return;
+    /// Whether `row` joins the region installed for the active method.
+    /// LGR keeps promoted clauses only (dualized cost cuts were measured
+    /// to grow its tree ~3x) and drops rows whose multiplier never left
+    /// zero last epoch; every other method takes the full set. Dropping
+    /// rows is always sound.
+    fn keep_for_method(&self, row: &DynRow) -> bool {
+        match self.method {
+            LbMethod::Lagrangian => {
+                row.origin == DynRowOrigin::PromotedClause
+                    && !self.lgr_zero_mu.contains(&row.constraint)
+            }
+            _ => true,
         }
+    }
+
+    /// Records which installed dynamic rows the LGR warm-start left at a
+    /// zero multiplier, so the next region build can drop them.
+    fn snapshot_lgr_zero_mu(&mut self, instance: &Instance) {
+        let Bound::Lgr(lgr) = &self.bound else { return };
+        let mu = lgr.multipliers();
+        let num_static = instance.num_constraints();
+        self.lgr_zero_mu.clear();
+        for (k, row) in self.method_rows.rows().iter().enumerate() {
+            if mu.get(num_static + k).is_none_or(|m| m.abs() <= LGR_MU_ZERO) {
+                self.lgr_zero_mu.push(row.constraint.clone());
+            }
+        }
+    }
+
+    /// Rebuilds both registries from `cuts` plus the engine's current
+    /// LBD-best short learned clauses, and installs the method-filtered
+    /// region into the residual state / LP relaxation.
+    fn rebuild_regions(&mut self, instance: &Instance, engine: &Engine, cuts: &[PbConstraint]) {
+        self.snapshot_lgr_zero_mu(instance);
         self.rows.begin_epoch();
         for (i, cut) in cuts.iter().enumerate() {
             let origin =
@@ -178,26 +247,65 @@ impl BoundPipeline {
         for lits in engine.export_learnts(PROMOTE_MAX_LEN, PROMOTE_MAX_COUNT) {
             self.rows.push(PbConstraint::clause(lits), DynRowOrigin::PromotedClause);
         }
+        self.method_rows.begin_epoch();
+        for row in self.rows.rows() {
+            if self.keep_for_method(row) {
+                self.method_rows.push(row.constraint.clone(), row.origin);
+            }
+        }
         if let Some(state) = &mut self.residual {
-            state.set_dynamic_rows(&self.rows);
+            state.set_dynamic_rows(&self.method_rows);
         }
         if let Bound::Lpr(lpr) = &mut self.bound {
-            lpr.install_rows(instance, &self.rows);
+            lpr.install_rows(instance, &self.method_rows);
         }
+    }
+
+    /// Re-roots the dynamic-row region for a new incumbent: the freshly
+    /// installed cost cuts plus the engine's best short learned clauses
+    /// become the new region, the residual state swaps to it in
+    /// O(region), and the LP relaxation is rebuilt with the rows
+    /// appended (once per incumbent — per-node solves stay warm).
+    pub fn reroot(&mut self, instance: &Instance, engine: &Engine, cuts: &[PbConstraint]) {
+        if !self.dynamic_enabled {
+            return;
+        }
+        self.last_cuts.clear();
+        self.last_cuts.extend_from_slice(cuts);
+        self.rebuild_regions(instance, engine, cuts);
+    }
+
+    /// Refreshes the promoted-clause portion of the region after a
+    /// search restart: same cost cuts, freshly exported (LBD-best)
+    /// learned clauses. A no-op before the first re-root — promoted
+    /// clauses learned under installed cuts are incumbent-conditional,
+    /// so the region only ever exists alongside an incumbent. Returns
+    /// `true` when the region was rebuilt (so the caller can republish
+    /// the cut pool).
+    pub fn refresh_on_restart(&mut self, instance: &Instance, engine: &Engine) -> bool {
+        if !self.dynamic_enabled || self.rows.epoch() == 0 {
+            return false;
+        }
+        let cuts = std::mem::take(&mut self.last_cuts);
+        self.rebuild_regions(instance, engine, &cuts);
+        self.last_cuts = cuts;
+        true
     }
 
     /// Computes the lower bound at the current node: syncs the residual
     /// state (and the LP mirror) to the engine trail in O(Δ), produces
-    /// the view — dynamic rows included — and runs the bound procedure.
+    /// the view — dynamic rows included — and runs the bound procedure
+    /// into the pipeline's reusable outcome (read it back through
+    /// [`BoundPipeline::last_outcome`]; no allocation at steady state).
     pub fn compute(
         &mut self,
         engine: &mut Engine,
         instance: &Instance,
         upper: Option<i64>,
         stats: &mut SolverStats,
-    ) -> LbOutcome {
+    ) {
         let sub_start = Instant::now();
-        let BoundPipeline { bound, residual, residual_obs, lpr_obs, rows, .. } = self;
+        let BoundPipeline { bound, residual, residual_obs, lpr_obs, method_rows, out, .. } = self;
         // Keep the LP bound's variable fixings in lockstep with the
         // trail (O(Δ) per node) through its own observer.
         if let (Some(obs), Bound::Lpr(lpr)) = (*lpr_obs, &mut *bound) {
@@ -213,23 +321,28 @@ impl BoundPipeline {
         let sub = match (residual.as_mut(), *residual_obs) {
             (Some(state), Some(obs)) => {
                 let keep = engine.sync_trail(obs, state.len());
-                state.unwind_to(keep);
+                state.unwind_to(instance, keep);
                 for &lit in &engine.trail()[keep..] {
-                    state.apply(lit);
+                    state.apply(instance, lit);
                 }
                 state.view(instance, engine.assignment())
             }
-            _ => Subproblem::with_rows(instance, engine.assignment(), rows),
+            _ => Subproblem::with_rows(instance, engine.assignment(), method_rows),
         };
         stats.sub_time += sub_start.elapsed();
         let path = sub.path_cost();
         let lb_start = Instant::now();
-        let out = bound.lower_bound(&sub, upper);
+        bound.lower_bound_into(&sub, upper, out);
         stats.lb_calls += 1;
         stats.lb_time += lb_start.elapsed();
         if !out.infeasible {
             stats.lb_margin_sum += out.bound.saturating_sub(path).max(0) as u64;
         }
-        out
+    }
+
+    /// The outcome of the most recent [`BoundPipeline::compute`] call
+    /// (borrowable independently of the engine).
+    pub fn last_outcome(&self) -> &LbOutcome {
+        &self.out
     }
 }

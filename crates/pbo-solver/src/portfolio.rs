@@ -37,7 +37,11 @@ use std::sync::atomic::{AtomicBool, Ordering};
 use std::time::{Duration, Instant};
 
 use pbo_core::Instance;
-pub use pbo_ls::{IncumbentCell, LocalSearch, LsOptions, LsResult, LsStats, SharedCut};
+use pbo_ls::run_pool_racing;
+pub use pbo_ls::{
+    diversified_options, run_pool_steps, IncumbentCell, LocalSearch, LsOptions, LsResult, LsStats,
+    PoolResult, SharedCut,
+};
 
 use crate::bsolo::Bsolo;
 use crate::options::{BsoloOptions, SolveStrategy};
@@ -71,6 +75,15 @@ pub struct PortfolioOptions {
     /// share on a stagnant walk. Step-based, so a step-bounded seeding
     /// phase stays deterministic.
     pub ls_stagnation_steps: u64,
+    /// Number of local-search worker threads in
+    /// [`SolveStrategy::Concurrent`] mode (ParLS-PBO-style diversified
+    /// pool: worker 0 runs [`PortfolioOptions::ls`] verbatim, later
+    /// workers get derived seeds, higher noise and staggered restarts —
+    /// see [`pbo_ls::diversified_options`]). All workers share the
+    /// incumbent cell and the cut pool; the instance's flat term arena
+    /// is shared read-only, so extra workers cost per-worker counters
+    /// only. Ignored by the other strategies.
+    pub ls_threads: usize,
 }
 
 impl Default for PortfolioOptions {
@@ -80,6 +93,7 @@ impl Default for PortfolioOptions {
             bsolo: BsoloOptions::default(),
             ls: LsOptions::default(),
             ls_stagnation_steps: 3 * SEED_CHUNK_STEPS,
+            ls_threads: 1,
         }
     }
 }
@@ -221,34 +235,28 @@ impl Portfolio {
         Bsolo::new(bsolo_options).solve_with_cell(instance, Some(cell))
     }
 
-    /// Concurrent mode: LS races the B&B until the exact side finishes.
+    /// Concurrent mode: a pool of diversified LS workers races the B&B
+    /// until the exact side finishes. Incumbents and the cut pool flow
+    /// through the shared cell; the workers share the instance's
+    /// read-only term arena.
     fn solve_concurrent(&self, instance: &Instance, cell: &IncumbentCell) -> SolveResult {
         let stop = AtomicBool::new(false);
+        let workers = self.options.ls_threads.max(1);
         std::thread::scope(|scope| {
             let ls_handle = scope.spawn(|| {
-                let chunk_options = LsOptions {
-                    max_steps: CONCURRENT_CHUNK_STEPS,
-                    time_limit: None,
-                    ..self.options.ls.clone()
-                };
-                let mut ls = LocalSearch::new(instance, chunk_options);
-                loop {
-                    let before = ls.stats.steps;
-                    let result = ls.run(Some(cell), Some(&stop));
-                    if stop.load(Ordering::Relaxed) {
-                        break result;
-                    }
-                    if ls.stats.steps == before {
-                        // Nothing left to do (target/optimum reached):
-                        // idle politely until the exact side finishes.
-                        std::thread::sleep(Duration::from_millis(1));
-                    }
-                }
+                run_pool_racing(
+                    instance,
+                    &self.options.ls,
+                    workers,
+                    CONCURRENT_CHUNK_STEPS,
+                    cell,
+                    &stop,
+                )
             });
             let result =
                 Bsolo::new(self.options.bsolo.clone()).solve_with_cell(instance, Some(cell));
             stop.store(true, Ordering::Relaxed);
-            let _ls = ls_handle.join().expect("local-search thread panicked");
+            let _stats = ls_handle.join().expect("local-search pool panicked");
             result
         })
     }
@@ -382,6 +390,22 @@ mod tests {
         let result = Bsolo::new(options).solve_with_cell(&inst, Some(&cell));
         assert_eq!(result.status, crate::SolveStatus::Optimal);
         assert_eq!(result.best_cost, Some(cost));
+    }
+
+    #[test]
+    fn concurrent_worker_pool_finds_the_optimum() {
+        let inst = covering_instance();
+        let expected = brute_force(&inst).cost();
+        let options = PortfolioOptions {
+            strategy: SolveStrategy::Concurrent,
+            ls_threads: 4,
+            ..PortfolioOptions::default()
+        };
+        let result = Portfolio::new(options).solve(&inst);
+        assert!(result.is_optimal(), "4-worker concurrent portfolio must prove optimality");
+        assert_eq!(result.best_cost, expected);
+        let model = result.best_assignment.expect("model present");
+        assert_eq!(pbo_core::verify_solution(&inst, &model), Ok(expected.unwrap()));
     }
 
     #[test]

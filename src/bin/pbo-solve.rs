@@ -2,7 +2,7 @@
 //!
 //! ```text
 //! pbo-solve [--lb plain|mis|lgr|lpr] [--strategy exact|ls-seeded|concurrent]
-//!           [--timeout-ms N] [--stats] <file.opb>
+//!           [--ls-threads N] [--timeout-ms N] [--stats] <file.opb>
 //! cargo run --release --bin pbo-solve -- --strategy ls-seeded instance.opb
 //! ```
 //!
@@ -10,6 +10,9 @@
 //! (stochastic local search seeding or racing the exact solver): under a
 //! `--timeout-ms` budget this is the anytime mode — a good verified
 //! solution fast, then proof effort with whatever time remains.
+//! `--ls-threads N` (concurrent mode) races a ParLS-style pool of N
+//! diversified local-search workers — per-worker seeds are derived
+//! deterministically from the base seed — against the exact solver.
 //!
 //! Output follows the pseudo-Boolean competition conventions:
 //! `s OPTIMUM FOUND` / `s SATISFIABLE` / `s UNSATISFIABLE` /
@@ -27,7 +30,7 @@ use pbo::{
 fn usage() -> ! {
     eprintln!(
         "usage: pbo-solve [--lb plain|mis|lgr|lpr] [--strategy exact|ls-seeded|concurrent] \
-         [--timeout-ms N] [--stats] <file.opb>"
+         [--ls-threads N] [--timeout-ms N] [--stats] <file.opb>"
     );
     std::process::exit(2);
 }
@@ -35,12 +38,20 @@ fn usage() -> ! {
 fn main() -> ExitCode {
     let mut lb = LbMethod::Lpr;
     let mut strategy = SolveStrategy::Exact;
+    let mut ls_threads = 1usize;
     let mut timeout: Option<u64> = None;
     let mut stats = false;
     let mut path: Option<String> = None;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
+            "--ls-threads" => {
+                ls_threads = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .filter(|&n| n >= 1)
+                    .unwrap_or_else(|| usage())
+            }
             "--lb" => {
                 lb = match args.next().as_deref() {
                     Some("plain") => LbMethod::None,
@@ -96,8 +107,12 @@ fn main() -> ExitCode {
     let result = if strategy == SolveStrategy::Exact {
         solve_with(&instance, options)
     } else {
-        let portfolio =
-            PortfolioOptions { strategy, bsolo: options, ..PortfolioOptions::default() };
+        let portfolio = PortfolioOptions {
+            strategy,
+            bsolo: options,
+            ls_threads,
+            ..PortfolioOptions::default()
+        };
         Portfolio::new(portfolio).solve(&instance)
     };
     match result.status {
