@@ -12,9 +12,9 @@
 //! ```
 
 use pbo_bench::{
-    budget_ms, family_instances, format_table, json, run_dynamic_rows_ablation, run_parls_probe,
-    run_portfolio_probe, run_residual_ablation, run_table, summarize_parls, summarize_portfolio,
-    FAMILIES,
+    budget_ms, family_instances, format_table, json, run_dynamic_rows_ablation, run_par_bb_probe,
+    run_parls_probe, run_portfolio_probe, run_residual_ablation, run_table, summarize_par_bb,
+    summarize_parls, summarize_portfolio, FAMILIES,
 };
 use pbo_benchgen::SynthesisParams;
 use pbo_solver::LbMethod;
@@ -188,6 +188,42 @@ fn main() {
         parls_summary.pool_never_worse,
     );
 
+    // Parallel-exact probe: the cube-split pool vs the sequential solver
+    // on the two hardest synthesis seeds — ranked by sequential tree
+    // size over a wider seed pool, because parallel search only pays off
+    // on trees worth splitting (see `run_par_bb_probe`).
+    const PAR_BB_WORKERS: usize = 4;
+    const PAR_BB_POOL_SEEDS: u64 = 8;
+    let par_bb_pool = family_instances("synthesis", PAR_BB_POOL_SEEDS);
+    // 40x the per-cell budget: the probe must let both sides *finish*
+    // (MIS proves optimality on every pool seed in roughly a second) —
+    // the gate is about proven optima and complete trees, not budget
+    // truncation.
+    let par_bb = run_par_bb_probe(&par_bb_pool, budget_ms(40 * timeout_ms), PAR_BB_WORKERS, 2);
+    let par_bb_summary = summarize_par_bb(&par_bb, PAR_BB_WORKERS);
+    println!();
+    println!("== par_bb ablation (synthesis, {PAR_BB_WORKERS} workers) ==");
+    for p in &par_bb {
+        println!(
+            "{:<24} seq {:>8.1} ms / {:>6} nodes ({}) | par {:>8.1} ms / {:>6} nodes ({}) \
+             | per-worker {:?}",
+            p.instance,
+            p.seq_time.as_secs_f64() * 1e3,
+            p.seq_nodes,
+            p.seq_cost.map_or("-".into(), |c| c.to_string()),
+            p.par_time.as_secs_f64() * 1e3,
+            p.par_nodes,
+            p.par_cost.map_or("-".into(), |c| c.to_string()),
+            p.nodes_per_worker,
+        );
+    }
+    println!(
+        "never worse optimum: {} | max nodes ratio: {} | time speedup geomean: {}",
+        par_bb_summary.never_worse_optimum,
+        par_bb_summary.max_nodes_ratio.map_or("-".into(), |r| format!("{:.2}x", r)),
+        par_bb_summary.time_speedup_geomean.map_or("-".into(), |r| format!("{:.2}x", r)),
+    );
+
     let report = json::render_report_full(
         timeout_ms,
         seeds,
@@ -197,6 +233,8 @@ fn main() {
         Some(&dyn_rows),
         &parls,
         PARLS_WORKERS,
+        &par_bb,
+        PAR_BB_WORKERS,
     );
     match std::fs::write(&json_path, &report) {
         Ok(()) => println!("\nwrote {json_path}"),

@@ -236,6 +236,86 @@ pub fn summarize_parls(probes: &[ParlsProbe], workers: usize) -> ParlsSummary {
     }
 }
 
+/// One instance of the parallel-exact (par_bb) probe: the sequential
+/// solver vs the cube-split worker pool under the same budget.
+#[derive(Clone, Debug)]
+pub struct ParBbProbe {
+    /// Instance name.
+    pub instance: String,
+    /// Sequential (1-worker) final cost.
+    pub seq_cost: Option<i64>,
+    /// Whether the sequential side proved optimality within the budget.
+    pub seq_optimal: bool,
+    /// Sequential wall time.
+    pub seq_time: Duration,
+    /// Sequential nodes (decisions).
+    pub seq_nodes: u64,
+    /// Parallel final cost.
+    pub par_cost: Option<i64>,
+    /// Whether the parallel side proved optimality within the budget.
+    pub par_optimal: bool,
+    /// Parallel wall time.
+    pub par_time: Duration,
+    /// Parallel nodes: splitter lookahead plus all workers, summed.
+    pub par_nodes: u64,
+    /// Per-worker node counts (merged at join).
+    pub nodes_per_worker: Vec<u64>,
+}
+
+/// Aggregate of the par_bb probe: the CI gate numbers.
+#[derive(Clone, Debug)]
+pub struct ParBbSummary {
+    /// Worker count of the parallel side.
+    pub workers: usize,
+    /// The parallel side never returned a worse optimum: wherever the
+    /// sequential side has a cost, the parallel cost exists and is `<=`
+    /// it, and wherever the sequential side proved optimality, so did
+    /// the parallel side.
+    pub never_worse_optimum: bool,
+    /// Worst `par_nodes / seq_nodes` over instances solved on both
+    /// sides — the duplicated-work bound the gate caps at 2x.
+    pub max_nodes_ratio: Option<f64>,
+    /// Geometric mean of `seq_time / par_time` over instances solved on
+    /// both sides (informational; wall times move with the machine).
+    pub time_speedup_geomean: Option<f64>,
+}
+
+/// Aggregates par_bb probe rows into the gate metrics.
+pub fn summarize_par_bb(probes: &[ParBbProbe], workers: usize) -> ParBbSummary {
+    let mut never_worse = true;
+    let mut max_ratio: Option<f64> = None;
+    let mut speedups: Vec<f64> = Vec::new();
+    for p in probes {
+        match (p.seq_cost, p.par_cost) {
+            (Some(s), Some(q)) => never_worse &= q <= s,
+            (Some(_), None) => never_worse = false,
+            _ => {}
+        }
+        if p.seq_optimal {
+            never_worse &= p.par_optimal;
+        }
+        if p.seq_optimal && p.par_optimal && p.seq_nodes > 0 {
+            let ratio = p.par_nodes as f64 / p.seq_nodes as f64;
+            max_ratio = Some(max_ratio.map_or(ratio, |m: f64| m.max(ratio)));
+            let (s, q) = (p.seq_time.as_secs_f64(), p.par_time.as_secs_f64());
+            if s > 0.0 && q > 0.0 {
+                speedups.push(s / q);
+            }
+        }
+    }
+    let geomean = if speedups.is_empty() {
+        None
+    } else {
+        Some((speedups.iter().map(|r| r.ln()).sum::<f64>() / speedups.len() as f64).exp())
+    };
+    ParBbSummary {
+        workers,
+        never_worse_optimum: never_worse,
+        max_nodes_ratio: max_ratio,
+        time_speedup_geomean: geomean,
+    }
+}
+
 /// Aggregate of a probe run: the numbers the CI gates assert on.
 #[derive(Clone, Debug)]
 pub struct PortfolioSummary {
@@ -368,6 +448,42 @@ fn write_parls(out: &mut String, probes: &[ParlsProbe], workers: usize) {
     out.push_str("  },\n");
 }
 
+fn write_par_bb(out: &mut String, probes: &[ParBbProbe], workers: usize) {
+    let _ = writeln!(out, "  \"par_bb\": {{\n    \"workers\": {workers},\n    \"instances\": [");
+    for (i, p) in probes.iter().enumerate() {
+        let comma = if i + 1 < probes.len() { "," } else { "" };
+        let per: Vec<String> = p.nodes_per_worker.iter().map(u64::to_string).collect();
+        let _ = writeln!(
+            out,
+            "      {{\"instance\": \"{}\", \"seq_cost\": {}, \"seq_optimal\": {}, \
+             \"seq_time_ms\": {:.3}, \"seq_nodes\": {}, \
+             \"par_cost\": {}, \"par_optimal\": {}, \"par_time_ms\": {:.3}, \
+             \"par_nodes\": {}, \"nodes_per_worker\": [{}]}}{comma}",
+            escape(&p.instance),
+            opt_i64(p.seq_cost),
+            p.seq_optimal,
+            ms(p.seq_time),
+            p.seq_nodes,
+            opt_i64(p.par_cost),
+            p.par_optimal,
+            ms(p.par_time),
+            p.par_nodes,
+            per.join(", "),
+        );
+    }
+    out.push_str("    ],\n");
+    let s = summarize_par_bb(probes, workers);
+    let _ = writeln!(
+        out,
+        "    \"summary\": {{\"never_worse_optimum\": {}, \"max_nodes_ratio\": {}, \
+         \"time_speedup_geomean\": {}}}",
+        s.never_worse_optimum,
+        opt_f64(s.max_nodes_ratio),
+        opt_f64(s.time_speedup_geomean),
+    );
+    out.push_str("  },\n");
+}
+
 /// Renders the whole benchmark report as a JSON document.
 pub fn render_report(
     budget_ms: u64,
@@ -375,11 +491,11 @@ pub fn render_report(
     families: &[(String, Vec<Row>)],
     ablation: Option<&ResidualAblation>,
 ) -> String {
-    render_report_full(budget_ms, seeds, families, ablation, &[], None, &[], 0)
+    render_report_full(budget_ms, seeds, families, ablation, &[], None, &[], 0, &[], 0)
 }
 
-/// [`render_report`] with the portfolio probe, dynamic-rows ablation and
-/// ParLS sections included.
+/// [`render_report`] with the portfolio probe, dynamic-rows ablation,
+/// ParLS and parallel-exact (par_bb) sections included.
 #[allow(clippy::too_many_arguments)]
 pub fn render_report_full(
     budget_ms: u64,
@@ -390,6 +506,8 @@ pub fn render_report_full(
     dynamic_rows: Option<&DynamicRowsAblation>,
     parls: &[ParlsProbe],
     parls_workers: usize,
+    par_bb: &[ParBbProbe],
+    par_bb_workers: usize,
 ) -> String {
     let mut out = String::new();
     out.push_str("{\n");
@@ -440,6 +558,11 @@ pub fn render_report_full(
         out.push_str("  \"parls\": null,\n");
     } else {
         write_parls(&mut out, parls, parls_workers);
+    }
+    if par_bb.is_empty() {
+        out.push_str("  \"par_bb\": null,\n");
+    } else {
+        write_par_bb(&mut out, par_bb, par_bb_workers);
     }
     match dynamic_rows {
         Some(d) => {

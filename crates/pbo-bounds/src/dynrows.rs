@@ -23,7 +23,7 @@
 //! [`TermArena`](pbo_core::TermArena) — which the residual state and the
 //! subproblem views borrow on the hot path.
 
-use pbo_core::{Lit, PbConstraint, RowView};
+use pbo_core::{Instance, Lit, PbConstraint, RowView};
 
 /// Why a dynamic row exists (kept for diagnostics and bench ablations,
 /// and consumed by the per-method row filter in the solver's bound
@@ -62,6 +62,14 @@ pub struct RowsArena {
     row_start: Vec<u32>,
     rhs: Vec<i64>,
     origin: Vec<DynRowOrigin>,
+    /// Absolute term positions of each row permuted into
+    /// *fractional-cover order* (ascending objective cost per coefficient
+    /// unit, ties in term order) — the same precomputed-order contract as
+    /// [`TermArena::cover_order`](pbo_core::TermArena::cover_order), but
+    /// computed at [`RowsArena::push_row`] time, so region swaps (and the
+    /// residual state's flat clone of the region) carry the order along
+    /// and no bound call ever sorts a dynamic row again.
+    cover_order: Vec<u32>,
 }
 
 impl RowsArena {
@@ -73,6 +81,7 @@ impl RowsArena {
             row_start: Vec::new(),
             rhs: Vec::new(),
             origin: Vec::new(),
+            cover_order: Vec::new(),
         }
     }
 
@@ -108,6 +117,22 @@ impl RowsArena {
         self.origin[k]
     }
 
+    /// The absolute term positions of row `k` in fractional-cover order;
+    /// index them into [`RowsArena::term_at`].
+    #[inline]
+    pub fn cover_order(&self, k: usize) -> &[u32] {
+        let lo = self.row_start[k] as usize;
+        let hi = self.row_start[k + 1] as usize;
+        &self.cover_order[lo..hi]
+    }
+
+    /// The term at absolute position `p` (as listed by
+    /// [`RowsArena::cover_order`]).
+    #[inline]
+    pub fn term_at(&self, p: usize) -> pbo_core::PbTerm {
+        pbo_core::PbTerm { coeff: self.coeffs[p], lit: self.lits[p] }
+    }
+
     /// Drops every row (capacity retained).
     pub fn clear(&mut self) {
         self.coeffs.clear();
@@ -115,17 +140,33 @@ impl RowsArena {
         self.row_start.clear();
         self.rhs.clear();
         self.origin.clear();
+        self.cover_order.clear();
     }
 
-    /// Appends a row.
-    pub fn push_row(&mut self, constraint: &PbConstraint, origin: DynRowOrigin) {
+    /// Appends a row and precomputes its fractional-cover order under
+    /// `lit_cost` (a dense objective-cost table indexed by literal code;
+    /// an empty table means a costless objective). The comparator —
+    /// ascending `cost / coeff`, ties in term order — is exactly the sort
+    /// the MIS cover walk used to perform per bound call, so outcomes are
+    /// bit-identical to the per-call path.
+    pub fn push_row(&mut self, constraint: &PbConstraint, origin: DynRowOrigin, lit_cost: &[i64]) {
         if self.row_start.is_empty() {
             self.row_start.push(0);
         }
+        let lo = self.coeffs.len();
         for t in constraint.terms() {
             self.coeffs.push(t.coeff);
             self.lits.push(t.lit);
+            self.cover_order.push(self.cover_order.len() as u32);
         }
+        let (lits, coeffs) = (&self.lits, &self.coeffs);
+        let cost = |p: u32| {
+            lit_cost.get(lits[p as usize].code()).copied().unwrap_or(0) as f64
+                / coeffs[p as usize] as f64
+        };
+        self.cover_order[lo..].sort_unstable_by(|&a, &b| {
+            cost(a).partial_cmp(&cost(b)).unwrap_or(std::cmp::Ordering::Equal).then(a.cmp(&b))
+        });
         self.row_start.push(self.coeffs.len() as u32);
         self.rhs.push(constraint.rhs());
         self.origin.push(origin);
@@ -143,6 +184,8 @@ impl RowsArena {
         self.rhs.extend_from_slice(&other.rhs);
         self.origin.clear();
         self.origin.extend_from_slice(&other.origin);
+        self.cover_order.clear();
+        self.cover_order.extend_from_slice(&other.cover_order);
     }
 }
 
@@ -173,13 +216,36 @@ pub struct DynamicRows {
     rows: Vec<DynRow>,
     arena: RowsArena,
     epoch: u64,
+    /// Dense objective cost per literal code, consulted by
+    /// [`RowsArena::push_row`] to precompute each row's cover order.
+    /// Empty means "costless objective" (cover order = term order).
+    lit_cost: Vec<i64>,
 }
 
 impl DynamicRows {
     /// Creates an empty registry at epoch 0 (the "no dynamic rows yet"
-    /// state every consumer starts in).
+    /// state every consumer starts in), with a costless cover order.
+    ///
+    /// Registries whose rows will be consumed by a cover-walking bound
+    /// (MIS) on an instance with a real objective must be created with
+    /// [`DynamicRows::for_instance`] instead, so the precomputed cover
+    /// order matches the objective — a cover walk over a mis-ordered row
+    /// would overestimate the single-row LP minimum, which is unsound.
     pub fn new() -> DynamicRows {
         DynamicRows::default()
+    }
+
+    /// Creates an empty registry whose rows will carry `instance`'s
+    /// objective costs in their precomputed fractional-cover order —
+    /// the constructor every bounding consumer should use.
+    pub fn for_instance(instance: &Instance) -> DynamicRows {
+        let mut lit_cost = vec![0i64; 2 * instance.num_vars()];
+        if let Some(obj) = instance.objective() {
+            for &(c, l) in obj.terms() {
+                lit_cost[l.code()] = c;
+            }
+        }
+        DynamicRows { lit_cost, ..DynamicRows::default() }
     }
 
     /// Current epoch; bumped by [`DynamicRows::begin_epoch`]. Consumers
@@ -233,7 +299,7 @@ impl DynamicRows {
         if self.rows.iter().any(|r| r.constraint == constraint) {
             return false;
         }
-        self.arena.push_row(&constraint, origin);
+        self.arena.push_row(&constraint, origin, &self.lit_cost);
         self.rows.push(DynRow { constraint, origin });
         true
     }
@@ -267,6 +333,40 @@ mod tests {
         assert!(!rows.push(PbConstraint::clause([]), DynRowOrigin::PromotedClause));
         assert_eq!(rows.len(), 1);
         assert_eq!(rows.arena().len(), 1);
+    }
+
+    #[test]
+    fn push_row_precomputes_the_cover_order() {
+        // Costs per literal code: x0=6, x1=1, x2=4 (positives).
+        let mut costs = vec![0i64; 8];
+        costs[Lit::new(0, true).code()] = 6;
+        costs[Lit::new(1, true).code()] = 1;
+        costs[Lit::new(2, true).code()] = 4;
+        let mut arena = RowsArena::new();
+        // 3*x0 + 1*x1 + 2*x2 >= 4: ratios 2.0, 1.0, 2.0 — cover order
+        // x1 first, then x0/x2 in term order (tie on ratio 2.0).
+        let row = PbConstraint::try_new(
+            vec![(3, Lit::new(0, true)), (1, Lit::new(1, true)), (2, Lit::new(2, true))],
+            4,
+        )
+        .unwrap();
+        arena.push_row(&row, DynRowOrigin::ObjectiveCut, &costs);
+        assert_eq!(arena.cover_order(0), &[1, 0, 2]);
+        // A second row gets absolute positions and its own order (the
+        // clause constructor normalizes to [x1, x2], cheapest first here).
+        let clause = PbConstraint::clause([Lit::new(2, true), Lit::new(1, true)]);
+        arena.push_row(&clause, DynRowOrigin::PromotedClause, &costs);
+        assert_eq!(arena.cover_order(1), &[3, 4], "x1 (cost 1) before x2 (cost 4)");
+        // The flat clone carries the order along.
+        let mut copy = RowsArena::new();
+        copy.clone_from_arena(&arena);
+        assert_eq!(copy.cover_order(0), arena.cover_order(0));
+        assert_eq!(copy.cover_order(1), arena.cover_order(1));
+        assert_eq!(copy.term_at(1).coeff, 1);
+        // An empty cost table degrades to term order.
+        let mut costless = RowsArena::new();
+        costless.push_row(&row, DynRowOrigin::ObjectiveCut, &[]);
+        assert_eq!(costless.cover_order(0), &[0, 1, 2]);
     }
 
     #[test]

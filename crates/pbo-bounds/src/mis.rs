@@ -90,9 +90,9 @@ pub struct MisBound {
     /// fast paths above.
     num_local: u32,
     // --- scratch ---
-    /// Scratch: one row's (ratio, position) items during
-    /// materialization. The position tie-break makes the unstable sort
-    /// reproduce the stable order without a merge buffer.
+    /// Scratch of the [`MisBound::resort_span`] soundness fallback: one
+    /// row's (ratio, coeff, lit, cost, position) items. Empty in the
+    /// normal path (dynamic rows arrive pre-sorted from the registry).
     row_buf: Vec<(f64, i64, Lit, i64, u32)>,
     /// Scratch: (position in active list, fractional cover cost).
     scored: Vec<(u32, f64, f64)>,
@@ -211,8 +211,8 @@ impl MisBound {
         self.free_start.push(0);
         let num_static = sub.num_static_rows();
         let arena = sub.instance().arena();
+        let region = sub.dynamic_rows();
         let assignment = sub.assignment();
-        let mut row_buf = std::mem::take(&mut self.row_buf);
         for e in active {
             let index = e.index as usize;
             let mut sum = 0i64;
@@ -221,7 +221,8 @@ impl MisBound {
                 // Static rows: walk the instance's precomputed cover
                 // order (a filtered subsequence of a sorted sequence is
                 // sorted), gathering the free terms — no ratio
-                // arithmetic, no sorting.
+                // arithmetic, no sorting. The order is a build-time
+                // invariant of the immutable instance.
                 for &p in arena.cover_order(index) {
                     let t = arena.term_at(p as usize);
                     if assignment.lit_value(t.lit) != pbo_core::Value::Unassigned {
@@ -234,29 +235,69 @@ impl MisBound {
                     max = max.max(t.coeff);
                 }
             } else {
-                // Dynamic rows (a handful per region): sort per call.
-                // The position tie-break reproduces the stable (term)
-                // order.
-                row_buf.clear();
-                for t in sub.free_terms(index) {
+                // Dynamic rows: the region's cover order is precomputed
+                // at push-row time *when the registry was built with the
+                // instance's objective costs* (`DynamicRows::for_instance`,
+                // what the solver pipeline does). The streaming walk
+                // verifies sortedness against the view's own costs for
+                // free; a registry built costless falls back to the
+                // per-call sort — an out-of-order cover walk would
+                // overestimate the single-row LP minimum, which is
+                // unsound, so this must hold in release builds too.
+                let lo = self.free_coeff.len();
+                let mut prev = f64::NEG_INFINITY;
+                let mut sorted = true;
+                for &p in region.cover_order(index - num_static) {
+                    let t = region.term_at(p as usize);
+                    if assignment.lit_value(t.lit) != pbo_core::Value::Unassigned {
+                        continue;
+                    }
                     let cost = sub.lit_cost(t.lit);
                     let ratio = cost as f64 / t.coeff as f64;
-                    row_buf.push((ratio, t.coeff, t.lit, cost, row_buf.len() as u32));
+                    sorted &= ratio >= prev;
+                    prev = ratio;
+                    self.free_coeff.push(t.coeff);
+                    self.free_lit.push(t.lit);
+                    self.free_cost.push(cost);
                     sum += t.coeff;
                     max = max.max(t.coeff);
                 }
-                row_buf.sort_unstable_by(|a, b| {
-                    a.0.partial_cmp(&b.0).unwrap_or(std::cmp::Ordering::Equal).then(a.4.cmp(&b.4))
-                });
-                for &(_, coeff, lit, cost, _) in &row_buf {
-                    self.free_coeff.push(coeff);
-                    self.free_lit.push(lit);
-                    self.free_cost.push(cost);
+                if !sorted {
+                    self.resort_span(lo);
                 }
             }
             self.free_start.push(self.free_coeff.len() as u32);
             self.free_sum0.push(sum);
             self.free_max.push(max);
+        }
+    }
+
+    /// Fallback for a dynamic row whose precomputed cover order does not
+    /// match this view's literal costs (a registry built without
+    /// [`DynamicRows::for_instance`](crate::DynamicRows::for_instance)):
+    /// re-sorts the just-materialized span `lo..` by ascending
+    /// cost-per-unit, ties in walk order — the old per-call sort, kept
+    /// as the soundness backstop.
+    fn resort_span(&mut self, lo: usize) {
+        let mut row_buf = std::mem::take(&mut self.row_buf);
+        row_buf.clear();
+        for i in lo..self.free_coeff.len() {
+            let ratio = self.free_cost[i] as f64 / self.free_coeff[i] as f64;
+            row_buf.push((
+                ratio,
+                self.free_coeff[i],
+                self.free_lit[i],
+                self.free_cost[i],
+                i as u32,
+            ));
+        }
+        row_buf.sort_unstable_by(|a, b| {
+            a.0.partial_cmp(&b.0).unwrap_or(std::cmp::Ordering::Equal).then(a.4.cmp(&b.4))
+        });
+        for (i, &(_, coeff, lit, cost, _)) in row_buf.iter().enumerate() {
+            self.free_coeff[lo + i] = coeff;
+            self.free_lit[lo + i] = lit;
+            self.free_cost[lo + i] = cost;
         }
         self.row_buf = row_buf;
     }
@@ -882,6 +923,46 @@ mod tests {
         let out = MisBound::new().lower_bound(&sub, None);
         assert!(out.infeasible);
         assert_eq!(out.explanation, vec![v[0].positive()]);
+    }
+
+    #[test]
+    fn costless_dynamic_registry_falls_back_to_the_per_call_sort() {
+        // A registry built with `DynamicRows::new()` carries a costless
+        // (term-order) cover order. On an instance with a real objective
+        // the MIS walk must detect the mismatch and re-sort — an
+        // out-of-order cover walk would overestimate the single-row LP
+        // minimum (unsound) — yielding the same outcome as a registry
+        // built properly with `for_instance`.
+        use crate::{DynRowOrigin, DynamicRows};
+        let mut b = InstanceBuilder::new();
+        let v = b.new_vars(3);
+        b.add_clause([v[0].positive(), v[1].positive()]);
+        // Costs chosen so cost order != term order inside the cut row.
+        b.minimize([(9, v[0].positive()), (1, v[1].positive()), (5, v[2].positive())]);
+        let inst = b.build().unwrap();
+        let cut = pbo_core::PbConstraint::try_new(
+            vec![(2, v[0].positive()), (3, v[1].positive()), (1, v[2].positive())],
+            3,
+        )
+        .unwrap();
+        let mut costless = DynamicRows::new();
+        costless.begin_epoch();
+        costless.push(cut.clone(), DynRowOrigin::ObjectiveCut);
+        let mut proper = DynamicRows::for_instance(&inst);
+        proper.begin_epoch();
+        proper.push(cut, DynRowOrigin::PromotedClause);
+        assert_ne!(
+            costless.arena().cover_order(0),
+            proper.arena().cover_order(0),
+            "the probe needs a genuine order mismatch"
+        );
+        let a = Assignment::new(3);
+        let from_costless =
+            MisBound::new().lower_bound(&Subproblem::with_rows(&inst, &a, &costless), Some(50));
+        let from_proper =
+            MisBound::new().lower_bound(&Subproblem::with_rows(&inst, &a, &proper), Some(50));
+        assert_eq!(from_costless.bound, from_proper.bound, "fallback must restore the sort");
+        assert_eq!(from_costless.infeasible, from_proper.infeasible);
     }
 
     #[test]

@@ -226,7 +226,7 @@ fn random_walk_with_dynamic_rows(instance: &Instance, walk_seed: u64, steps: usi
     let mut state = ResidualState::new(instance);
     let obs = engine.register_trail_observer();
     let mut rng = ChaCha8Rng::seed_from_u64(walk_seed);
-    let mut rows = DynamicRows::new();
+    let mut rows = DynamicRows::for_instance(instance);
     let mut mis = MisBound::new();
     let mut lgr_incr = LagrangianBound::new(instance.num_constraints());
     let mut lgr_reb = LagrangianBound::new(instance.num_constraints());
@@ -421,7 +421,7 @@ fn dynamic_row_region_swaps_mid_trail_and_unwinds_exactly() {
     let mut state = ResidualState::new(&instance);
     let obs = engine.register_trail_observer();
     let mut rng = ChaCha8Rng::seed_from_u64(41);
-    let mut rows = DynamicRows::new();
+    let mut rows = DynamicRows::for_instance(&instance);
 
     // Descend a few levels.
     for _ in 0..5 {
@@ -484,11 +484,11 @@ fn implied_mis_soundness_on_small_random_instances() {
         let inst = b.build().unwrap();
         let Some(opt) = brute_force(&inst).cost() else { continue };
         let upper = opt + rng.gen_range(1i64..5);
-        let mut rows = DynamicRows::new();
+        let mut rows = DynamicRows::for_instance(&inst);
         reroot_rows(&mut rows, &inst, upper, &mut rng);
         // Promoted clauses from reroot_rows are random, not implied:
         // keep only the genuine objective cut for the soundness claim.
-        let mut genuine = DynamicRows::new();
+        let mut genuine = DynamicRows::for_instance(&inst);
         genuine.begin_epoch();
         if let Some(obj) = inst.objective() {
             if let Ok(cs) = normalize(obj.terms(), RelOp::Le, upper - 1 - obj.offset()) {
@@ -515,6 +515,46 @@ fn implied_mis_soundness_on_small_random_instances() {
         let out = MisBound::new().lower_bound(&bare_view, None);
         assert!(!out.infeasible, "round {round}: bare infeasibility");
         assert!(out.bound <= opt, "round {round}: bare bound {} > {opt}", out.bound);
+    }
+}
+
+#[test]
+fn push_time_dynamic_cover_order_matches_the_per_call_sort() {
+    // PR-5 satellite: the fractional-cover sort of dynamic rows moved
+    // from per-bound-call (the old MIS materialization path) to
+    // `RowsArena::push_row`. The precomputed order must equal the order
+    // the old path computed — ascending `lit_cost / coeff`, ties broken
+    // by term position — on every row, for random rows and objectives.
+    let mut rng = ChaCha8Rng::seed_from_u64(0xc0de);
+    for round in 0..30u64 {
+        let instance = if round % 2 == 0 {
+            monotone_params(14, 18, (2, 6)).generate(round)
+        } else {
+            mixed_polarity_instance(round)
+        };
+        let mut rows = DynamicRows::for_instance(&instance);
+        let upper = rng.gen_range(5i64..80);
+        reroot_rows(&mut rows, &instance, upper, &mut rng);
+        let lit_cost = |l: Lit| instance.objective().map_or(0, |o| o.cost_of_lit(l));
+        let arena = rows.arena();
+        for (k, row) in rows.rows().iter().enumerate() {
+            // The old per-call path: stable ratio sort over the row's
+            // terms (position tie-break on an unstable sort).
+            let mut oracle: Vec<(f64, u32)> = row
+                .constraint
+                .terms()
+                .iter()
+                .enumerate()
+                .map(|(i, t)| (lit_cost(t.lit) as f64 / t.coeff as f64, i as u32))
+                .collect();
+            oracle.sort_unstable_by(|a, b| {
+                a.0.partial_cmp(&b.0).unwrap_or(std::cmp::Ordering::Equal).then(a.1.cmp(&b.1))
+            });
+            let base = arena.cover_order(k).iter().min().copied().unwrap_or(0);
+            let got: Vec<u32> = arena.cover_order(k).iter().map(|&p| p - base).collect();
+            let want: Vec<u32> = oracle.iter().map(|&(_, i)| i).collect();
+            assert_eq!(got, want, "round {round}: cover order of dynamic row {k}");
+        }
     }
 }
 

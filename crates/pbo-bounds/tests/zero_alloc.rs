@@ -63,7 +63,7 @@ fn probe_instance() -> Instance {
 /// The eq. 10 objective cut for a fake incumbent, as the solver's
 /// re-root would install it.
 fn objective_cut_rows(instance: &Instance, upper: i64) -> DynamicRows {
-    let mut rows = DynamicRows::new();
+    let mut rows = DynamicRows::for_instance(instance);
     rows.begin_epoch();
     let obj = instance.objective().expect("optimization instance");
     if let Ok(cs) = normalize(obj.terms(), RelOp::Le, upper - 1 - obj.offset()) {

@@ -478,6 +478,23 @@ impl Engine {
         self.pbs[id.0 as usize].slack
     }
 
+    /// Assumes `lit` at the root: the literal becomes a level-0 fact, so
+    /// conflict analysis never flips it and [`Resolution::Unsat`] means
+    /// "unsatisfiable *under the assumptions*". This is how a
+    /// cube-and-conquer worker roots itself in its assigned subtree: the
+    /// cube's decision literals are assumed one by one onto a fresh
+    /// engine, and everything the worker learns afterwards is implied by
+    /// *instance ∧ cube* (valid within the subtree, private to the
+    /// worker). Must be called at decision level 0.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RootConflict`] if the literal contradicts the root
+    /// assignment (the cube is closed by propagation alone).
+    pub fn assume_at_root(&mut self, lit: Lit) -> Result<(), RootConflict> {
+        self.add_constraint(&PbConstraint::clause([lit]))
+    }
+
     /// Adds the normalized upper-bound ("knapsack", eq. 10) cut and
     /// returns its id so it can be deactivated when superseded. Must be
     /// called at level 0.

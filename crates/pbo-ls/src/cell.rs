@@ -32,6 +32,13 @@ struct CellInner {
     history: Vec<(Instant, i64)>,
     /// The current cut pool (replaced wholesale on each publish).
     cuts: Vec<SharedCut>,
+    /// Upper bound the current pool was derived for (`EMPTY` when the
+    /// pool is empty or was published unconditionally). With several
+    /// exact producers racing — the parallel B&B's cube workers — the
+    /// pool from the *tightest* incumbent wins: a stale producer with a
+    /// weaker upper bound must not overwrite cuts derived from a better
+    /// one.
+    cuts_upper: i64,
 }
 
 /// A thread-safe best-solution cell shared between solution producers.
@@ -75,7 +82,12 @@ impl IncumbentCell {
         IncumbentCell {
             cost: AtomicI64::new(EMPTY),
             cuts_epoch: AtomicU64::new(0),
-            inner: Mutex::new(CellInner { model: None, history: Vec::new(), cuts: Vec::new() }),
+            inner: Mutex::new(CellInner {
+                model: None,
+                history: Vec::new(),
+                cuts: Vec::new(),
+                cuts_upper: EMPTY,
+            }),
         }
     }
 
@@ -139,7 +151,27 @@ impl IncumbentCell {
     pub fn publish_cuts(&self, cuts: Vec<SharedCut>) {
         let mut inner = self.lock();
         inner.cuts = cuts;
+        inner.cuts_upper = EMPTY;
         self.cuts_epoch.fetch_add(1, Ordering::AcqRel);
+    }
+
+    /// Like [`IncumbentCell::publish_cuts`], but tagged with the upper
+    /// bound the cuts were derived for. The pool is replaced only when
+    /// `upper` is at least as tight as the bound behind the current pool
+    /// (an untagged pool counts as loosest), so concurrent exact
+    /// producers — the parallel B&B's cube workers, each re-rooting on
+    /// its own schedule — converge on the cuts of the best incumbent
+    /// instead of last-writer-wins. Returns `true` if the pool was
+    /// replaced.
+    pub fn publish_cuts_for(&self, upper: i64, cuts: Vec<SharedCut>) -> bool {
+        let mut inner = self.lock();
+        if upper > inner.cuts_upper {
+            return false;
+        }
+        inner.cuts = cuts;
+        inner.cuts_upper = upper;
+        self.cuts_epoch.fetch_add(1, Ordering::AcqRel);
+        true
     }
 
     /// Current cut-pool epoch (0 = nothing published yet); lock-free.
@@ -206,6 +238,26 @@ mod tests {
         let history = cell.history_since(start);
         let costs: Vec<i64> = history.iter().map(|&(_, c)| c).collect();
         assert_eq!(costs, vec![10, 4]);
+    }
+
+    #[test]
+    fn tighter_producer_wins_the_cut_pool() {
+        let cell = IncumbentCell::new();
+        let cut = |rhs| SharedCut { terms: vec![(1, Lit::new(0, true))], rhs };
+        assert!(cell.publish_cuts_for(10, vec![cut(1)]));
+        let e1 = cell.cuts_epoch();
+        // A looser producer (stale worker) must not overwrite.
+        assert!(!cell.publish_cuts_for(12, vec![cut(9)]));
+        assert_eq!(cell.cuts_epoch(), e1);
+        assert_eq!(cell.cuts_snapshot(0).unwrap().1, vec![cut(1)]);
+        // Equal upper republishes (restart refresh), tighter replaces.
+        assert!(cell.publish_cuts_for(10, vec![cut(2)]));
+        assert!(cell.publish_cuts_for(7, vec![cut(3)]));
+        assert_eq!(cell.cuts_snapshot(0).unwrap().1, vec![cut(3)]);
+        // The untagged legacy publish counts as loosest afterwards.
+        cell.publish_cuts(vec![cut(4)]);
+        assert!(cell.publish_cuts_for(100, vec![cut(5)]));
+        assert_eq!(cell.cuts_snapshot(0).unwrap().1, vec![cut(5)]);
     }
 
     #[test]

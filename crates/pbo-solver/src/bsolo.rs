@@ -38,6 +38,7 @@
 
 use std::time::Instant;
 
+use pbo_bounds::DynRowOrigin;
 use pbo_core::{verify_solution, Instance, Lit, PbConstraint, Value, Var};
 use pbo_engine::{Conflict, Engine, LubyRestarts, PbId, Resolution};
 use pbo_ls::{IncumbentCell, SharedCut};
@@ -125,27 +126,21 @@ impl Bsolo {
         } else {
             instance
         };
-        let mut search = match SearchState::init(instance, &self.options, cell, start, &mut stats) {
-            Ok(s) => s,
-            Err(()) => {
-                stats.solve_time = start.elapsed();
-                return SolveResult {
-                    status: SolveStatus::Infeasible,
-                    best_cost: None,
-                    best_assignment: None,
-                    stats,
-                };
-            }
-        };
+        let mut search =
+            match SearchState::init(instance, &self.options, cell, start, &mut stats, &[], &[]) {
+                Ok(s) => s,
+                Err(()) => {
+                    stats.solve_time = start.elapsed();
+                    return SolveResult {
+                        status: SolveStatus::Infeasible,
+                        best_cost: None,
+                        best_assignment: None,
+                        stats,
+                    };
+                }
+            };
         let status = search.run(start, &mut stats);
-        stats.decisions = search.engine.stats.decisions;
-        stats.conflicts = search.engine.stats.conflicts;
-        stats.propagations = search.engine.stats.propagations;
-        stats.restarts = search.engine.stats.restarts;
-        stats.backjump_levels = search.engine.stats.backjump_levels;
-        if let Some(lpr) = search.pipeline.lpr() {
-            stats.lp_iterations = lpr.simplex_iterations();
-        }
+        search.finish_stats(&mut stats);
         stats.solve_time = start.elapsed();
         SolveResult {
             status,
@@ -156,7 +151,17 @@ impl Bsolo {
     }
 }
 
-struct SearchState<'a> {
+/// The per-(sub)tree search state: one engine, one bound pipeline, one
+/// incumbent view.
+///
+/// The sequential solver owns exactly one of these for the whole tree;
+/// the parallel driver ([`ParBsolo`](crate::ParBsolo)) builds one per
+/// *subtree task* — a [`Cube`](crate::Cube) of decision literals assumed
+/// at the root — each borrowing the same `&Instance` (and through it the
+/// shared read-only `TermArena`), so N workers share one copy of the
+/// term and occurrence data and own only their counters, trails and
+/// learned clauses.
+pub(crate) struct SearchState<'a> {
     instance: &'a Instance,
     options: &'a BsoloOptions,
     engine: Engine,
@@ -180,15 +185,43 @@ struct SearchState<'a> {
     /// Conflict count that triggers the next restart (`u64::MAX` when
     /// restarts are disabled).
     next_restart: u64,
+    /// Whether promoted-clause rows may join the cell's shared cut pool.
+    /// A cube worker's learned clauses are implied by *instance ∧ cube*,
+    /// not the instance alone, so sharing them would poison siblings and
+    /// the local search; only the root search (empty cube) shares them.
+    /// The eq. 10–13 cost cuts are implied by instance + incumbent bound
+    /// and are always safe to share.
+    share_promoted: bool,
 }
 
 impl<'a> SearchState<'a> {
-    fn init(
+    /// Builds the search state, optionally rooted in a subtree: every
+    /// literal of `cube` is assumed at level 0 after probing, so the
+    /// search explores exactly the subtree the cube describes (conflict
+    /// analysis can never flip an assumption). `Err(())` means the
+    /// formula — instance ∧ cube ∧ seed clauses — is unsatisfiable at
+    /// the root: for the sequential solver (empty cube) that is global
+    /// infeasibility, for a cube worker it closes the subtree.
+    ///
+    /// `seed` clauses are loaded as root constraints before the search.
+    /// The parallel driver passes the *head start's* learned clauses
+    /// here. Soundness: a head-start clause is implied by the instance
+    /// together with the head's cost cuts, i.e. by
+    /// `instance ∧ (cost <= upper - 1)` for an incumbent of cost `upper`
+    /// that was verified and published to the shared cell *before* the
+    /// workers launch — so no completion cheaper than the cell's best
+    /// is ever excluded, which is exactly the set the search quantifies
+    /// over (eq. 7). When the head never found an incumbent, no cost cut
+    /// was ever installed and the clauses are implied by the instance
+    /// alone.
+    pub(crate) fn init(
         instance: &'a Instance,
         options: &'a BsoloOptions,
         cell: Option<&'a IncumbentCell>,
         start: Instant,
         stats: &mut SolverStats,
+        cube: &[Lit],
+        seed: &[Vec<Lit>],
     ) -> Result<SearchState<'a>, ()> {
         let mut engine = Engine::new(instance.num_vars());
         for c in instance.constraints() {
@@ -202,6 +235,16 @@ impl<'a> SearchState<'a> {
                 ProbeOutcome::Done { forced } => {
                     stats.propagations += forced as u64;
                 }
+            }
+        }
+        for &lit in cube {
+            if engine.assume_at_root(lit).is_err() {
+                return Err(());
+            }
+        }
+        for lits in seed {
+            if engine.add_constraint(&PbConstraint::clause(lits.iter().copied())).is_err() {
+                return Err(());
             }
         }
         let pipeline = BoundPipeline::new(instance, options, &mut engine);
@@ -221,7 +264,30 @@ impl<'a> SearchState<'a> {
             rejected_external: None,
             restarts,
             next_restart,
+            share_promoted: cube.is_empty(),
         })
+    }
+
+    /// Exports the engine's best (LBD-first) learned clauses — the
+    /// parallel driver's hook for seeding cube workers with the head
+    /// start's knowledge (see the `seed` parameter of
+    /// [`SearchState::init`]).
+    pub(crate) fn export_learnts(&self, max_len: usize, max_count: usize) -> Vec<Vec<Lit>> {
+        self.engine.export_learnts(max_len, max_count)
+    }
+
+    /// Folds the engine- and pipeline-side effort counters into `stats`
+    /// (the assignment half of result assembly, shared by the sequential
+    /// driver and the parallel workers).
+    pub(crate) fn finish_stats(&self, stats: &mut SolverStats) {
+        stats.decisions = self.engine.stats.decisions;
+        stats.conflicts = self.engine.stats.conflicts;
+        stats.propagations = self.engine.stats.propagations;
+        stats.restarts = self.engine.stats.restarts;
+        stats.backjump_levels = self.engine.stats.backjump_levels;
+        if let Some(lpr) = self.pipeline.lpr() {
+            stats.lp_iterations = lpr.simplex_iterations();
+        }
     }
 
     /// Final status once the search space is exhausted.
@@ -242,7 +308,7 @@ impl<'a> SearchState<'a> {
         }
     }
 
-    fn run(&mut self, start: Instant, stats: &mut SolverStats) -> SolveStatus {
+    pub(crate) fn run(&mut self, start: Instant, stats: &mut SolverStats) -> SolveStatus {
         if self.engine.is_root_unsat() {
             return self.exhausted_status();
         }
@@ -411,24 +477,29 @@ impl<'a> SearchState<'a> {
         Ok(())
     }
 
-    /// Publishes the full dynamic-row registry to the shared cell's cut
-    /// pool (the LS siblings fold it into their constraint sets at
-    /// restarts). Called on incumbent re-roots and restart refreshes.
+    /// Publishes the dynamic-row registry to the shared cell's cut pool
+    /// (the LS siblings fold it into their constraint sets at restarts).
+    /// Called on incumbent re-roots and restart refreshes. Cube workers
+    /// publish only the cost-cut rows — their promoted clauses are
+    /// cube-conditional (see [`SearchState::share_promoted`]) — and the
+    /// pool keeps whichever producer holds the tightest upper bound.
     fn publish_cut_pool(&self) {
         let Some(cell) = self.cell else { return };
+        let Some(upper) = self.best_cost else { return };
         let rows = self.pipeline.dynamic_rows();
-        if rows.is_empty() {
-            return;
-        }
         let shared: Vec<SharedCut> = rows
             .rows()
             .iter()
+            .filter(|r| self.share_promoted || r.origin != DynRowOrigin::PromotedClause)
             .map(|r| SharedCut {
                 terms: r.constraint.terms().iter().map(|t| (t.coeff, t.lit)).collect(),
                 rhs: r.constraint.rhs(),
             })
             .collect();
-        cell.publish_cuts(shared);
+        if shared.is_empty() {
+            return;
+        }
+        cell.publish_cuts_for(upper, shared);
     }
 
     /// Adopts a strictly better incumbent from the shared cell, if one
@@ -459,7 +530,10 @@ impl<'a> SearchState<'a> {
         }
         self.best_cost = Some(cost);
         self.best_model = Some(model);
-        stats.solutions_found += 1;
+        // Not counted in `solutions_found`: this solution was *found* by
+        // another producer (it is already in the cell's history); the
+        // counter would otherwise tally the same incumbent once per
+        // adopting worker in a parallel solve.
         stats.time_to_best = self.start.elapsed();
         if !self.instance.is_optimization() {
             // Pure satisfaction: a verified external model finishes the

@@ -10,8 +10,13 @@
 //!   PBS-like and Galena-like presets (no lower bounding).
 //! * [`MilpSolver`] — LP branch-and-bound without SAT machinery (the
 //!   CPLEX stand-in).
+//! * [`ParBsolo`] — parallel exact search: the root is split into
+//!   [`Cube`]s (decision-literal prefixes) and N workers solve the
+//!   subtrees over the shared term arena, racing through one
+//!   [`IncumbentCell`]; one worker is bit-identical to [`Bsolo`].
 //! * [`Portfolio`] — the anytime driver: `pbo-ls` stochastic local
-//!   search seeding or racing [`Bsolo`] through a shared
+//!   search seeding or racing the exact side (sequential or parallel,
+//!   [`PortfolioOptions::bb_threads`]) through a shared
 //!   [`IncumbentCell`], incumbents flowing both ways ([`SolveStrategy`]).
 //!
 //! All solvers consume a [`pbo_core::Instance`], honour a [`Budget`] and
@@ -52,6 +57,7 @@ mod cuts;
 mod linear_search;
 mod milp;
 mod options;
+mod par;
 mod pipeline;
 mod portfolio;
 mod preprocess;
@@ -62,6 +68,7 @@ pub use cuts::{cardinality_cost_cuts, cost_cuts, knapsack_cut};
 pub use linear_search::{LinearSearch, LinearSearchOptions};
 pub use milp::{MilpOptions, MilpSolver};
 pub use options::{Branching, BsoloOptions, Budget, LbMethod, ResidualMode, SolveStrategy};
+pub use par::{Cube, CubeSplitter, ParBsolo, SplitOutcome};
 pub use portfolio::{
     diversified_options, run_pool_steps, IncumbentCell, LocalSearch, LsOptions, LsResult, LsStats,
     PoolResult, Portfolio, PortfolioOptions, SharedCut,

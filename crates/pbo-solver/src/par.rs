@@ -1,0 +1,838 @@
+//! Parallel exact search: cube-split branch-and-bound workers over the
+//! shared term arena.
+//!
+//! PR 4 made every hot data structure shared and read-only — the
+//! instance's flat `TermArena` CSR, the cut pool, the lock-free
+//! [`IncumbentCell`] — but the exact search was still one sequential
+//! loop. This module closes that gap cube-and-conquer style:
+//!
+//! 1. **[`CubeSplitter`]** runs a learning-free lookahead from the root
+//!    for a bounded number of decisions and harvests the open frontier
+//!    as [`Cube`]s — decision-literal prefixes that partition the
+//!    assignment space (sibling branches carry complementary literals,
+//!    so cubes are pairwise disjoint, and together with the refuted and
+//!    solved leaves they cover the root exactly; a property the test
+//!    suite checks by enumeration).
+//! 2. **[`ParBsolo`]** spawns `threads` workers under
+//!    `std::thread::scope`. Each worker pulls cubes from a shared
+//!    mutex+condvar deque and solves each subtree with a private
+//!    `SearchState` — its own engine, bound pipeline and residual state,
+//!    all borrowing the *same* `&Instance` (and through it one read-only
+//!    `TermArena` block). The cube's literals are assumed at level 0
+//!    (`Engine::assume_at_root`), so conflict analysis can never leave
+//!    the subtree and everything a worker learns is implied by
+//!    *instance ∧ cube* — valid inside the subtree, private to the
+//!    worker.
+//! 3. **Sharing.** Incumbents flow through the [`IncumbentCell`]: every
+//!    worker publishes verified improvements and adopts strictly better
+//!    external ones mid-search (re-rooting its eq. 10–13 cost cuts).
+//!    Workers publish their *cost-cut* rows to the cell's cut pool —
+//!    those are implied by instance + incumbent bound, so any consumer
+//!    may use them — but never their promoted learned clauses, which are
+//!    cube-conditional; the pool keeps whichever producer holds the
+//!    tightest upper bound (`IncumbentCell::publish_cuts_for`).
+//! 4. **Termination.** A worker that exhausts a cube *closes* it (no
+//!    completion in the cube beats the final global best — pruning only
+//!    ever used upper bounds that the final best also satisfies). The
+//!    solve is `Optimal`/`Infeasible` when the splitter's frontier is
+//!    fully closed; a budget exhaustion in any worker raises a global
+//!    abort flag, remaining cubes are dropped, and the result degrades
+//!    to `Feasible`/`Unknown` exactly like the sequential solver.
+//!
+//! **Queue choice.** The deque is a plain `Mutex<VecDeque>` + `Condvar`:
+//! a solve processes tens of cubes, each worth milliseconds-to-seconds
+//! of search, so queue contention is unmeasurable and a work-stealing
+//! deque would buy nothing (and cost either a dependency or a
+//! hand-rolled lock-free structure in a `forbid(unsafe_code)` crate).
+//! The decision is recorded in `ROADMAP.md`.
+//!
+//! With `threads == 1` the driver delegates to the sequential
+//! [`Bsolo`] verbatim — bit-identical optimum, node count and stats —
+//! so the parallel path is strictly opt-in.
+
+use std::collections::VecDeque;
+use std::sync::{Condvar, Mutex};
+use std::time::Instant;
+
+use pbo_core::{verify_solution, Instance, Lit, Value, Var};
+use pbo_engine::Engine;
+use pbo_ls::IncumbentCell;
+
+use crate::bsolo::{Bsolo, SearchState};
+use crate::options::BsoloOptions;
+use crate::result::{SolveResult, SolveStatus, SolverStats};
+
+/// Cubes harvested per worker: enough slack that an early-finishing
+/// worker always finds more work, small enough that the splitter's
+/// learning-free lookahead stays a rounding error next to the search.
+const CUBES_PER_WORKER: usize = 2;
+
+/// Hard cap on cube length: beyond this depth the splitter stops
+/// refining even if the frontier target was not reached (degenerate
+/// instances propagate-complete almost everywhere).
+const MAX_SPLIT_DEPTH: usize = 16;
+
+/// Longest head-start learned clause seeded into the workers (longer
+/// clauses prune little and cost propagation overhead) ...
+const HEAD_SEED_MAX_LEN: usize = 24;
+/// ... and how many of them (LBD-best first).
+const HEAD_SEED_MAX_COUNT: usize = 512;
+
+/// Conflict budget of the sequential head start: enough search to find
+/// a first incumbent and learn the shallow conflict structure every
+/// cube borders on, small enough that the serial prefix stays a
+/// fraction of any tree worth parallelizing.
+const HEAD_CONFLICTS: u64 = 96;
+
+/// An open subtree of the branch-and-bound, described by the decision
+/// literals on the path from the root: the subtree contains exactly the
+/// assignments extending all of `lits`.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct Cube {
+    /// Decision literals of the prefix, in decision order.
+    pub lits: Vec<Lit>,
+}
+
+/// What became of one frontier leaf during splitting.
+#[derive(Clone, Debug)]
+pub struct SplitOutcome {
+    /// Open cubes: the frontier handed to the workers.
+    pub open: Vec<Cube>,
+    /// Leaves closed by propagation alone (instance ∧ cube is UNSAT).
+    pub refuted: Vec<Cube>,
+    /// Leaves where propagation completed the assignment: the cube's
+    /// unique feasible completion, with its cost.
+    pub solved: Vec<(Cube, i64, Vec<bool>)>,
+    /// The instance is unsatisfiable at the root (before any decision).
+    pub root_unsat: bool,
+    /// Decisions spent splitting (counted into the solve's node total).
+    pub decisions: u64,
+}
+
+/// Harvests an open frontier of cubes by bounded learning-free
+/// lookahead (cube-and-conquer style).
+///
+/// The splitter drives a private propagation-only [`Engine`] through a
+/// breadth-first expansion of the decision tree: pop a prefix, replay it
+/// with propagation, and either close the leaf (conflict → refuted,
+/// complete assignment → solved) or branch on the next unassigned
+/// variable in a deterministic cost-first order. Expansion stops once
+/// the frontier reaches the target (or the depth cap), leaving the
+/// still-open prefixes as the cube set.
+pub struct CubeSplitter;
+
+impl CubeSplitter {
+    /// Splits `instance` into roughly `target` open cubes.
+    ///
+    /// Deterministic: the branching order is constraint-degree
+    /// descending (objective cost, then index, breaking ties; negative
+    /// phase first), and no learning or activity feedback is involved —
+    /// the same instance always yields the same frontier.
+    pub fn split(instance: &Instance, target: usize) -> SplitOutcome {
+        Self::split_to_depth(instance, target, MAX_SPLIT_DEPTH)
+    }
+
+    /// [`CubeSplitter::split`] with an explicit depth cap (exposed for
+    /// the soundness tests).
+    pub fn split_to_depth(instance: &Instance, target: usize, max_depth: usize) -> SplitOutcome {
+        let mut out = SplitOutcome {
+            open: Vec::new(),
+            refuted: Vec::new(),
+            solved: Vec::new(),
+            root_unsat: false,
+            decisions: 0,
+        };
+        let mut engine = Engine::new(instance.num_vars());
+        for c in instance.constraints() {
+            if engine.add_constraint(c).is_err() {
+                out.root_unsat = true;
+                return out;
+            }
+        }
+        // Branch on high-degree variables first (most constraint
+        // occurrences across both polarities, objective cost as the
+        // tie-break): both branches of a busy variable propagate hard,
+        // which keeps the resulting subtrees balanced — splitting on the
+        // most *expensive* variables instead was measured to produce one
+        // near-root-sized cube (every costly-positive sibling prunes
+        // instantly once an incumbent exists) and one worker doing most
+        // of the search.
+        let arena = instance.arena();
+        let mut order: Vec<Var> = (0..instance.num_vars()).map(Var::new).collect();
+        let var_degree = |v: Var| {
+            arena.occurrences(v.positive()).0.len() + arena.occurrences(v.negative()).0.len()
+        };
+        let var_cost = |v: Var| {
+            instance
+                .objective()
+                .map_or(0, |o| o.cost_of_lit(v.positive()).max(o.cost_of_lit(v.negative())))
+        };
+        order.sort_by_key(|&v| {
+            (std::cmp::Reverse(var_degree(v)), std::cmp::Reverse(var_cost(v)), v.index())
+        });
+
+        let mut queue: VecDeque<Vec<Lit>> = VecDeque::from([Vec::new()]);
+        while let Some(cube) = queue.pop_front() {
+            if out.open.len() + queue.len() + 1 >= target.max(1) || cube.len() >= max_depth {
+                out.open.push(Cube { lits: cube });
+                continue;
+            }
+            engine.backjump_to(0);
+            let mut closed = false;
+            for &lit in &cube {
+                match engine.assignment().lit_value(lit) {
+                    Value::True => continue, // already propagated
+                    Value::False => {
+                        closed = true;
+                        break;
+                    }
+                    Value::Unassigned => {
+                        engine.decide(lit);
+                        out.decisions += 1;
+                        if engine.propagate().is_some() {
+                            closed = true;
+                            break;
+                        }
+                    }
+                }
+            }
+            if closed {
+                out.refuted.push(Cube { lits: cube });
+                continue;
+            }
+            if engine.assignment().is_complete() {
+                // Propagation completed the assignment: the unique
+                // feasible completion of this prefix.
+                let model = engine.model();
+                debug_assert_eq!(verify_solution(instance, &model), Ok(instance.cost_of(&model)));
+                let cost = instance.cost_of(&model);
+                out.solved.push((Cube { lits: cube }, cost, model));
+                continue;
+            }
+            let var = order
+                .iter()
+                .copied()
+                .find(|&v| engine.assignment().value(v) == Value::Unassigned)
+                .expect("incomplete assignment has an unassigned variable");
+            // Negative phase first, matching the engine's default saved
+            // phase, so worker 0's first cube resembles the sequential
+            // solver's first descent.
+            let mut neg = cube.clone();
+            neg.push(var.negative());
+            let mut pos = cube;
+            pos.push(var.positive());
+            queue.push_back(neg);
+            queue.push_back(pos);
+        }
+        out
+    }
+}
+
+/// Shared work queue of the worker pool: a mutex-protected deque with a
+/// condvar for idle workers and a global abort flag (raised on budget
+/// exhaustion). See the module docs for why this beats work-stealing at
+/// this granularity.
+struct CubeQueue {
+    state: Mutex<QueueState>,
+    ready: Condvar,
+}
+
+struct QueueState {
+    cubes: VecDeque<Cube>,
+    /// Cubes currently being solved by some worker.
+    in_flight: usize,
+    /// Raised when a worker exhausts the budget: remaining cubes are
+    /// abandoned and the solve reports a budget status.
+    aborted: bool,
+}
+
+impl CubeQueue {
+    fn new(cubes: Vec<Cube>) -> CubeQueue {
+        CubeQueue {
+            state: Mutex::new(QueueState { cubes: cubes.into(), in_flight: 0, aborted: false }),
+            ready: Condvar::new(),
+        }
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, QueueState> {
+        self.state.lock().unwrap_or_else(|poisoned| poisoned.into_inner())
+    }
+
+    /// Blocks until a cube is available, every cube is finished, or the
+    /// solve is aborted. `None` means "no more work".
+    fn next(&self) -> Option<Cube> {
+        let mut s = self.lock();
+        loop {
+            if s.aborted {
+                return None;
+            }
+            if let Some(cube) = s.cubes.pop_front() {
+                s.in_flight += 1;
+                return Some(cube);
+            }
+            if s.in_flight == 0 {
+                return None;
+            }
+            // An in-flight sibling may still abort; wait for its verdict.
+            s = self.ready.wait(s).unwrap_or_else(|poisoned| poisoned.into_inner());
+        }
+    }
+
+    /// Reports a finished cube; `abort` abandons the remaining frontier.
+    fn done(&self, abort: bool) {
+        let mut s = self.lock();
+        s.in_flight -= 1;
+        if abort {
+            s.aborted = true;
+        }
+        if s.aborted || (s.cubes.is_empty() && s.in_flight == 0) {
+            self.ready.notify_all();
+        }
+    }
+
+    fn was_aborted(&self) -> bool {
+        self.lock().aborted
+    }
+}
+
+/// Unwind guard for an in-flight cube: a panic between
+/// [`CubeQueue::next`] and [`CubeQueue::done`] would otherwise leave
+/// `in_flight` raised forever — sibling workers would wait on the
+/// condvar for a verdict that never comes, and `thread::scope` would
+/// block on those sleeping siblings instead of propagating the panic.
+/// The guard reports the cube as aborted on drop unless it was defused
+/// by a normal [`InFlight::finish`].
+struct InFlight<'a> {
+    queue: &'a CubeQueue,
+    armed: bool,
+}
+
+impl<'a> InFlight<'a> {
+    fn new(queue: &'a CubeQueue) -> InFlight<'a> {
+        InFlight { queue, armed: true }
+    }
+
+    /// The normal completion path (defuses the guard).
+    fn finish(mut self, abort: bool) {
+        self.armed = false;
+        self.queue.done(abort);
+    }
+}
+
+impl Drop for InFlight<'_> {
+    fn drop(&mut self) {
+        if self.armed {
+            self.queue.done(true);
+        }
+    }
+}
+
+/// Result of one worker's run, merged by the driver at join. The
+/// worker's node count is `stats.decisions`.
+struct SubtreeResult {
+    /// Effort counters summed over every cube this worker solved.
+    stats: SolverStats,
+    /// Whether every cube this worker took was closed (subtree
+    /// exhausted); `false` means a budget ran out mid-cube.
+    all_closed: bool,
+}
+
+/// Parallel exact branch-and-bound: N cube workers racing over a shared
+/// incumbent cell.
+///
+/// With `threads == 1` this is exactly [`Bsolo`] (delegated, so the
+/// sequential trajectory — optimum, node count, every stat — is
+/// bit-identical). With more threads the root is split into cubes and
+/// solved by a worker pool; the optimum and its proof are unchanged,
+/// node counts become timing-dependent.
+///
+/// # Examples
+///
+/// ```
+/// use pbo_core::InstanceBuilder;
+/// use pbo_solver::{BsoloOptions, LbMethod, ParBsolo};
+///
+/// let mut b = InstanceBuilder::new();
+/// let v = b.new_vars(3);
+/// b.add_clause([v[0].positive(), v[1].positive()]);
+/// b.add_clause([v[1].positive(), v[2].positive()]);
+/// b.minimize([(2, v[0].positive()), (3, v[1].positive()), (2, v[2].positive())]);
+/// let inst = b.build()?;
+///
+/// let result = ParBsolo::new(BsoloOptions::with_lb(LbMethod::Mis), 2).solve(&inst);
+/// assert!(result.is_optimal());
+/// assert_eq!(result.best_cost, Some(3));
+/// # Ok::<(), pbo_core::BuildError>(())
+/// ```
+#[derive(Clone, Debug)]
+pub struct ParBsolo {
+    options: BsoloOptions,
+    threads: usize,
+}
+
+impl ParBsolo {
+    /// Creates a parallel solver with `threads` exact workers (clamped
+    /// to at least 1).
+    pub fn new(options: BsoloOptions, threads: usize) -> ParBsolo {
+        ParBsolo { options, threads: threads.max(1) }
+    }
+
+    /// The active configuration.
+    pub fn options(&self) -> &BsoloOptions {
+        &self.options
+    }
+
+    /// Number of exact workers.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Solves `instance` with a private incumbent cell.
+    pub fn solve(&self, instance: &Instance) -> SolveResult {
+        self.solve_with_cell(instance, None)
+    }
+
+    /// Like [`ParBsolo::solve`], but exchanging incumbents through a
+    /// caller-owned cell (the portfolio hook). Wall-clock budgets apply
+    /// to the whole solve; conflict/decision budgets apply per subtree
+    /// task.
+    pub fn solve_with_cell(
+        &self,
+        instance: &Instance,
+        cell: Option<&IncumbentCell>,
+    ) -> SolveResult {
+        if self.threads == 1 {
+            let mut result = Bsolo::new(self.options.clone()).solve_with_cell(instance, cell);
+            result.stats.nodes_per_worker = vec![result.stats.decisions];
+            return result;
+        }
+        let start = Instant::now();
+        // Simplify once; the workers all borrow the simplified instance
+        // (and its shared arena). Covering-style simplification preserves
+        // the variable space and the exact feasible set, so models and
+        // costs transfer 1:1 across the cell.
+        let simplified;
+        let inst: &Instance = if self.options.simplify {
+            simplified = crate::preprocess::simplify(instance);
+            &simplified
+        } else {
+            instance
+        };
+        let mut worker_options = self.options.clone();
+        worker_options.simplify = false;
+        let owned_cell;
+        let cell: &IncumbentCell = match cell {
+            Some(c) => c,
+            None => {
+                owned_cell = IncumbentCell::new();
+                &owned_cell
+            }
+        };
+
+        let mut stats = SolverStats::default();
+        // Head start: one decision-bounded sequential prefix. Finding
+        // the *first* incumbent is the one phase cube workers would
+        // otherwise duplicate per cube (no upper bound, no cost cuts, no
+        // pruning) — running it once at the root and publishing the
+        // incumbent lets every worker bound against a real upper from
+        // node one; its learned clauses (implied by instance + the
+        // published incumbent's cost cut — see `SearchState::init`) seed
+        // every worker's clause database, so the workers inherit the
+        // head's conflict knowledge instead of each re-deriving it. The
+        // head's nodes count into the solve's total, so the
+        // sequential-vs-parallel node accounting stays honest.
+        // The head's own caps never exceed the caller's budget (a
+        // caller-level conflict or decision limit binds the head too).
+        let cap = |own: u64, caller: Option<u64>| Some(caller.map_or(own, |c| c.min(own)));
+        let head_budget = crate::options::Budget {
+            decisions: cap(8 * inst.num_vars() as u64, self.options.budget.decisions),
+            conflicts: cap(HEAD_CONFLICTS, self.options.budget.conflicts),
+            time: self.options.budget.time.map(|t| t.saturating_sub(start.elapsed())),
+        };
+        let mut head_options = worker_options.clone();
+        head_options.budget = head_budget;
+        let (head_status, head_result, seed) =
+            match SearchState::init(inst, &head_options, Some(cell), start, &mut stats, &[], &[]) {
+                Ok(mut search) => {
+                    let status = search.run(start, &mut stats);
+                    search.finish_stats(&mut stats);
+                    let seed = search.export_learnts(HEAD_SEED_MAX_LEN, HEAD_SEED_MAX_COUNT);
+                    (status, cell.snapshot(), seed)
+                }
+                Err(()) => (SolveStatus::Infeasible, None, Vec::new()),
+            };
+        if matches!(head_status, SolveStatus::Optimal | SolveStatus::Infeasible) {
+            // The head start already finished the proof (small instance
+            // or a root-contradictory cost cut): no need to go parallel.
+            // One serial line of execution did all the nodes; the other
+            // worker slots report zero.
+            stats.nodes_per_worker = vec![0; self.threads];
+            stats.nodes_per_worker[0] = stats.decisions;
+            stats.solve_time = start.elapsed();
+            if let Some((at, _)) = cell.history_since(start).last() {
+                stats.time_to_best = *at;
+            }
+            let verified =
+                head_result.filter(|(cost, model)| verify_solution(inst, model) == Ok(*cost));
+            let (best_cost, best_assignment) = match verified {
+                Some((c, m)) => (Some(c), Some(m)),
+                None => (None, None),
+            };
+            return SolveResult { status: head_status, best_cost, best_assignment, stats };
+        }
+        let head_nodes = stats.decisions;
+        let split = CubeSplitter::split(inst, self.threads * CUBES_PER_WORKER);
+        stats.decisions = head_nodes + split.decisions;
+        if split.root_unsat {
+            stats.solve_time = start.elapsed();
+            stats.nodes_per_worker = vec![0; self.threads];
+            return SolveResult {
+                status: SolveStatus::Infeasible,
+                best_cost: None,
+                best_assignment: None,
+                stats,
+            };
+        }
+        // Solutions found by propagation during splitting seed the cell.
+        for (_, cost, model) in &split.solved {
+            if verify_solution(inst, model) == Ok(*cost) && cell.offer(*cost, model) {
+                stats.solutions_found += 1;
+            }
+        }
+
+        let queue = CubeQueue::new(split.open);
+        let outcomes: Vec<SubtreeResult> = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..self.threads)
+                .map(|_| {
+                    let queue = &queue;
+                    let worker_options = &worker_options;
+                    let seed = &seed;
+                    scope.spawn(move || run_worker(inst, worker_options, cell, queue, start, seed))
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().expect("B&B worker panicked")).collect()
+        });
+
+        let mut nodes_per_worker = Vec::with_capacity(outcomes.len());
+        let mut all_closed = !queue.was_aborted();
+        for o in &outcomes {
+            stats.absorb(&o.stats);
+            nodes_per_worker.push(o.stats.decisions);
+            all_closed &= o.all_closed;
+        }
+        stats.nodes_per_worker = nodes_per_worker;
+
+        // The global best lives in the cell; re-verify on the way out
+        // (producers already verified, but the cell stores — it does not
+        // vouch).
+        let best =
+            cell.snapshot().filter(|(cost, model)| verify_solution(inst, model) == Ok(*cost));
+        if let Some((at, _)) = cell.history_since(start).last() {
+            stats.time_to_best = *at;
+        }
+        let status = match (&best, all_closed) {
+            (Some(_), true) => SolveStatus::Optimal,
+            (None, true) => SolveStatus::Infeasible,
+            (Some(_), false) => SolveStatus::Feasible,
+            (None, false) => SolveStatus::Unknown,
+        };
+        stats.solve_time = start.elapsed();
+        let (best_cost, best_assignment) = match best {
+            Some((c, m)) => (Some(c), Some(m)),
+            None => (None, None),
+        };
+        SolveResult { status, best_cost, best_assignment, stats }
+    }
+}
+
+/// One worker: pull cubes until the frontier drains or the solve
+/// aborts, solving each with a private engine + pipeline rooted in the
+/// cube.
+fn run_worker(
+    instance: &Instance,
+    options: &BsoloOptions,
+    cell: &IncumbentCell,
+    queue: &CubeQueue,
+    start: Instant,
+    seed: &[Vec<Lit>],
+) -> SubtreeResult {
+    let mut total = SolverStats::default();
+    let mut all_closed = true;
+    while let Some(cube) = queue.next() {
+        let in_flight = InFlight::new(queue);
+        let mut stats = SolverStats::default();
+        let status = solve_cube(instance, options, cell, start, &cube, seed, &mut stats);
+        total.absorb(&stats);
+        let closed = matches!(status, SolveStatus::Optimal | SolveStatus::Infeasible);
+        in_flight.finish(!closed);
+        if !closed {
+            all_closed = false;
+            break;
+        }
+    }
+    SubtreeResult { stats: total, all_closed }
+}
+
+/// Solves one subtree task to exhaustion (or budget): the sequential
+/// search loop, rooted in `cube` and seeded with the head start's
+/// learned clauses, publishing incumbents to (and adopting from) the
+/// shared cell.
+fn solve_cube(
+    instance: &Instance,
+    options: &BsoloOptions,
+    cell: &IncumbentCell,
+    start: Instant,
+    cube: &Cube,
+    seed: &[Vec<Lit>],
+    stats: &mut SolverStats,
+) -> SolveStatus {
+    match SearchState::init(instance, options, Some(cell), start, stats, &cube.lits, seed) {
+        Ok(mut search) => {
+            let status = search.run(start, stats);
+            search.finish_stats(stats);
+            status
+        }
+        // The cube is closed by root propagation (possibly through a
+        // head-seeded, incumbent-conditional clause — in which case the
+        // incumbent justifying it is already in the cell): an exhausted,
+        // empty subtree.
+        Err(()) => SolveStatus::Infeasible,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::options::{Budget, LbMethod};
+    use pbo_core::{brute_force, InstanceBuilder};
+    use rand::{Rng, SeedableRng};
+    use rand_chacha::ChaCha8Rng;
+
+    fn random_instance(rng: &mut ChaCha8Rng, n_max: usize) -> Instance {
+        let n = rng.gen_range(3..=n_max);
+        let mut b = InstanceBuilder::new();
+        let vars = b.new_vars(n);
+        for _ in 0..rng.gen_range(2..9) {
+            let k = rng.gen_range(1..=3.min(n));
+            let mut idxs: Vec<usize> = (0..n).collect();
+            for i in 0..k {
+                let j = rng.gen_range(i..n);
+                idxs.swap(i, j);
+            }
+            let terms: Vec<(i64, Lit)> = idxs[..k]
+                .iter()
+                .map(|&i| (rng.gen_range(1..4), vars[i].lit(rng.gen_bool(0.75))))
+                .collect();
+            let maxw: i64 = terms.iter().map(|t| t.0).sum();
+            b.add_linear(terms, pbo_core::RelOp::Ge, rng.gen_range(1..=maxw));
+        }
+        if rng.gen_bool(0.9) {
+            b.minimize(vars.iter().map(|v| (rng.gen_range(0..6), v.lit(rng.gen_bool(0.85)))));
+        }
+        b.build().unwrap()
+    }
+
+    /// A cube matches an assignment when every cube literal is true
+    /// under it.
+    fn matches(cube: &Cube, assignment: &[bool]) -> bool {
+        cube.lits.iter().all(|l| assignment[l.var().index()] == l.is_positive())
+    }
+
+    #[test]
+    fn cube_split_partitions_the_assignment_space() {
+        // The PR-5 soundness property: open cubes, refuted leaves and
+        // solved leaves together cover the root exactly — every complete
+        // assignment matches exactly one leaf — leaves are pairwise
+        // disjoint, refuted leaves contain no feasible assignment, and a
+        // solved leaf's only feasible completion is its recorded model.
+        let mut rng = ChaCha8Rng::seed_from_u64(0xc0be);
+        for round in 0..25 {
+            let inst = random_instance(&mut rng, 8);
+            let target = [1usize, 2, 5, 8][round % 4];
+            let split = CubeSplitter::split_to_depth(&inst, target, 6);
+            if split.root_unsat {
+                assert_eq!(brute_force(&inst).cost(), None, "round {round}: UNSAT claim");
+                continue;
+            }
+            let mut leaves: Vec<(&Cube, &str)> = Vec::new();
+            leaves.extend(split.open.iter().map(|c| (c, "open")));
+            leaves.extend(split.refuted.iter().map(|c| (c, "refuted")));
+            leaves.extend(split.solved.iter().map(|(c, _, _)| (c, "solved")));
+            // Pairwise disjoint: two leaves always disagree on some
+            // shared variable (prefix-tree siblings carry complementary
+            // literals).
+            for (i, (a, _)) in leaves.iter().enumerate() {
+                for (b, _) in &leaves[i + 1..] {
+                    let disjoint = a.lits.iter().any(|la| b.lits.contains(&!*la));
+                    assert!(disjoint, "round {round}: overlapping leaves {a:?} / {b:?}");
+                }
+            }
+            // Exact cover, by enumeration.
+            let n = inst.num_vars();
+            for bits in 0..(1u32 << n) {
+                let assignment: Vec<bool> = (0..n).map(|v| bits & (1 << v) != 0).collect();
+                let hits: Vec<&str> = leaves
+                    .iter()
+                    .filter(|(c, _)| matches(c, &assignment))
+                    .map(|&(_, kind)| kind)
+                    .collect();
+                assert_eq!(hits.len(), 1, "round {round}: assignment {bits:b} in {hits:?}");
+                let feasible = inst.is_feasible(&assignment);
+                match hits[0] {
+                    "refuted" => {
+                        assert!(!feasible, "round {round}: feasible assignment in refuted leaf")
+                    }
+                    "solved" if feasible => {
+                        let (_, cost, model) =
+                            split.solved.iter().find(|(c, _, _)| matches(c, &assignment)).unwrap();
+                        assert_eq!(&assignment, model, "round {round}");
+                        assert_eq!(inst.cost_of(&assignment), *cost, "round {round}");
+                    }
+                    _ => {}
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn split_is_deterministic() {
+        let mut rng = ChaCha8Rng::seed_from_u64(7);
+        let inst = random_instance(&mut rng, 9);
+        let a = CubeSplitter::split(&inst, 8);
+        let b = CubeSplitter::split(&inst, 8);
+        assert_eq!(a.open, b.open);
+        assert_eq!(a.refuted, b.refuted);
+        assert_eq!(a.decisions, b.decisions);
+    }
+
+    #[test]
+    fn parallel_solver_matches_brute_force() {
+        let mut rng = ChaCha8Rng::seed_from_u64(0x9a8);
+        for round in 0..30 {
+            let inst = random_instance(&mut rng, 9);
+            let expected = brute_force(&inst);
+            for threads in [2usize, 4] {
+                let got = ParBsolo::new(BsoloOptions::with_lb(LbMethod::Mis), threads).solve(&inst);
+                match expected.cost() {
+                    Some(opt) => {
+                        assert_eq!(
+                            got.status,
+                            SolveStatus::Optimal,
+                            "round {round} x{threads}: expected optimal"
+                        );
+                        assert_eq!(got.best_cost, Some(opt), "round {round} x{threads}");
+                        let model = got.best_assignment.as_ref().expect("model");
+                        assert_eq!(verify_solution(&inst, model), Ok(opt));
+                    }
+                    None => {
+                        assert_eq!(
+                            got.status,
+                            SolveStatus::Infeasible,
+                            "round {round} x{threads}: expected infeasible"
+                        );
+                    }
+                }
+                assert_eq!(got.stats.nodes_per_worker.len(), threads);
+            }
+        }
+    }
+
+    #[test]
+    fn single_thread_is_bit_identical_to_sequential() {
+        let mut rng = ChaCha8Rng::seed_from_u64(0x1b17);
+        for round in 0..20 {
+            let inst = random_instance(&mut rng, 9);
+            for lb in [LbMethod::Mis, LbMethod::Lpr] {
+                let seq = Bsolo::new(BsoloOptions::with_lb(lb)).solve(&inst);
+                let par = ParBsolo::new(BsoloOptions::with_lb(lb), 1).solve(&inst);
+                let label = format!("{lb:?} round {round}");
+                assert_eq!(par.status, seq.status, "{label}: status");
+                assert_eq!(par.best_cost, seq.best_cost, "{label}: cost");
+                assert_eq!(par.best_assignment, seq.best_assignment, "{label}: model");
+                assert_eq!(par.stats.decisions, seq.stats.decisions, "{label}: decisions");
+                assert_eq!(par.stats.conflicts, seq.stats.conflicts, "{label}: conflicts");
+                assert_eq!(par.stats.propagations, seq.stats.propagations, "{label}: propagations");
+                assert_eq!(par.stats.lb_calls, seq.stats.lb_calls, "{label}: lb calls");
+                assert_eq!(
+                    par.stats.bound_conflicts, seq.stats.bound_conflicts,
+                    "{label}: bound conflicts"
+                );
+                assert_eq!(
+                    par.stats.lb_margin_sum, seq.stats.lb_margin_sum,
+                    "{label}: bound strength"
+                );
+                assert_eq!(par.stats.restarts, seq.stats.restarts, "{label}: restarts");
+                assert_eq!(
+                    par.stats.backjump_levels, seq.stats.backjump_levels,
+                    "{label}: backjumps"
+                );
+                assert_eq!(
+                    par.stats.solutions_found, seq.stats.solutions_found,
+                    "{label}: solutions"
+                );
+                assert_eq!(par.stats.nodes_per_worker, vec![seq.stats.decisions], "{label}");
+            }
+        }
+    }
+
+    #[test]
+    fn budget_exhaustion_degrades_not_lies() {
+        // A zero-decision budget with several threads: the solve must
+        // come back Unknown or Feasible, never a fabricated Optimal.
+        let mut rng = ChaCha8Rng::seed_from_u64(0xbadbed);
+        let n = 16;
+        let mut b = InstanceBuilder::new();
+        let vars = b.new_vars(n);
+        for i in 0..n {
+            b.add_clause([
+                vars[i].positive(),
+                vars[(i + 3) % n].positive(),
+                vars[(i + 7) % n].positive(),
+            ]);
+        }
+        b.minimize(vars.iter().map(|v| (rng.gen_range(1..9), v.positive())));
+        let inst = b.build().unwrap();
+        let options = BsoloOptions::with_lb(LbMethod::Mis)
+            .budget(Budget { conflicts: Some(1), ..Budget::default() });
+        let got = ParBsolo::new(options, 3).solve(&inst);
+        assert!(
+            matches!(got.status, SolveStatus::Feasible | SolveStatus::Unknown),
+            "budget run must degrade: {:?}",
+            got.status
+        );
+        if let (Some(cost), Some(model)) = (got.best_cost, got.best_assignment.as_ref()) {
+            assert_eq!(verify_solution(&inst, model), Ok(cost));
+        }
+    }
+
+    #[test]
+    fn satisfaction_instances_solve_in_parallel() {
+        let mut rng = ChaCha8Rng::seed_from_u64(0x5a7);
+        for round in 0..15 {
+            let n = rng.gen_range(4..9);
+            let mut b = InstanceBuilder::new();
+            let vars = b.new_vars(n);
+            for _ in 0..rng.gen_range(3..9) {
+                let k = rng.gen_range(2..=3.min(n));
+                let mut idxs: Vec<usize> = (0..n).collect();
+                for i in 0..k {
+                    let j = rng.gen_range(i..n);
+                    idxs.swap(i, j);
+                }
+                b.add_at_least(
+                    rng.gen_range(1..=k as i64),
+                    idxs[..k].iter().map(|&i| vars[i].lit(rng.gen_bool(0.6))),
+                );
+            }
+            let inst = b.build().unwrap();
+            let sat = brute_force(&inst).cost().is_some();
+            let got = ParBsolo::new(BsoloOptions::with_lb(LbMethod::Lpr), 2).solve(&inst);
+            if sat {
+                assert_eq!(got.status, SolveStatus::Optimal, "round {round}: expected SAT");
+                assert!(inst.is_feasible(got.best_assignment.as_ref().unwrap()));
+            } else {
+                assert_eq!(got.status, SolveStatus::Infeasible, "round {round}: expected UNSAT");
+            }
+        }
+    }
+}

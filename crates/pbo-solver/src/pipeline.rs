@@ -148,8 +148,12 @@ impl BoundPipeline {
             residual,
             residual_obs,
             lpr_obs,
-            rows: DynamicRows::new(),
-            method_rows: DynamicRows::new(),
+            // Both registries carry the instance's objective costs so
+            // every pushed row's fractional-cover order is precomputed
+            // at push time (no per-bound-call sorting, and worker-local
+            // region swaps clone the order along with the terms).
+            rows: DynamicRows::for_instance(instance),
+            method_rows: DynamicRows::for_instance(instance),
             lgr_zero_mu: Vec::new(),
             last_cuts: Vec::new(),
             out: LbOutcome::bound(0, Vec::new()),

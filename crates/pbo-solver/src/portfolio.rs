@@ -43,8 +43,8 @@ pub use pbo_ls::{
     PoolResult, SharedCut,
 };
 
-use crate::bsolo::Bsolo;
 use crate::options::{BsoloOptions, SolveStrategy};
+use crate::par::ParBsolo;
 use crate::result::SolveResult;
 
 /// LS steps per chunk between stop-flag/cell checks in concurrent mode.
@@ -84,6 +84,15 @@ pub struct PortfolioOptions {
     /// is shared read-only, so extra workers cost per-worker counters
     /// only. Ignored by the other strategies.
     pub ls_threads: usize,
+    /// Number of exact branch-and-bound workers (default 1 = the
+    /// sequential solver, bit-identical to [`crate::Bsolo`]). With more
+    /// workers the exact side runs as [`crate::ParBsolo`]: the root is
+    /// split into cubes and solved by a pool sharing the instance's
+    /// read-only term arena, incumbents and cost cuts flowing through
+    /// the cell. Applies to every strategy — `Exact` becomes pure
+    /// parallel B&B, `Concurrent` races `ls_threads` LS workers *and*
+    /// `bb_threads` exact workers against one cell.
+    pub bb_threads: usize,
 }
 
 impl Default for PortfolioOptions {
@@ -94,6 +103,7 @@ impl Default for PortfolioOptions {
             ls: LsOptions::default(),
             ls_stagnation_steps: 3 * SEED_CHUNK_STEPS,
             ls_threads: 1,
+            bb_threads: 1,
         }
     }
 }
@@ -152,9 +162,7 @@ impl Portfolio {
     pub fn solve_with_cell(&self, instance: &Instance, cell: &IncumbentCell) -> SolveResult {
         let start = Instant::now();
         let mut result = match self.options.strategy {
-            SolveStrategy::Exact => {
-                Bsolo::new(self.options.bsolo.clone()).solve_with_cell(instance, Some(cell))
-            }
+            SolveStrategy::Exact => self.exact_solver().solve_with_cell(instance, Some(cell)),
             SolveStrategy::LsSeeded => self.solve_ls_seeded(instance, cell, start),
             SolveStrategy::Concurrent => self.solve_concurrent(instance, cell),
         };
@@ -179,6 +187,13 @@ impl Portfolio {
             result.stats.time_to_best = *at;
         }
         result
+    }
+
+    /// The exact side of every strategy: sequential bsolo for
+    /// `bb_threads == 1` (bit-identical to [`crate::Bsolo`], by
+    /// delegation), the cube-split worker pool otherwise.
+    fn exact_solver(&self) -> ParBsolo {
+        ParBsolo::new(self.options.bsolo.clone(), self.options.bb_threads.max(1))
     }
 
     /// Sequential mode: a bounded LS phase, then B&B on what's left of
@@ -232,13 +247,15 @@ impl Portfolio {
             bsolo_options.budget.time =
                 Some(t.saturating_sub(start.elapsed()).max(Duration::from_millis(1)));
         }
-        Bsolo::new(bsolo_options).solve_with_cell(instance, Some(cell))
+        ParBsolo::new(bsolo_options, self.options.bb_threads.max(1))
+            .solve_with_cell(instance, Some(cell))
     }
 
-    /// Concurrent mode: a pool of diversified LS workers races the B&B
-    /// until the exact side finishes. Incumbents and the cut pool flow
-    /// through the shared cell; the workers share the instance's
-    /// read-only term arena.
+    /// Concurrent mode: a pool of diversified LS workers races the exact
+    /// side — sequential bsolo, or the `bb_threads`-strong cube-split
+    /// pool — until the exact side finishes. Incumbents and the cut pool
+    /// flow through the shared cell; every worker on both sides shares
+    /// the instance's read-only term arena.
     fn solve_concurrent(&self, instance: &Instance, cell: &IncumbentCell) -> SolveResult {
         let stop = AtomicBool::new(false);
         let workers = self.options.ls_threads.max(1);
@@ -253,8 +270,7 @@ impl Portfolio {
                     &stop,
                 )
             });
-            let result =
-                Bsolo::new(self.options.bsolo.clone()).solve_with_cell(instance, Some(cell));
+            let result = self.exact_solver().solve_with_cell(instance, Some(cell));
             stop.store(true, Ordering::Relaxed);
             let _stats = ls_handle.join().expect("local-search pool panicked");
             result
@@ -265,6 +281,7 @@ impl Portfolio {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::bsolo::Bsolo;
     use crate::options::Budget;
     use pbo_core::{brute_force, InstanceBuilder};
 

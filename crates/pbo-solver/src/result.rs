@@ -69,6 +69,36 @@ pub struct SolverStats {
     pub lp_iterations: u64,
     /// Branch-and-bound nodes (MILP only).
     pub nodes: u64,
+    /// Nodes (decisions) explored by each exact worker of a parallel
+    /// solve, merged at join (see [`crate::ParBsolo`]). Empty for plain
+    /// sequential solves; a single-element vector equal to
+    /// [`SolverStats::decisions`] when a parallel driver ran with one
+    /// worker.
+    pub nodes_per_worker: Vec<u64>,
+}
+
+impl SolverStats {
+    /// Folds another worker's counters into this one (the parallel
+    /// driver's join step): effort counters are summed — including the
+    /// wall-clock effort spent *inside* the bound machinery, which
+    /// therefore reads as CPU time, not elapsed time, for parallel
+    /// solves — while `solve_time` and `time_to_best` are left to the
+    /// driver.
+    pub fn absorb(&mut self, other: &SolverStats) {
+        self.decisions += other.decisions;
+        self.conflicts += other.conflicts;
+        self.bound_conflicts += other.bound_conflicts;
+        self.lb_calls += other.lb_calls;
+        self.lb_margin_sum += other.lb_margin_sum;
+        self.lb_time += other.lb_time;
+        self.sub_time += other.sub_time;
+        self.propagations += other.propagations;
+        self.restarts += other.restarts;
+        self.solutions_found += other.solutions_found;
+        self.backjump_levels += other.backjump_levels;
+        self.lp_iterations += other.lp_iterations;
+        self.nodes += other.nodes;
+    }
 }
 
 /// Result of a solve: status, incumbent and statistics.

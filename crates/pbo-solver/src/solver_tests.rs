@@ -456,6 +456,104 @@ fn aggressive_restarts_preserve_correctness_and_fire() {
     assert!(got.stats.restarts > 0, "base-2 Luby restarts must fire: {:?}", got.stats);
 }
 
+/// Small synthesis-family instances (the paper's covering shape), sized
+/// so the {1, 2, 4}-worker matrix stays fast.
+fn synthesis_seeds(seeds: u64) -> Vec<Instance> {
+    (0..seeds)
+        .map(|s| {
+            pbo_benchgen::SynthesisParams {
+                primes: 24,
+                minterms: 40,
+                cover_density: 3.0,
+                exclusions: 4,
+                ..pbo_benchgen::SynthesisParams::default()
+            }
+            .generate(s)
+        })
+        .collect()
+}
+
+#[test]
+fn parallel_workers_agree_on_every_synthesis_seed() {
+    // PR-5 parity gate: bb_threads ∈ {1, 2, 4} must all return the same
+    // verified optimum on every synthesis seed; the single-worker run is
+    // the sequential solver by delegation, so it doubles as the
+    // reference.
+    for (seed, inst) in synthesis_seeds(4).into_iter().enumerate() {
+        let reference = crate::ParBsolo::new(BsoloOptions::with_lb(LbMethod::Mis), 1).solve(&inst);
+        assert!(reference.is_optimal(), "seed {seed}: reference must solve");
+        let opt = reference.best_cost.expect("synthesis instances are feasible");
+        for threads in [2usize, 4] {
+            let got =
+                crate::ParBsolo::new(BsoloOptions::with_lb(LbMethod::Mis), threads).solve(&inst);
+            assert!(got.is_optimal(), "seed {seed} x{threads}: must prove optimality");
+            assert_eq!(got.best_cost, Some(opt), "seed {seed} x{threads}: optimum mismatch");
+            let model = got.best_assignment.as_ref().expect("model present");
+            assert_eq!(pbo_core::verify_solution(&inst, model), Ok(opt), "seed {seed}");
+            assert_eq!(got.stats.nodes_per_worker.len(), threads, "seed {seed}");
+            // The solve's node total is the workers' nodes plus the
+            // splitter's lookahead decisions.
+            assert!(
+                got.stats.nodes_per_worker.iter().sum::<u64>() <= got.stats.decisions,
+                "seed {seed} x{threads}: per-worker nodes exceed the total"
+            );
+        }
+    }
+}
+
+#[test]
+fn every_strategy_agrees_under_parallel_exact_search() {
+    // All SolveStrategy variants with bb_threads = 2 find the verified
+    // optimum (the cube pool replaces the sequential exact side in every
+    // strategy).
+    use crate::{Portfolio, PortfolioOptions, SolveStrategy};
+    for (seed, inst) in synthesis_seeds(2).into_iter().enumerate() {
+        let expected = Bsolo::with_lb(LbMethod::Mis).solve(&inst);
+        assert!(expected.is_optimal());
+        for strategy in [SolveStrategy::Exact, SolveStrategy::LsSeeded, SolveStrategy::Concurrent] {
+            let options = PortfolioOptions {
+                strategy,
+                bsolo: BsoloOptions::with_lb(LbMethod::Mis),
+                bb_threads: 2,
+                ..PortfolioOptions::default()
+            };
+            let got = Portfolio::new(options).solve(&inst);
+            assert!(got.is_optimal(), "seed {seed} {strategy:?}: must prove optimality");
+            assert_eq!(got.best_cost, expected.best_cost, "seed {seed} {strategy:?}");
+            let model = got.best_assignment.as_ref().expect("model present");
+            assert_eq!(
+                pbo_core::verify_solution(&inst, model),
+                Ok(expected.best_cost.unwrap()),
+                "seed {seed} {strategy:?}"
+            );
+        }
+    }
+}
+
+#[test]
+fn single_worker_portfolio_stats_are_bit_identical_on_synthesis() {
+    // The bb_threads = 1 path delegates to the sequential solver; every
+    // effort counter must match, not just the optimum.
+    for (seed, inst) in synthesis_seeds(2).into_iter().enumerate() {
+        let seq = Bsolo::with_lb(LbMethod::Mis).solve(&inst);
+        let par = crate::ParBsolo::new(BsoloOptions::with_lb(LbMethod::Mis), 1).solve(&inst);
+        let label = format!("seed {seed}");
+        assert_eq!(par.status, seq.status, "{label}: status");
+        assert_eq!(par.best_cost, seq.best_cost, "{label}: cost");
+        assert_eq!(par.best_assignment, seq.best_assignment, "{label}: model");
+        assert_eq!(par.stats.decisions, seq.stats.decisions, "{label}: decisions");
+        assert_eq!(par.stats.conflicts, seq.stats.conflicts, "{label}: conflicts");
+        assert_eq!(par.stats.propagations, seq.stats.propagations, "{label}: propagations");
+        assert_eq!(par.stats.lb_calls, seq.stats.lb_calls, "{label}: lb calls");
+        assert_eq!(par.stats.bound_conflicts, seq.stats.bound_conflicts, "{label}: prunings");
+        assert_eq!(par.stats.lb_margin_sum, seq.stats.lb_margin_sum, "{label}: margins");
+        assert_eq!(par.stats.restarts, seq.stats.restarts, "{label}: restarts");
+        assert_eq!(par.stats.backjump_levels, seq.stats.backjump_levels, "{label}: backjumps");
+        assert_eq!(par.stats.solutions_found, seq.stats.solutions_found, "{label}: solutions");
+        assert_eq!(par.stats.nodes_per_worker, vec![seq.stats.decisions], "{label}: per-worker");
+    }
+}
+
 #[test]
 fn disabling_restarts_is_supported() {
     let mut rng = ChaCha8Rng::seed_from_u64(0x9d1e);

@@ -2,7 +2,7 @@
 //!
 //! ```text
 //! pbo-solve [--lb plain|mis|lgr|lpr] [--strategy exact|ls-seeded|concurrent]
-//!           [--ls-threads N] [--timeout-ms N] [--stats] <file.opb>
+//!           [--ls-threads N] [--bb-threads N] [--timeout-ms N] [--stats] <file.opb>
 //! cargo run --release --bin pbo-solve -- --strategy ls-seeded instance.opb
 //! ```
 //!
@@ -13,6 +13,12 @@
 //! `--ls-threads N` (concurrent mode) races a ParLS-style pool of N
 //! diversified local-search workers — per-worker seeds are derived
 //! deterministically from the base seed — against the exact solver.
+//! `--bb-threads N` runs the exact side as a cube-split parallel
+//! branch-and-bound: the root is split into decision-literal cubes and
+//! N workers solve the subtrees over the shared term arena, racing
+//! incumbents (and eq. 10–13 cost cuts) through the shared cell; with
+//! `--strategy exact` this is pure parallel B&B, and `--bb-threads 1`
+//! (the default) is bit-identical to the sequential solver.
 //!
 //! Output follows the pseudo-Boolean competition conventions:
 //! `s OPTIMUM FOUND` / `s SATISFIABLE` / `s UNSATISFIABLE` /
@@ -30,7 +36,7 @@ use pbo::{
 fn usage() -> ! {
     eprintln!(
         "usage: pbo-solve [--lb plain|mis|lgr|lpr] [--strategy exact|ls-seeded|concurrent] \
-         [--ls-threads N] [--timeout-ms N] [--stats] <file.opb>"
+         [--ls-threads N] [--bb-threads N] [--timeout-ms N] [--stats] <file.opb>"
     );
     std::process::exit(2);
 }
@@ -39,6 +45,7 @@ fn main() -> ExitCode {
     let mut lb = LbMethod::Lpr;
     let mut strategy = SolveStrategy::Exact;
     let mut ls_threads = 1usize;
+    let mut bb_threads = 1usize;
     let mut timeout: Option<u64> = None;
     let mut stats = false;
     let mut path: Option<String> = None;
@@ -47,6 +54,13 @@ fn main() -> ExitCode {
         match arg.as_str() {
             "--ls-threads" => {
                 ls_threads = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .filter(|&n| n >= 1)
+                    .unwrap_or_else(|| usage())
+            }
+            "--bb-threads" => {
+                bb_threads = args
                     .next()
                     .and_then(|v| v.parse().ok())
                     .filter(|&n| n >= 1)
@@ -94,23 +108,25 @@ fn main() -> ExitCode {
         }
     };
     println!(
-        "c {} vars, {} constraints, lb={}, strategy={}",
+        "c {} vars, {} constraints, lb={}, strategy={}{}",
         instance.num_vars(),
         instance.num_constraints(),
         lb.name(),
-        strategy.name()
+        strategy.name(),
+        if bb_threads > 1 { format!(", bb-threads={bb_threads}") } else { String::new() }
     );
     let mut options = BsoloOptions::with_lb(lb);
     if let Some(ms) = timeout {
         options = options.budget(Budget::time_limit(Duration::from_millis(ms)));
     }
-    let result = if strategy == SolveStrategy::Exact {
+    let result = if strategy == SolveStrategy::Exact && bb_threads == 1 {
         solve_with(&instance, options)
     } else {
         let portfolio = PortfolioOptions {
             strategy,
             bsolo: options,
             ls_threads,
+            bb_threads,
             ..PortfolioOptions::default()
         };
         Portfolio::new(portfolio).solve(&instance)
@@ -150,6 +166,10 @@ fn main() -> ExitCode {
             s.lb_time.as_secs_f64(),
             s.solve_time.as_secs_f64()
         );
+        if s.nodes_per_worker.len() > 1 {
+            let per: Vec<String> = s.nodes_per_worker.iter().map(u64::to_string).collect();
+            println!("c nodes_per_worker={}", per.join(","));
+        }
     }
     ExitCode::SUCCESS
 }
