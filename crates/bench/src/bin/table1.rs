@@ -188,39 +188,52 @@ fn main() {
         parls_summary.pool_never_worse,
     );
 
-    // Parallel-exact probe: the cube-split pool vs the sequential solver
-    // on the two hardest synthesis seeds — ranked by sequential tree
-    // size over a wider seed pool, because parallel search only pays off
-    // on trees worth splitting (see `run_par_bb_probe`).
-    const PAR_BB_WORKERS: usize = 4;
+    // Parallel-exact scaling probe: the cube-split pool at 1/2/4/8
+    // workers on the two hardest synthesis seeds — ranked by sequential
+    // tree size over a wider seed pool, because parallel search only
+    // pays off on trees worth splitting (see `run_par_bb_probe`).
+    const PAR_BB_WORKERS: &[usize] = &[1, 2, 4, 8];
     const PAR_BB_POOL_SEEDS: u64 = 8;
     let par_bb_pool = family_instances("synthesis", PAR_BB_POOL_SEEDS);
-    // 40x the per-cell budget: the probe must let both sides *finish*
+    // 40x the per-cell budget: the probe must let every run *finish*
     // (MIS proves optimality on every pool seed in roughly a second) —
     // the gate is about proven optima and complete trees, not budget
     // truncation.
     let par_bb = run_par_bb_probe(&par_bb_pool, budget_ms(40 * timeout_ms), PAR_BB_WORKERS, 2);
-    let par_bb_summary = summarize_par_bb(&par_bb, PAR_BB_WORKERS);
+    let par_bb_summary = summarize_par_bb(&par_bb);
     println!();
-    println!("== par_bb ablation (synthesis, {PAR_BB_WORKERS} workers) ==");
+    println!("== par_bb scaling (synthesis, workers {PAR_BB_WORKERS:?}) ==");
     for p in &par_bb {
-        println!(
-            "{:<24} seq {:>8.1} ms / {:>6} nodes ({}) | par {:>8.1} ms / {:>6} nodes ({}) \
-             | per-worker {:?}",
-            p.instance,
-            p.seq_time.as_secs_f64() * 1e3,
-            p.seq_nodes,
-            p.seq_cost.map_or("-".into(), |c| c.to_string()),
-            p.par_time.as_secs_f64() * 1e3,
-            p.par_nodes,
-            p.par_cost.map_or("-".into(), |c| c.to_string()),
-            p.nodes_per_worker,
-        );
+        println!("{}:", p.instance);
+        let base_time = p.runs.first().map(|r| r.time.as_secs_f64());
+        for r in &p.runs {
+            let speedup = match base_time {
+                Some(b) if r.time.as_secs_f64() > 0.0 => {
+                    format!("{:.2}x", b / r.time.as_secs_f64())
+                }
+                _ => "-".into(),
+            };
+            println!(
+                "  {:>2} workers: {:>8.1} ms ({:>6}) / {:>6} nodes ({}) | resplits {:>3} \
+                 | shared {:>4} | imported {:>4} | depth-trunc {:>2} | wait {:>6.1} ms",
+                r.workers,
+                r.time.as_secs_f64() * 1e3,
+                speedup,
+                r.nodes,
+                r.cost.map_or("-".into(), |c| c.to_string()),
+                r.resplits,
+                r.clauses_shared,
+                r.clauses_imported,
+                r.depth_truncated,
+                r.queue_wait.as_secs_f64() * 1e3,
+            );
+        }
     }
     println!(
-        "never worse optimum: {} | max nodes ratio: {} | time speedup geomean: {}",
+        "never worse optimum: {} | max nodes ratio: {} | {}-worker time speedup geomean: {}",
         par_bb_summary.never_worse_optimum,
         par_bb_summary.max_nodes_ratio.map_or("-".into(), |r| format!("{:.2}x", r)),
+        par_bb_summary.workers,
         par_bb_summary.time_speedup_geomean.map_or("-".into(), |r| format!("{:.2}x", r)),
     );
 
@@ -234,7 +247,6 @@ fn main() {
         &parls,
         PARLS_WORKERS,
         &par_bb,
-        PAR_BB_WORKERS,
     );
     match std::fs::write(&json_path, &report) {
         Ok(()) => println!("\nwrote {json_path}"),

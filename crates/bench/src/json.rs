@@ -236,70 +236,93 @@ pub fn summarize_parls(probes: &[ParlsProbe], workers: usize) -> ParlsSummary {
     }
 }
 
-/// One instance of the parallel-exact (par_bb) probe: the sequential
-/// solver vs the cube-split worker pool under the same budget.
+/// One worker-count run of the par_bb scaling probe.
 #[derive(Clone, Debug)]
-pub struct ParBbProbe {
-    /// Instance name.
-    pub instance: String,
-    /// Sequential (1-worker) final cost.
-    pub seq_cost: Option<i64>,
-    /// Whether the sequential side proved optimality within the budget.
-    pub seq_optimal: bool,
-    /// Sequential wall time.
-    pub seq_time: Duration,
-    /// Sequential nodes (decisions).
-    pub seq_nodes: u64,
-    /// Parallel final cost.
-    pub par_cost: Option<i64>,
-    /// Whether the parallel side proved optimality within the budget.
-    pub par_optimal: bool,
-    /// Parallel wall time.
-    pub par_time: Duration,
-    /// Parallel nodes: splitter lookahead plus all workers, summed.
-    pub par_nodes: u64,
+pub struct ParBbRun {
+    /// Worker count of this run (1 = the sequential solver, by
+    /// delegation).
+    pub workers: usize,
+    /// Final cost.
+    pub cost: Option<i64>,
+    /// Whether this run proved optimality within the budget.
+    pub optimal: bool,
+    /// Wall time.
+    pub time: Duration,
+    /// Nodes: head start + splitter lookahead + all workers, summed.
+    pub nodes: u64,
+    /// Dynamic re-splits performed across all workers.
+    pub resplits: u64,
+    /// Cube-independent clauses published to the shared pool.
+    pub clauses_shared: u64,
+    /// Pool clauses imported into worker engines.
+    pub clauses_imported: u64,
+    /// Cube splits truncated at the maximum split depth.
+    pub depth_truncated: u64,
+    /// Total wall time workers spent blocked on the cube queue.
+    pub queue_wait: Duration,
     /// Per-worker node counts (merged at join).
     pub nodes_per_worker: Vec<u64>,
 }
 
-/// Aggregate of the par_bb probe: the CI gate numbers.
+/// One instance of the parallel-exact (par_bb) probe: the same solve at
+/// each probed worker count, the 1-worker run first (the scaling
+/// baseline — bit-identical to the sequential solver).
+#[derive(Clone, Debug)]
+pub struct ParBbProbe {
+    /// Instance name.
+    pub instance: String,
+    /// One run per probed worker count, ascending; `runs[0].workers == 1`.
+    pub runs: Vec<ParBbRun>,
+}
+
+/// Aggregate of the par_bb scaling probe: the CI gate numbers.
 #[derive(Clone, Debug)]
 pub struct ParBbSummary {
-    /// Worker count of the parallel side.
+    /// The largest probed worker count (the wall-speedup gate's run).
     pub workers: usize,
-    /// The parallel side never returned a worse optimum: wherever the
-    /// sequential side has a cost, the parallel cost exists and is `<=`
-    /// it, and wherever the sequential side proved optimality, so did
-    /// the parallel side.
+    /// No parallel run ever returned a worse optimum: at every probed
+    /// worker count, wherever the 1-worker run has a cost the parallel
+    /// cost exists and is `<=` it, and wherever the 1-worker run proved
+    /// optimality, so did the parallel run.
     pub never_worse_optimum: bool,
-    /// Worst `par_nodes / seq_nodes` over instances solved on both
-    /// sides — the duplicated-work bound the gate caps at 2x.
+    /// Worst `nodes(w) / nodes(1)` over all instances and worker counts
+    /// solved on both sides — the duplicated-work bound the gate caps
+    /// at 2x.
     pub max_nodes_ratio: Option<f64>,
-    /// Geometric mean of `seq_time / par_time` over instances solved on
-    /// both sides (informational; wall times move with the machine).
+    /// Geometric mean of `time(1) / time(max workers)` over instances
+    /// solved at both counts — the scaling number the PR-6 gate floors
+    /// at 1.8x.
     pub time_speedup_geomean: Option<f64>,
 }
 
-/// Aggregates par_bb probe rows into the gate metrics.
-pub fn summarize_par_bb(probes: &[ParBbProbe], workers: usize) -> ParBbSummary {
+/// Aggregates par_bb scaling rows into the gate metrics. The baseline of
+/// every comparison is each instance's 1-worker run (`runs[0]`).
+pub fn summarize_par_bb(probes: &[ParBbProbe]) -> ParBbSummary {
     let mut never_worse = true;
     let mut max_ratio: Option<f64> = None;
     let mut speedups: Vec<f64> = Vec::new();
+    let max_workers =
+        probes.iter().flat_map(|p| p.runs.iter().map(|r| r.workers)).max().unwrap_or(1);
     for p in probes {
-        match (p.seq_cost, p.par_cost) {
-            (Some(s), Some(q)) => never_worse &= q <= s,
-            (Some(_), None) => never_worse = false,
-            _ => {}
-        }
-        if p.seq_optimal {
-            never_worse &= p.par_optimal;
-        }
-        if p.seq_optimal && p.par_optimal && p.seq_nodes > 0 {
-            let ratio = p.par_nodes as f64 / p.seq_nodes as f64;
-            max_ratio = Some(max_ratio.map_or(ratio, |m: f64| m.max(ratio)));
-            let (s, q) = (p.seq_time.as_secs_f64(), p.par_time.as_secs_f64());
-            if s > 0.0 && q > 0.0 {
-                speedups.push(s / q);
+        let Some(base) = p.runs.first() else { continue };
+        for run in p.runs.iter().skip(1) {
+            match (base.cost, run.cost) {
+                (Some(s), Some(q)) => never_worse &= q <= s,
+                (Some(_), None) => never_worse = false,
+                _ => {}
+            }
+            if base.optimal {
+                never_worse &= run.optimal;
+            }
+            if base.optimal && run.optimal && base.nodes > 0 {
+                let ratio = run.nodes as f64 / base.nodes as f64;
+                max_ratio = Some(max_ratio.map_or(ratio, |m: f64| m.max(ratio)));
+                if run.workers == max_workers {
+                    let (s, q) = (base.time.as_secs_f64(), run.time.as_secs_f64());
+                    if s > 0.0 && q > 0.0 {
+                        speedups.push(s / q);
+                    }
+                }
             }
         }
     }
@@ -309,7 +332,7 @@ pub fn summarize_par_bb(probes: &[ParBbProbe], workers: usize) -> ParBbSummary {
         Some((speedups.iter().map(|r| r.ln()).sum::<f64>() / speedups.len() as f64).exp())
     };
     ParBbSummary {
-        workers,
+        workers: max_workers,
         never_worse_optimum: never_worse,
         max_nodes_ratio: max_ratio,
         time_speedup_geomean: geomean,
@@ -448,35 +471,51 @@ fn write_parls(out: &mut String, probes: &[ParlsProbe], workers: usize) {
     out.push_str("  },\n");
 }
 
-fn write_par_bb(out: &mut String, probes: &[ParBbProbe], workers: usize) {
-    let _ = writeln!(out, "  \"par_bb\": {{\n    \"workers\": {workers},\n    \"instances\": [");
-    for (i, p) in probes.iter().enumerate() {
-        let comma = if i + 1 < probes.len() { "," } else { "" };
-        let per: Vec<String> = p.nodes_per_worker.iter().map(u64::to_string).collect();
-        let _ = writeln!(
-            out,
-            "      {{\"instance\": \"{}\", \"seq_cost\": {}, \"seq_optimal\": {}, \
-             \"seq_time_ms\": {:.3}, \"seq_nodes\": {}, \
-             \"par_cost\": {}, \"par_optimal\": {}, \"par_time_ms\": {:.3}, \
-             \"par_nodes\": {}, \"nodes_per_worker\": [{}]}}{comma}",
-            escape(&p.instance),
-            opt_i64(p.seq_cost),
-            p.seq_optimal,
-            ms(p.seq_time),
-            p.seq_nodes,
-            opt_i64(p.par_cost),
-            p.par_optimal,
-            ms(p.par_time),
-            p.par_nodes,
-            per.join(", "),
-        );
-    }
-    out.push_str("    ],\n");
-    let s = summarize_par_bb(probes, workers);
+fn write_par_bb(out: &mut String, probes: &[ParBbProbe]) {
+    let counts: Vec<String> = probes
+        .first()
+        .map(|p| p.runs.iter().map(|r| r.workers.to_string()).collect())
+        .unwrap_or_default();
     let _ = writeln!(
         out,
-        "    \"summary\": {{\"never_worse_optimum\": {}, \"max_nodes_ratio\": {}, \
-         \"time_speedup_geomean\": {}}}",
+        "  \"par_bb\": {{\n    \"workers\": [{}],\n    \"instances\": [",
+        counts.join(", ")
+    );
+    for (i, p) in probes.iter().enumerate() {
+        let comma = if i + 1 < probes.len() { "," } else { "" };
+        let _ = writeln!(out, "      {{\"instance\": \"{}\", \"runs\": [", escape(&p.instance));
+        for (ri, r) in p.runs.iter().enumerate() {
+            let rcomma = if ri + 1 < p.runs.len() { "," } else { "" };
+            let per: Vec<String> = r.nodes_per_worker.iter().map(u64::to_string).collect();
+            let _ = writeln!(
+                out,
+                "        {{\"workers\": {}, \"cost\": {}, \"optimal\": {}, \
+                 \"time_ms\": {:.3}, \"nodes\": {}, \"resplits\": {}, \
+                 \"clauses_shared\": {}, \"clauses_imported\": {}, \
+                 \"depth_truncated\": {}, \"queue_wait_ms\": {:.3}, \
+                 \"nodes_per_worker\": [{}]}}{rcomma}",
+                r.workers,
+                opt_i64(r.cost),
+                r.optimal,
+                ms(r.time),
+                r.nodes,
+                r.resplits,
+                r.clauses_shared,
+                r.clauses_imported,
+                r.depth_truncated,
+                ms(r.queue_wait),
+                per.join(", "),
+            );
+        }
+        let _ = writeln!(out, "      ]}}{comma}");
+    }
+    out.push_str("    ],\n");
+    let s = summarize_par_bb(probes);
+    let _ = writeln!(
+        out,
+        "    \"summary\": {{\"workers\": {}, \"never_worse_optimum\": {}, \
+         \"max_nodes_ratio\": {}, \"time_speedup_geomean\": {}}}",
+        s.workers,
         s.never_worse_optimum,
         opt_f64(s.max_nodes_ratio),
         opt_f64(s.time_speedup_geomean),
@@ -491,7 +530,7 @@ pub fn render_report(
     families: &[(String, Vec<Row>)],
     ablation: Option<&ResidualAblation>,
 ) -> String {
-    render_report_full(budget_ms, seeds, families, ablation, &[], None, &[], 0, &[], 0)
+    render_report_full(budget_ms, seeds, families, ablation, &[], None, &[], 0, &[])
 }
 
 /// [`render_report`] with the portfolio probe, dynamic-rows ablation,
@@ -507,7 +546,6 @@ pub fn render_report_full(
     parls: &[ParlsProbe],
     parls_workers: usize,
     par_bb: &[ParBbProbe],
-    par_bb_workers: usize,
 ) -> String {
     let mut out = String::new();
     out.push_str("{\n");
@@ -562,7 +600,7 @@ pub fn render_report_full(
     if par_bb.is_empty() {
         out.push_str("  \"par_bb\": null,\n");
     } else {
-        write_par_bb(&mut out, par_bb, par_bb_workers);
+        write_par_bb(&mut out, par_bb);
     }
     match dynamic_rows {
         Some(d) => {

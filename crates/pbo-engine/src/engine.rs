@@ -10,7 +10,7 @@
 
 use pbo_core::{Assignment, Lit, PbConstraint, PbTerm, Value, Var};
 
-use crate::clause::{ClauseDb, ClauseId};
+use crate::clause::{ClauseDb, ClauseId, Taint};
 use crate::vsids::Vsids;
 
 /// Stable identifier of a pseudo-Boolean constraint inside the engine.
@@ -175,6 +175,17 @@ pub struct Engine {
     phase: Vec<bool>,
     seen: Vec<bool>,
     root_unsat: bool,
+    /// Assumption-dependency tracking (off by default; a parallel worker
+    /// that wants to share learned clauses turns it on). When on, every
+    /// assignment records the union of taints of the constraints its
+    /// derivation used, and every learned clause is stamped with the
+    /// taint of its resolution proof.
+    track_taint: bool,
+    /// Per-variable derivation taint of the *current* assignment
+    /// (overwritten on every enqueue; meaningless for unassigned vars).
+    var_taint: Vec<Taint>,
+    /// Per-PB-constraint taint, parallel to `pbs`.
+    pb_taint: Vec<Taint>,
     /// Per-observer low watermark: the lowest trail length reached since
     /// that observer's last [`Engine::sync_trail`] call — its
     /// reconciliation point. Indexed by [`TrailObserver`].
@@ -220,6 +231,9 @@ impl Engine {
             phase: vec![false; num_vars],
             seen: vec![false; num_vars],
             root_unsat: false,
+            track_taint: false,
+            var_taint: vec![Taint::NONE; num_vars],
+            pb_taint: Vec::new(),
             trail_low: Vec::new(),
             stats: EngineStats::default(),
         }
@@ -314,6 +328,33 @@ impl Engine {
         self.root_unsat
     }
 
+    /// Turns assumption-dependency tracking on or off (see [`Taint`]).
+    ///
+    /// Enable it *before* the first [`Engine::assume_at_root`] or
+    /// tainted constraint; everything assigned earlier is treated as
+    /// implied by the instance alone (correct for constraints loaded
+    /// from the instance and for probing-derived facts). When off — the
+    /// default — the tracking adds no work to the hot paths and every
+    /// clause reports [`Taint::NONE`].
+    pub fn set_taint_tracking(&mut self, on: bool) {
+        self.track_taint = on;
+    }
+
+    /// Whether assumption-dependency tracking is on.
+    pub fn taint_tracking(&self) -> bool {
+        self.track_taint
+    }
+
+    /// The recorded provenance of a clause (see [`Taint`]) — for tests
+    /// and diagnostics of the sharing layer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the clause was removed.
+    pub fn clause_taint(&self, id: ClauseId) -> Taint {
+        self.clauses.get(id).taint()
+    }
+
     /// Saved phase (preferred polarity) of a variable.
     pub fn phase_of(&self, var: Var) -> bool {
         self.phase[var.index()]
@@ -359,6 +400,24 @@ impl Engine {
     /// only stable for constraints added at the root; backjump to level 0
     /// first — see `DESIGN.md`).
     pub fn add_constraint(&mut self, c: &PbConstraint) -> Result<(), RootConflict> {
+        self.add_constraint_tainted(c, Taint::NONE)
+    }
+
+    /// [`Engine::add_constraint`] with an explicit derivation taint:
+    /// `taint` records what, beyond the instance, implies `c` (e.g.
+    /// [`Taint::INCUMBENT`] for a clause implied by instance + cost cut).
+    /// The taint flows into every propagation and learned clause that
+    /// uses the constraint when tracking is on.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RootConflict`] if the constraint (together with earlier
+    /// root propagations) is contradictory.
+    pub fn add_constraint_tainted(
+        &mut self,
+        c: &PbConstraint,
+        taint: Taint,
+    ) -> Result<(), RootConflict> {
         assert_eq!(self.decision_level(), 0, "constraints must be added at level 0");
         if self.root_unsat {
             return Err(RootConflict);
@@ -368,9 +427,9 @@ impl Engine {
             return Err(RootConflict);
         }
         let result = if c.class() == pbo_core::ConstraintClass::Clause {
-            self.add_root_clause(c.terms().iter().map(|t| t.lit).collect())
+            self.add_root_clause(c.terms().iter().map(|t| t.lit).collect(), taint, false, 0)
         } else {
-            self.add_root_pb(c)
+            self.add_root_pb(c, taint)
         };
         if result.is_err() {
             self.root_unsat = true;
@@ -378,8 +437,57 @@ impl Engine {
         result
     }
 
-    fn add_root_clause(&mut self, mut lits: Vec<Lit>) -> Result<(), RootConflict> {
-        // Root-level simplification.
+    /// Installs an externally learned clause (e.g. from the parallel
+    /// shared-clause pool) at the root: simplified against the root
+    /// assignment, stored as a *learnt* clause with the given LBD — so
+    /// it competes in LBD-best exports and dynamic-row promotion like a
+    /// locally learned clause — and stamped `taint | `[`Taint::IMPORTED`]
+    /// (imported clauses are already global and are never re-exported by
+    /// [`Engine::export_shareable_learnts`]).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RootConflict`] if the clause is contradictory with the
+    /// root assignment (for a cube worker under cost cuts: the subtree
+    /// holds nothing better than the incumbent — search exhausted).
+    ///
+    /// # Panics
+    ///
+    /// Panics if called above decision level 0.
+    pub fn add_learnt_clause(
+        &mut self,
+        lits: Vec<Lit>,
+        taint: Taint,
+        lbd: u32,
+    ) -> Result<(), RootConflict> {
+        assert_eq!(self.decision_level(), 0, "learnt clauses must be imported at level 0");
+        if self.root_unsat {
+            return Err(RootConflict);
+        }
+        let result = self.add_root_clause(lits, taint | Taint::IMPORTED, true, lbd);
+        if result.is_err() {
+            self.root_unsat = true;
+        }
+        result
+    }
+
+    fn add_root_clause(
+        &mut self,
+        mut lits: Vec<Lit>,
+        mut taint: Taint,
+        learnt: bool,
+        lbd: u32,
+    ) -> Result<(), RootConflict> {
+        // Root-level simplification. A literal dropped because it is
+        // false at level 0 makes the simplified clause depend on that
+        // literal's derivation: fold its taint in.
+        if self.track_taint {
+            for &l in &lits {
+                if self.assignment.is_false(l) && self.level[l.var().index()] == 0 {
+                    taint |= self.var_taint[l.var().index()];
+                }
+            }
+        }
         lits.retain(|&l| !self.assignment.is_false(l) || self.level[l.var().index()] != 0);
         if lits.iter().any(|&l| self.assignment.is_true(l) && self.level[l.var().index()] == 0) {
             return Ok(());
@@ -392,8 +500,15 @@ impl Engine {
         match lits.len() {
             0 => Err(RootConflict),
             1 => {
-                if !self.enqueue(lits[0], Reason::None) {
+                let lit = lits[0];
+                if !self.enqueue(lit, Reason::None) {
                     return Err(RootConflict);
+                }
+                if self.track_taint {
+                    // The unit fact inherits the clause's taint (enqueue
+                    // recorded NONE for the reasonless assignment); set it
+                    // before propagating so downstream taints see it.
+                    self.var_taint[lit.var().index()] = taint;
                 }
                 if self.propagate().is_some() {
                     return Err(RootConflict);
@@ -401,14 +516,20 @@ impl Engine {
                 Ok(())
             }
             _ => {
-                let id = self.clauses.insert(lits, false);
+                let id = self.clauses.insert(lits, learnt);
+                if learnt {
+                    self.clauses.set_lbd(id, lbd);
+                }
+                if self.track_taint {
+                    self.clauses.set_taint(id, taint);
+                }
                 self.attach_clause(id);
                 Ok(())
             }
         }
     }
 
-    fn add_root_pb(&mut self, c: &PbConstraint) -> Result<(), RootConflict> {
+    fn add_root_pb(&mut self, c: &PbConstraint, taint: Taint) -> Result<(), RootConflict> {
         let id = PbId(self.pbs.len() as u32);
         let max_coeff = c.terms().iter().map(|t| t.coeff).max().unwrap_or(0);
         let slack = c.slack(&self.assignment);
@@ -420,6 +541,7 @@ impl Engine {
             self.pb_occur[t.lit.code()].push(PbOcc { pb: id.0, coeff: t.coeff });
         }
         self.pbs.push(data);
+        self.pb_taint.push(taint);
         if slack < 0 {
             return Err(RootConflict);
         }
@@ -492,7 +614,31 @@ impl Engine {
     /// Returns [`RootConflict`] if the literal contradicts the root
     /// assignment (the cube is closed by propagation alone).
     pub fn assume_at_root(&mut self, lit: Lit) -> Result<(), RootConflict> {
-        self.add_constraint(&PbConstraint::clause([lit]))
+        assert_eq!(self.decision_level(), 0, "assumptions must be made at level 0");
+        if self.root_unsat {
+            return Err(RootConflict);
+        }
+        match self.assignment.lit_value(lit) {
+            Value::True => Ok(()),
+            Value::False => {
+                self.root_unsat = true;
+                Err(RootConflict)
+            }
+            Value::Unassigned => {
+                let ok = self.enqueue(lit, Reason::None);
+                debug_assert!(ok);
+                if self.track_taint {
+                    // Everything derived from this fact depends on the
+                    // cube; mark before propagating so the taint flows.
+                    self.var_taint[lit.var().index()] = Taint::ASSUMPTION;
+                }
+                if self.propagate().is_some() {
+                    self.root_unsat = true;
+                    return Err(RootConflict);
+                }
+                Ok(())
+            }
+        }
     }
 
     /// Adds the normalized upper-bound ("knapsack", eq. 10) cut and
@@ -504,13 +650,30 @@ impl Engine {
     /// Returns [`RootConflict`] if the cut is contradictory with the root
     /// assignment — meaning no solution better than the bound exists.
     pub fn add_pb_cut(&mut self, c: &PbConstraint) -> Result<PbId, RootConflict> {
+        self.add_pb_cut_tainted(c, Taint::NONE)
+    }
+
+    /// [`Engine::add_pb_cut`] with an explicit derivation taint — cost
+    /// cuts installed after an incumbent carry [`Taint::INCUMBENT`] so
+    /// that clauses learned through them are not exported as
+    /// instance-implied.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RootConflict`] if the cut is contradictory with the root
+    /// assignment — meaning no solution better than the bound exists.
+    pub fn add_pb_cut_tainted(
+        &mut self,
+        c: &PbConstraint,
+        taint: Taint,
+    ) -> Result<PbId, RootConflict> {
         assert_eq!(self.decision_level(), 0, "cuts must be added at level 0");
         if c.is_unsatisfiable() {
             self.root_unsat = true;
             return Err(RootConflict);
         }
         let id = PbId(self.pbs.len() as u32);
-        self.add_root_pb(c).map(|()| id).inspect_err(|_| {
+        self.add_root_pb(c, taint).map(|()| id).inspect_err(|_| {
             self.root_unsat = true;
         })
     }
@@ -549,6 +712,12 @@ impl Engine {
             Value::False => false,
             Value::Unassigned => {
                 let vi = lit.var().index();
+                if self.track_taint {
+                    // Overwrite (not OR): the variable's previous taint
+                    // belongs to an unwound assignment. Overwrite-on-assign
+                    // means backjumps need no taint cleanup.
+                    self.var_taint[vi] = self.reason_taint(lit, reason);
+                }
                 self.assignment.assign_lit(lit);
                 self.level[vi] = self.decision_level();
                 self.reason[vi] = reason;
@@ -563,6 +732,37 @@ impl Engine {
                     self.pbs[occ.pb as usize].slack -= occ.coeff;
                 }
                 true
+            }
+        }
+    }
+
+    /// The taint an assignment inherits from its reason constraint: the
+    /// constraint's own taint joined with the taints of the other
+    /// (currently false) literals forcing the propagation. Decisions and
+    /// root facts default to [`Taint::NONE`]; callers installing tainted
+    /// root facts (assumptions, unit clauses) overwrite afterwards.
+    fn reason_taint(&self, lit: Lit, reason: Reason) -> Taint {
+        match reason {
+            Reason::None => Taint::NONE,
+            Reason::Clause(id) => {
+                let c = self.clauses.get(id);
+                let mut t = c.taint();
+                for &l in c.lits() {
+                    if l != lit {
+                        t |= self.var_taint[l.var().index()];
+                    }
+                }
+                t
+            }
+            Reason::Pb(id) => {
+                let mut t = self.pb_taint[id.0 as usize];
+                for k in 0..self.pbs[id.0 as usize].len as usize {
+                    let term = self.pb_terms[self.pbs[id.0 as usize].start as usize + k];
+                    if term.lit != lit && self.assignment.is_false(term.lit) {
+                        t |= self.var_taint[term.lit.var().index()];
+                    }
+                }
+                t
             }
         }
     }
@@ -784,7 +984,41 @@ impl Engine {
     /// below the current decision level (bound conflicts) by first
     /// backtracking to the highest involved level.
     pub fn resolve_conflict(&mut self, conflict: Conflict) -> Resolution {
+        self.resolve_conflict_tainted(conflict, Taint::NONE)
+    }
+
+    /// [`Engine::resolve_conflict`] with an explicit *extra* taint folded
+    /// into the learned clause's provenance — used by the bounding layer
+    /// for [`Conflict::AdHoc`] bound conflicts, whose derivation (the
+    /// lower-bound argument against the incumbent) lives outside the
+    /// engine: pass [`Taint::INCUMBENT`] when an upper bound was in play.
+    ///
+    /// When taint tracking is on, the learned clause's taint is the join
+    /// of: `extra`, the conflicting constraint's taint, the taints of
+    /// every reason constraint resolved on during the first-UIP walk,
+    /// and the taints of literals dropped because they are false at
+    /// level 0 (this last is the MiniSat-`analyzeFinal` step that makes
+    /// cube-assumption dependencies visible). Root-false literals whose
+    /// provenance includes [`Taint::ASSUMPTION`] are *kept* in the clause
+    /// (up to a small budget) rather than dropped: dropping them is a
+    /// strengthening step outside the resolution chain, so skipping it is
+    /// sound, and the longer clause stays implied without the cube — the
+    /// difference between a worker-private and a shareable clause.
+    pub fn resolve_conflict_tainted(&mut self, conflict: Conflict, extra: Taint) -> Resolution {
+        /// Per-conflict budget of assumption-dependent root-false
+        /// literals kept in the learned clause; beyond it the remainder
+        /// is dropped and tainted as before, bounding clause growth in
+        /// deep cubes.
+        const MAX_KEPT_ROOT_LITS: usize = 12;
         self.stats.conflicts += 1;
+        let mut taint = extra;
+        if self.track_taint {
+            taint |= match &conflict {
+                Conflict::Clause(id) => self.clauses.get(*id).taint(),
+                Conflict::Pb(id) => self.pb_taint[id.0 as usize],
+                Conflict::AdHoc(_) => Taint::NONE,
+            };
+        }
         if matches!(conflict, Conflict::AdHoc(_)) {
             self.stats.adhoc_conflicts += 1;
         }
@@ -815,6 +1049,7 @@ impl Engine {
         let mut path_count: u32 = 0;
         let mut index = self.trail.len();
         let mut to_clear: Vec<Var> = Vec::new();
+        let mut kept_root = 0usize;
 
         let mut pending: Vec<Lit> = conflict_lits;
         let asserted;
@@ -830,6 +1065,29 @@ impl Engine {
                         path_count += 1;
                     } else {
                         learnt.push(q);
+                    }
+                } else if lvl == 0 && self.track_taint && !self.seen[v.index()] {
+                    let t = self.var_taint[v.index()];
+                    if t.intersects(Taint::ASSUMPTION) && kept_root < MAX_KEPT_ROOT_LITS {
+                        // MiniSat-`analyzeFinal` style: *keep* the
+                        // root-false literal instead of strengthening the
+                        // clause with the assumption-derived fact that
+                        // falsified it. One literal longer, but the
+                        // clause no longer depends on the cube — the
+                        // difference between a worker-private clause and
+                        // a globally shareable one. (Dropping it is an
+                        // extra strengthening step, not part of the
+                        // resolution chain, so skipping it is sound.)
+                        self.seen[v.index()] = true;
+                        to_clear.push(v);
+                        learnt.push(q);
+                        kept_root += 1;
+                    } else {
+                        // The literal is silently dropped because it is
+                        // false at the root — the learned clause depends
+                        // on whatever made it false there (assumptions
+                        // past the keep budget, imported facts, …).
+                        taint |= t;
                     }
                 }
             }
@@ -848,6 +1106,13 @@ impl Engine {
                 break;
             }
             pending = self.reason_literals(p);
+            if self.track_taint {
+                taint |= match self.reason[p.var().index()] {
+                    Reason::Clause(id) => self.clauses.get(id).taint(),
+                    Reason::Pb(id) => self.pb_taint[id.0 as usize],
+                    Reason::None => Taint::NONE,
+                };
+            }
             if let Reason::Clause(id) = self.reason[p.var().index()] {
                 self.clauses.bump_activity(id);
             }
@@ -882,10 +1147,16 @@ impl Engine {
         let (learnt_id, ok) = if learnt_len == 1 {
             let id = self.clauses.insert(learnt.clone(), true);
             self.clauses.set_lbd(id, lbd);
+            if self.track_taint {
+                self.clauses.set_taint(id, taint);
+            }
             (Some(id), self.enqueue(learnt[0], Reason::Clause(id)))
         } else {
             let id = self.clauses.insert(learnt.clone(), true);
             self.clauses.set_lbd(id, lbd);
+            if self.track_taint {
+                self.clauses.set_taint(id, taint);
+            }
             self.attach_clause(id);
             self.clauses.bump_activity(id);
             (Some(id), self.enqueue(learnt[0], Reason::Clause(id)))
@@ -938,10 +1209,29 @@ impl Engine {
     /// literal vectors are snapshots, valid regardless of later database
     /// reductions.
     pub fn export_learnts(&self, max_len: usize, max_count: usize) -> Vec<Vec<Lit>> {
+        self.export_learnts_excluding(max_len, max_count, Taint::NONE)
+    }
+
+    /// [`Engine::export_learnts`] restricted to clauses whose taint does
+    /// **not** intersect `exclude` — e.g. pass [`Taint::ASSUMPTION`] to
+    /// export only clauses valid outside the current cube (the dynamic-row
+    /// promotion filter of a cube worker with clause sharing on).
+    /// `exclude = Taint::NONE` excludes nothing.
+    pub fn export_learnts_excluding(
+        &self,
+        max_len: usize,
+        max_count: usize,
+        exclude: Taint,
+    ) -> Vec<Vec<Lit>> {
         let mut candidates: Vec<(u32, f64, ClauseId)> = self
             .clauses
             .iter()
-            .filter(|(_, c)| c.is_learnt() && !c.is_empty() && c.len() <= max_len)
+            .filter(|(_, c)| {
+                c.is_learnt()
+                    && !c.is_empty()
+                    && c.len() <= max_len
+                    && !c.taint().intersects(exclude)
+            })
             .map(|(id, c)| (c.lbd(), c.activity(), id))
             .collect();
         candidates.sort_unstable_by(|a, b| {
@@ -953,6 +1243,48 @@ impl Engine {
             .into_iter()
             .take(max_count)
             .map(|(_, _, id)| self.clauses.get(id).lits().to_vec())
+            .collect()
+    }
+
+    /// Exports up to `max_count` learned clauses that are sound to share
+    /// with other cube workers: learnt, length ≤ `max_len`, LBD ≤
+    /// `max_lbd`, and whose derivation never touched a root assumption
+    /// ([`Taint::ASSUMPTION`]) nor came in through the pool
+    /// ([`Taint::IMPORTED`] — already global, re-exporting would only
+    /// echo). Clauses may still carry [`Taint::INCUMBENT`]; the caller
+    /// must stamp them with the upper bound they are conditional on.
+    /// Returns `(literals, taint, lbd)` triples, LBD-best first (same
+    /// ordering as [`Engine::export_learnts`]).
+    pub fn export_shareable_learnts(
+        &self,
+        max_len: usize,
+        max_count: usize,
+        max_lbd: u32,
+    ) -> Vec<(Vec<Lit>, Taint, u32)> {
+        let mut candidates: Vec<(u32, f64, ClauseId)> = self
+            .clauses
+            .iter()
+            .filter(|(_, c)| {
+                c.is_learnt()
+                    && !c.is_empty()
+                    && c.len() <= max_len
+                    && c.lbd() <= max_lbd
+                    && !c.taint().intersects(Taint::ASSUMPTION | Taint::IMPORTED)
+            })
+            .map(|(id, c)| (c.lbd(), c.activity(), id))
+            .collect();
+        candidates.sort_unstable_by(|a, b| {
+            a.0.cmp(&b.0)
+                .then_with(|| b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal))
+                .then_with(|| a.2 .0.cmp(&b.2 .0))
+        });
+        candidates
+            .into_iter()
+            .take(max_count)
+            .map(|(_, _, id)| {
+                let c = self.clauses.get(id);
+                (c.lits().to_vec(), c.taint(), c.lbd())
+            })
             .collect()
     }
 

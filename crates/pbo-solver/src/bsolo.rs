@@ -36,11 +36,12 @@
 //!   the mechanism behind the portfolio driver
 //!   ([`Portfolio`](crate::Portfolio)).
 
+use std::collections::HashSet;
 use std::time::Instant;
 
 use pbo_bounds::DynRowOrigin;
 use pbo_core::{verify_solution, Instance, Lit, PbConstraint, Value, Var};
-use pbo_engine::{Conflict, Engine, LubyRestarts, PbId, Resolution};
+use pbo_engine::{Conflict, Engine, LubyRestarts, PbId, Resolution, Taint};
 use pbo_ls::{IncumbentCell, SharedCut};
 
 use crate::cuts::{cost_cuts, knapsack_cut};
@@ -48,6 +49,14 @@ use crate::options::{Branching, BsoloOptions, LbMethod};
 use crate::pipeline::BoundPipeline;
 use crate::preprocess::{probe, ProbeOutcome};
 use crate::result::{SolveResult, SolveStatus, SolverStats};
+use crate::share::{ClausePool, SharedClause};
+
+/// Longest clause a worker offers to the shared pool.
+const SHARE_MAX_LEN: usize = 24;
+/// Worst LBD a worker offers to the shared pool.
+const SHARE_MAX_LBD: u32 = 6;
+/// Most clauses offered per publish (LBD-best first).
+const SHARE_MAX_COUNT: usize = 64;
 
 /// The bsolo branch-and-bound PBO solver.
 ///
@@ -126,19 +135,27 @@ impl Bsolo {
         } else {
             instance
         };
-        let mut search =
-            match SearchState::init(instance, &self.options, cell, start, &mut stats, &[], &[]) {
-                Ok(s) => s,
-                Err(()) => {
-                    stats.solve_time = start.elapsed();
-                    return SolveResult {
-                        status: SolveStatus::Infeasible,
-                        best_cost: None,
-                        best_assignment: None,
-                        stats,
-                    };
-                }
-            };
+        let mut search = match SearchState::init(
+            instance,
+            &self.options,
+            cell,
+            start,
+            &mut stats,
+            &[],
+            &[],
+            None,
+        ) {
+            Ok(s) => s,
+            Err(()) => {
+                stats.solve_time = start.elapsed();
+                return SolveResult {
+                    status: SolveStatus::Infeasible,
+                    best_cost: None,
+                    best_assignment: None,
+                    stats,
+                };
+            }
+        };
         let status = search.run(start, &mut stats);
         search.finish_stats(&mut stats);
         stats.solve_time = start.elapsed();
@@ -189,9 +206,24 @@ pub(crate) struct SearchState<'a> {
     /// A cube worker's learned clauses are implied by *instance ∧ cube*,
     /// not the instance alone, so sharing them would poison siblings and
     /// the local search; only the root search (empty cube) shares them.
-    /// The eq. 10–13 cost cuts are implied by instance + incumbent bound
-    /// and are always safe to share.
+    /// (With taint tracking on, the engine's assumption-clean clauses
+    /// *are* safely shared — through [`SearchState::sync_share`] and the
+    /// dedicated clause pool, not this cut-pool path.) The eq. 10–13
+    /// cost cuts are implied by instance + incumbent bound and are
+    /// always safe to share.
     share_promoted: bool,
+    /// The cube this search is rooted in (empty for the sequential
+    /// solver), *extended in place* by [`SearchState::resplit`] as the
+    /// worker deepens — so re-split arm cubes always carry the full
+    /// current prefix.
+    cube: Vec<Lit>,
+    /// Cross-worker shared-clause pool, when clause sharing is on.
+    pool: Option<&'a ClausePool>,
+    /// Read watermark into the pool (entries before it were imported).
+    pool_seen: usize,
+    /// Canonical keys of every clause this search ever offered to the
+    /// pool — so a worker never re-imports its own publications.
+    my_keys: HashSet<Vec<Lit>>,
 }
 
 impl<'a> SearchState<'a> {
@@ -214,6 +246,13 @@ impl<'a> SearchState<'a> {
     /// over (eq. 7). When the head never found an incumbent, no cost cut
     /// was ever installed and the clauses are implied by the instance
     /// alone.
+    ///
+    /// When `pool` is given, the engine's assumption-dependency (taint)
+    /// tracking is switched on *before* the cube is assumed, and the
+    /// pool's current contents are imported immediately; the search then
+    /// publishes cube-independent learned clauses and polls for peers'
+    /// at every restart and cost re-root ([`SearchState::sync_share`]).
+    #[allow(clippy::too_many_arguments)]
     pub(crate) fn init(
         instance: &'a Instance,
         options: &'a BsoloOptions,
@@ -222,8 +261,15 @@ impl<'a> SearchState<'a> {
         stats: &mut SolverStats,
         cube: &[Lit],
         seed: &[Vec<Lit>],
+        pool: Option<&'a ClausePool>,
     ) -> Result<SearchState<'a>, ()> {
         let mut engine = Engine::new(instance.num_vars());
+        // Tracking must precede the first assumption or tainted fact;
+        // instance constraints and probing are instance-implied, so the
+        // order relative to them is irrelevant.
+        if pool.is_some() {
+            engine.set_taint_tracking(true);
+        }
         for c in instance.constraints() {
             if engine.add_constraint(c).is_err() {
                 return Err(());
@@ -242,8 +288,19 @@ impl<'a> SearchState<'a> {
                 return Err(());
             }
         }
+        // Head-start seed clauses are implied by instance + the head's
+        // cost cuts when the cell already holds an incumbent, and by the
+        // instance alone otherwise (see the doc comment above).
+        let seed_taint = if cell.is_some_and(|c| c.best_cost().is_some()) {
+            Taint::INCUMBENT
+        } else {
+            Taint::NONE
+        };
         for lits in seed {
-            if engine.add_constraint(&PbConstraint::clause(lits.iter().copied())).is_err() {
+            if engine
+                .add_constraint_tainted(&PbConstraint::clause(lits.iter().copied()), seed_taint)
+                .is_err()
+            {
                 return Err(());
             }
         }
@@ -251,7 +308,7 @@ impl<'a> SearchState<'a> {
         let mut restarts = options.restart_base.map(|base| LubyRestarts::new(base.max(1)));
         let next_restart =
             restarts.as_mut().map_or(u64::MAX, |r| r.next().expect("luby sequence is infinite"));
-        Ok(SearchState {
+        let mut state = SearchState {
             instance,
             options,
             engine,
@@ -265,7 +322,16 @@ impl<'a> SearchState<'a> {
             restarts,
             next_restart,
             share_promoted: cube.is_empty(),
-        })
+            cube: cube.to_vec(),
+            pool,
+            pool_seen: 0,
+            my_keys: HashSet::new(),
+        };
+        // Late-launching workers start with everything already pooled.
+        if state.sync_share(stats).is_err() {
+            return Err(());
+        }
+        Ok(state)
     }
 
     /// Exports the engine's best (LBD-first) learned clauses — the
@@ -309,33 +375,56 @@ impl<'a> SearchState<'a> {
     }
 
     pub(crate) fn run(&mut self, start: Instant, stats: &mut SolverStats) -> SolveStatus {
+        self.run_capped(start, stats, None).expect("uncapped run always finishes")
+    }
+
+    /// [`SearchState::run`] with an optional conflict cap: returns
+    /// `None` — with the search state intact, mid-tree — once the
+    /// engine's total conflict count reaches `cap`. The parallel driver
+    /// uses this as the re-split trigger: a worker that has burned its
+    /// conflict allowance on one cube pauses here, hands off the
+    /// complement cubes of its decision prefix ([`SearchState::resplit`])
+    /// and resumes with a higher cap.
+    pub(crate) fn run_capped(
+        &mut self,
+        start: Instant,
+        stats: &mut SolverStats,
+        cap: Option<u64>,
+    ) -> Option<SolveStatus> {
         if self.engine.is_root_unsat() {
-            return self.exhausted_status();
+            return Some(self.exhausted_status());
         }
         loop {
+            if cap.is_some_and(|c| self.engine.stats.conflicts >= c) {
+                return None;
+            }
             // A strictly better external incumbent (the LS thread, a
             // portfolio sibling) tightens the upper bound immediately —
             // checked before the budget so a seeded solution is never
             // discarded by an already-exhausted budget.
             if let Some(status) = self.adopt_external(stats) {
-                return status;
+                return Some(status);
             }
             if self.options.budget.exhausted(
                 start.elapsed(),
                 self.engine.stats.conflicts,
                 self.engine.stats.decisions,
             ) {
-                return self.budget_status();
+                return Some(self.budget_status());
             }
             // Luby restart: back to the root (learned clauses kept), and
             // the dynamic-row region's promoted clauses are re-exported
             // from the learned-clause database — the bounds see the
             // freshest low-LBD structure, not the snapshot taken at the
-            // last incumbent.
+            // last incumbent. Restarts are also the clause-sharing
+            // cadence: publish what we learned, import what peers did.
             if self.engine.stats.conflicts >= self.next_restart {
                 self.engine.restart();
                 if self.pipeline.refresh_on_restart(self.instance, &self.engine) {
                     self.publish_cut_pool();
+                }
+                if self.sync_share(stats).is_err() {
+                    return Some(self.exhausted_status());
                 }
                 let budget = self
                     .restarts
@@ -347,14 +436,14 @@ impl<'a> SearchState<'a> {
             // Propagate to fixpoint.
             if let Some(conflict) = self.engine.propagate() {
                 match self.engine.resolve_conflict(conflict) {
-                    Resolution::Unsat => return self.exhausted_status(),
+                    Resolution::Unsat => return Some(self.exhausted_status()),
                     Resolution::Backjumped { .. } => continue,
                 }
             }
             // Complete assignment: a solution of the current formula.
             if self.engine.assignment().is_complete() {
                 match self.record_solution(stats) {
-                    SolutionStep::Finished(status) => return status,
+                    SolutionStep::Finished(status) => return Some(status),
                     SolutionStep::Continue => continue,
                 }
             }
@@ -386,8 +475,9 @@ impl<'a> SearchState<'a> {
                     // omega_pp must stay in the clause.
                     let include_pp = !out.infeasible || self.pipeline.has_dynamic_rows();
                     let omega_bc = self.build_bound_conflict(&out.explanation, include_pp);
-                    match self.engine.resolve_conflict(Conflict::AdHoc(omega_bc)) {
-                        Resolution::Unsat => return self.exhausted_status(),
+                    let taint = self.adhoc_taint();
+                    match self.engine.resolve_conflict_tainted(Conflict::AdHoc(omega_bc), taint) {
+                        Resolution::Unsat => return Some(self.exhausted_status()),
                         Resolution::Backjumped { .. } => continue,
                     }
                 }
@@ -400,6 +490,226 @@ impl<'a> SearchState<'a> {
             };
             self.engine.decide(lit);
         }
+    }
+
+    /// The taint of an ad-hoc bound conflict: its derivation (the
+    /// lower-bound argument) quantifies against the incumbent's cost
+    /// once one exists — the learned clause is implied by instance ∧
+    /// cost bound, not the instance alone. Pre-incumbent bound conflicts
+    /// (pure infeasibility proofs over instance + dynamic rows, which
+    /// are themselves absent before the first re-root) are
+    /// instance-implied. Cube dependencies need no handling here: the
+    /// bound explanations list *all* false literals of the rows they
+    /// used, so cube-derived level-0 literals surface in conflict
+    /// analysis and taint the clause through the standard drop rule —
+    /// and the rows themselves are cube-independent, because under
+    /// taint tracking the region's promotion filter admits only
+    /// assumption-clean clauses (see `BoundPipeline::rebuild_regions`).
+    fn adhoc_taint(&self) -> Taint {
+        if self.best_cost.is_some() {
+            Taint::INCUMBENT
+        } else {
+            Taint::NONE
+        }
+    }
+
+    /// Two-way sync with the shared-clause pool (no-op without one):
+    /// publishes this engine's assumption-clean learned clauses —
+    /// incumbent-conditional ones stamped with the current upper bound —
+    /// and imports everything peers published since the last sync.
+    /// Must be called at decision level 0 (restart, re-root, init).
+    ///
+    /// Returns `Err(())` when an imported clause contradicts the root
+    /// assignment: under this worker's cube + cost cuts nothing better
+    /// remains, so the caller closes the subtree via
+    /// [`SearchState::exhausted_status`].
+    fn sync_share(&mut self, stats: &mut SolverStats) -> Result<(), ()> {
+        let Some(pool) = self.pool else { return Ok(()) };
+        debug_assert_eq!(self.engine.decision_level(), 0);
+        // Publish. A clause carrying INCUMBENT is implied by
+        // instance ∧ (cost ≤ upper − 1); without a local incumbent there
+        // is no bound to stamp it with, so it stays private until one
+        // appears (the taint is set pre-incumbent only by head seeds).
+        let mut batch = Vec::new();
+        for (lits, taint, lbd) in
+            self.engine.export_shareable_learnts(SHARE_MAX_LEN, SHARE_MAX_COUNT, SHARE_MAX_LBD)
+        {
+            let upper = if taint.intersects(Taint::INCUMBENT) {
+                match self.best_cost {
+                    Some(u) => Some(u),
+                    None => continue,
+                }
+            } else {
+                None
+            };
+            let clause = SharedClause { lits, lbd, upper };
+            // Remember every offer (accepted or deduplicated away) so we
+            // never round-trip our own clauses back in.
+            if self.my_keys.insert(clause.key()) {
+                batch.push(clause);
+            }
+        }
+        stats.clauses_shared += pool.publish(batch);
+        // Import.
+        if let Some((mark, incoming)) = pool.snapshot_since(self.pool_seen) {
+            self.pool_seen = mark;
+            for c in incoming {
+                if self.my_keys.contains(&c.key()) {
+                    continue;
+                }
+                let taint = if c.upper.is_some() { Taint::INCUMBENT } else { Taint::NONE };
+                stats.clauses_imported += 1;
+                if self.engine.add_learnt_clause(c.lits, taint, c.lbd).is_err() {
+                    return Err(());
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Dynamic re-split (the guiding-path step): takes the first
+    /// `max_arms` decision literals `d1..dm` of the current trail,
+    /// backjumps to the root, *assumes* them — deepening this search's
+    /// cube to `C ∧ d1 ∧ … ∧ dm`, which every learned clause remains
+    /// implied under (a superset of the old assumption set) — and
+    /// returns the complement cubes
+    ///
+    /// ```text
+    /// C ∧ ¬d1,   C ∧ d1 ∧ ¬d2,   …,   C ∧ d1 ∧ … ∧ d(m−1) ∧ ¬dm
+    /// ```
+    ///
+    /// which together with the deepened cube exactly partition `C`: no
+    /// assignment is lost or duplicated, so handing them to the queue
+    /// preserves the parallel driver's exact-partition invariant. If
+    /// assuming `dj` fails (the deepened cube is refuted by root
+    /// propagation — sound, since every clause involved is implied by
+    /// instance ∧ cube ∧ cost cuts), the arm list is truncated after
+    /// `j` entries and the continuing search closes immediately.
+    ///
+    /// Returns an empty vector when the trail holds no decisions (the
+    /// caller should just keep running).
+    pub(crate) fn resplit(&mut self, max_arms: usize) -> Vec<Vec<Lit>> {
+        let decisions: Vec<Lit> = self
+            .engine
+            .trail()
+            .iter()
+            .copied()
+            .filter(|&l| {
+                self.engine.level_of(l.var()) > 0
+                    && matches!(self.engine.reason_of(l.var()), pbo_engine::Reason::None)
+            })
+            .collect();
+        if decisions.is_empty() {
+            return Vec::new();
+        }
+        let m = decisions.len().min(max_arms.max(1));
+        let prefix = &decisions[..m];
+        self.engine.backjump_to(0);
+        let mut arms: Vec<Vec<Lit>> = Vec::with_capacity(m);
+        for (i, &d) in prefix.iter().enumerate() {
+            let mut arm = self.cube.clone();
+            arm.extend_from_slice(&prefix[..i]);
+            arm.push(!d);
+            arms.push(arm);
+            self.cube.push(d);
+            if self.engine.assume_at_root(d).is_err() {
+                break;
+            }
+        }
+        arms
+    }
+
+    /// Sharing sync at a re-split pause: [`SearchState::resplit`] left
+    /// the engine at the root, which is exactly where publish/import is
+    /// legal — so every re-split doubles as a sharing beat, giving
+    /// subtree workers (whose Luby restarts rarely fire before the cube
+    /// closes) a cadence proportional to how long they run. Maps a root
+    /// contradiction from an imported clause to the closed-subtree
+    /// status; the arms already handed to the queue stay valid — they
+    /// partition the rest of the parent cube regardless of how this
+    /// deepened remainder closes.
+    pub(crate) fn sync_share_after_resplit(
+        &mut self,
+        stats: &mut SolverStats,
+    ) -> Option<SolveStatus> {
+        match self.sync_share(stats) {
+            Ok(()) => None,
+            Err(()) => Some(self.exhausted_status()),
+        }
+    }
+
+    /// A single greedy cost-avoiding descent from the root, run on a
+    /// freshly initialized cube task before any proof search: every
+    /// objective literal is decided false (largest coefficient first),
+    /// then the remaining variables follow the engine's saved-phase
+    /// heuristic, with unit propagation — but no bound computation —
+    /// between decisions. A completed descent is a feasible completion
+    /// of the cube; the caller's main loop records and publishes it, so
+    /// a worker pool starts from `threads` *diverse* primal bounds
+    /// instead of racing each other (across the whole pool, wall-clock)
+    /// for the first incumbent. A conflict ends the dive through the
+    /// normal learning path — the learned clause and its backjump
+    /// stand, and the main loop resumes from wherever the backjump left
+    /// the trail. Returns `Some` only when the dive refutes the cube
+    /// outright.
+    pub(crate) fn primal_dive(&mut self) -> Option<SolveStatus> {
+        let mut cost_order: Vec<(i64, Lit)> =
+            self.instance.objective().map(|o| o.terms().to_vec()).unwrap_or_default();
+        cost_order.sort_by(|a, b| b.0.cmp(&a.0).then_with(|| a.1.cmp(&b.1)));
+        let mut next = 0usize;
+        loop {
+            if let Some(conflict) = self.engine.propagate() {
+                match self.engine.resolve_conflict(conflict) {
+                    Resolution::Unsat => return Some(self.exhausted_status()),
+                    Resolution::Backjumped { .. } => return None,
+                }
+            }
+            if self.engine.assignment().is_complete() {
+                return None;
+            }
+            let lit = loop {
+                match cost_order.get(next) {
+                    Some(&(_, l)) => {
+                        next += 1;
+                        if self.engine.assignment().value(l.var()) == Value::Unassigned {
+                            break Some(!l);
+                        }
+                    }
+                    None => {
+                        break self
+                            .engine
+                            .pick_branch_var()
+                            .map(|v| v.lit(self.engine.phase_of(v)));
+                    }
+                }
+            };
+            match lit {
+                Some(l) => self.engine.decide(l),
+                None => return None,
+            }
+        }
+    }
+
+    /// Depth of this search's cube (grows with every re-split).
+    pub(crate) fn cube_depth(&self) -> usize {
+        self.cube.len()
+    }
+
+    /// The cube this search currently owns (the partition-soundness
+    /// tests enumerate against it after a re-split).
+    #[cfg(test)]
+    pub(crate) fn cube_lits(&self) -> &[Lit] {
+        &self.cube
+    }
+
+    /// Total conflicts resolved so far (the re-split trigger clock).
+    pub(crate) fn conflicts(&self) -> u64 {
+        self.engine.stats.conflicts
+    }
+
+    /// The best incumbent this search holds (cost and model).
+    pub(crate) fn best(&self) -> (Option<i64>, Option<&Vec<bool>>) {
+        (self.best_cost, self.best_model.as_ref())
     }
 
     /// The paper's `omega_bc = omega_pp ∪ omega_pl` (sec. 4); with
@@ -447,7 +757,7 @@ impl<'a> SearchState<'a> {
     /// Returns `Err(())` when a cut is contradictory with the root
     /// assignment — no solution better than `upper` exists, so the caller
     /// finishes with the incumbent as the optimum.
-    fn install_cost_cuts(&mut self, upper: i64) -> Result<(), ()> {
+    fn install_cost_cuts(&mut self, upper: i64, stats: &mut SolverStats) -> Result<(), ()> {
         self.engine.backjump_to(0);
         for id in self.active_cuts.drain(..) {
             self.engine.deactivate_pb(id);
@@ -464,7 +774,10 @@ impl<'a> SearchState<'a> {
             knapsack_cut(self.instance, upper).into_iter().collect()
         };
         for cut in &cuts {
-            match self.engine.add_pb_cut(cut) {
+            // Cost cuts are implied by instance + incumbent, never by
+            // the instance alone: clauses learned through them must not
+            // be shared as unconditional.
+            match self.engine.add_pb_cut_tainted(cut, Taint::INCUMBENT) {
                 Ok(id) => self.active_cuts.push(id),
                 Err(_) => return Err(()),
             }
@@ -474,7 +787,9 @@ impl<'a> SearchState<'a> {
         // it with any local-search sibling through the cell's cut pool.
         self.pipeline.reroot(self.instance, &self.engine, &cuts);
         self.publish_cut_pool();
-        Ok(())
+        // A re-root is also a sharing point: we are at level 0 with a
+        // fresh (tighter) upper bound to stamp INCUMBENT clauses with.
+        self.sync_share(stats)
     }
 
     /// Publishes the dynamic-row registry to the shared cell's cut pool
@@ -540,7 +855,7 @@ impl<'a> SearchState<'a> {
             // solve (mirror of `record_solution`).
             return Some(SolveStatus::Optimal);
         }
-        if self.options.knapsack_cuts && self.install_cost_cuts(cost).is_err() {
+        if self.options.knapsack_cuts && self.install_cost_cuts(cost, stats).is_err() {
             return Some(self.exhausted_status());
         }
         None
@@ -574,7 +889,7 @@ impl<'a> SearchState<'a> {
         if self.options.knapsack_cuts {
             // Install the cost cuts at the root and continue searching
             // for a strictly better solution.
-            if self.install_cost_cuts(upper).is_err() {
+            if self.install_cost_cuts(upper, stats).is_err() {
                 return SolutionStep::Finished(SolveStatus::Optimal);
             }
         } else {
@@ -584,7 +899,8 @@ impl<'a> SearchState<'a> {
             // solution state* (its literals must be false right now;
             // resolve_conflict performs the backtracking itself).
             let omega = self.build_bound_conflict(&[], true);
-            match self.engine.resolve_conflict(Conflict::AdHoc(omega)) {
+            let taint = self.adhoc_taint();
+            match self.engine.resolve_conflict_tainted(Conflict::AdHoc(omega), taint) {
                 Resolution::Unsat => return SolutionStep::Finished(SolveStatus::Optimal),
                 Resolution::Backjumped { .. } => {}
             }

@@ -62,6 +62,7 @@ mod pipeline;
 mod portfolio;
 mod preprocess;
 mod result;
+mod share;
 
 pub use bsolo::Bsolo;
 pub use cuts::{cardinality_cost_cuts, cost_cuts, knapsack_cut};
@@ -75,6 +76,7 @@ pub use portfolio::{
 };
 pub use preprocess::{probe, simplify, ProbeOutcome};
 pub use result::{SolveResult, SolveStatus, SolverStats};
+pub use share::{ClausePool, SharedClause};
 
 #[cfg(test)]
 mod solver_tests;

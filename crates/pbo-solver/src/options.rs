@@ -190,6 +190,28 @@ pub struct BsoloOptions {
     /// (LBD-best selection), so the bounds keep seeing fresh structure
     /// between incumbents.
     pub restart_base: Option<u64>,
+    /// Share cube-independent learned clauses across the workers of a
+    /// parallel solve ([`crate::ParBsolo`]): clauses whose derivation
+    /// never touched a cube assumption (taint-tracked by the engine) are
+    /// published to an epoch-stamped pool, polled at restarts and cost
+    /// re-roots, and installed into peers' engines and dynamic-row
+    /// regions. No effect on sequential solves or one-worker runs.
+    pub share_clauses: bool,
+    /// A parallel worker that has spent this many conflicts on one cube
+    /// re-splits its remaining subtree: the complement cubes of its
+    /// current decision prefix go back to the queue and the worker
+    /// continues on the deepened cube, keeping the frontier
+    /// self-balancing (`None` disables re-splitting).
+    pub resplit_conflicts: Option<u64>,
+    /// Deterministic parallel mode: clause sharing is off, workers
+    /// re-split on a fixed conflict schedule regardless of queue
+    /// pressure, each subtree runs against a private incumbent snapshot,
+    /// and cube results are reduced in a fixed (cube-lexicographic)
+    /// order — so a parallel run's status, cost, model and merged
+    /// counters are a pure function of instance + options, independent
+    /// of thread scheduling. Costs some pruning (no cross-worker
+    /// incumbent races); intended for parity suites and debugging.
+    pub deterministic_join: bool,
     /// Resource budget.
     pub budget: Budget,
 }
@@ -209,6 +231,9 @@ impl Default for BsoloOptions {
             dynamic_rows: true,
             mis_implied: true,
             restart_base: Some(2048),
+            share_clauses: true,
+            resplit_conflicts: Some(256),
+            deterministic_join: false,
             budget: Budget::unlimited(),
         }
     }

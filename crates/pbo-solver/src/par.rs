@@ -21,23 +21,54 @@
 //!    `TermArena` block). The cube's literals are assumed at level 0
 //!    (`Engine::assume_at_root`), so conflict analysis can never leave
 //!    the subtree and everything a worker learns is implied by
-//!    *instance ∧ cube* — valid inside the subtree, private to the
-//!    worker.
-//! 3. **Sharing.** Incumbents flow through the [`IncumbentCell`]: every
+//!    *instance ∧ cube* — unless conflict analysis can show otherwise:
+//!    see sharing below.
+//! 3. **Primal dives.** A cube task's first act is one greedy
+//!    cost-avoiding descent ([`SearchState::primal_dive`]) — objective
+//!    literals decided false, largest coefficient first, propagation but
+//!    no bound computation in between. Completing yields a verified
+//!    feasible completion of the cube, published immediately, so the
+//!    frontier doubles as `threads` diverse primal probes and every
+//!    worker proves against a strong upper bound from the start (on few
+//!    cores this is where most of the measured speedup over the
+//!    sequential solver comes from: its incumbent-descent phase is
+//!    skipped almost entirely).
+//! 4. **Sharing.** Incumbents flow through the [`IncumbentCell`]: every
 //!    worker publishes verified improvements and adopts strictly better
 //!    external ones mid-search (re-rooting its eq. 10–13 cost cuts).
-//!    Workers publish their *cost-cut* rows to the cell's cut pool —
-//!    those are implied by instance + incumbent bound, so any consumer
-//!    may use them — but never their promoted learned clauses, which are
-//!    cube-conditional; the pool keeps whichever producer holds the
-//!    tightest upper bound (`IncumbentCell::publish_cuts_for`).
-//! 4. **Termination.** A worker that exhausts a cube *closes* it (no
+//!    Cost-cut rows go to the cell's cut pool (implied by instance +
+//!    incumbent bound; tightest-upper producer wins). Learned *clauses*
+//!    cross workers through the epoch-stamped [`ClausePool`]: the
+//!    engine's taint tracking marks every clause whose derivation leaned
+//!    on a cube assumption ([`pbo_engine::Taint`]), conflict analysis
+//!    keeps assumption-falsified root literals in the clause (up to a
+//!    budget) instead of strengthening them away so most clauses stay
+//!    assumption-clean, and `export_shareable_learnts` publishes only
+//!    those — implied by the instance (plus a stamped cost bound for
+//!    INCUMBENT-tainted ones) and therefore sound in *any* cube.
+//!    Workers sync at init, restarts, and after every re-split.
+//! 5. **Dynamic re-splitting.** A worker that outlives its conflict
+//!    allowance on one cube while the queue starves (fewer queued cubes
+//!    than idle workers) backjumps to its root, harvests the
+//!    complementary arms of its first decisions
+//!    ([`SearchState::resplit`]), pushes them to the queue and continues
+//!    on the deepened cube — the fixed initial frontier becomes
+//!    self-balancing, and the idle tail (workers parked while the last
+//!    long cube finishes) disappears. Arms + deepened cube partition the
+//!    parent cube exactly, so the exact-partition invariant is
+//!    inductive; depth caps bound the recursion
+//!    ([`SolverStats::split_depth_truncated`] counts the clips).
+//! 6. **Termination.** A worker that exhausts a cube *closes* it (no
 //!    completion in the cube beats the final global best — pruning only
 //!    ever used upper bounds that the final best also satisfies). The
-//!    solve is `Optimal`/`Infeasible` when the splitter's frontier is
-//!    fully closed; a budget exhaustion in any worker raises a global
-//!    abort flag, remaining cubes are dropped, and the result degrades
-//!    to `Feasible`/`Unknown` exactly like the sequential solver.
+//!    solve is `Optimal`/`Infeasible` when the frontier — initial cubes
+//!    plus every re-split arm — is fully closed; `in_flight` accounting
+//!    makes the growing frontier safe (a re-splitting worker still holds
+//!    its parent cube, so the queue can never report "all done" while
+//!    arms are in transit). A budget exhaustion in any worker raises a
+//!    global abort flag, remaining cubes are dropped, and the result
+//!    degrades to `Feasible`/`Unknown` exactly like the sequential
+//!    solver.
 //!
 //! **Queue choice.** The deque is a plain `Mutex<VecDeque>` + `Condvar`:
 //! a solve processes tens of cubes, each worth milliseconds-to-seconds
@@ -48,7 +79,12 @@
 //!
 //! With `threads == 1` the driver delegates to the sequential
 //! [`Bsolo`] verbatim — bit-identical optimum, node count and stats —
-//! so the parallel path is strictly opt-in.
+//! so the parallel path is strictly opt-in. With
+//! [`BsoloOptions::deterministic_join`] set, every cube task runs
+//! against a private incumbent cell, the clause pool is disabled, the
+//! re-split schedule ignores queue timing, and results reduce in
+//! cube-lexicographic order — the same optimum and stats on every run
+//! regardless of thread scheduling.
 
 use std::collections::VecDeque;
 use std::sync::{Condvar, Mutex};
@@ -61,11 +97,14 @@ use pbo_ls::IncumbentCell;
 use crate::bsolo::{Bsolo, SearchState};
 use crate::options::BsoloOptions;
 use crate::result::{SolveResult, SolveStatus, SolverStats};
+use crate::share::ClausePool;
 
-/// Cubes harvested per worker: enough slack that an early-finishing
-/// worker always finds more work, small enough that the splitter's
-/// learning-free lookahead stays a rounding error next to the search.
-const CUBES_PER_WORKER: usize = 2;
+/// Cubes harvested per worker for the *initial* frontier. One: dynamic
+/// re-splitting now provides the slack an early-finishing worker needs
+/// (PR 5 pre-harvested 2 per worker instead), and a coarser launch
+/// frontier means less duplicated root replay and bigger subtrees over
+/// which each worker's learned clauses stay relevant.
+const CUBES_PER_WORKER: usize = 1;
 
 /// Hard cap on cube length: beyond this depth the splitter stops
 /// refining even if the frontier target was not reached (degenerate
@@ -83,6 +122,18 @@ const HEAD_SEED_MAX_COUNT: usize = 512;
 /// cube borders on, small enough that the serial prefix stays a
 /// fraction of any tree worth parallelizing.
 const HEAD_CONFLICTS: u64 = 96;
+
+/// Complement cubes returned to the queue per dynamic re-split (the
+/// guiding-path arms of the worker's first decisions): enough to feed
+/// several idle workers from one long-running cube, few enough that the
+/// deepened cube keeps most of the worker's learned context relevant.
+const RESPLIT_ARMS: usize = 4;
+
+/// Cubes deeper than this are never re-split again — arms of a
+/// very deep cube are tiny slivers whose root-replay overhead exceeds
+/// their search content. Hitting this cap is counted in
+/// [`SolverStats::split_depth_truncated`].
+const RESPLIT_MAX_DEPTH: usize = 48;
 
 /// An open subtree of the branch-and-bound, described by the decision
 /// literals on the path from the root: the subtree contains exactly the
@@ -107,6 +158,12 @@ pub struct SplitOutcome {
     pub root_unsat: bool,
     /// Decisions spent splitting (counted into the solve's node total).
     pub decisions: u64,
+    /// Leaves frozen because they reached the maximum split depth before
+    /// the frontier target was met: the frontier is coarser than
+    /// requested. Previously this truncation was silent; it is now
+    /// surfaced through `SolverStats::split_depth_truncated` and the
+    /// CLI's verbose output.
+    pub depth_truncated: u64,
 }
 
 /// Harvests an open frontier of cubes by bounded learning-free
@@ -141,6 +198,7 @@ impl CubeSplitter {
             solved: Vec::new(),
             root_unsat: false,
             decisions: 0,
+            depth_truncated: 0,
         };
         let mut engine = Engine::new(instance.num_vars());
         for c in instance.constraints() {
@@ -173,7 +231,12 @@ impl CubeSplitter {
 
         let mut queue: VecDeque<Vec<Lit>> = VecDeque::from([Vec::new()]);
         while let Some(cube) = queue.pop_front() {
-            if out.open.len() + queue.len() + 1 >= target.max(1) || cube.len() >= max_depth {
+            if out.open.len() + queue.len() + 1 >= target.max(1) {
+                out.open.push(Cube { lits: cube });
+                continue;
+            }
+            if cube.len() >= max_depth {
+                out.depth_truncated += 1;
                 out.open.push(Cube { lits: cube });
                 continue;
             }
@@ -276,6 +339,31 @@ impl CubeQueue {
             // An in-flight sibling may still abort; wait for its verdict.
             s = self.ready.wait(s).unwrap_or_else(|poisoned| poisoned.into_inner());
         }
+    }
+
+    /// Enqueues re-split arms, waking idle workers. The pushing worker
+    /// still holds its own (deepened) cube in flight, so the queue
+    /// cannot have decided "all work done" concurrently — the frontier
+    /// only ever grows while someone is searching.
+    fn push(&self, cubes: Vec<Cube>) {
+        if cubes.is_empty() {
+            return;
+        }
+        let mut s = self.lock();
+        s.cubes.extend(cubes);
+        drop(s);
+        self.ready.notify_all();
+    }
+
+    /// `true` when fewer cubes are queued than there are *idle* workers
+    /// — the re-split trigger in racing mode. `cubes.len() < threads`
+    /// would be true almost always in steady state (workers hold their
+    /// cubes in flight, the queue drains to near-empty), causing
+    /// wasteful frontier shredding; counting only workers without a cube
+    /// restricts re-splitting to the idle tail it is meant to fix.
+    fn starving(&self, threads: usize) -> bool {
+        let s = self.lock();
+        s.cubes.len() < threads.saturating_sub(s.in_flight)
     }
 
     /// Reports a finished cube; `abort` abandons the remaining frontier.
@@ -421,12 +509,29 @@ impl ParBsolo {
         let mut worker_options = self.options.clone();
         worker_options.simplify = false;
         let owned_cell;
-        let cell: &IncumbentCell = match cell {
+        let outer_cell: &IncumbentCell = match cell {
             Some(c) => c,
             None => {
                 owned_cell = IncumbentCell::new();
                 &owned_cell
             }
+        };
+        // Deterministic-join mode runs the head and every cube task
+        // against *private* incumbent cells — seeded once from whatever
+        // the outer cell held at solve start — so no timing-dependent
+        // incumbent race can steer any subtree; the final best is
+        // offered to the outer cell only at the end. See
+        // [`BsoloOptions::deterministic_join`].
+        let det = worker_options.deterministic_join;
+        let det_cell_store;
+        let run_cell: &IncumbentCell = if det {
+            det_cell_store = IncumbentCell::new();
+            if let Some((c, m)) = outer_cell.snapshot() {
+                det_cell_store.offer(c, &m);
+            }
+            &det_cell_store
+        } else {
+            outer_cell
         };
 
         let mut stats = SolverStats::default();
@@ -451,16 +556,27 @@ impl ParBsolo {
         };
         let mut head_options = worker_options.clone();
         head_options.budget = head_budget;
-        let (head_status, head_result, seed) =
-            match SearchState::init(inst, &head_options, Some(cell), start, &mut stats, &[], &[]) {
-                Ok(mut search) => {
-                    let status = search.run(start, &mut stats);
-                    search.finish_stats(&mut stats);
-                    let seed = search.export_learnts(HEAD_SEED_MAX_LEN, HEAD_SEED_MAX_COUNT);
-                    (status, cell.snapshot(), seed)
-                }
-                Err(()) => (SolveStatus::Infeasible, None, Vec::new()),
-            };
+        // The head runs without the shared pool: its learned clauses
+        // reach the workers wholesale through the seed set, so pooling
+        // them too would only round-trip duplicates.
+        let (head_status, head_result, seed) = match SearchState::init(
+            inst,
+            &head_options,
+            Some(run_cell),
+            start,
+            &mut stats,
+            &[],
+            &[],
+            None,
+        ) {
+            Ok(mut search) => {
+                let status = search.run(start, &mut stats);
+                search.finish_stats(&mut stats);
+                let seed = search.export_learnts(HEAD_SEED_MAX_LEN, HEAD_SEED_MAX_COUNT);
+                (status, run_cell.snapshot(), seed)
+            }
+            Err(()) => (SolveStatus::Infeasible, None, Vec::new()),
+        };
         if matches!(head_status, SolveStatus::Optimal | SolveStatus::Infeasible) {
             // The head start already finished the proof (small instance
             // or a root-contradictory cost cut): no need to go parallel.
@@ -469,11 +585,16 @@ impl ParBsolo {
             stats.nodes_per_worker = vec![0; self.threads];
             stats.nodes_per_worker[0] = stats.decisions;
             stats.solve_time = start.elapsed();
-            if let Some((at, _)) = cell.history_since(start).last() {
+            if let Some((at, _)) = run_cell.history_since(start).last() {
                 stats.time_to_best = *at;
             }
             let verified =
                 head_result.filter(|(cost, model)| verify_solution(inst, model) == Ok(*cost));
+            if det {
+                if let Some((c, m)) = &verified {
+                    outer_cell.offer(*c, m);
+                }
+            }
             let (best_cost, best_assignment) = match verified {
                 Some((c, m)) => (Some(c), Some(m)),
                 None => (None, None),
@@ -483,6 +604,7 @@ impl ParBsolo {
         let head_nodes = stats.decisions;
         let split = CubeSplitter::split(inst, self.threads * CUBES_PER_WORKER);
         stats.decisions = head_nodes + split.decisions;
+        stats.split_depth_truncated += split.depth_truncated;
         if split.root_unsat {
             stats.solve_time = start.elapsed();
             stats.nodes_per_worker = vec![0; self.threads];
@@ -495,26 +617,90 @@ impl ParBsolo {
         }
         // Solutions found by propagation during splitting seed the cell.
         for (_, cost, model) in &split.solved {
-            if verify_solution(inst, model) == Ok(*cost) && cell.offer(*cost, model) {
+            if verify_solution(inst, model) == Ok(*cost) && run_cell.offer(*cost, model) {
                 stats.solutions_found += 1;
             }
         }
 
+        // Cross-worker clause sharing (see [`crate::share`]): racing
+        // mode only — deterministic joins must not depend on which
+        // worker published first.
+        let pool = (worker_options.share_clauses && !det).then(ClausePool::new);
+        // Deterministic join: the seed snapshot is taken *after* the
+        // (deterministic) head and split contributed, so every cube task
+        // starts from the same incumbent no matter when it is scheduled.
+        let det_join = det.then(|| DetJoin {
+            seed_incumbent: run_cell.snapshot(),
+            records: Mutex::new(Vec::new()),
+        });
+
         let queue = CubeQueue::new(split.open);
+        let ctx = WorkerCtx {
+            instance: inst,
+            options: &worker_options,
+            cell: run_cell,
+            queue: &queue,
+            start,
+            seed: &seed,
+            pool: pool.as_ref(),
+            threads: self.threads,
+            det: det_join.as_ref(),
+        };
         let outcomes: Vec<SubtreeResult> = std::thread::scope(|scope| {
             let handles: Vec<_> = (0..self.threads)
                 .map(|_| {
-                    let queue = &queue;
-                    let worker_options = &worker_options;
-                    let seed = &seed;
-                    scope.spawn(move || run_worker(inst, worker_options, cell, queue, start, seed))
+                    let ctx = &ctx;
+                    scope.spawn(move || run_worker(ctx))
                 })
                 .collect();
             handles.into_iter().map(|h| h.join().expect("B&B worker panicked")).collect()
         });
 
-        let mut nodes_per_worker = Vec::with_capacity(outcomes.len());
         let mut all_closed = !queue.was_aborted();
+        if let Some(dj) = det_join {
+            // Fixed-order reduction: per-cube records sorted by cube
+            // literals (a scheduling-independent key — every cube is a
+            // distinct literal prefix), then folded in that order. Status,
+            // cost, model and the merged integer counters become a pure
+            // function of instance + options; wall-clock durations are
+            // excluded from the claim (queue wait is zeroed, it is pure
+            // scheduling noise).
+            let mut records = dj.records.into_inner().unwrap_or_else(|p| p.into_inner());
+            records.sort_by(|a, b| a.cube.cmp(&b.cube));
+            let mut best = dj.seed_incumbent;
+            let mut nodes_per_worker = Vec::with_capacity(records.len());
+            for r in &records {
+                stats.absorb(&r.stats);
+                nodes_per_worker.push(r.stats.decisions);
+                all_closed &= r.closed;
+                if let (Some(c), Some(m)) = (r.cost, &r.model) {
+                    if best.as_ref().is_none_or(|(bc, _)| c < *bc) {
+                        best = Some((c, m.clone()));
+                    }
+                }
+            }
+            stats.nodes_per_worker = nodes_per_worker;
+            stats.queue_wait = std::time::Duration::ZERO;
+            let best = best.filter(|(cost, model)| verify_solution(inst, model) == Ok(*cost));
+            if let Some((c, m)) = &best {
+                outer_cell.offer(*c, m);
+                stats.time_to_best = start.elapsed();
+            }
+            let status = match (&best, all_closed) {
+                (Some(_), true) => SolveStatus::Optimal,
+                (None, true) => SolveStatus::Infeasible,
+                (Some(_), false) => SolveStatus::Feasible,
+                (None, false) => SolveStatus::Unknown,
+            };
+            stats.solve_time = start.elapsed();
+            let (best_cost, best_assignment) = match best {
+                Some((c, m)) => (Some(c), Some(m)),
+                None => (None, None),
+            };
+            return SolveResult { status, best_cost, best_assignment, stats };
+        }
+
+        let mut nodes_per_worker = Vec::with_capacity(outcomes.len());
         for o in &outcomes {
             stats.absorb(&o.stats);
             nodes_per_worker.push(o.stats.decisions);
@@ -526,8 +712,8 @@ impl ParBsolo {
         // (producers already verified, but the cell stores — it does not
         // vouch).
         let best =
-            cell.snapshot().filter(|(cost, model)| verify_solution(inst, model) == Ok(*cost));
-        if let Some((at, _)) = cell.history_since(start).last() {
+            run_cell.snapshot().filter(|(cost, model)| verify_solution(inst, model) == Ok(*cost));
+        if let Some((at, _)) = run_cell.history_since(start).last() {
             stats.time_to_best = *at;
         }
         let status = match (&best, all_closed) {
@@ -545,25 +731,67 @@ impl ParBsolo {
     }
 }
 
+/// Everything a worker needs, threaded as one borrow (the fields are
+/// all shared read-only or internally synchronized).
+struct WorkerCtx<'a> {
+    instance: &'a Instance,
+    options: &'a BsoloOptions,
+    cell: &'a IncumbentCell,
+    queue: &'a CubeQueue,
+    start: Instant,
+    seed: &'a [Vec<Lit>],
+    /// Shared-clause pool (`None`: sharing disabled, or deterministic
+    /// mode).
+    pool: Option<&'a ClausePool>,
+    /// Worker count — the queue-starvation threshold for re-splitting.
+    threads: usize,
+    /// Deterministic-join state (`None` in the default racing mode).
+    det: Option<&'a DetJoin>,
+}
+
+/// Deterministic-join bookkeeping: the incumbent snapshot every cube
+/// task starts from, and the per-cube result records the driver reduces
+/// in cube-lexicographic order at join.
+struct DetJoin {
+    seed_incumbent: Option<(i64, Vec<bool>)>,
+    records: Mutex<Vec<CubeRecord>>,
+}
+
+/// One cube task's result under deterministic join.
+struct CubeRecord {
+    /// The cube as taken from the queue (the sort key; re-splits deepen
+    /// the task's cube but never this record key).
+    cube: Vec<Lit>,
+    /// Subtree exhausted (as opposed to a budget abort).
+    closed: bool,
+    /// Best cost this task holds (its own finds, or the adopted seed).
+    cost: Option<i64>,
+    /// The matching model.
+    model: Option<Vec<bool>>,
+    /// The task's private effort counters.
+    stats: SolverStats,
+}
+
 /// One worker: pull cubes until the frontier drains or the solve
 /// aborts, solving each with a private engine + pipeline rooted in the
 /// cube.
-fn run_worker(
-    instance: &Instance,
-    options: &BsoloOptions,
-    cell: &IncumbentCell,
-    queue: &CubeQueue,
-    start: Instant,
-    seed: &[Vec<Lit>],
-) -> SubtreeResult {
+fn run_worker(ctx: &WorkerCtx<'_>) -> SubtreeResult {
     let mut total = SolverStats::default();
     let mut all_closed = true;
-    while let Some(cube) = queue.next() {
-        let in_flight = InFlight::new(queue);
+    loop {
+        let wait_from = Instant::now();
+        let Some(cube) = ctx.queue.next() else { break };
+        total.queue_wait += wait_from.elapsed();
+        let in_flight = InFlight::new(ctx.queue);
         let mut stats = SolverStats::default();
-        let status = solve_cube(instance, options, cell, start, &cube, seed, &mut stats);
-        total.absorb(&stats);
+        let (status, best) = solve_cube(ctx, &cube, &mut stats);
         let closed = matches!(status, SolveStatus::Optimal | SolveStatus::Infeasible);
+        if let Some(det) = ctx.det {
+            let (cost, model) = best;
+            let mut records = det.records.lock().unwrap_or_else(|p| p.into_inner());
+            records.push(CubeRecord { cube: cube.lits, closed, cost, model, stats: stats.clone() });
+        }
+        total.absorb(&stats);
         in_flight.finish(!closed);
         if !closed {
             all_closed = false;
@@ -576,34 +804,118 @@ fn run_worker(
 /// Solves one subtree task to exhaustion (or budget): the sequential
 /// search loop, rooted in `cube` and seeded with the head start's
 /// learned clauses, publishing incumbents to (and adopting from) the
-/// shared cell.
+/// shared cell — re-splitting its remaining subtree back into the queue
+/// whenever it outlives its conflict allowance while the queue starves.
+/// Returns the final status and the task's best (cost, model).
 fn solve_cube(
-    instance: &Instance,
-    options: &BsoloOptions,
-    cell: &IncumbentCell,
-    start: Instant,
+    ctx: &WorkerCtx<'_>,
     cube: &Cube,
-    seed: &[Vec<Lit>],
     stats: &mut SolverStats,
-) -> SolveStatus {
-    match SearchState::init(instance, options, Some(cell), start, stats, &cube.lits, seed) {
+) -> (SolveStatus, (Option<i64>, Option<Vec<bool>>)) {
+    // Deterministic mode: a private incumbent cell per cube task, seeded
+    // once — the subtree's trajectory depends only on (instance,
+    // options, cube, seed incumbent), never on what sibling workers
+    // found first.
+    let det_cell;
+    let cell: &IncumbentCell = match ctx.det {
+        Some(det) => {
+            det_cell = IncumbentCell::new();
+            if let Some((c, m)) = &det.seed_incumbent {
+                det_cell.offer(*c, m);
+            }
+            &det_cell
+        }
+        None => ctx.cell,
+    };
+    match SearchState::init(
+        ctx.instance,
+        ctx.options,
+        Some(cell),
+        ctx.start,
+        stats,
+        &cube.lits,
+        ctx.seed,
+        ctx.pool,
+    ) {
         Ok(mut search) => {
-            let status = search.run(start, stats);
+            // Grab a primal bound before proving anything: one greedy
+            // cost-avoiding descent per cube task. On one incumbent
+            // cell this turns the frontier into `threads` diverse
+            // primal probes whose best lands in every worker within the
+            // first few milliseconds — without it, proof work done
+            // before the first strong incumbent arrives is inflated by
+            // a weak (or absent) cost bound and dominates the pool's
+            // node count as the worker count grows.
+            let dive_refuted = search.primal_dive();
+            let status = if let Some(status) = dive_refuted {
+                status
+            } else {
+                loop {
+                    // Racing mode shortens the allowance while the queue is
+                    // starving, so a worker holding the last long cube hands
+                    // work to idle peers within a fraction of the normal
+                    // re-split period instead of a full one (the idle-tail
+                    // killer on small subtrees). Deterministic mode keeps
+                    // the fixed schedule — the allowance must not depend on
+                    // queue timing.
+                    let quantum = ctx.options.resplit_conflicts.map(|c| {
+                        let c = c.max(1);
+                        if ctx.det.is_none() && ctx.queue.starving(ctx.threads) {
+                            (c / 8).max(1)
+                        } else {
+                            c
+                        }
+                    });
+                    let cap = quantum.map(|q| search.conflicts().saturating_add(q));
+                    match search.run_capped(ctx.start, stats, cap) {
+                        Some(status) => break status,
+                        None => {
+                            // The conflict allowance is burned on this cube.
+                            // Re-split if the queue is starving (deterministic
+                            // mode re-splits unconditionally — the schedule
+                            // must not depend on queue timing); otherwise just
+                            // raise the cap and keep searching.
+                            if search.cube_depth() >= RESPLIT_MAX_DEPTH {
+                                stats.split_depth_truncated += 1;
+                                continue;
+                            }
+                            if ctx.det.is_none() && !ctx.queue.starving(ctx.threads) {
+                                continue;
+                            }
+                            let arms = search.resplit(RESPLIT_ARMS);
+                            if !arms.is_empty() {
+                                stats.resplits += 1;
+                                ctx.queue
+                                    .push(arms.into_iter().map(|lits| Cube { lits }).collect());
+                                // The re-split left the engine at the root:
+                                // publish/import with the pool while it is
+                                // legal (and cheap) to do so.
+                                if let Some(status) = search.sync_share_after_resplit(stats) {
+                                    break status;
+                                }
+                            }
+                        }
+                    }
+                }
+            };
             search.finish_stats(stats);
-            status
+            let (cost, model) = search.best();
+            (status, (cost, model.cloned()))
         }
         // The cube is closed by root propagation (possibly through a
         // head-seeded, incumbent-conditional clause — in which case the
         // incumbent justifying it is already in the cell): an exhausted,
         // empty subtree.
-        Err(()) => SolveStatus::Infeasible,
+        Err(()) => (SolveStatus::Infeasible, (None, None)),
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+
     use crate::options::{Budget, LbMethod};
+
     use pbo_core::{brute_force, InstanceBuilder};
     use rand::{Rng, SeedableRng};
     use rand_chacha::ChaCha8Rng;
@@ -629,6 +941,26 @@ mod tests {
         if rng.gen_bool(0.9) {
             b.minimize(vars.iter().map(|v| (rng.gen_range(0..6), v.lit(rng.gen_bool(0.85)))));
         }
+        b.build().unwrap()
+    }
+
+    /// A denser generator for the re-split / sharing tests: enough
+    /// constraint structure that a search survives a few dozen conflicts
+    /// (the sparse `random_instance` family often closes in one or two,
+    /// which never triggers the pause-and-re-split machinery).
+    fn dense_instance(rng: &mut ChaCha8Rng, n: usize) -> Instance {
+        let mut b = InstanceBuilder::new();
+        let vars = b.new_vars(n);
+        for _ in 0..3 * n {
+            let k = rng.gen_range(3..=4.min(n));
+            let mut idxs: Vec<usize> = (0..n).collect();
+            for i in 0..k {
+                let j = rng.gen_range(i..n);
+                idxs.swap(i, j);
+            }
+            b.add_at_least(1, idxs[..k].iter().map(|&i| vars[i].positive()));
+        }
+        b.minimize(vars.iter().map(|v| (rng.gen_range(1..8), v.positive())));
         b.build().unwrap()
     }
 
@@ -773,6 +1105,235 @@ mod tests {
                 assert_eq!(par.stats.nodes_per_worker, vec![seq.stats.decisions], "{label}");
             }
         }
+    }
+
+    #[test]
+    fn resplit_arms_partition_the_parent_cube() {
+        // PR-6 soundness property, PR-5 style: pause a cube search
+        // mid-tree, re-split it, and check by enumeration that the
+        // returned arms plus the deepened cube cover the parent cube
+        // exactly (every assignment in the parent matches exactly one
+        // leaf; assignments outside match none).
+        let mut rng = ChaCha8Rng::seed_from_u64(0x5e51);
+        let mut exercised = 0usize;
+        for round in 0..40 {
+            let n = rng.gen_range(12..=14);
+            let inst = dense_instance(&mut rng, n);
+            let mut options = BsoloOptions::with_lb(LbMethod::None);
+            options.probing = false;
+            options.cardinality_cuts = false;
+            let start = Instant::now();
+            let mut stats = SolverStats::default();
+            let split = CubeSplitter::split_to_depth(&inst, 4, 3);
+            let Some(parent) = split.open.first().cloned() else { continue };
+            let Ok(mut search) = SearchState::init(
+                &inst,
+                &options,
+                None,
+                start,
+                &mut stats,
+                &parent.lits,
+                &[],
+                None,
+            ) else {
+                continue;
+            };
+            // Pause after a handful of conflicts so decisions remain on
+            // the trail.
+            if search.run_capped(start, &mut stats, Some(1 + round as u64 % 8)).is_some() {
+                continue;
+            }
+            let arms = search.resplit(3);
+            if arms.is_empty() {
+                continue;
+            }
+            exercised += 1;
+            let mut leaves: Vec<Vec<Lit>> = arms;
+            leaves.push(search.cube_lits().to_vec());
+            let n = inst.num_vars();
+            for bits in 0..(1u32 << n) {
+                let assignment: Vec<bool> = (0..n).map(|v| bits & (1 << v) != 0).collect();
+                let holds = |lits: &[Lit]| {
+                    lits.iter().all(|l| assignment[l.var().index()] == l.is_positive())
+                };
+                let hits = leaves.iter().filter(|lits| holds(lits)).count();
+                assert_eq!(
+                    hits,
+                    usize::from(holds(&parent.lits)),
+                    "round {round}: assignment {bits:b} covered {hits} times"
+                );
+            }
+        }
+        assert!(exercised >= 5, "only {exercised} rounds exercised a re-split");
+    }
+
+    #[test]
+    fn worker_panic_mid_resplit_aborts_cleanly() {
+        use std::panic::{catch_unwind, AssertUnwindSafe};
+        // A worker dies between pushing re-split arms and finishing its
+        // cube: the InFlight drop guard must report the cube as aborted,
+        // so siblings wake up instead of waiting forever for a verdict,
+        // and the driver degrades the status instead of claiming a
+        // closed frontier over silently lost work.
+        let cube = |i: usize, pos: bool| Cube { lits: vec![Lit::new(i, pos)] };
+        let queue = CubeQueue::new(vec![cube(0, true), cube(0, false)]);
+        std::thread::scope(|s| {
+            let q = &queue;
+            s.spawn(move || {
+                let _ = catch_unwind(AssertUnwindSafe(|| {
+                    let _cube = q.next().expect("first cube");
+                    let _guard = InFlight::new(q);
+                    q.push(vec![Cube { lits: vec![Lit::new(1, true), Lit::new(2, true)] }]);
+                    panic!("worker dies mid-re-split");
+                }));
+            })
+            .join()
+            .expect("outer thread caught the panic");
+        });
+        assert!(queue.was_aborted(), "drop guard must abort the solve");
+        assert!(queue.next().is_none(), "aborted queue must release waiters");
+    }
+
+    #[test]
+    fn resplitting_and_sharing_match_brute_force() {
+        // Stress the PR-6 machinery end to end: re-split on every
+        // conflict, restart (= share clauses) constantly, and check the
+        // verified optimum against brute force at 2/4/8 workers.
+        let mut rng = ChaCha8Rng::seed_from_u64(0x6a11);
+        for round in 0..20 {
+            let inst = random_instance(&mut rng, 9);
+            let expected = brute_force(&inst);
+            let mut options = BsoloOptions::with_lb(LbMethod::Mis);
+            options.resplit_conflicts = Some(1);
+            options.restart_base = Some(1);
+            for threads in [2usize, 4, 8] {
+                let got = ParBsolo::new(options.clone(), threads).solve(&inst);
+                match expected.cost() {
+                    Some(opt) => {
+                        assert_eq!(got.status, SolveStatus::Optimal, "round {round} x{threads}");
+                        assert_eq!(got.best_cost, Some(opt), "round {round} x{threads}");
+                        let model = got.best_assignment.as_ref().expect("model");
+                        assert_eq!(verify_solution(&inst, model), Ok(opt));
+                    }
+                    None => {
+                        assert_eq!(got.status, SolveStatus::Infeasible, "round {round} x{threads}");
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn published_clauses_are_cube_independent() {
+        // Solver-level half of the sharing soundness argument (the
+        // engine-level half lives in `pbo-engine`'s randomized test):
+        // run cube-rooted searches against one pool and check by
+        // enumeration that every published clause is implied by the
+        // instance alone (unstamped) or by instance ∧ cost-bound
+        // (stamped) — never by the cube it was learned under.
+        let mut rng = ChaCha8Rng::seed_from_u64(0x50a9);
+        let mut checked = 0usize;
+        for _ in 0..12 {
+            let n_vars = rng.gen_range(10..=12);
+            let inst = dense_instance(&mut rng, n_vars);
+            let mut options = BsoloOptions::with_lb(LbMethod::None);
+            options.probing = false;
+            options.cardinality_cuts = false;
+            options.restart_base = Some(1);
+            let pool = ClausePool::new();
+            let split = CubeSplitter::split_to_depth(&inst, 3, 2);
+            let start = Instant::now();
+            // Root search first (empty cube: everything it learns is
+            // assumption-free and publishable), then the cube workers —
+            // which import the pooled clauses under their cubes, and
+            // whose own cube-dependent learnts the taint filter must
+            // keep *out* of the pool (the enumeration below would catch
+            // a leak as an excluded feasible completion).
+            let mut tasks: Vec<Vec<Lit>> = vec![Vec::new()];
+            tasks.extend(split.open.iter().map(|c| c.lits.clone()));
+            for cube in &tasks {
+                let mut stats = SolverStats::default();
+                if let Ok(mut search) = SearchState::init(
+                    &inst,
+                    &options,
+                    None,
+                    start,
+                    &mut stats,
+                    cube,
+                    &[],
+                    Some(&pool),
+                ) {
+                    let _ = search.run(start, &mut stats);
+                }
+            }
+            let n = inst.num_vars();
+            let Some((_, clauses)) = pool.snapshot_since(0) else { continue };
+            for c in clauses {
+                checked += 1;
+                for bits in 0..(1u32 << n) {
+                    let assignment: Vec<bool> = (0..n).map(|v| bits & (1 << v) != 0).collect();
+                    if !inst.is_feasible(&assignment) {
+                        continue;
+                    }
+                    if let Some(u) = c.upper {
+                        if inst.cost_of(&assignment) > u - 1 {
+                            continue;
+                        }
+                    }
+                    assert!(
+                        c.lits.iter().any(|l| assignment[l.var().index()] == l.is_positive()),
+                        "shared clause {:?} (upper {:?}) excludes a feasible completion",
+                        c.lits,
+                        c.upper
+                    );
+                }
+            }
+        }
+        assert!(checked > 0, "no clauses were ever shared");
+    }
+
+    #[test]
+    fn deterministic_join_is_reproducible_and_exact() {
+        let mut rng = ChaCha8Rng::seed_from_u64(0xde7);
+        for round in 0..12 {
+            let inst = random_instance(&mut rng, 9);
+            let mut options = BsoloOptions::with_lb(LbMethod::Mis);
+            options.deterministic_join = true;
+            options.resplit_conflicts = Some(2);
+            let seq = Bsolo::new(BsoloOptions::with_lb(LbMethod::Mis)).solve(&inst);
+            let a = ParBsolo::new(options.clone(), 3).solve(&inst);
+            let b = ParBsolo::new(options.clone(), 3).solve(&inst);
+            let label = format!("round {round}");
+            // Two runs are bit-equal on everything the mode promises:
+            // status, cost, model, and the merged integer counters.
+            assert_eq!(a.status, b.status, "{label}: status");
+            assert_eq!(a.best_cost, b.best_cost, "{label}: cost");
+            assert_eq!(a.best_assignment, b.best_assignment, "{label}: model");
+            assert_eq!(a.stats.decisions, b.stats.decisions, "{label}: decisions");
+            assert_eq!(a.stats.conflicts, b.stats.conflicts, "{label}: conflicts");
+            assert_eq!(a.stats.propagations, b.stats.propagations, "{label}: propagations");
+            assert_eq!(a.stats.resplits, b.stats.resplits, "{label}: resplits");
+            assert_eq!(a.stats.solutions_found, b.stats.solutions_found, "{label}: solutions");
+            assert_eq!(a.stats.nodes_per_worker, b.stats.nodes_per_worker, "{label}: nodes");
+            assert_eq!(a.stats.queue_wait, std::time::Duration::ZERO, "{label}: queue wait");
+            // And the answer agrees with the sequential solver.
+            assert_eq!(a.status, seq.status, "{label}: vs sequential status");
+            assert_eq!(a.best_cost, seq.best_cost, "{label}: vs sequential cost");
+            // Sharing is structurally off in this mode.
+            assert_eq!(a.stats.clauses_shared, 0, "{label}: sharing off");
+            assert_eq!(a.stats.clauses_imported, 0, "{label}: imports off");
+        }
+    }
+
+    #[test]
+    fn split_depth_truncation_is_reported() {
+        // A depth cap of 1 with a large frontier target: the splitter
+        // must freeze leaves early and say so.
+        let mut rng = ChaCha8Rng::seed_from_u64(0x77);
+        let inst = random_instance(&mut rng, 9);
+        let split = CubeSplitter::split_to_depth(&inst, 64, 1);
+        assert!(split.open.iter().all(|c| c.lits.len() <= 1));
+        assert!(split.depth_truncated > 0, "depth-capped split must report truncation");
     }
 
     #[test]

@@ -52,7 +52,7 @@ use pbo_bounds::{
     NoBound, ResidualState, Subproblem,
 };
 use pbo_core::{Instance, PbConstraint};
-use pbo_engine::{Engine, TrailObserver};
+use pbo_engine::{Engine, Taint, TrailObserver};
 
 use crate::options::{BsoloOptions, LbMethod, ResidualMode};
 use crate::result::SolverStats;
@@ -248,7 +248,16 @@ impl BoundPipeline {
                 if i == 0 { DynRowOrigin::ObjectiveCut } else { DynRowOrigin::CardinalityCut };
             self.rows.push(cut.clone(), origin);
         }
-        for lits in engine.export_learnts(PROMOTE_MAX_LEN, PROMOTE_MAX_COUNT) {
+        // Under taint tracking (a cube worker with clause sharing on)
+        // only assumption-clean clauses may enter the region: a bound
+        // conflict derived through a promoted row is tainted only by the
+        // literals the explanation mentions, so a cube-dependent row —
+        // valid under the cube beyond what its literals say — would let
+        // a cube-dependent learned clause escape into the shareable set
+        // untainted. Imported pool clauses (already globally valid) pass
+        // the filter and flow into the region as the pool intends.
+        let exclude = if engine.taint_tracking() { Taint::ASSUMPTION } else { Taint::NONE };
+        for lits in engine.export_learnts_excluding(PROMOTE_MAX_LEN, PROMOTE_MAX_COUNT, exclude) {
             self.rows.push(PbConstraint::clause(lits), DynRowOrigin::PromotedClause);
         }
         self.method_rows.begin_epoch();

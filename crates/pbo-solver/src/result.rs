@@ -73,8 +73,27 @@ pub struct SolverStats {
     /// solve, merged at join (see [`crate::ParBsolo`]). Empty for plain
     /// sequential solves; a single-element vector equal to
     /// [`SolverStats::decisions`] when a parallel driver ran with one
-    /// worker.
+    /// worker. In deterministic-join mode the entries are per-*cube*
+    /// decision counts in cube-lexicographic order (scheduling-
+    /// independent), not per-thread totals.
     pub nodes_per_worker: Vec<u64>,
+    /// Dynamic re-splits performed by parallel workers: each takes one
+    /// long-running cube and returns the complement cubes of the
+    /// worker's current decision prefix to the queue.
+    pub resplits: u64,
+    /// Cube-independent learned clauses this solve published to the
+    /// shared pool (after the pool's global dedup).
+    pub clauses_shared: u64,
+    /// Shared clauses imported from the pool into a worker's engine.
+    pub clauses_imported: u64,
+    /// Times a cube split stopped descending because it hit the maximum
+    /// split depth (frontier truncated coarser than requested) — see
+    /// [`crate::SplitOutcome::depth_truncated`].
+    pub split_depth_truncated: u64,
+    /// Wall time parallel workers spent blocked on the cube queue
+    /// waiting for work (summed across workers; the idle-tail metric
+    /// that dynamic re-splitting is meant to shrink).
+    pub queue_wait: Duration,
 }
 
 impl SolverStats {
@@ -98,6 +117,11 @@ impl SolverStats {
         self.backjump_levels += other.backjump_levels;
         self.lp_iterations += other.lp_iterations;
         self.nodes += other.nodes;
+        self.resplits += other.resplits;
+        self.clauses_shared += other.clauses_shared;
+        self.clauses_imported += other.clauses_imported;
+        self.split_depth_truncated += other.split_depth_truncated;
+        self.queue_wait += other.queue_wait;
     }
 }
 

@@ -1,0 +1,213 @@
+//! Cross-worker shared-clause pool for the parallel exact search.
+//!
+//! Generalizes the PR-3 cost-cut pool (see [`crate::cuts`] /
+//! `IncumbentCell::publish_cuts_for`): where the cut pool broadcasts the
+//! handful of *upper-bound* constraints derived from the incumbent, this
+//! pool carries the stream of **cube-independent learned clauses** —
+//! clauses whose first-UIP derivation never resolved on a root
+//! assumption (`Taint::ASSUMPTION` unset, tracked by `pbo-engine`).
+//! Such clauses are implied by the instance alone (or by instance ∧
+//! cost-bound when stamped, see [`SharedClause::upper`]) and therefore
+//! sound to install in *any* worker, whatever cube it owns.
+//!
+//! Design: an append-only vector under a mutex, with an atomic epoch
+//! (= number of entries) read lock-free by workers polling at restarts.
+//! Workers remember how far they have read ([`ClausePool::snapshot_since`]
+//! returns only the suffix) and the pool deduplicates globally on the
+//! sorted literal set, so a clause crosses the pool once no matter how
+//! many workers rediscover it.
+
+use std::collections::HashSet;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+use pbo_core::Lit;
+
+/// Hard cap on pool size: beyond this, publishes are dropped (the pool
+/// is a best-effort accelerator; a full pool just means no new sharing).
+const POOL_CAP: usize = 4096;
+
+/// One clause published to the pool.
+#[derive(Clone, Debug)]
+pub struct SharedClause {
+    /// The literals (a disjunction).
+    pub lits: Vec<Lit>,
+    /// Literal block distance at learn time (quality hint for importers).
+    pub lbd: u32,
+    /// `None`: implied by the instance alone. `Some(u)`: implied by
+    /// *instance ∧ (cost ≤ u − 1)* — the producer's incumbent cost at
+    /// publish time. Sound to import anywhere sharing the same
+    /// [`crate::IncumbentCell`], because the incumbent of cost `u` was
+    /// offered to the cell *before* any clause conditional on it was
+    /// derived, so pruning assignments of cost ≥ `u` can never lose the
+    /// global optimum.
+    pub upper: Option<i64>,
+}
+
+impl SharedClause {
+    /// Canonical dedup key: the sorted literal set.
+    pub fn key(&self) -> Vec<Lit> {
+        let mut k = self.lits.clone();
+        k.sort();
+        k.dedup();
+        k
+    }
+}
+
+/// The epoch-stamped shared-clause pool (see module docs).
+#[derive(Debug, Default)]
+pub struct ClausePool {
+    entries: Mutex<PoolState>,
+    /// Equals `entries.clauses.len()`; read lock-free so a worker whose
+    /// read watermark is current skips the mutex entirely.
+    epoch: AtomicU64,
+}
+
+#[derive(Debug, Default)]
+struct PoolState {
+    clauses: Vec<SharedClause>,
+    seen: HashSet<Vec<Lit>>,
+}
+
+impl ClausePool {
+    /// Creates an empty pool.
+    pub fn new() -> ClausePool {
+        ClausePool::default()
+    }
+
+    /// Number of clauses ever accepted (the current epoch).
+    pub fn epoch(&self) -> u64 {
+        self.epoch.load(Ordering::Acquire)
+    }
+
+    /// Publishes a batch, deduplicating against everything already
+    /// pooled. Returns how many clauses were accepted.
+    pub fn publish(&self, batch: Vec<SharedClause>) -> u64 {
+        if batch.is_empty() {
+            return 0;
+        }
+        let mut state = self.lock();
+        let mut accepted = 0u64;
+        for c in batch {
+            if state.clauses.len() >= POOL_CAP {
+                break;
+            }
+            if c.lits.is_empty() {
+                continue;
+            }
+            if state.seen.insert(c.key()) {
+                state.clauses.push(c);
+                accepted += 1;
+            }
+        }
+        if accepted > 0 {
+            self.epoch.store(state.clauses.len() as u64, Ordering::Release);
+        }
+        accepted
+    }
+
+    /// Returns the clauses published after read watermark `seen`, along
+    /// with the new watermark — or `None` if the caller is already
+    /// current (checked lock-free on the epoch).
+    pub fn snapshot_since(&self, seen: usize) -> Option<(usize, Vec<SharedClause>)> {
+        if self.epoch.load(Ordering::Acquire) as usize <= seen {
+            return None;
+        }
+        let state = self.lock();
+        if state.clauses.len() <= seen {
+            return None;
+        }
+        Some((state.clauses.len(), state.clauses[seen..].to_vec()))
+    }
+
+    /// Total clauses currently pooled.
+    pub fn len(&self) -> usize {
+        self.epoch.load(Ordering::Acquire) as usize
+    }
+
+    /// Returns `true` if nothing has been published.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, PoolState> {
+        // A worker that panicked mid-publish leaves the state consistent
+        // (push order only); adopt it rather than poisoning every peer.
+        self.entries.lock().unwrap_or_else(|poisoned| poisoned.into_inner())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lit(i: usize, pos: bool) -> Lit {
+        Lit::new(i, pos)
+    }
+
+    fn sc(lits: Vec<Lit>, upper: Option<i64>) -> SharedClause {
+        SharedClause { lits, lbd: 2, upper }
+    }
+
+    #[test]
+    fn publish_dedups_and_snapshots_incrementally() {
+        let pool = ClausePool::new();
+        assert!(pool.is_empty());
+        assert!(pool.snapshot_since(0).is_none());
+        let a = vec![lit(0, true), lit(1, false)];
+        let b = vec![lit(2, true)];
+        assert_eq!(pool.publish(vec![sc(a.clone(), None), sc(b.clone(), Some(5))]), 2);
+        // Same literal set, different order: deduplicated.
+        assert_eq!(pool.publish(vec![sc(vec![lit(1, false), lit(0, true)], None)]), 0);
+        let (mark, batch) = pool.snapshot_since(0).unwrap();
+        assert_eq!(mark, 2);
+        assert_eq!(batch.len(), 2);
+        assert_eq!(batch[1].upper, Some(5));
+        // Current watermark: lock-free None.
+        assert!(pool.snapshot_since(mark).is_none());
+        // A later publish is visible only past the watermark.
+        assert_eq!(pool.publish(vec![sc(vec![lit(3, true)], None)]), 1);
+        let (mark2, tail) = pool.snapshot_since(mark).unwrap();
+        assert_eq!(mark2, 3);
+        assert_eq!(tail.len(), 1);
+        assert_eq!(pool.len(), 3);
+    }
+
+    #[test]
+    fn pool_cap_bounds_growth() {
+        let pool = ClausePool::new();
+        for i in 0..(POOL_CAP + 100) {
+            let v = i % 64;
+            let tag = i / 64;
+            pool.publish(vec![sc(vec![lit(v, true), lit(64 + tag, tag % 2 == 0)], None)]);
+        }
+        assert!(pool.len() <= POOL_CAP);
+    }
+
+    #[test]
+    fn empty_clauses_rejected() {
+        let pool = ClausePool::new();
+        assert_eq!(pool.publish(vec![sc(Vec::new(), None)]), 0);
+        assert!(pool.is_empty());
+    }
+
+    #[test]
+    fn concurrent_publish_and_snapshot() {
+        let pool = ClausePool::new();
+        std::thread::scope(|s| {
+            for t in 0..4usize {
+                let pool = &pool;
+                s.spawn(move || {
+                    for i in 0..50usize {
+                        pool.publish(vec![sc(vec![lit(t * 50 + i, true)], None)]);
+                        let _ = pool.snapshot_since(i);
+                    }
+                });
+            }
+        });
+        assert_eq!(pool.len(), 200);
+        let (mark, all) = pool.snapshot_since(0).unwrap();
+        assert_eq!(mark, 200);
+        assert_eq!(all.len(), 200);
+    }
+}

@@ -2,7 +2,8 @@
 //!
 //! ```text
 //! pbo-solve [--lb plain|mis|lgr|lpr] [--strategy exact|ls-seeded|concurrent]
-//!           [--ls-threads N] [--bb-threads N] [--timeout-ms N] [--stats] <file.opb>
+//!           [--ls-threads N] [--bb-threads N] [--deterministic]
+//!           [--timeout-ms N] [--stats] <file.opb>
 //! cargo run --release --bin pbo-solve -- --strategy ls-seeded instance.opb
 //! ```
 //!
@@ -18,7 +19,12 @@
 //! N workers solve the subtrees over the shared term arena, racing
 //! incumbents (and eq. 10–13 cost cuts) through the shared cell; with
 //! `--strategy exact` this is pure parallel B&B, and `--bb-threads 1`
-//! (the default) is bit-identical to the sequential solver.
+//! (the default) is bit-identical to the sequential solver. Workers
+//! re-split long-running cubes back into the queue and share
+//! cube-independent learned clauses through an epoch-stamped pool;
+//! `--deterministic` trades that racing for reproducibility (fixed
+//! re-split schedule, no sharing, cube-ordered join) so repeated runs
+//! report identical status, cost, model and counters.
 //!
 //! Output follows the pseudo-Boolean competition conventions:
 //! `s OPTIMUM FOUND` / `s SATISFIABLE` / `s UNSATISFIABLE` /
@@ -36,7 +42,7 @@ use pbo::{
 fn usage() -> ! {
     eprintln!(
         "usage: pbo-solve [--lb plain|mis|lgr|lpr] [--strategy exact|ls-seeded|concurrent] \
-         [--ls-threads N] [--bb-threads N] [--timeout-ms N] [--stats] <file.opb>"
+         [--ls-threads N] [--bb-threads N] [--deterministic] [--timeout-ms N] [--stats] <file.opb>"
     );
     std::process::exit(2);
 }
@@ -46,6 +52,7 @@ fn main() -> ExitCode {
     let mut strategy = SolveStrategy::Exact;
     let mut ls_threads = 1usize;
     let mut bb_threads = 1usize;
+    let mut deterministic = false;
     let mut timeout: Option<u64> = None;
     let mut stats = false;
     let mut path: Option<String> = None;
@@ -86,6 +93,7 @@ fn main() -> ExitCode {
             "--timeout-ms" => {
                 timeout = Some(args.next().and_then(|v| v.parse().ok()).unwrap_or_else(|| usage()))
             }
+            "--deterministic" => deterministic = true,
             "--stats" => stats = true,
             "--help" | "-h" => usage(),
             other if !other.starts_with('-') && path.is_none() => path = Some(other.to_string()),
@@ -116,6 +124,7 @@ fn main() -> ExitCode {
         if bb_threads > 1 { format!(", bb-threads={bb_threads}") } else { String::new() }
     );
     let mut options = BsoloOptions::with_lb(lb);
+    options.deterministic_join = deterministic;
     if let Some(ms) = timeout {
         options = options.budget(Budget::time_limit(Duration::from_millis(ms)));
     }
@@ -166,6 +175,17 @@ fn main() -> ExitCode {
             s.lb_time.as_secs_f64(),
             s.solve_time.as_secs_f64()
         );
+        if bb_threads > 1 {
+            println!(
+                "c resplits={} depth_truncated={} clauses_shared={} clauses_imported={} \
+                 queue_wait={:.3}s",
+                s.resplits,
+                s.split_depth_truncated,
+                s.clauses_shared,
+                s.clauses_imported,
+                s.queue_wait.as_secs_f64()
+            );
+        }
         if s.nodes_per_worker.len() > 1 {
             let per: Vec<String> = s.nodes_per_worker.iter().map(u64::to_string).collect();
             println!("c nodes_per_worker={}", per.join(","));
