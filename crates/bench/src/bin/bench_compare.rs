@@ -13,7 +13,7 @@
 
 use std::process::ExitCode;
 
-use pbo_bench::compare::{compare, evaluate, Gate};
+use pbo_bench::compare::{compare, evaluate, evaluate_anytime, Gate};
 use pbo_bench::parse::parse;
 
 fn usage() -> ! {
@@ -73,7 +73,12 @@ fn main() -> ExitCode {
         comparison.time_ratio.map_or("-".into(), |r| format!("{r:.3}")),
         gate.max_time_ratio,
     );
-    let violations = evaluate(&comparison, gate);
+    let mut violations = evaluate(&comparison, gate);
+    // Anytime dominance: the current portfolio curve must not be
+    // dominated by the baseline's final (time, cost) point.
+    let anytime = evaluate_anytime(&baseline, &current);
+    println!("anytime gate: {} violation(s) against the baseline portfolio curve", anytime.len());
+    violations.extend(anytime);
     if violations.is_empty() {
         println!("OK: no regression vs {baseline_path}");
         ExitCode::SUCCESS

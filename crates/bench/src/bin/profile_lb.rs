@@ -14,7 +14,7 @@ fn main() {
             println!(
                 "{:>5}: {:?} cost={:?} dec={} conf={} bconf={} lbcalls={} lbtime={:.2}s lp_iters={} total={:.2}s",
                 lb.name(), r.status, r.best_cost, r.stats.decisions, r.stats.conflicts,
-                r.stats.bound_conflicts, r.stats.lb_calls, r.stats.lb_time.as_secs_f64(),
+                r.stats.bound_conflicts, r.stats.lb_calls, r.stats.lb_time_total.as_secs_f64(),
                 r.stats.lp_iterations, r.stats.solve_time.as_secs_f64()
             );
         }

@@ -162,6 +162,104 @@ pub fn evaluate(comparison: &Comparison, gate: Gate) -> Vec<String> {
     violations
 }
 
+/// Wall-clock slack applied to the baseline's reference time in the
+/// anytime-dominance gate: snapshots are recorded on whatever machine
+/// ran them, so "reach the same cost by the same time" is asserted with
+/// a 2x allowance (plus an absolute floor, sub-millisecond reference
+/// points being pure scheduling noise).
+pub const ANYTIME_TIME_SLACK: f64 = 2.0;
+
+/// Absolute floor (ms) on the anytime deadline.
+pub const ANYTIME_TIME_FLOOR_MS: f64 = 50.0;
+
+/// One portfolio instance's anytime data extracted from a report.
+#[derive(Clone, Debug, Default)]
+pub struct AnytimePerf {
+    /// The incumbent trajectory as `(time_ms, cost)`, improving in cost.
+    /// Empty when the report predates the `anytime` field; the final
+    /// point is synthesized from `warm_cost` at `warm_time_ms` then.
+    pub curve: Vec<(f64, i64)>,
+    /// The portfolio's final cost (`warm_cost`).
+    pub final_cost: Option<i64>,
+    /// Reference time: when this report's own curve first attained
+    /// `final_cost` (its last improvement). Falls back to the full
+    /// `warm_time_ms` for pre-anytime reports. Deliberately *not*
+    /// `warm_time_to_target_ms` — that clock stops at the *cold run's*
+    /// cost, a different (usually far earlier) point than the final
+    /// incumbent this gate asks the current curve to match.
+    pub ref_time_ms: Option<f64>,
+}
+
+/// Extracts per-instance anytime curves from a report's portfolio
+/// section (empty map when the report has none).
+pub fn extract_anytime(report: &JsonValue) -> BTreeMap<String, AnytimePerf> {
+    let mut out = BTreeMap::new();
+    let Some(instances) =
+        report.get("portfolio").and_then(|p| p.get("instances")).and_then(JsonValue::items)
+    else {
+        return out;
+    };
+    for inst in instances {
+        let name = inst.get("instance").and_then(JsonValue::as_str).unwrap_or("?").to_string();
+        let final_cost = inst.get("warm_cost").and_then(JsonValue::as_f64).map(|c| c as i64);
+        let warm_time = inst.get("warm_time_ms").and_then(JsonValue::as_f64);
+        let mut curve: Vec<(f64, i64)> = inst
+            .get("anytime")
+            .and_then(JsonValue::items)
+            .map(|points| {
+                points
+                    .iter()
+                    .filter_map(|p| {
+                        let pair = p.items()?;
+                        let t = pair.first()?.as_f64()?;
+                        let c = pair.get(1)?.as_f64()? as i64;
+                        Some((t, c))
+                    })
+                    .collect()
+            })
+            .unwrap_or_default();
+        if curve.is_empty() {
+            // Pre-anytime report: its final point is all we know.
+            if let (Some(c), Some(t)) = (final_cost, warm_time) {
+                curve.push((t, c));
+            }
+        }
+        let ref_time_ms = final_cost
+            .and_then(|fc| curve.iter().find(|&&(_, c)| c <= fc).map(|&(t, _)| t))
+            .or(warm_time);
+        out.insert(name, AnytimePerf { curve, final_cost, ref_time_ms });
+    }
+    out
+}
+
+/// The anytime-dominance gate: on every portfolio instance both reports
+/// cover, the current curve must reach the baseline's final cost within
+/// the baseline's reference time (x [`ANYTIME_TIME_SLACK`], floored at
+/// [`ANYTIME_TIME_FLOOR_MS`]) — or end strictly better. A pass means the
+/// current portfolio's anytime behaviour is never dominated by the
+/// snapshot's final-cost point; returns the violations, empty on pass.
+pub fn evaluate_anytime(baseline: &JsonValue, current: &JsonValue) -> Vec<String> {
+    let base = extract_anytime(baseline);
+    let cur = extract_anytime(current);
+    let mut violations = Vec::new();
+    for (name, b) in &base {
+        let Some(c) = cur.get(name) else { continue };
+        let (Some(b_cost), Some(b_time)) = (b.final_cost, b.ref_time_ms) else { continue };
+        let deadline = (b_time * ANYTIME_TIME_SLACK).max(ANYTIME_TIME_FLOOR_MS);
+        let reached = c.curve.iter().any(|&(t, cost)| t <= deadline && cost <= b_cost);
+        let better_final = c.final_cost.is_some_and(|f| f < b_cost);
+        if !reached && !better_final {
+            violations.push(format!(
+                "{name}: anytime curve dominated by the baseline — no incumbent <= {b_cost} \
+                 within {deadline:.1}ms (baseline reached it at {b_time:.1}ms; current curve \
+                 {:?}, final cost {:?})",
+                c.curve, c.final_cost
+            ));
+        }
+    }
+    violations
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -235,6 +333,66 @@ mod tests {
         let violations = evaluate(&c, Gate::default());
         assert!(!violations.is_empty(), "{c:?}");
         assert!(violations.iter().any(|v| v.contains("no comparable cells")), "{violations:?}");
+    }
+
+    fn portfolio_report(warm_cost: i64, warm_tt_ms: f64, anytime: &str) -> JsonValue {
+        let text = format!(
+            r#"{{"budget_ms": 500, "seeds": 1, "families": [],
+                "portfolio": {{"instances": [
+                    {{"instance": "synth-0", "target_cost": {warm_cost},
+                      "warm_time_to_target_ms": {warm_tt_ms}, "warm_time_ms": 400.0,
+                      "warm_cost": {warm_cost}, "anytime": {anytime}}}
+                ]}},
+                "residual_ablation": null}}"#
+        );
+        parse(&text).unwrap()
+    }
+
+    #[test]
+    fn matching_anytime_curves_pass() {
+        let base = portfolio_report(5, 100.0, "[[50.0, 8], [100.0, 5]]");
+        let cur = portfolio_report(5, 120.0, "[[60.0, 7], [120.0, 5]]");
+        assert!(evaluate_anytime(&base, &cur).is_empty());
+    }
+
+    #[test]
+    fn dominated_curve_is_flagged() {
+        // Baseline had cost 5 by 100ms; current never gets below 7
+        // inside 2x100ms and ends worse.
+        let base = portfolio_report(5, 100.0, "[[100.0, 5]]");
+        let cur = portfolio_report(7, 150.0, "[[150.0, 7]]");
+        let violations = evaluate_anytime(&base, &cur);
+        assert!(!violations.is_empty());
+        assert!(violations[0].contains("dominated"), "{violations:?}");
+    }
+
+    #[test]
+    fn strictly_better_final_cost_excuses_a_late_curve() {
+        // Current reaches the baseline cost late, but its final cost is
+        // strictly better: improved quality is not a regression.
+        let base = portfolio_report(5, 10.0, "[[10.0, 5]]");
+        let cur = portfolio_report(4, 300.0, "[[300.0, 4]]");
+        assert!(evaluate_anytime(&base, &cur).is_empty());
+    }
+
+    #[test]
+    fn pre_anytime_baseline_still_gates_on_its_final_point() {
+        // A PR-6-era snapshot has no "anytime" array; its warm point
+        // still anchors the gate, and a current run matching it passes.
+        let base = parse(
+            r#"{"budget_ms": 500, "seeds": 1, "families": [],
+                "portfolio": {"instances": [
+                    {"instance": "synth-0", "target_cost": 5,
+                     "warm_time_to_target_ms": 100.0, "warm_time_ms": 400.0,
+                     "warm_cost": 5}
+                ]},
+                "residual_ablation": null}"#,
+        )
+        .unwrap();
+        let good = portfolio_report(5, 90.0, "[[90.0, 5]]");
+        assert!(evaluate_anytime(&base, &good).is_empty());
+        let bad = portfolio_report(9, 350.0, "[[350.0, 9]]");
+        assert!(!evaluate_anytime(&base, &bad).is_empty());
     }
 
     #[test]

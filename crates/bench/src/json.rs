@@ -174,6 +174,12 @@ pub struct PortfolioProbe {
     pub ls_time: Duration,
     /// Relative gap of `ls_cost` vs `target_cost` (0.0 = optimal).
     pub ls_gap: Option<f64>,
+    /// The portfolio's anytime curve: every `(time, cost)` the shared
+    /// incumbent cell recorded, strictly improving in cost. The
+    /// machine-readable trajectory behind the anytime-solving claims —
+    /// `bench_compare` gates the current curve against the snapshot's
+    /// final point.
+    pub anytime: Vec<(Duration, i64)>,
 }
 
 /// One instance of the parallel-LS (ParLS) probe: a single deterministic
@@ -402,6 +408,12 @@ fn opt_f64(v: Option<f64>) -> String {
     }
 }
 
+/// Renders an anytime curve as a JSON array of `[time_ms, cost]` pairs.
+fn anytime_json(curve: &[(Duration, i64)]) -> String {
+    let pairs: Vec<String> = curve.iter().map(|&(t, c)| format!("[{:.3}, {c}]", ms(t))).collect();
+    format!("[{}]", pairs.join(", "))
+}
+
 fn write_portfolio(out: &mut String, probes: &[PortfolioProbe]) {
     out.push_str("  \"portfolio\": {\n    \"instances\": [\n");
     for (i, p) in probes.iter().enumerate() {
@@ -412,7 +424,8 @@ fn write_portfolio(out: &mut String, probes: &[PortfolioProbe]) {
              \"exact_time_ms\": {:.3}, \"exact_nodes\": {}, \
              \"warm_time_to_target_ms\": {}, \"warm_time_ms\": {:.3}, \
              \"warm_nodes\": {}, \"warm_cost\": {}, \
-             \"ls_cost\": {}, \"ls_time_ms\": {:.3}, \"ls_gap\": {}}}{comma}",
+             \"ls_cost\": {}, \"ls_time_ms\": {:.3}, \"ls_gap\": {}, \
+             \"anytime\": {}}}{comma}",
             escape(&p.instance),
             opt_i64(p.target_cost),
             p.exact_optimal,
@@ -425,6 +438,7 @@ fn write_portfolio(out: &mut String, probes: &[PortfolioProbe]) {
             opt_i64(p.ls_cost),
             ms(p.ls_time),
             opt_f64(p.ls_gap),
+            anytime_json(&p.anytime),
         );
     }
     out.push_str("    ],\n");
@@ -576,8 +590,8 @@ pub fn render_report_full(
                     ms(cell.stats.solve_time),
                     cell.stats.decisions,
                     cell.stats.lb_calls,
-                    ms(cell.stats.lb_time),
-                    ms(cell.stats.sub_time),
+                    ms(cell.stats.lb_time_total),
+                    ms(cell.stats.sub_time_total),
                 );
             }
             let comma = if ri + 1 < rows.len() { "," } else { "" };

@@ -286,9 +286,9 @@ pub fn run_portfolio_probe(
             let cell = IncumbentCell::new();
             let start = Instant::now();
             let warm = Portfolio::new(portfolio_options(budget)).solve_with_cell(inst, &cell);
-            let warm_time_to_target = target_cost.and_then(|t| {
-                cell.history_since(start).iter().find(|&&(_, c)| c <= t).map(|&(d, _)| d)
-            });
+            let anytime = cell.history_since(start);
+            let warm_time_to_target =
+                target_cost.and_then(|t| anytime.iter().find(|&&(_, c)| c <= t).map(|&(d, _)| d));
             // LS alone, for the quality gate.
             let ls_start = Instant::now();
             let ls =
@@ -313,6 +313,7 @@ pub fn run_portfolio_probe(
                 ls_cost: ls.best_cost,
                 ls_time,
                 ls_gap,
+                anytime,
             }
         })
         .collect()
@@ -406,7 +407,7 @@ pub fn run_par_bb_probe(
         clauses_shared: result.stats.clauses_shared,
         clauses_imported: result.stats.clauses_imported,
         depth_truncated: result.stats.split_depth_truncated,
-        queue_wait: result.stats.queue_wait,
+        queue_wait: result.stats.queue_wait_total,
         nodes_per_worker: result.stats.nodes_per_worker.clone(),
     };
     order
@@ -449,8 +450,8 @@ pub fn run_residual_ablation(
         .solve(instance);
         AblationSide {
             lb_calls: result.stats.lb_calls,
-            sub_time: result.stats.sub_time,
-            lb_time: result.stats.lb_time,
+            sub_time: result.stats.sub_time_total,
+            lb_time: result.stats.lb_time_total,
             decisions: result.stats.decisions,
         }
     };

@@ -18,6 +18,7 @@ use pbo_bounds::{
     DynRowOrigin, DynamicRows, LagrangianBound, LbOutcome, LowerBound, MisBound, ResidualState,
 };
 use pbo_core::{normalize, Assignment, Instance, Lit, RelOp, Var};
+use pbo_trace::{BoundOutcome, TraceEvent, Tracer};
 
 struct CountingAlloc;
 
@@ -75,7 +76,11 @@ fn objective_cut_rows(instance: &Instance, upper: i64) -> DynamicRows {
 }
 
 /// The per-node script: apply a batch of literals, bound with both
-/// kernels, unwind — the exact shape of the solver's hot loop.
+/// kernels, unwind — the exact shape of the solver's hot loop,
+/// including the telemetry emission the `BoundPipeline` performs after
+/// every bound call. With the default no-op sink (`Tracer::off`) the
+/// emission must cost a single branch and zero heap traffic — that is
+/// the disabled-path overhead contract of `pbo-trace`.
 #[allow(clippy::too_many_arguments)]
 fn replay_script(
     instance: &Instance,
@@ -84,6 +89,7 @@ fn replay_script(
     mis: &mut MisBound,
     lgr: &mut LagrangianBound,
     out: &mut LbOutcome,
+    tracer: &Tracer,
     upper: i64,
     script: &[Vec<Lit>],
 ) {
@@ -95,10 +101,22 @@ fn replay_script(
         {
             let view = state.view(instance, assignment);
             mis.lower_bound_into(&view, Some(upper), out);
+            tracer.emit(TraceEvent::Bound {
+                method: "mis",
+                outcome: BoundOutcome::Open,
+                margin: out.bound,
+                dur_ns: 0,
+            });
         }
         {
             let view = state.view(instance, assignment);
             lgr.lower_bound_into(&view, Some(upper), out);
+            tracer.emit(TraceEvent::Bound {
+                method: "lgr",
+                outcome: BoundOutcome::Open,
+                margin: out.bound,
+                dur_ns: 0,
+            });
         }
         for &lit in batch.iter().rev() {
             assignment.unassign(lit.var());
@@ -121,6 +139,7 @@ fn mis_and_lgr_per_node_calls_are_allocation_free_at_steady_state() {
     let mut mis = MisBound::new();
     let mut lgr = LagrangianBound::new(instance.num_constraints());
     let mut out = LbOutcome::bound(0, Vec::new());
+    let tracer = Tracer::off();
 
     // A deterministic batch script over distinct variables.
     let script: Vec<Vec<Lit>> = (0..8)
@@ -140,12 +159,14 @@ fn mis_and_lgr_per_node_calls_are_allocation_free_at_steady_state() {
             &mut mis,
             &mut lgr,
             &mut out,
+            &tracer,
             upper,
             &script,
         );
     }
 
-    // Steady state: replaying the same script must not touch the heap.
+    // Steady state: replaying the same script — telemetry emission
+    // through the no-op sink included — must not touch the heap.
     let before = ALLOCS.load(Ordering::Relaxed);
     replay_script(
         &instance,
@@ -154,6 +175,7 @@ fn mis_and_lgr_per_node_calls_are_allocation_free_at_steady_state() {
         &mut mis,
         &mut lgr,
         &mut out,
+        &tracer,
         upper,
         &script,
     );

@@ -190,6 +190,9 @@ pub struct Engine {
     /// that observer's last [`Engine::sync_trail`] call — its
     /// reconciliation point. Indexed by [`TrailObserver`].
     trail_low: Vec<usize>,
+    /// Telemetry sink; [`pbo_trace::Tracer::off`] by default, so the
+    /// emission sites below cost one branch when tracing is disabled.
+    tracer: pbo_trace::Tracer,
     /// Stats are public for cheap read access by solvers.
     pub stats: EngineStats,
 }
@@ -235,8 +238,16 @@ impl Engine {
             var_taint: vec![Taint::NONE; num_vars],
             pb_taint: Vec::new(),
             trail_low: Vec::new(),
+            tracer: pbo_trace::Tracer::off(),
             stats: EngineStats::default(),
         }
+    }
+
+    /// Installs a telemetry tracer. Events are emitted at the exact
+    /// sites that increment [`EngineStats`], so traced event counts
+    /// reconcile with the counters.
+    pub fn set_tracer(&mut self, tracer: pbo_trace::Tracer) {
+        self.tracer = tracer;
     }
 
     /// Number of variables.
@@ -776,6 +787,7 @@ impl Engine {
         assert!(self.assignment.is_unassigned(lit), "deciding an assigned literal");
         self.trail_lim.push(self.trail.len());
         self.stats.decisions += 1;
+        self.tracer.emit(pbo_trace::TraceEvent::Decision);
         let ok = self.enqueue(lit, Reason::None);
         debug_assert!(ok);
     }
@@ -811,6 +823,7 @@ impl Engine {
     /// Restarts the search (backjump to the root, keep learned clauses).
     pub fn restart(&mut self) {
         self.stats.restarts += 1;
+        self.tracer.emit(pbo_trace::TraceEvent::Restart);
         self.backjump_to(0);
     }
 
@@ -1011,6 +1024,7 @@ impl Engine {
         /// deep cubes.
         const MAX_KEPT_ROOT_LITS: usize = 12;
         self.stats.conflicts += 1;
+        self.tracer.emit(pbo_trace::TraceEvent::Conflict);
         let mut taint = extra;
         if self.track_taint {
             taint |= match &conflict {

@@ -79,5 +79,7 @@ mod pool;
 mod search;
 
 pub use cell::{IncumbentCell, SharedCut};
-pub use pool::{diversified_options, run_pool_racing, run_pool_steps, PoolResult};
+pub use pool::{
+    diversified_options, run_pool_racing, run_pool_racing_traced, run_pool_steps, PoolResult,
+};
 pub use search::{LocalSearch, LsOptions, LsResult, LsStats};

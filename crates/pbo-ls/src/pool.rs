@@ -24,8 +24,10 @@
 //!   gate asserts — and the outcome is bit-reproducible.
 
 use std::sync::atomic::AtomicBool;
+use std::time::Instant;
 
 use pbo_core::Instance;
+use pbo_trace::{Event, Tracer, LS_LANE_BASE};
 
 use crate::cell::IncumbentCell;
 use crate::search::{LocalSearch, LsOptions, LsStats};
@@ -121,8 +123,27 @@ pub fn run_pool_racing(
     cell: &IncumbentCell,
     stop: &AtomicBool,
 ) -> Vec<LsStats> {
+    run_pool_racing_traced(instance, base, workers, chunk_steps, cell, stop, None).0
+}
+
+/// [`run_pool_racing`] with telemetry: when `trace_epoch` is given, every
+/// worker buffers its restart/cut-install/incumbent events on lane
+/// [`LS_LANE_BASE`]` + worker` with timestamps relative to that epoch
+/// (pass the solve's start instant so LS lanes align with the exact
+/// side's lanes). The merged event stream rides alongside the per-worker
+/// counters; with `trace_epoch == None` the emission path is the
+/// allocation-free no-op sink.
+pub fn run_pool_racing_traced(
+    instance: &Instance,
+    base: &LsOptions,
+    workers: usize,
+    chunk_steps: u64,
+    cell: &IncumbentCell,
+    stop: &AtomicBool,
+    trace_epoch: Option<Instant>,
+) -> (Vec<LsStats>, Vec<Event>) {
     assert!(workers > 0, "a pool needs at least one worker");
-    std::thread::scope(|scope| {
+    let results: Vec<(LsStats, Vec<Event>)> = std::thread::scope(|scope| {
         let handles: Vec<_> = (0..workers)
             .map(|w| {
                 let opts = LsOptions {
@@ -132,11 +153,18 @@ pub fn run_pool_racing(
                 };
                 scope.spawn(move || {
                     let mut ls = LocalSearch::new(instance, opts);
+                    // The tracer is built inside the worker thread: its
+                    // buffer is worker-owned (no cross-thread sharing),
+                    // only the drained events cross back at join.
+                    ls.set_tracer(match trace_epoch {
+                        Some(epoch) => Tracer::buffered(LS_LANE_BASE + w as u32, epoch),
+                        None => Tracer::off(),
+                    });
                     loop {
                         let before = ls.stats.steps;
                         let _ = ls.run(Some(cell), Some(stop));
                         if stop.load(std::sync::atomic::Ordering::Relaxed) {
-                            break ls.stats.clone();
+                            break (ls.stats.clone(), ls.drain_trace());
                         }
                         if ls.stats.steps == before {
                             // Nothing left to do (target/optimum reached):
@@ -148,7 +176,14 @@ pub fn run_pool_racing(
             })
             .collect();
         handles.into_iter().map(|h| h.join().expect("LS worker panicked")).collect()
-    })
+    });
+    let mut stats = Vec::with_capacity(results.len());
+    let mut events = Vec::new();
+    for (s, ev) in results {
+        stats.push(s);
+        events.extend(ev);
+    }
+    (stats, events)
 }
 
 #[cfg(test)]

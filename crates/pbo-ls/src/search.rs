@@ -4,6 +4,7 @@ use std::sync::atomic::{AtomicBool, Ordering};
 use std::time::{Duration, Instant};
 
 use pbo_core::{verify_solution, Instance, PbTerm, TermArena, Var};
+use pbo_trace::{TraceEvent, Tracer};
 use rand::{Rng, SeedableRng};
 use rand_chacha::ChaCha8Rng;
 
@@ -189,6 +190,8 @@ pub struct LocalSearch<'a> {
     cand: Vec<usize>,
     /// Effort counters.
     pub stats: LsStats,
+    /// Telemetry sink (off by default; see [`LocalSearch::set_tracer`]).
+    tracer: Tracer,
 }
 
 impl<'a> LocalSearch<'a> {
@@ -239,9 +242,22 @@ impl<'a> LocalSearch<'a> {
             best: None,
             cand: Vec::new(),
             stats: LsStats::default(),
+            tracer: Tracer::off(),
         };
         ls.reset_to(None);
         ls
+    }
+
+    /// Installs a telemetry tracer: restarts, cut installs and verified
+    /// incumbents are emitted into its buffer. Drain with
+    /// [`LocalSearch::drain_trace`] when the walk is done.
+    pub fn set_tracer(&mut self, tracer: Tracer) {
+        self.tracer = tracer;
+    }
+
+    /// Drains the buffered telemetry events recorded so far.
+    pub fn drain_trace(&mut self) -> Vec<pbo_trace::Event> {
+        self.tracer.drain()
     }
 
     /// The best verified solution found so far.
@@ -330,6 +346,7 @@ impl<'a> LocalSearch<'a> {
                 self.add_violated(ci as u32);
             }
         }
+        self.tracer.emit(TraceEvent::CutsInstalled { n: self.extra.len() as u64 });
     }
 
     /// Adopts a fresh cut pool from the cell, if its epoch moved.
@@ -656,6 +673,7 @@ impl<'a> LocalSearch<'a> {
                     self.best = Some((cost, self.values.clone()));
                     self.stats.incumbents += 1;
                     self.stats.time_to_best = Some(self.created.elapsed());
+                    self.tracer.emit(TraceEvent::Solution { cost });
                     if let Some(cell) = cell {
                         cell.offer(cost, &self.values);
                     }
@@ -700,6 +718,7 @@ impl<'a> LocalSearch<'a> {
     /// (or fresh randomness before any incumbent exists).
     fn restart(&mut self) {
         self.stats.restarts += 1;
+        self.tracer.emit(TraceEvent::LsRestart);
         for w in &mut self.weights {
             *w = (*w / 2).max(1);
         }

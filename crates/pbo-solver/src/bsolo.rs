@@ -43,6 +43,7 @@ use pbo_bounds::DynRowOrigin;
 use pbo_core::{verify_solution, Instance, Lit, PbConstraint, Value, Var};
 use pbo_engine::{Conflict, Engine, LubyRestarts, PbId, Resolution, Taint};
 use pbo_ls::{IncumbentCell, SharedCut};
+use pbo_trace::{TraceEvent, Tracer};
 
 use crate::cuts::{cost_cuts, knapsack_cut};
 use crate::options::{Branching, BsoloOptions, LbMethod};
@@ -135,6 +136,7 @@ impl Bsolo {
         } else {
             instance
         };
+        let tracer = if self.options.trace { Tracer::buffered(0, start) } else { Tracer::off() };
         let mut search = match SearchState::init(
             instance,
             &self.options,
@@ -144,10 +146,12 @@ impl Bsolo {
             &[],
             &[],
             None,
+            tracer.clone(),
         ) {
             Ok(s) => s,
             Err(()) => {
                 stats.solve_time = start.elapsed();
+                stats.trace = tracer.drain();
                 return SolveResult {
                     status: SolveStatus::Infeasible,
                     best_cost: None,
@@ -159,6 +163,7 @@ impl Bsolo {
         let status = search.run(start, &mut stats);
         search.finish_stats(&mut stats);
         stats.solve_time = start.elapsed();
+        stats.trace.extend(tracer.drain());
         SolveResult {
             status,
             best_cost: search.best_cost,
@@ -224,6 +229,9 @@ pub(crate) struct SearchState<'a> {
     /// Canonical keys of every clause this search ever offered to the
     /// pool — so a worker never re-imports its own publications.
     my_keys: HashSet<Vec<Lit>>,
+    /// Telemetry handle shared with the engine and the bound pipeline
+    /// (one lane per worker); [`Tracer::off`] when tracing is disabled.
+    tracer: Tracer,
 }
 
 impl<'a> SearchState<'a> {
@@ -262,8 +270,10 @@ impl<'a> SearchState<'a> {
         cube: &[Lit],
         seed: &[Vec<Lit>],
         pool: Option<&'a ClausePool>,
+        tracer: Tracer,
     ) -> Result<SearchState<'a>, ()> {
         let mut engine = Engine::new(instance.num_vars());
+        engine.set_tracer(tracer.clone());
         // Tracking must precede the first assumption or tainted fact;
         // instance constraints and probing are instance-implied, so the
         // order relative to them is irrelevant.
@@ -304,7 +314,8 @@ impl<'a> SearchState<'a> {
                 return Err(());
             }
         }
-        let pipeline = BoundPipeline::new(instance, options, &mut engine);
+        let mut pipeline = BoundPipeline::new(instance, options, &mut engine);
+        pipeline.set_tracer(tracer.clone());
         let mut restarts = options.restart_base.map(|base| LubyRestarts::new(base.max(1)));
         let next_restart =
             restarts.as_mut().map_or(u64::MAX, |r| r.next().expect("luby sequence is infinite"));
@@ -326,6 +337,7 @@ impl<'a> SearchState<'a> {
             pool,
             pool_seen: 0,
             my_keys: HashSet::new(),
+            tracer,
         };
         // Late-launching workers start with everything already pooled.
         if state.sync_share(stats).is_err() {
@@ -549,19 +561,31 @@ impl<'a> SearchState<'a> {
                 batch.push(clause);
             }
         }
-        stats.clauses_shared += pool.publish(batch);
+        let published = pool.publish(batch);
+        stats.clauses_shared += published;
+        if published > 0 {
+            self.tracer.emit(TraceEvent::ClausesShared { n: published });
+        }
         // Import.
         if let Some((mark, incoming)) = pool.snapshot_since(self.pool_seen) {
             self.pool_seen = mark;
+            let mut imported = 0u64;
             for c in incoming {
                 if self.my_keys.contains(&c.key()) {
                     continue;
                 }
                 let taint = if c.upper.is_some() { Taint::INCUMBENT } else { Taint::NONE };
                 stats.clauses_imported += 1;
+                imported += 1;
                 if self.engine.add_learnt_clause(c.lits, taint, c.lbd).is_err() {
+                    if imported > 0 {
+                        self.tracer.emit(TraceEvent::ClausesImported { n: imported });
+                    }
                     return Err(());
                 }
+            }
+            if imported > 0 {
+                self.tracer.emit(TraceEvent::ClausesImported { n: imported });
             }
         }
         Ok(())
@@ -657,14 +681,30 @@ impl<'a> SearchState<'a> {
             self.instance.objective().map(|o| o.terms().to_vec()).unwrap_or_default();
         cost_order.sort_by(|a, b| b.0.cmp(&a.0).then_with(|| a.1.cmp(&b.1)));
         let mut next = 0usize;
+        let dive_start = self.tracer.now_ns();
+        let mut dive_len = 0u32;
+        let dive_end = |tracer: &Tracer, len: u32, refuted: bool| {
+            tracer.emit(TraceEvent::DiveEnd {
+                len,
+                refuted,
+                dur_ns: tracer.now_ns().saturating_sub(dive_start),
+            });
+        };
         loop {
             if let Some(conflict) = self.engine.propagate() {
                 match self.engine.resolve_conflict(conflict) {
-                    Resolution::Unsat => return Some(self.exhausted_status()),
-                    Resolution::Backjumped { .. } => return None,
+                    Resolution::Unsat => {
+                        dive_end(&self.tracer, dive_len, true);
+                        return Some(self.exhausted_status());
+                    }
+                    Resolution::Backjumped { .. } => {
+                        dive_end(&self.tracer, dive_len, false);
+                        return None;
+                    }
                 }
             }
             if self.engine.assignment().is_complete() {
+                dive_end(&self.tracer, dive_len, false);
                 return None;
             }
             let lit = loop {
@@ -684,10 +724,22 @@ impl<'a> SearchState<'a> {
                 }
             };
             match lit {
-                Some(l) => self.engine.decide(l),
-                None => return None,
+                Some(l) => {
+                    self.engine.decide(l);
+                    dive_len += 1;
+                }
+                None => {
+                    dive_end(&self.tracer, dive_len, false);
+                    return None;
+                }
             }
         }
+    }
+
+    /// This search's telemetry handle (the parallel driver emits cube
+    /// lifecycle events on the same lane).
+    pub(crate) fn tracer(&self) -> &Tracer {
+        &self.tracer
     }
 
     /// Depth of this search's cube (grows with every re-split).
@@ -850,6 +902,7 @@ impl<'a> SearchState<'a> {
         // counter would otherwise tally the same incumbent once per
         // adopting worker in a parallel solve.
         stats.time_to_best = self.start.elapsed();
+        self.tracer.emit(TraceEvent::Adopt { cost });
         if !self.instance.is_optimization() {
             // Pure satisfaction: a verified external model finishes the
             // solve (mirror of `record_solution`).
@@ -874,6 +927,7 @@ impl<'a> SearchState<'a> {
             self.best_cost = Some(cost);
             stats.solutions_found += 1;
             stats.time_to_best = self.start.elapsed();
+            self.tracer.emit(TraceEvent::Solution { cost });
             // Publish before moving the model into our own slot; the cell
             // clones only on improvement.
             if let Some(cell) = self.cell {

@@ -80,3 +80,5 @@ pub use share::{ClausePool, SharedClause};
 
 #[cfg(test)]
 mod solver_tests;
+#[cfg(test)]
+mod trace_tests;

@@ -212,6 +212,12 @@ pub struct BsoloOptions {
     /// of thread scheduling. Costs some pruning (no cross-worker
     /// incumbent races); intended for parity suites and debugging.
     pub deterministic_join: bool,
+    /// Record structured telemetry events (decisions, conflicts, bound
+    /// calls, incumbents, cube lifecycle) into per-worker buffers merged
+    /// into [`crate::SolverStats::trace`] at join. Off by default: the
+    /// disabled emission path is a single branch per site and
+    /// allocation-free (see `pbo-trace`).
+    pub trace: bool,
     /// Resource budget.
     pub budget: Budget,
 }
@@ -234,6 +240,7 @@ impl Default for BsoloOptions {
             share_clauses: true,
             resplit_conflicts: Some(256),
             deterministic_join: false,
+            trace: false,
             budget: Budget::unlimited(),
         }
     }

@@ -93,6 +93,7 @@ use std::time::Instant;
 use pbo_core::{verify_solution, Instance, Lit, Value, Var};
 use pbo_engine::Engine;
 use pbo_ls::IncumbentCell;
+use pbo_trace::{TraceEvent, Tracer};
 
 use crate::bsolo::{Bsolo, SearchState};
 use crate::options::BsoloOptions;
@@ -535,6 +536,11 @@ impl ParBsolo {
         };
 
         let mut stats = SolverStats::default();
+        // Driver-lane tracer (lane 0): head-start events, splitter
+        // decisions and split-time solutions. Worker lanes are created
+        // inside the worker threads (the buffer is worker-owned).
+        let driver_tracer =
+            if self.options.trace { Tracer::buffered(0, start) } else { Tracer::off() };
         // Head start: one decision-bounded sequential prefix. Finding
         // the *first* incumbent is the one phase cube workers would
         // otherwise duplicate per cube (no upper bound, no cost cuts, no
@@ -568,6 +574,7 @@ impl ParBsolo {
             &[],
             &[],
             None,
+            driver_tracer.clone(),
         ) {
             Ok(mut search) => {
                 let status = search.run(start, &mut stats);
@@ -584,6 +591,7 @@ impl ParBsolo {
             // worker slots report zero.
             stats.nodes_per_worker = vec![0; self.threads];
             stats.nodes_per_worker[0] = stats.decisions;
+            stats.trace.extend(driver_tracer.drain());
             stats.solve_time = start.elapsed();
             if let Some((at, _)) = run_cell.history_since(start).last() {
                 stats.time_to_best = *at;
@@ -605,7 +613,14 @@ impl ParBsolo {
         let split = CubeSplitter::split(inst, self.threads * CUBES_PER_WORKER);
         stats.decisions = head_nodes + split.decisions;
         stats.split_depth_truncated += split.depth_truncated;
+        if split.decisions > 0 {
+            // Recorded in bulk so traced decision events still reconcile
+            // with `stats.decisions` (the splitter's private engine is
+            // never traced per node).
+            driver_tracer.emit(TraceEvent::SplitterDecisions { n: split.decisions });
+        }
         if split.root_unsat {
+            stats.trace.extend(driver_tracer.drain());
             stats.solve_time = start.elapsed();
             stats.nodes_per_worker = vec![0; self.threads];
             return SolveResult {
@@ -619,8 +634,10 @@ impl ParBsolo {
         for (_, cost, model) in &split.solved {
             if verify_solution(inst, model) == Ok(*cost) && run_cell.offer(*cost, model) {
                 stats.solutions_found += 1;
+                driver_tracer.emit(TraceEvent::Solution { cost: *cost });
             }
         }
+        stats.trace.extend(driver_tracer.drain());
 
         // Cross-worker clause sharing (see [`crate::share`]): racing
         // mode only — deterministic joins must not depend on which
@@ -648,9 +665,9 @@ impl ParBsolo {
         };
         let outcomes: Vec<SubtreeResult> = std::thread::scope(|scope| {
             let handles: Vec<_> = (0..self.threads)
-                .map(|_| {
+                .map(|w| {
                     let ctx = &ctx;
-                    scope.spawn(move || run_worker(ctx))
+                    scope.spawn(move || run_worker(ctx, w))
                 })
                 .collect();
             handles.into_iter().map(|h| h.join().expect("B&B worker panicked")).collect()
@@ -669,7 +686,15 @@ impl ParBsolo {
             records.sort_by(|a, b| a.cube.cmp(&b.cube));
             let mut best = dj.seed_incumbent;
             let mut nodes_per_worker = Vec::with_capacity(records.len());
-            for r in &records {
+            for (i, r) in records.iter_mut().enumerate() {
+                // Re-lane by cube position: the lane a record's events
+                // were emitted on is the (scheduling-dependent) worker
+                // index, but the sorted cube position is deterministic —
+                // after this rewrite the whole event sequence is a pure
+                // function of instance + options, like the counters.
+                for ev in &mut r.stats.trace {
+                    ev.lane = (i + 1) as u32;
+                }
                 stats.absorb(&r.stats);
                 nodes_per_worker.push(r.stats.decisions);
                 all_closed &= r.closed;
@@ -680,7 +705,7 @@ impl ParBsolo {
                 }
             }
             stats.nodes_per_worker = nodes_per_worker;
-            stats.queue_wait = std::time::Duration::ZERO;
+            stats.queue_wait_total = std::time::Duration::ZERO;
             let best = best.filter(|(cost, model)| verify_solution(inst, model) == Ok(*cost));
             if let Some((c, m)) = &best {
                 outer_cell.offer(*c, m);
@@ -775,17 +800,43 @@ struct CubeRecord {
 /// One worker: pull cubes until the frontier drains or the solve
 /// aborts, solving each with a private engine + pipeline rooted in the
 /// cube.
-fn run_worker(ctx: &WorkerCtx<'_>) -> SubtreeResult {
+fn run_worker(ctx: &WorkerCtx<'_>, worker: usize) -> SubtreeResult {
     let mut total = SolverStats::default();
     let mut all_closed = true;
     loop {
         let wait_from = Instant::now();
         let Some(cube) = ctx.queue.next() else { break };
-        total.queue_wait += wait_from.elapsed();
+        let wait = wait_from.elapsed();
+        total.queue_wait_total += wait;
         let in_flight = InFlight::new(ctx.queue);
         let mut stats = SolverStats::default();
-        let (status, best) = solve_cube(ctx, &cube, &mut stats);
+        // One tracer (and so one contiguous buffer) per cube task, on
+        // lane `worker + 1` (lane 0 is the driver). Per-cube buffers are
+        // what lets deterministic join re-lane events by sorted cube
+        // position instead of by (scheduling-dependent) thread.
+        let tracer = if ctx.options.trace {
+            Tracer::buffered(worker as u32 + 1, ctx.start)
+        } else {
+            Tracer::off()
+        };
+        if ctx.det.is_none() {
+            // Queue-wait spans are pure scheduling noise; deterministic
+            // join excludes them (it also zeroes the counter).
+            tracer.emit(TraceEvent::QueueWait {
+                wait_ns: u64::try_from(wait.as_nanos()).unwrap_or(u64::MAX),
+            });
+        }
+        let depth = cube.lits.len() as u32;
+        let cube_from = tracer.now_ns();
+        tracer.emit(TraceEvent::CubeStart { depth });
+        let (status, best) = solve_cube(ctx, &cube, &mut stats, tracer.clone());
         let closed = matches!(status, SolveStatus::Optimal | SolveStatus::Infeasible);
+        tracer.emit(TraceEvent::CubeEnd {
+            depth,
+            closed,
+            dur_ns: tracer.now_ns().saturating_sub(cube_from),
+        });
+        stats.trace.extend(tracer.drain());
         if let Some(det) = ctx.det {
             let (cost, model) = best;
             let mut records = det.records.lock().unwrap_or_else(|p| p.into_inner());
@@ -811,6 +862,7 @@ fn solve_cube(
     ctx: &WorkerCtx<'_>,
     cube: &Cube,
     stats: &mut SolverStats,
+    tracer: Tracer,
 ) -> (SolveStatus, (Option<i64>, Option<Vec<bool>>)) {
     // Deterministic mode: a private incumbent cell per cube task, seeded
     // once — the subtree's trajectory depends only on (instance,
@@ -836,6 +888,7 @@ fn solve_cube(
         &cube.lits,
         ctx.seed,
         ctx.pool,
+        tracer,
     ) {
         Ok(mut search) => {
             // Grab a primal bound before proving anything: one greedy
@@ -885,6 +938,9 @@ fn solve_cube(
                             let arms = search.resplit(RESPLIT_ARMS);
                             if !arms.is_empty() {
                                 stats.resplits += 1;
+                                search
+                                    .tracer()
+                                    .emit(TraceEvent::Resplit { arms: arms.len() as u32 });
                                 ctx.queue
                                     .push(arms.into_iter().map(|lits| Cube { lits }).collect());
                                 // The re-split left the engine at the root:
@@ -1135,6 +1191,7 @@ mod tests {
                 &parent.lits,
                 &[],
                 None,
+                Tracer::off(),
             ) else {
                 continue;
             };
@@ -1262,6 +1319,7 @@ mod tests {
                     cube,
                     &[],
                     Some(&pool),
+                    Tracer::off(),
                 ) {
                     let _ = search.run(start, &mut stats);
                 }
@@ -1315,7 +1373,7 @@ mod tests {
             assert_eq!(a.stats.resplits, b.stats.resplits, "{label}: resplits");
             assert_eq!(a.stats.solutions_found, b.stats.solutions_found, "{label}: solutions");
             assert_eq!(a.stats.nodes_per_worker, b.stats.nodes_per_worker, "{label}: nodes");
-            assert_eq!(a.stats.queue_wait, std::time::Duration::ZERO, "{label}: queue wait");
+            assert_eq!(a.stats.queue_wait_total, std::time::Duration::ZERO, "{label}: queue wait");
             // And the answer agrees with the sequential solver.
             assert_eq!(a.status, seq.status, "{label}: vs sequential status");
             assert_eq!(a.best_cost, seq.best_cost, "{label}: vs sequential cost");

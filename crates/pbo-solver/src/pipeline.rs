@@ -120,6 +120,9 @@ pub(crate) struct BoundPipeline {
     /// pre-incumbent MIS calls).
     mis_implied: bool,
     method: LbMethod,
+    /// Telemetry sink; emits one [`pbo_trace::TraceEvent::Bound`] per
+    /// [`BoundPipeline::compute`] call (off by default).
+    tracer: pbo_trace::Tracer,
 }
 
 impl BoundPipeline {
@@ -160,7 +163,16 @@ impl BoundPipeline {
             dynamic_enabled: options.dynamic_rows && instance.is_optimization(),
             mis_implied: options.mis_implied,
             method: options.lb_method,
+            tracer: pbo_trace::Tracer::off(),
         }
+    }
+
+    /// Installs a telemetry tracer; one `Bound` event is emitted per
+    /// [`BoundPipeline::compute`] call, carrying method, outcome, margin
+    /// and kernel time, so traced bound events reconcile with
+    /// [`SolverStats::lb_calls`].
+    pub fn set_tracer(&mut self, tracer: pbo_trace::Tracer) {
+        self.tracer = tracer;
     }
 
     /// The LPR bound when it is the active method (for LP-guided
@@ -318,7 +330,17 @@ impl BoundPipeline {
         stats: &mut SolverStats,
     ) {
         let sub_start = Instant::now();
-        let BoundPipeline { bound, residual, residual_obs, lpr_obs, method_rows, out, .. } = self;
+        let BoundPipeline {
+            bound,
+            residual,
+            residual_obs,
+            lpr_obs,
+            method_rows,
+            out,
+            method,
+            tracer,
+            ..
+        } = self;
         // Keep the LP bound's variable fixings in lockstep with the
         // trail (O(Δ) per node) through its own observer.
         if let (Some(obs), Bound::Lpr(lpr)) = (*lpr_obs, &mut *bound) {
@@ -342,14 +364,31 @@ impl BoundPipeline {
             }
             _ => Subproblem::with_rows(instance, engine.assignment(), method_rows),
         };
-        stats.sub_time += sub_start.elapsed();
+        stats.sub_time_total += sub_start.elapsed();
         let path = sub.path_cost();
         let lb_start = Instant::now();
         bound.lower_bound_into(&sub, upper, out);
         stats.lb_calls += 1;
-        stats.lb_time += lb_start.elapsed();
+        let lb_elapsed = lb_start.elapsed();
+        stats.lb_time_total += lb_elapsed;
         if !out.infeasible {
             stats.lb_margin_sum += out.bound.saturating_sub(path).max(0) as u64;
+        }
+        if tracer.enabled() {
+            let outcome = if out.infeasible {
+                pbo_trace::BoundOutcome::Infeasible
+            } else if upper.is_some_and(|u| out.prunes(u)) {
+                pbo_trace::BoundOutcome::Pruned
+            } else {
+                pbo_trace::BoundOutcome::Open
+            };
+            let margin = if out.infeasible { 0 } else { out.bound.saturating_sub(path).max(0) };
+            tracer.emit(pbo_trace::TraceEvent::Bound {
+                method: method.name(),
+                outcome,
+                margin,
+                dur_ns: u64::try_from(lb_elapsed.as_nanos()).unwrap_or(u64::MAX),
+            });
         }
     }
 

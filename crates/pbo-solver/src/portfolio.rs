@@ -37,11 +37,12 @@ use std::sync::atomic::{AtomicBool, Ordering};
 use std::time::{Duration, Instant};
 
 use pbo_core::Instance;
-use pbo_ls::run_pool_racing;
+use pbo_ls::run_pool_racing_traced;
 pub use pbo_ls::{
     diversified_options, run_pool_steps, IncumbentCell, LocalSearch, LsOptions, LsResult, LsStats,
     PoolResult, SharedCut,
 };
+use pbo_trace::{Tracer, LS_LANE_BASE};
 
 use crate::options::{BsoloOptions, SolveStrategy};
 use crate::par::ParBsolo;
@@ -164,7 +165,7 @@ impl Portfolio {
         let mut result = match self.options.strategy {
             SolveStrategy::Exact => self.exact_solver().solve_with_cell(instance, Some(cell)),
             SolveStrategy::LsSeeded => self.solve_ls_seeded(instance, cell, start),
-            SolveStrategy::Concurrent => self.solve_concurrent(instance, cell),
+            SolveStrategy::Concurrent => self.solve_concurrent(instance, cell, start),
         };
         // An incumbent can land in the cell after the B&B's last
         // adoption check (a racing LS thread's final offer): fold it
@@ -220,6 +221,9 @@ impl Portfolio {
             instance,
             LsOptions { max_steps: chunk, time_limit: None, ..self.options.ls.clone() },
         );
+        if self.options.bsolo.trace {
+            ls.set_tracer(Tracer::buffered(LS_LANE_BASE, start));
+        }
         let mut last_best: Option<i64> = None;
         let mut stagnant: u64 = 0;
         loop {
@@ -247,8 +251,10 @@ impl Portfolio {
             bsolo_options.budget.time =
                 Some(t.saturating_sub(start.elapsed()).max(Duration::from_millis(1)));
         }
-        ParBsolo::new(bsolo_options, self.options.bb_threads.max(1))
-            .solve_with_cell(instance, Some(cell))
+        let mut result = ParBsolo::new(bsolo_options, self.options.bb_threads.max(1))
+            .solve_with_cell(instance, Some(cell));
+        result.stats.trace.extend(ls.drain_trace());
+        result
     }
 
     /// Concurrent mode: a pool of diversified LS workers races the exact
@@ -256,23 +262,31 @@ impl Portfolio {
     /// pool — until the exact side finishes. Incumbents and the cut pool
     /// flow through the shared cell; every worker on both sides shares
     /// the instance's read-only term arena.
-    fn solve_concurrent(&self, instance: &Instance, cell: &IncumbentCell) -> SolveResult {
+    fn solve_concurrent(
+        &self,
+        instance: &Instance,
+        cell: &IncumbentCell,
+        start: Instant,
+    ) -> SolveResult {
         let stop = AtomicBool::new(false);
         let workers = self.options.ls_threads.max(1);
+        let trace_epoch = self.options.bsolo.trace.then_some(start);
         std::thread::scope(|scope| {
             let ls_handle = scope.spawn(|| {
-                run_pool_racing(
+                run_pool_racing_traced(
                     instance,
                     &self.options.ls,
                     workers,
                     CONCURRENT_CHUNK_STEPS,
                     cell,
                     &stop,
+                    trace_epoch,
                 )
             });
-            let result = self.exact_solver().solve_with_cell(instance, Some(cell));
+            let mut result = self.exact_solver().solve_with_cell(instance, Some(cell));
             stop.store(true, Ordering::Relaxed);
-            let _stats = ls_handle.join().expect("local-search pool panicked");
+            let (_stats, ls_events) = ls_handle.join().expect("local-search pool panicked");
+            result.stats.trace.extend(ls_events);
             result
         })
     }

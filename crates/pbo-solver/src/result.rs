@@ -1,7 +1,25 @@
 //! Solve outcomes and effort statistics shared by all solvers.
+//!
+//! # Timing semantics
+//!
+//! `SolverStats` mixes two kinds of wall-clock measurement and the field
+//! names make the distinction explicit:
+//!
+//! * **Wall fields** (`solve_time`, `time_to_best`) measure elapsed time
+//!   on the driver thread. They are *not* summed at join.
+//! * **`*_total` fields** (`lb_time_total`, `sub_time_total`,
+//!   `queue_wait_total`) are summed across workers by
+//!   [`SolverStats::absorb`]; for an N-worker solve they read as CPU
+//!   time and may exceed `solve_time` by up to a factor of N.
+//!
+//! [`SolverStats::utilization`] relates the two: the fraction of total
+//! worker-seconds not spent blocked on the cube queue.
 
 use std::fmt;
+use std::fmt::Write as _;
 use std::time::Duration;
+
+use pbo_trace::Event;
 
 /// Final status of a solve.
 #[derive(Copy, Clone, PartialEq, Eq, Debug)]
@@ -44,13 +62,17 @@ pub struct SolverStats {
     /// per-node bound margin); divided by `lb_calls` this is the mean
     /// per-node bound strength the dynamic-rows ablation tracks.
     pub lb_margin_sum: u64,
-    /// Wall time spent inside the lower-bound procedure.
-    pub lb_time: Duration,
-    /// Wall time spent maintaining/building the residual subproblem
-    /// handed to the lower-bound procedure (trail sync + view in
-    /// incremental mode, the full re-scan in rebuild mode).
-    pub sub_time: Duration,
-    /// Total wall time of the solve.
+    /// Time spent inside the lower-bound procedure, **summed across
+    /// workers** at join (CPU time, not elapsed time, for parallel
+    /// solves — may exceed `solve_time`).
+    pub lb_time_total: Duration,
+    /// Time spent maintaining/building the residual subproblem handed to
+    /// the lower-bound procedure (trail sync + view in incremental mode,
+    /// the full re-scan in rebuild mode), **summed across workers** at
+    /// join like `lb_time_total`.
+    pub sub_time_total: Duration,
+    /// Total **wall** time of the solve, measured on the driver thread;
+    /// never summed at join.
     pub solve_time: Duration,
     /// Wall time from solve start until the final best incumbent was
     /// first recorded (zero when no solution was found) — the anytime
@@ -90,10 +112,17 @@ pub struct SolverStats {
     /// split depth (frontier truncated coarser than requested) — see
     /// [`crate::SplitOutcome::depth_truncated`].
     pub split_depth_truncated: u64,
-    /// Wall time parallel workers spent blocked on the cube queue
-    /// waiting for work (summed across workers; the idle-tail metric
-    /// that dynamic re-splitting is meant to shrink).
-    pub queue_wait: Duration,
+    /// Time parallel workers spent blocked on the cube queue waiting
+    /// for work, **summed across workers** at join (the idle-tail
+    /// metric that dynamic re-splitting is meant to shrink). Divide by
+    /// worker count before comparing against `solve_time`; see
+    /// [`SolverStats::utilization`].
+    pub queue_wait_total: Duration,
+    /// Telemetry events recorded when tracing was enabled (empty
+    /// otherwise). Per-worker buffers are appended here at join by
+    /// [`SolverStats::absorb`]; export with [`pbo_trace::write_jsonl`]
+    /// or [`pbo_trace::write_chrome`].
+    pub trace: Vec<Event>,
 }
 
 impl SolverStats {
@@ -109,8 +138,8 @@ impl SolverStats {
         self.bound_conflicts += other.bound_conflicts;
         self.lb_calls += other.lb_calls;
         self.lb_margin_sum += other.lb_margin_sum;
-        self.lb_time += other.lb_time;
-        self.sub_time += other.sub_time;
+        self.lb_time_total += other.lb_time_total;
+        self.sub_time_total += other.sub_time_total;
         self.propagations += other.propagations;
         self.restarts += other.restarts;
         self.solutions_found += other.solutions_found;
@@ -121,7 +150,76 @@ impl SolverStats {
         self.clauses_shared += other.clauses_shared;
         self.clauses_imported += other.clauses_imported;
         self.split_depth_truncated += other.split_depth_truncated;
-        self.queue_wait += other.queue_wait;
+        self.queue_wait_total += other.queue_wait_total;
+        self.trace.extend(other.trace.iter().cloned());
+    }
+
+    /// Fraction of total worker-seconds spent doing search rather than
+    /// blocked on the cube queue: `1 - queue_wait_total / (workers *
+    /// solve_time)`, clamped to `[0, 1]`, where `workers` is
+    /// `nodes_per_worker.len()` (1 for sequential solves). `None` until
+    /// `solve_time` has been set by the driver.
+    pub fn utilization(&self) -> Option<f64> {
+        let wall = self.solve_time.as_secs_f64();
+        if wall <= 0.0 {
+            return None;
+        }
+        let workers = self.nodes_per_worker.len().max(1) as f64;
+        let busy = 1.0 - self.queue_wait_total.as_secs_f64() / (workers * wall);
+        Some(busy.clamp(0.0, 1.0))
+    }
+
+    /// Serializes the merged counters as one JSON object — the
+    /// machine-readable path behind `pbo-solve --stats-json`. Durations
+    /// are emitted in milliseconds with the `_ms` suffix; `*_total`
+    /// fields keep their summed-across-workers semantics. The trace
+    /// buffer is not included (export it with `--trace`).
+    pub fn to_json(&self) -> String {
+        let ms = |d: Duration| d.as_secs_f64() * 1e3;
+        let mut s = String::from("{");
+        let _ = write!(
+            s,
+            "\"decisions\":{},\"conflicts\":{},\"bound_conflicts\":{},\"lb_calls\":{},\
+             \"lb_margin_sum\":{},\"lb_time_total_ms\":{:.3},\"sub_time_total_ms\":{:.3},\
+             \"solve_time_ms\":{:.3},\"time_to_best_ms\":{:.3},\"propagations\":{},\
+             \"restarts\":{},\"solutions_found\":{},\"backjump_levels\":{},\
+             \"lp_iterations\":{},\"nodes\":{},\"resplits\":{},\"clauses_shared\":{},\
+             \"clauses_imported\":{},\"split_depth_truncated\":{},\"queue_wait_total_ms\":{:.3},",
+            self.decisions,
+            self.conflicts,
+            self.bound_conflicts,
+            self.lb_calls,
+            self.lb_margin_sum,
+            ms(self.lb_time_total),
+            ms(self.sub_time_total),
+            ms(self.solve_time),
+            ms(self.time_to_best),
+            self.propagations,
+            self.restarts,
+            self.solutions_found,
+            self.backjump_levels,
+            self.lp_iterations,
+            self.nodes,
+            self.resplits,
+            self.clauses_shared,
+            self.clauses_imported,
+            self.split_depth_truncated,
+            ms(self.queue_wait_total),
+        );
+        let _ = write!(
+            s,
+            "\"utilization\":{},",
+            self.utilization().map_or("null".to_string(), |u| format!("{u:.4}"))
+        );
+        s.push_str("\"nodes_per_worker\":[");
+        for (i, n) in self.nodes_per_worker.iter().enumerate() {
+            if i > 0 {
+                s.push(',');
+            }
+            let _ = write!(s, "{n}");
+        }
+        s.push_str("]}");
+        s
     }
 }
 

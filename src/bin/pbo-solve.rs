@@ -3,7 +3,8 @@
 //! ```text
 //! pbo-solve [--lb plain|mis|lgr|lpr] [--strategy exact|ls-seeded|concurrent]
 //!           [--ls-threads N] [--bb-threads N] [--deterministic]
-//!           [--timeout-ms N] [--stats] <file.opb>
+//!           [--timeout-ms N] [--stats] [--stats-json]
+//!           [--trace FILE] [--trace-format jsonl|chrome] [--metrics] <file.opb>
 //! cargo run --release --bin pbo-solve -- --strategy ls-seeded instance.opb
 //! ```
 //!
@@ -30,10 +31,21 @@
 //! `s OPTIMUM FOUND` / `s SATISFIABLE` / `s UNSATISFIABLE` /
 //! `s UNKNOWN`, `o <cost>` for the objective and `v <literals>` for the
 //! model.
+//!
+//! Observability: `--trace FILE` records the structured event stream
+//! (decisions, conflicts, bound calls, incumbents, cube lifecycle) of
+//! every worker and writes it at exit — one JSON object per line by
+//! default, or a Chrome `trace_event` file (`--trace-format chrome`,
+//! open in Perfetto / `chrome://tracing`, one lane per worker).
+//! `--metrics` prints event-derived counters and duration histograms as
+//! `c`-prefixed comment lines; `--stats-json` prints the merged
+//! [`pbo::SolverStats`] as one JSON object on stdout (machine-readable
+//! companion of `--stats`).
 
 use std::process::ExitCode;
 use std::time::Duration;
 
+use pbo::pbo_trace::{write_chrome, write_jsonl, MetricsRegistry};
 use pbo::{
     parse_opb, solve_with, BsoloOptions, Budget, LbMethod, Portfolio, PortfolioOptions,
     SolveStatus, SolveStrategy,
@@ -42,9 +54,17 @@ use pbo::{
 fn usage() -> ! {
     eprintln!(
         "usage: pbo-solve [--lb plain|mis|lgr|lpr] [--strategy exact|ls-seeded|concurrent] \
-         [--ls-threads N] [--bb-threads N] [--deterministic] [--timeout-ms N] [--stats] <file.opb>"
+         [--ls-threads N] [--bb-threads N] [--deterministic] [--timeout-ms N] [--stats] \
+         [--stats-json] [--trace FILE] [--trace-format jsonl|chrome] [--metrics] <file.opb>"
     );
     std::process::exit(2);
+}
+
+/// Trace export format selected by `--trace-format`.
+#[derive(Copy, Clone, PartialEq, Eq)]
+enum TraceFormat {
+    Jsonl,
+    Chrome,
 }
 
 fn main() -> ExitCode {
@@ -55,6 +75,10 @@ fn main() -> ExitCode {
     let mut deterministic = false;
     let mut timeout: Option<u64> = None;
     let mut stats = false;
+    let mut stats_json = false;
+    let mut trace_path: Option<String> = None;
+    let mut trace_format = TraceFormat::Jsonl;
+    let mut metrics = false;
     let mut path: Option<String> = None;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -95,6 +119,16 @@ fn main() -> ExitCode {
             }
             "--deterministic" => deterministic = true,
             "--stats" => stats = true,
+            "--stats-json" => stats_json = true,
+            "--trace" => trace_path = Some(args.next().unwrap_or_else(|| usage())),
+            "--trace-format" => {
+                trace_format = match args.next().as_deref() {
+                    Some("jsonl") => TraceFormat::Jsonl,
+                    Some("chrome") => TraceFormat::Chrome,
+                    _ => usage(),
+                }
+            }
+            "--metrics" => metrics = true,
             "--help" | "-h" => usage(),
             other if !other.starts_with('-') && path.is_none() => path = Some(other.to_string()),
             _ => usage(),
@@ -125,6 +159,9 @@ fn main() -> ExitCode {
     );
     let mut options = BsoloOptions::with_lb(lb);
     options.deterministic_join = deterministic;
+    // Metrics are derived from the event stream, so either flag turns
+    // the per-worker buffers on.
+    options.trace = trace_path.is_some() || metrics;
     if let Some(ms) = timeout {
         options = options.budget(Budget::time_limit(Duration::from_millis(ms)));
     }
@@ -172,7 +209,7 @@ fn main() -> ExitCode {
             s.conflicts,
             s.bound_conflicts,
             s.lb_calls,
-            s.lb_time.as_secs_f64(),
+            s.lb_time_total.as_secs_f64(),
             s.solve_time.as_secs_f64()
         );
         if bb_threads > 1 {
@@ -183,13 +220,37 @@ fn main() -> ExitCode {
                 s.split_depth_truncated,
                 s.clauses_shared,
                 s.clauses_imported,
-                s.queue_wait.as_secs_f64()
+                s.queue_wait_total.as_secs_f64()
             );
         }
         if s.nodes_per_worker.len() > 1 {
             let per: Vec<String> = s.nodes_per_worker.iter().map(u64::to_string).collect();
             println!("c nodes_per_worker={}", per.join(","));
         }
+    }
+    if metrics {
+        for line in MetricsRegistry::from_events(&result.stats.trace).render().lines() {
+            println!("c {line}");
+        }
+    }
+    if let Some(out) = &trace_path {
+        // Buffers are merged per worker at join; interleave by timestamp
+        // for the export (lane is the tiebreak, so equal stamps are
+        // stable across runs).
+        let mut events = result.stats.trace.clone();
+        events.sort_by_key(|e| (e.t_ns, e.lane));
+        let text = match trace_format {
+            TraceFormat::Jsonl => write_jsonl(&events),
+            TraceFormat::Chrome => write_chrome(&events),
+        };
+        if let Err(e) = std::fs::write(out, text) {
+            eprintln!("cannot write {out}: {e}");
+            return ExitCode::from(2);
+        }
+        println!("c trace: {} events written to {out}", events.len());
+    }
+    if stats_json {
+        println!("{}", result.stats.to_json());
     }
     ExitCode::SUCCESS
 }

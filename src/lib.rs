@@ -37,6 +37,7 @@
 //! | [`pbo_lp`] | warm-started bounded-variable dual simplex |
 //! | [`pbo_bounds`] | the MIS / LGR / LPR lower bounds with `omega_pl` explanations |
 //! | [`pbo_ls`] | stochastic local search (WalkSAT/DLS-style) incumbent engine |
+//! | [`pbo_trace`] | structured telemetry: typed events, JSONL/Chrome exporters, metrics |
 //! | [`pbo_solver`] | bsolo + the LS/B&B portfolio + PBS-like, Galena-like and MILP baselines |
 //! | [`pbo_benchgen`] | seeded generators for the four Table 1 benchmark families |
 //!
@@ -66,6 +67,7 @@ pub use pbo_engine;
 pub use pbo_lp;
 pub use pbo_ls;
 pub use pbo_solver;
+pub use pbo_trace;
 
 /// Solves an instance with the paper's strongest configuration
 /// (bsolo + LP-relaxation lower bounding, LP-guided branching, cost
