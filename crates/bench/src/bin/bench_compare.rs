@@ -13,7 +13,7 @@
 
 use std::process::ExitCode;
 
-use pbo_bench::compare::{compare, evaluate, evaluate_anytime, Gate};
+use pbo_bench::compare::{compare, evaluate, evaluate_anytime, evaluate_scheduler_scaling, Gate};
 use pbo_bench::parse::parse;
 
 fn usage() -> ! {
@@ -79,6 +79,11 @@ fn main() -> ExitCode {
     let anytime = evaluate_anytime(&baseline, &current);
     println!("anytime gate: {} violation(s) against the baseline portfolio curve", anytime.len());
     violations.extend(anytime);
+    // Scheduler scaling: optimum preserved at every worker count, queue
+    // wait no order-of-magnitude blowup vs the baseline snapshot.
+    let sched = evaluate_scheduler_scaling(&baseline, &current);
+    println!("scheduler-scaling gate: {} violation(s)", sched.len());
+    violations.extend(sched);
     if violations.is_empty() {
         println!("OK: no regression vs {baseline_path}");
         ExitCode::SUCCESS

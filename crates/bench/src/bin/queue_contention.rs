@@ -1,0 +1,285 @@
+//! `queue_contention`: the scheduler-contention A/B behind PR 8's
+//! work-stealing cube scheduler.
+//!
+//! The deep-split stress instance (`pbo_benchgen::DeepSplitParams`) is
+//! first split by the real cube splitter to prove the stress knob does
+//! what it claims — a 1k+ open-cube frontier — and then solved at
+//! `--workers` workers under the same wall budget by both cube
+//! schedulers in the same process, interleaved:
+//!
+//! * **stealing** — the default [`SchedulerKind::WorkStealing`]:
+//!   per-worker Chase–Lev deques, a lock-free injector cursor over the
+//!   frontier, atomic termination, idle parking;
+//! * **mutex** — the [`SchedulerKind::MutexDeque`] baseline kept from
+//!   PR 5: one central `Mutex<VecDeque>` + `Condvar`.
+//!
+//! Both sides solve the identical cube partition (`split_target` pins
+//! the frontier), so `SolverStats::queue_wait_total` — the wall time
+//! workers spend inside the acquire loop, see `utilization()` — is a
+//! direct A/B of hand-off machinery. Each side's figure is the best of
+//! `--reps` interleaved runs: queue wait is wall time, so a kernel
+//! preemption that lands inside an acquire window (near-certain
+//! eventually when CI schedules more workers than cores onto one box)
+//! shows up as a tens-of-ms outlier on either side, and the minimum is
+//! the run that dodged it.
+//!
+//! The gate is two-sided, for the same reason the `par_bb` CI gate
+//! speaks of algorithmic rather than core-count speedups: on a machine
+//! with enough cores, the central deque is a genuine convoy and the
+//! stealing side must win the direct ratio (`--max-wait-ratio`); on a
+//! single-core runner neither scheduler ever truly contends (only one
+//! worker runs at a time, so the lock is almost always free and both
+//! waits are sub-1% of wall), and the meaningful assertion is absolute:
+//! the stealing scheduler's total wait stays negligible
+//! (`--max-wait-abs-ms`). Passing either arm passes the gate. The
+//! absolute arm is not a formality — the pre-parking prototype of this
+//! scheduler spun and yielded while idle, its waiting workers competed
+//! with the searching ones for the one core, and this very harness
+//! measured the result at 54 ms of a 77 ms solve (a 100x blowup over
+//! the condvar baseline) before idle parking fixed it. A regression to
+//! busy idling fails both arms. Costs are also cross-checked: a
+//! scheduler must never change the answer.
+//!
+//! ```text
+//! cargo run --release -p pbo-bench --bin queue_contention -- \
+//!     [--seed N] [--workers N] [--split-target N] [--min-frontier N] \
+//!     [--timeout-ms N] [--reps N] [--max-wait-ratio R] \
+//!     [--max-wait-abs-ms MS] [--json PATH]
+//! ```
+//!
+//! Exit status 0 = within the gate, 1 = contention regression (or the
+//! stress knob failed to provoke the frontier), 2 = usage error.
+
+use std::time::Duration;
+
+use pbo_bench::json::escape;
+use pbo_benchgen::DeepSplitParams;
+use pbo_solver::{
+    BsoloOptions, Budget, CubeSplitter, LbMethod, ParBsolo, SchedulerKind, SolveResult,
+};
+
+/// One side's best-of-reps measurements.
+struct Side {
+    kind: SchedulerKind,
+    queue_wait: Duration,
+    time: Duration,
+    nodes: u64,
+    steals: u64,
+    injections: u64,
+    resplits: u64,
+    cost: Option<i64>,
+    optimal: bool,
+}
+
+fn run_side(
+    instance: &pbo_core::Instance,
+    kind: SchedulerKind,
+    workers: usize,
+    split_target: usize,
+    timeout: Duration,
+) -> SolveResult {
+    let mut options = BsoloOptions::with_lb(LbMethod::Mis).budget(Budget::time_limit(timeout));
+    options.scheduler = kind;
+    options.split_target = Some(split_target);
+    ParBsolo::new(options, workers).solve(instance)
+}
+
+fn main() {
+    let mut seed = 0u64;
+    let mut workers = 8usize;
+    let mut split_target = 2048usize;
+    let mut min_frontier = 1000usize;
+    let mut timeout_ms = 4_000u64;
+    let mut reps = 5usize;
+    let mut max_wait_ratio = 1.0f64;
+    let mut max_wait_abs_ms = 2.5f64;
+    let mut json_path = String::from("BENCH_queue_contention.json");
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--seed" => seed = args.next().expect("--seed").parse().expect("bad seed"),
+            "--workers" => workers = args.next().expect("--workers").parse().expect("bad workers"),
+            "--split-target" => {
+                split_target =
+                    args.next().expect("--split-target").parse().expect("bad split target")
+            }
+            "--min-frontier" => {
+                min_frontier =
+                    args.next().expect("--min-frontier").parse().expect("bad min frontier")
+            }
+            "--timeout-ms" => {
+                timeout_ms = args.next().expect("--timeout-ms").parse().expect("bad timeout")
+            }
+            "--reps" => reps = args.next().expect("--reps").parse().expect("bad reps"),
+            "--max-wait-ratio" => {
+                max_wait_ratio = args.next().expect("--max-wait-ratio").parse().expect("bad ratio")
+            }
+            "--max-wait-abs-ms" => {
+                max_wait_abs_ms =
+                    args.next().expect("--max-wait-abs-ms").parse().expect("bad abs gate")
+            }
+            "--json" => json_path = args.next().expect("--json"),
+            other => {
+                eprintln!("unknown argument `{other}`");
+                std::process::exit(2);
+            }
+        }
+    }
+    let instance = DeepSplitParams::default().generate(seed);
+    println!(
+        "queue_contention: {} ({} vars, {} clauses), {workers} workers, best of {reps} reps, \
+         gate wait ratio <= {max_wait_ratio:.2} OR stealing wait <= {max_wait_abs_ms:.2} ms",
+        instance.name(),
+        instance.num_vars(),
+        instance.num_constraints(),
+    );
+
+    // The stress-knob claim first: the deep-split instance must hand the
+    // scheduler a 1k+ open-cube frontier, not a handful of cubes.
+    let split = CubeSplitter::split(&instance, split_target);
+    println!(
+        "splitter frontier: {} open cubes (target {split_target}, refuted {}, solved {})",
+        split.open.len(),
+        split.refuted.len(),
+        split.solved.len(),
+    );
+    if split.open.len() < min_frontier {
+        eprintln!(
+            "REGRESSION: deep-split stress knob provoked only {} open cubes (< {min_frontier})",
+            split.open.len()
+        );
+        std::process::exit(1);
+    }
+
+    // Interleaved A/B, best-of-reps per side (minimum total queue wait:
+    // the run of each scheduler that dodged the preemption noise).
+    let timeout = Duration::from_millis(timeout_ms);
+    let mut sides = [
+        Side {
+            kind: SchedulerKind::WorkStealing,
+            queue_wait: Duration::MAX,
+            time: Duration::ZERO,
+            nodes: 0,
+            steals: 0,
+            injections: 0,
+            resplits: 0,
+            cost: None,
+            optimal: false,
+        },
+        Side {
+            kind: SchedulerKind::MutexDeque,
+            queue_wait: Duration::MAX,
+            time: Duration::ZERO,
+            nodes: 0,
+            steals: 0,
+            injections: 0,
+            resplits: 0,
+            cost: None,
+            optimal: false,
+        },
+    ];
+    let mut costs: Vec<Option<i64>> = Vec::new();
+    for rep in 0..reps {
+        for side in sides.iter_mut() {
+            let result = run_side(&instance, side.kind, workers, split_target, timeout);
+            let wait = result.stats.queue_wait_total;
+            println!(
+                "rep {rep} {:<13} wait {:>8.2} ms | wall {:>8.1} ms | {:>7} nodes | \
+                 steals {:>5} | injected {:>5} | resplits {:>3} | cost {} ({})",
+                side.kind.name(),
+                wait.as_secs_f64() * 1e3,
+                result.stats.solve_time.as_secs_f64() * 1e3,
+                result.stats.decisions,
+                result.stats.steals,
+                result.stats.injections,
+                result.stats.resplits,
+                result.best_cost.map_or("-".into(), |c| c.to_string()),
+                if result.is_optimal() { "optimal" } else { "budget" },
+            );
+            if result.is_optimal() {
+                costs.push(result.best_cost);
+            }
+            if wait < side.queue_wait {
+                side.queue_wait = wait;
+                side.time = result.stats.solve_time;
+                side.nodes = result.stats.decisions;
+                side.steals = result.stats.steals;
+                side.injections = result.stats.injections;
+                side.resplits = result.stats.resplits;
+                side.cost = result.best_cost;
+                side.optimal = result.is_optimal();
+            }
+        }
+    }
+    // A scheduler is hand-off machinery, not search: every run that
+    // proved optimality must agree on the optimum.
+    if costs.windows(2).any(|w| w[0] != w[1]) {
+        eprintln!("REGRESSION: schedulers disagree on the optimum: {costs:?}");
+        std::process::exit(1);
+    }
+
+    let [steal, mutex] = &sides;
+    let steal_ms = steal.queue_wait.as_secs_f64() * 1e3;
+    let mutex_ms = mutex.queue_wait.as_secs_f64() * 1e3;
+    let ratio = if mutex_ms > 0.0 {
+        steal_ms / mutex_ms
+    } else if steal_ms > 0.0 {
+        f64::INFINITY
+    } else {
+        0.0
+    };
+    let ratio_ok = ratio <= max_wait_ratio;
+    let abs_ok = steal_ms <= max_wait_abs_ms;
+    println!(
+        "best-of-reps queue wait: stealing {steal_ms:.2} ms vs mutex {mutex_ms:.2} ms -> \
+         ratio {ratio:.3} ({}), absolute {steal_ms:.2} ms ({})",
+        if ratio_ok { "<= gate" } else { "over gate" },
+        if abs_ok { "<= gate" } else { "over gate" },
+    );
+
+    let side_json = |s: &Side| {
+        format!(
+            "{{\"scheduler\": \"{}\", \"queue_wait_ms\": {:.3}, \"time_ms\": {:.3}, \
+             \"nodes\": {}, \"steals\": {}, \"injections\": {}, \"resplits\": {}, \
+             \"cost\": {}, \"optimal\": {}}}",
+            s.kind.name(),
+            s.queue_wait.as_secs_f64() * 1e3,
+            s.time.as_secs_f64() * 1e3,
+            s.nodes,
+            s.steals,
+            s.injections,
+            s.resplits,
+            s.cost.map_or("null".into(), |c| c.to_string()),
+            s.optimal,
+        )
+    };
+    let avail = std::thread::available_parallelism().map_or(1, |p| p.get());
+    let json = format!(
+        "{{\n  \"instance\": \"{}\",\n  \"workers\": {workers},\n  \
+         \"available_parallelism\": {avail},\n  \"frontier\": {},\n  \
+         \"split_target\": {split_target},\n  \"reps\": {reps},\n  \
+         \"stealing\": {},\n  \"mutex\": {},\n  \"wait_ratio\": {:.4},\n  \
+         \"max_wait_ratio_gate\": {max_wait_ratio:.4},\n  \
+         \"max_wait_abs_ms_gate\": {max_wait_abs_ms:.4}\n}}\n",
+        escape(instance.name()),
+        split.open.len(),
+        side_json(steal),
+        side_json(mutex),
+        ratio,
+    );
+    match std::fs::write(&json_path, &json) {
+        Ok(()) => println!("wrote {json_path}"),
+        Err(err) => {
+            eprintln!("failed to write {json_path}: {err}");
+            std::process::exit(1);
+        }
+    }
+    if !ratio_ok && !abs_ok {
+        eprintln!(
+            "REGRESSION: stealing scheduler queue wait {steal_ms:.2} ms is {ratio:.3}x the \
+             mutex baseline (gates: ratio <= {max_wait_ratio:.2}, absolute <= \
+             {max_wait_abs_ms:.2} ms)"
+        );
+        std::process::exit(1);
+    }
+}

@@ -13,8 +13,8 @@
 
 use pbo_bench::{
     budget_ms, family_instances, format_table, json, run_dynamic_rows_ablation, run_par_bb_probe,
-    run_parls_probe, run_portfolio_probe, run_residual_ablation, run_table, summarize_par_bb,
-    summarize_parls, summarize_portfolio, FAMILIES,
+    run_parls_probe, run_portfolio_probe, run_residual_ablation, run_scheduler_scaling_probe,
+    run_table, summarize_par_bb, summarize_parls, summarize_portfolio, FAMILIES,
 };
 use pbo_benchgen::SynthesisParams;
 use pbo_solver::LbMethod;
@@ -237,6 +237,41 @@ fn main() {
         par_bb_summary.time_speedup_geomean.map_or("-".into(), |r| format!("{:.2}x", r)),
     );
 
+    // Scheduler-scaling row: the deep-split stress instance (a pinned
+    // thousand-cube frontier) under the work-stealing scheduler at
+    // 1/2/4/8 workers. Complements par_bb: that probe asks whether
+    // splitting the search pays, this one whether the scheduler keeps up
+    // when hand-off volume dwarfs the worker pool. The recorded
+    // `available_parallelism` is what makes the row honest on CI — time
+    // columns beyond the host's cores measure oversubscription.
+    const SCHED_WORKERS: &[usize] = &[1, 2, 4, 8];
+    const SCHED_SPLIT_TARGET: usize = 2048;
+    let sched = run_scheduler_scaling_probe(
+        0,
+        budget_ms(40 * timeout_ms),
+        SCHED_WORKERS,
+        SCHED_SPLIT_TARGET,
+    );
+    println!();
+    println!(
+        "== scheduler scaling ({}, frontier {}, {} core(s)) ==",
+        sched.instance, sched.frontier, sched.available_parallelism
+    );
+    for r in &sched.runs {
+        println!(
+            "  {:>2} workers: {:>8.1} ms / {:>7} nodes ({}) | steals {:>4} | injected {:>5} \
+             | resplits {:>3} | wait {:>6.2} ms",
+            r.workers,
+            r.time.as_secs_f64() * 1e3,
+            r.nodes,
+            r.cost.map_or("-".into(), |c| c.to_string()),
+            r.steals,
+            r.injections,
+            r.resplits,
+            r.queue_wait.as_secs_f64() * 1e3,
+        );
+    }
+
     let report = json::render_report_full(
         timeout_ms,
         seeds,
@@ -247,6 +282,7 @@ fn main() {
         &parls,
         PARLS_WORKERS,
         &par_bb,
+        Some(&sched),
     );
     match std::fs::write(&json_path, &report) {
         Ok(()) => println!("\nwrote {json_path}"),

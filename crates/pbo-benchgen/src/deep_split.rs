@@ -1,0 +1,123 @@
+//! Deep-split scheduler stress instances: thousand-cube frontiers.
+//!
+//! The cube-split lookahead (`CubeSplitter` in `pbo-solver`) only
+//! produces a frontier as large as the instance keeps branches *open*:
+//! every unit implication or shallow refutation closes a subtree before
+//! it can fan out. This generator is tuned for the opposite regime —
+//! under-constrained short clauses (nothing propagates near the root,
+//! so `d` lookahead levels yield close to `2^d` open cubes) over a
+//! tie-heavy objective (a flat cost plateau the bound cannot prune, so
+//! the exact solve keeps conflicting deep in the tree and, under an
+//! aggressive `resplit_conflicts` quantum, keeps handing fresh arms to
+//! the scheduler). It exists to stress the cube scheduler — the
+//! `queue_contention` A/B and the scheduler-scaling row of
+//! `BENCH_table1.json` drive it — not to model any Table 1 family.
+
+use rand::Rng;
+use rand_chacha::rand_core::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+use pbo_core::{Instance, InstanceBuilder, Lit};
+
+/// Parameters of the deep-split stress generator.
+#[derive(Clone, Debug)]
+pub struct DeepSplitParams {
+    /// Number of variables. Also bounds the reachable lookahead depth:
+    /// a 1k+ frontier needs at least ~10 mostly-open levels, while the
+    /// default stays small enough that each leaf cube solves in well
+    /// under a millisecond — scheduler traffic, not per-cube search,
+    /// must dominate the contention measurements.
+    pub vars: usize,
+    /// Number of clauses. Keep the ratio `clauses / vars` under ~1.5 so
+    /// the shallow levels of the tree stay propagation-free.
+    pub clauses: usize,
+    /// Literals per clause (inclusive range; short clauses, but never
+    /// unit — a unit clause closes a lookahead level outright).
+    pub width: (usize, usize),
+    /// Probability that a clause literal is positive. Mixed polarity
+    /// keeps both lookahead branches of a variable open.
+    pub positive_bias: f64,
+    /// Objective cost range (inclusive). A narrow range (the default is
+    /// `(1, 2)`) builds the tie plateau that defeats bound pruning.
+    pub cost: (i64, i64),
+}
+
+impl Default for DeepSplitParams {
+    fn default() -> DeepSplitParams {
+        DeepSplitParams { vars: 48, clauses: 150, width: (3, 3), positive_bias: 0.5, cost: (1, 2) }
+    }
+}
+
+impl DeepSplitParams {
+    /// Generates a seeded instance.
+    pub fn generate(&self, seed: u64) -> Instance {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed ^ 0xdee9);
+        let mut b = InstanceBuilder::new();
+        let vars = b.new_vars(self.vars);
+        for _ in 0..self.clauses {
+            let k = rng.gen_range(self.width.0.max(2)..=self.width.1.min(self.vars));
+            let mut idxs: Vec<usize> = (0..self.vars).collect();
+            for i in 0..k {
+                let j = rng.gen_range(i..self.vars);
+                idxs.swap(i, j);
+            }
+            let lits: Vec<Lit> =
+                idxs[..k].iter().map(|&i| vars[i].lit(rng.gen_bool(self.positive_bias))).collect();
+            b.add_clause(lits);
+        }
+        // Every variable carries a cost from the (narrow) range: the
+        // plateau is flat enough that incumbent cuts prune little, deep
+        // enough that proving optimality visits a wide tree.
+        b.minimize(vars.iter().map(|v| (rng.gen_range(self.cost.0..=self.cost.1), v.positive())));
+        b.name(format!("deepsplit-v{}-c{}-s{}", self.vars, self.clauses, seed));
+        b.build().expect("deep-split generator produces valid instances")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_per_seed() {
+        let p = DeepSplitParams::default();
+        assert_eq!(p.generate(7), p.generate(7));
+        assert_ne!(p.generate(7), p.generate(8));
+    }
+
+    #[test]
+    fn shape_is_clausal_and_tie_costed() {
+        let p = DeepSplitParams::default();
+        let inst = p.generate(0);
+        assert!(inst.is_optimization());
+        assert_eq!(inst.num_vars(), p.vars);
+        assert!(inst.constraints().iter().all(|c| c.class() == pbo_core::ConstraintClass::Clause));
+        let obj = inst.objective().unwrap();
+        assert!(obj.terms().iter().all(|(c, _)| (p.cost.0..=p.cost.1).contains(c)));
+    }
+
+    #[test]
+    fn downsized_instances_are_satisfiable() {
+        // The full-size regime is too large to brute-force; the same
+        // constrainedness at 12 vars must be (almost) always feasible —
+        // under-constrained clauses rarely conflict.
+        let p = DeepSplitParams { vars: 12, clauses: 15, ..DeepSplitParams::default() };
+        let mut sat = 0;
+        for seed in 0..6 {
+            if pbo_core::brute_force(&p.generate(seed)).cost().is_some() {
+                sat += 1;
+            }
+        }
+        assert!(sat >= 5, "only {sat}/6 satisfiable");
+    }
+
+    #[test]
+    fn clauses_respect_the_width_range() {
+        let p = DeepSplitParams::default();
+        let inst = p.generate(3);
+        for c in inst.constraints() {
+            let n = c.terms().len();
+            assert!((p.width.0..=p.width.1).contains(&n), "clause width {n}");
+        }
+    }
+}

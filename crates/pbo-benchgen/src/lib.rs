@@ -14,7 +14,10 @@
 //! | `acc-tight:*` (ACC scheduling) | [`AccSchedParams`] | pure PB satisfaction, tight round-robin rows |
 //!
 //! [`RandomParams`] adds unstructured instances for tests and
-//! throughput benchmarks. All generators are deterministic per seed
+//! throughput benchmarks, and [`DeepSplitParams`] adds the deep-split
+//! scheduler stress regime (thousand-cube lookahead frontiers over a
+//! tie-heavy objective) behind the `queue_contention` A/B and the
+//! scheduler-scaling row. All generators are deterministic per seed
 //! (ChaCha8-based), so every table in `EXPERIMENTS.md` is reproducible.
 //!
 //! # Examples
@@ -31,12 +34,14 @@
 #![warn(missing_docs)]
 
 mod acc_sched;
+mod deep_split;
 mod grout;
 mod ptl_cmos;
 mod random;
 mod synthesis;
 
 pub use acc_sched::AccSchedParams;
+pub use deep_split::DeepSplitParams;
 pub use grout::GroutParams;
 pub use ptl_cmos::PtlCmosParams;
 pub use random::RandomParams;

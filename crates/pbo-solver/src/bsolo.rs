@@ -50,7 +50,7 @@ use crate::options::{Branching, BsoloOptions, LbMethod};
 use crate::pipeline::BoundPipeline;
 use crate::preprocess::{probe, ProbeOutcome};
 use crate::result::{SolveResult, SolveStatus, SolverStats};
-use crate::share::{ClausePool, SharedClause};
+use crate::share::{PoolHandle, PoolWatermarks, SharedClause};
 
 /// Longest clause a worker offers to the shared pool.
 const SHARE_MAX_LEN: usize = 24;
@@ -222,12 +222,17 @@ pub(crate) struct SearchState<'a> {
     /// worker deepens — so re-split arm cubes always carry the full
     /// current prefix.
     cube: Vec<Lit>,
-    /// Cross-worker shared-clause pool, when clause sharing is on.
-    pool: Option<&'a ClausePool>,
-    /// Read watermark into the pool (entries before it were imported).
-    pool_seen: usize,
+    /// Cross-worker shared-clause pool handle (the pool plus this
+    /// publisher's lane), when clause sharing is on.
+    pool: Option<PoolHandle<'a>>,
+    /// Per-lane read watermarks into the pool (entries before them were
+    /// already imported).
+    pool_seen: PoolWatermarks,
     /// Canonical keys of every clause this search ever offered to the
-    /// pool — so a worker never re-imports its own publications.
+    /// pool *or imported from it* — publisher-side this stops round-
+    /// tripping our own clauses back in, importer-side it is the dedup
+    /// the sharded pool no longer does globally (two workers may publish
+    /// the same clause on different lanes; it installs here once).
     my_keys: HashSet<Vec<Lit>>,
     /// Telemetry handle shared with the engine and the bound pipeline
     /// (one lane per worker); [`Tracer::off`] when tracing is disabled.
@@ -269,7 +274,7 @@ impl<'a> SearchState<'a> {
         stats: &mut SolverStats,
         cube: &[Lit],
         seed: &[Vec<Lit>],
-        pool: Option<&'a ClausePool>,
+        pool: Option<PoolHandle<'a>>,
         tracer: Tracer,
     ) -> Result<SearchState<'a>, ()> {
         let mut engine = Engine::new(instance.num_vars());
@@ -335,7 +340,7 @@ impl<'a> SearchState<'a> {
             share_promoted: cube.is_empty(),
             cube: cube.to_vec(),
             pool,
-            pool_seen: 0,
+            pool_seen: PoolWatermarks::default(),
             my_keys: HashSet::new(),
             tracer,
         };
@@ -536,7 +541,7 @@ impl<'a> SearchState<'a> {
     /// remains, so the caller closes the subtree via
     /// [`SearchState::exhausted_status`].
     fn sync_share(&mut self, stats: &mut SolverStats) -> Result<(), ()> {
-        let Some(pool) = self.pool else { return Ok(()) };
+        let Some(handle) = self.pool else { return Ok(()) };
         debug_assert_eq!(self.engine.decision_level(), 0);
         // Publish. A clause carrying INCUMBENT is implied by
         // instance ∧ (cost ≤ upper − 1); without a local incumbent there
@@ -561,17 +566,17 @@ impl<'a> SearchState<'a> {
                 batch.push(clause);
             }
         }
-        let published = pool.publish(batch);
+        let published = handle.pool.publish(handle.lane, batch);
         stats.clauses_shared += published;
         if published > 0 {
             self.tracer.emit(TraceEvent::ClausesShared { n: published });
         }
-        // Import.
-        if let Some((mark, incoming)) = pool.snapshot_since(self.pool_seen) {
-            self.pool_seen = mark;
+        // Import. `my_keys` absorbs every installed key, so a clause two
+        // workers published on separate lanes still installs only once.
+        if let Some(incoming) = handle.pool.snapshot_since(&mut self.pool_seen) {
             let mut imported = 0u64;
             for c in incoming {
-                if self.my_keys.contains(&c.key()) {
+                if !self.my_keys.insert(c.key()) {
                     continue;
                 }
                 let taint = if c.upper.is_some() { Taint::INCUMBENT } else { Taint::NONE };

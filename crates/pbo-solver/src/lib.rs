@@ -68,7 +68,9 @@ pub use bsolo::Bsolo;
 pub use cuts::{cardinality_cost_cuts, cost_cuts, knapsack_cut};
 pub use linear_search::{LinearSearch, LinearSearchOptions};
 pub use milp::{MilpOptions, MilpSolver};
-pub use options::{Branching, BsoloOptions, Budget, LbMethod, ResidualMode, SolveStrategy};
+pub use options::{
+    Branching, BsoloOptions, Budget, LbMethod, ResidualMode, SchedulerKind, SolveStrategy,
+};
 pub use par::{Cube, CubeSplitter, ParBsolo, SplitOutcome};
 pub use portfolio::{
     diversified_options, run_pool_steps, IncumbentCell, LocalSearch, LsOptions, LsResult, LsStats,
@@ -76,7 +78,7 @@ pub use portfolio::{
 };
 pub use preprocess::{probe, simplify, ProbeOutcome};
 pub use result::{SolveResult, SolveStatus, SolverStats};
-pub use share::{ClausePool, SharedClause};
+pub use share::{ClausePool, PoolHandle, PoolWatermarks, SharedClause};
 
 #[cfg(test)]
 mod solver_tests;

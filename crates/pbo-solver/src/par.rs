@@ -14,8 +14,8 @@
 //!    solved leaves they cover the root exactly; a property the test
 //!    suite checks by enumeration).
 //! 2. **[`ParBsolo`]** spawns `threads` workers under
-//!    `std::thread::scope`. Each worker pulls cubes from a shared
-//!    mutex+condvar deque and solves each subtree with a private
+//!    `std::thread::scope`. Each worker pulls cubes from the scheduler
+//!    (see below) and solves each subtree with a private
 //!    `SearchState` — its own engine, bound pipeline and residual state,
 //!    all borrowing the *same* `&Instance` (and through it one read-only
 //!    `TermArena` block). The cube's literals are assumed at level 0
@@ -43,39 +43,55 @@
 //!    on a cube assumption ([`pbo_engine::Taint`]), conflict analysis
 //!    keeps assumption-falsified root literals in the clause (up to a
 //!    budget) instead of strengthening them away so most clauses stay
-//!    assumption-clean, and `export_shareable_learnts` publishes only
-//!    those — implied by the instance (plus a stamped cost bound for
+//!    assumption-clean, and `export_shareable_learnts` publishes (on the
+//!    worker's private pool lane) only those — implied by the instance (plus a stamped cost bound for
 //!    INCUMBENT-tainted ones) and therefore sound in *any* cube.
 //!    Workers sync at init, restarts, and after every re-split.
 //! 5. **Dynamic re-splitting.** A worker that outlives its conflict
-//!    allowance on one cube while the queue starves (fewer queued cubes
-//!    than idle workers) backjumps to its root, harvests the
+//!    allowance on one cube while the scheduler starves (fewer takeable
+//!    cubes than idle workers) backjumps to its root, harvests the
 //!    complementary arms of its first decisions
-//!    ([`SearchState::resplit`]), pushes them to the queue and continues
-//!    on the deepened cube — the fixed initial frontier becomes
-//!    self-balancing, and the idle tail (workers parked while the last
-//!    long cube finishes) disappears. Arms + deepened cube partition the
-//!    parent cube exactly, so the exact-partition invariant is
-//!    inductive; depth caps bound the recursion
+//!    ([`SearchState::resplit`]), hands them to the scheduler and
+//!    continues on the deepened cube — the fixed initial frontier
+//!    becomes self-balancing, and the idle tail (workers parked while
+//!    the last long cube finishes) disappears. Arms + deepened cube
+//!    partition the parent cube exactly, so the exact-partition
+//!    invariant is inductive; depth caps bound the recursion
 //!    ([`SolverStats::split_depth_truncated`] counts the clips).
 //! 6. **Termination.** A worker that exhausts a cube *closes* it (no
 //!    completion in the cube beats the final global best — pruning only
 //!    ever used upper bounds that the final best also satisfies). The
 //!    solve is `Optimal`/`Infeasible` when the frontier — initial cubes
-//!    plus every re-split arm — is fully closed; `in_flight` accounting
-//!    makes the growing frontier safe (a re-splitting worker still holds
-//!    its parent cube, so the queue can never report "all done" while
-//!    arms are in transit). A budget exhaustion in any worker raises a
-//!    global abort flag, remaining cubes are dropped, and the result
-//!    degrades to `Feasible`/`Unknown` exactly like the sequential
-//!    solver.
+//!    plus every re-split arm — is fully closed; an atomic `pending`
+//!    count (raised *before* arms become takeable, lowered only when a
+//!    cube closes) makes the growing frontier safe — the scheduler can
+//!    never report "all done" while arms are in transit, because the
+//!    re-splitting worker's own cube is still pending. A budget
+//!    exhaustion in any worker raises a global abort flag, remaining
+//!    cubes are dropped, and the result degrades to
+//!    `Feasible`/`Unknown` exactly like the sequential solver.
 //!
-//! **Queue choice.** The deque is a plain `Mutex<VecDeque>` + `Condvar`:
-//! a solve processes tens of cubes, each worth milliseconds-to-seconds
-//! of search, so queue contention is unmeasurable and a work-stealing
-//! deque would buy nothing (and cost either a dependency or a
-//! hand-rolled lock-free structure in a `forbid(unsafe_code)` crate).
-//! The decision is recorded in `ROADMAP.md`.
+//! **Scheduler choice.** Cube hand-off is work-stealing by default
+//! ([`SchedulerKind::WorkStealing`]): each worker owns a bounded
+//! Chase–Lev-style deque of cube ids — the owner pushes and pops LIFO at
+//! the bottom, so a re-split's arms stay hot in the cache of the worker
+//! whose prefix spawned them, while thieves steal FIFO from the top,
+//! taking the *oldest and shallowest* (hence largest) subtree — over an
+//! append-only cube slab of `OnceLock` slots; the initial frontier sits
+//! in a lock-free injector (an atomic cursor over the split order), and
+//! termination is the atomic `pending` count
+//! above. Everything is index-based safe Rust — the crate keeps
+//! `forbid(unsafe_code)` — and the steady-state owner path (push, pop,
+//! starving check) never takes a lock; the only mutex left guards the
+//! cold overflow lane for slab/ring saturation. PR 5/6 used a central
+//! `Mutex<VecDeque>` + `Condvar` queue, the right call while a solve
+//! processed tens of cubes; the deep-split stress family
+//! (`pbo-benchgen`) pushes frontiers past a thousand cubes, where every
+//! hand-off serializing on one lock (and every re-split paying a condvar
+//! round-trip) became the measured bottleneck — the `queue_contention`
+//! microbench holds the A/B, and [`SchedulerKind::MutexDeque`] keeps
+//! the old queue selectable as its in-process baseline. The reversal is
+//! recorded in `ROADMAP.md`.
 //!
 //! With `threads == 1` the driver delegates to the sequential
 //! [`Bsolo`] verbatim — bit-identical optimum, node count and stats —
@@ -87,8 +103,9 @@
 //! regardless of thread scheduling.
 
 use std::collections::VecDeque;
-use std::sync::{Condvar, Mutex};
-use std::time::Instant;
+use std::sync::atomic::{AtomicBool, AtomicI64, AtomicUsize, Ordering};
+use std::sync::{Condvar, Mutex, OnceLock};
+use std::time::{Duration, Instant};
 
 use pbo_core::{verify_solution, Instance, Lit, Value, Var};
 use pbo_engine::Engine;
@@ -96,9 +113,9 @@ use pbo_ls::IncumbentCell;
 use pbo_trace::{TraceEvent, Tracer};
 
 use crate::bsolo::{Bsolo, SearchState};
-use crate::options::BsoloOptions;
+use crate::options::{BsoloOptions, SchedulerKind};
 use crate::result::{SolveResult, SolveStatus, SolverStats};
-use crate::share::ClausePool;
+use crate::share::{ClausePool, PoolHandle};
 
 /// Cubes harvested per worker for the *initial* frontier. One: dynamic
 /// re-splitting now provides the slack an early-finishing worker needs
@@ -135,6 +152,18 @@ const RESPLIT_ARMS: usize = 4;
 /// their search content. Hitting this cap is counted in
 /// [`SolverStats::split_depth_truncated`].
 const RESPLIT_MAX_DEPTH: usize = 48;
+
+/// Per-worker steal-deque ring capacity (power of two). A worker only
+/// ever holds its own un-stolen re-split arms here — a handful per
+/// re-split, drained LIFO between cubes — so 256 slots are effectively
+/// unreachable; on overflow the arm spills to the injector's mutex lane
+/// (sound, just cold).
+const RING_CAP: usize = 256;
+
+/// Extra cube-slab slots beyond the initial frontier: headroom for
+/// re-split arms before saturation routes new arms through the
+/// injector's overflow lane instead.
+const SLAB_SLACK: usize = 4096;
 
 /// An open subtree of the branch-and-bound, described by the decision
 /// literals on the path from the root: the subtree contains exactly the
@@ -292,10 +321,12 @@ impl CubeSplitter {
     }
 }
 
-/// Shared work queue of the worker pool: a mutex-protected deque with a
+/// The PR-5/6 central work queue: a mutex-protected deque with a
 /// condvar for idle workers and a global abort flag (raised on budget
-/// exhaustion). See the module docs for why this beats work-stealing at
-/// this granularity.
+/// exhaustion). Kept selectable as [`SchedulerKind::MutexDeque`] — the
+/// in-process baseline the `queue_contention` microbench measures the
+/// work-stealing scheduler against (see the module docs for why the
+/// default flipped).
 struct CubeQueue {
     state: Mutex<QueueState>,
     ready: Condvar,
@@ -384,34 +415,500 @@ impl CubeQueue {
     }
 }
 
+/// Append-only cube storage behind the work-stealing deques: the rings
+/// carry plain `usize` ids, the slab owns the cubes. Slots are written
+/// exactly once (a `fetch_add` claims a unique index, `OnceLock::set`
+/// fills it) and never freed — a solve hands out at most a few thousand
+/// cubes, each a short literal vector. A full slab is not an error:
+/// `insert` hands the cube back and the scheduler routes it through the
+/// injector's overflow lane instead.
+struct CubeSlab {
+    slots: Vec<OnceLock<Cube>>,
+    next: AtomicUsize,
+}
+
+impl CubeSlab {
+    fn new(capacity: usize) -> CubeSlab {
+        let mut slots = Vec::with_capacity(capacity);
+        slots.resize_with(capacity, OnceLock::new);
+        CubeSlab { slots, next: AtomicUsize::new(0) }
+    }
+
+    fn insert(&self, cube: Cube) -> Result<usize, Cube> {
+        let id = self.next.fetch_add(1, Ordering::Relaxed);
+        if id >= self.slots.len() {
+            return Err(cube);
+        }
+        // The claimed index is unique, so the slot is necessarily empty.
+        let set = self.slots[id].set(cube);
+        debug_assert!(set.is_ok(), "slab index claimed twice");
+        Ok(id)
+    }
+
+    /// Only called with ids returned by [`CubeSlab::insert`] and
+    /// published through a deque or the injector, so the slot is always
+    /// initialized (`OnceLock` carries the release/acquire pairing).
+    fn get(&self, id: usize) -> &Cube {
+        self.slots[id].get().expect("cube id published before initialization")
+    }
+}
+
+/// One worker's bounded Chase–Lev-style deque of cube ids: the owner
+/// pushes and pops LIFO at `bottom` (no lock, no CAS except for the
+/// last-element race), thieves steal FIFO at `top` with a CAS. The ring
+/// stores raw ids into the [`CubeSlab`]; `top` only ever grows, so a
+/// stale ring read is harmless — the value is used only if the `top`
+/// CAS proves no thief (and no wrap-around push) intervened. Orderings
+/// follow the C11 Chase–Lev formulation (Lê et al.), which is what
+/// keeps the owner's steady-state path lock-free in safe Rust.
+struct StealDeque {
+    top: AtomicI64,
+    bottom: AtomicI64,
+    ring: Vec<AtomicUsize>,
+    mask: i64,
+}
+
+impl StealDeque {
+    fn new(capacity: usize) -> StealDeque {
+        let cap = capacity.next_power_of_two().max(2);
+        StealDeque {
+            top: AtomicI64::new(0),
+            bottom: AtomicI64::new(0),
+            ring: (0..cap).map(|_| AtomicUsize::new(0)).collect(),
+            mask: cap as i64 - 1,
+        }
+    }
+
+    /// Owner-only. `Err` hands the id back when the ring is full (the
+    /// caller spills it to the injector's overflow lane).
+    fn push(&self, id: usize) -> Result<(), usize> {
+        let b = self.bottom.load(Ordering::Relaxed);
+        let t = self.top.load(Ordering::Acquire);
+        if b - t >= self.ring.len() as i64 {
+            return Err(id);
+        }
+        self.ring[(b & self.mask) as usize].store(id, Ordering::Relaxed);
+        self.bottom.store(b + 1, Ordering::Release);
+        Ok(())
+    }
+
+    /// Owner-only LIFO pop: newest first, so a re-splitting worker
+    /// drains its own (cache-hot, deepest) arms before anything else.
+    fn pop(&self) -> Option<usize> {
+        let b = self.bottom.load(Ordering::Relaxed) - 1;
+        self.bottom.store(b, Ordering::Relaxed);
+        std::sync::atomic::fence(Ordering::SeqCst);
+        let t = self.top.load(Ordering::Relaxed);
+        if t > b {
+            // Empty: restore bottom.
+            self.bottom.store(b + 1, Ordering::Relaxed);
+            return None;
+        }
+        let id = self.ring[(b & self.mask) as usize].load(Ordering::Relaxed);
+        if t == b {
+            // Last element: race the thieves for it via `top`.
+            let won =
+                self.top.compare_exchange(t, t + 1, Ordering::SeqCst, Ordering::Relaxed).is_ok();
+            self.bottom.store(b + 1, Ordering::Relaxed);
+            return won.then_some(id);
+        }
+        Some(id)
+    }
+
+    /// Thief-side FIFO steal: oldest (shallowest, hence largest) subtree
+    /// first. Retries while losing CAS races to other thieves; returns
+    /// `None` once the deque looks empty.
+    fn steal(&self) -> Option<usize> {
+        loop {
+            let t = self.top.load(Ordering::Acquire);
+            std::sync::atomic::fence(Ordering::SeqCst);
+            let b = self.bottom.load(Ordering::Acquire);
+            if t >= b {
+                return None;
+            }
+            let id = self.ring[(t & self.mask) as usize].load(Ordering::Relaxed);
+            if self.top.compare_exchange(t, t + 1, Ordering::SeqCst, Ordering::Relaxed).is_ok() {
+                return Some(id);
+            }
+            // Lost to another thief; re-read a fresh `top`.
+        }
+    }
+}
+
+/// Where a worker's next cube came from (drives the `Steal` trace event
+/// and the `steals` counter; `Queue` is the mutex-deque baseline).
+enum CubeSource {
+    /// The worker's own deque (LIFO re-split arm).
+    Own,
+    /// The global injector: initial frontier or an overflow spill.
+    Inject,
+    /// Stolen FIFO from the named worker's deque.
+    Steal(usize),
+    /// The central mutex deque ([`SchedulerKind::MutexDeque`]).
+    Queue,
+}
+
+/// The work-stealing cube scheduler (default, see module docs): one
+/// [`StealDeque`] per worker over a shared [`CubeSlab`], a lock-free
+/// injector cursor over the initial frontier, a mutex-guarded overflow
+/// lane for slab/ring saturation (cold by construction), and atomic
+/// termination — `pending` counts open cubes (raised *before* arms
+/// become takeable, lowered only at close), `aborted` latches budget
+/// exhaustion or a worker panic, and `queued`/`in_flight` feed the
+/// lock-free [`StealScheduler::starving`] read that gates re-splitting.
+struct StealScheduler {
+    slab: CubeSlab,
+    /// Initial frontier, as slab ids in split order (cube-lexicographic
+    /// order under deterministic join).
+    frontier: Vec<usize>,
+    /// Next un-taken `frontier` index.
+    cursor: AtomicUsize,
+    deques: Vec<StealDeque>,
+    /// Cold lane: arms that missed the slab or a full ring, and every
+    /// arm under deterministic join (a shared FIFO keeps det-mode load
+    /// balancing equivalent to the old central queue).
+    overflow: Mutex<VecDeque<Cube>>,
+    /// Lock-free emptiness check for `overflow`.
+    overflow_len: AtomicUsize,
+    /// Open cubes: frontier + arms − closed. Zero means every leaf of
+    /// the (grown) frontier partition was closed — the termination
+    /// condition.
+    pending: AtomicI64,
+    /// Takeable cubes (not yet handed to a worker). Transiently stale by
+    /// design; only the starving heuristic reads it.
+    queued: AtomicI64,
+    /// Cubes currently held by workers. Same caveat as `queued`.
+    in_flight: AtomicI64,
+    aborted: AtomicBool,
+    /// Cleared under deterministic join: every arm then goes through the
+    /// shared overflow FIFO and no Steal event can ever fire.
+    stealing: bool,
+    /// Idle parking. A worker whose full acquire sweep (own deque,
+    /// injector, steals) came up empty blocks here instead of spinning:
+    /// on machines with fewer cores than workers, a spinning thread
+    /// competes with the workers still searching for the CPU and
+    /// lengthens the very drain it is waiting out (measured as a 100x
+    /// `queue_wait_total` blowup vs the condvar baseline on one core).
+    /// The lock is touched only by parked workers and by publishers that
+    /// observe `parked > 0`, so steady-state take/push stays lock-free.
+    park_lock: Mutex<()>,
+    park_cv: Condvar,
+    /// Workers currently inside the park protocol (SeqCst; Dekker-pairs
+    /// with the `queued`/`pending` updates of `push`/`close`, so either
+    /// a parker sees new work or the publisher sees the parker).
+    parked: AtomicUsize,
+}
+
+impl StealScheduler {
+    fn new(threads: usize, mut cubes: Vec<Cube>, det: bool) -> StealScheduler {
+        if det {
+            // A scheduling-independent hand-out order (the per-cube
+            // trajectories are already private; this pins the injector
+            // order itself).
+            cubes.sort_by(|a, b| a.lits.cmp(&b.lits));
+        }
+        let n = cubes.len();
+        let slab = CubeSlab::new(n.saturating_mul(4).saturating_add(SLAB_SLACK));
+        let frontier: Vec<usize> = cubes
+            .into_iter()
+            .map(|c| slab.insert(c).unwrap_or_else(|_| panic!("slab sized for the frontier")))
+            .collect();
+        StealScheduler {
+            slab,
+            frontier,
+            cursor: AtomicUsize::new(0),
+            deques: (0..threads.max(1)).map(|_| StealDeque::new(RING_CAP)).collect(),
+            overflow: Mutex::new(VecDeque::new()),
+            overflow_len: AtomicUsize::new(0),
+            pending: AtomicI64::new(n as i64),
+            queued: AtomicI64::new(n as i64),
+            in_flight: AtomicI64::new(0),
+            aborted: AtomicBool::new(false),
+            stealing: !det,
+            park_lock: Mutex::new(()),
+            park_cv: Condvar::new(),
+            parked: AtomicUsize::new(0),
+        }
+    }
+
+    fn take(&self, cube: Cube, source: CubeSource) -> (Cube, CubeSource) {
+        // in_flight up *before* queued down: a termination probe between
+        // the two sees the cube somewhere, never nowhere.
+        self.in_flight.fetch_add(1, Ordering::SeqCst);
+        self.queued.fetch_sub(1, Ordering::SeqCst);
+        (cube, source)
+    }
+
+    fn pop_frontier(&self) -> Option<usize> {
+        loop {
+            let i = self.cursor.load(Ordering::Relaxed);
+            if i >= self.frontier.len() {
+                return None;
+            }
+            if self
+                .cursor
+                .compare_exchange_weak(i, i + 1, Ordering::AcqRel, Ordering::Relaxed)
+                .is_ok()
+            {
+                return Some(self.frontier[i]);
+            }
+        }
+    }
+
+    fn pop_overflow(&self) -> Option<Cube> {
+        if self.overflow_len.load(Ordering::Acquire) == 0 {
+            return None;
+        }
+        let mut q = self.overflow.lock().unwrap_or_else(|p| p.into_inner());
+        let cube = q.pop_front();
+        if cube.is_some() {
+            self.overflow_len.fetch_sub(1, Ordering::Release);
+        }
+        cube
+    }
+
+    fn spill(&self, cube: Cube) {
+        let mut q = self.overflow.lock().unwrap_or_else(|p| p.into_inner());
+        q.push_back(cube);
+        self.overflow_len.fetch_add(1, Ordering::Release);
+    }
+
+    /// The worker-side acquire loop: own deque (LIFO), injector
+    /// (frontier cursor, then overflow), then stealing sweeps over the
+    /// other deques — spinning with escalating backoff until work
+    /// appears, every open cube is closed (`None`), or the solve aborts
+    /// (`None`). The whole loop is what `queue_wait_total` times.
+    fn next(&self, worker: usize) -> Option<(Cube, CubeSource)> {
+        let mut spins = 0u32;
+        loop {
+            if self.aborted.load(Ordering::Acquire) {
+                return None;
+            }
+            if let Some(id) = self.deques[worker].pop() {
+                return Some(self.take(self.slab.get(id).clone(), CubeSource::Own));
+            }
+            if let Some(id) = self.pop_frontier() {
+                return Some(self.take(self.slab.get(id).clone(), CubeSource::Inject));
+            }
+            if let Some(cube) = self.pop_overflow() {
+                return Some(self.take(cube, CubeSource::Inject));
+            }
+            if self.stealing {
+                for off in 1..self.deques.len() {
+                    let victim = (worker + off) % self.deques.len();
+                    if let Some(id) = self.deques[victim].steal() {
+                        return Some(
+                            self.take(self.slab.get(id).clone(), CubeSource::Steal(victim)),
+                        );
+                    }
+                }
+            }
+            if self.pending.load(Ordering::SeqCst) == 0 {
+                return None;
+            }
+            // The frontier is momentarily dry but some cube is still
+            // open (its owner may yet re-split): spin briefly for the
+            // racy case, then park until a publisher wakes us. The
+            // park re-check runs *after* raising `parked` (SeqCst), and
+            // `push`/`close` read `parked` *after* their `queued`/
+            // `pending` updates, so by the usual Dekker argument either
+            // we see the new work here or the publisher sees us and
+            // notifies under the lock we wait on; the timeout is a
+            // belt-and-braces backstop, not a correctness requirement.
+            spins += 1;
+            if spins < 8 {
+                std::hint::spin_loop();
+            } else if spins < 12 {
+                std::thread::yield_now();
+            } else {
+                self.parked.fetch_add(1, Ordering::SeqCst);
+                let guard = self.park_lock.lock().unwrap_or_else(|p| p.into_inner());
+                if !self.aborted.load(Ordering::Acquire)
+                    && self.pending.load(Ordering::SeqCst) != 0
+                    && self.queued.load(Ordering::SeqCst) <= 0
+                {
+                    // The timeout is deliberately long: a parked worker
+                    // that re-sweeps on a tight timer competes with the
+                    // workers still searching for the one core and
+                    // lengthens the drain it is waiting out. Wakes come
+                    // from `push`/`close`, not from here.
+                    let _ = self
+                        .park_cv
+                        .wait_timeout(guard, Duration::from_millis(50))
+                        .unwrap_or_else(|p| p.into_inner());
+                }
+                self.parked.fetch_sub(1, Ordering::SeqCst);
+            }
+        }
+    }
+
+    /// Wakes parked workers after publishing work or deciding the solve
+    /// is over. Lock-free when nobody is parked (the common case).
+    fn wake_parked(&self) {
+        if self.parked.load(Ordering::SeqCst) > 0 {
+            // The lock orders this notify against the parkers' re-check:
+            // any parker past its check is already inside `wait_timeout`.
+            let _guard = self.park_lock.lock().unwrap_or_else(|p| p.into_inner());
+            self.park_cv.notify_all();
+        }
+    }
+
+    /// Publishes re-split arms. `pending` rises before any arm becomes
+    /// takeable, so a concurrent termination probe can never miss them
+    /// (the pusher's own cube is also still pending). Returns how many
+    /// arms went through the injector's overflow lane rather than the
+    /// worker's own deque (the `Inject` tally).
+    fn push(&self, worker: usize, arms: Vec<Cube>) -> u64 {
+        if arms.is_empty() {
+            return 0;
+        }
+        let n = arms.len() as i64;
+        self.pending.fetch_add(n, Ordering::SeqCst);
+        let mut spilled = 0u64;
+        for cube in arms {
+            if !self.stealing {
+                // Deterministic join: the shared FIFO, like the old
+                // central queue, so siblings can still pick arms up.
+                self.spill(cube);
+                spilled += 1;
+                continue;
+            }
+            match self.slab.insert(cube) {
+                Ok(id) => {
+                    if let Err(id) = self.deques[worker].push(id) {
+                        self.spill(self.slab.get(id).clone());
+                        spilled += 1;
+                    }
+                }
+                Err(cube) => {
+                    self.spill(cube);
+                    spilled += 1;
+                }
+            }
+        }
+        self.queued.fetch_add(n, Ordering::SeqCst);
+        self.wake_parked();
+        spilled
+    }
+
+    /// Lock-free starving probe (the re-split trigger): fewer takeable
+    /// cubes than idle workers. Two relaxed loads; transient staleness
+    /// only perturbs a heuristic.
+    fn starving(&self, threads: usize) -> bool {
+        let queued = self.queued.load(Ordering::Relaxed);
+        let idle = threads as i64 - self.in_flight.load(Ordering::Relaxed);
+        queued < idle
+    }
+
+    fn close(&self, abort: bool) {
+        if abort {
+            self.aborted.store(true, Ordering::Release);
+        }
+        self.in_flight.fetch_sub(1, Ordering::SeqCst);
+        // The last close (or an abort) must rouse everyone so the
+        // termination probe in `next` can observe `pending == 0`.
+        if self.pending.fetch_sub(1, Ordering::SeqCst) == 1 || abort {
+            self.wake_parked();
+        }
+    }
+
+    fn was_aborted(&self) -> bool {
+        self.aborted.load(Ordering::Acquire)
+    }
+}
+
+/// Scheduler dispatch: the work-stealing default and the PR-5/6 mutex
+/// deque kept as an in-process A/B baseline (`queue_contention` bench,
+/// [`SchedulerKind`]).
+enum Scheduler {
+    Stealing(StealScheduler),
+    Mutex(CubeQueue),
+}
+
+impl Scheduler {
+    /// Builds the scheduler over the initial frontier. The second value
+    /// is the frontier size *when it counts as injector traffic* — the
+    /// work-stealing racing path — for the driver's `Inject` event and
+    /// `injections` counter; zero for the mutex baseline and under
+    /// deterministic join (whose counters must stay
+    /// scheduling-independent, i.e. zero).
+    fn new(kind: SchedulerKind, threads: usize, cubes: Vec<Cube>, det: bool) -> (Scheduler, u64) {
+        match kind {
+            SchedulerKind::WorkStealing => {
+                let injected = if det { 0 } else { cubes.len() as u64 };
+                (Scheduler::Stealing(StealScheduler::new(threads, cubes, det)), injected)
+            }
+            SchedulerKind::MutexDeque => (Scheduler::Mutex(CubeQueue::new(cubes)), 0),
+        }
+    }
+
+    fn next(&self, worker: usize) -> Option<(Cube, CubeSource)> {
+        match self {
+            Scheduler::Stealing(s) => s.next(worker),
+            Scheduler::Mutex(q) => q.next().map(|c| (c, CubeSource::Queue)),
+        }
+    }
+
+    fn push(&self, worker: usize, arms: Vec<Cube>) -> u64 {
+        match self {
+            Scheduler::Stealing(s) => s.push(worker, arms),
+            Scheduler::Mutex(q) => {
+                q.push(arms);
+                0
+            }
+        }
+    }
+
+    fn starving(&self, threads: usize) -> bool {
+        match self {
+            Scheduler::Stealing(s) => s.starving(threads),
+            Scheduler::Mutex(q) => q.starving(threads),
+        }
+    }
+
+    fn close(&self, abort: bool) {
+        match self {
+            Scheduler::Stealing(s) => s.close(abort),
+            Scheduler::Mutex(q) => q.done(abort),
+        }
+    }
+
+    fn was_aborted(&self) -> bool {
+        match self {
+            Scheduler::Stealing(s) => s.was_aborted(),
+            Scheduler::Mutex(q) => q.was_aborted(),
+        }
+    }
+}
+
 /// Unwind guard for an in-flight cube: a panic between
-/// [`CubeQueue::next`] and [`CubeQueue::done`] would otherwise leave
-/// `in_flight` raised forever — sibling workers would wait on the
-/// condvar for a verdict that never comes, and `thread::scope` would
-/// block on those sleeping siblings instead of propagating the panic.
-/// The guard reports the cube as aborted on drop unless it was defused
-/// by a normal [`InFlight::finish`].
-struct InFlight<'a> {
-    queue: &'a CubeQueue,
+/// [`Scheduler::next`] and [`WorkGuard::finish`] would otherwise leave
+/// the cube open forever — sibling workers would spin (or block, on the
+/// mutex baseline) for a verdict that never comes, and `thread::scope`
+/// would wait on those siblings instead of propagating the panic. The
+/// guard reports the cube as aborted on drop unless it was defused by a
+/// normal [`WorkGuard::finish`].
+struct WorkGuard<'a> {
+    sched: &'a Scheduler,
     armed: bool,
 }
 
-impl<'a> InFlight<'a> {
-    fn new(queue: &'a CubeQueue) -> InFlight<'a> {
-        InFlight { queue, armed: true }
+impl<'a> WorkGuard<'a> {
+    fn new(sched: &'a Scheduler) -> WorkGuard<'a> {
+        WorkGuard { sched, armed: true }
     }
 
     /// The normal completion path (defuses the guard).
     fn finish(mut self, abort: bool) {
         self.armed = false;
-        self.queue.done(abort);
+        self.sched.close(abort);
     }
 }
 
-impl Drop for InFlight<'_> {
+impl Drop for WorkGuard<'_> {
     fn drop(&mut self) {
         if self.armed {
-            self.queue.done(true);
+            self.sched.close(true);
         }
     }
 }
@@ -610,7 +1107,9 @@ impl ParBsolo {
             return SolveResult { status: head_status, best_cost, best_assignment, stats };
         }
         let head_nodes = stats.decisions;
-        let split = CubeSplitter::split(inst, self.threads * CUBES_PER_WORKER);
+        let target =
+            self.options.split_target.unwrap_or(self.threads * CUBES_PER_WORKER).max(self.threads);
+        let split = CubeSplitter::split(inst, target);
         stats.decisions = head_nodes + split.decisions;
         stats.split_depth_truncated += split.depth_truncated;
         if split.decisions > 0 {
@@ -637,12 +1136,24 @@ impl ParBsolo {
                 driver_tracer.emit(TraceEvent::Solution { cost: *cost });
             }
         }
+        // Scheduler over the initial frontier. In the work-stealing
+        // racing mode the frontier is injector traffic: count it and
+        // emit one bulk Inject on the driver lane (reconciled exactly
+        // against `stats.injections` by the trace tests).
+        let (sched, injected) =
+            Scheduler::new(worker_options.scheduler, self.threads, split.open, det);
+        if injected > 0 {
+            stats.injections += injected;
+            driver_tracer.emit(TraceEvent::Inject { n: injected });
+        }
         stats.trace.extend(driver_tracer.drain());
 
         // Cross-worker clause sharing (see [`crate::share`]): racing
         // mode only — deterministic joins must not depend on which
-        // worker published first.
-        let pool = (worker_options.share_clauses && !det).then(ClausePool::new);
+        // worker published first. One pool lane per publisher: lane 0
+        // for the driver, lane `w + 1` for worker `w`.
+        let pool =
+            (worker_options.share_clauses && !det).then(|| ClausePool::new(self.threads + 1));
         // Deterministic join: the seed snapshot is taken *after* the
         // (deterministic) head and split contributed, so every cube task
         // starts from the same incumbent no matter when it is scheduled.
@@ -651,12 +1162,11 @@ impl ParBsolo {
             records: Mutex::new(Vec::new()),
         });
 
-        let queue = CubeQueue::new(split.open);
         let ctx = WorkerCtx {
             instance: inst,
             options: &worker_options,
             cell: run_cell,
-            queue: &queue,
+            sched: &sched,
             start,
             seed: &seed,
             pool: pool.as_ref(),
@@ -673,7 +1183,7 @@ impl ParBsolo {
             handles.into_iter().map(|h| h.join().expect("B&B worker panicked")).collect()
         });
 
-        let mut all_closed = !queue.was_aborted();
+        let mut all_closed = !sched.was_aborted();
         if let Some(dj) = det_join {
             // Fixed-order reduction: per-cube records sorted by cube
             // literals (a scheduling-independent key — every cube is a
@@ -762,13 +1272,14 @@ struct WorkerCtx<'a> {
     instance: &'a Instance,
     options: &'a BsoloOptions,
     cell: &'a IncumbentCell,
-    queue: &'a CubeQueue,
+    sched: &'a Scheduler,
     start: Instant,
     seed: &'a [Vec<Lit>],
     /// Shared-clause pool (`None`: sharing disabled, or deterministic
-    /// mode).
+    /// mode). Each worker publishes on its own lane (`worker + 1`).
     pool: Option<&'a ClausePool>,
-    /// Worker count — the queue-starvation threshold for re-splitting.
+    /// Worker count — the scheduler-starvation threshold for
+    /// re-splitting.
     threads: usize,
     /// Deterministic-join state (`None` in the default racing mode).
     det: Option<&'a DetJoin>,
@@ -804,11 +1315,14 @@ fn run_worker(ctx: &WorkerCtx<'_>, worker: usize) -> SubtreeResult {
     let mut total = SolverStats::default();
     let mut all_closed = true;
     loop {
+        // Wall time of the whole acquire loop — condvar blocks on the
+        // mutex baseline; failed pops, steal sweeps and idle backoff on
+        // the work-stealing path (see `SolverStats::queue_wait_total`).
         let wait_from = Instant::now();
-        let Some(cube) = ctx.queue.next() else { break };
+        let Some((cube, source)) = ctx.sched.next(worker) else { break };
         let wait = wait_from.elapsed();
         total.queue_wait_total += wait;
-        let in_flight = InFlight::new(ctx.queue);
+        let guard = WorkGuard::new(ctx.sched);
         let mut stats = SolverStats::default();
         // One tracer (and so one contiguous buffer) per cube task, on
         // lane `worker + 1` (lane 0 is the driver). Per-cube buffers are
@@ -820,16 +1334,21 @@ fn run_worker(ctx: &WorkerCtx<'_>, worker: usize) -> SubtreeResult {
             Tracer::off()
         };
         if ctx.det.is_none() {
-            // Queue-wait spans are pure scheduling noise; deterministic
-            // join excludes them (it also zeroes the counter).
+            // Queue-wait spans and steals are pure scheduling noise;
+            // deterministic join excludes them (it also zeroes the wait
+            // counter, and disables stealing outright).
             tracer.emit(TraceEvent::QueueWait {
                 wait_ns: u64::try_from(wait.as_nanos()).unwrap_or(u64::MAX),
             });
+            if let CubeSource::Steal(victim) = source {
+                stats.steals += 1;
+                tracer.emit(TraceEvent::Steal { victim: victim as u32 + 1 });
+            }
         }
         let depth = cube.lits.len() as u32;
         let cube_from = tracer.now_ns();
         tracer.emit(TraceEvent::CubeStart { depth });
-        let (status, best) = solve_cube(ctx, &cube, &mut stats, tracer.clone());
+        let (status, best) = solve_cube(ctx, worker, &cube, &mut stats, tracer.clone());
         let closed = matches!(status, SolveStatus::Optimal | SolveStatus::Infeasible);
         tracer.emit(TraceEvent::CubeEnd {
             depth,
@@ -843,7 +1362,7 @@ fn run_worker(ctx: &WorkerCtx<'_>, worker: usize) -> SubtreeResult {
             records.push(CubeRecord { cube: cube.lits, closed, cost, model, stats: stats.clone() });
         }
         total.absorb(&stats);
-        in_flight.finish(!closed);
+        guard.finish(!closed);
         if !closed {
             all_closed = false;
             break;
@@ -855,11 +1374,13 @@ fn run_worker(ctx: &WorkerCtx<'_>, worker: usize) -> SubtreeResult {
 /// Solves one subtree task to exhaustion (or budget): the sequential
 /// search loop, rooted in `cube` and seeded with the head start's
 /// learned clauses, publishing incumbents to (and adopting from) the
-/// shared cell — re-splitting its remaining subtree back into the queue
-/// whenever it outlives its conflict allowance while the queue starves.
-/// Returns the final status and the task's best (cost, model).
+/// shared cell — re-splitting its remaining subtree back to the
+/// scheduler whenever it outlives its conflict allowance while the
+/// scheduler starves. Returns the final status and the task's best
+/// (cost, model).
 fn solve_cube(
     ctx: &WorkerCtx<'_>,
+    worker: usize,
     cube: &Cube,
     stats: &mut SolverStats,
     tracer: Tracer,
@@ -887,7 +1408,7 @@ fn solve_cube(
         stats,
         &cube.lits,
         ctx.seed,
-        ctx.pool,
+        ctx.pool.map(|pool| PoolHandle { pool, lane: worker + 1 }),
         tracer,
     ) {
         Ok(mut search) => {
@@ -904,16 +1425,16 @@ fn solve_cube(
                 status
             } else {
                 loop {
-                    // Racing mode shortens the allowance while the queue is
-                    // starving, so a worker holding the last long cube hands
-                    // work to idle peers within a fraction of the normal
-                    // re-split period instead of a full one (the idle-tail
-                    // killer on small subtrees). Deterministic mode keeps
-                    // the fixed schedule — the allowance must not depend on
-                    // queue timing.
+                    // Racing mode shortens the allowance while the scheduler
+                    // is starving, so a worker holding the last long cube
+                    // hands work to idle peers within a fraction of the
+                    // normal re-split period instead of a full one (the
+                    // idle-tail killer on small subtrees). Deterministic
+                    // mode keeps the fixed schedule — the allowance must not
+                    // depend on scheduler timing.
                     let quantum = ctx.options.resplit_conflicts.map(|c| {
                         let c = c.max(1);
-                        if ctx.det.is_none() && ctx.queue.starving(ctx.threads) {
+                        if ctx.det.is_none() && ctx.sched.starving(ctx.threads) {
                             (c / 8).max(1)
                         } else {
                             c
@@ -924,15 +1445,16 @@ fn solve_cube(
                         Some(status) => break status,
                         None => {
                             // The conflict allowance is burned on this cube.
-                            // Re-split if the queue is starving (deterministic
-                            // mode re-splits unconditionally — the schedule
-                            // must not depend on queue timing); otherwise just
-                            // raise the cap and keep searching.
+                            // Re-split if the scheduler is starving
+                            // (deterministic mode re-splits unconditionally —
+                            // the schedule must not depend on scheduler
+                            // timing); otherwise just raise the cap and keep
+                            // searching.
                             if search.cube_depth() >= RESPLIT_MAX_DEPTH {
                                 stats.split_depth_truncated += 1;
                                 continue;
                             }
-                            if ctx.det.is_none() && !ctx.queue.starving(ctx.threads) {
+                            if ctx.det.is_none() && !ctx.sched.starving(ctx.threads) {
                                 continue;
                             }
                             let arms = search.resplit(RESPLIT_ARMS);
@@ -941,8 +1463,18 @@ fn solve_cube(
                                 search
                                     .tracer()
                                     .emit(TraceEvent::Resplit { arms: arms.len() as u32 });
-                                ctx.queue
-                                    .push(arms.into_iter().map(|lits| Cube { lits }).collect());
+                                let spilled = ctx.sched.push(
+                                    worker,
+                                    arms.into_iter().map(|lits| Cube { lits }).collect(),
+                                );
+                                if ctx.det.is_none() && spilled > 0 {
+                                    // Arms that overflowed the worker's own
+                                    // deque (or the slab) into the injector:
+                                    // bulk Inject, reconciled against
+                                    // `stats.injections`.
+                                    stats.injections += spilled;
+                                    search.tracer().emit(TraceEvent::Inject { n: spilled });
+                                }
                                 // The re-split left the engine at the root:
                                 // publish/import with the pool while it is
                                 // legal (and cheap) to do so.
@@ -1228,27 +1760,141 @@ mod tests {
     fn worker_panic_mid_resplit_aborts_cleanly() {
         use std::panic::{catch_unwind, AssertUnwindSafe};
         // A worker dies between pushing re-split arms and finishing its
-        // cube: the InFlight drop guard must report the cube as aborted,
-        // so siblings wake up instead of waiting forever for a verdict,
-        // and the driver degrades the status instead of claiming a
-        // closed frontier over silently lost work.
+        // cube: the WorkGuard drop guard must report the cube as
+        // aborted, so siblings wake up instead of waiting forever for a
+        // verdict, and the driver degrades the status instead of
+        // claiming a closed frontier over silently lost work. Both
+        // scheduler kinds carry the same guarantee.
         let cube = |i: usize, pos: bool| Cube { lits: vec![Lit::new(i, pos)] };
-        let queue = CubeQueue::new(vec![cube(0, true), cube(0, false)]);
+        for kind in [SchedulerKind::WorkStealing, SchedulerKind::MutexDeque] {
+            let (sched, _) = Scheduler::new(kind, 2, vec![cube(0, true), cube(0, false)], false);
+            std::thread::scope(|s| {
+                let sched = &sched;
+                s.spawn(move || {
+                    let _ = catch_unwind(AssertUnwindSafe(|| {
+                        let _cube = sched.next(0).expect("first cube");
+                        let _guard = WorkGuard::new(sched);
+                        sched.push(
+                            0,
+                            vec![Cube { lits: vec![Lit::new(1, true), Lit::new(2, true)] }],
+                        );
+                        panic!("worker dies mid-re-split");
+                    }));
+                })
+                .join()
+                .expect("outer thread caught the panic");
+            });
+            assert!(sched.was_aborted(), "{kind:?}: drop guard must abort the solve");
+            assert!(sched.next(1).is_none(), "{kind:?}: aborted scheduler must release waiters");
+        }
+    }
+
+    #[test]
+    fn randomized_push_steal_panic_stress_keeps_exact_partition() {
+        use std::panic::{catch_unwind, AssertUnwindSafe};
+        use std::sync::Mutex as StdMutex;
+        // N producers × M thieves over the work-stealing scheduler:
+        // every worker repeatedly takes a cube and either closes it or
+        // splits it (recording `cube ∧ d` closed, pushing `cube ∧ ¬d`),
+        // under a seeded per-worker interleaving. After the frontier
+        // drains, the closed records must partition the root exactly —
+        // checked by enumeration — whatever steal/pop/overflow
+        // interleaving the OS produced. A final round repeats the run
+        // with one worker panicking mid-split and asserts the abort
+        // reaches every sibling.
+        const N_VARS: usize = 10;
+        let root_frontier = || -> Vec<Cube> {
+            // Depth-2 prefix tree over v0, v1: four disjoint cubes
+            // covering the root.
+            let mut cubes = Vec::new();
+            for b0 in [false, true] {
+                for b1 in [false, true] {
+                    cubes.push(Cube { lits: vec![Lit::new(0, b0), Lit::new(1, b1)] });
+                }
+            }
+            cubes
+        };
+        for trial in 0..8u64 {
+            let threads = 2 + (trial as usize % 3); // 2..=4
+            let (sched, _) =
+                Scheduler::new(SchedulerKind::WorkStealing, threads, root_frontier(), false);
+            let closed: StdMutex<Vec<Vec<Lit>>> = StdMutex::new(Vec::new());
+            let steals = std::sync::atomic::AtomicU64::new(0);
+            std::thread::scope(|s| {
+                for w in 0..threads {
+                    let sched = &sched;
+                    let closed = &closed;
+                    let steals = &steals;
+                    s.spawn(move || {
+                        let mut rng = ChaCha8Rng::seed_from_u64(trial * 31 + w as u64);
+                        while let Some((cube, source)) = sched.next(w) {
+                            if matches!(source, CubeSource::Steal(_)) {
+                                steals.fetch_add(1, Ordering::Relaxed);
+                            }
+                            let guard = WorkGuard::new(sched);
+                            let depth = cube.lits.len();
+                            if depth < N_VARS && rng.gen_bool(0.6) {
+                                // Split: branch on the next variable,
+                                // sometimes several arms deep (stresses
+                                // ring growth and overflow spills).
+                                let arms = rng.gen_range(1..=3.min(N_VARS - depth));
+                                let mut kept = cube.lits.clone();
+                                let mut pushed = Vec::new();
+                                for a in 0..arms {
+                                    let var = depth + a;
+                                    let mut arm = kept.clone();
+                                    arm.push(Lit::new(var, false));
+                                    pushed.push(Cube { lits: arm });
+                                    kept.push(Lit::new(var, true));
+                                }
+                                sched.push(w, pushed);
+                                closed.lock().unwrap().push(kept);
+                            } else {
+                                closed.lock().unwrap().push(cube.lits);
+                            }
+                            guard.finish(false);
+                        }
+                    });
+                }
+            });
+            assert!(!sched.was_aborted(), "trial {trial}: clean drain");
+            let closed = closed.into_inner().unwrap();
+            // Exact partition of the root, by enumeration.
+            for bits in 0..(1u32 << N_VARS) {
+                let assignment: Vec<bool> = (0..N_VARS).map(|v| bits & (1 << v) != 0).collect();
+                let hits = closed
+                    .iter()
+                    .filter(|lits| {
+                        lits.iter().all(|l| assignment[l.var().index()] == l.is_positive())
+                    })
+                    .count();
+                assert_eq!(hits, 1, "trial {trial}: assignment {bits:b} covered {hits} times");
+            }
+        }
+        // Panic round: worker 0 dies mid-split; siblings must all exit.
+        let (sched, _) = Scheduler::new(SchedulerKind::WorkStealing, 3, root_frontier(), false);
         std::thread::scope(|s| {
-            let q = &queue;
+            let sched = &sched;
             s.spawn(move || {
                 let _ = catch_unwind(AssertUnwindSafe(|| {
-                    let _cube = q.next().expect("first cube");
-                    let _guard = InFlight::new(q);
-                    q.push(vec![Cube { lits: vec![Lit::new(1, true), Lit::new(2, true)] }]);
-                    panic!("worker dies mid-re-split");
+                    let _take = sched.next(0).expect("a cube");
+                    let _guard = WorkGuard::new(sched);
+                    sched.push(0, vec![Cube { lits: vec![Lit::new(5, true)] }]);
+                    panic!("stress worker dies mid-split");
                 }));
-            })
-            .join()
-            .expect("outer thread caught the panic");
+            });
+            for w in 1..3 {
+                s.spawn(move || {
+                    // Drain until the abort propagates; close anything
+                    // taken before it lands.
+                    while let Some((_, _)) = sched.next(w) {
+                        let guard = WorkGuard::new(sched);
+                        guard.finish(false);
+                    }
+                });
+            }
         });
-        assert!(queue.was_aborted(), "drop guard must abort the solve");
-        assert!(queue.next().is_none(), "aborted queue must release waiters");
+        assert!(sched.was_aborted(), "panic must abort the stress run");
     }
 
     #[test]
@@ -1297,8 +1943,8 @@ mod tests {
             options.probing = false;
             options.cardinality_cuts = false;
             options.restart_base = Some(1);
-            let pool = ClausePool::new();
             let split = CubeSplitter::split_to_depth(&inst, 3, 2);
+            let pool = ClausePool::new(split.open.len() + 1);
             let start = Instant::now();
             // Root search first (empty cube: everything it learns is
             // assumption-free and publishable), then the cube workers —
@@ -1308,7 +1954,7 @@ mod tests {
             // a leak as an excluded feasible completion).
             let mut tasks: Vec<Vec<Lit>> = vec![Vec::new()];
             tasks.extend(split.open.iter().map(|c| c.lits.clone()));
-            for cube in &tasks {
+            for (lane, cube) in tasks.iter().enumerate() {
                 let mut stats = SolverStats::default();
                 if let Ok(mut search) = SearchState::init(
                     &inst,
@@ -1318,14 +1964,15 @@ mod tests {
                     &mut stats,
                     cube,
                     &[],
-                    Some(&pool),
+                    Some(crate::share::PoolHandle { pool: &pool, lane }),
                     Tracer::off(),
                 ) {
                     let _ = search.run(start, &mut stats);
                 }
             }
             let n = inst.num_vars();
-            let Some((_, clauses)) = pool.snapshot_since(0) else { continue };
+            let mut marks = crate::share::PoolWatermarks::default();
+            let Some(clauses) = pool.snapshot_since(&mut marks) else { continue };
             for c in clauses {
                 checked += 1;
                 for bits in 0..(1u32 << n) {
@@ -1377,9 +2024,60 @@ mod tests {
             // And the answer agrees with the sequential solver.
             assert_eq!(a.status, seq.status, "{label}: vs sequential status");
             assert_eq!(a.best_cost, seq.best_cost, "{label}: vs sequential cost");
-            // Sharing is structurally off in this mode.
+            // Sharing is structurally off in this mode, and scheduling
+            // artifacts (steals, injector traffic) are excluded from the
+            // deterministic claim by construction.
             assert_eq!(a.stats.clauses_shared, 0, "{label}: sharing off");
             assert_eq!(a.stats.clauses_imported, 0, "{label}: imports off");
+            assert_eq!(a.stats.steals, 0, "{label}: stealing off under det join");
+            assert_eq!(a.stats.injections, 0, "{label}: inject accounting off under det join");
+            // The deterministic claim also holds *across* scheduler
+            // kinds: per-cube trajectories depend only on (instance,
+            // options, cube, seed incumbent), so the mutex baseline must
+            // reduce to the identical result.
+            let mut mutex_options = options.clone();
+            mutex_options.scheduler = SchedulerKind::MutexDeque;
+            let m = ParBsolo::new(mutex_options, 3).solve(&inst);
+            assert_eq!(a.status, m.status, "{label}: cross-scheduler status");
+            assert_eq!(a.best_cost, m.best_cost, "{label}: cross-scheduler cost");
+            assert_eq!(a.best_assignment, m.best_assignment, "{label}: cross-scheduler model");
+            assert_eq!(a.stats.decisions, m.stats.decisions, "{label}: cross-scheduler decisions");
+            assert_eq!(a.stats.conflicts, m.stats.conflicts, "{label}: cross-scheduler conflicts");
+            assert_eq!(
+                a.stats.nodes_per_worker, m.stats.nodes_per_worker,
+                "{label}: cross-scheduler nodes"
+            );
+        }
+    }
+
+    #[test]
+    fn scheduler_kinds_agree_on_the_optimum() {
+        // Racing-mode parity: the mutex baseline and the work-stealing
+        // scheduler must verify the same optimum (node counts are
+        // timing-dependent, the answer is not).
+        let mut rng = ChaCha8Rng::seed_from_u64(0x57ea1);
+        for round in 0..12 {
+            let inst = random_instance(&mut rng, 9);
+            let expected = brute_force(&inst).cost();
+            for kind in [SchedulerKind::WorkStealing, SchedulerKind::MutexDeque] {
+                let mut options = BsoloOptions::with_lb(LbMethod::Mis);
+                options.scheduler = kind;
+                let got = ParBsolo::new(options, 4).solve(&inst);
+                match expected {
+                    Some(opt) => {
+                        assert_eq!(got.status, SolveStatus::Optimal, "round {round} {kind:?}");
+                        assert_eq!(got.best_cost, Some(opt), "round {round} {kind:?}");
+                    }
+                    None => {
+                        assert_eq!(got.status, SolveStatus::Infeasible, "round {round} {kind:?}");
+                    }
+                }
+                if kind == SchedulerKind::MutexDeque {
+                    // The baseline has no injector and no thieves.
+                    assert_eq!(got.stats.steals, 0, "round {round}: baseline steals");
+                    assert_eq!(got.stats.injections, 0, "round {round}: baseline injections");
+                }
+            }
         }
     }
 

@@ -93,7 +93,34 @@ pub struct PortfolioOptions {
     /// the cell. Applies to every strategy — `Exact` becomes pure
     /// parallel B&B, `Concurrent` races `ls_threads` LS workers *and*
     /// `bb_threads` exact workers against one cell.
+    ///
+    /// Both thread counts accept `0` as "auto": resolved to the
+    /// machine's available parallelism at solve time (the CLI spells it
+    /// `--bb-threads auto`). See [`PortfolioOptions::resolve_threads`].
     pub bb_threads: usize,
+}
+
+impl PortfolioOptions {
+    /// Resolves a thread-count option: `0` ("auto") becomes
+    /// [`std::thread::available_parallelism`] (falling back to 1 if the
+    /// machine cannot report it), anything else is taken as-is.
+    pub fn resolve_threads(n: usize) -> usize {
+        if n == 0 {
+            std::thread::available_parallelism().map_or(1, |p| p.get())
+        } else {
+            n
+        }
+    }
+
+    /// Exact-side worker count after `auto` resolution.
+    pub fn resolved_bb_threads(&self) -> usize {
+        Self::resolve_threads(self.bb_threads)
+    }
+
+    /// Local-search worker count after `auto` resolution.
+    pub fn resolved_ls_threads(&self) -> usize {
+        Self::resolve_threads(self.ls_threads)
+    }
 }
 
 impl Default for PortfolioOptions {
@@ -194,7 +221,7 @@ impl Portfolio {
     /// `bb_threads == 1` (bit-identical to [`crate::Bsolo`], by
     /// delegation), the cube-split worker pool otherwise.
     fn exact_solver(&self) -> ParBsolo {
-        ParBsolo::new(self.options.bsolo.clone(), self.options.bb_threads.max(1))
+        ParBsolo::new(self.options.bsolo.clone(), self.options.resolved_bb_threads())
     }
 
     /// Sequential mode: a bounded LS phase, then B&B on what's left of
@@ -251,7 +278,7 @@ impl Portfolio {
             bsolo_options.budget.time =
                 Some(t.saturating_sub(start.elapsed()).max(Duration::from_millis(1)));
         }
-        let mut result = ParBsolo::new(bsolo_options, self.options.bb_threads.max(1))
+        let mut result = ParBsolo::new(bsolo_options, self.options.resolved_bb_threads())
             .solve_with_cell(instance, Some(cell));
         result.stats.trace.extend(ls.drain_trace());
         result
@@ -269,7 +296,7 @@ impl Portfolio {
         start: Instant,
     ) -> SolveResult {
         let stop = AtomicBool::new(false);
-        let workers = self.options.ls_threads.max(1);
+        let workers = self.options.resolved_ls_threads();
         let trace_epoch = self.options.bsolo.trace.then_some(start);
         std::thread::scope(|scope| {
             let ls_handle = scope.spawn(|| {
@@ -421,6 +448,28 @@ mod tests {
         let result = Bsolo::new(options).solve_with_cell(&inst, Some(&cell));
         assert_eq!(result.status, crate::SolveStatus::Optimal);
         assert_eq!(result.best_cost, Some(cost));
+    }
+
+    #[test]
+    fn auto_thread_resolution() {
+        // 0 is the "auto" sentinel: resolved to the machine's available
+        // parallelism (≥ 1), explicit counts pass through untouched.
+        assert!(PortfolioOptions::resolve_threads(0) >= 1);
+        assert_eq!(PortfolioOptions::resolve_threads(3), 3);
+        let auto = PortfolioOptions { ls_threads: 0, bb_threads: 0, ..Default::default() };
+        assert!(auto.resolved_bb_threads() >= 1);
+        assert!(auto.resolved_ls_threads() >= 1);
+        // And an auto-threaded solve still verifies its optimum.
+        let inst = covering_instance();
+        let expected = brute_force(&inst).cost();
+        let options = PortfolioOptions {
+            strategy: SolveStrategy::Exact,
+            bb_threads: 0,
+            ..PortfolioOptions::default()
+        };
+        let result = Portfolio::new(options).solve(&inst);
+        assert!(result.is_optimal(), "auto-threaded exact solve must prove optimality");
+        assert_eq!(result.best_cost, expected);
     }
 
     #[test]

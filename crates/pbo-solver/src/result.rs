@@ -112,12 +112,27 @@ pub struct SolverStats {
     /// split depth (frontier truncated coarser than requested) — see
     /// [`crate::SplitOutcome::depth_truncated`].
     pub split_depth_truncated: u64,
-    /// Time parallel workers spent blocked on the cube queue waiting
-    /// for work, **summed across workers** at join (the idle-tail
-    /// metric that dynamic re-splitting is meant to shrink). Divide by
-    /// worker count before comparing against `solve_time`; see
-    /// [`SolverStats::utilization`].
+    /// Time parallel workers spent without a cube to work on, **summed
+    /// across workers** at join (the idle-tail metric that dynamic
+    /// re-splitting is meant to shrink). The measurement is the wall
+    /// time from a worker asking the scheduler for a cube to receiving
+    /// one (or to shutdown), regardless of scheduler: under the mutex
+    /// deque it is the condvar block, under work stealing it covers the
+    /// whole acquire loop — failed owner pops, unsuccessful steal
+    /// attempts and idle backoff spins alike. A *successful* steal or
+    /// injector pop on the first attempt contributes (only) its own
+    /// sub-microsecond probe time, so the two schedulers are directly
+    /// comparable. Divide by worker count before comparing against
+    /// `solve_time`; see [`SolverStats::utilization`].
     pub queue_wait_total: Duration,
+    /// Cubes a worker stole from another worker's deque (work-stealing
+    /// scheduler only; reconciled against [`pbo_trace::TraceEvent::Steal`]
+    /// events when tracing).
+    pub steals: u64,
+    /// Cubes that entered the global injector: the initial frontier
+    /// seeded by the driver plus any deque-overflow spills (reconciled
+    /// against [`pbo_trace::TraceEvent::Inject`] event weights).
+    pub injections: u64,
     /// Telemetry events recorded when tracing was enabled (empty
     /// otherwise). Per-worker buffers are appended here at join by
     /// [`SolverStats::absorb`]; export with [`pbo_trace::write_jsonl`]
@@ -151,14 +166,22 @@ impl SolverStats {
         self.clauses_imported += other.clauses_imported;
         self.split_depth_truncated += other.split_depth_truncated;
         self.queue_wait_total += other.queue_wait_total;
+        self.steals += other.steals;
+        self.injections += other.injections;
         self.trace.extend(other.trace.iter().cloned());
     }
 
     /// Fraction of total worker-seconds spent doing search rather than
-    /// blocked on the cube queue: `1 - queue_wait_total / (workers *
+    /// waiting for a cube: `1 - queue_wait_total / (workers *
     /// solve_time)`, clamped to `[0, 1]`, where `workers` is
     /// `nodes_per_worker.len()` (1 for sequential solves). `None` until
     /// `solve_time` has been set by the driver.
+    ///
+    /// Units: `queue_wait_total` is worker-seconds (CPU-like, summed at
+    /// join), `solve_time` is wall seconds — hence the division by
+    /// `workers`. The numerator counts *all* time between asking the
+    /// scheduler for work and getting it (condvar blocks, failed steal
+    /// attempts, idle spins), so utilization is scheduler-comparable.
     pub fn utilization(&self) -> Option<f64> {
         let wall = self.solve_time.as_secs_f64();
         if wall <= 0.0 {
@@ -184,7 +207,8 @@ impl SolverStats {
              \"solve_time_ms\":{:.3},\"time_to_best_ms\":{:.3},\"propagations\":{},\
              \"restarts\":{},\"solutions_found\":{},\"backjump_levels\":{},\
              \"lp_iterations\":{},\"nodes\":{},\"resplits\":{},\"clauses_shared\":{},\
-             \"clauses_imported\":{},\"split_depth_truncated\":{},\"queue_wait_total_ms\":{:.3},",
+             \"clauses_imported\":{},\"split_depth_truncated\":{},\"queue_wait_total_ms\":{:.3},\
+             \"steals\":{},\"injections\":{},",
             self.decisions,
             self.conflicts,
             self.bound_conflicts,
@@ -205,6 +229,8 @@ impl SolverStats {
             self.clauses_imported,
             self.split_depth_truncated,
             ms(self.queue_wait_total),
+            self.steals,
+            self.injections,
         );
         let _ = write!(
             s,

@@ -49,6 +49,8 @@ struct Tally {
     clauses_shared: u64,
     clauses_imported: u64,
     bound_calls: u64,
+    steals: u64,
+    injections: u64,
 }
 
 fn tally(events: &[Event]) -> Tally {
@@ -65,6 +67,10 @@ fn tally(events: &[Event]) -> Tally {
             TraceEvent::ClausesShared { n } => t.clauses_shared += n,
             TraceEvent::ClausesImported { n } => t.clauses_imported += n,
             TraceEvent::Bound { .. } => t.bound_calls += 1,
+            // Scheduler traffic: one Steal per stolen cube, Inject in
+            // bulk (driver frontier seed, worker overflow spills).
+            TraceEvent::Steal { .. } => t.steals += 1,
+            TraceEvent::Inject { n } => t.injections += n,
             _ => {}
         }
     }
@@ -81,6 +87,8 @@ fn assert_coherent(label: &str, stats: &SolverStats) {
     assert_eq!(t.clauses_shared, stats.clauses_shared, "{label}: clauses shared");
     assert_eq!(t.clauses_imported, stats.clauses_imported, "{label}: clauses imported");
     assert_eq!(t.bound_calls, stats.lb_calls, "{label}: bound calls");
+    assert_eq!(t.steals, stats.steals, "{label}: steals");
+    assert_eq!(t.injections, stats.injections, "{label}: injections");
 }
 
 fn traced(lb: LbMethod) -> BsoloOptions {
@@ -145,16 +153,20 @@ fn deterministic_join_trace_is_reproducible_and_coherent() {
         let ka: Vec<String> = a.stats.trace.iter().map(Event::stable_key).collect();
         let kb: Vec<String> = b.stats.trace.iter().map(Event::stable_key).collect();
         assert_eq!(ka, kb, "round {round}: det-join event sequence drifted between runs");
-        // Deterministic mode never shares clauses and never reports
-        // queue waits, so those event kinds must be absent outright.
+        // Deterministic mode never shares clauses, never reports queue
+        // waits, and suppresses scheduler traffic (stealing is disabled,
+        // injections go untallied), so those event kinds must be absent
+        // outright.
         assert!(
             !a.stats.trace.iter().any(|e| matches!(
                 e.data,
                 TraceEvent::ClausesShared { .. }
                     | TraceEvent::ClausesImported { .. }
                     | TraceEvent::QueueWait { .. }
+                    | TraceEvent::Steal { .. }
+                    | TraceEvent::Inject { .. }
             )),
-            "round {round}: sharing/queue events in deterministic mode"
+            "round {round}: sharing/queue/scheduler events in deterministic mode"
         );
     }
 }

@@ -17,7 +17,7 @@
 //!   and restarts, bound calls with method/outcome/margin, incumbent
 //!   publications and adoptions, LS restarts and cut installs, and the
 //!   cube lifecycle (dequeue wait, dive, re-split, close, clause
-//!   publish/import).
+//!   publish/import, scheduler steals and injector traffic).
 //! * Exporters: [`write_jsonl`] (one event per line, stable schema) and
 //!   [`write_chrome`] (Chrome `trace_event` JSON that opens in
 //!   `chrome://tracing` / Perfetto with one lane per worker).
@@ -149,6 +149,19 @@ pub enum TraceEvent {
         /// Number of splitter lookahead decisions.
         n: u64,
     },
+    /// A worker stole one cube from another worker's deque (recorded on
+    /// the thief's lane; counted in `SolverStats::steals`).
+    Steal {
+        /// Lane of the worker whose deque lost the cube.
+        victim: u32,
+    },
+    /// Cubes entered the global injector (recorded in bulk: the driver
+    /// seeds the initial frontier, a worker spills deque overflow;
+    /// counted in `SolverStats::injections`).
+    Inject {
+        /// Number of cubes injected by this call.
+        n: u64,
+    },
 }
 
 impl TraceEvent {
@@ -171,6 +184,8 @@ impl TraceEvent {
             TraceEvent::QueueWait { .. } => "queue_wait",
             TraceEvent::DiveEnd { .. } => "dive_end",
             TraceEvent::SplitterDecisions { .. } => "splitter_decisions",
+            TraceEvent::Steal { .. } => "steal",
+            TraceEvent::Inject { .. } => "inject",
         }
     }
 }
@@ -205,8 +220,12 @@ impl Event {
             TraceEvent::CutsInstalled { n }
             | TraceEvent::ClausesShared { n }
             | TraceEvent::ClausesImported { n }
-            | TraceEvent::SplitterDecisions { n } => {
+            | TraceEvent::SplitterDecisions { n }
+            | TraceEvent::Inject { n } => {
                 let _ = write!(s, ":{n}");
+            }
+            TraceEvent::Steal { victim } => {
+                let _ = write!(s, ":{victim}");
             }
             TraceEvent::CubeStart { depth } => {
                 let _ = write!(s, ":{depth}");
@@ -358,8 +377,12 @@ pub fn write_jsonl(events: &[Event]) -> String {
             TraceEvent::CutsInstalled { n }
             | TraceEvent::ClausesShared { n }
             | TraceEvent::ClausesImported { n }
-            | TraceEvent::SplitterDecisions { n } => {
+            | TraceEvent::SplitterDecisions { n }
+            | TraceEvent::Inject { n } => {
                 let _ = write!(out, ",\"n\":{n}");
+            }
+            TraceEvent::Steal { victim } => {
+                let _ = write!(out, ",\"victim\":{victim}");
             }
             TraceEvent::CubeStart { depth } => {
                 let _ = write!(out, ",\"depth\":{depth}");
@@ -468,6 +491,12 @@ pub fn write_chrome(events: &[Event]) -> String {
             }
             TraceEvent::SplitterDecisions { n } => {
                 Some(instant(lane, e.t_ns, "splitter-decisions", &format!("\"n\":{n}")))
+            }
+            TraceEvent::Steal { victim } => {
+                Some(instant(lane, e.t_ns, "steal", &format!("\"victim\":{victim}")))
+            }
+            TraceEvent::Inject { n } => {
+                Some(instant(lane, e.t_ns, "inject", &format!("\"n\":{n}")))
             }
             TraceEvent::CubeStart { .. }
             | TraceEvent::Decision
@@ -580,7 +609,8 @@ impl MetricsRegistry {
                 TraceEvent::CutsInstalled { n }
                 | TraceEvent::ClausesShared { n }
                 | TraceEvent::ClausesImported { n }
-                | TraceEvent::SplitterDecisions { n } => {
+                | TraceEvent::SplitterDecisions { n }
+                | TraceEvent::Inject { n } => {
                     *reg.totals.entry(e.data.kind()).or_insert(0) += n;
                 }
                 _ => {}
@@ -728,6 +758,25 @@ mod tests {
         let text = reg.render();
         assert!(text.contains("counter decision = 2"));
         assert!(text.contains("histogram lb_time"));
+    }
+
+    #[test]
+    fn scheduler_events_round_trip_all_exporters() {
+        let events = vec![
+            ev(10, 0, TraceEvent::Inject { n: 8 }),
+            ev(20, 2, TraceEvent::Steal { victim: 1 }),
+        ];
+        assert_eq!(events[0].stable_key(), "0:inject:8");
+        assert_eq!(events[1].stable_key(), "2:steal:1");
+        let jsonl = write_jsonl(&events);
+        assert!(jsonl.contains("\"kind\":\"inject\",\"n\":8"));
+        assert!(jsonl.contains("\"kind\":\"steal\",\"victim\":1"));
+        let chrome = write_chrome(&events);
+        assert!(chrome.contains("\"name\":\"steal\""));
+        assert!(chrome.contains("\"name\":\"inject\""));
+        let reg = MetricsRegistry::from_events(&events);
+        assert_eq!(reg.counters["steal"], 1);
+        assert_eq!(reg.totals["inject"], 8);
     }
 
     #[test]

@@ -2,7 +2,7 @@
 //!
 //! ```text
 //! pbo-solve [--lb plain|mis|lgr|lpr] [--strategy exact|ls-seeded|concurrent]
-//!           [--ls-threads N] [--bb-threads N] [--deterministic]
+//!           [--ls-threads N|auto] [--bb-threads N|auto] [--deterministic]
 //!           [--timeout-ms N] [--stats] [--stats-json]
 //!           [--trace FILE] [--trace-format jsonl|chrome] [--metrics] <file.opb>
 //! cargo run --release --bin pbo-solve -- --strategy ls-seeded instance.opb
@@ -20,12 +20,15 @@
 //! N workers solve the subtrees over the shared term arena, racing
 //! incumbents (and eq. 10–13 cost cuts) through the shared cell; with
 //! `--strategy exact` this is pure parallel B&B, and `--bb-threads 1`
-//! (the default) is bit-identical to the sequential solver. Workers
-//! re-split long-running cubes back into the queue and share
-//! cube-independent learned clauses through an epoch-stamped pool;
-//! `--deterministic` trades that racing for reproducibility (fixed
-//! re-split schedule, no sharing, cube-ordered join) so repeated runs
-//! report identical status, cost, model and counters.
+//! (the default) is bit-identical to the sequential solver. Both thread
+//! flags accept `auto` (or `0`): the count resolves to the machine's
+//! available parallelism, and the resolved values are reported in
+//! `--stats-json`. Workers re-split long-running cubes back to the
+//! work-stealing scheduler and share cube-independent learned clauses
+//! through a pool sharded into per-worker lanes; `--deterministic`
+//! trades that racing for reproducibility (fixed re-split schedule, no
+//! sharing or stealing, cube-ordered join) so repeated runs report
+//! identical status, cost, model and counters.
 //!
 //! Output follows the pseudo-Boolean competition conventions:
 //! `s OPTIMUM FOUND` / `s SATISFIABLE` / `s UNSATISFIABLE` /
@@ -54,10 +57,19 @@ use pbo::{
 fn usage() -> ! {
     eprintln!(
         "usage: pbo-solve [--lb plain|mis|lgr|lpr] [--strategy exact|ls-seeded|concurrent] \
-         [--ls-threads N] [--bb-threads N] [--deterministic] [--timeout-ms N] [--stats] \
+         [--ls-threads N|auto] [--bb-threads N|auto] [--deterministic] [--timeout-ms N] [--stats] \
          [--stats-json] [--trace FILE] [--trace-format jsonl|chrome] [--metrics] <file.opb>"
     );
     std::process::exit(2);
+}
+
+/// `N` (≥ 1) taken as-is, `auto` or `0` as the auto sentinel (resolved
+/// through [`PortfolioOptions::resolve_threads`] after parsing).
+fn parse_threads(v: String) -> Option<usize> {
+    if v == "auto" {
+        return Some(0);
+    }
+    v.parse().ok()
 }
 
 /// Trace export format selected by `--trace-format`.
@@ -84,18 +96,10 @@ fn main() -> ExitCode {
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--ls-threads" => {
-                ls_threads = args
-                    .next()
-                    .and_then(|v| v.parse().ok())
-                    .filter(|&n| n >= 1)
-                    .unwrap_or_else(|| usage())
+                ls_threads = args.next().and_then(parse_threads).unwrap_or_else(|| usage())
             }
             "--bb-threads" => {
-                bb_threads = args
-                    .next()
-                    .and_then(|v| v.parse().ok())
-                    .filter(|&n| n >= 1)
-                    .unwrap_or_else(|| usage())
+                bb_threads = args.next().and_then(parse_threads).unwrap_or_else(|| usage())
             }
             "--lb" => {
                 lb = match args.next().as_deref() {
@@ -135,6 +139,10 @@ fn main() -> ExitCode {
         }
     }
     let Some(path) = path else { usage() };
+    // Resolve `auto` (0) once, up front, so the banner, the fast-path
+    // check and `--stats-json` all report the same concrete counts.
+    let ls_threads = PortfolioOptions::resolve_threads(ls_threads);
+    let bb_threads = PortfolioOptions::resolve_threads(bb_threads);
     let text = match std::fs::read_to_string(&path) {
         Ok(t) => t,
         Err(e) => {
@@ -250,7 +258,14 @@ fn main() -> ExitCode {
         println!("c trace: {} events written to {out}", events.len());
     }
     if stats_json {
-        println!("{}", result.stats.to_json());
+        // Splice the resolved thread counts into the stats object —
+        // they are a solve-level fact the merged stats cannot know
+        // (especially under `auto`).
+        let mut json = result.stats.to_json();
+        debug_assert!(json.ends_with('}'));
+        json.pop();
+        json.push_str(&format!(",\"ls_threads\":{ls_threads},\"bb_threads\":{bb_threads}}}"));
+        println!("{json}");
     }
     ExitCode::SUCCESS
 }
