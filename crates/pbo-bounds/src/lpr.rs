@@ -11,6 +11,10 @@
 //! guards against tolerance mismatches). If the relaxation is infeasible
 //! the Farkas rows play the role of `S`.
 
+use std::sync::atomic::AtomicBool;
+use std::sync::Arc;
+use std::time::Instant;
+
 use pbo_core::{Instance, Lit, PbConstraint};
 use pbo_lp::{DualSimplex, LpProblem, LpStatus};
 
@@ -56,6 +60,9 @@ pub struct LprBound {
     /// diffing the whole assignment (O(changed vars) instead of O(vars)
     /// per node).
     trail_mode: bool,
+    /// Cancellation armed on the simplex; kept here so re-roots (which
+    /// rebuild the simplex) re-arm it (see [`LprBound::set_cancel`]).
+    cancel: (Option<Instant>, Option<Arc<AtomicBool>>),
 }
 
 impl LprBound {
@@ -70,7 +77,19 @@ impl LprBound {
             last_fractional: vec![0.0; n],
             mirror: Vec::with_capacity(n),
             trail_mode: false,
+            cancel: (None, None),
         }
+    }
+
+    /// Arms cooperative cancellation on the underlying simplex: solves
+    /// interrupted by the deadline or the stop latch return the sound
+    /// no-information fallback bound (like an iteration limit), so a
+    /// budget deadline landing *inside* an LP solve is honored within a
+    /// bounded overshoot instead of only between search nodes. Survives
+    /// [`LprBound::install_rows`] rebuilds.
+    pub fn set_cancel(&mut self, deadline: Option<Instant>, stop: Option<Arc<AtomicBool>>) {
+        self.simplex.set_cancel(deadline, stop.clone());
+        self.cancel = (deadline, stop);
     }
 
     /// The LP problem of `instance` plus `extra` rows (appended after the
@@ -126,6 +145,7 @@ impl LprBound {
         let iterations = self.simplex.total_iterations;
         self.simplex = DualSimplex::new(&problem);
         self.simplex.total_iterations = iterations;
+        self.simplex.set_cancel(self.cancel.0, self.cancel.1.clone());
         self.const_shift = const_shift;
         for (v, &fixed) in self.cached.iter().enumerate() {
             match fixed {
@@ -258,8 +278,10 @@ impl LowerBound for LprBound {
             LpStatus::Infeasible => {
                 LbOutcome::infeasible(Self::explanation_from_rows(sub, &sol.farkas_rows))
             }
-            LpStatus::IterationLimit => {
-                // Sound fallback: no pruning information.
+            LpStatus::IterationLimit | LpStatus::Cancelled => {
+                // Sound fallback: no pruning information. A cancelled
+                // solve additionally means the search is tearing down;
+                // the caller notices the token at its own poll sites.
                 LbOutcome::bound(sub.path_cost(), Vec::new())
             }
         }

@@ -1,0 +1,186 @@
+//! Cooperative cancellation for long-running solves.
+//!
+//! A [`CancelToken`] is a cheap, clonable handle shared between a solve
+//! and its caller (and between the solve's own threads). It latches
+//! three independent stop conditions into one flag:
+//!
+//! * an **external cancel** ([`CancelToken::cancel`]) — the service
+//!   caller pulling the plug;
+//! * a **deadline** ([`CancelToken::set_deadline`]) — checked lazily by
+//!   [`CancelToken::is_cancelled`], so inner loops that poll the token
+//!   enforce wall-clock limits *inside* a node, not just between nodes;
+//! * a **soft memory ceiling** ([`CancelToken::set_mem_limit`]) over
+//!   bytes explicitly charged with [`CancelToken::charge_mem`] (shared
+//!   clause lanes, dynamic bound rows — the solve's unbounded growth
+//!   paths).
+//!
+//! Once any condition trips, the flag stays set: every poll site sees
+//! the same answer and the solve tears down in bounded time with its
+//! best verified incumbent intact.
+
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+/// Shared cancellation handle (see the [module docs](self)).
+///
+/// Clones share one underlying state. The raw latch is exposed as an
+/// `Arc<AtomicBool>` ([`CancelToken::flag`]) so dependency-free layers
+/// (the LP simplex) can poll it without knowing this type.
+///
+/// # Examples
+///
+/// ```
+/// use pbo_core::CancelToken;
+///
+/// let token = CancelToken::new();
+/// let shared = token.clone();
+/// assert!(!shared.is_cancelled());
+/// token.cancel();
+/// assert!(shared.is_cancelled());
+/// ```
+#[derive(Clone, Debug, Default)]
+pub struct CancelToken {
+    /// The latch itself, handed out raw to dependency-free pollers.
+    flag: Arc<AtomicBool>,
+    inner: Arc<Inner>,
+}
+
+#[derive(Debug, Default)]
+struct Inner {
+    deadline: Mutex<Option<Instant>>,
+    /// Soft ceiling in bytes; 0 means no ceiling.
+    mem_limit: AtomicUsize,
+    mem_used: AtomicUsize,
+}
+
+impl CancelToken {
+    /// A fresh, untripped token with no deadline and no memory ceiling.
+    pub fn new() -> CancelToken {
+        CancelToken::default()
+    }
+
+    /// Trips the token immediately (idempotent).
+    pub fn cancel(&self) {
+        self.flag.store(true, Ordering::Release);
+    }
+
+    /// Arms (or replaces) the wall-clock deadline.
+    pub fn set_deadline(&self, deadline: Instant) {
+        *lock(&self.inner.deadline) = Some(deadline);
+    }
+
+    /// Convenience: a deadline `limit` from now.
+    pub fn deadline_in(&self, limit: Duration) {
+        self.set_deadline(Instant::now() + limit);
+    }
+
+    /// The armed deadline, if any — pollers that keep their own clock
+    /// (the LP simplex) read it once per solve instead of per check.
+    pub fn deadline(&self) -> Option<Instant> {
+        *lock(&self.inner.deadline)
+    }
+
+    /// Arms the soft memory ceiling (bytes); 0 removes it.
+    pub fn set_mem_limit(&self, bytes: usize) {
+        self.inner.mem_limit.store(bytes, Ordering::Relaxed);
+    }
+
+    /// Records `bytes` of tracked allocation (shared clause lanes,
+    /// dynamic rows). Trips the token when the ceiling is exceeded.
+    pub fn charge_mem(&self, bytes: usize) {
+        let used = self.inner.mem_used.fetch_add(bytes, Ordering::Relaxed) + bytes;
+        let limit = self.inner.mem_limit.load(Ordering::Relaxed);
+        if limit != 0 && used > limit {
+            self.cancel();
+        }
+    }
+
+    /// Returns `bytes` of tracked allocation (saturating at zero).
+    pub fn release_mem(&self, bytes: usize) {
+        let _ = self
+            .inner
+            .mem_used
+            .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |u| Some(u.saturating_sub(bytes)));
+    }
+
+    /// Bytes currently charged against the ceiling.
+    pub fn mem_used(&self) -> usize {
+        self.inner.mem_used.load(Ordering::Relaxed)
+    }
+
+    /// Whether the token has tripped. Latches an expired deadline as a
+    /// side effect, so one poller's observation is every poller's.
+    pub fn is_cancelled(&self) -> bool {
+        if self.flag.load(Ordering::Acquire) {
+            return true;
+        }
+        if lock(&self.inner.deadline).is_some_and(|d| Instant::now() >= d) {
+            self.cancel();
+            return true;
+        }
+        false
+    }
+
+    /// The raw latch, for dependency-free layers that poll an
+    /// `AtomicBool` instead of this type. Deadline and memory trips
+    /// surface here too (once some poller latched them).
+    pub fn flag(&self) -> Arc<AtomicBool> {
+        Arc::clone(&self.flag)
+    }
+}
+
+/// Poison-tolerant lock: the guarded value is a plain `Option<Instant>`
+/// that is never left half-written, so recovering it after a panicking
+/// thread held the lock is sound.
+fn lock(m: &Mutex<Option<Instant>>) -> std::sync::MutexGuard<'_, Option<Instant>> {
+    m.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cancel_latches_across_clones() {
+        let t = CancelToken::new();
+        let c = t.clone();
+        assert!(!c.is_cancelled());
+        t.cancel();
+        assert!(c.is_cancelled());
+        assert!(c.flag().load(Ordering::Acquire));
+    }
+
+    #[test]
+    fn expired_deadline_trips_and_latches() {
+        let t = CancelToken::new();
+        t.set_deadline(Instant::now() - Duration::from_millis(1));
+        assert!(t.is_cancelled());
+        // Latched into the raw flag for dependency-free pollers.
+        assert!(t.flag().load(Ordering::Acquire));
+    }
+
+    #[test]
+    fn future_deadline_does_not_trip() {
+        let t = CancelToken::new();
+        t.deadline_in(Duration::from_secs(3600));
+        assert!(!t.is_cancelled());
+        assert!(t.deadline().is_some());
+    }
+
+    #[test]
+    fn mem_ceiling_trips_only_past_limit() {
+        let t = CancelToken::new();
+        t.set_mem_limit(1000);
+        t.charge_mem(600);
+        assert!(!t.is_cancelled());
+        t.charge_mem(300);
+        assert!(!t.is_cancelled());
+        assert_eq!(t.mem_used(), 900);
+        t.release_mem(200);
+        t.charge_mem(250);
+        assert!(!t.is_cancelled());
+        t.charge_mem(100);
+        assert!(t.is_cancelled());
+    }
+}

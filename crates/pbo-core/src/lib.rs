@@ -21,7 +21,9 @@
 //! * [`brute_force`] — an exhaustive reference solver for cross-checking;
 //! * [`verify_solution`] — the single feasibility/cost arbiter every
 //!   solution producer (branch-and-bound, local search, portfolio glue)
-//!   runs its candidates through.
+//!   runs its candidates through;
+//! * [`CancelToken`] — cooperative cancellation (external cancel,
+//!   deadline, soft memory ceiling) shared by every layer of a solve.
 //!
 //! # Examples
 //!
@@ -46,6 +48,7 @@
 mod arena;
 mod assignment;
 mod brute;
+mod cancel;
 mod constraint;
 mod instance;
 mod lit;
@@ -57,6 +60,7 @@ mod verify;
 pub use arena::{RowView, TermArena};
 pub use assignment::{Assignment, Value};
 pub use brute::{brute_force, BruteForceResult};
+pub use cancel::CancelToken;
 pub use constraint::{
     ConstraintClass, ConstraintError, ConstraintState, PbConstraint, PbTerm, MAX_COEFF_SUM,
 };
@@ -64,5 +68,5 @@ pub use instance::{BuildError, Instance, InstanceBuilder};
 pub use lit::{Lit, Var};
 pub use normalize::{normalize, normalize_ge, NormalizeError, RawConstraint, RelOp};
 pub use objective::{Objective, ObjectiveError};
-pub use opb::{parse_opb, write_opb, ParseOpbError};
+pub use opb::{parse_opb, write_opb, ParseOpbError, MAX_OPB_VARS};
 pub use verify::{verify_solution, VerifyError};

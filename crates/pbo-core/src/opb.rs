@@ -57,11 +57,20 @@ fn syntax(line: usize, message: impl Into<String>) -> ParseOpbError {
     ParseOpbError::Syntax { line, message: message.into() }
 }
 
+/// Largest variable index accepted by [`parse_opb`]. Variables are
+/// declared implicitly by their highest mention, so without a ceiling a
+/// single corrupt token (`x99999999999999`) would commit the parser to
+/// allocating that many variables before any solver sees the instance.
+/// The cap is far above every benchmark family this crate targets.
+pub const MAX_OPB_VARS: usize = 10_000_000;
+
 /// Parses an OPB document into an [`Instance`].
 ///
 /// # Errors
 ///
 /// Returns [`ParseOpbError`] on malformed input or if normalization fails.
+/// A variable index above [`MAX_OPB_VARS`] is rejected as malformed
+/// rather than allocated.
 ///
 /// # Examples
 ///
@@ -119,6 +128,9 @@ pub fn parse_opb(text: &str) -> Result<Instance, ParseOpbError> {
             rest.parse().map_err(|_| syntax(line, format!("bad variable number in `{tok}`")))?;
         if idx == 0 {
             return Err(syntax(line, "variable numbers are 1-based"));
+        }
+        if idx > MAX_OPB_VARS {
+            return Err(syntax(line, format!("variable number in `{tok}` exceeds {MAX_OPB_VARS}")));
         }
         max_var = max_var.max(idx);
         Ok(Lit::new(idx - 1, !neg))

@@ -13,6 +13,11 @@ use pbo_core::{Assignment, Lit, PbConstraint, PbTerm, Value, Var};
 use crate::clause::{ClauseDb, ClauseId, Taint};
 use crate::vsids::Vsids;
 
+/// Trail pops between cancellation polls inside [`Engine::propagate`]:
+/// frequent enough that a deadline tears a long fixpoint down promptly,
+/// rare enough to keep `Instant::now` off the per-literal path.
+const CANCEL_CHECK_INTERVAL: u32 = 512;
+
 /// Stable identifier of a pseudo-Boolean constraint inside the engine.
 #[derive(Copy, Clone, PartialEq, Eq, Hash, Debug)]
 pub struct PbId(pub(crate) u32);
@@ -193,6 +198,11 @@ pub struct Engine {
     /// Telemetry sink; [`pbo_trace::Tracer::off`] by default, so the
     /// emission sites below cost one branch when tracing is disabled.
     tracer: pbo_trace::Tracer,
+    /// Cooperative cancellation, polled inside the propagation loop (see
+    /// [`Engine::set_cancel`]); `None` costs one branch per fixpoint.
+    cancel: Option<pbo_core::CancelToken>,
+    /// Literals popped since the last cancellation poll.
+    cancel_clock: u32,
     /// Stats are public for cheap read access by solvers.
     pub stats: EngineStats,
 }
@@ -239,6 +249,8 @@ impl Engine {
             pb_taint: Vec::new(),
             trail_low: Vec::new(),
             tracer: pbo_trace::Tracer::off(),
+            cancel: None,
+            cancel_clock: 0,
             stats: EngineStats::default(),
         }
     }
@@ -248,6 +260,16 @@ impl Engine {
     /// reconcile with the counters.
     pub fn set_tracer(&mut self, tracer: pbo_trace::Tracer) {
         self.tracer = tracer;
+    }
+
+    /// Installs a cooperative cancellation token. [`Engine::propagate`]
+    /// polls it every [`CANCEL_CHECK_INTERVAL`] trail pops and, once it
+    /// trips, stops propagating (conflict-free) — sound, because a
+    /// partial fixpoint claims nothing: the caller observes the token at
+    /// its own poll sites and never uses the truncated propagation to
+    /// close a subtree.
+    pub fn set_cancel(&mut self, cancel: pbo_core::CancelToken) {
+        self.cancel = Some(cancel);
     }
 
     /// Number of variables.
@@ -843,8 +865,22 @@ impl Engine {
     // ------------------------------------------------------------------
 
     /// Propagates to fixpoint. Returns the conflict if one is found.
+    ///
+    /// With a cancellation token installed ([`Engine::set_cancel`]) a
+    /// tripped token ends the fixpoint early with no conflict; the
+    /// unprocessed queue suffix stays on the trail and would be
+    /// propagated by the next call.
     pub fn propagate(&mut self) -> Option<Conflict> {
         while self.qhead < self.trail.len() {
+            if let Some(cancel) = &self.cancel {
+                self.cancel_clock += 1;
+                if self.cancel_clock >= CANCEL_CHECK_INTERVAL {
+                    self.cancel_clock = 0;
+                    if cancel.is_cancelled() {
+                        return None;
+                    }
+                }
+            }
             let p = self.trail[self.qhead];
             self.qhead += 1;
             if let Some(confl) = self.propagate_clauses(p) {

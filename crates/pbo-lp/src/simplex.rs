@@ -27,6 +27,10 @@
 //!   one-pivot re-solves), and recomputed from scratch at every
 //!   refactorization to bound numerical drift.
 
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
 use crate::problem::LpProblem;
 use crate::solution::{LpSolution, LpStatus};
 
@@ -37,6 +41,10 @@ const ZERO_TOL: f64 = 1e-9;
 const TIGHT_TOL: f64 = 1e-6;
 const REFACTOR_INTERVAL: u64 = 80;
 const BLAND_THRESHOLD: u64 = 2_000;
+/// Pivots between cooperative-cancellation polls: cheap enough to keep
+/// deadline overshoot bounded by a few dozen dense pivots, rare enough
+/// that `Instant::now` stays off the per-pivot path.
+const CANCEL_CHECK_INTERVAL: u64 = 64;
 
 /// Warm-startable bounded-variable dual simplex solver.
 ///
@@ -83,6 +91,10 @@ pub struct DualSimplex {
     /// Structural variables whose bounds changed since the last solve;
     /// only these need a dual-feasibility placement repair.
     dirty: Vec<usize>,
+    /// Wall-clock deadline polled mid-solve (see `set_cancel`).
+    deadline: Option<Instant>,
+    /// External stop latch polled mid-solve (see `set_cancel`).
+    stop: Option<Arc<AtomicBool>>,
     /// Cumulative iteration count across solves.
     pub total_iterations: u64,
 }
@@ -139,6 +151,8 @@ impl DualSimplex {
             pivots_since_refactor: 0,
             max_iterations: 20_000,
             dirty: Vec::new(),
+            deadline: None,
+            stop: None,
             total_iterations: 0,
         };
         simplex.xb = simplex.basic_values();
@@ -148,6 +162,23 @@ impl DualSimplex {
     /// Sets the per-solve iteration budget.
     pub fn set_max_iterations(&mut self, limit: u64) {
         self.max_iterations = limit;
+    }
+
+    /// Arms cooperative cancellation: [`solve`](Self::solve) returns
+    /// [`LpStatus::Cancelled`] (basis warm-startable, like an iteration
+    /// limit) once the deadline passes or the stop latch is set, polled
+    /// every [`CANCEL_CHECK_INTERVAL`] pivots — so a deadline landing
+    /// mid-solve is honored within a bounded overshoot instead of only
+    /// between solves. `None`/`None` disarms.
+    pub fn set_cancel(&mut self, deadline: Option<Instant>, stop: Option<Arc<AtomicBool>>) {
+        self.deadline = deadline;
+        self.stop = stop;
+    }
+
+    /// Whether an armed cancellation condition has tripped.
+    fn cancelled(&self) -> bool {
+        self.stop.as_ref().is_some_and(|s| s.load(Ordering::Acquire))
+            || self.deadline.is_some_and(|d| Instant::now() >= d)
     }
 
     /// Changes the bounds of structural variable `j`. The basis (and dual
@@ -396,6 +427,12 @@ impl DualSimplex {
         loop {
             if iterations >= self.max_iterations {
                 return self.emit(LpStatus::IterationLimit, Vec::new(), iterations);
+            }
+            if iterations.is_multiple_of(CANCEL_CHECK_INTERVAL)
+                && (self.deadline.is_some() || self.stop.is_some())
+                && self.cancelled()
+            {
+                return self.emit(LpStatus::Cancelled, Vec::new(), iterations);
             }
             if self.pivots_since_refactor >= REFACTOR_INTERVAL {
                 self.refactorize();

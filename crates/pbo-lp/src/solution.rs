@@ -9,6 +9,10 @@ pub enum LpStatus {
     Infeasible,
     /// The iteration budget was exhausted before convergence.
     IterationLimit,
+    /// A cooperative cancellation (deadline or stop flag) interrupted
+    /// the solve before convergence. Like `IterationLimit`, the basis is
+    /// left warm-startable and no bound information is available.
+    Cancelled,
 }
 
 /// Result of a simplex solve.

@@ -7,6 +7,7 @@ use std::sync::Mutex;
 use std::time::{Duration, Instant};
 
 use pbo_core::Lit;
+use pbo_fault::failpoint;
 
 /// `cost` value meaning "no incumbent yet".
 const EMPTY: i64 = i64::MAX;
@@ -120,6 +121,11 @@ impl IncumbentCell {
         if cost >= self.cost.load(Ordering::Acquire) {
             return false;
         }
+        // Probe placed while the lock is held but before any write: an
+        // injected panic here poisons the mutex with the *previous*
+        // incumbent fully intact, which is exactly what the
+        // poison-recovery in `lock` must survive.
+        failpoint!("cell.offer");
         self.cost.store(cost, Ordering::Release);
         inner.model = Some(model.to_vec());
         inner.history.push((Instant::now(), cost));
@@ -258,6 +264,29 @@ mod tests {
         cell.publish_cuts(vec![cut(4)]);
         assert!(cell.publish_cuts_for(100, vec![cut(5)]));
         assert_eq!(cell.cuts_snapshot(0).unwrap().1, vec![cut(5)]);
+    }
+
+    /// Satellite of the robustness PR: a producer that panics while
+    /// holding the model lock (injected via the `cell.offer` failpoint)
+    /// poisons the mutex, and every later reader and writer must still
+    /// see the incumbent published before the crash.
+    #[cfg(feature = "failpoints")]
+    #[test]
+    fn poisoned_lock_still_serves_the_incumbent() {
+        let _guard = pbo_fault::install(pbo_fault::FaultPlan::new().panic_on("cell.offer", 2));
+        let cell = IncumbentCell::new();
+        assert!(cell.offer(10, &[true, false])); // first hit: publishes
+                                                 // Second offer panics mid-hold, poisoning the mutex.
+        let crashed = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            cell.offer(5, &[false, true]);
+        }));
+        assert!(crashed.is_err(), "failpoint must fire inside the lock hold");
+        // The pre-crash incumbent survives for readers...
+        assert_eq!(cell.best_cost(), Some(10));
+        assert_eq!(cell.snapshot(), Some((10, vec![true, false])));
+        // ...and the cell keeps accepting offers after recovery.
+        assert!(cell.offer(7, &[false, true]));
+        assert_eq!(cell.snapshot(), Some((7, vec![false, true])));
     }
 
     #[test]

@@ -81,5 +81,6 @@ mod search;
 pub use cell::{IncumbentCell, SharedCut};
 pub use pool::{
     diversified_options, run_pool_racing, run_pool_racing_traced, run_pool_steps, PoolResult,
+    PoolRun,
 };
 pub use search::{LocalSearch, LsOptions, LsResult, LsStats};

@@ -23,11 +23,12 @@
 //!   worker with the same seed** — the property the `parls` benchmark
 //!   gate asserts — and the outcome is bit-reproducible.
 
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::AtomicBool;
 use std::time::Instant;
 
 use pbo_core::Instance;
-use pbo_trace::{Event, Tracer, LS_LANE_BASE};
+use pbo_trace::{Event, TraceEvent, Tracer, LS_LANE_BASE};
 
 use crate::cell::IncumbentCell;
 use crate::search::{LocalSearch, LsOptions, LsStats};
@@ -64,6 +65,10 @@ pub struct PoolResult {
     /// Per-worker best costs, indexed by worker (worker 0 == the
     /// single-engine baseline).
     pub worker_costs: Vec<Option<i64>>,
+    /// Workers that died (panicked) during the run; their slots carry
+    /// default stats and no cost. Always 0 unless a fault was injected
+    /// or an engine bug fired.
+    pub workers_lost: u64,
 }
 
 /// Runs `workers` diversified engines **independently** for `max_steps`
@@ -81,17 +86,26 @@ pub fn run_pool_steps(
     max_steps: u64,
 ) -> PoolResult {
     assert!(workers > 0, "a pool needs at least one worker");
-    let results: Vec<_> = std::thread::scope(|scope| {
+    // Panic containment: a dying worker (engine bug, injected fault)
+    // loses only its own slot — the pool result is built from the
+    // survivors, and the loss is reported instead of propagated.
+    let results: Vec<Option<_>> = std::thread::scope(|scope| {
         let handles: Vec<_> = (0..workers)
             .map(|w| {
                 let opts = LsOptions { max_steps, ..diversified_options(base, w) };
-                scope.spawn(move || LocalSearch::new(instance, opts).run(None, None))
+                scope.spawn(move || {
+                    catch_unwind(AssertUnwindSafe(|| {
+                        LocalSearch::new(instance, opts).run(None, None)
+                    }))
+                    .ok()
+                })
             })
             .collect();
-        handles.into_iter().map(|h| h.join().expect("LS worker panicked")).collect()
+        handles.into_iter().map(|h| h.join().ok().flatten()).collect()
     });
+    let workers_lost = results.iter().filter(|r| r.is_none()).count() as u64;
     let mut best: Option<(i64, Vec<bool>)> = None;
-    for r in &results {
+    for r in results.iter().flatten() {
         if let (Some(c), Some(m)) = (r.best_cost, r.best_model.as_ref()) {
             if best.as_ref().is_none_or(|(b, _)| c < *b) {
                 best = Some((c, m.clone()));
@@ -101,8 +115,12 @@ pub fn run_pool_steps(
     PoolResult {
         best_cost: best.as_ref().map(|(c, _)| *c),
         best_model: best.map(|(_, m)| m),
-        worker_stats: results.iter().map(|r| r.stats.clone()).collect(),
-        worker_costs: results.iter().map(|r| r.best_cost).collect(),
+        worker_stats: results
+            .iter()
+            .map(|r| r.as_ref().map(|r| r.stats.clone()).unwrap_or_default())
+            .collect(),
+        worker_costs: results.iter().map(|r| r.as_ref().and_then(|r| r.best_cost)).collect(),
+        workers_lost,
     }
 }
 
@@ -123,7 +141,19 @@ pub fn run_pool_racing(
     cell: &IncumbentCell,
     stop: &AtomicBool,
 ) -> Vec<LsStats> {
-    run_pool_racing_traced(instance, base, workers, chunk_steps, cell, stop, None).0
+    run_pool_racing_traced(instance, base, workers, chunk_steps, cell, stop, None).worker_stats
+}
+
+/// Result of a traced racing pool run ([`run_pool_racing_traced`]).
+#[derive(Clone, Debug)]
+pub struct PoolRun {
+    /// Per-worker effort counters; lost workers carry default stats.
+    pub worker_stats: Vec<LsStats>,
+    /// The merged telemetry stream (empty without a trace epoch).
+    pub events: Vec<Event>,
+    /// Workers that died (panicked) during the run. The cell keeps
+    /// every incumbent the dead worker published before crashing.
+    pub workers_lost: u64,
 }
 
 /// [`run_pool_racing`] with telemetry: when `trace_epoch` is given, every
@@ -141,9 +171,14 @@ pub fn run_pool_racing_traced(
     cell: &IncumbentCell,
     stop: &AtomicBool,
     trace_epoch: Option<Instant>,
-) -> (Vec<LsStats>, Vec<Event>) {
+) -> PoolRun {
     assert!(workers > 0, "a pool needs at least one worker");
-    let results: Vec<(LsStats, Vec<Event>)> = std::thread::scope(|scope| {
+    // Panic containment: each worker body runs under `catch_unwind`, so
+    // one dying worker (its trace buffer lost with it) degrades the
+    // pool to N−1 racers instead of unwinding through the portfolio —
+    // every incumbent it published before the crash is already in the
+    // cell.
+    let results: Vec<Option<(LsStats, Vec<Event>)>> = std::thread::scope(|scope| {
         let handles: Vec<_> = (0..workers)
             .map(|w| {
                 let opts = LsOptions {
@@ -152,38 +187,61 @@ pub fn run_pool_racing_traced(
                     ..diversified_options(base, w)
                 };
                 scope.spawn(move || {
-                    let mut ls = LocalSearch::new(instance, opts);
-                    // The tracer is built inside the worker thread: its
-                    // buffer is worker-owned (no cross-thread sharing),
-                    // only the drained events cross back at join.
-                    ls.set_tracer(match trace_epoch {
-                        Some(epoch) => Tracer::buffered(LS_LANE_BASE + w as u32, epoch),
-                        None => Tracer::off(),
-                    });
-                    loop {
-                        let before = ls.stats.steps;
-                        let _ = ls.run(Some(cell), Some(stop));
-                        if stop.load(std::sync::atomic::Ordering::Relaxed) {
-                            break (ls.stats.clone(), ls.drain_trace());
+                    catch_unwind(AssertUnwindSafe(|| {
+                        let mut ls = LocalSearch::new(instance, opts);
+                        // The tracer is built inside the worker thread: its
+                        // buffer is worker-owned (no cross-thread sharing),
+                        // only the drained events cross back at join.
+                        ls.set_tracer(match trace_epoch {
+                            Some(epoch) => Tracer::buffered(LS_LANE_BASE + w as u32, epoch),
+                            None => Tracer::off(),
+                        });
+                        loop {
+                            let before = ls.stats.steps;
+                            let _ = ls.run(Some(cell), Some(stop));
+                            if stop.load(std::sync::atomic::Ordering::Relaxed) {
+                                break (ls.stats.clone(), ls.drain_trace());
+                            }
+                            if ls.stats.steps == before {
+                                // Nothing left to do (target/optimum reached):
+                                // idle politely until the stop flag rises.
+                                std::thread::sleep(std::time::Duration::from_millis(1));
+                            }
                         }
-                        if ls.stats.steps == before {
-                            // Nothing left to do (target/optimum reached):
-                            // idle politely until the stop flag rises.
-                            std::thread::sleep(std::time::Duration::from_millis(1));
-                        }
-                    }
+                    }))
+                    .ok()
                 })
             })
             .collect();
-        handles.into_iter().map(|h| h.join().expect("LS worker panicked")).collect()
+        handles.into_iter().map(|h| h.join().ok().flatten()).collect()
     });
-    let mut stats = Vec::with_capacity(results.len());
-    let mut events = Vec::new();
-    for (s, ev) in results {
-        stats.push(s);
-        events.extend(ev);
+    let mut run = PoolRun {
+        worker_stats: Vec::with_capacity(results.len()),
+        events: Vec::new(),
+        workers_lost: 0,
+    };
+    for (w, r) in results.into_iter().enumerate() {
+        match r {
+            Some((s, ev)) => {
+                run.worker_stats.push(s);
+                run.events.extend(ev);
+            }
+            None => {
+                run.worker_stats.push(LsStats::default());
+                run.workers_lost += 1;
+                // The dead worker's buffer unwound with it; mark the
+                // loss on its lane from the outside.
+                if let Some(epoch) = trace_epoch {
+                    run.events.push(Event {
+                        t_ns: epoch.elapsed().as_nanos() as u64,
+                        lane: LS_LANE_BASE + w as u32,
+                        data: TraceEvent::WorkerLost,
+                    });
+                }
+            }
+        }
     }
-    (stats, events)
+    run
 }
 
 #[cfg(test)]

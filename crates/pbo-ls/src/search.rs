@@ -36,6 +36,10 @@ pub struct LsOptions {
     /// Candidate flips examined per move (larger constraints are
     /// subsampled from a random rotation).
     pub max_candidates: usize,
+    /// Cooperative cancellation, polled at the same cadence as `stop`
+    /// and the time limit; a tripped token ends the run with the best
+    /// verified incumbent so far.
+    pub cancel: Option<pbo_core::CancelToken>,
 }
 
 impl Default for LsOptions {
@@ -48,6 +52,7 @@ impl Default for LsOptions {
             time_limit: None,
             target: None,
             max_candidates: 16,
+            cancel: None,
         }
     }
 }
@@ -68,6 +73,12 @@ impl LsOptions {
     /// Builder-style wall-clock cap override.
     pub fn time_limit(mut self, limit: Duration) -> LsOptions {
         self.time_limit = Some(limit);
+        self
+    }
+
+    /// Builder-style cancellation-token override.
+    pub fn cancel(mut self, cancel: pbo_core::CancelToken) -> LsOptions {
+        self.cancel = Some(cancel);
         self
     }
 }
@@ -381,6 +392,9 @@ impl<'a> LocalSearch<'a> {
                         break;
                     }
                     if deadline.is_some_and(|d| Instant::now() >= d) {
+                        break;
+                    }
+                    if self.options.cancel.as_ref().is_some_and(|c| c.is_cancelled()) {
                         break;
                     }
                     self.adopt_external(cell);

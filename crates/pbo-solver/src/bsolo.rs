@@ -125,6 +125,14 @@ impl Bsolo {
     ) -> SolveResult {
         let start = Instant::now();
         let mut stats = SolverStats::default();
+        // A cancel token without its own deadline inherits the wall-clock
+        // budget, so the deadline reaches the layers the between-node
+        // budget check cannot: the LP pivot loop and the propagation loop.
+        if let Some(cancel) = &self.options.cancel {
+            if let (Some(t), None) = (self.options.budget.time, cancel.deadline()) {
+                cancel.deadline_in(t);
+            }
+        }
         // Covering-style simplification preserves the variable space and
         // the exact feasible set, so models and costs transfer 1:1 (which
         // is also what lets incumbents cross between the simplified
@@ -321,6 +329,13 @@ impl<'a> SearchState<'a> {
         }
         let mut pipeline = BoundPipeline::new(instance, options, &mut engine);
         pipeline.set_tracer(tracer.clone());
+        // Thread the cancel token into the two kernels that can outlive
+        // a between-node budget check: unit propagation and the LP
+        // relaxation's pivot loop.
+        if let Some(cancel) = &options.cancel {
+            engine.set_cancel(cancel.clone());
+            pipeline.set_cancel(cancel.deadline(), Some(cancel.flag()));
+        }
         let mut restarts = options.restart_base.map(|base| LubyRestarts::new(base.max(1)));
         let next_restart =
             restarts.as_mut().map_or(u64::MAX, |r| r.next().expect("luby sequence is infinite"));
@@ -427,6 +442,14 @@ impl<'a> SearchState<'a> {
                 self.engine.stats.conflicts,
                 self.engine.stats.decisions,
             ) {
+                return Some(self.budget_status());
+            }
+            // Cooperative cancellation (external cancel, a deadline
+            // tighter than the budget, or the memory ceiling). Checked
+            // after the budget so a budget-derived deadline expiring is
+            // reported as budget exhaustion, not as a cancellation.
+            if self.options.cancel.as_ref().is_some_and(|c| c.is_cancelled()) {
+                stats.cancelled = true;
                 return Some(self.budget_status());
             }
             // Luby restart: back to the root (learned clauses kept), and

@@ -77,7 +77,7 @@ pub use portfolio::{
     PoolResult, Portfolio, PortfolioOptions, SharedCut,
 };
 pub use preprocess::{probe, simplify, ProbeOutcome};
-pub use result::{SolveResult, SolveStatus, SolverStats};
+pub use result::{ServiceStatus, SolveResult, SolveStatus, SolverStats};
 pub use share::{ClausePool, PoolHandle, PoolWatermarks, SharedClause};
 
 #[cfg(test)]

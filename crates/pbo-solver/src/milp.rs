@@ -212,7 +212,7 @@ impl MilpSolver {
             let sol = simplex.solve();
             match sol.status {
                 LpStatus::Infeasible => continue,
-                LpStatus::IterationLimit => {
+                LpStatus::IterationLimit | LpStatus::Cancelled => {
                     lost_nodes = true;
                     continue;
                 }

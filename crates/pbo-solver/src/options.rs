@@ -259,6 +259,17 @@ pub struct BsoloOptions {
     pub trace: bool,
     /// Resource budget.
     pub budget: Budget,
+    /// Cooperative cancellation token. When set, the solver derives a
+    /// deadline from [`Budget::time`] at solve start and threads the
+    /// token into every long-running layer — the engine's propagation
+    /// loop, the LP relaxation's pivot loop, local-search steps and
+    /// scheduler parking — so a cancel (external, deadline, or memory
+    /// ceiling) tears the solve down in bounded time with the best
+    /// verified incumbent intact and `SolverStats::cancelled` set.
+    /// `None` keeps the seed behaviour: the budget is only checked
+    /// between search-loop iterations, which an expensive LP solve can
+    /// overshoot.
+    pub cancel: Option<pbo_core::CancelToken>,
 }
 
 impl Default for BsoloOptions {
@@ -283,6 +294,7 @@ impl Default for BsoloOptions {
             deterministic_join: false,
             trace: false,
             budget: Budget::unlimited(),
+            cancel: None,
         }
     }
 }

@@ -109,6 +109,7 @@ use std::time::{Duration, Instant};
 
 use pbo_core::{verify_solution, Instance, Lit, Value, Var};
 use pbo_engine::Engine;
+use pbo_fault::failpoint;
 use pbo_ls::IncumbentCell;
 use pbo_trace::{TraceEvent, Tracer};
 
@@ -339,12 +340,22 @@ struct QueueState {
     /// Raised when a worker exhausts the budget: remaining cubes are
     /// abandoned and the solve reports a budget status.
     aborted: bool,
+    /// Cubes abandoned by a dying worker (see [`CubeQueue::quarantine`]):
+    /// no longer in flight, never closed. The solve continues without
+    /// them, and any positive count forbids an `Optimal`/`Infeasible`
+    /// claim at join.
+    quarantined: usize,
 }
 
 impl CubeQueue {
     fn new(cubes: Vec<Cube>) -> CubeQueue {
         CubeQueue {
-            state: Mutex::new(QueueState { cubes: cubes.into(), in_flight: 0, aborted: false }),
+            state: Mutex::new(QueueState {
+                cubes: cubes.into(),
+                in_flight: 0,
+                aborted: false,
+                quarantined: 0,
+            }),
             ready: Condvar::new(),
         }
     }
@@ -381,6 +392,7 @@ impl CubeQueue {
         if cubes.is_empty() {
             return;
         }
+        failpoint!("sched.push");
         let mut s = self.lock();
         s.cubes.extend(cubes);
         drop(s);
@@ -408,6 +420,32 @@ impl CubeQueue {
         if s.aborted || (s.cubes.is_empty() && s.in_flight == 0) {
             self.ready.notify_all();
         }
+    }
+
+    /// Reports a cube abandoned by a dying worker: it leaves flight
+    /// without closing, the rest of the frontier stays live for the
+    /// surviving workers, and the count taints the final status (no
+    /// exhaustion claim over a partition with a hole in it).
+    fn quarantine(&self) {
+        let mut s = self.lock();
+        s.in_flight -= 1;
+        s.quarantined += 1;
+        if s.aborted || (s.cubes.is_empty() && s.in_flight == 0) {
+            self.ready.notify_all();
+        }
+    }
+
+    /// Aborts the solve from outside a cube (cooperative cancellation):
+    /// waiters drain and every `next` returns `None`.
+    fn abort(&self) {
+        let mut s = self.lock();
+        s.aborted = true;
+        drop(s);
+        self.ready.notify_all();
+    }
+
+    fn quarantined_count(&self) -> u64 {
+        self.lock().quarantined as u64
     }
 
     fn was_aborted(&self) -> bool {
@@ -579,6 +617,11 @@ struct StealScheduler {
     queued: AtomicI64,
     /// Cubes currently held by workers. Same caveat as `queued`.
     in_flight: AtomicI64,
+    /// Cubes abandoned by dying workers: out of flight and out of
+    /// `pending`, but never closed — a positive count means part of the
+    /// frontier partition went unexplored, so the join must not claim
+    /// exhaustion.
+    quarantined: AtomicI64,
     aborted: AtomicBool,
     /// Cleared under deterministic join: every arm then goes through the
     /// shared overflow FIFO and no Steal event can ever fire.
@@ -623,6 +666,7 @@ impl StealScheduler {
             pending: AtomicI64::new(n as i64),
             queued: AtomicI64::new(n as i64),
             in_flight: AtomicI64::new(0),
+            quarantined: AtomicI64::new(0),
             aborted: AtomicBool::new(false),
             stealing: !det,
             park_lock: Mutex::new(()),
@@ -694,6 +738,10 @@ impl StealScheduler {
                 return Some(self.take(cube, CubeSource::Inject));
             }
             if self.stealing {
+                // Probe placed before any deque is touched: a panic here
+                // kills a worker that holds *no* cube, so nothing needs
+                // quarantining and the counters stay exact.
+                failpoint!("sched.steal");
                 for off in 1..self.deques.len() {
                     let victim = (worker + off) % self.deques.len();
                     if let Some(id) = self.deques[victim].steal() {
@@ -721,6 +769,9 @@ impl StealScheduler {
             } else if spins < 12 {
                 std::thread::yield_now();
             } else {
+                // Before `parked` rises: a panic here never leaves the
+                // parked count elevated for `wake_parked` to chase.
+                failpoint!("sched.park");
                 self.parked.fetch_add(1, Ordering::SeqCst);
                 let guard = self.park_lock.lock().unwrap_or_else(|p| p.into_inner());
                 if !self.aborted.load(Ordering::Acquire)
@@ -762,6 +813,11 @@ impl StealScheduler {
         if arms.is_empty() {
             return 0;
         }
+        // Probe fires before `pending` rises: a worker dying here loses
+        // the arms *and* its deepened cube together, which is exactly
+        // the parent cube its guard then quarantines — one pending unit,
+        // one quarantine, partition accounting exact.
+        failpoint!("sched.push");
         let n = arms.len() as i64;
         self.pending.fetch_add(n, Ordering::SeqCst);
         let mut spilled = 0u64;
@@ -810,6 +866,29 @@ impl StealScheduler {
         if self.pending.fetch_sub(1, Ordering::SeqCst) == 1 || abort {
             self.wake_parked();
         }
+    }
+
+    /// Removes a dying worker's cube from the books without closing it:
+    /// `pending` drops (the survivors' termination probe must not wait
+    /// for a verdict that will never come) and the quarantine count
+    /// rises (the join must not read the drained frontier as a complete
+    /// proof). The solve is *not* aborted — that is the point.
+    fn quarantine(&self) {
+        self.quarantined.fetch_add(1, Ordering::SeqCst);
+        self.in_flight.fetch_sub(1, Ordering::SeqCst);
+        if self.pending.fetch_sub(1, Ordering::SeqCst) == 1 {
+            self.wake_parked();
+        }
+    }
+
+    /// Aborts the solve from outside a cube (cooperative cancellation).
+    fn abort(&self) {
+        self.aborted.store(true, Ordering::Release);
+        self.wake_parked();
+    }
+
+    fn quarantined_count(&self) -> u64 {
+        self.quarantined.load(Ordering::SeqCst).max(0) as u64
     }
 
     fn was_aborted(&self) -> bool {
@@ -873,6 +952,27 @@ impl Scheduler {
         }
     }
 
+    fn quarantine(&self) {
+        match self {
+            Scheduler::Stealing(s) => s.quarantine(),
+            Scheduler::Mutex(q) => q.quarantine(),
+        }
+    }
+
+    fn abort(&self) {
+        match self {
+            Scheduler::Stealing(s) => s.abort(),
+            Scheduler::Mutex(q) => q.abort(),
+        }
+    }
+
+    fn quarantined_count(&self) -> u64 {
+        match self {
+            Scheduler::Stealing(s) => s.quarantined_count(),
+            Scheduler::Mutex(q) => q.quarantined_count(),
+        }
+    }
+
     fn was_aborted(&self) -> bool {
         match self {
             Scheduler::Stealing(s) => s.was_aborted(),
@@ -885,9 +985,12 @@ impl Scheduler {
 /// [`Scheduler::next`] and [`WorkGuard::finish`] would otherwise leave
 /// the cube open forever — sibling workers would spin (or block, on the
 /// mutex baseline) for a verdict that never comes, and `thread::scope`
-/// would wait on those siblings instead of propagating the panic. The
-/// guard reports the cube as aborted on drop unless it was defused by a
-/// normal [`WorkGuard::finish`].
+/// would wait on those siblings instead of propagating the panic. On
+/// drop (unless defused by a normal [`WorkGuard::finish`]) the guard
+/// *quarantines* the cube: it leaves the books without closing, the
+/// surviving workers keep draining the rest of the frontier, and the
+/// positive quarantine count downgrades the final status — containment,
+/// not a solve-wide abort (that was the pre-PR-9 behaviour).
 struct WorkGuard<'a> {
     sched: &'a Scheduler,
     armed: bool,
@@ -908,7 +1011,7 @@ impl<'a> WorkGuard<'a> {
 impl Drop for WorkGuard<'_> {
     fn drop(&mut self) {
         if self.armed {
-            self.sched.close(true);
+            self.sched.quarantine();
         }
     }
 }
@@ -993,6 +1096,15 @@ impl ParBsolo {
             return result;
         }
         let start = Instant::now();
+        // Same deadline inheritance as the sequential driver: a cancel
+        // token without its own deadline picks up the wall-clock budget,
+        // reaching the LP pivot loops and propagation loops of every
+        // worker (the clone each one holds shares this token's state).
+        if let Some(cancel) = &self.options.cancel {
+            if let (Some(t), None) = (self.options.budget.time, cancel.deadline()) {
+                cancel.deadline_in(t);
+            }
+        }
         // Simplify once; the workers all borrow the simplified instance
         // (and its shared arena). Covering-style simplification preserves
         // the variable space and the exact feasible set, so models and
@@ -1180,10 +1292,33 @@ impl ParBsolo {
                     scope.spawn(move || run_worker(ctx, w))
                 })
                 .collect();
-            handles.into_iter().map(|h| h.join().expect("B&B worker panicked")).collect()
+            handles
+                .into_iter()
+                .map(|h| match h.join() {
+                    Ok(o) => o,
+                    // A panic that escaped even the in-worker containment
+                    // (e.g. inside the scheduler acquire loop, where no
+                    // cube is held — the guard has already quarantined
+                    // any in-flight cube during the unwind). The worker's
+                    // counters are lost; record the death honestly and
+                    // let the quarantine accounting below decide whether
+                    // coverage was actually lost.
+                    Err(_) => SubtreeResult {
+                        stats: SolverStats { workers_lost: 1, ..SolverStats::default() },
+                        all_closed: true,
+                    },
+                })
+                .collect()
         });
 
-        let mut all_closed = !sched.was_aborted();
+        // Quarantine accounting is the scheduler's, not the workers':
+        // it is exact even when a worker died outside its own
+        // containment. Any quarantined cube is an unexplored part of the
+        // frontier partition — the solve may keep its verified incumbent
+        // but must not claim exhaustion.
+        let quarantined = sched.quarantined_count();
+        stats.cubes_quarantined += quarantined;
+        let mut all_closed = !sched.was_aborted() && quarantined == 0;
         if let Some(dj) = det_join {
             // Fixed-order reduction: per-cube records sorted by cube
             // literals (a scheduling-independent key — every cube is a
@@ -1194,6 +1329,14 @@ impl ParBsolo {
             // scheduling noise).
             let mut records = dj.records.into_inner().unwrap_or_else(|p| p.into_inner());
             records.sort_by(|a, b| a.cube.cmp(&b.cube));
+            // Worker-level robustness flags live outside the per-cube
+            // records (a quarantined cube never filed one): fold them in
+            // from the join results. Zero on every fault-free run, so
+            // the deterministic-join claim is unaffected.
+            for o in &outcomes {
+                stats.workers_lost += o.stats.workers_lost;
+                stats.cancelled |= o.stats.cancelled;
+            }
             let mut best = dj.seed_incumbent;
             let mut nodes_per_worker = Vec::with_capacity(records.len());
             for (i, r) in records.iter_mut().enumerate() {
@@ -1315,14 +1458,25 @@ fn run_worker(ctx: &WorkerCtx<'_>, worker: usize) -> SubtreeResult {
     let mut total = SolverStats::default();
     let mut all_closed = true;
     loop {
+        // Cooperative cancellation between cubes: stop taking work and
+        // abort the scheduler so parked siblings drain instead of
+        // re-parking against a frontier nobody will finish.
+        if ctx.options.cancel.as_ref().is_some_and(|c| c.is_cancelled()) {
+            total.cancelled = true;
+            all_closed = false;
+            ctx.sched.abort();
+            break;
+        }
         // Wall time of the whole acquire loop — condvar blocks on the
         // mutex baseline; failed pops, steal sweeps and idle backoff on
         // the work-stealing path (see `SolverStats::queue_wait_total`).
         let wait_from = Instant::now();
         let Some((cube, source)) = ctx.sched.next(worker) else { break };
+        // Armed before anything else touches the cube: from here to
+        // `finish`, any unwind quarantines it instead of leaking it.
+        let guard = WorkGuard::new(ctx.sched);
         let wait = wait_from.elapsed();
         total.queue_wait_total += wait;
-        let guard = WorkGuard::new(ctx.sched);
         let mut stats = SolverStats::default();
         // One tracer (and so one contiguous buffer) per cube task, on
         // lane `worker + 1` (lane 0 is the driver). Per-cube buffers are
@@ -1348,7 +1502,28 @@ fn run_worker(ctx: &WorkerCtx<'_>, worker: usize) -> SubtreeResult {
         let depth = cube.lits.len() as u32;
         let cube_from = tracer.now_ns();
         tracer.emit(TraceEvent::CubeStart { depth });
-        let (status, best) = solve_cube(ctx, worker, &cube, &mut stats, tracer.clone());
+        // Panic containment (PR 9): a cube task that unwinds — a bug in
+        // a bound kernel, an injected failpoint — takes this worker down
+        // but not the solve. The guard quarantines the in-flight cube,
+        // the partial effort counters are still folded in (no kernel
+        // charges its timer before returning, so nothing double-counts),
+        // and the surviving N−1 workers keep draining the frontier.
+        let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            solve_cube(ctx, worker, &cube, &mut stats, tracer.clone())
+        }));
+        let (status, best) = match outcome {
+            Ok(r) => r,
+            Err(_) => {
+                total.workers_lost += 1;
+                tracer.emit(TraceEvent::CubeQuarantined { depth });
+                tracer.emit(TraceEvent::WorkerLost);
+                stats.trace.extend(tracer.drain());
+                total.absorb(&stats);
+                // Drop quarantines the cube; the worker itself retires.
+                drop(guard);
+                break;
+            }
+        };
         let closed = matches!(status, SolveStatus::Optimal | SolveStatus::Infeasible);
         tracer.emit(TraceEvent::CubeEnd {
             depth,
@@ -1385,6 +1560,10 @@ fn solve_cube(
     stats: &mut SolverStats,
     tracer: Tracer,
 ) -> (SolveStatus, (Option<i64>, Option<Vec<bool>>)) {
+    // The canonical injection point for "a worker dies with a cube in
+    // hand": fires before any search state exists, so the quarantine
+    // path is exercised with zero partial work to account for.
+    failpoint!("par.cube");
     // Deterministic mode: a private incumbent cell per cube task, seeded
     // once — the subtree's trajectory depends only on (instance,
     // options, cube, seed incumbent), never on what sibling workers
@@ -1458,6 +1637,12 @@ fn solve_cube(
                                 continue;
                             }
                             let arms = search.resplit(RESPLIT_ARMS);
+                            // A panic between harvesting the arms and
+                            // publishing them loses arms + deepened cube
+                            // together — exactly the parent cube the
+                            // guard quarantines, so the partition stays
+                            // account-exact.
+                            failpoint!("par.resplit");
                             if !arms.is_empty() {
                                 stats.resplits += 1;
                                 search
@@ -1757,14 +1942,15 @@ mod tests {
     }
 
     #[test]
-    fn worker_panic_mid_resplit_aborts_cleanly() {
+    fn worker_panic_mid_resplit_quarantines_not_aborts() {
         use std::panic::{catch_unwind, AssertUnwindSafe};
-        // A worker dies between pushing re-split arms and finishing its
-        // cube: the WorkGuard drop guard must report the cube as
-        // aborted, so siblings wake up instead of waiting forever for a
-        // verdict, and the driver degrades the status instead of
-        // claiming a closed frontier over silently lost work. Both
-        // scheduler kinds carry the same guarantee.
+        // PR-9 containment semantics: a worker dies between pushing
+        // re-split arms and finishing its cube. The WorkGuard drop must
+        // *quarantine* the in-flight cube — siblings keep draining the
+        // rest of the frontier (including the pushed arm) instead of the
+        // whole solve aborting — and the quarantine count must surface
+        // so the join cannot claim a complete proof. Both scheduler
+        // kinds carry the same guarantee.
         let cube = |i: usize, pos: bool| Cube { lits: vec![Lit::new(i, pos)] };
         for kind in [SchedulerKind::WorkStealing, SchedulerKind::MutexDeque] {
             let (sched, _) = Scheduler::new(kind, 2, vec![cube(0, true), cube(0, false)], false);
@@ -1784,8 +1970,18 @@ mod tests {
                 .join()
                 .expect("outer thread caught the panic");
             });
-            assert!(sched.was_aborted(), "{kind:?}: drop guard must abort the solve");
-            assert!(sched.next(1).is_none(), "{kind:?}: aborted scheduler must release waiters");
+            assert!(!sched.was_aborted(), "{kind:?}: a dead worker must not abort the solve");
+            assert_eq!(sched.quarantined_count(), 1, "{kind:?}: the held cube is quarantined");
+            // The survivor drains the second frontier cube and the
+            // pushed arm, then sees a clean end-of-work.
+            let mut drained = 0;
+            while let Some(_take) = sched.next(1) {
+                drained += 1;
+                WorkGuard::new(&sched).finish(false);
+            }
+            assert_eq!(drained, 2, "{kind:?}: surviving frontier stays takeable");
+            assert!(!sched.was_aborted(), "{kind:?}: clean drain after the loss");
+            assert_eq!(sched.quarantined_count(), 1, "{kind:?}: count stable after drain");
         }
     }
 
@@ -1871,10 +2067,15 @@ mod tests {
                 assert_eq!(hits, 1, "trial {trial}: assignment {bits:b} covered {hits} times");
             }
         }
-        // Panic round: worker 0 dies mid-split; siblings must all exit.
+        // Panic round: worker 0 dies mid-split. The siblings must keep
+        // draining the surviving frontier to a clean end (no abort, no
+        // hang — this scope join is itself the liveness assertion), and
+        // exactly the one held cube lands in quarantine.
         let (sched, _) = Scheduler::new(SchedulerKind::WorkStealing, 3, root_frontier(), false);
+        let drained = std::sync::atomic::AtomicU64::new(0);
         std::thread::scope(|s| {
             let sched = &sched;
+            let drained = &drained;
             s.spawn(move || {
                 let _ = catch_unwind(AssertUnwindSafe(|| {
                     let _take = sched.next(0).expect("a cube");
@@ -1885,16 +2086,18 @@ mod tests {
             });
             for w in 1..3 {
                 s.spawn(move || {
-                    // Drain until the abort propagates; close anything
-                    // taken before it lands.
                     while let Some((_, _)) = sched.next(w) {
                         let guard = WorkGuard::new(sched);
+                        drained.fetch_add(1, Ordering::Relaxed);
                         guard.finish(false);
                     }
                 });
             }
         });
-        assert!(sched.was_aborted(), "panic must abort the stress run");
+        assert!(!sched.was_aborted(), "a lost worker must not abort the stress run");
+        assert_eq!(sched.quarantined_count(), 1, "exactly the held cube is quarantined");
+        // 4 frontier cubes + 1 pushed arm − 1 quarantined = 4 drained.
+        assert_eq!(drained.load(Ordering::Relaxed), 4, "survivors drain the rest");
     }
 
     #[test]
@@ -2119,6 +2322,137 @@ mod tests {
         );
         if let (Some(cost), Some(model)) = (got.best_cost, got.best_assignment.as_ref()) {
             assert_eq!(verify_solution(&inst, model), Ok(cost));
+        }
+    }
+
+    #[test]
+    fn pre_cancelled_token_tears_down_without_a_claim() {
+        // Cooperative cancellation end to end: a token cancelled before
+        // the solve starts must come back quickly with `cancelled` set
+        // and no exhaustion claim — and whatever incumbent it scraped
+        // together on the way down must verify.
+        let mut rng = ChaCha8Rng::seed_from_u64(0xca9ce1);
+        let inst = dense_instance(&mut rng, 12);
+        let cancel = pbo_core::CancelToken::new();
+        cancel.cancel();
+        let mut options = BsoloOptions::with_lb(LbMethod::Mis);
+        options.cancel = Some(cancel);
+        let got = ParBsolo::new(options, 3).solve(&inst);
+        assert!(got.stats.cancelled, "the cancel must be reported");
+        assert!(
+            matches!(got.status, SolveStatus::Feasible | SolveStatus::Unknown),
+            "a cancelled solve cannot claim exhaustion: {:?}",
+            got.status
+        );
+        assert_eq!(got.service_status(), crate::result::ServiceStatus::Cancelled);
+        if let (Some(cost), Some(model)) = (got.best_cost, got.best_assignment.as_ref()) {
+            assert_eq!(verify_solution(&inst, model), Ok(cost));
+        }
+    }
+
+    /// PR-9 acceptance criterion: an injected worker panic returns the
+    /// pre-panic verified incumbent with a degraded status — never
+    /// `Optimal` — and surfaces the loss in `workers_lost` /
+    /// `cubes_quarantined` and the trace.
+    #[cfg(feature = "failpoints")]
+    #[test]
+    fn injected_worker_panic_degrades_to_feasible() {
+        let mut rng = ChaCha8Rng::seed_from_u64(0xfa171);
+        let mut exercised = 0usize;
+        for round in 0..6 {
+            // Dense set-covering instances big enough that the head
+            // start's small conflict budget cannot finish them, so cube
+            // workers actually launch and the first one to take a cube
+            // dies.
+            let inst = dense_instance(&mut rng, 24 + 2 * (round % 3));
+            let guard = pbo_fault::install(pbo_fault::FaultPlan::new().panic_on("par.cube", 1));
+            let mut options = BsoloOptions::with_lb(LbMethod::None);
+            options.probing = false;
+            options.cardinality_cuts = false;
+            options.trace = true;
+            let got = ParBsolo::new(options, 3).solve(&inst);
+            if guard.hits("par.cube") == 0 {
+                // The head start finished the whole proof; no worker ran.
+                assert!(matches!(got.status, SolveStatus::Optimal | SolveStatus::Infeasible));
+                continue;
+            }
+            exercised += 1;
+            assert!(got.stats.workers_lost >= 1, "round {round}: loss must be counted");
+            assert!(got.stats.cubes_quarantined >= 1, "round {round}: cube must be quarantined");
+            assert!(
+                matches!(got.status, SolveStatus::Feasible | SolveStatus::Unknown),
+                "round {round}: a holed partition cannot claim exhaustion: {:?}",
+                got.status
+            );
+            if got.status == SolveStatus::Feasible {
+                assert_eq!(
+                    got.service_status(),
+                    crate::result::ServiceStatus::FeasibleDegraded,
+                    "round {round}"
+                );
+                let cost = got.best_cost.expect("feasible carries a cost");
+                let model = got.best_assignment.as_ref().expect("feasible carries a model");
+                assert_eq!(
+                    verify_solution(&inst, model),
+                    Ok(cost),
+                    "round {round}: the surviving incumbent must verify"
+                );
+            }
+            // The loss is visible in the trace, not just the counters.
+            let lost =
+                got.stats.trace.iter().filter(|e| matches!(e.data, TraceEvent::WorkerLost)).count();
+            let quarantined = got
+                .stats
+                .trace
+                .iter()
+                .filter(|e| matches!(e.data, TraceEvent::CubeQuarantined { .. }))
+                .count();
+            assert_eq!(lost as u64, got.stats.workers_lost, "round {round}: trace reconciles");
+            assert_eq!(
+                quarantined as u64, got.stats.cubes_quarantined,
+                "round {round}: trace reconciles"
+            );
+        }
+        assert!(exercised >= 3, "only {exercised} rounds reached the cube workers");
+    }
+
+    /// The other harness sites: a fault at the re-split hand-off or the
+    /// scheduler push must still yield a sound, verified result with
+    /// exact quarantine accounting (the partition loses exactly the
+    /// dying worker's parent cube).
+    #[cfg(feature = "failpoints")]
+    #[test]
+    fn injected_resplit_faults_stay_sound() {
+        let mut rng = ChaCha8Rng::seed_from_u64(0x5711);
+        for site in ["par.resplit", "sched.push"] {
+            for round in 0..4 {
+                let inst = dense_instance(&mut rng, 11);
+                let guard = pbo_fault::install(pbo_fault::FaultPlan::new().panic_on(site, 1));
+                let mut options = BsoloOptions::with_lb(LbMethod::None);
+                options.resplit_conflicts = Some(1);
+                let got = ParBsolo::new(options, 3).solve(&inst);
+                let fired = guard.hits(site) > 0;
+                drop(guard);
+                if fired {
+                    assert!(
+                        !matches!(got.status, SolveStatus::Optimal | SolveStatus::Infeasible)
+                            || got.stats.cubes_quarantined == 0,
+                        "{site} round {round}: exhaustion claimed over a quarantined cube"
+                    );
+                    assert!(
+                        got.stats.workers_lost >= 1,
+                        "{site} round {round}: loss must be counted"
+                    );
+                } else {
+                    // No fault reached: the run must be an ordinary
+                    // exact solve.
+                    assert_eq!(got.stats.workers_lost, 0, "{site} round {round}");
+                    assert_eq!(got.stats.cubes_quarantined, 0, "{site} round {round}");
+                }
+                if let (Some(cost), Some(model)) = (got.best_cost, got.best_assignment.as_ref()) {
+                    assert_eq!(verify_solution(&inst, model), Ok(cost), "{site} round {round}");
+                }
+            }
         }
     }
 

@@ -53,6 +53,7 @@ use pbo_bounds::{
 };
 use pbo_core::{Instance, PbConstraint};
 use pbo_engine::{Engine, Taint, TrailObserver};
+use pbo_fault::failpoint;
 
 use crate::options::{BsoloOptions, LbMethod, ResidualMode};
 use crate::result::SolverStats;
@@ -181,6 +182,20 @@ impl BoundPipeline {
         match &self.bound {
             Bound::Lpr(b) => Some(b),
             _ => None,
+        }
+    }
+
+    /// Threads a cooperative-cancellation pair into the bound procedure.
+    /// Today only the LP relaxation listens (its pivot loop is the one
+    /// kernel that can run long past `Budget::time`); the other methods
+    /// are per-call cheap and bounded by the search loop's own checks.
+    pub fn set_cancel(
+        &mut self,
+        deadline: Option<Instant>,
+        stop: Option<std::sync::Arc<std::sync::atomic::AtomicBool>>,
+    ) {
+        if let Bound::Lpr(b) = &mut self.bound {
+            b.set_cancel(deadline, stop);
         }
     }
 
@@ -367,6 +382,10 @@ impl BoundPipeline {
         stats.sub_time_total += sub_start.elapsed();
         let path = sub.path_cost();
         let lb_start = Instant::now();
+        // Probe sits between starting the bound timer and charging it: a
+        // panic here must leave `lb_calls`/`lb_time_total` uncharged, so
+        // quarantining the cube never double-counts bound effort.
+        failpoint!("bound.dispatch");
         bound.lower_bound_into(&sub, upper, out);
         stats.lb_calls += 1;
         let lb_elapsed = lb_start.elapsed();
@@ -396,5 +415,54 @@ impl BoundPipeline {
     /// (borrowable independently of the engine).
     pub fn last_outcome(&self) -> &LbOutcome {
         &self.out
+    }
+}
+
+#[cfg(all(test, feature = "failpoints"))]
+mod fault_tests {
+    use super::*;
+    use pbo_core::InstanceBuilder;
+
+    /// A panic at the bound dispatch leaves the pipeline's stats exactly
+    /// as they were: the probe sits after `lb_start` but before
+    /// `lb_calls`/`lb_time_total` are charged, so an unwound bound call
+    /// is never half-accounted — and the pipeline stays usable after.
+    #[test]
+    fn bound_dispatch_panic_leaves_stats_consistent() {
+        let mut b = InstanceBuilder::new();
+        let x = b.new_vars(3);
+        b.add_at_least(1, [x[0].positive(), x[1].positive()]);
+        b.add_at_least(1, [x[1].positive(), x[2].positive()]);
+        b.minimize(x.iter().map(|v| (1, v.positive())));
+        let inst = b.build().unwrap();
+        let options = BsoloOptions::with_lb(LbMethod::Mis);
+        let mut engine = Engine::new(inst.num_vars());
+        for c in inst.constraints() {
+            engine.add_constraint(c).unwrap();
+        }
+        let mut pipeline = BoundPipeline::new(&inst, &options, &mut engine);
+        let mut stats = SolverStats::default();
+
+        pipeline.compute(&mut engine, &inst, None, &mut stats);
+        assert_eq!(stats.lb_calls, 1);
+        let charged_calls = stats.lb_calls;
+        let charged_time = stats.lb_time_total;
+
+        let guard = pbo_fault::install(pbo_fault::FaultPlan::new().panic_on("bound.dispatch", 1));
+        let unwound = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            pipeline.compute(&mut engine, &inst, None, &mut stats);
+        }));
+        assert!(unwound.is_err(), "armed probe must fire");
+        drop(guard);
+        assert_eq!(stats.lb_calls, charged_calls, "unwound call must not be counted");
+        assert_eq!(stats.lb_time_total, charged_time, "unwound call must not be charged");
+
+        // The pipeline (residual state, LP mirror, outcome slot) is
+        // still consistent: the next call computes a real bound.
+        pipeline.compute(&mut engine, &inst, None, &mut stats);
+        assert_eq!(stats.lb_calls, charged_calls + 1);
+        assert!(stats.lb_time_total >= charged_time);
+        assert!(!pipeline.last_outcome().infeasible);
+        assert!(pipeline.last_outcome().bound >= 1, "two disjoint covers force cost >= 1");
     }
 }

@@ -312,8 +312,17 @@ impl Portfolio {
             });
             let mut result = self.exact_solver().solve_with_cell(instance, Some(cell));
             stop.store(true, Ordering::Relaxed);
-            let (_stats, ls_events) = ls_handle.join().expect("local-search pool panicked");
-            result.stats.trace.extend(ls_events);
+            match ls_handle.join() {
+                Ok(pool) => {
+                    result.stats.workers_lost += pool.workers_lost;
+                    result.stats.trace.extend(pool.events);
+                }
+                // The pool driver itself died (each worker is already
+                // unwind-contained, so this is the driver thread). The
+                // exact answer stands — the LS side only ever feeds
+                // incumbents — but the loss is recorded honestly.
+                Err(_) => result.stats.workers_lost += workers as u64,
+            }
             result
         })
     }

@@ -133,6 +133,19 @@ pub struct SolverStats {
     /// seeded by the driver plus any deque-overflow spills (reconciled
     /// against [`pbo_trace::TraceEvent::Inject`] event weights).
     pub injections: u64,
+    /// Worker threads (B&B or LS) that died mid-solve and were
+    /// contained: the solve continued on the survivors. Always 0 unless
+    /// a worker panicked (engine bug, injected fault).
+    pub workers_lost: u64,
+    /// Cubes a dying worker left unexplored (quarantined, not closed).
+    /// Any nonzero value forces the final status to degrade from
+    /// `Optimal`/`Infeasible` to `Feasible`/`Unknown` — part of the
+    /// search space was never visited.
+    pub cubes_quarantined: u64,
+    /// Whether a cooperative cancellation (deadline, external cancel,
+    /// memory ceiling) ended the solve before the budget or the search
+    /// space did.
+    pub cancelled: bool,
     /// Telemetry events recorded when tracing was enabled (empty
     /// otherwise). Per-worker buffers are appended here at join by
     /// [`SolverStats::absorb`]; export with [`pbo_trace::write_jsonl`]
@@ -168,6 +181,9 @@ impl SolverStats {
         self.queue_wait_total += other.queue_wait_total;
         self.steals += other.steals;
         self.injections += other.injections;
+        self.workers_lost += other.workers_lost;
+        self.cubes_quarantined += other.cubes_quarantined;
+        self.cancelled |= other.cancelled;
         self.trace.extend(other.trace.iter().cloned());
     }
 
@@ -208,7 +224,8 @@ impl SolverStats {
              \"restarts\":{},\"solutions_found\":{},\"backjump_levels\":{},\
              \"lp_iterations\":{},\"nodes\":{},\"resplits\":{},\"clauses_shared\":{},\
              \"clauses_imported\":{},\"split_depth_truncated\":{},\"queue_wait_total_ms\":{:.3},\
-             \"steals\":{},\"injections\":{},",
+             \"steals\":{},\"injections\":{},\"workers_lost\":{},\"cubes_quarantined\":{},\
+             \"cancelled\":{},",
             self.decisions,
             self.conflicts,
             self.bound_conflicts,
@@ -231,6 +248,9 @@ impl SolverStats {
             ms(self.queue_wait_total),
             self.steals,
             self.injections,
+            self.workers_lost,
+            self.cubes_quarantined,
+            self.cancelled,
         );
         let _ = write!(
             s,
@@ -263,11 +283,98 @@ pub struct SolveResult {
     pub stats: SolverStats,
 }
 
+/// Machine-readable refinement of [`SolveStatus`] for service callers:
+/// *why* the solve ended, not just what it can claim. Derived by
+/// [`SolveResult::service_status`] from the status plus the robustness
+/// counters, so callers never parse human text.
+///
+/// The lattice, strongest claim first: `Optimal`/`Infeasible` (search
+/// space exhausted), `FeasibleBudget`/`FeasibleDegraded` (verified
+/// incumbent, completeness lost to the budget resp. to lost workers),
+/// `Cancelled` (caller tore the solve down; incumbent may be present),
+/// `Unknown` (nothing provable).
+#[derive(Copy, Clone, PartialEq, Eq, Debug)]
+pub enum ServiceStatus {
+    /// Search space exhausted; the reported solution is optimal.
+    Optimal,
+    /// Search space exhausted; no solution exists.
+    Infeasible,
+    /// Verified incumbent in hand; the budget ran out before the
+    /// optimality proof finished.
+    FeasibleBudget,
+    /// Verified incumbent in hand; completeness was lost because part
+    /// of the search space was quarantined by a dying worker.
+    FeasibleDegraded,
+    /// A cooperative cancellation ended the solve (check
+    /// [`SolveResult::best_cost`] for an incumbent).
+    Cancelled,
+    /// The solve ended with neither a solution nor an infeasibility
+    /// proof.
+    Unknown,
+}
+
+impl ServiceStatus {
+    /// Stable lower-snake-case name (the `status` field of
+    /// `--stats-json`).
+    pub fn as_str(self) -> &'static str {
+        match self {
+            ServiceStatus::Optimal => "optimal",
+            ServiceStatus::Infeasible => "infeasible",
+            ServiceStatus::FeasibleBudget => "feasible_budget",
+            ServiceStatus::FeasibleDegraded => "feasible_degraded",
+            ServiceStatus::Cancelled => "cancelled",
+            ServiceStatus::Unknown => "unknown",
+        }
+    }
+}
+
+impl fmt::Display for ServiceStatus {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
 impl SolveResult {
     /// Returns `true` if the result proves optimality (or SAT for pure
     /// satisfaction problems).
     pub fn is_optimal(&self) -> bool {
         self.status == SolveStatus::Optimal
+    }
+
+    /// Whether the result was degraded by lost workers or quarantined
+    /// cubes: the answer is still sound and verified, but weaker than a
+    /// fault-free run would have produced.
+    pub fn degraded(&self) -> bool {
+        self.stats.workers_lost > 0 || self.stats.cubes_quarantined > 0
+    }
+
+    /// The service-facing status (see [`ServiceStatus`]). `Optimal` and
+    /// `Infeasible` are complete proofs and win outright — a
+    /// cancellation or fault that raced a finished proof does not weaken
+    /// it. Incomplete outcomes attribute the incompleteness:
+    /// cancellation first (the caller asked), then quarantine
+    /// degradation, then the plain budget.
+    pub fn service_status(&self) -> ServiceStatus {
+        match self.status {
+            SolveStatus::Optimal => ServiceStatus::Optimal,
+            SolveStatus::Infeasible => ServiceStatus::Infeasible,
+            SolveStatus::Feasible => {
+                if self.stats.cancelled {
+                    ServiceStatus::Cancelled
+                } else if self.stats.cubes_quarantined > 0 {
+                    ServiceStatus::FeasibleDegraded
+                } else {
+                    ServiceStatus::FeasibleBudget
+                }
+            }
+            SolveStatus::Unknown => {
+                if self.stats.cancelled {
+                    ServiceStatus::Cancelled
+                } else {
+                    ServiceStatus::Unknown
+                }
+            }
+        }
     }
 
     /// Formats the solve outcome the way Table 1 of the paper does:

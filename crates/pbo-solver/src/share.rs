@@ -32,6 +32,7 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::OnceLock;
 
 use pbo_core::Lit;
+use pbo_fault::failpoint;
 
 /// Hard cap per publisher lane: beyond this, that publisher's publishes
 /// are dropped (the pool is a best-effort accelerator; a full lane just
@@ -130,6 +131,10 @@ impl ClausePool {
     /// second publisher racing the same lane loses its batch (slot
     /// already set) but cannot corrupt the pool.
     pub fn publish(&self, lane: usize, batch: Vec<SharedClause>) -> u64 {
+        // Probe sits before any slot write: an unwinding publisher loses
+        // only its own batch — the lane length was never advanced, so
+        // importers see a consistent prefix.
+        failpoint!("pool.publish");
         let lane = &self.lanes[lane];
         let mut len = lane.len.load(Ordering::Relaxed);
         let mut accepted = 0u64;
@@ -158,6 +163,11 @@ impl ClausePool {
     /// up-to-date check is one relaxed length load per lane; no lock is
     /// taken in either case.
     pub fn snapshot_since(&self, seen: &mut PoolWatermarks) -> Option<Vec<SharedClause>> {
+        // Probe sits before the watermarks move: an unwinding importer
+        // keeps its marks where they were, so a later retry (or a
+        // successor worker) re-reads the same clauses instead of
+        // skipping them.
+        failpoint!("pool.import");
         seen.marks.resize(self.lanes.len(), 0);
         let mut fresh: Vec<SharedClause> = Vec::new();
         for (lane, mark) in self.lanes.iter().zip(seen.marks.iter_mut()) {

@@ -162,6 +162,17 @@ pub enum TraceEvent {
         /// Number of cubes injected by this call.
         n: u64,
     },
+    /// A worker thread died (panicked) and was contained; the solve
+    /// continues with the survivors (counted in
+    /// `SolverStats::workers_lost`).
+    WorkerLost,
+    /// A dying worker's in-flight cube was quarantined — left unexplored
+    /// but accounted for, so the final status degrades honestly (counted
+    /// in `SolverStats::cubes_quarantined`).
+    CubeQuarantined {
+        /// Number of decision literals fixed by the quarantined cube.
+        depth: u32,
+    },
 }
 
 impl TraceEvent {
@@ -186,6 +197,8 @@ impl TraceEvent {
             TraceEvent::SplitterDecisions { .. } => "splitter_decisions",
             TraceEvent::Steal { .. } => "steal",
             TraceEvent::Inject { .. } => "inject",
+            TraceEvent::WorkerLost => "worker_lost",
+            TraceEvent::CubeQuarantined { .. } => "cube_quarantined",
         }
     }
 }
@@ -227,7 +240,7 @@ impl Event {
             TraceEvent::Steal { victim } => {
                 let _ = write!(s, ":{victim}");
             }
-            TraceEvent::CubeStart { depth } => {
+            TraceEvent::CubeStart { depth } | TraceEvent::CubeQuarantined { depth } => {
                 let _ = write!(s, ":{depth}");
             }
             TraceEvent::CubeEnd { depth, closed, .. } => {
@@ -243,6 +256,7 @@ impl Event {
             | TraceEvent::Conflict
             | TraceEvent::Restart
             | TraceEvent::LsRestart
+            | TraceEvent::WorkerLost
             | TraceEvent::QueueWait { .. } => {}
         }
         s
@@ -384,7 +398,7 @@ pub fn write_jsonl(events: &[Event]) -> String {
             TraceEvent::Steal { victim } => {
                 let _ = write!(out, ",\"victim\":{victim}");
             }
-            TraceEvent::CubeStart { depth } => {
+            TraceEvent::CubeStart { depth } | TraceEvent::CubeQuarantined { depth } => {
                 let _ = write!(out, ",\"depth\":{depth}");
             }
             TraceEvent::CubeEnd { depth, closed, dur_ns } => {
@@ -402,7 +416,8 @@ pub fn write_jsonl(events: &[Event]) -> String {
             TraceEvent::Decision
             | TraceEvent::Conflict
             | TraceEvent::Restart
-            | TraceEvent::LsRestart => {}
+            | TraceEvent::LsRestart
+            | TraceEvent::WorkerLost => {}
         }
         out.push_str("}\n");
     }
@@ -497,6 +512,10 @@ pub fn write_chrome(events: &[Event]) -> String {
             }
             TraceEvent::Inject { n } => {
                 Some(instant(lane, e.t_ns, "inject", &format!("\"n\":{n}")))
+            }
+            TraceEvent::WorkerLost => Some(instant(lane, e.t_ns, "worker-lost", "")),
+            TraceEvent::CubeQuarantined { depth } => {
+                Some(instant(lane, e.t_ns, "cube-quarantined", &format!("\"depth\":{depth}")))
             }
             TraceEvent::CubeStart { .. }
             | TraceEvent::Decision

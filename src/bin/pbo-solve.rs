@@ -43,7 +43,14 @@
 //! `--metrics` prints event-derived counters and duration histograms as
 //! `c`-prefixed comment lines; `--stats-json` prints the merged
 //! [`pbo::SolverStats`] as one JSON object on stdout (machine-readable
-//! companion of `--stats`).
+//! companion of `--stats`), extended with a `status` field (`optimal` /
+//! `infeasible` / `feasible_budget` / `feasible_degraded` / `cancelled`
+//! / `unknown`) and a `degraded` flag (true when any worker was lost or
+//! any cube quarantined) so service callers never parse the human text.
+//!
+//! Exit codes follow the PB-competition convention: 30 optimum found,
+//! 10 satisfiable (feasible but unproven — budget, degradation or
+//! cancellation), 20 unsatisfiable, 0 unknown, 2 usage or input error.
 
 use std::process::ExitCode;
 use std::time::Duration;
@@ -264,8 +271,22 @@ fn main() -> ExitCode {
         let mut json = result.stats.to_json();
         debug_assert!(json.ends_with('}'));
         json.pop();
-        json.push_str(&format!(",\"ls_threads\":{ls_threads},\"bb_threads\":{bb_threads}}}"));
+        json.push_str(&format!(
+            ",\"ls_threads\":{ls_threads},\"bb_threads\":{bb_threads},\"status\":\"{}\",\
+             \"degraded\":{}}}",
+            result.service_status(),
+            result.degraded()
+        ));
         println!("{json}");
     }
-    ExitCode::SUCCESS
+    // PB-competition exit codes (see module docs): feasible-but-unproven
+    // outcomes — budget exhaustion, degradation after a lost worker, or
+    // cancellation — all land on 10, with the JSON `status` field
+    // carrying the finer distinction.
+    ExitCode::from(match result.status {
+        SolveStatus::Optimal => 30,
+        SolveStatus::Feasible => 10,
+        SolveStatus::Infeasible => 20,
+        SolveStatus::Unknown => 0,
+    })
 }
