@@ -13,7 +13,9 @@
 
 use std::process::ExitCode;
 
-use pbo_bench::compare::{compare, evaluate, evaluate_anytime, evaluate_scheduler_scaling, Gate};
+use pbo_bench::compare::{
+    compare, evaluate, evaluate_anytime, evaluate_bound_ladder, evaluate_scheduler_scaling, Gate,
+};
 use pbo_bench::parse::parse;
 
 fn usage() -> ! {
@@ -84,6 +86,13 @@ fn main() -> ExitCode {
     let sched = evaluate_scheduler_scaling(&baseline, &current);
     println!("scheduler-scaling gate: {} violation(s)", sched.len());
     violations.extend(sched);
+    // Bound ladder: adaptive proves the fixed rungs' optima, stays
+    // inside the wall-time slack, and beats fixed LPR at least once.
+    // Self-contained in the current report (all three methods run in
+    // one process), so no baseline is consulted.
+    let ladder = evaluate_bound_ladder(&current);
+    println!("bound-ladder gate: {} violation(s)", ladder.len());
+    violations.extend(ladder);
     if violations.is_empty() {
         println!("OK: no regression vs {baseline_path}");
         ExitCode::SUCCESS

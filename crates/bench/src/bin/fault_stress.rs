@@ -48,6 +48,7 @@ const SITES: &[(&str, LbMethod)] = &[
     ("sched.steal", LbMethod::None),
     ("sched.park", LbMethod::None),
     ("bound.dispatch", LbMethod::Mis),
+    ("bound.escalate", LbMethod::Adaptive),
     ("cell.offer", LbMethod::None),
     ("pool.publish", LbMethod::None),
     ("pool.import", LbMethod::None),

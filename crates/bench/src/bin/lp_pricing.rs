@@ -1,0 +1,275 @@
+//! `lp_pricing`: interleaved A/B microbenchmark of the dual simplex's
+//! sparse+Devex hot path against the frozen dense baseline, and the CI
+//! gate on its speedup.
+//!
+//! For each LPR-heavy Table-1 synthesis seed the harness builds the
+//! instance's LP relaxation once per side ([`Pricing::DenseLegacy`] vs
+//! [`Pricing::DevexSparse`]) and drives both solvers through the same
+//! deterministic B&B-shaped walk: each step fixes or relaxes one
+//! variable's bounds and re-solves warm — exactly the call pattern
+//! `LprBound` puts on the simplex at every search node. The two sides
+//! see identical bound sequences and alternate solve order per step, so
+//! the per-call time ratio is machine-independent (same process, same
+//! data, interleaved); every step also cross-checks status and objective
+//! so the fast path cannot buy its speedup with wrong answers.
+//!
+//! The gate: sparse+Devex must hold a per-seed geometric-mean speedup of
+//! at least `--min-geomean` (default 1.3x, the PR-10 floor) over the
+//! dense baseline. Results go to `BENCH_lp_pricing.json`.
+//!
+//! ```text
+//! cargo run --release -p pbo-bench --bin lp_pricing -- \
+//!     [--seeds N] [--steps N] [--min-geomean R] [--json PATH]
+//! ```
+
+use std::fmt::Write as _;
+use std::process::ExitCode;
+use std::time::Instant;
+
+use pbo_benchgen::SynthesisParams;
+use pbo_bounds::LprBound;
+use pbo_core::Instance;
+use pbo_lp::{DualSimplex, LpStatus, Pricing};
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+
+/// Relative objective tolerance of the per-step A/B cross-check.
+const OBJ_TOL: f64 = 1e-6;
+
+/// The LPR-heavy synthesis shape of Table 1 (`synth-p70-m110-s<seed>`).
+fn synthesis_instance(seed: u64) -> Instance {
+    SynthesisParams {
+        primes: 70,
+        minterms: 110,
+        cover_density: 4.0,
+        exclusions: 10,
+        ..SynthesisParams::default()
+    }
+    .generate(seed)
+}
+
+/// One step of the scripted walk: a bound change on one variable.
+#[derive(Copy, Clone)]
+enum Move {
+    FixOne(usize),
+    FixZero(usize),
+    Relax(usize),
+}
+
+/// Scripts a deterministic B&B-shaped bound walk as *batches*: one
+/// batch per timed solve, mirroring how `LprBound::compute` applies a
+/// whole trail suffix (propagation closure included) before a single
+/// re-solve. Descent batches fix several variables at once; backtrack
+/// batches relax a chunk of the deepest fixings — both directions leave
+/// the warm basis several bound-violations away from feasibility, which
+/// is the dual-repair work the pricing paths compete on.
+fn script_walk(rng: &mut ChaCha8Rng, num_vars: usize, steps: usize) -> Vec<Vec<Move>> {
+    let mut fixed: Vec<usize> = Vec::new();
+    let mut walk = Vec::with_capacity(steps);
+    for _ in 0..steps {
+        let relax = !fixed.is_empty() && (fixed.len() >= num_vars / 2 || rng.gen_bool(0.3));
+        let mut batch = Vec::new();
+        if relax {
+            let chunk = rng.gen_range(4..=12usize).min(fixed.len());
+            for _ in 0..chunk {
+                let j = fixed.swap_remove(rng.gen_range(0..fixed.len()));
+                batch.push(Move::Relax(j));
+            }
+        } else {
+            let chunk = rng.gen_range(4..=12);
+            for _ in 0..chunk {
+                let j = rng.gen_range(0..num_vars);
+                if fixed.contains(&j) {
+                    continue;
+                }
+                fixed.push(j);
+                // Covering objectives price variables up: fixing to 1
+                // keeps the relaxation feasible, fixing to 0 stresses
+                // the dual repair (and sometimes proves infeasibility —
+                // both sides must agree on that too).
+                batch.push(if rng.gen_bool(0.7) { Move::FixOne(j) } else { Move::FixZero(j) });
+            }
+        }
+        if !batch.is_empty() {
+            walk.push(batch);
+        }
+    }
+    walk
+}
+
+struct SideResult {
+    total_ns: u128,
+    objective_sum: f64,
+    statuses: Vec<LpStatus>,
+}
+
+/// One interleaved pass of the walk: fresh warm solvers on both sides,
+/// identical bound batches, alternating solve order per step.
+fn run_walk(problem: &pbo_lp::LpProblem, walk: &[Vec<Move>], seed: u64) -> [SideResult; 2] {
+    let mut dense = DualSimplex::new(problem);
+    dense.set_pricing(Pricing::DenseLegacy);
+    let mut sparse = DualSimplex::new(problem);
+    debug_assert_eq!(sparse.pricing(), Pricing::DevexSparse);
+    let mut sides = [
+        SideResult { total_ns: 0, objective_sum: 0.0, statuses: Vec::new() },
+        SideResult { total_ns: 0, objective_sum: 0.0, statuses: Vec::new() },
+    ];
+    // One untimed root solve per side so the timed walk measures warm
+    // re-solves, not first factorization.
+    let root = [dense.solve().status, sparse.solve().status];
+    assert_eq!(root[0], root[1], "seed {seed}: root status diverged");
+    for (step, batch) in walk.iter().enumerate() {
+        for s in [&mut dense, &mut sparse] {
+            for &mv in batch {
+                match mv {
+                    Move::FixOne(j) => s.set_var_bounds(j, 1.0, 1.0),
+                    Move::FixZero(j) => s.set_var_bounds(j, 0.0, 0.0),
+                    Move::Relax(j) => s.set_var_bounds(j, 0.0, 1.0),
+                }
+            }
+        }
+        // Alternate solve order so cache warming cannot bias a side.
+        let order: [(usize, &mut DualSimplex); 2] = if step % 2 == 0 {
+            [(0, &mut dense), (1, &mut sparse)]
+        } else {
+            [(1, &mut sparse), (0, &mut dense)]
+        };
+        for (idx, solver) in order {
+            let start = Instant::now();
+            let sol = solver.solve();
+            sides[idx].total_ns += start.elapsed().as_nanos();
+            sides[idx].statuses.push(sol.status);
+            if sol.status == LpStatus::Optimal {
+                sides[idx].objective_sum += sol.objective;
+            }
+        }
+    }
+    sides
+}
+
+struct SeedResult {
+    instance: String,
+    calls: usize,
+    dense_ns_per_call: f64,
+    sparse_ns_per_call: f64,
+    speedup: f64,
+}
+
+fn main() -> ExitCode {
+    let mut seeds = 3u64;
+    let mut steps = 160usize;
+    let mut reps = 5usize;
+    let mut min_geomean = 1.3f64;
+    let mut json_path = String::from("BENCH_lp_pricing.json");
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--seeds" => seeds = args.next().and_then(|v| v.parse().ok()).expect("--seeds N"),
+            "--steps" => steps = args.next().and_then(|v| v.parse().ok()).expect("--steps N"),
+            "--reps" => reps = args.next().and_then(|v| v.parse().ok()).expect("--reps N"),
+            "--min-geomean" => {
+                min_geomean = args.next().and_then(|v| v.parse().ok()).expect("--min-geomean R")
+            }
+            "--json" => json_path = args.next().expect("--json PATH"),
+            other => {
+                eprintln!("unknown argument `{other}`");
+                return ExitCode::from(2);
+            }
+        }
+    }
+    println!(
+        "lp_pricing: {seeds} synthesis seeds, {steps}-step bound walks, best of {reps} reps, \
+         dense-legacy vs sparse+Devex (gate >= {min_geomean}x geomean)"
+    );
+    let mut results: Vec<SeedResult> = Vec::new();
+    for seed in 0..seeds {
+        let inst = synthesis_instance(seed);
+        let problem = LprBound::relaxation_problem(&inst);
+        let mut rng = ChaCha8Rng::seed_from_u64(0x1b9 ^ seed);
+        let walk = script_walk(&mut rng, inst.num_vars(), steps);
+        let calls = walk.len();
+
+        // Best-of-reps per side: each rep replays the identical walk on
+        // fresh solvers, interleaved; the per-side minimum filters the
+        // scheduling noise a single shared-runner pass carries.
+        let mut best = [u128::MAX, u128::MAX];
+        for rep in 0..reps.max(1) {
+            let sides = run_walk(&problem, &walk, seed);
+            let [d, s] = &sides;
+            if rep == 0 {
+                // Cross-check once: statuses step-by-step, objectives in
+                // aggregate (the walks are deterministic, so one rep's
+                // agreement covers them all).
+                for (step, (ds, ss)) in d.statuses.iter().zip(&s.statuses).enumerate() {
+                    if ds != ss {
+                        eprintln!("FAIL seed {seed} step {step}: dense {ds:?} vs sparse {ss:?}");
+                        return ExitCode::FAILURE;
+                    }
+                }
+                let scale = 1.0 + d.objective_sum.abs();
+                if ((d.objective_sum - s.objective_sum) / scale).abs() > OBJ_TOL {
+                    eprintln!(
+                        "FAIL seed {seed}: objective checksum diverged — dense {} vs sparse {}",
+                        d.objective_sum, s.objective_sum
+                    );
+                    return ExitCode::FAILURE;
+                }
+            }
+            best[0] = best[0].min(d.total_ns);
+            best[1] = best[1].min(s.total_ns);
+        }
+        let dense_per = best[0] as f64 / calls as f64;
+        let sparse_per = best[1] as f64 / calls as f64;
+        let speedup = dense_per / sparse_per;
+        println!(
+            "{:<24} {calls} warm solves | dense {:>9.0} ns/call | sparse {:>9.0} ns/call \
+             | speedup {speedup:.2}x",
+            inst.name(),
+            dense_per,
+            sparse_per,
+        );
+        results.push(SeedResult {
+            instance: inst.name().to_string(),
+            calls,
+            dense_ns_per_call: dense_per,
+            sparse_ns_per_call: sparse_per,
+            speedup,
+        });
+    }
+    let geomean =
+        (results.iter().map(|r| r.speedup.ln()).sum::<f64>() / results.len().max(1) as f64).exp();
+    println!("geomean speedup: {geomean:.2}x (gate >= {min_geomean}x)");
+
+    let mut out = String::new();
+    out.push_str("{\n");
+    let _ = writeln!(out, "  \"seeds\": {seeds},");
+    let _ = writeln!(out, "  \"steps\": {steps},");
+    out.push_str("  \"instances\": [\n");
+    for (i, r) in results.iter().enumerate() {
+        let comma = if i + 1 < results.len() { "," } else { "" };
+        let _ = writeln!(
+            out,
+            "    {{\"instance\": \"{}\", \"calls\": {}, \"dense_ns_per_call\": {:.0}, \
+             \"sparse_ns_per_call\": {:.0}, \"speedup\": {:.4}}}{comma}",
+            pbo_bench::json::escape(&r.instance),
+            r.calls,
+            r.dense_ns_per_call,
+            r.sparse_ns_per_call,
+            r.speedup,
+        );
+    }
+    out.push_str("  ],\n");
+    let _ = writeln!(out, "  \"geomean_speedup\": {geomean:.4}");
+    out.push_str("}\n");
+    if let Err(err) = std::fs::write(&json_path, &out) {
+        eprintln!("failed to write {json_path}: {err}");
+        return ExitCode::from(2);
+    }
+    println!("wrote {json_path}");
+
+    if geomean < min_geomean {
+        eprintln!("FAIL: sparse+Devex speedup {geomean:.2}x below the {min_geomean}x gate");
+        return ExitCode::FAILURE;
+    }
+    ExitCode::SUCCESS
+}

@@ -126,6 +126,7 @@ fn replay(
                 if let Some(tracer) = tracer {
                     tracer.emit(TraceEvent::Bound {
                         method: "mis",
+                        stage: "fixed",
                         outcome: if out.infeasible {
                             BoundOutcome::Infeasible
                         } else {

@@ -419,6 +419,109 @@ fn write_scheduler_scaling(out: &mut String, s: &SchedulerScaling) {
     out.push_str("    ]\n  },\n");
 }
 
+/// One method's run in the bound-ladder probe (`lgr`, `lpr` or
+/// `adaptive` on one gated instance, same budget for all three).
+#[derive(Clone, Debug)]
+pub struct BoundLadderRun {
+    /// Method key: `"lgr"`, `"lpr"` or `"adaptive"`.
+    pub method: &'static str,
+    /// Final cost.
+    pub cost: Option<i64>,
+    /// Whether this run proved optimality within the budget.
+    pub optimal: bool,
+    /// Wall time.
+    pub time: Duration,
+    /// B&B nodes (decisions).
+    pub nodes: u64,
+    /// Lower-bound computations (ladder: both rungs counted).
+    pub lb_calls: u64,
+    /// Total time inside the bound procedures.
+    pub lb_time: Duration,
+    /// Cheap-rung → LPR escalations (0 for the fixed methods).
+    pub escalations: u64,
+}
+
+/// One instance of the bound-ladder probe: the two fixed rungs and the
+/// adaptive ladder on the same instance under the same budget.
+#[derive(Clone, Debug)]
+pub struct BoundLadderProbe {
+    /// Instance name.
+    pub instance: String,
+    /// Runs in `[lgr, lpr, adaptive]` order.
+    pub runs: Vec<BoundLadderRun>,
+}
+
+/// Aggregate of the bound-ladder probe: the CI gate numbers (the gate
+/// logic itself lives in [`crate::compare::evaluate_bound_ladder`] so
+/// `bench_compare` can re-derive it from any report).
+#[derive(Clone, Debug)]
+pub struct BoundLadderSummary {
+    /// Instances where at least one fixed rung proved optimality (the
+    /// gated population).
+    pub gated_instances: usize,
+    /// On every gated instance, adaptive proved the same optimum.
+    pub same_optima: bool,
+    /// Instances where adaptive beat fixed LPR outright: proved an
+    /// optimum LPR could not, or proved it in strictly less wall time.
+    pub beats_lpr: usize,
+}
+
+/// Aggregates bound-ladder probe rows into the gate metrics.
+pub fn summarize_bound_ladder(probes: &[BoundLadderProbe]) -> BoundLadderSummary {
+    let mut gated = 0usize;
+    let mut same_optima = true;
+    let mut beats_lpr = 0usize;
+    for p in probes {
+        let run = |m: &str| p.runs.iter().find(|r| r.method == m);
+        let (Some(lgr), Some(lpr), Some(ada)) = (run("lgr"), run("lpr"), run("adaptive")) else {
+            continue;
+        };
+        let best_fixed_cost = [lgr, lpr].iter().filter(|r| r.optimal).filter_map(|r| r.cost).min();
+        if let Some(best) = best_fixed_cost {
+            gated += 1;
+            same_optima &= ada.optimal && ada.cost == Some(best);
+        }
+        if ada.optimal && (!lpr.optimal || ada.time < lpr.time) {
+            beats_lpr += 1;
+        }
+    }
+    BoundLadderSummary { gated_instances: gated, same_optima, beats_lpr }
+}
+
+fn write_bound_ladder(out: &mut String, probes: &[BoundLadderProbe]) {
+    out.push_str("  \"bound_ladder\": {\n    \"instances\": [\n");
+    for (i, p) in probes.iter().enumerate() {
+        let comma = if i + 1 < probes.len() { "," } else { "" };
+        let _ = writeln!(out, "      {{\"instance\": \"{}\", \"runs\": [", escape(&p.instance));
+        for (ri, r) in p.runs.iter().enumerate() {
+            let rcomma = if ri + 1 < p.runs.len() { "," } else { "" };
+            let _ = writeln!(
+                out,
+                "        {{\"method\": \"{}\", \"cost\": {}, \"optimal\": {}, \
+                 \"time_ms\": {:.3}, \"nodes\": {}, \"lb_calls\": {}, \
+                 \"lb_time_ms\": {:.3}, \"escalations\": {}}}{rcomma}",
+                r.method,
+                opt_i64(r.cost),
+                r.optimal,
+                ms(r.time),
+                r.nodes,
+                r.lb_calls,
+                ms(r.lb_time),
+                r.escalations,
+            );
+        }
+        let _ = writeln!(out, "      ]}}{comma}");
+    }
+    out.push_str("    ],\n");
+    let s = summarize_bound_ladder(probes);
+    let _ = writeln!(
+        out,
+        "    \"summary\": {{\"gated_instances\": {}, \"same_optima\": {}, \"beats_lpr\": {}}}",
+        s.gated_instances, s.same_optima, s.beats_lpr,
+    );
+    out.push_str("  },\n");
+}
+
 /// Aggregate of a probe run: the numbers the CI gates assert on.
 #[derive(Clone, Debug)]
 pub struct PortfolioSummary {
@@ -618,12 +721,12 @@ pub fn render_report(
     families: &[(String, Vec<Row>)],
     ablation: Option<&ResidualAblation>,
 ) -> String {
-    render_report_full(budget_ms, seeds, families, ablation, &[], None, &[], 0, &[], None)
+    render_report_full(budget_ms, seeds, families, ablation, &[], None, &[], 0, &[], None, &[])
 }
 
 /// [`render_report`] with the portfolio probe, dynamic-rows ablation,
-/// ParLS, parallel-exact (par_bb) and scheduler-scaling sections
-/// included.
+/// ParLS, parallel-exact (par_bb), scheduler-scaling and bound-ladder
+/// sections included.
 #[allow(clippy::too_many_arguments)]
 pub fn render_report_full(
     budget_ms: u64,
@@ -636,6 +739,7 @@ pub fn render_report_full(
     parls_workers: usize,
     par_bb: &[ParBbProbe],
     scheduler_scaling: Option<&SchedulerScaling>,
+    bound_ladder: &[BoundLadderProbe],
 ) -> String {
     let mut out = String::new();
     out.push_str("{\n");
@@ -695,6 +799,11 @@ pub fn render_report_full(
     match scheduler_scaling {
         Some(s) => write_scheduler_scaling(&mut out, s),
         None => out.push_str("  \"scheduler_scaling\": null,\n"),
+    }
+    if bound_ladder.is_empty() {
+        out.push_str("  \"bound_ladder\": null,\n");
+    } else {
+        write_bound_ladder(&mut out, bound_ladder);
     }
     match dynamic_rows {
         Some(d) => {

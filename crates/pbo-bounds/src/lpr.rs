@@ -63,6 +63,18 @@ pub struct LprBound {
     /// Cancellation armed on the simplex; kept here so re-roots (which
     /// rebuild the simplex) re-arm it (see [`LprBound::set_cancel`]).
     cancel: (Option<Instant>, Option<Arc<AtomicBool>>),
+    /// The dynamic rows currently installed in the simplex, in row order
+    /// after the instance's static rows. [`LprBound::install_rows`]
+    /// diffs the incoming registry against this to take the incremental
+    /// path (rhs updates + basis-extending appends) instead of a full
+    /// rebuild.
+    installed: Vec<PbConstraint>,
+    /// Number of static instance rows (the dynamic region starts here).
+    num_static: usize,
+    /// Re-roots served incrementally vs. by full rebuild (diagnostics
+    /// and differential tests).
+    install_appends: u64,
+    install_rebuilds: u64,
 }
 
 impl LprBound {
@@ -78,6 +90,10 @@ impl LprBound {
             mirror: Vec::with_capacity(n),
             trail_mode: false,
             cancel: (None, None),
+            installed: Vec::new(),
+            num_static: instance.constraints().len(),
+            install_appends: 0,
+            install_rebuilds: 0,
         }
     }
 
@@ -118,32 +134,83 @@ impl LprBound {
             }
         }
         for c in instance.constraints().iter().chain(extra.iter().copied()) {
-            let mut terms = Vec::with_capacity(c.len());
-            let mut rhs = c.rhs() as f64;
-            for t in c.terms() {
-                if t.lit.is_positive() {
-                    terms.push((t.lit.var().index(), t.coeff as f64));
-                } else {
-                    // a * ~x = a - a*x : constant moves into the rhs.
-                    terms.push((t.lit.var().index(), -(t.coeff as f64)));
-                    rhs -= t.coeff as f64;
-                }
-            }
+            let (terms, rhs) = Self::lp_row(c);
             p.add_row_ge(&terms, rhs);
         }
         (p, const_shift)
     }
 
-    /// Rebuilds the relaxation with the registry's dynamic rows appended
-    /// to the instance rows (matching the row indices of a
-    /// [`Subproblem`] view carrying the same rows), then re-applies the
-    /// current variable fixings. Called once per incumbent re-root — the
-    /// per-node warm-started solves are untouched.
+    /// The LP form of one normalized PB row: negative literals flip the
+    /// coefficient sign and move a constant into the rhs
+    /// (`a * ~x = a - a*x`).
+    fn lp_row(c: &PbConstraint) -> (Vec<(usize, f64)>, f64) {
+        let mut terms = Vec::with_capacity(c.len());
+        let mut rhs = c.rhs() as f64;
+        for t in c.terms() {
+            if t.lit.is_positive() {
+                terms.push((t.lit.var().index(), t.coeff as f64));
+            } else {
+                terms.push((t.lit.var().index(), -(t.coeff as f64)));
+                rhs -= t.coeff as f64;
+            }
+        }
+        (terms, rhs)
+    }
+
+    /// The bare LP relaxation of `instance` (static rows only) — exposed
+    /// for the `lp_pricing` microbench, which drives the simplex on the
+    /// exact problems the bound sees.
+    pub fn relaxation_problem(instance: &Instance) -> LpProblem {
+        Self::build_problem(instance, &[]).0
+    }
+
+    /// Installs the registry's dynamic rows after the instance rows
+    /// (matching the row indices of a [`Subproblem`] view carrying the
+    /// same rows). Called once per incumbent re-root — the per-node
+    /// warm-started solves are untouched.
+    ///
+    /// When the new registry extends the installed one — every already
+    /// installed row either reappears verbatim or keeps its support with
+    /// a new right-hand side (the objective cut tightens on each
+    /// incumbent), plus an appended suffix — the warm basis is *kept*:
+    /// rhs changes shift the maintained primal values in `O(m)` and new
+    /// rows extend the basis through
+    /// [`DualSimplex::append_row_ge`]. Only a structurally different
+    /// registry (rows removed or support changed) pays for a full
+    /// rebuild.
     pub fn install_rows(&mut self, instance: &Instance, rows: &DynamicRows) {
-        let extra: Vec<&PbConstraint> = rows.rows().iter().map(|r| &r.constraint).collect();
+        let new_rows = rows.rows();
+        if new_rows.is_empty() && self.installed.is_empty() {
+            return;
+        }
+        let extends = new_rows.len() >= self.installed.len()
+            && new_rows
+                .iter()
+                .zip(&self.installed)
+                .all(|(r, old)| r.constraint.terms() == old.terms());
+        if extends {
+            for (k, r) in new_rows.iter().take(self.installed.len()).enumerate() {
+                let old = &mut self.installed[k];
+                if r.constraint != *old {
+                    let (_, rhs) = Self::lp_row(&r.constraint);
+                    self.simplex.update_row_rhs(self.num_static + k, rhs);
+                    *old = r.constraint.clone();
+                }
+            }
+            for r in &new_rows[self.installed.len()..] {
+                let (terms, rhs) = Self::lp_row(&r.constraint);
+                self.simplex.append_row_ge(&terms, rhs);
+                self.installed.push(r.constraint.clone());
+            }
+            self.install_appends += 1;
+            return;
+        }
+        let extra: Vec<&PbConstraint> = new_rows.iter().map(|r| &r.constraint).collect();
         let (problem, const_shift) = Self::build_problem(instance, &extra);
         let iterations = self.simplex.total_iterations;
+        let pricing = self.simplex.pricing();
         self.simplex = DualSimplex::new(&problem);
+        self.simplex.set_pricing(pricing);
         self.simplex.total_iterations = iterations;
         self.simplex.set_cancel(self.cancel.0, self.cancel.1.clone());
         self.const_shift = const_shift;
@@ -154,6 +221,14 @@ impl LprBound {
                 None => {}
             }
         }
+        self.installed = new_rows.iter().map(|r| r.constraint.clone()).collect();
+        self.install_rebuilds += 1;
+    }
+
+    /// How many [`LprBound::install_rows`] calls took the incremental
+    /// (rhs-update + append) path vs. a full rebuild.
+    pub fn install_counts(&self) -> (u64, u64) {
+        (self.install_appends, self.install_rebuilds)
     }
 
     /// Number of trail literals currently mirrored into the simplex
@@ -454,6 +529,92 @@ mod tests {
         let back = traced.lower_bound(&Subproblem::new(&inst, &a), None);
         let fresh = LprBound::new(&inst).lower_bound(&Subproblem::new(&inst, &a), None);
         assert_eq!(back, fresh);
+    }
+
+    #[test]
+    fn install_rows_incremental_matches_rebuild() {
+        use crate::dynrows::{DynRowOrigin, DynamicRows};
+
+        // Distinct costs keep the LP optima non-degenerate, so the
+        // incremental and rebuild paths land on identical bases and the
+        // outcomes (bound + explanation) compare bit-for-bit.
+        let mut b = InstanceBuilder::new();
+        let v = b.new_vars(6);
+        b.add_at_least(2, [v[0].positive(), v[1].positive(), v[2].positive(), v[3].positive()]);
+        b.add_clause([v[2].positive(), v[4].positive(), v[5].positive()]);
+        b.add_at_least(2, [v[1].positive(), v[3].positive(), v[5].positive()]);
+        b.minimize(v.iter().enumerate().map(|(i, x)| ((i + 1) as i64, x.positive())));
+        let inst = b.build().unwrap();
+
+        let card = |rhs| {
+            PbConstraint::try_new(
+                vec![(1, v[1].positive()), (1, v[2].positive()), (1, v[4].positive())],
+                rhs,
+            )
+            .unwrap()
+        };
+        let clause =
+            PbConstraint::try_new(vec![(1, v[0].positive()), (1, v[3].positive())], 1).unwrap();
+        let late =
+            PbConstraint::try_new(vec![(1, v[4].positive()), (1, v[5].positive())], 1).unwrap();
+
+        let mut rows = DynamicRows::for_instance(&inst);
+        rows.begin_epoch();
+        rows.push(card(1), DynRowOrigin::CardinalityCut);
+        rows.push(clause.clone(), DynRowOrigin::PromotedClause);
+
+        // Warm side: installs land on the incremental path throughout.
+        let mut warm = LprBound::new(&inst);
+        warm.install_rows(&inst, &rows);
+        assert_eq!(warm.install_counts(), (1, 0), "first install extends the empty region");
+
+        // Oracle side: poison the installed region so every later
+        // install pays for the full rebuild.
+        let force_rebuild = |oracle: &mut LprBound| {
+            let mut decoy = DynamicRows::for_instance(&inst);
+            decoy.begin_epoch();
+            decoy.push(late.clone(), DynRowOrigin::PromotedClause);
+            oracle.install_rows(&inst, &decoy);
+        };
+        let mut oracle = LprBound::new(&inst);
+        force_rebuild(&mut oracle);
+        oracle.install_rows(&inst, &rows);
+        assert_eq!(oracle.install_counts(), (1, 1), "support mismatch must rebuild");
+
+        let check = |warm: &mut LprBound, oracle: &mut LprBound, rows: &DynamicRows| {
+            let mut a = Assignment::new(6);
+            let sub = Subproblem::with_rows(&inst, &a, rows);
+            assert_eq!(warm.lower_bound(&sub, Some(50)), oracle.lower_bound(&sub, Some(50)));
+            a.assign(Var::new(1), false);
+            a.assign(Var::new(4), true);
+            let sub = Subproblem::with_rows(&inst, &a, rows);
+            assert_eq!(warm.lower_bound(&sub, Some(50)), oracle.lower_bound(&sub, Some(50)));
+        };
+        check(&mut warm, &mut oracle, &rows);
+
+        // Re-root: the cardinality cut tightens (same support, new rhs),
+        // the promoted clause survives, and a new clause is appended —
+        // the exact shape an improving incumbent produces.
+        rows.begin_epoch();
+        rows.push(card(2), DynRowOrigin::CardinalityCut);
+        rows.push(clause.clone(), DynRowOrigin::PromotedClause);
+        rows.push(late.clone(), DynRowOrigin::PromotedClause);
+        warm.install_rows(&inst, &rows);
+        assert_eq!(warm.install_counts(), (2, 0), "rhs change + append stays incremental");
+        force_rebuild(&mut oracle);
+        oracle.install_rows(&inst, &rows);
+        assert_eq!(oracle.install_counts().1, 3, "oracle keeps rebuilding");
+        check(&mut warm, &mut oracle, &rows);
+
+        // Shrinking the registry (taint path) falls back to a rebuild.
+        let mut shrunk = DynamicRows::for_instance(&inst);
+        shrunk.begin_epoch();
+        shrunk.push(card(2), DynRowOrigin::CardinalityCut);
+        warm.install_rows(&inst, &shrunk);
+        assert_eq!(warm.install_counts(), (2, 1), "row removal must rebuild");
+        force_rebuild(&mut oracle);
+        oracle.install_rows(&inst, &shrunk);
+        check(&mut warm, &mut oracle, &shrunk);
     }
 
     #[test]

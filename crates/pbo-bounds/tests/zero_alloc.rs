@@ -103,6 +103,7 @@ fn replay_script(
             mis.lower_bound_into(&view, Some(upper), out);
             tracer.emit(TraceEvent::Bound {
                 method: "mis",
+                stage: "fixed",
                 outcome: BoundOutcome::Open,
                 margin: out.bound,
                 dur_ns: 0,
@@ -113,6 +114,7 @@ fn replay_script(
             lgr.lower_bound_into(&view, Some(upper), out);
             tracer.emit(TraceEvent::Bound {
                 method: "lgr",
+                stage: "fixed",
                 outcome: BoundOutcome::Open,
                 margin: out.bound,
                 dur_ns: 0,

@@ -42,7 +42,7 @@ mod simplex;
 mod solution;
 
 pub use problem::{LpProblem, RowId};
-pub use simplex::DualSimplex;
+pub use simplex::{DualSimplex, Pricing};
 pub use solution::{LpSolution, LpStatus};
 
 #[cfg(test)]

@@ -34,6 +34,12 @@ pub struct LpProblem {
     rows: Vec<(Vec<(usize, f64)>, f64)>,
     lower: Vec<f64>,
     upper: Vec<f64>,
+    /// Reusable duplicate-column detector for [`LpProblem::add_row_ge`]:
+    /// `seen[j] == stamp` marks column `j` as present in the row being
+    /// validated, without a fresh allocation per row (relaxation rebuilds
+    /// add hundreds of rows back to back).
+    seen: Vec<u64>,
+    stamp: u64,
 }
 
 impl LpProblem {
@@ -46,6 +52,8 @@ impl LpProblem {
             rows: Vec::new(),
             lower: vec![0.0; num_vars],
             upper: vec![1.0; num_vars],
+            seen: vec![0; num_vars],
+            stamp: 0,
         }
     }
 
@@ -79,11 +87,11 @@ impl LpProblem {
     ///
     /// Panics if any column index is out of range or repeated.
     pub fn add_row_ge(&mut self, terms: &[(usize, f64)], rhs: f64) -> RowId {
-        let mut seen = vec![false; self.num_vars];
+        self.stamp += 1;
         for &(j, _) in terms {
             assert!(j < self.num_vars, "column {j} out of range");
-            assert!(!seen[j], "column {j} repeated in row");
-            seen[j] = true;
+            assert!(self.seen[j] != self.stamp, "column {j} repeated in row");
+            self.seen[j] = self.stamp;
         }
         self.rows.push((terms.to_vec(), rhs));
         RowId(self.rows.len() - 1)

@@ -4,7 +4,7 @@
 use rand::{Rng, SeedableRng};
 
 use crate::problem::LpProblem;
-use crate::simplex::DualSimplex;
+use crate::simplex::{DualSimplex, Pricing};
 use crate::solution::LpStatus;
 
 fn assert_close(a: f64, b: f64, tol: f64) {
@@ -313,6 +313,140 @@ fn repeated_warm_starts_stay_consistent() {
         assert_eq!(warm_sol.status, fresh_sol.status, "bounds {bounds:?}");
         if warm_sol.status == LpStatus::Optimal {
             assert_close(warm_sol.objective, fresh_sol.objective, 1e-6);
+        }
+    }
+}
+
+/// Differential: the sparse Devex path and the frozen dense baseline
+/// must agree on status and optimal value across random LPs and random
+/// warm-start bound-change schedules (bases may differ on degenerate
+/// instances; objectives may not).
+#[test]
+fn devex_and_dense_pricing_agree() {
+    let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(0x4e);
+    for round in 0..60 {
+        let n = rng.gen_range(2..10);
+        let m = rng.gen_range(1..10);
+        let mut p = LpProblem::new(n);
+        for j in 0..n {
+            p.set_cost(j, rng.gen_range(-3..7) as f64);
+        }
+        for _ in 0..m {
+            let mut terms = Vec::new();
+            for j in 0..n {
+                if rng.gen_bool(0.5) {
+                    let c = rng.gen_range(-2..4) as f64;
+                    if c != 0.0 {
+                        terms.push((j, c));
+                    }
+                }
+            }
+            if terms.is_empty() {
+                terms.push((0, 1.0));
+            }
+            let max_act: f64 = terms.iter().map(|&(_, c): &(usize, f64)| c.max(0.0)).sum();
+            p.add_row_ge(&terms, rng.gen_range(-1.0..max_act.max(0.5)));
+        }
+        let mut devex = DualSimplex::new(&p);
+        assert_eq!(devex.pricing(), Pricing::DevexSparse);
+        let mut dense = DualSimplex::new(&p);
+        dense.set_pricing(Pricing::DenseLegacy);
+        // Root solve plus a random fix/unfix schedule of warm starts.
+        for step in 0..8 {
+            if step > 0 {
+                let j = rng.gen_range(0..n);
+                let (lo, hi) = match rng.gen_range(0..3) {
+                    0 => (0.0, 1.0),
+                    1 => (0.0, 0.0),
+                    _ => (1.0, 1.0),
+                };
+                devex.set_var_bounds(j, lo, hi);
+                dense.set_var_bounds(j, lo, hi);
+            }
+            let a = devex.solve();
+            let b = dense.solve();
+            assert_eq!(a.status, b.status, "round {round} step {step}");
+            if a.status == LpStatus::Optimal {
+                assert_close(a.objective, b.objective, 1e-5);
+            }
+            assert_eq!(b.bound_flips, 0, "dense baseline has no flipping ratio test");
+        }
+    }
+}
+
+/// `append_row_ge` extends the warm basis: solving after an append must
+/// match a fresh solver built with the row present from the start, and
+/// the appended solver must keep warm-starting correctly afterwards.
+#[test]
+fn append_row_matches_fresh_rebuild() {
+    let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(0x5f);
+    for round in 0..40 {
+        let n = rng.gen_range(3..9);
+        let m0 = rng.gen_range(1..5);
+        let mut rows: Vec<(Vec<(usize, f64)>, f64)> = Vec::new();
+        let gen_row = |rng: &mut rand_chacha::ChaCha8Rng| {
+            let mut terms = Vec::new();
+            for j in 0..n {
+                if rng.gen_bool(0.6) {
+                    let c = rng.gen_range(-2..4) as f64;
+                    if c != 0.0 {
+                        terms.push((j, c));
+                    }
+                }
+            }
+            if terms.is_empty() {
+                terms.push((0, 1.0));
+            }
+            let max_act: f64 = terms.iter().map(|&(_, c): &(usize, f64)| c.max(0.0)).sum();
+            let rhs = rng.gen_range(-1.0..max_act.max(0.5));
+            (terms, rhs)
+        };
+        let mut p = LpProblem::new(n);
+        for j in 0..n {
+            p.set_cost(j, rng.gen_range(0..7) as f64);
+        }
+        for _ in 0..m0 {
+            let (terms, rhs) = gen_row(&mut rng);
+            p.add_row_ge(&terms, rhs);
+            rows.push((terms, rhs));
+        }
+        let mut warm = DualSimplex::new(&p);
+        let _ = warm.solve(); // establish a warm, typically non-trivial basis
+                              // Append 1..4 new rows one at a time, re-solving after each.
+        for _ in 0..rng.gen_range(1..5) {
+            let (terms, rhs) = gen_row(&mut rng);
+            warm.append_row_ge(&terms, rhs);
+            rows.push((terms.clone(), rhs));
+            let mut fresh_p = LpProblem::new(n);
+            for j in 0..n {
+                fresh_p.set_cost(j, p.costs()[j]);
+            }
+            for (t, r) in &rows {
+                fresh_p.add_row_ge(t, *r);
+            }
+            let a = warm.solve();
+            let b = DualSimplex::new(&fresh_p).solve();
+            assert_eq!(a.status, b.status, "round {round} after append");
+            if a.status == LpStatus::Optimal {
+                assert_close(a.objective, b.objective, 1e-5);
+            }
+        }
+        // The appended basis must still warm-start across bound changes.
+        let j = rng.gen_range(0..n);
+        warm.set_var_bounds(j, 1.0, 1.0);
+        let mut fresh_p = LpProblem::new(n);
+        for jj in 0..n {
+            fresh_p.set_cost(jj, p.costs()[jj]);
+        }
+        for (t, r) in &rows {
+            fresh_p.add_row_ge(t, *r);
+        }
+        fresh_p.set_bounds(j, 1.0, 1.0);
+        let a = warm.solve();
+        let b = DualSimplex::new(&fresh_p).solve();
+        assert_eq!(a.status, b.status, "round {round} after fix");
+        if a.status == LpStatus::Optimal {
+            assert_close(a.objective, b.objective, 1e-5);
         }
     }
 }

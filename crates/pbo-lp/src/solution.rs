@@ -43,6 +43,10 @@ pub struct LpSolution {
     pub farkas_rows: Vec<usize>,
     /// Simplex iterations performed in this call.
     pub iterations: u64,
+    /// Nonbasic bound flips absorbed by the bound-flipping ratio test in
+    /// this call (always zero under the dense legacy pricing, which has
+    /// no flipping ratio test).
+    pub bound_flips: u64,
 }
 
 impl LpSolution {

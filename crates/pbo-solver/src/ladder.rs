@@ -1,0 +1,387 @@
+//! The adaptive bound ladder ([`crate::LbMethod::Adaptive`]): run the
+//! cheap Lagrangian rung at every gated node and *escalate* to the LP
+//! relaxation only where it can plausibly change the search — when the
+//! cheap bound lands inside an online escalation window below the
+//! incumbent — plus a deterministic probe cadence so a drifting window
+//! never starves the LP rung entirely.
+//!
+//! The reported outcome is the **max** of the rungs actually run (any
+//! valid lower bound may be replaced by a larger valid lower bound), so
+//! the ladder is as sound as its strongest member and never weaker than
+//! fixed LGR.
+//!
+//! # Policy
+//!
+//! All escalation decisions key on *deterministic* quantities — bound
+//! margins and call counters, in fixed-point integer arithmetic — so a
+//! `deterministic_join` run reproduces its escalation sequence exactly.
+//! The only wall-clock input is an EMA of the two rungs' kernel times
+//! that widens the probe-cadence cap when the LP rung is vastly more
+//! expensive than the cheap rung, and it is disabled outright under
+//! `deterministic_join`.
+//!
+//! * **Escalation window.** An EMA of the observed LPR-over-LGR bound
+//!   gain (`x1024` fixed point). A node escalates when
+//!   `slack = upper - cheap_bound <= 1.5 * ema_gain + 1`: if the LP
+//!   typically gains that much, it can close this node.
+//! * **Probe cadence.** Every `probe_interval` open cheap calls one node
+//!   escalates regardless of the window, keeping the gain EMA honest.
+//!   The interval halves (floor 16) when an escalation prunes and
+//!   doubles (cap 256, or 512 when the wall-clock EMA says LPR is ≫
+//!   more expensive) when it does not.
+//! * **Frequency stretch.** The ladder extends the pipeline's
+//!   [`tick`](crate::pipeline::BoundPipeline::tick) gate: over a rolling
+//!   256-call window of cheap-rung outcomes, a prune rate below ~3%
+//!   doubles the effective `lb_frequency` (cap 4x) and a rate above
+//!   ~12.5% restores it — counters only, deterministic in every mode.
+
+use std::time::Instant;
+
+use pbo_bounds::{LagrangianBound, LbOutcome, LowerBound, LprBound, Subproblem};
+use pbo_core::Instance;
+use pbo_fault::failpoint;
+
+use crate::result::SolverStats;
+
+/// `lb_methods` bucket of the cheap rung (see
+/// [`crate::result::LB_METHOD_NAMES`]).
+const LGR_BUCKET: usize = 2;
+/// `lb_methods` bucket of the escalated rung.
+const LPR_BUCKET: usize = 3;
+
+/// EMA smoothing: `ema += (sample - ema) / 8` in fixed point.
+const EMA_SHIFT: i64 = 8;
+/// Probe-cadence bounds.
+const PROBE_MIN: u32 = 16;
+const PROBE_MAX: u32 = 256;
+/// Widened probe cap when the wall-clock EMAs (non-deterministic mode
+/// only) report the LP rung costing over 32x the cheap rung.
+const PROBE_MAX_EXPENSIVE: u32 = 512;
+const LPR_EXPENSIVE_FACTOR: u64 = 32;
+/// Rolling window for the frequency stretch, and its rate thresholds.
+const STRETCH_WINDOW: u32 = 256;
+const STRETCH_LOW_PRUNES: u32 = 8; // < ~3% of 256: bound rarely acts
+const STRETCH_HIGH_PRUNES: u32 = 32; // > ~12.5%: bound is earning its keep
+const STRETCH_MAX: u32 = 4;
+
+/// Pins the ladder to a single rung for differential tests: the pinned
+/// rung runs at every gated node with no policy in the loop, so the
+/// outcome sequence must be bit-identical to the fixed method's.
+#[cfg(test)]
+#[derive(Copy, Clone, PartialEq, Eq, Debug)]
+pub(crate) enum Rung {
+    /// Cheap rung only (must match fixed [`crate::LbMethod::Lagrangian`]).
+    Cheap,
+    /// LP rung only (must match fixed [`crate::LbMethod::Lpr`]).
+    Lpr,
+}
+
+/// Escalation policy state (see the module docs).
+#[derive(Debug)]
+struct LadderPolicy {
+    /// EMA of the LPR-over-cheap bound gain, x1024 fixed point.
+    ema_gain: i64,
+    /// Open cheap calls between forced probe escalations.
+    probe_interval: u32,
+    since_probe: u32,
+    /// Wall-time EMAs of the two rungs' kernels (ns); advisory only,
+    /// never updated or consulted under `deterministic_join`.
+    ema_cheap_ns: u64,
+    ema_lpr_ns: u64,
+    deterministic: bool,
+    /// Frequency-stretch state.
+    stretch: u32,
+    window_calls: u32,
+    window_prunes: u32,
+}
+
+impl LadderPolicy {
+    fn new(deterministic: bool) -> LadderPolicy {
+        LadderPolicy {
+            ema_gain: 0,
+            probe_interval: PROBE_MIN,
+            since_probe: 0,
+            ema_cheap_ns: 0,
+            ema_lpr_ns: 0,
+            deterministic,
+            stretch: 1,
+            window_calls: 0,
+            window_prunes: 0,
+        }
+    }
+
+    /// Escalation window in bound units: `1.5 * ema_gain + 1`.
+    fn window(&self) -> i64 {
+        (self.ema_gain + self.ema_gain / 2) / 1024 + 1
+    }
+
+    fn probe_cap(&self) -> u32 {
+        if !self.deterministic && self.ema_lpr_ns > LPR_EXPENSIVE_FACTOR * self.ema_cheap_ns.max(1)
+        {
+            PROBE_MAX_EXPENSIVE
+        } else {
+            PROBE_MAX
+        }
+    }
+
+    /// Decides whether an open cheap call with `slack = upper - bound`
+    /// escalates; returns the window it was compared against.
+    fn decide(&mut self, slack: i64) -> Option<i64> {
+        self.since_probe += 1;
+        let window = self.window();
+        if slack <= window || self.since_probe >= self.probe_interval {
+            self.since_probe = 0;
+            Some(window)
+        } else {
+            None
+        }
+    }
+
+    /// Folds one cheap-rung outcome into the frequency-stretch window
+    /// and the (advisory) wall-time EMA.
+    fn record_cheap(&mut self, pruned: bool, dur_ns: u64) {
+        if !self.deterministic {
+            self.ema_cheap_ns = self.ema_cheap_ns + (dur_ns.saturating_sub(self.ema_cheap_ns)) / 8
+                - (self.ema_cheap_ns.saturating_sub(dur_ns)) / 8;
+        }
+        self.window_calls += 1;
+        self.window_prunes += u32::from(pruned);
+        if self.window_calls >= STRETCH_WINDOW {
+            if self.window_prunes < STRETCH_LOW_PRUNES {
+                self.stretch = (self.stretch * 2).min(STRETCH_MAX);
+            } else if self.window_prunes >= STRETCH_HIGH_PRUNES {
+                self.stretch = 1;
+            }
+            self.window_calls = 0;
+            self.window_prunes = 0;
+        }
+    }
+
+    /// Folds one escalated LPR outcome into the gain EMA and the probe
+    /// cadence. `gain` is the bound improvement over the cheap rung.
+    fn record_escalation(&mut self, gain: i64, pruned: bool, dur_ns: u64) {
+        if !self.deterministic {
+            self.ema_lpr_ns = self.ema_lpr_ns + (dur_ns.saturating_sub(self.ema_lpr_ns)) / 8
+                - (self.ema_lpr_ns.saturating_sub(dur_ns)) / 8;
+        }
+        let sample = gain.clamp(0, i64::MAX / 2048) * 1024;
+        self.ema_gain += (sample - self.ema_gain) / EMA_SHIFT;
+        if pruned {
+            self.probe_interval = (self.probe_interval / 2).max(PROBE_MIN);
+        } else {
+            self.probe_interval = (self.probe_interval * 2).min(self.probe_cap());
+        }
+    }
+}
+
+/// The two-rung ladder: cheap Lagrangian first, LP relaxation on demand.
+///
+/// Both rungs bound against the *same* method-filtered dynamic-row
+/// region (the LGR filter — promoted clauses only; see
+/// [`crate::pipeline::BoundPipeline`]): dropping rows is always sound,
+/// and the thinner relaxation keeps the escalated LP solve cheap too.
+pub(crate) struct AdaptiveLadder {
+    /// The cheap rung: warm-started subgradient ascent.
+    pub cheap: LagrangianBound,
+    /// The escalated rung: warm-started dual simplex.
+    pub lpr: LprBound,
+    policy: LadderPolicy,
+    /// Scratch slot holding the cheap rung's outcome while the LP rung
+    /// runs, so the max-merge reuses both explanation buffers.
+    cheap_out: LbOutcome,
+    /// Single-rung pin for differential tests.
+    #[cfg(test)]
+    pub pin: Option<Rung>,
+}
+
+impl AdaptiveLadder {
+    pub fn new(instance: &Instance, deterministic: bool) -> AdaptiveLadder {
+        AdaptiveLadder {
+            cheap: LagrangianBound::new(instance.num_constraints()),
+            lpr: LprBound::new(instance),
+            policy: LadderPolicy::new(deterministic),
+            cheap_out: LbOutcome::bound(0, Vec::new()),
+            #[cfg(test)]
+            pin: None,
+        }
+    }
+
+    /// Current frequency-stretch multiplier for the pipeline's `tick`.
+    pub fn stretch(&self) -> u32 {
+        #[cfg(test)]
+        if self.pin.is_some() {
+            return 1;
+        }
+        self.policy.stretch
+    }
+
+    /// Whether the ladder may act pre-incumbent (pre-incumbent nodes
+    /// skip straight to the LP rung, whose Farkas certificate can prove
+    /// a subtree infeasible — the cheap rung cannot).
+    pub fn can_act_pre_incumbent(&self) -> bool {
+        #[cfg(test)]
+        if self.pin == Some(Rung::Cheap) {
+            return false; // match fixed LGR's gating exactly
+        }
+        true
+    }
+
+    /// Runs the ladder at one node: the cheap rung, the escalation
+    /// decision, and (maybe) the LP rung, leaving the max outcome in
+    /// `out`. Each rung charges its own `lb_methods` bucket, increments
+    /// `lb_calls` and emits one stage-tagged `Bound` event, so the
+    /// per-method stats, the global counters and the trace reconcile
+    /// exactly (an escalated node is two calls, two events, two bucket
+    /// charges).
+    pub fn compute(
+        &mut self,
+        sub: &Subproblem<'_>,
+        upper: Option<i64>,
+        path: i64,
+        out: &mut LbOutcome,
+        stats: &mut SolverStats,
+        tracer: &pbo_trace::Tracer,
+    ) {
+        #[cfg(test)]
+        if let Some(pin) = self.pin {
+            let start = Instant::now();
+            failpoint!("bound.dispatch");
+            match pin {
+                Rung::Cheap => self.cheap.lower_bound_into(sub, upper, out),
+                Rung::Lpr => self.lpr.lower_bound_into(sub, upper, out),
+            }
+            let stage = match pin {
+                Rung::Cheap => "cheap",
+                Rung::Lpr => "escalated",
+            };
+            let bucket = match pin {
+                Rung::Cheap => LGR_BUCKET,
+                Rung::Lpr => LPR_BUCKET,
+            };
+            let elapsed = start.elapsed();
+            charge_rung(stats, bucket, elapsed, out, upper, path);
+            emit_rung(tracer, method_name(bucket), stage, out, upper, path, elapsed);
+            return;
+        }
+
+        let (window, slack) = match upper {
+            Some(u) => {
+                let start = Instant::now();
+                // Same contract as the fixed pipeline: a panic at the
+                // dispatch probe leaves this rung uncharged.
+                failpoint!("bound.dispatch");
+                self.cheap.lower_bound_into(sub, Some(u), out);
+                let elapsed = start.elapsed();
+                let pruned = out.prunes(u);
+                charge_rung(stats, LGR_BUCKET, elapsed, out, upper, path);
+                emit_rung(tracer, "lgr", "cheap", out, upper, path, elapsed);
+                self.policy
+                    .record_cheap(pruned, u64::try_from(elapsed.as_nanos()).unwrap_or(u64::MAX));
+                if pruned {
+                    return;
+                }
+                let slack = u - out.bound;
+                match self.policy.decide(slack) {
+                    Some(window) => (window, slack),
+                    None => return,
+                }
+            }
+            // Pre-incumbent: no upper bound to prune against, so the
+            // cheap rung is pure overhead — escalate directly (the LP's
+            // Farkas certificate is the only pre-incumbent value).
+            // Recorded as window/slack -1 so the event is recognizable.
+            None => (-1, -1),
+        };
+        stats.lb_escalations += 1;
+        tracer.emit(pbo_trace::TraceEvent::Escalate { window, slack });
+        // The probe sits between the cheap rung's (already committed)
+        // charge and the LP dispatch: an unwind here leaves the cheap
+        // rung fully charged and the LP rung fully uncharged — neither
+        // bucket is ever half-accounted.
+        failpoint!("bound.escalate");
+        // Park the cheap outcome in the scratch slot (buffer swap, no
+        // allocation) and run the LP rung into `out`.
+        std::mem::swap(out, &mut self.cheap_out);
+        let start = Instant::now();
+        self.lpr.lower_bound_into(sub, upper, out);
+        let elapsed = start.elapsed();
+        charge_rung(stats, LPR_BUCKET, elapsed, out, upper, path);
+        emit_rung(tracer, "lpr", "escalated", out, upper, path, elapsed);
+        if let Some(u) = upper {
+            let pruned = out.prunes(u);
+            // Gain sample: how much further than the cheap rung the LP
+            // reached. A prune closed the whole remaining slack (at
+            // least), infeasibility included.
+            let gain =
+                if pruned { slack.max(0) + 1 } else { (out.bound - self.cheap_out.bound).max(0) };
+            self.policy.record_escalation(
+                gain,
+                pruned,
+                u64::try_from(elapsed.as_nanos()).unwrap_or(u64::MAX),
+            );
+            // Max-merge: the ladder reports the strongest rung, and the
+            // explanation must be the one that proved it — swap the
+            // cheap outcome back when it won.
+            if !out.infeasible && self.cheap_out.bound > out.bound {
+                std::mem::swap(out, &mut self.cheap_out);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+fn method_name(bucket: usize) -> &'static str {
+    crate::result::LB_METHOD_NAMES[bucket]
+}
+
+/// Charges one rung's call to the global and per-method counters.
+fn charge_rung(
+    stats: &mut SolverStats,
+    bucket: usize,
+    elapsed: std::time::Duration,
+    out: &LbOutcome,
+    upper: Option<i64>,
+    path: i64,
+) {
+    stats.lb_calls += 1;
+    stats.lb_time_total += elapsed;
+    let m = &mut stats.lb_methods[bucket];
+    m.calls += 1;
+    m.time_total += elapsed;
+    let pruned = out.infeasible || upper.is_some_and(|u| out.prunes(u));
+    m.prunes += u64::from(pruned);
+    if !out.infeasible {
+        stats.lb_margin_sum += out.bound.saturating_sub(path).max(0) as u64;
+    }
+}
+
+/// Emits one stage-tagged `Bound` event for a rung (no-op when tracing
+/// is off).
+fn emit_rung(
+    tracer: &pbo_trace::Tracer,
+    method: &'static str,
+    stage: &'static str,
+    out: &LbOutcome,
+    upper: Option<i64>,
+    path: i64,
+    elapsed: std::time::Duration,
+) {
+    if !tracer.enabled() {
+        return;
+    }
+    let outcome = if out.infeasible {
+        pbo_trace::BoundOutcome::Infeasible
+    } else if upper.is_some_and(|u| out.prunes(u)) {
+        pbo_trace::BoundOutcome::Pruned
+    } else {
+        pbo_trace::BoundOutcome::Open
+    };
+    let margin = if out.infeasible { 0 } else { out.bound.saturating_sub(path).max(0) };
+    tracer.emit(pbo_trace::TraceEvent::Bound {
+        method,
+        stage,
+        outcome,
+        margin,
+        dur_ns: u64::try_from(elapsed.as_nanos()).unwrap_or(u64::MAX),
+    });
+}

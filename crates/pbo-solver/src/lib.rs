@@ -2,7 +2,8 @@
 //! baselines it is evaluated against.
 //!
 //! * [`Bsolo`] — SAT-based branch-and-bound with pluggable lower
-//!   bounding ([`LbMethod`]: plain / MIS / Lagrangian / LPR),
+//!   bounding ([`LbMethod`]: plain / MIS / Lagrangian / LPR / adaptive
+//!   ladder),
 //!   bound-conflict learning with non-chronological backtracking
 //!   (sec. 4), LP-guided branching and the cost cuts of sec. 5. This is
 //!   the paper's contribution.
@@ -54,6 +55,7 @@
 
 mod bsolo;
 mod cuts;
+mod ladder;
 mod linear_search;
 mod milp;
 mod options;
@@ -77,9 +79,13 @@ pub use portfolio::{
     PoolResult, Portfolio, PortfolioOptions, SharedCut,
 };
 pub use preprocess::{probe, simplify, ProbeOutcome};
-pub use result::{ServiceStatus, SolveResult, SolveStatus, SolverStats};
+pub use result::{
+    LbMethodStats, ServiceStatus, SolveResult, SolveStatus, SolverStats, LB_METHOD_NAMES,
+};
 pub use share::{ClausePool, PoolHandle, PoolWatermarks, SharedClause};
 
+#[cfg(test)]
+mod ladder_tests;
 #[cfg(test)]
 mod solver_tests;
 #[cfg(test)]

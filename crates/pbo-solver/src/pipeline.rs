@@ -55,6 +55,7 @@ use pbo_core::{Instance, PbConstraint};
 use pbo_engine::{Engine, Taint, TrailObserver};
 use pbo_fault::failpoint;
 
+use crate::ladder::AdaptiveLadder;
 use crate::options::{BsoloOptions, LbMethod, ResidualMode};
 use crate::result::SolverStats;
 
@@ -73,17 +74,32 @@ enum Bound {
     None(NoBound),
     Mis(MisBound),
     Lgr(LagrangianBound),
-    Lpr(LprBound),
+    Lpr(Box<LprBound>),
+    Adaptive(Box<AdaptiveLadder>),
 }
 
 impl Bound {
+    /// Fixed-method kernel dispatch. The adaptive ladder never routes
+    /// through here — it runs (and charges) its rungs itself.
     fn lower_bound_into(&mut self, sub: &Subproblem<'_>, upper: Option<i64>, out: &mut LbOutcome) {
         match self {
             Bound::None(b) => b.lower_bound_into(sub, upper, out),
             Bound::Mis(b) => b.lower_bound_into(sub, upper, out),
             Bound::Lgr(b) => b.lower_bound_into(sub, upper, out),
             Bound::Lpr(b) => b.lower_bound_into(sub, upper, out),
+            Bound::Adaptive(_) => unreachable!("the ladder dispatches per rung"),
         }
+    }
+}
+
+/// `SolverStats::lb_methods` bucket of a fixed method.
+fn method_bucket(method: LbMethod) -> usize {
+    match method {
+        LbMethod::None => 0,
+        LbMethod::Mis => 1,
+        LbMethod::Lagrangian => 2,
+        LbMethod::Lpr => 3,
+        LbMethod::Adaptive => unreachable!("the ladder charges per rung"),
     }
 }
 
@@ -132,7 +148,10 @@ impl BoundPipeline {
             LbMethod::None => Bound::None(NoBound::new()),
             LbMethod::Mis => Bound::Mis(MisBound::with_implied(options.mis_implied)),
             LbMethod::Lagrangian => Bound::Lgr(LagrangianBound::new(instance.num_constraints())),
-            LbMethod::Lpr => Bound::Lpr(LprBound::new(instance)),
+            LbMethod::Lpr => Bound::Lpr(Box::new(LprBound::new(instance))),
+            LbMethod::Adaptive => {
+                Bound::Adaptive(Box::new(AdaptiveLadder::new(instance, options.deterministic_join)))
+            }
         };
         // The residual state only pays off where bounds are computed:
         // optimization instances (satisfaction search never bounds).
@@ -143,7 +162,7 @@ impl BoundPipeline {
         // In incremental mode the LP bound joins the trail protocol as a
         // second observer; rebuild mode keeps the O(vars) assignment diff
         // as the differential-testing oracle.
-        let lpr_obs = (incremental && matches!(bound, Bound::Lpr(_)))
+        let lpr_obs = (incremental && matches!(bound, Bound::Lpr(_) | Bound::Adaptive(_)))
             .then(|| engine.register_trail_observer());
         BoundPipeline {
             bound,
@@ -176,11 +195,23 @@ impl BoundPipeline {
         self.tracer = tracer;
     }
 
-    /// The LPR bound when it is the active method (for LP-guided
-    /// branching and iteration accounting).
+    /// The LPR bound when the active method runs one (fixed LPR or the
+    /// adaptive ladder's escalated rung) — for LP-guided branching and
+    /// iteration accounting.
     pub fn lpr(&self) -> Option<&LprBound> {
         match &self.bound {
-            Bound::Lpr(b) => Some(b),
+            Bound::Lpr(b) => Some(b.as_ref()),
+            Bound::Adaptive(l) => Some(&l.lpr),
+            _ => None,
+        }
+    }
+
+    /// The adaptive ladder, for differential tests that pin it to a
+    /// single rung.
+    #[cfg(test)]
+    pub(crate) fn ladder_mut(&mut self) -> Option<&mut AdaptiveLadder> {
+        match &mut self.bound {
+            Bound::Adaptive(l) => Some(l),
             _ => None,
         }
     }
@@ -194,8 +225,10 @@ impl BoundPipeline {
         deadline: Option<Instant>,
         stop: Option<std::sync::Arc<std::sync::atomic::AtomicBool>>,
     ) {
-        if let Bound::Lpr(b) = &mut self.bound {
-            b.set_cancel(deadline, stop);
+        match &mut self.bound {
+            Bound::Lpr(b) => b.set_cancel(deadline, stop),
+            Bound::Adaptive(l) => l.lpr.set_cancel(deadline, stop),
+            _ => {}
         }
     }
 
@@ -204,16 +237,29 @@ impl BoundPipeline {
     /// a subtree has *no* feasible completion; plain and LGR cannot, and
     /// plain-MIS infeasibility only duplicates slack propagation.
     pub fn can_act(&self, have_incumbent: bool) -> bool {
-        have_incumbent
-            || self.method == LbMethod::Lpr
-            || (self.method == LbMethod::Mis && self.mis_implied)
+        if have_incumbent {
+            return true;
+        }
+        match &self.bound {
+            // The ladder's escalated rung carries LPR's Farkas power, so
+            // it acts pre-incumbent too (skipping straight to the LP).
+            Bound::Adaptive(l) => l.can_act_pre_incumbent(),
+            _ => self.method == LbMethod::Lpr || (self.method == LbMethod::Mis && self.mis_implied),
+        }
     }
 
     /// Frequency gate: returns `true` when a bound should be computed at
-    /// this node (every `lb_frequency` eligible nodes).
+    /// this node (every `lb_frequency` eligible nodes). The adaptive
+    /// ladder stretches the interval (up to 4x) while its cheap rung's
+    /// rolling prune rate stays negligible — a bound that never acts is
+    /// not worth computing at every node.
     pub fn tick(&mut self) -> bool {
         self.decisions_since_lb += 1;
-        if self.decisions_since_lb >= self.lb_frequency {
+        let stretch = match &self.bound {
+            Bound::Adaptive(l) => l.stretch(),
+            _ => 1,
+        };
+        if self.decisions_since_lb >= self.lb_frequency.saturating_mul(stretch) {
             self.decisions_since_lb = 0;
             true
         } else {
@@ -242,7 +288,12 @@ impl BoundPipeline {
     /// rows is always sound.
     fn keep_for_method(&self, row: &DynRow) -> bool {
         match self.method {
-            LbMethod::Lagrangian => {
+            // The ladder applies the LGR filter to *both* rungs: its
+            // cheap rung is LGR (same explanation-width pathology), and
+            // feeding the escalated LP the same thinner region is sound
+            // (any subset of valid rows is valid) and keeps the LP solve
+            // cheap — the point of escalating sparingly.
+            LbMethod::Lagrangian | LbMethod::Adaptive => {
                 row.origin == DynRowOrigin::PromotedClause
                     && !self.lgr_zero_mu.contains(&row.constraint)
             }
@@ -253,7 +304,11 @@ impl BoundPipeline {
     /// Records which installed dynamic rows the LGR warm-start left at a
     /// zero multiplier, so the next region build can drop them.
     fn snapshot_lgr_zero_mu(&mut self, instance: &Instance) {
-        let Bound::Lgr(lgr) = &self.bound else { return };
+        let lgr = match &self.bound {
+            Bound::Lgr(lgr) => lgr,
+            Bound::Adaptive(l) => &l.cheap,
+            _ => return,
+        };
         let mu = lgr.multipliers();
         let num_static = instance.num_constraints();
         self.lgr_zero_mu.clear();
@@ -296,8 +351,10 @@ impl BoundPipeline {
         if let Some(state) = &mut self.residual {
             state.set_dynamic_rows(&self.method_rows);
         }
-        if let Bound::Lpr(lpr) = &mut self.bound {
-            lpr.install_rows(instance, &self.method_rows);
+        match &mut self.bound {
+            Bound::Lpr(lpr) => lpr.install_rows(instance, &self.method_rows),
+            Bound::Adaptive(l) => l.lpr.install_rows(instance, &self.method_rows),
+            _ => {}
         }
     }
 
@@ -357,8 +414,16 @@ impl BoundPipeline {
             ..
         } = self;
         // Keep the LP bound's variable fixings in lockstep with the
-        // trail (O(Δ) per node) through its own observer.
-        if let (Some(obs), Bound::Lpr(lpr)) = (*lpr_obs, &mut *bound) {
+        // trail (O(Δ) per node) through its own observer. The ladder's
+        // escalated rung stays synced even at nodes that never escalate
+        // — the sync is O(Δ) either way, and a stale mirror would make
+        // the *next* escalation O(trail).
+        let lpr_mirror = match &mut *bound {
+            Bound::Lpr(lpr) => Some(lpr.as_mut()),
+            Bound::Adaptive(l) => Some(&mut l.lpr),
+            _ => None,
+        };
+        if let (Some(obs), Some(lpr)) = (*lpr_obs, lpr_mirror) {
             let keep = engine.sync_trail(obs, lpr.synced_len());
             lpr.unwind_to(keep);
             for &lit in &engine.trail()[keep..] {
@@ -381,6 +446,12 @@ impl BoundPipeline {
         };
         stats.sub_time_total += sub_start.elapsed();
         let path = sub.path_cost();
+        // The adaptive ladder runs (and charges, and traces) its own
+        // rungs — one or two kernel calls per node.
+        if let Bound::Adaptive(ladder) = &mut *bound {
+            ladder.compute(&sub, upper, path, out, stats, tracer);
+            return;
+        }
         let lb_start = Instant::now();
         // Probe sits between starting the bound timer and charging it: a
         // panic here must leave `lb_calls`/`lb_time_total` uncharged, so
@@ -390,6 +461,11 @@ impl BoundPipeline {
         stats.lb_calls += 1;
         let lb_elapsed = lb_start.elapsed();
         stats.lb_time_total += lb_elapsed;
+        let bucket = &mut stats.lb_methods[method_bucket(*method)];
+        bucket.calls += 1;
+        bucket.time_total += lb_elapsed;
+        let pruned = out.infeasible || upper.is_some_and(|u| out.prunes(u));
+        bucket.prunes += u64::from(pruned);
         if !out.infeasible {
             stats.lb_margin_sum += out.bound.saturating_sub(path).max(0) as u64;
         }
@@ -404,6 +480,7 @@ impl BoundPipeline {
             let margin = if out.infeasible { 0 } else { out.bound.saturating_sub(path).max(0) };
             tracer.emit(pbo_trace::TraceEvent::Bound {
                 method: method.name(),
+                stage: "fixed",
                 outcome,
                 margin,
                 dur_ns: u64::try_from(lb_elapsed.as_nanos()).unwrap_or(u64::MAX),
@@ -464,5 +541,73 @@ mod fault_tests {
         assert!(stats.lb_time_total >= charged_time);
         assert!(!pipeline.last_outcome().infeasible);
         assert!(pipeline.last_outcome().bound >= 1, "two disjoint covers force cost >= 1");
+    }
+
+    /// The `bound.escalate` probe sits between the cheap rung's
+    /// (committed) charge and the LP dispatch: an unwind there leaves
+    /// the cheap rung fully charged and the LP rung fully uncharged —
+    /// neither bucket is ever half-accounted — and the ladder stays
+    /// usable.
+    #[test]
+    fn bound_escalate_panic_never_half_charges_either_rung() {
+        let mut b = InstanceBuilder::new();
+        let x = b.new_vars(3);
+        b.add_at_least(1, [x[0].positive(), x[1].positive()]);
+        b.add_at_least(1, [x[1].positive(), x[2].positive()]);
+        b.minimize(x.iter().map(|v| (1, v.positive())));
+        let inst = b.build().unwrap();
+        let options = BsoloOptions::with_lb(LbMethod::Adaptive);
+        let mut engine = Engine::new(inst.num_vars());
+        for c in inst.constraints() {
+            engine.add_constraint(c).unwrap();
+        }
+        let mut pipeline = BoundPipeline::new(&inst, &options, &mut engine);
+        let mut stats = SolverStats::default();
+
+        // Pre-incumbent nodes escalate straight to the LP rung: a panic
+        // at the probe must leave *nothing* charged.
+        let guard = pbo_fault::install(pbo_fault::FaultPlan::new().panic_on("bound.escalate", 1));
+        let unwound = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            pipeline.compute(&mut engine, &inst, None, &mut stats);
+        }));
+        assert!(unwound.is_err(), "armed probe must fire");
+        drop(guard);
+        assert_eq!(stats.lb_calls, 0, "no rung ran, none may be counted");
+        assert_eq!(stats.lb_methods[3].calls, 0, "LP rung must stay uncharged");
+        assert_eq!(stats.lb_time_total, std::time::Duration::ZERO);
+        assert_eq!(stats.lb_escalations, 1, "the escalation decision itself is recorded");
+
+        // Recovery: the next pre-incumbent call runs and charges the LP
+        // rung exactly once.
+        pipeline.compute(&mut engine, &inst, None, &mut stats);
+        assert_eq!(stats.lb_calls, 1);
+        assert_eq!(stats.lb_methods[3].calls, 1);
+        assert_eq!(stats.lb_escalations, 2);
+
+        // Post-incumbent: walk the probe cadence to the next forced
+        // escalation (16 open cheap calls) and panic there — the cheap
+        // rung's charge must stand, the LP rung's must not exist.
+        let upper = Some(4); // total cost + 1: every cheap call stays open
+        for _ in 0..15 {
+            pipeline.compute(&mut engine, &inst, upper, &mut stats);
+            assert_eq!(stats.lb_escalations, 2, "loose upper must not escalate early");
+        }
+        assert_eq!(stats.lb_methods[2].calls, 15);
+        let guard = pbo_fault::install(pbo_fault::FaultPlan::new().panic_on("bound.escalate", 1));
+        let unwound = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            pipeline.compute(&mut engine, &inst, upper, &mut stats);
+        }));
+        assert!(unwound.is_err(), "probe-cadence escalation must fire the armed probe");
+        drop(guard);
+        assert_eq!(stats.lb_methods[2].calls, 16, "cheap rung stays fully charged");
+        assert_eq!(stats.lb_methods[3].calls, 1, "LP rung stays fully uncharged");
+        assert_eq!(stats.lb_escalations, 3);
+        let calls: u64 = stats.lb_methods.iter().map(|m| m.calls).sum();
+        assert_eq!(calls, stats.lb_calls, "buckets reconcile after the unwind");
+
+        // Still consistent: the next gated call computes a real bound.
+        pipeline.compute(&mut engine, &inst, upper, &mut stats);
+        assert_eq!(stats.lb_methods[2].calls, 17);
+        assert!(!pipeline.last_outcome().infeasible);
     }
 }

@@ -47,6 +47,35 @@ impl fmt::Display for SolveStatus {
     }
 }
 
+/// Stable JSON/bucket names of the per-method breakdown, in bucket
+/// order (see [`SolverStats::lb_methods`]).
+pub const LB_METHOD_NAMES: [&str; 4] = ["plain", "mis", "lgr", "lpr"];
+
+/// Per-bounding-method effort breakdown: one bucket per concrete bound
+/// kernel. A fixed-method solve charges exactly one bucket; the adaptive
+/// ladder charges the bucket of each rung it actually ran, so the bucket
+/// totals always sum to [`SolverStats::lb_calls`] /
+/// [`SolverStats::lb_time_total`].
+#[derive(Copy, Clone, Default, Debug, PartialEq, Eq)]
+pub struct LbMethodStats {
+    /// Bound-kernel calls charged to this method.
+    pub calls: u64,
+    /// Wall time inside this method's kernel, summed across workers at
+    /// join (CPU-like, same semantics as [`SolverStats::lb_time_total`]).
+    pub time_total: Duration,
+    /// Calls whose outcome closed the node (pruned or proved the
+    /// residual infeasible).
+    pub prunes: u64,
+}
+
+impl LbMethodStats {
+    fn absorb(&mut self, other: &LbMethodStats) {
+        self.calls += other.calls;
+        self.time_total += other.time_total;
+        self.prunes += other.prunes;
+    }
+}
+
 /// Effort counters for one solve.
 #[derive(Clone, Default, Debug)]
 pub struct SolverStats {
@@ -58,6 +87,16 @@ pub struct SolverStats {
     pub bound_conflicts: u64,
     /// Lower-bound computations performed.
     pub lb_calls: u64,
+    /// Per-method breakdown of `lb_calls`/`lb_time_total`, indexed in
+    /// [`LB_METHOD_NAMES`] order (`plain`, `mis`, `lgr`, `lpr`). Under
+    /// the adaptive ladder an escalated node charges two buckets (the
+    /// cheap rung's and `lpr`'s), so the breakdown exposes exactly where
+    /// bound time went.
+    pub lb_methods: [LbMethodStats; 4],
+    /// Nodes the adaptive ladder escalated from its cheap rung to the LP
+    /// relaxation (always 0 for fixed methods); reconciles with
+    /// [`pbo_trace::TraceEvent::Escalate`] events when tracing.
+    pub lb_escalations: u64,
     /// Sum over finite lower-bound outcomes of `bound - path_cost` (the
     /// per-node bound margin); divided by `lb_calls` this is the mean
     /// per-node bound strength the dynamic-rows ablation tracks.
@@ -165,6 +204,10 @@ impl SolverStats {
         self.conflicts += other.conflicts;
         self.bound_conflicts += other.bound_conflicts;
         self.lb_calls += other.lb_calls;
+        for (mine, theirs) in self.lb_methods.iter_mut().zip(other.lb_methods.iter()) {
+            mine.absorb(theirs);
+        }
+        self.lb_escalations += other.lb_escalations;
         self.lb_margin_sum += other.lb_margin_sum;
         self.lb_time_total += other.lb_time_total;
         self.sub_time_total += other.sub_time_total;
@@ -252,6 +295,20 @@ impl SolverStats {
             self.cubes_quarantined,
             self.cancelled,
         );
+        s.push_str("\"lb_methods\":{");
+        for (i, (name, m)) in LB_METHOD_NAMES.iter().zip(self.lb_methods.iter()).enumerate() {
+            if i > 0 {
+                s.push(',');
+            }
+            let _ = write!(
+                s,
+                "\"{name}\":{{\"calls\":{},\"time_total_ms\":{:.3},\"prunes\":{}}}",
+                m.calls,
+                ms(m.time_total),
+                m.prunes
+            );
+        }
+        let _ = write!(s, "}},\"lb_escalations\":{},", self.lb_escalations);
         let _ = write!(
             s,
             "\"utilization\":{},",

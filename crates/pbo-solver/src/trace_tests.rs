@@ -11,7 +11,7 @@ use rand_chacha::ChaCha8Rng;
 use pbo_core::{Instance, InstanceBuilder, Lit, RelOp};
 use pbo_trace::{Event, TraceEvent};
 
-use crate::{Bsolo, BsoloOptions, LbMethod, ParBsolo, SolverStats};
+use crate::{Bsolo, BsoloOptions, LbMethod, ParBsolo, SolverStats, LB_METHOD_NAMES};
 
 /// Random optimization instance (the solver_tests generator shape).
 fn random_instance(rng: &mut ChaCha8Rng, n_max: usize) -> Instance {
@@ -49,6 +49,11 @@ struct Tally {
     clauses_shared: u64,
     clauses_imported: u64,
     bound_calls: u64,
+    /// Per-method splits of `bound_calls` and of closing outcomes
+    /// (pruned/infeasible), in [`LB_METHOD_NAMES`] order.
+    bound_calls_by: [u64; 4],
+    bound_prunes_by: [u64; 4],
+    escalations: u64,
     steals: u64,
     injections: u64,
 }
@@ -57,6 +62,18 @@ fn tally(events: &[Event]) -> Tally {
     let mut t = Tally::default();
     for ev in events {
         match ev.data {
+            TraceEvent::Bound { method, outcome, .. } => {
+                t.bound_calls += 1;
+                let bucket = LB_METHOD_NAMES
+                    .iter()
+                    .position(|&n| n == method)
+                    .unwrap_or_else(|| panic!("unknown bound method in trace: {method}"));
+                t.bound_calls_by[bucket] += 1;
+                if outcome != pbo_trace::BoundOutcome::Open {
+                    t.bound_prunes_by[bucket] += 1;
+                }
+            }
+            TraceEvent::Escalate { .. } => t.escalations += 1,
             TraceEvent::Decision => t.decisions += 1,
             // The splitter's lookahead decisions are recorded in bulk.
             TraceEvent::SplitterDecisions { n } => t.decisions += n,
@@ -66,7 +83,6 @@ fn tally(events: &[Event]) -> Tally {
             TraceEvent::Resplit { .. } => t.resplits += 1,
             TraceEvent::ClausesShared { n } => t.clauses_shared += n,
             TraceEvent::ClausesImported { n } => t.clauses_imported += n,
-            TraceEvent::Bound { .. } => t.bound_calls += 1,
             // Scheduler traffic: one Steal per stolen cube, Inject in
             // bulk (driver frontier seed, worker overflow spills).
             TraceEvent::Steal { .. } => t.steals += 1,
@@ -87,6 +103,14 @@ fn assert_coherent(label: &str, stats: &SolverStats) {
     assert_eq!(t.clauses_shared, stats.clauses_shared, "{label}: clauses shared");
     assert_eq!(t.clauses_imported, stats.clauses_imported, "{label}: clauses imported");
     assert_eq!(t.bound_calls, stats.lb_calls, "{label}: bound calls");
+    assert_eq!(t.escalations, stats.lb_escalations, "{label}: escalations");
+    for (i, name) in LB_METHOD_NAMES.iter().enumerate() {
+        assert_eq!(t.bound_calls_by[i], stats.lb_methods[i].calls, "{label}: {name} bucket calls");
+        assert_eq!(
+            t.bound_prunes_by[i], stats.lb_methods[i].prunes,
+            "{label}: {name} bucket prunes"
+        );
+    }
     assert_eq!(t.steals, stats.steals, "{label}: steals");
     assert_eq!(t.injections, stats.injections, "{label}: injections");
 }
@@ -102,7 +126,7 @@ fn sequential_trace_counts_match_stats() {
     let mut rng = ChaCha8Rng::seed_from_u64(0x7c0e);
     for round in 0..15 {
         let inst = random_instance(&mut rng, 9);
-        for lb in [LbMethod::Mis, LbMethod::Lpr] {
+        for lb in [LbMethod::Mis, LbMethod::Lpr, LbMethod::Adaptive] {
             let result = Bsolo::new(traced(lb)).solve(&inst);
             // A root-level proof (preprocessing infeasibility) can be
             // event-free; a run that searched must have traced it.
@@ -130,8 +154,13 @@ fn parallel_racing_trace_counts_match_stats() {
     for round in 0..10 {
         let inst = random_instance(&mut rng, 9);
         for threads in [2usize, 4] {
-            let result = ParBsolo::new(traced(LbMethod::Mis), threads).solve(&inst);
-            assert_coherent(&format!("round {round} x{threads}"), &result.stats);
+            // Mis exercises the classic fixed path, Adaptive the ladder
+            // (racing mode: the policy may consult wall-clock EMAs, but
+            // the event stream must still reconcile with the counters).
+            for lb in [LbMethod::Mis, LbMethod::Adaptive] {
+                let result = ParBsolo::new(traced(lb), threads).solve(&inst);
+                assert_coherent(&format!("round {round} {lb:?} x{threads}"), &result.stats);
+            }
         }
     }
 }
@@ -141,33 +170,42 @@ fn deterministic_join_trace_is_reproducible_and_coherent() {
     let mut rng = ChaCha8Rng::seed_from_u64(0xde7);
     for round in 0..8 {
         let inst = random_instance(&mut rng, 9);
-        let mut options = traced(LbMethod::Mis);
-        options.deterministic_join = true;
-        let a = ParBsolo::new(options.clone(), 4).solve(&inst);
-        let b = ParBsolo::new(options, 4).solve(&inst);
-        assert_coherent(&format!("round {round} det run a"), &a.stats);
-        assert_coherent(&format!("round {round} det run b"), &b.stats);
-        // The wall-clock-free view of the event sequence — kind, lane
-        // and payload in emission order — must be a pure function of
-        // instance + options, like every other det-join output.
-        let ka: Vec<String> = a.stats.trace.iter().map(Event::stable_key).collect();
-        let kb: Vec<String> = b.stats.trace.iter().map(Event::stable_key).collect();
-        assert_eq!(ka, kb, "round {round}: det-join event sequence drifted between runs");
-        // Deterministic mode never shares clauses, never reports queue
-        // waits, and suppresses scheduler traffic (stealing is disabled,
-        // injections go untallied), so those event kinds must be absent
-        // outright.
-        assert!(
-            !a.stats.trace.iter().any(|e| matches!(
-                e.data,
-                TraceEvent::ClausesShared { .. }
-                    | TraceEvent::ClausesImported { .. }
-                    | TraceEvent::QueueWait { .. }
-                    | TraceEvent::Steal { .. }
-                    | TraceEvent::Inject { .. }
-            )),
-            "round {round}: sharing/queue/scheduler events in deterministic mode"
-        );
+        // Adaptive rides along: under det-join the ladder's escalation
+        // policy keys on counters and margins only, so the Escalate
+        // sequence (window/slack payloads included, via stable_key) must
+        // reproduce run-to-run like every other event.
+        for lb in [LbMethod::Mis, LbMethod::Adaptive] {
+            let mut options = traced(lb);
+            options.deterministic_join = true;
+            let a = ParBsolo::new(options.clone(), 4).solve(&inst);
+            let b = ParBsolo::new(options, 4).solve(&inst);
+            assert_coherent(&format!("round {round} {lb:?} det run a"), &a.stats);
+            assert_coherent(&format!("round {round} {lb:?} det run b"), &b.stats);
+            // The wall-clock-free view of the event sequence — kind, lane
+            // and payload in emission order — must be a pure function of
+            // instance + options, like every other det-join output.
+            let ka: Vec<String> = a.stats.trace.iter().map(Event::stable_key).collect();
+            let kb: Vec<String> = b.stats.trace.iter().map(Event::stable_key).collect();
+            assert_eq!(
+                ka, kb,
+                "round {round} {lb:?}: det-join event sequence drifted between runs"
+            );
+            // Deterministic mode never shares clauses, never reports queue
+            // waits, and suppresses scheduler traffic (stealing is disabled,
+            // injections go untallied), so those event kinds must be absent
+            // outright.
+            assert!(
+                !a.stats.trace.iter().any(|e| matches!(
+                    e.data,
+                    TraceEvent::ClausesShared { .. }
+                        | TraceEvent::ClausesImported { .. }
+                        | TraceEvent::QueueWait { .. }
+                        | TraceEvent::Steal { .. }
+                        | TraceEvent::Inject { .. }
+                )),
+                "round {round} {lb:?}: sharing/queue/scheduler events in deterministic mode"
+            );
+        }
     }
 }
 

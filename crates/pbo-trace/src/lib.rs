@@ -74,12 +74,28 @@ pub enum TraceEvent {
     Bound {
         /// Bounding method (`plain`, `mis`, `lgr`, `lpr`).
         method: &'static str,
+        /// Ladder position of this call: `fixed` for the classic
+        /// single-method pipeline, `cheap` for the adaptive ladder's
+        /// first rung, `escalated` for an LPR call the ladder promoted
+        /// to after the cheap rung left the node open.
+        stage: &'static str,
         /// What the bound did to the node.
         outcome: BoundOutcome,
         /// `lb - path_cost` at the call (0 when infeasible).
         margin: i64,
         /// Time spent inside the bound kernel.
         dur_ns: u64,
+    },
+    /// The adaptive bound ladder decided to escalate the current node
+    /// from its cheap rung to the LP relaxation. Always followed by a
+    /// [`TraceEvent::Bound`] with `stage: "escalated"` on the same lane
+    /// (unless the escalated call panicked under fault injection).
+    Escalate {
+        /// Escalation window the cheap margin was compared against.
+        window: i64,
+        /// `upper - (path_cost + cheap_lb)` — how far the cheap bound
+        /// landed below the incumbent.
+        slack: i64,
     },
     /// This worker found a new incumbent (counted in `solutions_found`).
     Solution {
@@ -183,6 +199,7 @@ impl TraceEvent {
             TraceEvent::Conflict => "conflict",
             TraceEvent::Restart => "restart",
             TraceEvent::Bound { .. } => "bound",
+            TraceEvent::Escalate { .. } => "escalate",
             TraceEvent::Solution { .. } => "solution",
             TraceEvent::Adopt { .. } => "adopt",
             TraceEvent::LsRestart => "ls_restart",
@@ -224,8 +241,11 @@ impl Event {
     pub fn stable_key(&self) -> String {
         let mut s = format!("{}:{}", self.lane, self.data.kind());
         match &self.data {
-            TraceEvent::Bound { method, outcome, margin, .. } => {
-                let _ = write!(s, ":{method}:{}:{margin}", outcome.name());
+            TraceEvent::Bound { method, stage, outcome, margin, .. } => {
+                let _ = write!(s, ":{method}:{stage}:{}:{margin}", outcome.name());
+            }
+            TraceEvent::Escalate { window, slack } => {
+                let _ = write!(s, ":{window}:{slack}");
             }
             TraceEvent::Solution { cost } | TraceEvent::Adopt { cost } => {
                 let _ = write!(s, ":{cost}");
@@ -378,12 +398,15 @@ pub fn write_jsonl(events: &[Event]) -> String {
         let _ =
             write!(out, "{{\"t_ns\":{},\"lane\":{},\"kind\":\"{}\"", e.t_ns, e.lane, e.data.kind());
         match &e.data {
-            TraceEvent::Bound { method, outcome, margin, dur_ns } => {
+            TraceEvent::Bound { method, stage, outcome, margin, dur_ns } => {
                 let _ = write!(
                     out,
-                    ",\"method\":\"{method}\",\"outcome\":\"{}\",\"margin\":{margin},\"dur_ns\":{dur_ns}",
+                    ",\"method\":\"{method}\",\"stage\":\"{stage}\",\"outcome\":\"{}\",\"margin\":{margin},\"dur_ns\":{dur_ns}",
                     outcome.name()
                 );
+            }
+            TraceEvent::Escalate { window, slack } => {
+                let _ = write!(out, ",\"window\":{window},\"slack\":{slack}");
             }
             TraceEvent::Solution { cost } | TraceEvent::Adopt { cost } => {
                 let _ = write!(out, ",\"cost\":{cost}");
@@ -520,7 +543,8 @@ pub fn write_chrome(events: &[Event]) -> String {
             TraceEvent::CubeStart { .. }
             | TraceEvent::Decision
             | TraceEvent::Conflict
-            | TraceEvent::Bound { .. } => None,
+            | TraceEvent::Bound { .. }
+            | TraceEvent::Escalate { .. } => None,
         };
         if let Some(entry) = entry {
             push_chrome(&mut out, &mut first, &entry);
@@ -714,21 +738,28 @@ mod tests {
                 0,
                 TraceEvent::Bound {
                     method: "mis",
+                    stage: "fixed",
                     outcome: BoundOutcome::Pruned,
                     margin: 4,
                     dur_ns: 1234,
                 },
             ),
+            ev(30, 0, TraceEvent::Escalate { window: 9, slack: 5 }),
         ];
         let text = write_jsonl(&events);
         let lines: Vec<&str> = text.lines().collect();
-        assert_eq!(lines.len(), 2);
+        assert_eq!(lines.len(), 3);
         assert_eq!(
             lines[0],
             "{\"t_ns\":10,\"lane\":0,\"kind\":\"bound\",\"method\":\"mis\",\
-             \"outcome\":\"pruned\",\"margin\":4,\"dur_ns\":1234}"
+             \"stage\":\"fixed\",\"outcome\":\"pruned\",\"margin\":4,\"dur_ns\":1234}"
         );
         assert_eq!(lines[1], "{\"t_ns\":20,\"lane\":1,\"kind\":\"conflict\"}");
+        assert_eq!(
+            lines[2],
+            "{\"t_ns\":30,\"lane\":0,\"kind\":\"escalate\",\"window\":9,\"slack\":5}"
+        );
+        assert_eq!(events[2].stable_key(), "0:escalate:9:5");
     }
 
     #[test]
@@ -760,6 +791,7 @@ mod tests {
                 0,
                 TraceEvent::Bound {
                     method: "lgr",
+                    stage: "fixed",
                     outcome: BoundOutcome::Open,
                     margin: 0,
                     dur_ns: 500,
